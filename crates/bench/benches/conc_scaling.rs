@@ -1,0 +1,65 @@
+//! Criterion bench: stateless-model-checking throughput per scheduler —
+//! the cost side of §6's soundness–scalability trade-off.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shardstore_conc::sync::Mutex;
+use shardstore_conc::{check, thread, CheckOptions};
+
+fn lock_harness(tasks: usize) -> impl Fn() + Send + Sync {
+    move || {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..tasks)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    *counter.lock() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), tasks as u32);
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conc_scaling");
+    const ITERS: usize = 50;
+    group.throughput(Throughput::Elements(ITERS as u64));
+    for tasks in [2usize, 4] {
+        group.bench_function(format!("random_{tasks}_tasks"), |b| {
+            b.iter(|| check(CheckOptions::random(1, ITERS), lock_harness(tasks)).unwrap())
+        });
+        group.bench_function(format!("pct_{tasks}_tasks"), |b| {
+            b.iter(|| check(CheckOptions::pct(1, 3, ITERS), lock_harness(tasks)).unwrap())
+        });
+    }
+    group.bench_function("dfs_exhaust_2_tasks", |b| {
+        b.iter(|| {
+            let report = check(CheckOptions::dfs(100_000), lock_harness(2)).unwrap();
+            assert!(report.exhausted);
+            report.iterations
+        })
+    });
+    group.finish();
+}
+
+/// A full ShardStore harness iteration under the checker (the paper's
+/// "end-to-end stress test" shape that only Shuttle-style randomization
+/// can afford).
+fn bench_store_harness(c: &mut Criterion) {
+    use shardstore_faults::FaultConfig;
+    use shardstore_harness::concurrent::fig4_index_harness;
+    let mut group = c.benchmark_group("conc_scaling");
+    group.sample_size(10);
+    group.bench_function("fig4_iteration_random", |b| {
+        b.iter(|| fig4_index_harness(FaultConfig::none(), CheckOptions::random(3, 5)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_store_harness);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion bench: request-plane operations through the full stack
+//! (chunking, LSM, scheduler, superblock, disk), plus the §2.2 ablation —
+//! soft-updates dependency scheduling with write coalescing vs a
+//! write-ahead-log-like global barrier per write.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use shardstore_core::{Store, StoreConfig};
+use shardstore_faults::FaultConfig;
+use shardstore_vdisk::Geometry;
+
+fn fresh_store() -> Store {
+    Store::format(Geometry::default(), StoreConfig::default(), FaultConfig::none())
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_ops");
+    group.throughput(Throughput::Elements(1));
+    let payload = vec![0xABu8; 1024];
+
+    group.bench_function("put_1k", |b| {
+        b.iter_batched(
+            fresh_store,
+            |store| {
+                for shard in 0..32u128 {
+                    store.put(shard, &payload).unwrap();
+                }
+                store.pump().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("get_1k_cached", |b| {
+        let store = fresh_store();
+        for shard in 0..32u128 {
+            store.put(shard, &payload).unwrap();
+        }
+        store.flush_index().unwrap();
+        store.pump().unwrap();
+        let mut shard = 0u128;
+        b.iter(|| {
+            shard = (shard + 1) % 32;
+            std::hint::black_box(store.get(shard).unwrap());
+        })
+    });
+
+    group.bench_function("get_1k_cold", |b| {
+        let store = fresh_store();
+        for shard in 0..32u128 {
+            store.put(shard, &payload).unwrap();
+        }
+        store.flush_index().unwrap();
+        store.pump().unwrap();
+        let mut shard = 0u128;
+        b.iter(|| {
+            store.cache().clear();
+            shard = (shard + 1) % 32;
+            std::hint::black_box(store.get(shard).unwrap());
+        })
+    });
+
+    group.bench_function("delete", |b| {
+        b.iter_batched(
+            || {
+                let store = fresh_store();
+                for shard in 0..32u128 {
+                    store.put(shard, &payload).unwrap();
+                }
+                store.pump().unwrap();
+                store
+            },
+            |store| {
+                for shard in 0..32u128 {
+                    store.delete(shard).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// The §2.2 motivation: soft updates let independent writes coalesce; a
+/// WAL-like barrier per write cannot.
+fn bench_coalescing_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_ablation");
+    let payload = vec![7u8; 256];
+    for (name, barrier) in [("soft_updates", false), ("global_barrier", true)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let store = fresh_store();
+                    store.scheduler().set_barrier_mode(barrier);
+                    store
+                },
+                |store| {
+                    for shard in 0..64u128 {
+                        store.put(shard, &payload).unwrap();
+                    }
+                    store.flush_index().unwrap();
+                    store.pump().unwrap();
+                    store.scheduler().stats().ios_issued
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put_get, bench_coalescing_ablation);
+criterion_main!(benches);

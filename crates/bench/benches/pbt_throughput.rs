@@ -1,0 +1,64 @@
+//! Criterion bench: property-based-testing throughput — the feasibility
+//! basis of the paper's "tens of millions of random test sequences before
+//! every deployment" claim, and the cost of each §3.1 property level.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shardstore_harness::conformance::{run_conformance, ConformanceConfig};
+use shardstore_harness::crash::run_crash_consistency;
+use shardstore_harness::detect::sample_sequences;
+use shardstore_harness::gen::{kv_ops, GenConfig};
+use shardstore_harness::index_conformance::{index_ops, run_index_conformance};
+use shardstore_harness::ops::{IndexOp, KvOp};
+use shardstore_faults::FaultConfig;
+
+fn pre_sample_kv(gen_cfg: GenConfig, n: u64) -> Vec<Vec<KvOp>> {
+    sample_sequences(kv_ops(gen_cfg), 42, n).collect()
+}
+
+fn bench_sequence_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbt_throughput");
+    group.throughput(Throughput::Elements(1));
+    let cfg = ConformanceConfig::default();
+
+    let seqs = pre_sample_kv(GenConfig::conformance(), 256);
+    let mut i = 0;
+    group.bench_function("conformance_sequence", |b| {
+        b.iter(|| {
+            i = (i + 1) % seqs.len();
+            run_conformance(&seqs[i], &cfg).unwrap()
+        })
+    });
+
+    let seqs = pre_sample_kv(GenConfig::crash(), 256);
+    let mut i = 0;
+    group.bench_function("crash_sequence", |b| {
+        b.iter(|| {
+            i = (i + 1) % seqs.len();
+            run_crash_consistency(&seqs[i], &cfg).unwrap()
+        })
+    });
+
+    let seqs = pre_sample_kv(GenConfig::failure(), 256);
+    let mut i = 0;
+    group.bench_function("failure_sequence", |b| {
+        b.iter(|| {
+            i = (i + 1) % seqs.len();
+            run_conformance(&seqs[i], &cfg).unwrap()
+        })
+    });
+
+    let index_seqs: Vec<Vec<IndexOp>> =
+        sample_sequences(index_ops(true, 40), 42, 256).collect();
+    let mut i = 0;
+    let faults = FaultConfig::none();
+    group.bench_function("index_sequence", |b| {
+        b.iter(|| {
+            i = (i + 1) % index_seqs.len();
+            run_index_conformance(&index_seqs[i], &faults).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequence_throughput);
+criterion_main!(benches);

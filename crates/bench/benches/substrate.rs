@@ -1,0 +1,111 @@
+//! Criterion bench: substrate-level costs — virtual-disk IO, dependency
+//! scheduling, chunk framing, and the on-disk codecs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shardstore_chunk::{decode_frame_at, encode_frame, scan_extent};
+use shardstore_dependency::IoScheduler;
+use shardstore_faults::FaultConfig;
+use shardstore_lsm::codec::{decode_sstable, encode_sstable, IndexValue};
+use shardstore_vdisk::{Disk, ExtentId, Geometry};
+
+fn bench_disk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_io");
+    let disk = Disk::new(Geometry::default());
+    let page = vec![0x5Au8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("write_page", |b| {
+        let mut offset = 0usize;
+        b.iter(|| {
+            disk.write(ExtentId(1), offset, &page).unwrap();
+            offset = (offset + 4096) % (Geometry::default().extent_size() - 4096);
+        })
+    });
+    group.bench_function("read_page", |b| {
+        b.iter(|| std::hint::black_box(disk.read(ExtentId(1), 0, 4096).unwrap()))
+    });
+    group.bench_function("flush_extent", |b| {
+        b.iter(|| {
+            disk.write(ExtentId(2), 0, &page).unwrap();
+            disk.flush_extent(ExtentId(2)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("submit_pump_64_chained", |b| {
+        b.iter(|| {
+            let disk = Disk::new(Geometry::default());
+            let sched = IoScheduler::new(disk);
+            let mut dep = sched.none();
+            for i in 0..64usize {
+                dep = sched.submit_write(ExtentId(1), i * 64, vec![1u8; 64], &dep);
+            }
+            sched.pump().unwrap();
+            assert!(dep.is_persistent());
+        })
+    });
+    group.bench_function("submit_pump_64_independent", |b| {
+        b.iter(|| {
+            let disk = Disk::new(Geometry::default());
+            let sched = IoScheduler::new(disk);
+            let none = sched.none();
+            let deps: Vec<_> = (0..64usize)
+                .map(|i| sched.submit_write(ExtentId(1), i * 64, vec![1u8; 64], &none))
+                .collect();
+            sched.pump().unwrap();
+            assert!(deps.iter().all(|d| d.is_persistent()));
+        })
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let payload = vec![0xC3u8; 4096];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("frame_encode_4k", |b| {
+        b.iter(|| std::hint::black_box(encode_frame(&payload, 0xFEED)))
+    });
+    let frame = encode_frame(&payload, 0xFEED);
+    group.bench_function("frame_decode_4k", |b| {
+        b.iter(|| decode_frame_at(&frame, 0, frame.len()).unwrap())
+    });
+    // An extent image with 16 packed frames.
+    let mut image = Vec::new();
+    for i in 0..16u128 {
+        image.extend_from_slice(&encode_frame(&payload[..1024], i + 1));
+    }
+    group.bench_function("scan_extent_16_chunks", |b| {
+        b.iter(|| {
+            let frames = scan_extent(&image, image.len(), 4096, &FaultConfig::none());
+            assert_eq!(frames.len(), 16);
+        })
+    });
+    let entries: Vec<_> = (0..256u128)
+        .map(|k| {
+            (
+                k,
+                IndexValue::Present(vec![shardstore_chunk::Locator {
+                    extent: ExtentId(1),
+                    offset: k as u32,
+                    len: 64,
+                    uuid: k,
+                }]),
+            )
+        })
+        .collect();
+    group.bench_function("sstable_encode_256", |b| {
+        b.iter(|| std::hint::black_box(encode_sstable(&entries)))
+    });
+    let bytes = encode_sstable(&entries);
+    group.bench_function("sstable_decode_256", |b| {
+        b.iter(|| assert_eq!(decode_sstable(&bytes).unwrap().len(), 256))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disk, bench_scheduler, bench_codecs);
+criterion_main!(benches);

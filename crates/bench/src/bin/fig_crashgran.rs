@@ -1,0 +1,125 @@
+//! E5 — coarse vs block-level crash states (§5 "Block-level crash
+//! states"). The paper implemented an exhaustive block-level variant of
+//! `DirtyReboot`, found that it "has not found additional bugs and is
+//! dramatically slower", and kept the coarse sampling as the default.
+//!
+//! This binary reproduces that comparison on the issue #8 scenario (a
+//! missing soft-write-pointer dependency): the same workload prefix is
+//! crashed either with randomly sampled page-survival masks (coarse) or
+//! with every one of the 2^p masks (exhaustive block-level), and both the
+//! time per crash state and the time-to-detection are reported.
+//!
+//! ```sh
+//! cargo run --release -p shardstore-bench --bin fig_crashgran
+//! ```
+
+use shardstore_bench::{fmt_duration, row, rule};
+use shardstore_faults::{BugId, FaultConfig};
+use shardstore_harness::conformance::ConformanceConfig;
+use shardstore_harness::crash::run_crash_consistency;
+use shardstore_harness::ops::{KeyRef, KvOp, RebootType, ValueSpec};
+
+/// The workload prefix: a put whose index entry gets flushed, IO issued
+/// into the disk cache, then the crash under test.
+fn sequence(keep_mask: u64) -> Vec<KvOp> {
+    vec![
+        KvOp::Put(KeyRef::Literal(1), ValueSpec::Small(40)),
+        KvOp::IndexFlush,
+        // Pump the data writes to durability, one dependency level per
+        // round (chunk → SSTable → metadata); the superblock update (the
+        // write the buggy dependency omits) is the only thing left
+        // queued, so its survival is decided by the crash mask below.
+        KvOp::Pump(4),
+        KvOp::Pump(4),
+        KvOp::Pump(4),
+        KvOp::DirtyReboot(RebootType { flush_index: false, issue_ios: 8, keep_mask }),
+        KvOp::Get(KeyRef::Literal(1)),
+    ]
+}
+
+fn runs_to_detection(masks: impl Iterator<Item = u64>, cfg: &ConformanceConfig) -> (u64, bool) {
+    let mut states = 0;
+    for mask in masks {
+        states += 1;
+        if run_crash_consistency(&sequence(mask), cfg).is_err() {
+            return (states, true);
+        }
+    }
+    (states, false)
+}
+
+fn main() {
+    let cfg = ConformanceConfig::with_faults(FaultConfig::seed(BugId::B8MissingPointerDependency));
+    // The prefix populates about 6-10 volatile pages at the crash point;
+    // exhaustive block-level enumeration covers every subset of the first
+    // `P` pages.
+    const P: u32 = 12;
+
+    println!("§5 — coarse sampled crash states vs exhaustive block-level enumeration");
+    println!("(issue #8 seeded; every crash state replays the workload prefix)\n");
+    let widths = [26, 16, 14, 14, 12];
+    row(&["Mode", "Crash states", "Detected", "Total time", "Per state"], &widths);
+    rule(&widths);
+
+    // Coarse: random masks, as the default DirtyReboot generator samples.
+    let start = std::time::Instant::now();
+    let mut rng_state = 0x1234_5678_9ABC_DEF0u64;
+    let coarse_masks = std::iter::repeat_with(move || {
+        // xorshift64 for deterministic mask sampling.
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    })
+    .take(1 << P);
+    let (states, detected) = runs_to_detection(coarse_masks, &cfg);
+    let elapsed = start.elapsed();
+    row(
+        &[
+            "coarse (random masks)",
+            &states.to_string(),
+            if detected { "yes" } else { "no" },
+            &fmt_duration(elapsed),
+            &fmt_duration(elapsed / states.max(1) as u32),
+        ],
+        &widths,
+    );
+
+    // Exhaustive block-level: every subset of the first P pages, in order.
+    let start = std::time::Instant::now();
+    let (states, detected) = runs_to_detection(0..(1u64 << P), &cfg);
+    let elapsed = start.elapsed();
+    row(
+        &[
+            "block-level (exhaustive)",
+            &states.to_string(),
+            if detected { "yes" } else { "no" },
+            &fmt_duration(elapsed),
+            &fmt_duration(elapsed / states.max(1) as u32),
+        ],
+        &widths,
+    );
+
+    // And the worst case for exhaustive enumeration: the fixed system,
+    // where the full 2^P space must be swept to conclude "no bug".
+    let fixed = ConformanceConfig::default();
+    let start = std::time::Instant::now();
+    let (states, detected) = runs_to_detection(0..(1u64 << P), &fixed);
+    let elapsed = start.elapsed();
+    row(
+        &[
+            "block-level, fixed code",
+            &states.to_string(),
+            if detected { "yes (BUG)" } else { "no" },
+            &fmt_duration(elapsed),
+            &fmt_duration(elapsed / states.max(1) as u32),
+        ],
+        &widths,
+    );
+    assert!(!detected, "the fixed system must pass every crash state");
+
+    println!("\nExpected shape: both modes find the seeded bug; coarse sampling finds it");
+    println!("after a handful of states, while proving absence exhaustively costs the");
+    println!("full 2^{P} sweep — the paper's \"dramatically slower\" with \"no additional");
+    println!("bugs\", which is why coarse states are the default.");
+}

@@ -1,0 +1,163 @@
+//! The deployment-gate soak (§1, §4.2): run as many random validation
+//! sequences as the budget allows, across every checker, in parallel —
+//! the scaled-down version of the paper's "tens of millions of random
+//! test sequences before every ShardStore deployment".
+//!
+//! ```sh
+//! cargo run --release -p shardstore-bench --bin soak -- [sequences-per-suite] [threads]
+//! ```
+//!
+//! Defaults: 20,000 sequences per suite across all available cores. The
+//! binary exits non-zero on the first divergence, printing the failing
+//! seed and sequence index for reproduction.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use shardstore_bench::{fmt_duration, row, rule};
+use shardstore_faults::coverage;
+use shardstore_harness::conformance::{run_conformance, ConformanceConfig};
+use shardstore_harness::crash::run_crash_consistency;
+use shardstore_harness::detect::sample_sequences;
+use shardstore_harness::gen::{kv_ops, node_ops, GenConfig};
+use shardstore_harness::index_conformance::{index_ops, run_index_conformance};
+use shardstore_harness::node_conformance::run_node_conformance;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let per_suite: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let threads: usize = args
+        .get(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+
+    coverage::enable();
+    println!("soak: {per_suite} sequences per suite on {threads} thread(s)\n");
+    let widths = [24, 14, 12, 14];
+    row(&["Suite", "Sequences", "Time", "Seq/s"], &widths);
+    rule(&widths);
+
+    type Runner = Box<dyn Fn(u64, u64) -> Result<(), String> + Send + Sync>;
+    let suites: Vec<(&str, Runner)> = vec![
+        (
+            "conformance",
+            Box::new(|seed, n| {
+                let cfg = ConformanceConfig::default();
+                for (i, ops) in sample_sequences(kv_ops(GenConfig::conformance()), seed, n).enumerate() {
+                    run_conformance(&ops, &cfg)
+                        .map_err(|d| format!("seed {seed} seq {i}: {d}"))?;
+                }
+                Ok(())
+            }),
+        ),
+        (
+            "crash consistency",
+            Box::new(|seed, n| {
+                let cfg = ConformanceConfig::default();
+                for (i, ops) in sample_sequences(kv_ops(GenConfig::crash()), seed, n).enumerate() {
+                    run_crash_consistency(&ops, &cfg)
+                        .map_err(|d| format!("seed {seed} seq {i}: {d}"))?;
+                }
+                Ok(())
+            }),
+        ),
+        (
+            "failure injection",
+            Box::new(|seed, n| {
+                let cfg = ConformanceConfig::default();
+                for (i, ops) in sample_sequences(kv_ops(GenConfig::full()), seed, n).enumerate() {
+                    run_crash_consistency(&ops, &cfg)
+                        .map_err(|d| format!("seed {seed} seq {i}: {d}"))?;
+                }
+                Ok(())
+            }),
+        ),
+        (
+            "index conformance",
+            Box::new(|seed, n| {
+                let faults = shardstore_faults::FaultConfig::none();
+                for (i, ops) in sample_sequences(index_ops(true, 40), seed, n).enumerate() {
+                    run_index_conformance(&ops, &faults)
+                        .map_err(|d| format!("seed {seed} seq {i}: {d}"))?;
+                }
+                Ok(())
+            }),
+        ),
+        (
+            "node conformance",
+            Box::new(|seed, n| {
+                let cfg = ConformanceConfig::default();
+                for (i, ops) in sample_sequences(node_ops(GenConfig::conformance()), seed, n).enumerate() {
+                    run_node_conformance(&ops, &cfg, 2)
+                        .map_err(|d| format!("seed {seed} seq {i}: {d}"))?;
+                }
+                Ok(())
+            }),
+        ),
+    ];
+
+    let failed = Arc::new(AtomicBool::new(false));
+    let mut grand_total = 0u64;
+    let start_all = std::time::Instant::now();
+    for (name, runner) in suites {
+        let runner = Arc::new(runner);
+        let start = std::time::Instant::now();
+        let done = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let runner = Arc::clone(&runner);
+                let done = Arc::clone(&done);
+                let failed = Arc::clone(&failed);
+                let share = per_suite / threads as u64
+                    + if (t as u64) < per_suite % threads as u64 { 1 } else { 0 };
+                scope.spawn(move || {
+                    let seed = 0xA5EED ^ (t as u64) << 32;
+                    match runner(seed, share) {
+                        Ok(()) => {
+                            done.fetch_add(share, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("\nDIVERGENCE in {name}: {e}");
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        let n = done.load(Ordering::Relaxed);
+        grand_total += n;
+        row(
+            &[
+                name,
+                &n.to_string(),
+                &fmt_duration(elapsed),
+                &format!("{:.0}", n as f64 / elapsed.as_secs_f64()),
+            ],
+            &widths,
+        );
+        if failed.load(Ordering::Relaxed) {
+            std::process::exit(1);
+        }
+    }
+    rule(&widths);
+    println!(
+        "total: {grand_total} sequences in {} — extrapolates to {:.0}M sequences per night",
+        fmt_duration(start_all.elapsed()),
+        grand_total as f64 / start_all.elapsed().as_secs_f64() * 8.0 * 3600.0 / 1e6
+    );
+    println!("\ncoverage highlights:");
+    for (name, count) in coverage::snapshot() {
+        if count > 0
+            && (name.starts_with("crashcheck") || name.contains("reclaim") || name.contains("b"))
+        {
+            continue;
+        }
+        let _ = (name, count);
+    }
+    let mut snapshot = coverage::snapshot();
+    snapshot.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (name, count) in snapshot.iter().take(12) {
+        println!("  {name}: {count}");
+    }
+}

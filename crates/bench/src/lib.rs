@@ -1,0 +1,27 @@
+//! Shared helpers for the figure/table regeneration binaries.
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:<w$}  ", w = *w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a rule matching the given column widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats a `Duration` compactly.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.0}µs", d.as_secs_f64() * 1e6)
+    }
+}

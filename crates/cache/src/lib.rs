@@ -1,0 +1,437 @@
+//! The buffer cache: a byte-budgeted LRU over chunk payloads, wrapped
+//! around the chunk store.
+//!
+//! Reads of hot chunks (LSM-tree lookups in particular) go through this
+//! cache. Correctness obligations, both of which appear in the paper's
+//! Fig. 5 bug catalog:
+//!
+//! - When an extent is reset (by reclamation), every cached chunk from
+//!   that extent must be drained — issue #2 was a cache that was not
+//!   correctly drained after a reset, serving stale data for dead
+//!   locators ([`BugId::B2CacheNotDrained`] seeds it).
+//! - Writes through the cache must carry the full dependency, including
+//!   the soft-write-pointer superblock update — issue #8 was a write path
+//!   that dropped that dependency, reporting persistence before the
+//!   pointer covering the data was durable
+//!   ([`BugId::B8MissingPointerDependency`] seeds it).
+//!
+//! The cache exposes [`coverage`] probes `cache.hit` / `cache.miss`; §8.3
+//! of the paper recounts a bug that hid behind an oversized test cache
+//! whose miss path was never exercised, which motivated exactly this kind
+//! of coverage monitoring.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_chunk::{ChunkError, ChunkStore, Locator, PutOutcome, ReclaimReport, Referencer, Stream};
+use shardstore_conc::sync::Mutex;
+use shardstore_dependency::Dependency;
+use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_vdisk::ExtentId;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the chunk store.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Entries dropped by extent drains.
+    pub drained: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    payload: Arc<Vec<u8>>,
+    last_use: u64,
+}
+
+/// Cache key: the chunk's position. Like a real block cache, entries are
+/// keyed by *where* the data lives, not by which chunk identity wrote it —
+/// which is why draining on extent reset is a hard correctness obligation
+/// (issue #2): after a reset reuses the space, a stale entry at the same
+/// position would be served for the new chunk.
+type CacheKey = (u32, u32);
+
+fn key_of(locator: &Locator) -> CacheKey {
+    (locator.extent.0, locator.offset)
+}
+
+#[derive(Debug)]
+struct CacheState {
+    entries: BTreeMap<CacheKey, Entry>,
+    bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A chunk store wrapped with an LRU payload cache.
+///
+/// Cheap to clone; all clones share the cache and the underlying store.
+#[derive(Clone)]
+pub struct CachedChunkStore {
+    store: ChunkStore,
+    faults: FaultConfig,
+    capacity: usize,
+    state: Arc<Mutex<CacheState>>,
+}
+
+impl fmt::Debug for CachedChunkStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("CachedChunkStore")
+            .field("entries", &st.entries.len())
+            .field("bytes", &st.bytes)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl CachedChunkStore {
+    /// Wraps a chunk store with a cache holding at most `capacity` payload
+    /// bytes. A zero capacity disables caching entirely.
+    pub fn new(store: ChunkStore, faults: FaultConfig, capacity: usize) -> Self {
+        Self {
+            store,
+            faults,
+            capacity,
+            state: Arc::new(Mutex::new(CacheState {
+                entries: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+                stats: CacheStats::default(),
+            })),
+        }
+    }
+
+    /// The wrapped chunk store.
+    pub fn chunk_store(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    fn insert(&self, locator: Locator, payload: Arc<Vec<u8>>) {
+        if self.capacity == 0 || payload.len() > self.capacity {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.bytes += payload.len();
+        if let Some(old) = st.entries.insert(key_of(&locator), Entry { payload, last_use: tick })
+        {
+            st.bytes -= old.payload.len();
+        }
+        // Evict least-recently-used entries until within budget.
+        while st.bytes > self.capacity {
+            let victim = st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+                .expect("over budget implies non-empty");
+            let e = st.entries.remove(&victim).expect("victim present");
+            st.bytes -= e.payload.len();
+            st.stats.evictions += 1;
+            coverage::hit("cache.evict");
+        }
+    }
+
+    /// Reads a chunk payload, serving from the cache when possible.
+    pub fn get(&self, locator: &Locator) -> Result<Arc<Vec<u8>>, ChunkError> {
+        {
+            let mut st = self.state.lock();
+            st.tick += 1;
+            let tick = st.tick;
+            let hit = st.entries.get_mut(&key_of(locator)).map(|e| {
+                e.last_use = tick;
+                Arc::clone(&e.payload)
+            });
+            if let Some(payload) = hit {
+                st.stats.hits += 1;
+                coverage::hit("cache.hit");
+                return Ok(payload);
+            }
+            st.stats.misses += 1;
+        }
+        coverage::hit("cache.miss");
+        let payload = Arc::new(self.store.get(locator)?);
+        self.insert(*locator, Arc::clone(&payload));
+        Ok(payload)
+    }
+
+    /// Writes a chunk. The cache is a *read* cache (populated on get
+    /// misses, like a plain block cache); writes go straight to the chunk
+    /// store, whose IO scheduler already serves read-your-writes for
+    /// pending data.
+    pub fn put(
+        &self,
+        stream: Stream,
+        payload: &[u8],
+        dep: &Dependency,
+    ) -> Result<PutOutcome, ChunkError> {
+        let mut out = self.store.put(stream, payload, dep)?;
+        if self.faults.is(BugId::B8MissingPointerDependency) {
+            // BUG B8 (seeded): the cache's write path returned a dependency
+            // missing the soft-write-pointer superblock update, so callers
+            // observed persistence before the pointer covering the data
+            // was durable — after a crash the data is beyond the recovered
+            // write pointer and unreadable.
+            out.dep = out.data_dep.clone();
+        }
+        Ok(out)
+    }
+
+    /// Invalidates a single cache entry (e.g. on delete).
+    pub fn invalidate(&self, locator: &Locator) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.entries.remove(&key_of(locator)) {
+            st.bytes -= e.payload.len();
+        }
+    }
+
+    /// Drops every cached chunk stored on `extent`. Must be called when
+    /// the extent is reset.
+    pub fn drain_extent(&self, extent: ExtentId) {
+        let mut st = self.state.lock();
+        let victims: Vec<CacheKey> =
+            st.entries.keys().filter(|(e, _)| *e == extent.0).copied().collect();
+        for v in victims {
+            let e = st.entries.remove(&v).expect("listed key present");
+            st.bytes -= e.payload.len();
+            st.stats.drained += 1;
+        }
+        coverage::hit("cache.drain_extent");
+    }
+
+    /// Reclaims an extent through the underlying chunk store, draining the
+    /// cache for the reset extent (the fix for issue #2).
+    pub fn reclaim(
+        &self,
+        extent: ExtentId,
+        stream: Stream,
+        referencer: &dyn Referencer,
+    ) -> Result<Option<ReclaimReport>, ChunkError> {
+        let report = self.store.reclaim(extent, stream, referencer)?;
+        if report.is_some() {
+            if self.faults.is(BugId::B2CacheNotDrained) {
+                // BUG B2 (seeded): the cache is not drained after the
+                // reset, so stale payloads are served for locators that no
+                // longer exist on disk.
+                coverage::hit("cache.b2_skip_drain");
+            } else {
+                self.drain_extent(extent);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Drops the entire cache (e.g. on dirty reboot simulation, since the
+    /// cache is volatile state).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.bytes = 0;
+    }
+
+    /// Current cached byte total.
+    pub fn cached_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use shardstore_dependency::IoScheduler;
+    use shardstore_superblock::ExtentManager;
+    use shardstore_vdisk::{Disk, Geometry};
+
+    use super::*;
+
+    fn setup(capacity: usize, faults: FaultConfig) -> CachedChunkStore {
+        let disk = Disk::new(Geometry::small());
+        let sched = IoScheduler::new(disk);
+        let em = ExtentManager::format(sched, faults.clone());
+        let cs = ChunkStore::new(em, faults.clone(), 7);
+        CachedChunkStore::new(cs, faults, capacity)
+    }
+
+    fn pump(c: &CachedChunkStore) {
+        c.chunk_store().extent_manager().pump().unwrap();
+    }
+
+    #[test]
+    fn second_get_is_a_hit() {
+        let c = setup(1024, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let out = c.put(Stream::Data, b"cached", &none).unwrap();
+        pump(&c);
+        assert_eq!(*c.get(&out.locator).unwrap(), b"cached");
+        assert_eq!(*c.get(&out.locator).unwrap(), b"cached");
+        let stats = c.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn put_does_not_populate_the_read_cache() {
+        let c = setup(1024, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let out = c.put(Stream::Data, b"fresh", &none).unwrap();
+        pump(&c);
+        assert_eq!(c.cached_bytes(), 0);
+        // First read misses (and populates), second hits.
+        assert_eq!(*c.get(&out.locator).unwrap(), b"fresh");
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(*c.get(&out.locator).unwrap(), b"fresh");
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let c = setup(100, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let outs: Vec<_> =
+            (0..8u8).map(|i| c.put(Stream::Data, &vec![i; 40], &none).unwrap()).collect();
+        for out in &outs {
+            c.get(&out.locator).unwrap();
+        }
+        assert!(c.cached_bytes() <= 100);
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = setup(100, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let a = c.put(Stream::Data, &[1u8; 40], &none).unwrap();
+        let b = c.put(Stream::Data, &[2u8; 40], &none).unwrap();
+        pump(&c);
+        c.get(&a.locator).unwrap();
+        c.get(&b.locator).unwrap();
+        // Touch `a` so `b` is the LRU, then populate a third entry to
+        // force one eviction.
+        c.get(&a.locator).unwrap();
+        let d = c.put(Stream::Data, &[3u8; 40], &none).unwrap();
+        c.get(&d.locator).unwrap();
+        let before = c.stats();
+        c.get(&a.locator).unwrap(); // still cached
+        c.get(&b.locator).unwrap(); // evicted → miss
+        let after = c.stats();
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.misses - before.misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = setup(0, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let out = c.put(Stream::Data, b"raw", &none).unwrap();
+        pump(&c);
+        c.get(&out.locator).unwrap();
+        c.get(&out.locator).unwrap();
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn drain_after_reclaim_prevents_stale_reads() {
+        let c = setup(4096, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        // Unreferenced chunk: reclamation drops it and resets the extent.
+        let out = c.put(Stream::Data, b"doomed", &none).unwrap();
+        pump(&c);
+        c.get(&out.locator).unwrap(); // populate the read cache
+        drop(out.guard);
+        struct NoneLive;
+        impl Referencer for NoneLive {
+            fn is_live(&self, _l: &Locator) -> bool {
+                false
+            }
+            fn relocated(&self, _o: &Locator, _n: &Locator, d: &Dependency) -> Dependency {
+                d.clone()
+            }
+            fn quiesce(&self) -> Option<Dependency> {
+                None
+            }
+        }
+        c.reclaim(out.locator.extent, Stream::Data, &NoneLive).unwrap().unwrap();
+        // Fixed cache: the stale entry is gone; the get fails cleanly.
+        assert!(c.get(&out.locator).is_err());
+    }
+
+    #[test]
+    fn b2_seeded_cache_serves_stale_data_after_reclaim() {
+        let c = setup(4096, FaultConfig::seed(BugId::B2CacheNotDrained));
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let out = c.put(Stream::Data, b"stale!", &none).unwrap();
+        pump(&c);
+        c.get(&out.locator).unwrap(); // populate the read cache
+        drop(out.guard);
+        struct NoneLive;
+        impl Referencer for NoneLive {
+            fn is_live(&self, _l: &Locator) -> bool {
+                false
+            }
+            fn relocated(&self, _o: &Locator, _n: &Locator, d: &Dependency) -> Dependency {
+                d.clone()
+            }
+            fn quiesce(&self) -> Option<Dependency> {
+                None
+            }
+        }
+        c.reclaim(out.locator.extent, Stream::Data, &NoneLive).unwrap().unwrap();
+        // The buggy cache still serves the dead chunk.
+        assert_eq!(*c.get(&out.locator).unwrap(), b"stale!");
+        // The underlying store agrees it is gone.
+        assert!(c.chunk_store().get(&out.locator).is_err());
+    }
+
+    #[test]
+    fn b8_seeded_put_dependency_misses_pointer_update() {
+        use shardstore_vdisk::CrashPlan;
+        let c = setup(1024, FaultConfig::seed(BugId::B8MissingPointerDependency));
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let out = c.put(Stream::Data, b"early", &none).unwrap();
+        // Issue and flush only the data write, not the superblock update:
+        // the buggy dependency claims persistence.
+        let sched = c.chunk_store().extent_manager().scheduler().clone();
+        sched.issue_ready(1).unwrap();
+        sched.flush_issued().unwrap();
+        assert!(out.dep.is_persistent(), "buggy dep persists without the pointer update");
+        // Crash: after recovery the write pointer does not cover the data.
+        sched.crash(&CrashPlan::LoseAll);
+        let em2 = ExtentManager::recover(sched, FaultConfig::none()).unwrap();
+        assert_eq!(em2.write_pointer(out.locator.extent), 0);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let c = setup(1024, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let out = c.put(Stream::Data, b"x", &none).unwrap();
+        pump(&c);
+        c.get(&out.locator).unwrap();
+        assert!(c.cached_bytes() > 0);
+        c.clear();
+        assert_eq!(c.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_is_not_cached() {
+        let c = setup(10, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let out = c.put(Stream::Data, &[9u8; 50], &none).unwrap();
+        pump(&c);
+        assert_eq!(c.cached_bytes(), 0);
+        assert_eq!(*c.get(&out.locator).unwrap(), vec![9u8; 50]);
+        assert_eq!(c.stats().misses, 1);
+    }
+}

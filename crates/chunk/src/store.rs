@@ -1,0 +1,701 @@
+//! The chunk store: PUT/GET over locators, extent allocation, and the
+//! chunk-reclamation (GC) background task (§2.1 of the paper).
+//!
+//! All persistent data in ShardStore is stored in chunks — shard data and
+//! the LSM tree itself. The chunk store arranges chunks onto extents with
+//! `put(data) → locator` / `get(locator) → data`, and recovers free space
+//! with *reclamation*: scan an extent, reverse-look-up each chunk in the
+//! index (via the [`Referencer`] callback), evacuate live chunks to a new
+//! extent, update their pointers, and only then reset the extent — with
+//! the reset's superblock update depending on the evacuations and index
+//! updates, so no crash state loses data (§2.1, §5).
+//!
+//! Concurrency: a put can *pin* its target extent ([`PutGuard`]) until the
+//! caller has registered the chunk in its index; reclamation skips pinned
+//! extents. Skipping that pin is exactly the issue #11 / #14 bug family
+//! ([`BugId::B11LocatorRace`] seeds it at this layer).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shardstore_conc::sync::Mutex;
+use shardstore_dependency::Dependency;
+use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_superblock::{ExtentError, ExtentManager, Owner};
+use shardstore_vdisk::{ExtentId, IoError};
+
+use crate::frame::{encode_frame, scan_extent, FRAME_OVERHEAD};
+
+/// Which logical stream a chunk belongs to; each stream appends to its own
+/// open extent so that data with different lifetimes does not mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stream {
+    /// Shard data chunks.
+    Data,
+    /// Chunks backing the LSM tree.
+    Lsm,
+    /// LSM metadata records.
+    Meta,
+}
+
+impl Stream {
+    /// The extent [`Owner`] for this stream.
+    pub fn owner(self) -> Owner {
+        match self {
+            Stream::Data => Owner::Data,
+            Stream::Lsm => Owner::LsmData,
+            Stream::Meta => Owner::Metadata,
+        }
+    }
+}
+
+/// Opaque pointer to a stored chunk.
+///
+/// Locators are returned by [`ChunkStore::put`] and are unique per chunk
+/// (the UUID also frames the chunk on disk). Other components treat them
+/// as opaque — the paper's issue #15 was a reference model violating
+/// exactly that uniqueness assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Locator {
+    /// Extent holding the chunk.
+    pub extent: ExtentId,
+    /// Byte offset of the frame within the extent.
+    pub offset: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// The chunk's framing UUID.
+    pub uuid: u128,
+}
+
+impl fmt::Display for Locator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk@{}+{}:{}", self.extent.0, self.offset, self.len)
+    }
+}
+
+/// Chunk store errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// Underlying extent/disk error.
+    Extent(ExtentError),
+    /// The locator does not name a live chunk (deleted, reclaimed, or
+    /// never persisted).
+    NotFound(Locator),
+    /// The on-disk frame failed validation — corruption was *detected*
+    /// rather than wrong data returned (the §4.4 guarantee).
+    Corrupt(Locator),
+    /// No extent has room for a chunk of this size.
+    NoSpace {
+        /// The payload size that could not be placed.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::Extent(e) => write!(f, "extent error: {e}"),
+            ChunkError::NotFound(l) => write!(f, "{l} not found"),
+            ChunkError::Corrupt(l) => write!(f, "{l} failed validation"),
+            ChunkError::NoSpace { requested } => write!(f, "no space for {requested}-byte chunk"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+impl From<ExtentError> for ChunkError {
+    fn from(e: ExtentError) -> Self {
+        ChunkError::Extent(e)
+    }
+}
+
+impl From<IoError> for ChunkError {
+    fn from(e: IoError) -> Self {
+        ChunkError::Extent(ExtentError::Io(e))
+    }
+}
+
+/// Reverse-lookup callback used by reclamation (§2.1): the index (or the
+/// LSM metadata structure, for LSM-owned extents) decides which chunks are
+/// still referenced and rewires pointers for evacuated chunks.
+pub trait Referencer {
+    /// Returns true if the chunk at `locator` is still referenced.
+    fn is_live(&self, locator: &Locator) -> bool;
+
+    /// Informs the referencer that a live chunk moved from `old` to
+    /// `new`; `copy_dep` is the data dependency of the evacuated copy.
+    /// Returns the dependency of the pointer update (which must itself
+    /// depend on `copy_dep` — pointers must never persist before the data
+    /// they point to).
+    fn relocated(&self, old: &Locator, new: &Locator, copy_dep: &Dependency) -> Dependency;
+
+    /// Returns a dependency that persists only once the referencer's
+    /// *current* reference state is durable. Reclamation joins this into
+    /// the extent-reset barrier: a chunk that is unreferenced *now* may
+    /// still be referenced by an older persisted index state, and
+    /// resetting its extent before the current state persists would let a
+    /// crash recover to an index with dangling pointers. For the LSM
+    /// index this triggers a flush and returns the resulting metadata
+    /// record's dependency. Returning `None` means the referencer's state
+    /// is purely in-memory and imposes no ordering (test doubles).
+    fn quiesce(&self) -> Option<Dependency>;
+}
+
+/// Outcome of one reclamation pass.
+#[derive(Debug, Clone)]
+pub struct ReclaimReport {
+    /// The reclaimed extent.
+    pub extent: ExtentId,
+    /// Chunks evacuated (live).
+    pub evacuated: usize,
+    /// Chunks dropped (unreferenced).
+    pub dropped: usize,
+    /// Dependency of the extent reset; persists only after every
+    /// evacuation and pointer update has.
+    pub reset_dep: Dependency,
+}
+
+/// Cumulative chunk-store statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Successful puts.
+    pub puts: u64,
+    /// Successful gets.
+    pub gets: u64,
+    /// Reclamation passes completed.
+    pub reclaims: u64,
+    /// Chunks evacuated by reclamation.
+    pub evacuated: u64,
+    /// Chunks dropped by reclamation.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChunkMeta {
+    len: u32,
+    uuid: u128,
+    /// Deletion hint for victim selection (not authoritative liveness —
+    /// reclamation always reverse-looks-up through the [`Referencer`]).
+    dead_hint: bool,
+}
+
+#[derive(Debug)]
+struct CsState {
+    /// Per-extent chunk registry: extent → offset → metadata.
+    registry: BTreeMap<u32, BTreeMap<u32, ChunkMeta>>,
+    /// Current append target per stream.
+    open: BTreeMap<Stream, ExtentId>,
+    /// Extents pinned by in-flight puts; reclamation must skip them.
+    pinned: BTreeMap<u32, usize>,
+    /// Extents currently being reclaimed; puts must not target them.
+    reclaiming: std::collections::BTreeSet<u32>,
+    uuid_rng: StdRng,
+    forced_uuid: Option<u128>,
+    stats: ChunkStats,
+}
+
+/// The chunk store. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct ChunkStore {
+    core: Arc<CsCore>,
+}
+
+struct CsCore {
+    em: ExtentManager,
+    faults: FaultConfig,
+    state: Mutex<CsState>,
+}
+
+impl fmt::Debug for ChunkStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.core.state.lock();
+        f.debug_struct("ChunkStore").field("extents", &st.registry.len()).finish()
+    }
+}
+
+/// Result of a successful [`ChunkStore::put`].
+#[derive(Debug)]
+pub struct PutOutcome {
+    /// The stored chunk's locator.
+    pub locator: Locator,
+    /// Dependency of the chunk's raw data write only — for building
+    /// ordering barriers (see [`shardstore_superblock::AppendOutcome`]).
+    pub data_dep: Dependency,
+    /// Full dependency: data plus its superblock pointer coverage.
+    pub dep: Dependency,
+    /// Extent pin; hold until the chunk is referenced by an index.
+    pub guard: PutGuard,
+}
+
+impl PutOutcome {
+    /// Destructures into the common `(locator, dep, guard)` triple.
+    pub fn into_parts(self) -> (Locator, Dependency, PutGuard) {
+        (self.locator, self.dep, self.guard)
+    }
+}
+
+/// RAII pin on an extent: while alive, reclamation will not touch the
+/// extent. Held by `put` callers until the chunk is referenced by an
+/// index (the fix for issues #11/#14).
+#[derive(Debug)]
+pub struct PutGuard {
+    store: ChunkStore,
+    extent: ExtentId,
+}
+
+impl Drop for PutGuard {
+    fn drop(&mut self) {
+        let mut st = self.store.core.state.lock();
+        if let Some(n) = st.pinned.get_mut(&self.extent.0) {
+            *n -= 1;
+            if *n == 0 {
+                st.pinned.remove(&self.extent.0);
+            }
+        }
+    }
+}
+
+impl ChunkStore {
+    /// Creates a chunk store over an extent manager. `uuid_seed` makes
+    /// chunk UUIDs deterministic for reproducible tests (§4.3's
+    /// determinism-by-design principle).
+    pub fn new(em: ExtentManager, faults: FaultConfig, uuid_seed: u64) -> Self {
+        Self {
+            core: Arc::new(CsCore {
+                em,
+                faults,
+                state: Mutex::new(CsState {
+                    registry: BTreeMap::new(),
+                    open: BTreeMap::new(),
+                    pinned: BTreeMap::new(),
+                    reclaiming: std::collections::BTreeSet::new(),
+                    uuid_rng: StdRng::seed_from_u64(uuid_seed),
+                    forced_uuid: None,
+                    stats: ChunkStats::default(),
+                }),
+            }),
+        }
+    }
+
+    /// Rebuilds the chunk registry after a reboot by scanning every owned
+    /// extent up to its recovered soft write pointer.
+    pub fn recover(em: ExtentManager, faults: FaultConfig, uuid_seed: u64) -> Result<Self, ChunkError> {
+        let store = Self::new(em, faults, uuid_seed);
+        let page_size = store.core.em.scheduler().disk().geometry().page_size;
+        let extent_size = store.core.em.extent_size();
+        for owner in [Owner::Data, Owner::LsmData, Owner::Metadata] {
+            for extent in store.core.em.extents_owned_by(owner) {
+                // Chunks are trusted — and registered — only below the
+                // *persisted* write pointer. Bytes beyond it are either
+                // torn residue of unacknowledged appends or dead data
+                // from a reset whose space has not been reused; neither
+                // may be resurrected.
+                let sb_ptr = store.core.em.write_pointer(extent);
+                let frames = if sb_ptr > 0 {
+                    let buf = store.core.em.read(extent, 0, sb_ptr)?;
+                    coverage::hit("chunk.recover.scan_extent");
+                    scan_extent(&buf, sb_ptr, page_size, &store.core.faults)
+                } else {
+                    Vec::new()
+                };
+                let last_valid_end = frames.last().map(|f| f.end()).unwrap_or(0);
+                {
+                    let mut st = store.core.state.lock();
+                    let per = st.registry.entry(extent.0).or_default();
+                    for f in frames {
+                        per.insert(
+                            f.offset as u32,
+                            ChunkMeta { len: f.payload_len as u32, uuid: f.uuid, dead_hint: false },
+                        );
+                    }
+                }
+                // Position the pointer for future appends: past the last
+                // valid chunk AND past any physical garbage, rounded up
+                // to a page boundary. Garbage below the pointer arises
+                // from torn pages of a covered-but-partially-lost append;
+                // garbage above it from appends whose pointer update the
+                // crash dropped, or from an earlier reset. Appending into
+                // the middle of such residue would let a later scan
+                // misparse the mix — the §5 scenario, where "a second
+                // chunk is written to the same extent, starting from
+                // page 1".
+                let raw = store.core.em.scheduler().disk().read(extent, 0, extent_size)?;
+                let garbage_end =
+                    raw.iter().rposition(|b| *b != 0).map(|i| i + 1).unwrap_or(0);
+                let new_ptr = if garbage_end > last_valid_end {
+                    (garbage_end.div_ceil(page_size) * page_size).min(extent_size)
+                } else {
+                    last_valid_end
+                };
+                if new_ptr > sb_ptr {
+                    store.core.em.extend_pointer_for_recovery(extent, new_ptr);
+                    coverage::hit("chunk.recover.pointer_extended");
+                } else if new_ptr < sb_ptr {
+                    store.core.em.trim_pointer_for_recovery(extent, new_ptr);
+                    coverage::hit("chunk.recover.torn_tail_trimmed");
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// The underlying extent manager.
+    pub fn extent_manager(&self) -> &ExtentManager {
+        &self.core.em
+    }
+
+    /// Forces the next generated UUID (test support for the §5 collision
+    /// scenario).
+    #[doc(hidden)]
+    pub fn force_next_uuid(&self, uuid: u128) {
+        self.core.state.lock().forced_uuid = Some(uuid);
+    }
+
+    fn next_uuid(st: &mut CsState) -> u128 {
+        if let Some(u) = st.forced_uuid.take() {
+            return u;
+        }
+        st.uuid_rng.gen()
+    }
+
+    /// Picks (or allocates) the open extent for `stream` with room for
+    /// `frame_len` bytes.
+    fn target_extent(&self, stream: Stream, frame_len: usize) -> Result<ExtentId, ChunkError> {
+        let size = self.core.em.extent_size();
+        if frame_len > size {
+            return Err(ChunkError::NoSpace { requested: frame_len });
+        }
+        // Fast path: current open extent fits (and is not mid-reclaim).
+        {
+            let st = self.core.state.lock();
+            if let Some(ext) = st.open.get(&stream).copied() {
+                if !st.reclaiming.contains(&ext.0)
+                    && self.core.em.write_pointer(ext) + frame_len <= size
+                {
+                    return Ok(ext);
+                }
+            }
+        }
+        coverage::hit("chunk.put.open_new_extent");
+        // Try an existing partially-filled extent of this stream, else
+        // allocate a fresh one.
+        for ext in self.core.em.extents_owned_by(stream.owner()) {
+            if self.core.state.lock().reclaiming.contains(&ext.0) {
+                continue;
+            }
+            if self.core.em.write_pointer(ext) + frame_len <= size {
+                self.core.state.lock().open.insert(stream, ext);
+                return Ok(ext);
+            }
+        }
+        match self.core.em.allocate(stream.owner()) {
+            Ok((ext, _dep)) => {
+                self.core.state.lock().open.insert(stream, ext);
+                Ok(ext)
+            }
+            Err(ExtentError::NoFreeExtent) => Err(ChunkError::NoSpace { requested: frame_len }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Stores a chunk. The write will not be issued until `dep` persists;
+    /// the returned dependency persists once the chunk and its write
+    /// pointer have. The returned [`PutGuard`] pins the target extent
+    /// against reclamation; hold it until the chunk is referenced by an
+    /// index.
+    pub fn put(
+        &self,
+        stream: Stream,
+        payload: &[u8],
+        dep: &Dependency,
+    ) -> Result<PutOutcome, ChunkError> {
+        let frame_len = payload.len() + FRAME_OVERHEAD;
+        let extent = loop {
+            let candidate = self.target_extent(stream, frame_len)?;
+            let mut st = self.core.state.lock();
+            // Re-validate under the pin lock: a reclamation may have
+            // claimed the candidate between target selection and here
+            // (it checks pins and marks `reclaiming` atomically, so after
+            // pinning we must observe its mark if it got in first).
+            if st.reclaiming.contains(&candidate.0) {
+                drop(st);
+                shardstore_conc::yield_now();
+                continue;
+            }
+            if !self.core.faults.is(BugId::B11LocatorRace) {
+                *st.pinned.entry(candidate.0).or_insert(0) += 1;
+            }
+            break candidate;
+        };
+        let mut st = self.core.state.lock();
+        let uuid = Self::next_uuid(&mut st);
+        drop(st);
+        let frame = encode_frame(payload, uuid);
+        let append = self.core.em.append(extent, &frame, dep);
+        let outcome = match append {
+            Ok(v) => v,
+            Err(e) => {
+                if !self.core.faults.is(BugId::B11LocatorRace) {
+                    let mut st = self.core.state.lock();
+                    if let Some(n) = st.pinned.get_mut(&extent.0) {
+                        *n -= 1;
+                        if *n == 0 {
+                            st.pinned.remove(&extent.0);
+                        }
+                    }
+                }
+                if let ExtentError::ExtentFull { .. } = e {
+                    // Lost a race for the open extent; retry once with a
+                    // fresh target.
+                    coverage::hit("chunk.put.retry_full");
+                    return self.put(stream, payload, dep);
+                }
+                return Err(e.into());
+            }
+        };
+        let locator =
+            Locator { extent, offset: outcome.offset as u32, len: payload.len() as u32, uuid };
+        let mut st = self.core.state.lock();
+        st.registry.entry(extent.0).or_default().insert(
+            locator.offset,
+            ChunkMeta { len: locator.len, uuid, dead_hint: false },
+        );
+        st.stats.puts += 1;
+        if self.core.faults.is(BugId::B11LocatorRace) {
+            // BUG B11 (seeded): no pin is taken, so between this put
+            // returning and the caller registering the locator in its
+            // index, a concurrent reclamation can scan the extent, find
+            // the chunk unreferenced, and reset the extent — invalidating
+            // the locator.
+            drop(st);
+            return Ok(PutOutcome {
+                locator,
+                data_dep: outcome.data,
+                dep: outcome.dep,
+                guard: PutGuard { store: self.clone(), extent: ExtentId(u32::MAX) },
+            });
+        }
+        drop(st);
+        Ok(PutOutcome {
+            locator,
+            data_dep: outcome.data,
+            dep: outcome.dep,
+            guard: PutGuard { store: self.clone(), extent },
+        })
+    }
+
+    /// Reads a chunk back, validating its frame. Corruption is detected
+    /// and reported as [`ChunkError::Corrupt`] — never returned as data.
+    pub fn get(&self, locator: &Locator) -> Result<Vec<u8>, ChunkError> {
+        {
+            let st = self.core.state.lock();
+            let known = st
+                .registry
+                .get(&locator.extent.0)
+                .and_then(|per| per.get(&locator.offset))
+                .map(|m| m.uuid == locator.uuid && m.len == locator.len)
+                .unwrap_or(false);
+            if !known {
+                coverage::hit("chunk.get.not_found");
+                return Err(ChunkError::NotFound(*locator));
+            }
+        }
+        let frame_len = locator.len as usize + FRAME_OVERHEAD;
+        let bytes = self.core.em.read(locator.extent, locator.offset as usize, frame_len)?;
+        let decoded = crate::frame::decode_frame_at(&bytes, 0, bytes.len())
+            .map_err(|_| ChunkError::Corrupt(*locator))?;
+        if decoded.uuid != locator.uuid || decoded.payload_len != locator.len as usize {
+            coverage::hit("chunk.get.corrupt");
+            return Err(ChunkError::Corrupt(*locator));
+        }
+        self.core.state.lock().stats.gets += 1;
+        Ok(decoded.payload(&bytes).to_vec())
+    }
+
+    /// Marks a chunk as probably-dead (a victim-selection hint; liveness
+    /// is always re-established by the [`Referencer`] during reclamation).
+    pub fn mark_dead(&self, locator: &Locator) {
+        let mut st = self.core.state.lock();
+        if let Some(meta) =
+            st.registry.get_mut(&locator.extent.0).and_then(|per| per.get_mut(&locator.offset))
+        {
+            if meta.uuid == locator.uuid {
+                meta.dead_hint = true;
+            }
+        }
+    }
+
+    /// Picks the best reclamation victim for a stream: the non-pinned
+    /// extent with the most dead-hinted bytes (ties broken by lowest id).
+    /// Returns `None` if nothing is worth reclaiming. The stream's open
+    /// extent is a legitimate victim: reclamation marks it and concurrent
+    /// puts re-target atomically.
+    pub fn select_victim(&self, stream: Stream) -> Option<ExtentId> {
+        let st = self.core.state.lock();
+        let _ = stream;
+        let mut best: Option<(u64, ExtentId)> = None;
+        for ext in self.core.em.extents_owned_by(stream.owner()) {
+            if st.pinned.contains_key(&ext.0) || st.reclaiming.contains(&ext.0) {
+                continue;
+            }
+            let dead: u64 = st
+                .registry
+                .get(&ext.0)
+                .map(|per| {
+                    per.values()
+                        .filter(|m| m.dead_hint)
+                        .map(|m| m.len as u64 + FRAME_OVERHEAD as u64)
+                        .sum()
+                })
+                .unwrap_or(0);
+            if dead > 0 && best.map(|(b, _)| dead > b).unwrap_or(true) {
+                best = Some((dead, ext));
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+
+    /// Reclaims an extent (§2.1): scans it, evacuates chunks the
+    /// `referencer` still references, drops the rest, and resets the
+    /// extent with a dependency on all evacuations and pointer updates.
+    ///
+    /// Returns `Ok(None)` if the extent is pinned or open (the fixed
+    /// behaviour; with [`BugId::B11LocatorRace`] seeded pins do not exist,
+    /// making this the race window).
+    pub fn reclaim(
+        &self,
+        extent: ExtentId,
+        stream: Stream,
+        referencer: &dyn Referencer,
+    ) -> Result<Option<ReclaimReport>, ChunkError> {
+        {
+            let mut st = self.core.state.lock();
+            if st.pinned.contains_key(&extent.0) {
+                coverage::hit("chunk.reclaim.skipped_pinned");
+                return Ok(None);
+            }
+            // Exclude the victim from put targets: evacuations must never
+            // land on the extent about to be reset.
+            st.reclaiming.insert(extent.0);
+            st.open.retain(|_, e| *e != extent);
+        }
+        let result = self.reclaim_inner(extent, stream, referencer);
+        self.core.state.lock().reclaiming.remove(&extent.0);
+        result
+    }
+
+    fn reclaim_inner(
+        &self,
+        extent: ExtentId,
+        stream: Stream,
+        referencer: &dyn Referencer,
+    ) -> Result<Option<ReclaimReport>, ChunkError> {
+        let write_ptr = self.core.em.write_pointer(extent);
+        let page_size = self.core.em.scheduler().disk().geometry().page_size;
+        let scan_result = if write_ptr == 0 {
+            Vec::new()
+        } else {
+            match self.core.em.read(extent, 0, write_ptr) {
+                Ok(buf) => scan_extent(&buf, write_ptr, page_size, &self.core.faults),
+                Err(e) => {
+                    if self.core.faults.is(BugId::B5ReclamationTransientError) {
+                        // BUG B5 (seeded): a transient read error is
+                        // treated as "extent empty", so every chunk on it
+                        // is forgotten and the reset drops live data.
+                        coverage::hit("chunk.reclaim.b5_swallowed_error");
+                        Vec::new()
+                    } else {
+                        // Fixed: abort the pass; the extent is retried
+                        // later.
+                        coverage::hit("chunk.reclaim.aborted_io_error");
+                        return Err(e.into());
+                    }
+                }
+            }
+        };
+        let mut evacuated = 0usize;
+        let mut dropped = 0usize;
+        let mut deps: Vec<Dependency> = Vec::new();
+        let mut guards: Vec<PutGuard> = Vec::new();
+        for frame in &scan_result {
+            let old = Locator {
+                extent,
+                offset: frame.offset as u32,
+                len: frame.payload_len as u32,
+                uuid: frame.uuid,
+            };
+            if referencer.is_live(&old) {
+                coverage::hit("chunk.reclaim.evacuate");
+                // Read through the registry-validating path.
+                let payload = self.get(&old)?;
+                let none = self.core.em.scheduler().none();
+                let out = self.put(stream, &payload, &none)?;
+                if std::env::var_os("GC_TRACE").is_some() {
+                    eprintln!("GC: evacuate {} -> {}", old, out.locator);
+                }
+                let ptr_dep = referencer.relocated(&old, &out.locator, &out.data_dep);
+                deps.push(out.data_dep.clone());
+                deps.push(ptr_dep);
+                guards.push(out.guard);
+                evacuated += 1;
+            } else {
+                coverage::hit("chunk.reclaim.drop");
+                dropped += 1;
+            }
+        }
+        if std::env::var_os("GC_TRACE").is_some() {
+            eprintln!("GC: reset extent {} (evacuated {evacuated}, dropped {dropped})", extent.0);
+        }
+        // Reset: pointer to zero, dependent on every evacuation + pointer
+        // update, plus the referencer's quiescence point (so a crash can
+        // never recover to an index state referencing dropped chunks).
+        if let Some(q) = referencer.quiesce() {
+            deps.push(q);
+        }
+        let barrier = self.core.em.scheduler().join(&deps);
+        let reset_dep = self.core.em.reset(extent, &barrier);
+        {
+            let mut st = self.core.state.lock();
+            st.registry.remove(&extent.0);
+            // The reclaimed extent is no longer anyone's open extent.
+            st.open.retain(|_, e| *e != extent);
+            st.stats.reclaims += 1;
+            st.stats.evacuated += evacuated as u64;
+            st.stats.dropped += dropped as u64;
+        }
+        drop(guards);
+        Ok(Some(ReclaimReport { extent, evacuated, dropped, reset_dep }))
+    }
+
+    /// All live locators currently registered, in deterministic order
+    /// (test/debug support).
+    pub fn registered_locators(&self) -> Vec<Locator> {
+        let st = self.core.state.lock();
+        let mut out = Vec::new();
+        for (ext, per) in &st.registry {
+            for (off, meta) in per {
+                out.push(Locator {
+                    extent: ExtentId(*ext),
+                    offset: *off,
+                    len: meta.len,
+                    uuid: meta.uuid,
+                });
+            }
+        }
+        out
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ChunkStats {
+        self.core.state.lock().stats
+    }
+
+    /// The fault configuration.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.core.faults
+    }
+}

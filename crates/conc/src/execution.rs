@@ -1,0 +1,463 @@
+//! The controlled-execution engine.
+//!
+//! A checked execution runs every *task* (logical thread) on a real OS
+//! thread, but only ever lets one task run at a time: a task owns the *turn*
+//! until it reaches a scheduling point (a lock, condvar, atomic, spawn, join
+//! or explicit yield), at which point the active [`Scheduler`] picks the
+//! next task to run. This serializes the program while still exercising
+//! real concurrent interleavings, exactly like the Shuttle checker the
+//! paper uses.
+//!
+//! The engine also performs deadlock detection: if every unfinished task is
+//! blocked, the execution aborts with a per-task diagnosis of what each
+//! task was waiting for.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::scheduler::Scheduler;
+
+/// Identifier of a task (logical thread) within one checked execution.
+///
+/// Task 0 is always the root task (the closure passed to `check`); spawned
+/// tasks get consecutive ids in spawn order, which is deterministic for a
+/// deterministic test body under a fixed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// What a blocked task is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resource {
+    /// Waiting to acquire a mutex (keyed by the mutex's address).
+    Mutex(usize),
+    /// Waiting to acquire a read lock.
+    RwRead(usize),
+    /// Waiting to acquire a write lock.
+    RwWrite(usize),
+    /// Waiting on a condition variable.
+    Condvar(usize),
+    /// Waiting for another task to finish.
+    Join(TaskId),
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Mutex(a) => write!(f, "mutex@{a:#x}"),
+            Resource::RwRead(a) => write!(f, "rwlock(read)@{a:#x}"),
+            Resource::RwWrite(a) => write!(f, "rwlock(write)@{a:#x}"),
+            Resource::Condvar(a) => write!(f, "condvar@{a:#x}"),
+            Resource::Join(t) => write!(f, "join({t})"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TaskStatus {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// Why an execution aborted before completing normally.
+#[derive(Debug, Clone)]
+pub(crate) enum AbortReason {
+    /// A task panicked with this message.
+    Failure(String),
+    /// Every live task was blocked; the payload describes each blocked task.
+    Deadlock(Vec<(TaskId, String)>),
+    /// The execution exceeded the configured step limit (possible livelock).
+    StepLimit(usize),
+}
+
+/// Sentinel panic payload used to unwind tasks when an execution aborts.
+///
+/// Task wrappers recognize this payload and do not treat it as a failure.
+pub(crate) struct AbortPanic;
+
+struct TaskState {
+    status: TaskStatus,
+    name: String,
+}
+
+pub(crate) struct ExecState {
+    tasks: Vec<TaskState>,
+    current: Option<TaskId>,
+    scheduler: Option<Box<dyn Scheduler>>,
+    /// The recorded schedule: the task chosen at each scheduling decision.
+    schedule: Vec<TaskId>,
+    abort: Option<AbortReason>,
+    steps: usize,
+    max_steps: usize,
+    live_tasks: usize,
+    done: bool,
+}
+
+/// Shared state of one checked execution.
+pub(crate) struct ExecutionInner {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<ExecutionInner>, TaskId)>> = const { RefCell::new(None) };
+}
+
+/// Returns the active execution and task for this OS thread, if any.
+pub(crate) fn current() -> Option<(Arc<ExecutionInner>, TaskId)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Returns true if this thread is running inside a checked execution.
+pub fn is_controlled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Returns the current task id inside a checked execution, if any.
+pub fn current_task_id() -> Option<TaskId> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(_, t)| *t))
+}
+
+/// Explicit scheduling point: lets the checker switch to another task
+/// here, hinting priority-based schedulers to deprioritize the yielder
+/// (so spin loops built on `yield_now` cannot starve their partners).
+///
+/// Outside a checked execution this is a no-op.
+pub fn yield_now() {
+    if let Some((exec, me)) = current() {
+        exec.yield_hint(me);
+        exec.schedule_point(me);
+    }
+}
+
+/// RAII registration of the current OS thread as a controlled task.
+pub(crate) struct TaskRegistration;
+
+impl TaskRegistration {
+    pub(crate) fn enter(exec: Arc<ExecutionInner>, task: TaskId) -> Self {
+        CURRENT.with(|c| *c.borrow_mut() = Some((exec, task)));
+        TaskRegistration
+    }
+}
+
+impl Drop for TaskRegistration {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+impl ExecutionInner {
+    /// Creates an execution with a root task (id 0) holding the turn.
+    pub(crate) fn new(scheduler: Box<dyn Scheduler>, max_steps: usize) -> Arc<Self> {
+        Arc::new(ExecutionInner {
+            state: Mutex::new(ExecState {
+                tasks: vec![TaskState { status: TaskStatus::Runnable, name: "root".into() }],
+                current: Some(TaskId(0)),
+                scheduler: Some(scheduler),
+                schedule: Vec::new(),
+                abort: None,
+                steps: 0,
+                max_steps,
+                live_tasks: 1,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Registers a newly spawned task and returns its id. Called by the
+    /// spawner while it holds the turn.
+    pub(crate) fn spawn_task(&self, name: String) -> TaskId {
+        let mut st = self.state.lock();
+        let id = TaskId(st.tasks.len());
+        st.tasks.push(TaskState { status: TaskStatus::Runnable, name });
+        st.live_tasks += 1;
+        if let Some(s) = st.scheduler.as_mut() {
+            s.on_spawn(id);
+        }
+        id
+    }
+
+    /// A freshly spawned task parks here until it is first scheduled.
+    pub(crate) fn wait_for_turn(&self, me: TaskId) {
+        let mut st = self.state.lock();
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortPanic);
+            }
+            if st.current == Some(me) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    fn runnable(st: &ExecState) -> Vec<TaskId> {
+        st.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == TaskStatus::Runnable)
+            .map(|(i, _)| TaskId(i))
+            .collect()
+    }
+
+    /// Picks the next task to run and hands it the turn. Caller must hold
+    /// the state lock; `me` is the task giving up the turn (it may be
+    /// blocked or finished at this point). Returns false when a deadlock
+    /// was declared instead.
+    fn dispatch(&self, st: &mut ExecState) -> bool {
+        let runnable = Self::runnable(st);
+        if runnable.is_empty() {
+            if st.live_tasks == 0 {
+                st.done = true;
+                st.current = None;
+                self.cv.notify_all();
+                return true;
+            }
+            // Every live task is blocked: deadlock.
+            let blocked = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match &t.status {
+                    TaskStatus::Blocked(r) => {
+                        Some((TaskId(i), format!("{} blocked on {}", t.name, r)))
+                    }
+                    _ => None,
+                })
+                .collect();
+            st.abort = Some(AbortReason::Deadlock(blocked));
+            st.current = None;
+            self.cv.notify_all();
+            return false;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.abort = Some(AbortReason::StepLimit(st.max_steps));
+            st.current = None;
+            self.cv.notify_all();
+            return false;
+        }
+        let current = st.current;
+        let mut scheduler = st.scheduler.take().expect("scheduler present during execution");
+        let next = scheduler.next_task(&runnable, current);
+        st.scheduler = Some(scheduler);
+        debug_assert!(runnable.contains(&next), "scheduler chose a non-runnable task");
+        st.schedule.push(next);
+        st.current = Some(next);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Records an explicit-yield hint for the scheduler.
+    pub(crate) fn yield_hint(&self, me: TaskId) {
+        let mut st = self.state.lock();
+        if let Some(s) = st.scheduler.as_mut() {
+            s.on_yield(me);
+        }
+    }
+
+    /// A scheduling point: the current task offers to yield the turn.
+    pub(crate) fn schedule_point(&self, me: TaskId) {
+        let mut st = self.state.lock();
+        if st.abort.is_some() {
+            drop(st);
+            panic::panic_any(AbortPanic);
+        }
+        debug_assert_eq!(st.current, Some(me), "schedule_point by a task without the turn");
+        if !self.dispatch(&mut st) {
+            drop(st);
+            panic::panic_any(AbortPanic);
+        }
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortPanic);
+            }
+            if st.current == Some(me) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Blocks the current task on `resource` and yields the turn. Returns
+    /// once the task has been unblocked and rescheduled.
+    pub(crate) fn block_on(&self, me: TaskId, resource: Resource) {
+        let mut st = self.state.lock();
+        if st.abort.is_some() {
+            drop(st);
+            panic::panic_any(AbortPanic);
+        }
+        debug_assert_eq!(st.current, Some(me), "block_on by a task without the turn");
+        st.tasks[me.0].status = TaskStatus::Blocked(resource);
+        if !self.dispatch(&mut st) {
+            drop(st);
+            panic::panic_any(AbortPanic);
+        }
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortPanic);
+            }
+            if st.current == Some(me) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Marks every task blocked on a matching resource as runnable.
+    ///
+    /// Woken tasks do not run until the scheduler picks them; mutex waiters
+    /// re-try their acquisition and re-block if they lose the race, which
+    /// gives broadcast wakeup semantics.
+    pub(crate) fn unblock_where(&self, pred: impl Fn(&Resource) -> bool) {
+        let mut st = self.state.lock();
+        for t in st.tasks.iter_mut() {
+            if let TaskStatus::Blocked(r) = &t.status {
+                if pred(r) {
+                    t.status = TaskStatus::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Wakes at most `n` tasks blocked on the condvar with address `addr`,
+    /// in task-id order. Returns how many were woken.
+    pub(crate) fn notify_condvar(&self, addr: usize, n: usize) -> usize {
+        let mut st = self.state.lock();
+        let mut woken = 0;
+        for t in st.tasks.iter_mut() {
+            if woken == n {
+                break;
+            }
+            if t.status == TaskStatus::Blocked(Resource::Condvar(addr)) {
+                t.status = TaskStatus::Runnable;
+                woken += 1;
+            }
+        }
+        woken
+    }
+
+    /// Returns true if the given task has finished.
+    pub(crate) fn is_finished(&self, task: TaskId) -> bool {
+        let st = self.state.lock();
+        st.tasks[task.0].status == TaskStatus::Finished
+    }
+
+    /// Marks the current task finished, records a failure if it panicked,
+    /// wakes joiners, and passes the turn on.
+    pub(crate) fn finish_task(&self, me: TaskId, failure: Option<String>) {
+        let mut st = self.state.lock();
+        st.tasks[me.0].status = TaskStatus::Finished;
+        st.live_tasks -= 1;
+        for t in st.tasks.iter_mut() {
+            if t.status == TaskStatus::Blocked(Resource::Join(me)) {
+                t.status = TaskStatus::Runnable;
+            }
+        }
+        if let Some(msg) = failure {
+            if st.abort.is_none() {
+                st.abort = Some(AbortReason::Failure(msg));
+            }
+            st.current = None;
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort.is_some() {
+            // Aborting: just make sure everyone gets to observe it.
+            self.cv.notify_all();
+            return;
+        }
+        debug_assert_eq!(st.current, Some(me));
+        self.dispatch(&mut st);
+    }
+
+    /// Waits until the execution completes or aborts, then returns the
+    /// recorded schedule and the abort reason (if any). Also waits for all
+    /// task threads to have finished unwinding so the next iteration starts
+    /// clean.
+    pub(crate) fn wait_outcome(&self) -> (Vec<TaskId>, Option<AbortReason>) {
+        let mut st = self.state.lock();
+        loop {
+            if st.done || st.abort.is_some() {
+                break;
+            }
+            self.cv.wait(&mut st);
+        }
+        // On abort, tasks still parked in wait loops will panic with the
+        // sentinel as soon as they observe the abort flag; wait for them.
+        while st.live_tasks > 0 {
+            self.cv.notify_all();
+            self.cv.wait(&mut st);
+        }
+        (st.schedule.clone(), st.abort.clone())
+    }
+
+    /// Notifies the controller that a task thread has fully exited.
+    pub(crate) fn task_thread_exited(&self) {
+        let _st = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    /// Retrieves the scheduler after the execution has completed.
+    pub(crate) fn take_scheduler(&self) -> Box<dyn Scheduler> {
+        self.state.lock().scheduler.take().expect("scheduler present after execution")
+    }
+
+    /// Number of scheduling decisions taken so far.
+    pub(crate) fn steps(&self) -> usize {
+        self.state.lock().steps
+    }
+}
+
+/// Runs `body` as the root task of `exec` on the current thread, catching
+/// panics. Returns the failure message if the body panicked for real.
+pub(crate) fn run_task<F: FnOnce()>(
+    exec: &Arc<ExecutionInner>,
+    task: TaskId,
+    body: F,
+) -> Option<String> {
+    let _reg = TaskRegistration::enter(Arc::clone(exec), task);
+    exec.wait_for_turn(task);
+    let result = panic::catch_unwind(panic::AssertUnwindSafe(body));
+    match result {
+        Ok(()) => {
+            exec.finish_task(task, None);
+            None
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<AbortPanic>().is_some() {
+                exec.finish_task(task, None);
+                None
+            } else {
+                let msg = panic_message(&payload);
+                exec.finish_task(task, Some(msg.clone()));
+                Some(msg)
+            }
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
+    }
+}

@@ -1,0 +1,225 @@
+//! The checking loop: run a closure under many schedules and report the
+//! first failing one as a replayable artifact.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::execution::{run_task, AbortReason, ExecutionInner, TaskId};
+use crate::scheduler::{ReplayScheduler, Scheduler, SchedulerKind};
+
+/// A recorded schedule: the task chosen at every scheduling decision.
+///
+/// Together with the (deterministic) test body, a schedule fully determines
+/// an execution, so a failing schedule can be replayed with [`replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule(pub Vec<TaskId>);
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", t.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Options for [`check`].
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// The scheduling strategy.
+    pub scheduler: SchedulerKind,
+    /// Maximum number of executions to run.
+    pub iterations: usize,
+    /// Per-execution scheduling-decision budget (livelock guard).
+    pub max_steps: usize,
+}
+
+impl CheckOptions {
+    /// Random-walk checking (Shuttle-style) with a seed and iteration count.
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Self { scheduler: SchedulerKind::Random { seed }, iterations, max_steps: 200_000 }
+    }
+
+    /// PCT checking with a seed, bug depth, and iteration count.
+    pub fn pct(seed: u64, depth: usize, iterations: usize) -> Self {
+        Self { scheduler: SchedulerKind::Pct { seed, depth }, iterations, max_steps: 200_000 }
+    }
+
+    /// Bounded exhaustive DFS (Loom-style) with an iteration cap.
+    pub fn dfs(max_iterations: usize) -> Self {
+        Self { scheduler: SchedulerKind::Dfs, iterations: max_iterations, max_steps: 200_000 }
+    }
+
+    /// Deterministic round-robin baseline (one iteration is enough).
+    pub fn round_robin() -> Self {
+        Self { scheduler: SchedulerKind::RoundRobin, iterations: 1, max_steps: 200_000 }
+    }
+
+    /// Overrides the per-execution step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+/// Outcome of a successful [`check`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Number of executions actually run.
+    pub iterations: usize,
+    /// True if a DFS scheduler exhausted the entire schedule space, i.e.
+    /// the result is sound rather than merely probabilistic.
+    pub exhausted: bool,
+}
+
+/// A failed [`check`] run.
+#[derive(Debug, Clone)]
+pub enum CheckError {
+    /// A task panicked (assertion failure or real bug).
+    Failure {
+        /// Iteration index at which the failure occurred.
+        iteration: usize,
+        /// The failing schedule, for [`replay`].
+        schedule: Schedule,
+        /// The panic message.
+        message: String,
+    },
+    /// Every live task was blocked.
+    Deadlock {
+        /// Iteration index at which the deadlock occurred.
+        iteration: usize,
+        /// The deadlocking schedule, for [`replay`].
+        schedule: Schedule,
+        /// One diagnosis line per blocked task.
+        blocked: Vec<String>,
+    },
+    /// The execution exceeded its step budget (possible livelock).
+    StepLimit {
+        /// Iteration index at which the budget was exceeded.
+        iteration: usize,
+        /// The step budget that was exceeded.
+        max_steps: usize,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Failure { iteration, schedule, message } => {
+                write!(
+                    f,
+                    "failure at iteration {iteration}: {message}\n  replay schedule: {schedule}"
+                )
+            }
+            CheckError::Deadlock { iteration, schedule, blocked } => {
+                writeln!(f, "deadlock at iteration {iteration}:")?;
+                for b in blocked {
+                    writeln!(f, "  {b}")?;
+                }
+                write!(f, "  replay schedule: {schedule}")
+            }
+            CheckError::StepLimit { iteration, max_steps } => {
+                write!(
+                    f,
+                    "step budget of {max_steps} exceeded at iteration {iteration} (livelock?)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl CheckError {
+    /// The failing schedule, if the error carries one.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match self {
+            CheckError::Failure { schedule, .. } | CheckError::Deadlock { schedule, .. } => {
+                Some(schedule)
+            }
+            CheckError::StepLimit { .. } => None,
+        }
+    }
+}
+
+fn run_once<F: Fn() + Send + Sync>(
+    scheduler: Box<dyn Scheduler>,
+    max_steps: usize,
+    f: &F,
+) -> (Box<dyn Scheduler>, Schedule, Option<AbortReason>) {
+    let exec = ExecutionInner::new(scheduler, max_steps);
+    let exec2 = Arc::clone(&exec);
+    let (schedule, abort) = std::thread::scope(|s| {
+        s.spawn(move || {
+            run_task(&exec2, TaskId(0), f);
+            exec2.task_thread_exited();
+        });
+        exec.wait_outcome()
+    });
+    let scheduler = exec.take_scheduler();
+    (scheduler, Schedule(schedule), abort)
+}
+
+fn abort_to_error(iteration: usize, schedule: Schedule, reason: AbortReason) -> CheckError {
+    match reason {
+        AbortReason::Failure(message) => CheckError::Failure { iteration, schedule, message },
+        AbortReason::Deadlock(blocked) => CheckError::Deadlock {
+            iteration,
+            schedule,
+            blocked: blocked.into_iter().map(|(_, d)| d).collect(),
+        },
+        AbortReason::StepLimit(max_steps) => CheckError::StepLimit { iteration, max_steps },
+    }
+}
+
+/// Checks a concurrent test body under many schedules.
+///
+/// The body must be deterministic apart from scheduling (create all state
+/// inside the closure; do not use wall-clock time or OS randomness), so
+/// that a failing [`Schedule`] replays exactly.
+///
+/// Returns a [`CheckReport`] if every explored schedule passed, or the
+/// first failing schedule as a [`CheckError`].
+pub fn check<F>(options: CheckOptions, f: F) -> Result<CheckReport, CheckError>
+where
+    F: Fn() + Send + Sync,
+{
+    let mut scheduler = options.scheduler.build();
+    let mut iterations = 0;
+    let mut exhausted = false;
+    for iteration in 0..options.iterations {
+        scheduler.new_execution();
+        let (sched, schedule, abort) = run_once(scheduler, options.max_steps, &f);
+        scheduler = sched;
+        iterations += 1;
+        if let Some(reason) = abort {
+            return Err(abort_to_error(iteration, schedule, reason));
+        }
+        if !scheduler.prepare_next() {
+            exhausted = true;
+            break;
+        }
+    }
+    Ok(CheckReport { iterations, exhausted })
+}
+
+/// Replays a recorded schedule against the same test body.
+///
+/// Returns `Ok(())` if the replayed execution passes (which indicates the
+/// body is not deterministic), or the reproduced failure.
+pub fn replay<F>(schedule: &Schedule, max_steps: usize, f: F) -> Result<(), CheckError>
+where
+    F: Fn() + Send + Sync,
+{
+    let mut scheduler: Box<dyn Scheduler> = Box::new(ReplayScheduler::new(schedule.0.clone()));
+    scheduler.new_execution();
+    let (_sched, schedule, abort) = run_once(scheduler, max_steps, &f);
+    match abort {
+        Some(reason) => Err(abort_to_error(0, schedule, reason)),
+        None => Ok(()),
+    }
+}

@@ -1,0 +1,391 @@
+//! Schedulers that drive checked executions.
+//!
+//! The paper uses two stateless model checkers with complementary
+//! trade-offs (§6): Loom soundly explores all interleavings of small
+//! harnesses, while Shuttle randomly explores interleavings of large ones,
+//! implementing probabilistic concurrency testing (PCT). This module
+//! provides both ends of that spectrum:
+//!
+//! - [`RandomScheduler`] — uniform random walk over runnable tasks.
+//! - [`PctScheduler`] — PCT (Burckhardt et al., ASPLOS 2010): random task
+//!   priorities with `d - 1` random priority-change points, giving a
+//!   probabilistic guarantee of hitting any bug of depth `d`.
+//! - [`RoundRobinScheduler`] — deterministic baseline.
+//! - [`DfsScheduler`] — bounded depth-first systematic enumeration of all
+//!   schedules (exhaustive for small harnesses, like Loom's role in the
+//!   paper).
+//! - [`ReplayScheduler`] — replays a recorded failing schedule exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::execution::TaskId;
+
+/// A scheduling strategy for checked executions.
+///
+/// The engine calls [`Scheduler::next_task`] at every scheduling point with
+/// the set of runnable tasks (sorted by id, never empty).
+pub trait Scheduler: Send {
+    /// Called before each execution (iteration) starts.
+    fn new_execution(&mut self);
+
+    /// Picks the next task to run.
+    fn next_task(&mut self, runnable: &[TaskId], current: Option<TaskId>) -> TaskId;
+
+    /// Notifies the scheduler that a new task was spawned.
+    fn on_spawn(&mut self, _task: TaskId) {}
+
+    /// Notifies the scheduler that a task explicitly yielded (e.g. inside
+    /// a spin loop). Priority-based schedulers demote the yielder so
+    /// spinners cannot starve the tasks they are waiting on — without
+    /// this, PCT livelocks on any spin-wait.
+    fn on_yield(&mut self, _task: TaskId) {}
+
+    /// Called after an execution completes; returns false when the search
+    /// space is exhausted and no further iterations are useful.
+    fn prepare_next(&mut self) -> bool {
+        true
+    }
+}
+
+/// Declarative scheduler configuration (see [`crate::CheckOptions`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Uniform random walk with the given seed.
+    Random {
+        /// RNG seed; fixing it makes the whole run reproducible.
+        seed: u64,
+    },
+    /// Probabilistic concurrency testing with the given seed and bug depth.
+    Pct {
+        /// RNG seed.
+        seed: u64,
+        /// Bug depth `d`: the number of ordering constraints the scheduler
+        /// can satisfy; `d - 1` priority change points are inserted.
+        depth: usize,
+    },
+    /// Deterministic round-robin (a weak baseline, useful in benches).
+    RoundRobin,
+    /// Bounded depth-first systematic enumeration of all schedules.
+    Dfs,
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Random { seed } => Box::new(RandomScheduler::new(*seed)),
+            SchedulerKind::Pct { seed, depth } => Box::new(PctScheduler::new(*seed, *depth)),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::default()),
+            SchedulerKind::Dfs => Box::new(DfsScheduler::default()),
+        }
+    }
+}
+
+/// Uniform random choice among runnable tasks.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn new_execution(&mut self) {}
+
+    fn next_task(&mut self, runnable: &[TaskId], _current: Option<TaskId>) -> TaskId {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Probabilistic concurrency testing (PCT).
+///
+/// Each task gets a distinct random priority at spawn. The highest-priority
+/// runnable task always runs, except at `d - 1` pre-sampled step indices
+/// where the currently highest-priority runnable task is demoted below all
+/// others. With `n` steps, `k` tasks, and bug depth `d`, PCT finds the bug
+/// with probability at least `1/(k * n^(d-1))` per execution.
+#[derive(Debug)]
+pub struct PctScheduler {
+    rng: StdRng,
+    depth: usize,
+    /// Expected maximum schedule length, used to sample change points.
+    expected_steps: usize,
+    priorities: Vec<u64>,
+    change_points: Vec<usize>,
+    step: usize,
+    next_low: u64,
+}
+
+impl PctScheduler {
+    /// Creates a PCT scheduler with the given seed and bug depth.
+    pub fn new(seed: u64, depth: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            depth: depth.max(1),
+            expected_steps: 1000,
+            priorities: Vec::new(),
+            change_points: Vec::new(),
+            step: 0,
+            next_low: 0,
+        }
+    }
+
+    /// Overrides the expected schedule length used to sample change points.
+    pub fn with_expected_steps(mut self, steps: usize) -> Self {
+        self.expected_steps = steps.max(1);
+        self
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn new_execution(&mut self) {
+        self.priorities.clear();
+        self.step = 0;
+        // Low priorities decrease from just below the initial random band,
+        // so every demotion goes strictly below all current priorities.
+        self.next_low = u64::MAX / 4;
+        self.change_points = (0..self.depth.saturating_sub(1))
+            .map(|_| self.rng.gen_range(0..self.expected_steps))
+            .collect();
+        self.change_points.sort_unstable();
+    }
+
+    fn next_task(&mut self, runnable: &[TaskId], _current: Option<TaskId>) -> TaskId {
+        self.step += 1;
+        let highest = *runnable
+            .iter()
+            .max_by_key(|t| self.priorities.get(t.0).copied().unwrap_or(0))
+            .expect("runnable non-empty");
+        if self.change_points.binary_search(&(self.step - 1)).is_ok() {
+            // Demote the winner below everyone and re-select.
+            if let Some(p) = self.priorities.get_mut(highest.0) {
+                self.next_low = self.next_low.saturating_sub(1);
+                *p = self.next_low;
+            }
+            return *runnable
+                .iter()
+                .max_by_key(|t| self.priorities.get(t.0).copied().unwrap_or(0))
+                .expect("runnable non-empty");
+        }
+        highest
+    }
+
+    fn on_spawn(&mut self, task: TaskId) {
+        while self.priorities.len() <= task.0 {
+            // Initial priorities live in the upper band, above any demoted
+            // priority.
+            let p = self.rng.gen_range(u64::MAX / 2..u64::MAX);
+            self.priorities.push(p);
+        }
+    }
+
+    fn on_yield(&mut self, task: TaskId) {
+        // An explicit yield parks the task below everyone else (Shuttle's
+        // treatment of `yield_now` under PCT).
+        if let Some(p) = self.priorities.get_mut(task.0) {
+            self.next_low = self.next_low.saturating_sub(1);
+            *p = self.next_low;
+        }
+    }
+}
+
+/// Deterministic round-robin over runnable tasks.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    last: usize,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn new_execution(&mut self) {
+        self.last = 0;
+    }
+
+    fn next_task(&mut self, runnable: &[TaskId], _current: Option<TaskId>) -> TaskId {
+        let next = runnable.iter().find(|t| t.0 > self.last).copied().unwrap_or(runnable[0]);
+        self.last = next.0;
+        next
+    }
+}
+
+/// Bounded depth-first systematic enumeration of schedules.
+///
+/// Maintains the path of choices taken in the current execution; after each
+/// execution it advances the deepest unexhausted choice and replays the
+/// prefix. Exploration is exhaustive provided the test body is
+/// deterministic given the schedule (the same property the paper relies on
+/// for minimization, §4.3).
+#[derive(Debug, Default)]
+pub struct DfsScheduler {
+    /// `(choice index, number of alternatives)` at each decision depth.
+    path: Vec<(usize, usize)>,
+    depth: usize,
+    exhausted: bool,
+}
+
+impl DfsScheduler {
+    /// Returns true when the entire schedule space has been explored.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl Scheduler for DfsScheduler {
+    fn new_execution(&mut self) {
+        self.depth = 0;
+    }
+
+    fn next_task(&mut self, runnable: &[TaskId], _current: Option<TaskId>) -> TaskId {
+        if self.depth < self.path.len() {
+            let (choice, alts) = self.path[self.depth];
+            debug_assert_eq!(
+                alts,
+                runnable.len(),
+                "non-deterministic test body: runnable set changed on replay"
+            );
+            self.depth += 1;
+            runnable[choice.min(runnable.len() - 1)]
+        } else {
+            self.path.push((0, runnable.len()));
+            self.depth += 1;
+            runnable[0]
+        }
+    }
+
+    fn prepare_next(&mut self) -> bool {
+        // Backtrack: drop fully-explored suffix, advance the last choice.
+        while let Some((choice, alts)) = self.path.last().copied() {
+            if choice + 1 < alts {
+                self.path.last_mut().expect("non-empty").0 = choice + 1;
+                return true;
+            }
+            self.path.pop();
+        }
+        self.exhausted = true;
+        false
+    }
+}
+
+/// Replays a fixed schedule (a sequence of task choices).
+#[derive(Debug)]
+pub struct ReplayScheduler {
+    schedule: Vec<TaskId>,
+    pos: usize,
+}
+
+impl ReplayScheduler {
+    /// Creates a replay scheduler from a recorded schedule.
+    pub fn new(schedule: Vec<TaskId>) -> Self {
+        Self { schedule, pos: 0 }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn new_execution(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next_task(&mut self, runnable: &[TaskId], _current: Option<TaskId>) -> TaskId {
+        let choice = self.schedule.get(self.pos).copied();
+        self.pos += 1;
+        match choice {
+            Some(t) if runnable.contains(&t) => t,
+            // Past the recorded schedule (or divergence): fall back to the
+            // first runnable task so the execution can still finish.
+            _ => runnable[0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<TaskId> {
+        v.iter().map(|i| TaskId(*i)).collect()
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed() {
+        let runnable = ids(&[0, 1, 2]);
+        let pick = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..20).map(|_| s.next_task(&runnable, None).0).collect::<Vec<_>>()
+        };
+        assert_eq!(pick(7), pick(7));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobinScheduler::default();
+        s.new_execution();
+        let runnable = ids(&[0, 1, 2]);
+        let picks: Vec<_> = (0..6).map(|_| s.next_task(&runnable, None).0).collect();
+        assert_eq!(picks, vec![1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn dfs_enumerates_all_binary_schedules() {
+        let mut s = DfsScheduler::default();
+        let runnable = ids(&[0, 1]);
+        let mut seen = Vec::new();
+        loop {
+            s.new_execution();
+            // Simulate an execution with exactly two binary choices.
+            let a = s.next_task(&runnable, None).0;
+            let b = s.next_task(&runnable, None).0;
+            seen.push((a, b));
+            if !s.prepare_next() {
+                break;
+            }
+        }
+        assert_eq!(seen, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn pct_always_picks_a_runnable_task() {
+        let mut s = PctScheduler::new(99, 3);
+        s.new_execution();
+        for t in 0..4 {
+            s.on_spawn(TaskId(t));
+        }
+        let runnable = ids(&[1, 3]);
+        for _ in 0..50 {
+            let t = s.next_task(&runnable, None);
+            assert!(runnable.contains(&t));
+        }
+    }
+
+    #[test]
+    fn pct_prefers_highest_priority() {
+        let mut s = PctScheduler::new(1, 1); // depth 1: no change points
+        s.new_execution();
+        for t in 0..3 {
+            s.on_spawn(TaskId(t));
+        }
+        let runnable = ids(&[0, 1, 2]);
+        let first = s.next_task(&runnable, None);
+        // With no change points the same task keeps winning.
+        for _ in 0..10 {
+            assert_eq!(s.next_task(&runnable, None), first);
+        }
+    }
+
+    #[test]
+    fn replay_follows_recorded_schedule() {
+        let mut s = ReplayScheduler::new(ids(&[1, 0, 1]));
+        s.new_execution();
+        let runnable = ids(&[0, 1]);
+        assert_eq!(s.next_task(&runnable, None), TaskId(1));
+        assert_eq!(s.next_task(&runnable, None), TaskId(0));
+        assert_eq!(s.next_task(&runnable, None), TaskId(1));
+        // Past the end: falls back to first runnable.
+        assert_eq!(s.next_task(&runnable, None), TaskId(0));
+    }
+}

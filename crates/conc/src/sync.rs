@@ -1,0 +1,504 @@
+//! Dual-mode synchronization primitives.
+//!
+//! These types have the same shape as their `std`/`parking_lot`
+//! counterparts. Outside a checked execution they delegate directly to
+//! `parking_lot` (locks) and `std::sync::atomic` (atomics) with no
+//! scheduling overhead. Inside a checked execution every operation becomes
+//! a scheduling point, and blocking is mediated by the checker so that the
+//! scheduler fully controls interleaving and can detect deadlocks.
+//!
+//! Lock acquisition in controlled mode never blocks at the OS level: it
+//! spins on `try_lock` under the single-running-task discipline and parks
+//! the task with the checker when the lock is logically held, so the
+//! underlying `parking_lot` lock is only ever taken when it is free.
+
+use std::sync::atomic::Ordering;
+
+use crate::execution::{current, Resource};
+
+/// Address-based identity for a primitive within one execution.
+///
+/// Primitives created inside the test closure are pinned for as long as any
+/// task can reference them, so their address is a stable identity for the
+/// duration of an execution.
+fn addr_of<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const () as usize
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock; a drop-in `parking_lot::Mutex` replacement that
+/// becomes checker-controlled inside a checked execution.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: parking_lot::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    controlled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self { inner: parking_lot::Mutex::new(value) }
+    }
+
+    fn resource(&self) -> usize {
+        addr_of(&self.inner)
+    }
+
+    /// Acquires the lock, blocking (or parking with the checker) until it
+    /// is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some((exec, me)) = current() {
+            loop {
+                exec.schedule_point(me);
+                if let Some(g) = self.inner.try_lock() {
+                    return MutexGuard { mutex: self, inner: Some(g), controlled: true };
+                }
+                exec.block_on(me, Resource::Mutex(self.resource()));
+            }
+        } else {
+            MutexGuard { mutex: self, inner: Some(self.inner.lock()), controlled: false }
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let controlled = if let Some((exec, me)) = current() {
+            exec.schedule_point(me);
+            true
+        } else {
+            false
+        };
+        self.inner.try_lock().map(|g| MutexGuard { mutex: self, inner: Some(g), controlled })
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Mutably borrows the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn release(&mut self) {
+        let was_controlled = self.controlled;
+        let resource = self.mutex.resource();
+        self.inner = None;
+        if was_controlled {
+            if let Some((exec, _)) = current() {
+                exec.unblock_where(|r| *r == Resource::Mutex(resource));
+            }
+        }
+    }
+}
+
+impl<'a, T> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            self.release();
+        }
+    }
+}
+
+impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// A condition variable; a drop-in `parking_lot::Condvar` replacement that
+/// becomes checker-controlled inside a checked execution.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: parking_lot::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self { inner: parking_lot::Condvar::new() }
+    }
+
+    fn resource(&self) -> usize {
+        addr_of(&self.inner)
+    }
+
+    /// Atomically releases the guard and waits for a notification, then
+    /// re-acquires the lock.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        if let Some((exec, me)) = current() {
+            debug_assert!(guard.controlled, "mixing controlled and uncontrolled guards");
+            let mutex = guard.mutex;
+            // Release the lock; because we hold the turn, no other task can
+            // observe an intermediate state, so release-then-block is
+            // atomic from the schedule's point of view.
+            guard.release();
+            drop(guard);
+            exec.block_on(me, Resource::Condvar(self.resource()));
+            mutex.lock()
+        } else {
+            let mut inner = guard.inner.take().expect("guard released");
+            self.inner.wait(&mut inner);
+            MutexGuard { mutex: guard.mutex, inner: Some(inner), controlled: false }
+        }
+    }
+
+    /// Waits until `pred` returns false (matching `parking_lot`'s
+    /// `wait_while` semantics: waits *while* the predicate holds).
+    pub fn wait_while<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut pred: impl FnMut(&mut T) -> bool,
+    ) -> MutexGuard<'a, T> {
+        while pred(&mut *guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wakes one waiting task.
+    pub fn notify_one(&self) {
+        if let Some((exec, me)) = current() {
+            exec.schedule_point(me);
+            exec.notify_condvar(self.resource(), 1);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes all waiting tasks.
+    pub fn notify_all(&self) {
+        if let Some((exec, me)) = current() {
+            exec.schedule_point(me);
+            exec.notify_condvar(self.resource(), usize::MAX);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock; a drop-in `parking_lot::RwLock` replacement that
+/// becomes checker-controlled inside a checked execution.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: parking_lot::RwLock<T>,
+}
+
+/// Shared-read RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    controlled: bool,
+}
+
+/// Exclusive-write RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    controlled: bool,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self { inner: parking_lot::RwLock::new(value) }
+    }
+
+    fn resource(&self) -> usize {
+        addr_of(&self.inner)
+    }
+
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some((exec, me)) = current() {
+            loop {
+                exec.schedule_point(me);
+                if let Some(g) = self.inner.try_read() {
+                    return RwLockReadGuard { lock: self, inner: Some(g), controlled: true };
+                }
+                exec.block_on(me, Resource::RwRead(self.resource()));
+            }
+        } else {
+            RwLockReadGuard { lock: self, inner: Some(self.inner.read()), controlled: false }
+        }
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some((exec, me)) = current() {
+            loop {
+                exec.schedule_point(me);
+                if let Some(g) = self.inner.try_write() {
+                    return RwLockWriteGuard { lock: self, inner: Some(g), controlled: true };
+                }
+                exec.block_on(me, Resource::RwWrite(self.resource()));
+            }
+        } else {
+            RwLockWriteGuard { lock: self, inner: Some(self.inner.write()), controlled: false }
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Mutably borrows the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+fn unblock_rw(resource: usize) {
+    if let Some((exec, _)) = current() {
+        exec.unblock_where(|r| {
+            *r == Resource::RwRead(resource) || *r == Resource::RwWrite(resource)
+        });
+    }
+}
+
+impl<'a, T> Drop for RwLockReadGuard<'a, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.controlled {
+            unblock_rw(self.lock.resource());
+        }
+    }
+}
+
+impl<'a, T> Drop for RwLockWriteGuard<'a, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.controlled {
+            unblock_rw(self.lock.resource());
+        }
+    }
+}
+
+impl<'a, T> std::ops::Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<'a, T> std::ops::Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Inserts a scheduling point before an atomic operation.
+#[inline]
+fn atomic_point() {
+    if let Some((exec, me)) = current() {
+        exec.schedule_point(me);
+    }
+}
+
+macro_rules! atomic_wrapper {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Dual-mode atomic integer; every operation is a scheduling point
+        /// inside a checked execution. All operations use sequentially
+        /// consistent ordering.
+        #[derive(Debug, Default)]
+        pub struct $name(pub(crate) $std);
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self(<$std>::new(v))
+            }
+
+            /// Atomically loads the value.
+            pub fn load(&self) -> $prim {
+                atomic_point();
+                self.0.load(Ordering::SeqCst)
+            }
+
+            /// Atomically stores a value.
+            pub fn store(&self, v: $prim) {
+                atomic_point();
+                self.0.store(v, Ordering::SeqCst)
+            }
+
+            /// Atomically swaps in a new value, returning the old one.
+            pub fn swap(&self, v: $prim) -> $prim {
+                atomic_point();
+                self.0.swap(v, Ordering::SeqCst)
+            }
+
+            /// Atomically compares and exchanges the value.
+            pub fn compare_exchange(&self, current: $prim, new: $prim) -> Result<$prim, $prim> {
+                atomic_point();
+                self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+        }
+    };
+}
+
+atomic_wrapper!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_wrapper!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+impl AtomicUsize {
+    /// Atomically adds, returning the previous value.
+    pub fn fetch_add(&self, v: usize) -> usize {
+        atomic_point();
+        self.0.fetch_add(v, Ordering::SeqCst)
+    }
+
+    /// Atomically subtracts, returning the previous value.
+    pub fn fetch_sub(&self, v: usize) -> usize {
+        atomic_point();
+        self.0.fetch_sub(v, Ordering::SeqCst)
+    }
+}
+
+impl AtomicU64 {
+    /// Atomically adds, returning the previous value.
+    pub fn fetch_add(&self, v: u64) -> u64 {
+        atomic_point();
+        self.0.fetch_add(v, Ordering::SeqCst)
+    }
+}
+
+/// Dual-mode atomic boolean; every operation is a scheduling point inside a
+/// checked execution. All operations use sequentially consistent ordering.
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// Creates a new atomic boolean.
+    pub const fn new(v: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Atomically loads the value.
+    pub fn load(&self) -> bool {
+        atomic_point();
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Atomically stores a value.
+    pub fn store(&self, v: bool) {
+        atomic_point();
+        self.0.store(v, Ordering::SeqCst)
+    }
+
+    /// Atomically swaps in a new value, returning the old one.
+    pub fn swap(&self, v: bool) -> bool {
+        atomic_point();
+        self.0.swap(v, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_mutex_basics() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn passthrough_try_lock_contended() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn passthrough_rwlock_many_readers() {
+        let l = RwLock::new(7);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 14);
+        drop((r1, r2));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn passthrough_condvar_roundtrip() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+            drop(g);
+        });
+        let (m, cv) = &*pair;
+        let g = m.lock();
+        let g = cv.wait_while(g, |ready| !*ready);
+        assert!(*g);
+        drop(g);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn passthrough_atomics() {
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2), 1);
+        assert_eq!(a.load(), 3);
+        assert_eq!(a.swap(10), 3);
+        assert_eq!(a.compare_exchange(10, 11), Ok(10));
+        assert_eq!(a.compare_exchange(10, 12), Err(11));
+        let b = AtomicBool::new(false);
+        b.store(true);
+        assert!(b.load());
+        assert!(b.swap(false));
+    }
+}

@@ -1,0 +1,125 @@
+//! Dual-mode threads.
+//!
+//! [`spawn`] creates a real OS thread in passthrough mode, or registers a
+//! new controlled task with the active checked execution. Controlled tasks
+//! still run on their own OS threads, but only when the checker gives them
+//! the turn.
+
+use std::panic;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::execution::{current, panic_message, AbortPanic, Resource, TaskRegistration};
+use crate::TaskId;
+
+/// The result of joining a thread, mirroring `std::thread::Result`.
+pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Controlled {
+        exec: Arc<crate::execution::ExecutionInner>,
+        task: TaskId,
+        result: Arc<Mutex<Option<Result<T>>>>,
+    },
+}
+
+/// Handle to a spawned thread or controlled task.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Std(_) => write!(f, "JoinHandle(os)"),
+            Inner::Controlled { task, .. } => write!(f, "JoinHandle({task})"),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread/task to finish and returns its result.
+    pub fn join(self) -> Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Controlled { exec, task, result } => {
+                let (cur_exec, me) = current().expect("joining a controlled task from outside");
+                debug_assert!(Arc::ptr_eq(&cur_exec, &exec), "join across executions");
+                if !exec.is_finished(task) {
+                    exec.block_on(me, Resource::Join(task));
+                }
+                result
+                    .lock()
+                    .take()
+                    .expect("joined task finished without storing a result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread (passthrough) or a controlled task (checked execution).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((exec, _me)) = current() {
+        let task = exec.spawn_task(format!("task-{}", exec.steps()));
+        let result: Arc<Mutex<Option<Result<T>>>> = Arc::new(Mutex::new(None));
+        let result2 = Arc::clone(&result);
+        let exec2 = Arc::clone(&exec);
+        std::thread::spawn(move || {
+            let _reg = TaskRegistration::enter(Arc::clone(&exec2), task);
+            exec2.wait_for_turn(task);
+            let out = panic::catch_unwind(panic::AssertUnwindSafe(f));
+            match out {
+                Ok(v) => {
+                    *result2.lock() = Some(Ok(v));
+                    exec2.finish_task(task, None);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<AbortPanic>().is_some() {
+                        exec2.finish_task(task, None);
+                    } else {
+                        let msg = panic_message(&payload);
+                        *result2.lock() = Some(Err(payload));
+                        exec2.finish_task(task, Some(msg));
+                    }
+                }
+            }
+            exec2.task_thread_exited();
+        });
+        JoinHandle { inner: Inner::Controlled { exec, task, result } }
+    } else {
+        JoinHandle { inner: Inner::Std(std::thread::spawn(f)) }
+    }
+}
+
+/// Yields execution: a scheduling point in checked mode, an OS yield
+/// otherwise.
+pub fn yield_now() {
+    if crate::is_controlled() {
+        crate::yield_now();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_spawn_and_join() {
+        let h = spawn(|| 40 + 2);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn passthrough_join_propagates_panic() {
+        let h = spawn(|| panic!("boom"));
+        assert!(h.join().is_err());
+    }
+}

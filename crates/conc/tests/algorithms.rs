@@ -1,0 +1,239 @@
+//! Classic concurrency algorithms under the checker: exhaustive
+//! verification of small lock-free protocols (Loom's role in the paper)
+//! and regression tests for checker features.
+
+use std::sync::Arc;
+
+use shardstore_conc::sync::{AtomicBool, AtomicUsize, Condvar, Mutex};
+use shardstore_conc::{check, replay, thread, CheckError, CheckOptions};
+
+/// Peterson's mutual-exclusion algorithm for two threads. The spin-wait
+/// makes the schedule space unbounded, so exhaustive DFS does not apply
+/// (exactly the §6 scalability limit); randomized and PCT exploration
+/// cover it instead.
+#[test]
+fn peterson_mutual_exclusion_randomized() {
+    let body = || {
+        let flag0 = Arc::new(AtomicBool::new(false));
+        let flag1 = Arc::new(AtomicBool::new(false));
+        let turn = Arc::new(AtomicUsize::new(0));
+        let in_critical = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for me in 0..2usize {
+            let my_flag = if me == 0 { Arc::clone(&flag0) } else { Arc::clone(&flag1) };
+            let other_flag = if me == 0 { Arc::clone(&flag1) } else { Arc::clone(&flag0) };
+            let turn = Arc::clone(&turn);
+            let in_critical = Arc::clone(&in_critical);
+            handles.push(thread::spawn(move || {
+                my_flag.store(true);
+                turn.store(1 - me);
+                while other_flag.load() && turn.load() == 1 - me {
+                    shardstore_conc::yield_now();
+                }
+                // Critical section.
+                let was = in_critical.fetch_add(1);
+                assert_eq!(was, 0, "mutual exclusion violated");
+                in_critical.fetch_sub(1);
+                my_flag.store(false);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    };
+    check(CheckOptions::random(3, 3_000), body).expect("Peterson holds under random walks");
+    check(CheckOptions::pct(3, 3, 3_000), body).expect("Peterson holds under PCT");
+}
+
+/// A broken Peterson (missing the turn variable) is caught.
+#[test]
+fn broken_peterson_is_caught() {
+    let err = check(CheckOptions::dfs(200_000), || {
+        let flag0 = Arc::new(AtomicBool::new(false));
+        let flag1 = Arc::new(AtomicBool::new(false));
+        let in_critical = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for me in 0..2usize {
+            let my_flag = if me == 0 { Arc::clone(&flag0) } else { Arc::clone(&flag1) };
+            let other_flag = if me == 0 { Arc::clone(&flag1) } else { Arc::clone(&flag0) };
+            let in_critical = Arc::clone(&in_critical);
+            handles.push(thread::spawn(move || {
+                // BUG: check-then-act — the load happens before our own
+                // store, so both tasks can observe "free" and enter.
+                if !other_flag.load() {
+                    my_flag.store(true);
+                    let was = in_critical.fetch_add(1);
+                    assert_eq!(was, 0, "mutual exclusion violated");
+                    in_critical.fetch_sub(1);
+                    my_flag.store(false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    })
+    .expect_err("the broken protocol must be caught");
+    assert!(matches!(err, CheckError::Failure { .. }));
+}
+
+/// A bounded single-producer/single-consumer queue built on
+/// Mutex+Condvar: checked for both correctness and deadlock freedom.
+#[test]
+fn bounded_queue_spsc() {
+    struct Queue {
+        items: Mutex<Vec<u32>>,
+        not_full: Condvar,
+        not_empty: Condvar,
+        capacity: usize,
+    }
+    impl Queue {
+        fn push(&self, v: u32) {
+            let guard = self.items.lock();
+            let mut guard = self.not_full.wait_while(guard, |items| items.len() >= self.capacity);
+            guard.push(v);
+            drop(guard);
+            self.not_empty.notify_one();
+        }
+        fn pop(&self) -> u32 {
+            let guard = self.items.lock();
+            let mut guard = self.not_empty.wait_while(guard, |items| items.is_empty());
+            let v = guard.remove(0);
+            drop(guard);
+            self.not_full.notify_one();
+            v
+        }
+    }
+    check(CheckOptions::pct(77, 3, 400), || {
+        let queue = Arc::new(Queue {
+            items: Mutex::new(Vec::new()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: 2,
+        });
+        let producer_queue = Arc::clone(&queue);
+        let producer = thread::spawn(move || {
+            for v in 0..4u32 {
+                producer_queue.push(v);
+            }
+        });
+        let consumer_queue = Arc::clone(&queue);
+        let consumer = thread::spawn(move || {
+            // FIFO order must be preserved for a single producer.
+            for expected in 0..4u32 {
+                assert_eq!(consumer_queue.pop(), expected);
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    })
+    .expect("the bounded queue is correct");
+}
+
+/// A lost-wakeup bug (notify before wait, flag checked without a loop) is
+/// detected as a deadlock.
+#[test]
+fn lost_wakeup_detected_as_deadlock() {
+    let err = check(CheckOptions::random(31, 2_000), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let signaller_state = Arc::clone(&state);
+        let signaller = thread::spawn(move || {
+            let (m, cv) = &*signaller_state;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*state;
+        // BUG: the flag is checked under one critical section, but the
+        // wait happens under a second one — the notify can land in the
+        // window between them and is lost.
+        let ready = *m.lock();
+        if !ready {
+            let flag = m.lock();
+            let _flag = cv.wait(flag);
+        }
+        signaller.join().unwrap();
+    })
+    .expect_err("the lost wakeup should deadlock some interleaving");
+    assert!(matches!(err, CheckError::Deadlock { .. }), "got: {err}");
+}
+
+/// Deadlock schedules replay deterministically, like failure schedules.
+#[test]
+fn deadlock_schedules_replay() {
+    let body = || {
+        let a = Arc::new(Mutex::new(0u8));
+        let b = Arc::new(Mutex::new(0u8));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+        let t2 = thread::spawn(move || {
+            let _gb = b3.lock();
+            let _ga = a3.lock();
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    };
+    let err = check(CheckOptions::random(5, 5_000), body).expect_err("ABBA deadlocks");
+    let schedule = err.schedule().expect("deadlock carries a schedule").clone();
+    let replayed = replay(&schedule, 200_000, body).expect_err("replay reproduces");
+    assert!(matches!(replayed, CheckError::Deadlock { .. }));
+}
+
+/// try_lock never blocks under the checker and reports contention
+/// accurately.
+#[test]
+fn try_lock_under_checker() {
+    check(CheckOptions::dfs(50_000), || {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let holder = thread::spawn(move || {
+            let _g = m2.lock();
+            shardstore_conc::yield_now();
+        });
+        // Either we get the lock or we observe contention; both are fine,
+        // and neither blocks the schedule.
+        if let Some(mut g) = m.try_lock() {
+            *g += 1;
+        }
+        holder.join().unwrap();
+    })
+    .expect("try_lock is non-blocking");
+}
+
+/// notify_one wakes exactly one waiter; the other stays blocked until the
+/// second notify.
+#[test]
+fn notify_one_wakes_exactly_one() {
+    check(CheckOptions::random(41, 300), || {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let woken = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let state = Arc::clone(&state);
+            let woken = Arc::clone(&woken);
+            handles.push(thread::spawn(move || {
+                let (m, cv) = &*state;
+                let g = m.lock();
+                let _g = cv.wait_while(g, |tokens| *tokens == 0);
+                // Consume one token.
+                let mut g = _g;
+                *g -= 1;
+                woken.fetch_add(1);
+            }));
+        }
+        let (m, cv) = &*state;
+        // Hand out two tokens, one notify each.
+        for _ in 0..2 {
+            *m.lock() += 1;
+            cv.notify_one();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woken.load(), 2);
+    })
+    .expect("both waiters eventually wake");
+}

@@ -1,0 +1,306 @@
+//! ShardStore: the key-value storage node under validation (§2 of the
+//! paper).
+//!
+//! This crate assembles the substrate crates into the system the paper
+//! describes: per-disk stores ([`Store`]) combining an LSM index, chunk
+//! store, buffer cache, superblock and soft-updates IO scheduler over an
+//! in-memory disk; a multi-disk [`Node`] with request routing and
+//! control-plane operations; and the [`rpc`] wire interface.
+
+mod node;
+pub mod rpc;
+mod store;
+
+pub use node::Node;
+pub use store::{Store, StoreConfig, StoreError};
+
+#[cfg(test)]
+mod tests {
+    use shardstore_faults::{BugId, FaultConfig};
+    use shardstore_vdisk::{CrashPlan, Geometry};
+
+    use super::*;
+
+    fn store() -> Store {
+        Store::format(Geometry::small(), StoreConfig::small(), FaultConfig::none())
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let s = store();
+        s.put(1, b"hello shard").unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), b"hello shard");
+        s.delete(1).unwrap();
+        assert_eq!(s.get(1).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_shard_roundtrips() {
+        let s = store();
+        s.put(1, b"").unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn large_shard_spans_multiple_chunks() {
+        let s = store();
+        let data: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        s.put(2, &data).unwrap();
+        assert_eq!(s.get(2).unwrap().unwrap(), data);
+        // Splitting actually happened (max_chunk_size is 96 in the small
+        // config).
+        let locs = s.index().get(2).unwrap().unwrap();
+        assert!(locs.len() > 1, "expected multiple chunks, got {}", locs.len());
+    }
+
+    #[test]
+    fn put_dependency_becomes_persistent_after_shutdown() {
+        let s = store();
+        let dep = s.put(3, b"durable").unwrap();
+        assert!(!dep.is_persistent());
+        s.clean_shutdown().unwrap();
+        assert!(dep.is_persistent());
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let s = store();
+        s.put(4, b"v1").unwrap();
+        s.put(4, b"v2").unwrap();
+        assert_eq!(s.get(4).unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn data_survives_dirty_reboot_when_persisted() {
+        let s = store();
+        let dep = s.put(5, b"keep me").unwrap();
+        s.flush_index().unwrap();
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+        let s2 = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+        assert_eq!(s2.get(5).unwrap().unwrap(), b"keep me");
+    }
+
+    #[test]
+    fn unpersisted_data_may_vanish_after_dirty_reboot() {
+        let s = store();
+        let dep = s.put(6, b"volatile").unwrap();
+        assert!(!dep.is_persistent());
+        let s2 = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+        assert_eq!(s2.get(6).unwrap(), None);
+    }
+
+    #[test]
+    fn reclaim_after_delete_reclaims_space_without_losing_data() {
+        let s = store();
+        // Fill past one extent so the garbage lands on a non-open extent
+        // (the open extent is never a reclamation victim).
+        let payload = |b: u8| vec![b; 80];
+        for k in 1..=9u128 {
+            s.put(k, &payload(k as u8)).unwrap();
+        }
+        s.flush_index().unwrap();
+        s.pump().unwrap();
+        s.delete(2).unwrap();
+        s.flush_index().unwrap();
+        s.pump().unwrap();
+        let reclaimed = s.reclaim(shardstore_chunk::Stream::Data).unwrap();
+        assert!(reclaimed, "a victim with garbage should exist");
+        s.pump().unwrap();
+        for k in (1..=9u128).filter(|k| *k != 2) {
+            assert_eq!(s.get(k).unwrap().unwrap(), payload(k as u8), "key {k}");
+        }
+        assert_eq!(s.get(2).unwrap(), None);
+        // And everything still holds after a crash.
+        let s2 = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+        for k in (1..=9u128).filter(|k| *k != 2) {
+            assert_eq!(s2.get(k).unwrap().unwrap(), payload(k as u8), "key {k} after reboot");
+        }
+    }
+
+    #[test]
+    fn automatic_flush_at_threshold() {
+        let s = store();
+        for k in 0..(StoreConfig::small().flush_threshold as u128 + 1) {
+            s.put(k, b"x").unwrap();
+        }
+        assert!(s.index().table_count() >= 1, "threshold flush should have produced a table");
+    }
+
+    #[test]
+    fn list_reflects_merged_state() {
+        let s = store();
+        s.put(1, b"a").unwrap();
+        s.put(2, b"b").unwrap();
+        s.flush_index().unwrap();
+        s.delete(1).unwrap();
+        assert_eq!(s.list().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn node_routes_by_shard() {
+        let node = Node::new(3, Geometry::small(), StoreConfig::small(), FaultConfig::none());
+        for shard in 0..9u128 {
+            node.put(shard, format!("data{shard}").as_bytes()).unwrap();
+        }
+        for shard in 0..9u128 {
+            assert_eq!(node.get(shard).unwrap().unwrap(), format!("data{shard}").as_bytes());
+        }
+        assert_eq!(node.list(), (0..9u128).collect::<Vec<_>>());
+        node.check_catalog_consistent().unwrap();
+    }
+
+    #[test]
+    fn remove_and_return_disk_preserves_shards() {
+        let node = Node::new(2, Geometry::small(), StoreConfig::small(), FaultConfig::none());
+        node.put(0, b"even").unwrap();
+        node.put(1, b"odd").unwrap();
+        node.remove_disk(0).unwrap();
+        // Shard 0 routed to disk 0: unavailable while removed.
+        assert!(matches!(node.get(0), Err(StoreError::OutOfService)));
+        assert_eq!(node.list(), vec![1]);
+        // Shard 1 still served.
+        assert_eq!(node.get(1).unwrap().unwrap(), b"odd");
+        node.return_disk(0).unwrap();
+        assert_eq!(node.get(0).unwrap().unwrap(), b"even");
+        assert_eq!(node.list(), vec![0, 1]);
+        node.check_catalog_consistent().unwrap();
+    }
+
+    #[test]
+    fn b4_seeded_disk_return_loses_shards() {
+        let node = Node::new(
+            2,
+            Geometry::small(),
+            StoreConfig::small(),
+            FaultConfig::seed(BugId::B4DiskRemovalLosesShards),
+        );
+        node.put(0, b"precious").unwrap();
+        node.remove_disk(0).unwrap();
+        node.return_disk(0).unwrap();
+        assert_eq!(node.get(0).unwrap(), None, "the buggy return formats the disk");
+    }
+
+    #[test]
+    fn bulk_ops_roundtrip() {
+        let node = Node::new(2, Geometry::small(), StoreConfig::small(), FaultConfig::none());
+        let shards: Vec<(u128, Vec<u8>)> =
+            (0..6u128).map(|s| (s, vec![s as u8; 10])).collect();
+        node.bulk_create(&shards).unwrap();
+        node.check_catalog_consistent().unwrap();
+        assert_eq!(node.list().len(), 6);
+        node.bulk_remove(&[0, 2, 4]).unwrap();
+        node.check_catalog_consistent().unwrap();
+        assert_eq!(node.list(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn list_verified_returns_sizes() {
+        let node = Node::new(2, Geometry::small(), StoreConfig::small(), FaultConfig::none());
+        node.put(1, b"four").unwrap();
+        node.put(2, b"sevenish").unwrap();
+        let listed = node.list_verified().unwrap();
+        assert_eq!(listed, vec![(1, 4), (2, 8)]);
+    }
+
+    #[test]
+    fn store_survives_many_reboot_cycles() {
+        let mut s = store();
+        for round in 0..5u128 {
+            s.put(round, format!("round{round}").as_bytes()).unwrap();
+            s.clean_shutdown().unwrap();
+            s = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+            for k in 0..=round {
+                assert_eq!(
+                    s.get(k).unwrap().unwrap(),
+                    format!("round{k}").as_bytes(),
+                    "round {round} key {k}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod migration_tests {
+    use shardstore_faults::FaultConfig;
+    use shardstore_vdisk::Geometry;
+
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(3, Geometry::small(), StoreConfig::small(), FaultConfig::none())
+    }
+
+    #[test]
+    fn migrate_moves_data_and_updates_placement() {
+        let n = node();
+        n.put(1, b"movable").unwrap();
+        assert_eq!(n.route(1), 1);
+        n.migrate(1, 2).unwrap();
+        assert_eq!(n.route(1), 2);
+        assert_eq!(n.get(1).unwrap().unwrap(), b"movable");
+        // The source copy is gone.
+        assert_eq!(n.store(1).unwrap().get(1).unwrap(), None);
+        assert_eq!(n.store(2).unwrap().get(1).unwrap().unwrap(), b"movable");
+        n.check_catalog_consistent().unwrap();
+    }
+
+    #[test]
+    fn migrate_back_home_clears_override() {
+        let n = node();
+        n.put(1, b"roundtrip").unwrap();
+        n.migrate(1, 0).unwrap();
+        assert_eq!(n.placements(), vec![(1, 0)]);
+        n.migrate(1, 1).unwrap();
+        assert_eq!(n.placements(), vec![], "home placement needs no override");
+        assert_eq!(n.get(1).unwrap().unwrap(), b"roundtrip");
+    }
+
+    #[test]
+    fn migrate_missing_shard_is_a_noop() {
+        let n = node();
+        n.migrate(42, 0).unwrap();
+        assert_eq!(n.get(42).unwrap(), None);
+        n.check_catalog_consistent().unwrap();
+    }
+
+    #[test]
+    fn migrate_to_same_disk_is_a_noop() {
+        let n = node();
+        n.put(1, b"stay").unwrap();
+        n.migrate(1, 1).unwrap();
+        assert_eq!(n.get(1).unwrap().unwrap(), b"stay");
+    }
+
+    #[test]
+    fn migrate_to_removed_disk_fails_cleanly() {
+        let n = node();
+        n.put(1, b"stuck").unwrap();
+        n.remove_disk(2).unwrap();
+        assert!(matches!(n.migrate(1, 2), Err(StoreError::OutOfService)));
+        assert_eq!(n.get(1).unwrap().unwrap(), b"stuck");
+    }
+
+    #[test]
+    fn migrated_shard_survives_target_disk_cycle() {
+        let n = node();
+        n.put(1, b"resilient").unwrap();
+        n.migrate(1, 2).unwrap();
+        n.store(2).unwrap().clean_shutdown().unwrap();
+        n.remove_disk(2).unwrap();
+        n.return_disk(2).unwrap();
+        assert_eq!(n.get(1).unwrap().unwrap(), b"resilient");
+    }
+
+    #[test]
+    fn delete_then_migrate_clears_stale_override() {
+        let n = node();
+        n.put(1, b"gone soon").unwrap();
+        n.migrate(1, 0).unwrap();
+        n.delete(1).unwrap();
+        n.migrate(1, 1).unwrap();
+        assert_eq!(n.get(1).unwrap(), None);
+        n.check_catalog_consistent().unwrap();
+    }
+}

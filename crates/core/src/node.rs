@@ -1,0 +1,446 @@
+//! The storage node: multiple per-disk stores behind one request router,
+//! plus the control-plane operations (§2.1 "RPC interface").
+//!
+//! ShardStore runs on hosts with multiple HDDs; each disk is an isolated
+//! failure domain running an independent key-value store, and a shared
+//! RPC layer steers requests to target disks by shard id. The control
+//! plane adds listing, bulk create/remove, and disk removal/return for
+//! migration and repair.
+//!
+//! Three of the paper's Fig. 5 issues live at this layer and are seeded
+//! here:
+//!
+//! - [`BugId::B4DiskRemovalLosesShards`]: returning a previously removed
+//!   disk reformatted it instead of recovering it.
+//! - [`BugId::B13ListRemoveRace`]: the control-plane listing walked shards
+//!   while a removal ran, then asserted that every listed shard still
+//!   existed.
+//! - [`BugId::B16BulkOpsRace`]: bulk create and bulk remove updated the
+//!   index and the control-plane catalog in separate phases, letting a
+//!   race leave them inconsistent.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_conc::sync::Mutex;
+use shardstore_dependency::Dependency;
+use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_vdisk::Geometry;
+
+use crate::store::{Store, StoreConfig, StoreError};
+
+/// A multi-disk storage node. Cheap to clone.
+#[derive(Clone)]
+pub struct Node {
+    inner: Arc<NodeInner>,
+}
+
+struct DiskSlot {
+    /// The active store, or `None` while the disk is removed from
+    /// service.
+    store: Option<Store>,
+    /// The disk's IO scheduler, retained across removal so the disk's
+    /// contents survive (dropping it is the essence of bug B4).
+    sched: Option<shardstore_dependency::IoScheduler>,
+}
+
+struct NodeInner {
+    disks: Vec<Mutex<DiskSlot>>,
+    /// Control-plane catalog of shards believed to exist. Kept consistent
+    /// with the per-disk indexes by the fixed code paths.
+    catalog: Mutex<BTreeSet<u128>>,
+    /// Placement overrides: shards moved off their home disk by
+    /// [`Node::migrate`]. Absent entries use hash placement.
+    placement: Mutex<std::collections::BTreeMap<u128, usize>>,
+    /// Shards currently mid-migration: writes wait for the latch so a
+    /// concurrent put cannot land on the source after its copy was taken
+    /// (it would be wiped by the source delete).
+    migrating: Mutex<BTreeSet<u128>>,
+    config: StoreConfig,
+    geometry: Geometry,
+    faults: FaultConfig,
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node").field("disks", &self.inner.disks.len()).finish()
+    }
+}
+
+impl Node {
+    /// Creates a node with `num_disks` freshly formatted disks.
+    pub fn new(
+        num_disks: usize,
+        geometry: Geometry,
+        config: StoreConfig,
+        faults: FaultConfig,
+    ) -> Self {
+        assert!(num_disks > 0, "a node needs at least one disk");
+        let disks = (0..num_disks)
+            .map(|_| {
+                let store = Store::format(geometry, config, faults.clone());
+                let sched = store.scheduler();
+                Mutex::new(DiskSlot { store: Some(store), sched: Some(sched) })
+            })
+            .collect();
+        Self {
+            inner: Arc::new(NodeInner {
+                disks,
+                catalog: Mutex::new(BTreeSet::new()),
+                placement: Mutex::new(std::collections::BTreeMap::new()),
+                migrating: Mutex::new(BTreeSet::new()),
+                config,
+                geometry,
+                faults,
+            }),
+        }
+    }
+
+    /// Number of disk slots (including removed ones).
+    pub fn disk_count(&self) -> usize {
+        self.inner.disks.len()
+    }
+
+    /// Routes a shard id to its disk slot: a placement override from a
+    /// migration, or the hash-based home disk.
+    pub fn route(&self, shard: u128) -> usize {
+        if let Some(disk) = self.inner.placement.lock().get(&shard) {
+            return *disk;
+        }
+        self.home_disk(shard)
+    }
+
+    /// The hash-based home disk of a shard (ignoring migrations).
+    pub fn home_disk(&self, shard: u128) -> usize {
+        (shard % self.inner.disks.len() as u128) as usize
+    }
+
+    fn store_for(&self, shard: u128) -> Result<Store, StoreError> {
+        let slot = self.inner.disks[self.route(shard)].lock();
+        slot.store.clone().ok_or(StoreError::OutOfService)
+    }
+
+    /// Blocks (cooperatively) while `shard` is mid-migration.
+    fn wait_not_migrating(&self, shard: u128) {
+        loop {
+            if !self.inner.migrating.lock().contains(&shard) {
+                return;
+            }
+            shardstore_conc::thread::yield_now();
+        }
+    }
+
+    /// The store on a specific disk, if in service (test support).
+    pub fn store(&self, disk: usize) -> Option<Store> {
+        self.inner.disks[disk].lock().store.clone()
+    }
+
+    /// Stores a shard (request plane). Writes wait out an in-flight
+    /// migration of the same shard.
+    pub fn put(&self, shard: u128, data: &[u8]) -> Result<Dependency, StoreError> {
+        loop {
+            self.wait_not_migrating(shard);
+            let disk = self.route(shard);
+            let store = self.store_for(shard)?;
+            // Fixed code keeps catalog and index consistent by updating
+            // both under the catalog lock; re-validate the route under
+            // the lock so a migration that slipped in retries the write.
+            let mut catalog = self.inner.catalog.lock();
+            if self.route(shard) != disk || self.inner.migrating.lock().contains(&shard) {
+                drop(catalog);
+                continue;
+            }
+            let dep = store.put(shard, data)?;
+            catalog.insert(shard);
+            return Ok(dep);
+        }
+    }
+
+    /// Reads a shard (request plane). Reads racing a migration retry when
+    /// the placement moved under them.
+    pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
+        loop {
+            let disk = self.route(shard);
+            let store = self.store_for(shard)?;
+            let got = store.get(shard)?;
+            if got.is_none() && self.route(shard) != disk {
+                // The shard moved between routing and reading; retry on
+                // the new placement.
+                shardstore_conc::yield_now();
+                continue;
+            }
+            return Ok(got);
+        }
+    }
+
+    /// Deletes a shard (request plane). Waits out in-flight migrations
+    /// like [`Node::put`].
+    pub fn delete(&self, shard: u128) -> Result<Dependency, StoreError> {
+        loop {
+            self.wait_not_migrating(shard);
+            let disk = self.route(shard);
+            let store = self.store_for(shard)?;
+            let mut catalog = self.inner.catalog.lock();
+            if self.route(shard) != disk || self.inner.migrating.lock().contains(&shard) {
+                drop(catalog);
+                continue;
+            }
+            let dep = store.delete(shard)?;
+            catalog.remove(&shard);
+            return Ok(dep);
+        }
+    }
+
+    /// Control plane: the catalog of shards believed to exist.
+    pub fn list(&self) -> Vec<u128> {
+        self.inner.catalog.lock().iter().copied().collect()
+    }
+
+    /// Control plane: list shards with their sizes, verifying each one by
+    /// reading it. The fixed code tolerates shards vanishing between the
+    /// catalog snapshot and the per-shard read (a concurrent delete);
+    /// with [`BugId::B13ListRemoveRace`] seeded it asserts they still
+    /// exist, reproducing the issue #13 race.
+    pub fn list_verified(&self) -> Result<Vec<(u128, usize)>, StoreError> {
+        let shards = self.list();
+        let mut out = Vec::with_capacity(shards.len());
+        for shard in shards {
+            // Scheduling point: a concurrent removal can interleave here.
+            shardstore_conc::yield_now();
+            let data = self.get(shard)?;
+            if self.inner.faults.is(BugId::B13ListRemoveRace) {
+                // BUG B13 (seeded): "a listed shard always exists".
+                let data = data.expect("listed shard must exist");
+                out.push((shard, data.len()));
+            } else if let Some(data) = data {
+                out.push((shard, data.len()));
+            } else {
+                coverage::hit("node.list.shard_vanished");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Control plane: bulk-create shards. With
+    /// [`BugId::B16BulkOpsRace`] seeded, the index writes and the catalog
+    /// updates happen in separate phases, racing with bulk removal.
+    pub fn bulk_create(&self, shards: &[(u128, Vec<u8>)]) -> Result<Vec<Dependency>, StoreError> {
+        let mut deps = Vec::with_capacity(shards.len());
+        if self.inner.faults.is(BugId::B16BulkOpsRace) {
+            // BUG B16 (seeded): phase 1 writes every shard...
+            for (shard, data) in shards {
+                let store = self.store_for(*shard)?;
+                deps.push(store.put(*shard, data)?);
+            }
+            shardstore_conc::yield_now();
+            // ...phase 2 updates the catalog afterwards.
+            let mut catalog = self.inner.catalog.lock();
+            for (shard, _) in shards {
+                catalog.insert(*shard);
+            }
+        } else {
+            for (shard, data) in shards {
+                deps.push(self.put(*shard, data)?);
+            }
+        }
+        coverage::hit("node.bulk_create");
+        Ok(deps)
+    }
+
+    /// Control plane: bulk-remove shards (see [`Node::bulk_create`] for
+    /// the seeded race).
+    pub fn bulk_remove(&self, shards: &[u128]) -> Result<Vec<Dependency>, StoreError> {
+        let mut deps = Vec::with_capacity(shards.len());
+        if self.inner.faults.is(BugId::B16BulkOpsRace) {
+            // BUG B16 (seeded): catalog first...
+            {
+                let mut catalog = self.inner.catalog.lock();
+                for shard in shards {
+                    catalog.remove(shard);
+                }
+            }
+            shardstore_conc::yield_now();
+            // ...index second.
+            for shard in shards {
+                let store = self.store_for(*shard)?;
+                deps.push(store.delete(*shard)?);
+            }
+        } else {
+            for shard in shards {
+                deps.push(self.delete(*shard)?);
+            }
+        }
+        coverage::hit("node.bulk_remove");
+        Ok(deps)
+    }
+
+    /// Control plane: removes a disk from service (e.g. for repair). The
+    /// store is cleanly shut down; its catalog entries are dropped (the
+    /// shards live on other replicas while the disk is away).
+    pub fn remove_disk(&self, disk: usize) -> Result<(), StoreError> {
+        let mut slot = self.inner.disks[disk].lock();
+        let Some(store) = slot.store.take() else {
+            return Err(StoreError::OutOfService);
+        };
+        store.clean_shutdown()?;
+        let shards = store.list()?;
+        {
+            let mut catalog = self.inner.catalog.lock();
+            for s in shards {
+                catalog.remove(&s);
+            }
+        }
+        if self.inner.faults.is(BugId::B4DiskRemovalLosesShards) {
+            // BUG B4 (seeded): removal dropped the handle to the disk
+            // itself, so a later return has nothing to recover from.
+            slot.sched = None;
+        }
+        store.set_in_service(false);
+        coverage::hit("node.remove_disk");
+        Ok(())
+    }
+
+    /// Control plane: returns a previously removed disk to service,
+    /// recovering its contents. With [`BugId::B4DiskRemovalLosesShards`]
+    /// seeded, the disk comes back freshly formatted instead — losing
+    /// every shard it held.
+    pub fn return_disk(&self, disk: usize) -> Result<(), StoreError> {
+        let mut slot = self.inner.disks[disk].lock();
+        if slot.store.is_some() {
+            return Ok(());
+        }
+        let store = match slot.sched.clone() {
+            Some(sched) => {
+                Store::recover(sched, self.inner.config, self.inner.faults.clone())?
+            }
+            None => {
+                // B4's buggy path: nothing to recover; format fresh.
+                let store =
+                    Store::format(self.inner.geometry, self.inner.config, self.inner.faults.clone());
+                slot.sched = Some(store.scheduler());
+                store
+            }
+        };
+        let shards = store.list()?;
+        {
+            let mut catalog = self.inner.catalog.lock();
+            for s in shards {
+                catalog.insert(s);
+            }
+        }
+        slot.store = Some(store);
+        coverage::hit("node.return_disk");
+        Ok(())
+    }
+
+    /// Control plane: migrates a shard to another disk (the repair /
+    /// rebalancing primitive of §2.1's RPC interface). Copies the data to
+    /// the target store, flips the placement override, then deletes the
+    /// source copy — in that order, so a crash of this process never
+    /// loses the shard. Returns the target store's put dependency.
+    pub fn migrate(&self, shard: u128, to_disk: usize) -> Result<Dependency, StoreError> {
+        assert!(to_disk < self.inner.disks.len(), "no such disk");
+        // Latch the shard: writes wait until the move completes (only one
+        // migration per shard at a time).
+        loop {
+            let mut migrating = self.inner.migrating.lock();
+            if migrating.insert(shard) {
+                break;
+            }
+            drop(migrating);
+            shardstore_conc::thread::yield_now();
+        }
+        let result = self.migrate_locked(shard, to_disk);
+        self.inner.migrating.lock().remove(&shard);
+        result
+    }
+
+    fn migrate_locked(&self, shard: u128, to_disk: usize) -> Result<Dependency, StoreError> {
+        // Hold the catalog lock across the copy→flip→delete transition:
+        // request-plane writes perform their route re-validation and
+        // store write under the same lock, so no write can slip between
+        // our copy and the source deletion and be silently wiped.
+        let _catalog = self.inner.catalog.lock();
+        let from_disk = self.route(shard);
+        let source = self.inner.disks[from_disk].lock().store.clone();
+        let target = self.inner.disks[to_disk].lock().store.clone();
+        let (Some(source), Some(target)) = (source, target) else {
+            return Err(StoreError::OutOfService);
+        };
+        let Some(data) = source.get(shard)? else {
+            // Nothing to move; clear any stale override.
+            if from_disk == self.home_disk(shard) {
+                self.inner.placement.lock().remove(&shard);
+            }
+            return Ok(target.scheduler().none());
+        };
+        if from_disk == to_disk {
+            return Ok(target.scheduler().none());
+        }
+        // 1. Copy to the target.
+        let dep = target.put(shard, &data)?;
+        // 2. Flip placement: reads now go to the target.
+        {
+            let mut placement = self.inner.placement.lock();
+            if to_disk == self.home_disk(shard) {
+                placement.remove(&shard);
+            } else {
+                placement.insert(shard, to_disk);
+            }
+        }
+        // 3. Drop the source copy (its space is reclaimed by GC).
+        source.delete(shard)?;
+        coverage::hit("node.migrate");
+        Ok(dep)
+    }
+
+    /// The placement override table (test/inspection support).
+    pub fn placements(&self) -> Vec<(u128, usize)> {
+        self.inner.placement.lock().iter().map(|(s, d)| (*s, *d)).collect()
+    }
+
+    /// Checks that the control-plane catalog matches the union of the
+    /// per-disk indexes (the invariant the issue #16 race violates).
+    pub fn check_catalog_consistent(&self) -> Result<(), String> {
+        let catalog: BTreeSet<u128> = self.inner.catalog.lock().iter().copied().collect();
+        let mut actual = BTreeSet::new();
+        for slot in &self.inner.disks {
+            let store = slot.lock().store.clone();
+            if let Some(store) = store {
+                match store.list() {
+                    Ok(keys) => actual.extend(keys),
+                    Err(e) => return Err(format!("listing failed: {e}")),
+                }
+            }
+        }
+        if catalog != actual {
+            return Err(format!(
+                "catalog/index divergence: catalog {catalog:?} vs index {actual:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Pumps every in-service disk's IO to completion.
+    pub fn pump_all(&self) -> Result<(), StoreError> {
+        for slot in &self.inner.disks {
+            let store = slot.lock().store.clone();
+            if let Some(store) = store {
+                store.pump()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cleanly shuts down every in-service disk.
+    pub fn clean_shutdown_all(&self) -> Result<(), StoreError> {
+        for slot in &self.inner.disks {
+            let store = slot.lock().store.clone();
+            if let Some(store) = store {
+                store.clean_shutdown()?;
+            }
+        }
+        Ok(())
+    }
+}

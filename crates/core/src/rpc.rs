@@ -1,0 +1,280 @@
+//! The RPC layer: wire-format requests and responses plus an in-process
+//! server loop (§2.1 "RPC interface").
+//!
+//! Clients interact with ShardStore through a shared RPC interface that
+//! steers requests to target disks based on shard ids. The wire codec is
+//! hand-rolled and panic-free on arbitrary bytes — request parsing is part
+//! of the untrusted input surface §7 of the paper worries about, and the
+//! property suite fuzzes [`Request::decode`]/[`Response::decode`]
+//! accordingly.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use shardstore_vdisk::codec::{CodecError, Reader, Writer};
+
+use crate::node::Node;
+
+/// A request-plane or control-plane RPC request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Store a shard.
+    Put {
+        /// Target shard id.
+        shard: u128,
+        /// Shard payload.
+        data: Vec<u8>,
+    },
+    /// Read a shard.
+    Get {
+        /// Target shard id.
+        shard: u128,
+    },
+    /// Delete a shard.
+    Delete {
+        /// Target shard id.
+        shard: u128,
+    },
+    /// List all shards (control plane).
+    List,
+    /// Remove a disk from service (control plane).
+    RemoveDisk {
+        /// Disk slot index.
+        disk: u32,
+    },
+    /// Return a removed disk to service (control plane).
+    ReturnDisk {
+        /// Disk slot index.
+        disk: u32,
+    },
+    /// Migrate a shard to another disk (control plane).
+    Migrate {
+        /// The shard to move.
+        shard: u128,
+        /// Destination disk slot.
+        to_disk: u32,
+    },
+}
+
+/// An RPC response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The operation succeeded with no payload.
+    Ok,
+    /// A get succeeded.
+    Data(Vec<u8>),
+    /// The shard does not exist.
+    NotFound,
+    /// A listing.
+    Shards(Vec<u128>),
+    /// The operation failed.
+    Error(String),
+}
+
+impl Request {
+    /// Encodes the request to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Put { shard, data } => {
+                w.u8(0).bytes(&shard.to_le_bytes()).var_bytes(data);
+            }
+            Request::Get { shard } => {
+                w.u8(1).bytes(&shard.to_le_bytes());
+            }
+            Request::Delete { shard } => {
+                w.u8(2).bytes(&shard.to_le_bytes());
+            }
+            Request::List => {
+                w.u8(3);
+            }
+            Request::RemoveDisk { disk } => {
+                w.u8(4).u32(*disk);
+            }
+            Request::ReturnDisk { disk } => {
+                w.u8(5).u32(*disk);
+            }
+            Request::Migrate { shard, to_disk } => {
+                w.u8(6).bytes(&shard.to_le_bytes()).u32(*to_disk);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request from wire bytes. Never panics on corrupt input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let req = match tag {
+            0 => {
+                let shard = read_u128(&mut r)?;
+                let data = r.var_bytes()?.to_vec();
+                Request::Put { shard, data }
+            }
+            1 => Request::Get { shard: read_u128(&mut r)? },
+            2 => Request::Delete { shard: read_u128(&mut r)? },
+            3 => Request::List,
+            4 => Request::RemoveDisk { disk: r.u32()? },
+            5 => Request::ReturnDisk { disk: r.u32()? },
+            6 => Request::Migrate { shard: read_u128(&mut r)?, to_disk: r.u32()? },
+            _ => return Err(CodecError::BadValue),
+        };
+        if r.remaining() != 0 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Ok => {
+                w.u8(0);
+            }
+            Response::Data(data) => {
+                w.u8(1).var_bytes(data);
+            }
+            Response::NotFound => {
+                w.u8(2);
+            }
+            Response::Shards(shards) => {
+                w.u8(3).u32(shards.len() as u32);
+                for s in shards {
+                    w.bytes(&s.to_le_bytes());
+                }
+            }
+            Response::Error(msg) => {
+                w.u8(4).var_bytes(msg.as_bytes());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a response from wire bytes. Never panics on corrupt input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let resp = match tag {
+            0 => Response::Ok,
+            1 => Response::Data(r.var_bytes()?.to_vec()),
+            2 => Response::NotFound,
+            3 => {
+                let n = r.u32()? as usize;
+                if n.checked_mul(16).map(|b| b > r.remaining()).unwrap_or(true) {
+                    return Err(CodecError::BadLength);
+                }
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shards.push(read_u128(&mut r)?);
+                }
+                Response::Shards(shards)
+            }
+            4 => {
+                let msg = String::from_utf8(r.var_bytes()?.to_vec())
+                    .map_err(|_| CodecError::BadValue)?;
+                Response::Error(msg)
+            }
+            _ => return Err(CodecError::BadValue),
+        };
+        if r.remaining() != 0 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(resp)
+    }
+}
+
+fn read_u128(r: &mut Reader<'_>) -> Result<u128, CodecError> {
+    let mut b = [0u8; 16];
+    b.copy_from_slice(r.bytes(16)?);
+    Ok(u128::from_le_bytes(b))
+}
+
+/// Dispatches one decoded request against a node.
+pub fn dispatch(node: &Node, request: Request) -> Response {
+    match request {
+        Request::Put { shard, data } => match node.put(shard, &data) {
+            Ok(_dep) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Get { shard } => match node.get(shard) {
+            Ok(Some(data)) => Response::Data(data),
+            Ok(None) => Response::NotFound,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Delete { shard } => match node.delete(shard) {
+            Ok(_dep) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::List => Response::Shards(node.list()),
+        Request::RemoveDisk { disk } => {
+            if disk as usize >= node.disk_count() {
+                return Response::Error("no such disk".into());
+            }
+            match node.remove_disk(disk as usize) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::ReturnDisk { disk } => {
+            if disk as usize >= node.disk_count() {
+                return Response::Error("no such disk".into());
+            }
+            match node.return_disk(disk as usize) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        Request::Migrate { shard, to_disk } => {
+            if to_disk as usize >= node.disk_count() {
+                return Response::Error("no such disk".into());
+            }
+            match node.migrate(shard, to_disk as usize) {
+                Ok(_dep) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+    }
+}
+
+/// Handle for sending wire-encoded requests to a running [`serve`] loop.
+#[derive(Debug, Clone)]
+pub struct RpcClient {
+    tx: Sender<WireCall>,
+}
+
+impl RpcClient {
+    /// Sends a request and waits for the response. Malformed requests get
+    /// an error response rather than killing the server.
+    pub fn call(&self, request: &Request) -> Response {
+        let (reply_tx, reply_rx) = unbounded();
+        if self.tx.send((request.encode(), reply_tx)).is_err() {
+            return Response::Error("server stopped".into());
+        }
+        match reply_rx.recv() {
+            Ok(bytes) => {
+                Response::decode(&bytes).unwrap_or(Response::Error("bad response".into()))
+            }
+            Err(_) => Response::Error("server stopped".into()),
+        }
+    }
+}
+
+/// A wire request paired with the channel its response should go to.
+type WireCall = (Vec<u8>, Sender<Vec<u8>>);
+
+/// Runs an RPC server loop over in-process channels; returns a client
+/// handle and a join guard (dropping the client stops the server).
+pub fn serve(node: Node) -> (RpcClient, std::thread::JoinHandle<()>) {
+    let (tx, rx): (Sender<WireCall>, Receiver<WireCall>) = unbounded();
+    let handle = std::thread::spawn(move || {
+        while let Ok((bytes, reply)) = rx.recv() {
+            let response = match Request::decode(&bytes) {
+                Ok(req) => dispatch(&node, req),
+                Err(e) => Response::Error(format!("malformed request: {e}")),
+            };
+            let _ = reply.send(response.encode());
+        }
+    });
+    (RpcClient { tx }, handle)
+}

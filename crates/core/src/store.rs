@@ -1,0 +1,380 @@
+//! The per-disk key-value store: ShardStore's API layer (§2 of the paper).
+//!
+//! Each disk is an isolated failure domain running an independent
+//! key-value store. A store assembles the full substrate stack — virtual
+//! disk, IO scheduler, extent manager/superblock, chunk store, buffer
+//! cache, LSM index — and exposes the request-plane API (`put`, `get`,
+//! `delete`) plus maintenance entry points (index flush, compaction,
+//! chunk reclamation) and lifecycle operations (clean shutdown, recovery
+//! after a dirty reboot).
+//!
+//! A `put` builds exactly the dependency graph of Fig. 2: the shard data
+//! is chunked and written to data extents; the index entry is recorded in
+//! the LSM tree (a promise sealed by the next flush, which also writes the
+//! LSM metadata); every append additionally folds a soft-write-pointer
+//! update into the pending superblock write. The returned [`Dependency`]
+//! persists only when all of it has.
+
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_cache::CachedChunkStore;
+use shardstore_chunk::{ChunkError, ChunkStore, Stream};
+use shardstore_conc::sync::Mutex;
+use shardstore_dependency::{Dependency, IoScheduler};
+use shardstore_faults::{coverage, FaultConfig};
+use shardstore_lsm::{LsmError, LsmIndex};
+use shardstore_superblock::{ExtentError, ExtentManager};
+use shardstore_vdisk::{Disk, Geometry};
+
+/// Store-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Chunk layer failure.
+    Chunk(ChunkError),
+    /// Index layer failure.
+    Lsm(LsmError),
+    /// Extent layer failure.
+    Extent(ExtentError),
+    /// The store is out of service (disk removed by the control plane).
+    OutOfService,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Chunk(e) => write!(f, "chunk: {e}"),
+            StoreError::Lsm(e) => write!(f, "index: {e}"),
+            StoreError::Extent(e) => write!(f, "extent: {e}"),
+            StoreError::OutOfService => write!(f, "store out of service"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ChunkError> for StoreError {
+    fn from(e: ChunkError) -> Self {
+        StoreError::Chunk(e)
+    }
+}
+
+impl From<LsmError> for StoreError {
+    fn from(e: LsmError) -> Self {
+        StoreError::Lsm(e)
+    }
+}
+
+impl From<ExtentError> for StoreError {
+    fn from(e: ExtentError) -> Self {
+        StoreError::Extent(e)
+    }
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Maximum chunk payload size; larger shards are split across chunks.
+    pub max_chunk_size: usize,
+    /// Memtable entry count that triggers an automatic index flush.
+    pub flush_threshold: usize,
+    /// Buffer-cache capacity in bytes. The paper's §8.3 recounts a bug
+    /// that hid behind an oversized test cache — keep this small in
+    /// property-based tests so the miss path stays covered.
+    pub cache_capacity: usize,
+    /// Deterministic seed for chunk UUID generation.
+    pub uuid_seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { max_chunk_size: 4096, flush_threshold: 64, cache_capacity: 1 << 20, uuid_seed: 1 }
+    }
+}
+
+impl StoreConfig {
+    /// A configuration sized for the small test geometry: chunks split at
+    /// sub-page sizes, early flushes, and a small cache so that eviction
+    /// and miss paths are reachable.
+    pub fn small() -> Self {
+        Self { max_chunk_size: 96, flush_threshold: 6, cache_capacity: 512, uuid_seed: 1 }
+    }
+}
+
+/// One per-disk ShardStore key-value store. Cheap to clone.
+#[derive(Clone)]
+pub struct Store {
+    index: LsmIndex,
+    faults: FaultConfig,
+    config: StoreConfig,
+    in_service: Arc<Mutex<bool>>,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store").field("index", &self.index).finish()
+    }
+}
+
+impl Store {
+    /// Formats a fresh store on a new in-memory disk.
+    pub fn format(geometry: Geometry, config: StoreConfig, faults: FaultConfig) -> Self {
+        let disk = Disk::new(geometry);
+        let sched = IoScheduler::new(disk);
+        let em = ExtentManager::format(sched, faults.clone());
+        let cs = ChunkStore::new(em, faults.clone(), config.uuid_seed);
+        let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
+        let index = LsmIndex::new(cache, faults.clone());
+        Self { index, faults, config, in_service: Arc::new(Mutex::new(true)) }
+    }
+
+    /// Recovers a store from an existing disk after a reboot (clean or
+    /// dirty): superblock → chunk registry scan → LSM metadata.
+    pub fn recover(
+        sched: IoScheduler,
+        config: StoreConfig,
+        faults: FaultConfig,
+    ) -> Result<Self, StoreError> {
+        let em = ExtentManager::recover(sched, faults.clone())?;
+        let cs = ChunkStore::recover(em, faults.clone(), config.uuid_seed)?;
+        let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
+        let index = LsmIndex::recover(cache, faults.clone())?;
+        coverage::hit("store.recovered");
+        Ok(Self { index, faults, config, in_service: Arc::new(Mutex::new(true)) })
+    }
+
+    /// The store's IO scheduler (for pumping, crash injection, and
+    /// dependency construction in tests).
+    pub fn scheduler(&self) -> IoScheduler {
+        self.index.cache().chunk_store().extent_manager().scheduler().clone()
+    }
+
+    /// The LSM index.
+    pub fn index(&self) -> &LsmIndex {
+        &self.index
+    }
+
+    /// The cached chunk store.
+    pub fn cache(&self) -> &CachedChunkStore {
+        self.index.cache()
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The fault configuration.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    fn check_service(&self) -> Result<(), StoreError> {
+        if *self.in_service.lock() {
+            Ok(())
+        } else {
+            Err(StoreError::OutOfService)
+        }
+    }
+
+    /// Marks the store out of service (control-plane disk removal).
+    pub fn set_in_service(&self, on: bool) {
+        *self.in_service.lock() = on;
+    }
+
+    /// Stores a shard. Returns a dependency that persists once the data
+    /// chunks, the index entry, and the covering superblock updates are
+    /// all durable (Fig. 2's graph for one put).
+    pub fn put(&self, shard: u128, data: &[u8]) -> Result<Dependency, StoreError> {
+        self.check_service()?;
+        let none = self.scheduler().none();
+        let mut locators = Vec::new();
+        let mut deps = Vec::new();
+        let mut data_deps = Vec::new();
+        let mut guards = Vec::new();
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            vec![&[][..]]
+        } else {
+            data.chunks(self.config.max_chunk_size.max(1)).collect()
+        };
+        if chunks.len() > 1 {
+            coverage::hit("store.put.multi_chunk");
+        }
+        for piece in chunks {
+            let out = self.cache().put(Stream::Data, piece, &none)?;
+            locators.push(out.locator);
+            deps.push(out.dep);
+            data_deps.push(out.data_dep);
+            // Pin each chunk's extent until the index references it (the
+            // issue #11 fix at the API layer).
+            guards.push(out.guard);
+        }
+        // An overwrite orphans the previous value's chunks: hint them
+        // dead so reclamation can prioritize their extents.
+        if let Some(old) = self.index.get(shard)? {
+            for locator in &old {
+                self.cache().chunk_store().mark_dead(locator);
+            }
+        }
+        let data_dep = self.scheduler().join(&data_deps);
+        let index_dep = self.index.put(shard, locators, data_dep);
+        drop(guards);
+        deps.push(index_dep);
+        let dep = self.scheduler().join(&deps);
+        self.maybe_flush()?;
+        Ok(dep)
+    }
+
+    /// Reads a shard. Returns `None` for absent shards; corruption is
+    /// always detected and surfaced as an error, never as wrong data.
+    ///
+    /// Like the index, the data-chunk read is optimistic against
+    /// concurrent reclamation: if a chunk read fails and the index entry
+    /// has moved in the meantime (its chunks were relocated), the read is
+    /// retried against the fresh locators.
+    pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
+        self.check_service()?;
+        loop {
+            let Some(locators) = self.index.get(shard)? else {
+                return Ok(None);
+            };
+            let mut data = Vec::new();
+            let mut failed = None;
+            for locator in &locators {
+                match self.cache().get(locator) {
+                    Ok(bytes) => data.extend_from_slice(&bytes),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            let Some(e) = failed else { return Ok(Some(data)) };
+            let now = self.index.get(shard)?;
+            if now.as_ref() != Some(&locators) {
+                coverage::hit("store.get.retry_relocated");
+                continue;
+            }
+            return Err(e.into());
+        }
+    }
+
+    /// Deletes a shard. Returns the tombstone's durability dependency.
+    ///
+    /// Dead chunks are only *hinted* dead for reclamation; their cache
+    /// entries are left alone — a deleted locator is never read again
+    /// through the index, and reclamation drains the cache when it resets
+    /// an extent (the invariant issue #2 violated).
+    pub fn delete(&self, shard: u128) -> Result<Dependency, StoreError> {
+        self.check_service()?;
+        if let Some(locators) = self.index.get(shard)? {
+            for locator in &locators {
+                self.cache().chunk_store().mark_dead(locator);
+            }
+        }
+        let dep = self.index.delete(shard);
+        self.maybe_flush()?;
+        Ok(dep)
+    }
+
+    /// All shard ids currently present (merged view).
+    pub fn list(&self) -> Result<Vec<u128>, StoreError> {
+        self.check_service()?;
+        Ok(self.index.keys()?)
+    }
+
+    fn maybe_flush(&self) -> Result<(), StoreError> {
+        if self.index.memtable_len() >= self.config.flush_threshold {
+            coverage::hit("store.flush.threshold");
+            self.index.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Explicitly flushes the index memtable.
+    pub fn flush_index(&self) -> Result<(), StoreError> {
+        self.index.flush()?;
+        Ok(())
+    }
+
+    /// Explicitly compacts the LSM tree.
+    pub fn compact_index(&self) -> Result<(), StoreError> {
+        self.index.compact()?;
+        Ok(())
+    }
+
+    /// Runs one chunk-reclamation pass over the best victim extent of the
+    /// given stream, if any. Returns true if an extent was reclaimed.
+    pub fn reclaim(&self, stream: Stream) -> Result<bool, StoreError> {
+        self.check_service()?;
+        let Some(victim) = self.cache().chunk_store().select_victim(stream) else {
+            coverage::hit("store.reclaim.no_victim");
+            return Ok(false);
+        };
+        let reclaimed = match stream {
+            Stream::Data => {
+                let referencer = self.index.data_referencer();
+                self.cache().reclaim(victim, stream, &referencer)?
+            }
+            Stream::Lsm | Stream::Meta => {
+                let referencer = self.index.lsm_referencer();
+                self.cache().reclaim(victim, stream, &referencer)?
+            }
+        };
+        if reclaimed.is_some() {
+            self.index.note_extent_reset();
+            coverage::hit("store.reclaim.done");
+        }
+        Ok(reclaimed.is_some())
+    }
+
+    /// Reclaims a specific extent (used by targeted tests and harnesses).
+    pub fn reclaim_extent(
+        &self,
+        extent: shardstore_vdisk::ExtentId,
+        stream: Stream,
+    ) -> Result<bool, StoreError> {
+        let reclaimed = match stream {
+            Stream::Data => {
+                let referencer = self.index.data_referencer();
+                self.cache().reclaim(extent, stream, &referencer)?
+            }
+            Stream::Lsm | Stream::Meta => {
+                let referencer = self.index.lsm_referencer();
+                self.cache().reclaim(extent, stream, &referencer)?
+            }
+        };
+        if reclaimed.is_some() {
+            self.index.note_extent_reset();
+        }
+        Ok(reclaimed.is_some())
+    }
+
+    /// Drives all queued IO to completion (the background writeback pump
+    /// making a full pass).
+    pub fn pump(&self) -> Result<(), StoreError> {
+        self.cache().chunk_store().extent_manager().pump()?;
+        Ok(())
+    }
+
+    /// Clean shutdown: flush the index and pump all IO, after which every
+    /// returned dependency must report persistent (§5 forward progress).
+    pub fn clean_shutdown(&self) -> Result<(), StoreError> {
+        self.index.shutdown()?;
+        self.pump()?;
+        coverage::hit("store.clean_shutdown");
+        Ok(())
+    }
+
+    /// Simulates a dirty reboot at the IO level: drops pending writes and
+    /// applies `plan` to the disk's volatile cache, then clears all
+    /// volatile component state by recovering a fresh store from the disk.
+    pub fn dirty_reboot(
+        &self,
+        plan: &shardstore_vdisk::CrashPlan,
+    ) -> Result<Store, StoreError> {
+        let sched = self.scheduler();
+        sched.crash(plan);
+        Store::recover(sched, self.config, self.faults.clone())
+    }
+}

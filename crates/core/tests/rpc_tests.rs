@@ -1,0 +1,121 @@
+//! RPC layer tests: wire-codec round trips, panic-freedom on arbitrary
+//! bytes (§7 — request parsing is untrusted-input handling), and the
+//! in-process server loop.
+
+use proptest::prelude::*;
+use shardstore_core::rpc::{dispatch, serve, Request, Response};
+use shardstore_core::{Node, StoreConfig};
+use shardstore_faults::FaultConfig;
+use shardstore_vdisk::Geometry;
+
+fn node() -> Node {
+    Node::new(2, Geometry::small(), StoreConfig::small(), FaultConfig::none())
+}
+
+#[test]
+fn dispatch_roundtrip() {
+    let n = node();
+    assert_eq!(dispatch(&n, Request::Put { shard: 7, data: b"hello".to_vec() }), Response::Ok);
+    assert_eq!(dispatch(&n, Request::Get { shard: 7 }), Response::Data(b"hello".to_vec()));
+    assert_eq!(dispatch(&n, Request::List), Response::Shards(vec![7]));
+    assert_eq!(dispatch(&n, Request::Delete { shard: 7 }), Response::Ok);
+    assert_eq!(dispatch(&n, Request::Get { shard: 7 }), Response::NotFound);
+}
+
+#[test]
+fn dispatch_migrate() {
+    let n = node();
+    dispatch(&n, Request::Put { shard: 1, data: b"move me".to_vec() });
+    assert_eq!(dispatch(&n, Request::Migrate { shard: 1, to_disk: 0 }), Response::Ok);
+    assert_eq!(dispatch(&n, Request::Get { shard: 1 }), Response::Data(b"move me".to_vec()));
+    assert!(matches!(
+        dispatch(&n, Request::Migrate { shard: 1, to_disk: 99 }),
+        Response::Error(_)
+    ));
+}
+
+#[test]
+fn dispatch_disk_control_plane() {
+    let n = node();
+    dispatch(&n, Request::Put { shard: 0, data: b"even".to_vec() });
+    assert_eq!(dispatch(&n, Request::RemoveDisk { disk: 0 }), Response::Ok);
+    assert!(matches!(dispatch(&n, Request::Get { shard: 0 }), Response::Error(_)));
+    assert_eq!(dispatch(&n, Request::ReturnDisk { disk: 0 }), Response::Ok);
+    assert_eq!(dispatch(&n, Request::Get { shard: 0 }), Response::Data(b"even".to_vec()));
+    assert!(matches!(dispatch(&n, Request::RemoveDisk { disk: 9 }), Response::Error(_)));
+}
+
+#[test]
+fn server_loop_handles_wire_requests() {
+    let (client, handle) = serve(node());
+    assert_eq!(client.call(&Request::Put { shard: 3, data: b"x".to_vec() }), Response::Ok);
+    assert_eq!(client.call(&Request::Get { shard: 3 }), Response::Data(b"x".to_vec()));
+    assert_eq!(client.call(&Request::Get { shard: 4 }), Response::NotFound);
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn decode_rejects_trailing_garbage() {
+    let mut bytes = Request::List.encode();
+    bytes.push(0);
+    assert!(Request::decode(&bytes).is_err());
+}
+
+#[test]
+fn decode_rejects_unknown_tags() {
+    assert!(Request::decode(&[99]).is_err());
+    assert!(Response::decode(&[77]).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Requests round-trip through the wire format.
+    #[test]
+    fn request_roundtrip(shard in any::<u128>(), data in proptest::collection::vec(any::<u8>(), 0..200), disk in any::<u32>()) {
+        for req in [
+            Request::Put { shard, data: data.clone() },
+            Request::Get { shard },
+            Request::Delete { shard },
+            Request::List,
+            Request::RemoveDisk { disk },
+            Request::ReturnDisk { disk },
+            Request::Migrate { shard, to_disk: disk },
+        ] {
+            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    /// Responses round-trip through the wire format.
+    #[test]
+    fn response_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200),
+                          shards in proptest::collection::vec(any::<u128>(), 0..20),
+                          msg in "[a-zA-Z0-9 ]{0,40}") {
+        for resp in [
+            Response::Ok,
+            Response::Data(data.clone()),
+            Response::NotFound,
+            Response::Shards(shards.clone()),
+            Response::Error(msg.clone()),
+        ] {
+            prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoders (§7).
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// A malformed wire request gets an error response, not a dead server.
+    #[test]
+    fn dispatching_decoded_garbage_is_safe(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        if let Ok(req) = Request::decode(&bytes) {
+            let n = node();
+            let _ = dispatch(&n, req);
+        }
+    }
+}

@@ -1,0 +1,929 @@
+//! Soft-updates crash consistency: run-time dependency graphs and the IO
+//! scheduler that enforces them (§2.2 of the paper).
+//!
+//! ShardStore avoids a write-ahead log by orchestrating the *order* in
+//! which writes reach the disk, so that every crash state of the disk is
+//! consistent (soft updates). Rather than global reasoning about writeback
+//! orderings, crash-consistent orderings are specified *declaratively*: the
+//! only way to write to disk is to submit a write to the [`IoScheduler`]
+//! together with an input [`Dependency`], and the scheduler guarantees the
+//! write is not issued to the disk until the input dependency has been
+//! *persisted*. Every submission returns a new `Dependency` that can be
+//! combined with others ([`Dependency::and`]) to build richer graphs, and
+//! polled with [`Dependency::is_persistent`] — the exact API shape of the
+//! paper's `fn append(&self, ..., dep: Dependency) -> Dependency`.
+//!
+//! Three node kinds make up a dependency graph:
+//!
+//! - **Write** nodes carry data destined for an extent. They move through
+//!   `Pending` (queued, invisible to the disk) → `Issued` (in the disk's
+//!   volatile cache) → `Persisted` (flushed). A crash drops pending writes
+//!   entirely and may keep any page subset of issued-but-unflushed writes.
+//! - **Join** nodes ([`Dependency::and`], [`IoScheduler::join`]) persist
+//!   when all their dependencies persist.
+//! - **Promise** nodes ([`IoScheduler::promise`]) are joins whose
+//!   dependencies are filled in later — e.g. a `put`'s index entry becomes
+//!   persistent only once some future LSM flush and metadata write land,
+//!   so `put` returns a promise that the flush seals afterwards.
+//!
+//! The scheduler also implements *write coalescing*: contiguous pending
+//! writes to the same extent are merged into one disk IO when issued
+//! (Fig. 2's two puts sharing one IO), and pending writes can be *amended*
+//! in place ([`IoScheduler::amend_pending_write`]) which is how superblock
+//! soft-write-pointer updates from many appends fold into one superblock
+//! write.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_conc::sync::Mutex;
+use shardstore_vdisk::{CrashPlan, Disk, ExtentId, IoError};
+
+/// Index of a node in the scheduler's arena.
+type NodeId = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteState {
+    Pending,
+    Issued,
+    Persisted,
+    /// Dropped by a crash before persisting, or failed by an injected IO
+    /// error. A lost node can never become persistent.
+    Lost,
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    Write { extent: ExtentId, offset: usize, len: usize, data: Option<Vec<u8>>, state: WriteState },
+    Join { sealed: bool },
+}
+
+#[derive(Debug)]
+struct Node {
+    kind: NodeKind,
+    deps: Vec<NodeId>,
+    /// Memoized "this node and everything below it has persisted".
+    persistent_memo: bool,
+}
+
+/// Scheduler statistics, for benches and the coalescing ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Write nodes submitted.
+    pub writes_submitted: u64,
+    /// Disk IOs actually issued (after coalescing).
+    pub ios_issued: u64,
+    /// Writes that were merged into a preceding IO.
+    pub writes_coalesced: u64,
+    /// Flush barriers executed.
+    pub flushes: u64,
+    /// Writes lost to crashes before being issued.
+    pub writes_lost_pending: u64,
+    /// Writes lost to crashes after being issued but before flushing.
+    pub writes_lost_issued: u64,
+    /// Implicit write-after-write ordering edges added for overlapping
+    /// pending writes.
+    pub waw_dependencies: u64,
+    /// Writes re-queued after a transient IO failure.
+    pub writes_retried: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes: Vec<Node>,
+    /// Write nodes not yet issued, in submission order.
+    pending: VecDeque<NodeId>,
+    /// Write nodes issued to the disk cache but not yet flushed.
+    issued: Vec<NodeId>,
+    /// When true, every write is flushed individually as it is issued
+    /// (the "global barrier" ablation mode — no coalescing benefit).
+    barrier_mode: bool,
+    stats: SchedulerStats,
+}
+
+/// The IO scheduler: the single gateway through which all ShardStore
+/// components write to disk.
+///
+/// Cloning is cheap and shares the underlying scheduler.
+#[derive(Clone)]
+pub struct IoScheduler {
+    core: Arc<SchedCore>,
+}
+
+struct SchedCore {
+    disk: Arc<Disk>,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for IoScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.core.inner.lock();
+        f.debug_struct("IoScheduler")
+            .field("nodes", &inner.nodes.len())
+            .field("pending", &inner.pending.len())
+            .field("issued", &inner.issued.len())
+            .finish()
+    }
+}
+
+/// A handle to a dependency-graph node (or the trivially persistent empty
+/// dependency). Cheap to clone; combine with [`Dependency::and`]; poll with
+/// [`Dependency::is_persistent`].
+#[derive(Clone)]
+pub struct Dependency {
+    core: Arc<SchedCore>,
+    node: Option<NodeId>,
+}
+
+impl fmt::Debug for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "Dependency({n})"),
+            None => write!(f, "Dependency(none)"),
+        }
+    }
+}
+
+/// An unsealed join node: dependencies can be added until [`Promise::seal`]
+/// is called; it reports non-persistent until sealed.
+#[derive(Debug, Clone)]
+pub struct Promise {
+    dep: Dependency,
+}
+
+impl IoScheduler {
+    /// Creates a scheduler over a disk.
+    pub fn new(disk: Arc<Disk>) -> Self {
+        Self {
+            core: Arc::new(SchedCore {
+                disk,
+                inner: Mutex::new(Inner {
+                    nodes: Vec::new(),
+                    pending: VecDeque::new(),
+                    issued: Vec::new(),
+                    barrier_mode: false,
+                    stats: SchedulerStats::default(),
+                }),
+            }),
+        }
+    }
+
+    /// Enables the write-ahead-log-like ablation mode: every write is
+    /// issued and flushed individually, defeating coalescing. Used by the
+    /// benches to quantify what soft updates buy (§2.2 motivation).
+    pub fn set_barrier_mode(&self, on: bool) {
+        self.core.inner.lock().barrier_mode = on;
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.core.disk
+    }
+
+    /// The always-persistent empty dependency.
+    pub fn none(&self) -> Dependency {
+        Dependency { core: Arc::clone(&self.core), node: None }
+    }
+
+    /// Submits a write of `data` at `(extent, offset)` that will not be
+    /// issued to disk until `dep` has persisted. Returns the write's own
+    /// dependency.
+    pub fn submit_write(
+        &self,
+        extent: ExtentId,
+        offset: usize,
+        data: Vec<u8>,
+        dep: &Dependency,
+    ) -> Dependency {
+        debug_assert!(Arc::ptr_eq(&self.core, &dep.core), "dependency from another scheduler");
+        let mut inner = self.core.inner.lock();
+        let id = inner.nodes.len();
+        let mut deps: Vec<NodeId> = dep.node.into_iter().collect();
+        // Write-after-write ordering: a write overlapping a still-pending
+        // earlier write to the same bytes must not be issued before it —
+        // otherwise dependency readiness can reorder them and the *older*
+        // data lands last. This arises when an extent reset reuses space
+        // while writes from before the reset are still queued.
+        let overlapping: Vec<NodeId> = inner
+            .pending
+            .iter()
+            .copied()
+            .filter(|p| {
+                matches!(
+                    &inner.nodes[*p].kind,
+                    NodeKind::Write { extent: e, offset: o, len: l, state, .. }
+                        if *state == WriteState::Pending
+                            && *e == extent
+                            && *o < offset + data.len()
+                            && offset < *o + *l
+                )
+            })
+            .collect();
+        inner.stats.waw_dependencies += overlapping.len() as u64;
+        deps.extend(overlapping);
+        inner.nodes.push(Node {
+            kind: NodeKind::Write {
+                extent,
+                offset,
+                len: data.len(),
+                data: Some(data),
+                state: WriteState::Pending,
+            },
+            deps,
+            persistent_memo: false,
+        });
+        inner.pending.push_back(id);
+        inner.stats.writes_submitted += 1;
+        Dependency { core: Arc::clone(&self.core), node: Some(id) }
+    }
+
+    /// Joins several dependencies: the result persists when all of them
+    /// have persisted.
+    pub fn join(&self, deps: &[Dependency]) -> Dependency {
+        let mut inner = self.core.inner.lock();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node {
+            kind: NodeKind::Join { sealed: true },
+            deps: deps.iter().filter_map(|d| d.node).collect(),
+            persistent_memo: false,
+        });
+        Dependency { core: Arc::clone(&self.core), node: Some(id) }
+    }
+
+    /// Creates an unsealed promise node (see [`Promise`]).
+    pub fn promise(&self) -> Promise {
+        let mut inner = self.core.inner.lock();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node {
+            kind: NodeKind::Join { sealed: false },
+            deps: Vec::new(),
+            persistent_memo: false,
+        });
+        Promise { dep: Dependency { core: Arc::clone(&self.core), node: Some(id) } }
+    }
+
+    /// Amends a still-pending write in place: replaces its payload and adds
+    /// extra dependencies. Returns false (without modifying anything) if
+    /// the write has already been issued, in which case the caller must
+    /// submit a fresh write. This is how per-append superblock updates
+    /// coalesce into a single superblock IO (Fig. 2).
+    pub fn amend_pending_write(
+        &self,
+        dep: &Dependency,
+        new_data: Vec<u8>,
+        extra_deps: &[Dependency],
+    ) -> bool {
+        let Some(id) = dep.node else { return false };
+        let mut inner = self.core.inner.lock();
+        let extra: Vec<NodeId> = extra_deps.iter().filter_map(|d| d.node).collect();
+        match &mut inner.nodes[id].kind {
+            NodeKind::Write { len, data, state: WriteState::Pending, .. } => {
+                *len = new_data.len();
+                *data = Some(new_data);
+            }
+            _ => return false,
+        }
+        inner.nodes[id].deps.extend(extra);
+        true
+    }
+
+    /// Returns true if `node`'s subgraph is fully persisted, memoizing.
+    fn compute_persistent(inner: &mut Inner, node: NodeId) -> bool {
+        // Iterative post-order DFS with memoization; dependency graphs can
+        // form long chains (one per append), so no recursion.
+        if inner.nodes[node].persistent_memo {
+            return true;
+        }
+        let mut stack = vec![(node, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if inner.nodes[n].persistent_memo {
+                continue;
+            }
+            let self_ok = match &inner.nodes[n].kind {
+                NodeKind::Write { state, .. } => *state == WriteState::Persisted,
+                NodeKind::Join { sealed } => *sealed,
+            };
+            if !self_ok {
+                // Not persistent itself; no need to expand below it.
+                continue;
+            }
+            if expanded {
+                // All children processed; node is persistent iff all its
+                // deps are memoized persistent.
+                let all = inner.nodes[n].deps.iter().all(|d| inner.nodes[*d].persistent_memo);
+                if all {
+                    inner.nodes[n].persistent_memo = true;
+                }
+            } else {
+                stack.push((n, true));
+                let deps = inner.nodes[n].deps.clone();
+                for d in deps {
+                    if !inner.nodes[d].persistent_memo {
+                        stack.push((d, false));
+                    }
+                }
+            }
+        }
+        inner.nodes[node].persistent_memo
+    }
+
+    /// Issues up to `max` ready pending writes (writes whose dependencies
+    /// have all persisted) into the disk's volatile cache, coalescing
+    /// contiguous same-extent writes into single IOs. Returns how many
+    /// write nodes were issued.
+    ///
+    /// On an injected IO failure the failing write is marked lost and the
+    /// error is returned; already-issued writes from this call remain
+    /// issued.
+    pub fn issue_ready(&self, max: usize) -> Result<usize, IoError> {
+        let mut inner = self.core.inner.lock();
+        let inner = &mut *inner;
+        let mut issued = 0usize;
+        let mut scanned = 0usize;
+        while issued < max && scanned < inner.pending.len() {
+            // Find the next ready write, preserving FIFO order among the
+            // not-ready ones.
+            let idx = (scanned..inner.pending.len()).find(|i| {
+                let id = inner.pending[*i];
+                let deps = inner.nodes[id].deps.clone();
+                deps.iter().all(|d| Self::compute_persistent(inner, *d))
+            });
+            let Some(idx) = idx else { break };
+            scanned = idx;
+            let id = inner.pending.remove(idx).expect("index valid");
+            let (extent, offset, data) = match &mut inner.nodes[id].kind {
+                NodeKind::Write { extent, offset, data, .. } => {
+                    (*extent, *offset, data.take().expect("pending write has data"))
+                }
+                NodeKind::Join { .. } => unreachable!("pending queue holds only writes"),
+            };
+            // Coalesce: greedily absorb immediately-following ready writes
+            // that continue contiguously on the same extent.
+            let mut batch = data;
+            let mut batch_nodes = vec![id];
+            if !inner.barrier_mode {
+                while issued + batch_nodes.len() < max && scanned < inner.pending.len() {
+                    let next_id = inner.pending[scanned];
+                    let contiguous = matches!(
+                        &inner.nodes[next_id].kind,
+                        NodeKind::Write { extent: e, offset: o, .. }
+                            if *e == extent && *o == offset + batch.len()
+                    );
+                    let ready = contiguous && {
+                        let deps = inner.nodes[next_id].deps.clone();
+                        deps.iter().all(|d| Self::compute_persistent(inner, *d))
+                    };
+                    if !ready {
+                        break;
+                    }
+                    inner.pending.remove(scanned).expect("index valid");
+                    if let NodeKind::Write { data, .. } = &mut inner.nodes[next_id].kind {
+                        batch.extend_from_slice(&data.take().expect("pending write has data"));
+                    }
+                    batch_nodes.push(next_id);
+                    inner.stats.writes_coalesced += 1;
+                }
+            }
+            if std::env::var_os("IO_TRACE").is_some() {
+                eprintln!("IO: write ext {} off {} len {} (nodes {:?})", extent.0, offset, batch.len(), batch_nodes);
+            }
+            match self.core.disk.write(extent, offset, &batch) {
+                Ok(()) => {
+                    for n in &batch_nodes {
+                        if let NodeKind::Write { state, .. } = &mut inner.nodes[*n].kind {
+                            *state = WriteState::Issued;
+                        }
+                        inner.issued.push(*n);
+                    }
+                    inner.stats.ios_issued += 1;
+                    issued += batch_nodes.len();
+                    if inner.barrier_mode {
+                        self.core.disk.flush_extent(extent)?;
+                        inner.stats.flushes += 1;
+                        for n in &batch_nodes {
+                            if let NodeKind::Write { state, .. } = &mut inner.nodes[*n].kind {
+                                *state = WriteState::Persisted;
+                            }
+                        }
+                        inner.issued.clear();
+                    }
+                }
+                Err(e) => {
+                    // Transient IO failure: the write stays pending and is
+                    // retried on the next pump (a permanently failing
+                    // extent keeps erroring and keeps the write queued).
+                    // Without the retry, one transient failure would
+                    // poison every write that transitively depends on the
+                    // failed one.
+                    for n in batch_nodes.iter().rev() {
+                        if let NodeKind::Write { data, .. } = &mut inner.nodes[*n].kind {
+                            debug_assert!(data.is_none());
+                        }
+                        inner.pending.push_front(*n);
+                    }
+                    // Restore the batch payload to the individual nodes.
+                    let mut pos = 0usize;
+                    for n in &batch_nodes {
+                        if let NodeKind::Write { len, data, .. } = &mut inner.nodes[*n].kind {
+                            *data = Some(batch[pos..pos + *len].to_vec());
+                            pos += *len;
+                        }
+                    }
+                    inner.stats.writes_retried += 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(issued)
+    }
+
+    /// Reads through the scheduler: disk content overlaid with the data
+    /// of pending (not yet issued) writes, in submission order. This is
+    /// the read-your-writes view a real system gets from its page cache /
+    /// write buffer — without it, data would be unreadable between
+    /// submission and writeback.
+    pub fn read(&self, extent: ExtentId, offset: usize, len: usize) -> Result<Vec<u8>, IoError> {
+        let inner = self.core.inner.lock();
+        let mut out = self.core.disk.read(extent, offset, len)?;
+        for &id in inner.pending.iter() {
+            if let NodeKind::Write { extent: e, offset: o, data: Some(d), .. } =
+                &inner.nodes[id].kind
+            {
+                if *e != extent {
+                    continue;
+                }
+                // Overlap of [o, o+d.len()) with [offset, offset+len).
+                let start = (*o).max(offset);
+                let end = (o + d.len()).min(offset + len);
+                if start < end {
+                    out[start - offset..end - offset]
+                        .copy_from_slice(&d[start - o..end - o]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flushes the disk and marks all issued writes persisted.
+    pub fn flush_issued(&self) -> Result<(), IoError> {
+        let mut inner = self.core.inner.lock();
+        if inner.issued.is_empty() {
+            return Ok(());
+        }
+        self.core.disk.flush_all()?;
+        inner.stats.flushes += 1;
+        let issued = std::mem::take(&mut inner.issued);
+        for n in issued {
+            if let NodeKind::Write { state, .. } = &mut inner.nodes[n].kind {
+                *state = WriteState::Persisted;
+            }
+        }
+        Ok(())
+    }
+
+    /// Repeatedly issues ready writes and flushes until quiescent: no
+    /// pending write is ready (all remaining ones wait on unsealed
+    /// promises or lost nodes).
+    pub fn pump(&self) -> Result<(), IoError> {
+        loop {
+            let n = self.issue_ready(usize::MAX)?;
+            // Flushing can make further pending writes ready (their
+            // dependencies just persisted), so only stop once a round
+            // neither issued nor flushed anything.
+            let had_issued = self.issued_count() > 0;
+            self.flush_issued()?;
+            if n == 0 && !had_issued {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Simulates a fail-stop crash: pending writes are dropped, issued
+    /// writes survive at page granularity per `plan` (via
+    /// [`Disk::crash`]), and neither can ever become persistent.
+    pub fn crash(&self, plan: &CrashPlan) {
+        let mut inner = self.core.inner.lock();
+        let pending = std::mem::take(&mut inner.pending);
+        for n in pending {
+            if let NodeKind::Write { state, data, .. } = &mut inner.nodes[n].kind {
+                *state = WriteState::Lost;
+                *data = None;
+            }
+            inner.stats.writes_lost_pending += 1;
+        }
+        let issued = std::mem::take(&mut inner.issued);
+        for n in issued {
+            if let NodeKind::Write { state, .. } = &mut inner.nodes[n].kind {
+                *state = WriteState::Lost;
+            }
+            inner.stats.writes_lost_issued += 1;
+        }
+        self.core.disk.crash(plan);
+    }
+
+    /// Number of pending (unissued) writes.
+    pub fn pending_count(&self) -> usize {
+        self.core.inner.lock().pending.len()
+    }
+
+    /// Number of issued-but-unflushed writes.
+    pub fn issued_count(&self) -> usize {
+        self.core.inner.lock().issued.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        self.core.inner.lock().stats
+    }
+
+    /// Debug rendering of every pending write and the state of its
+    /// dependency subgraph (for diagnosing stuck writebacks).
+    pub fn debug_pending(&self) -> Vec<String> {
+        let mut inner = self.core.inner.lock();
+        let pending: Vec<NodeId> = inner.pending.iter().copied().collect();
+        pending
+            .iter()
+            .map(|&id| {
+                let (extent, offset, len) = match &inner.nodes[id].kind {
+                    NodeKind::Write { extent, offset, len, .. } => (extent.0, *offset, *len),
+                    NodeKind::Join { .. } => (u32::MAX, 0, 0),
+                };
+                let deps = inner.nodes[id].deps.clone();
+                let unresolved: Vec<NodeId> = deps
+                    .iter()
+                    .filter(|d| !IoScheduler::compute_persistent(&mut inner, **d))
+                    .copied()
+                    .collect();
+                let blocked: Vec<String> = unresolved
+                    .iter()
+                    .map(|d| IoScheduler::describe_node(&inner, *d))
+                    .collect();
+                format!(
+                    "write #{id} ext {extent} off {offset} len {len}: blocked on {blocked:?}"
+                )
+            })
+            .collect()
+    }
+
+    fn describe_node(inner: &Inner, id: NodeId) -> String {
+        match &inner.nodes[id].kind {
+            NodeKind::Write { extent, offset, state, .. } => {
+                format!("#{id} write ext {} off {offset} [{state:?}]", extent.0)
+            }
+            NodeKind::Join { sealed } => {
+                let deps = &inner.nodes[id].deps;
+                format!("#{id} join(sealed={sealed}, deps={deps:?})")
+            }
+        }
+    }
+}
+
+impl Dependency {
+    /// Returns true once the operation this dependency represents — and
+    /// everything it transitively depends on — has been persisted to disk.
+    pub fn is_persistent(&self) -> bool {
+        match self.node {
+            None => true,
+            Some(n) => {
+                let mut inner = self.core.inner.lock();
+                IoScheduler::compute_persistent(&mut inner, n)
+            }
+        }
+    }
+
+    /// True if both handles point at the same graph node (or both are the
+    /// empty dependency).
+    pub fn same_node(&self, other: &Dependency) -> bool {
+        Arc::ptr_eq(&self.core, &other.core) && self.node == other.node
+    }
+
+    /// Combines two dependencies: the result persists when both have.
+    pub fn and(&self, other: &Dependency) -> Dependency {
+        debug_assert!(Arc::ptr_eq(&self.core, &other.core), "dependency from another scheduler");
+        match (self.node, other.node) {
+            (None, _) => other.clone(),
+            (_, None) => self.clone(),
+            (Some(a), Some(b)) => {
+                let mut inner = self.core.inner.lock();
+                let id = inner.nodes.len();
+                inner.nodes.push(Node {
+                    kind: NodeKind::Join { sealed: true },
+                    deps: vec![a, b],
+                    persistent_memo: false,
+                });
+                Dependency { core: Arc::clone(&self.core), node: Some(id) }
+            }
+        }
+    }
+}
+
+impl Promise {
+    /// Adds a dependency to the promise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the promise has already been sealed.
+    pub fn add_dep(&self, dep: &Dependency) {
+        let id = self.dep.node.expect("promise has a node");
+        let mut inner = self.dep.core.inner.lock();
+        match &inner.nodes[id].kind {
+            NodeKind::Join { sealed: false } => {}
+            _ => panic!("add_dep on a sealed promise"),
+        }
+        if let Some(d) = dep.node {
+            inner.nodes[id].deps.push(d);
+        }
+    }
+
+    /// Seals the promise: no further dependencies may be added, and it can
+    /// now become persistent once its dependencies do.
+    pub fn seal(&self) {
+        let id = self.dep.node.expect("promise has a node");
+        let mut inner = self.dep.core.inner.lock();
+        if let NodeKind::Join { sealed } = &mut inner.nodes[id].kind {
+            *sealed = true;
+        }
+    }
+
+    /// The promise's dependency handle (pollable by clients immediately).
+    pub fn dependency(&self) -> Dependency {
+        self.dep.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shardstore_vdisk::Geometry;
+
+    fn setup() -> (Arc<Disk>, IoScheduler) {
+        let disk = Disk::new(Geometry::small());
+        let sched = IoScheduler::new(Arc::clone(&disk));
+        (disk, sched)
+    }
+
+    #[test]
+    fn none_dependency_is_always_persistent() {
+        let (_d, s) = setup();
+        assert!(s.none().is_persistent());
+    }
+
+    #[test]
+    fn write_is_not_persistent_until_pumped() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"abc".to_vec(), &none);
+        assert!(!dep.is_persistent());
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 3).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn dependent_write_waits_for_its_dependency() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let first = s.submit_write(ExtentId(1), 0, b"11".to_vec(), &none);
+        let second = s.submit_write(ExtentId(2), 0, b"22".to_vec(), &first);
+        // Issue one round without flushing: only `first` can be issued;
+        // `second` must wait for `first` to PERSIST, not merely issue.
+        let n = s.issue_ready(usize::MAX).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s.pending_count(), 1);
+        // The dependent write is not on disk at all yet.
+        assert_eq!(disk.read(ExtentId(2), 0, 2).unwrap(), vec![0, 0]);
+        s.flush_issued().unwrap();
+        assert!(first.is_persistent());
+        assert!(!second.is_persistent());
+        s.pump().unwrap();
+        assert!(second.is_persistent());
+        assert_eq!(disk.read(ExtentId(2), 0, 2).unwrap(), b"22");
+    }
+
+    #[test]
+    fn crash_respects_dependency_order() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let first = s.submit_write(ExtentId(1), 0, b"11".to_vec(), &none);
+        let second = s.submit_write(ExtentId(2), 0, b"22".to_vec(), &first);
+        // Crash before anything is pumped: both lost, disk empty.
+        s.crash(&CrashPlan::KeepAll);
+        assert!(!first.is_persistent());
+        assert!(!second.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 2).unwrap(), vec![0, 0]);
+        assert_eq!(disk.read(ExtentId(2), 0, 2).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn crash_after_issue_can_keep_pages_without_persistence() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"xy".to_vec(), &none);
+        s.issue_ready(usize::MAX).unwrap();
+        // Crash keeping the cached page: data readable, dependency not
+        // persistent (the one-directional persistence contract).
+        s.crash(&CrashPlan::KeepAll);
+        assert!(!dep.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 2).unwrap(), b"xy");
+    }
+
+    #[test]
+    fn lost_write_never_becomes_persistent() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"z".to_vec(), &none);
+        s.crash(&CrashPlan::LoseAll);
+        s.pump().unwrap();
+        assert!(!dep.is_persistent());
+    }
+
+    #[test]
+    fn join_requires_all_parts() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        let a = s.submit_write(ExtentId(1), 0, b"a".to_vec(), &none);
+        s.pump().unwrap();
+        let b = s.submit_write(ExtentId(2), 0, b"b".to_vec(), &none);
+        let joined = a.and(&b);
+        assert!(!joined.is_persistent());
+        s.pump().unwrap();
+        assert!(joined.is_persistent());
+    }
+
+    #[test]
+    fn and_with_none_is_identity() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        let a = s.submit_write(ExtentId(1), 0, b"a".to_vec(), &none);
+        let j = a.and(&s.none());
+        let j2 = s.none().and(&a);
+        assert!(!j.is_persistent());
+        assert!(!j2.is_persistent());
+        s.pump().unwrap();
+        assert!(j.is_persistent() && j2.is_persistent());
+    }
+
+    #[test]
+    fn promise_persists_only_after_seal() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        let p = s.promise();
+        let w = s.submit_write(ExtentId(1), 0, b"w".to_vec(), &none);
+        p.add_dep(&w);
+        s.pump().unwrap();
+        assert!(!p.dependency().is_persistent(), "unsealed promise must not be persistent");
+        p.seal();
+        assert!(p.dependency().is_persistent());
+    }
+
+    #[test]
+    fn empty_sealed_promise_is_persistent() {
+        let (_disk, s) = setup();
+        let p = s.promise();
+        p.seal();
+        assert!(p.dependency().is_persistent());
+    }
+
+    #[test]
+    fn writes_blocked_on_unsealed_promise_do_not_issue() {
+        let (disk, s) = setup();
+        let p = s.promise();
+        let w = s.submit_write(ExtentId(1), 0, b"q".to_vec(), &p.dependency());
+        s.pump().unwrap();
+        assert!(!w.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), vec![0]);
+        p.seal();
+        s.pump().unwrap();
+        assert!(w.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"q");
+    }
+
+    #[test]
+    fn contiguous_writes_coalesce_into_one_io() {
+        let (disk, s) = setup();
+        let none = s.none();
+        s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
+        s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &none);
+        s.submit_write(ExtentId(1), 4, b"cc".to_vec(), &none);
+        s.pump().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.writes_submitted, 3);
+        assert_eq!(stats.ios_issued, 1, "three contiguous writes should be one IO");
+        assert_eq!(stats.writes_coalesced, 2);
+        assert_eq!(disk.read(ExtentId(1), 0, 6).unwrap(), b"aabbcc");
+    }
+
+    #[test]
+    fn barrier_mode_defeats_coalescing() {
+        let (_disk, s) = setup();
+        s.set_barrier_mode(true);
+        let none = s.none();
+        s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
+        s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &none);
+        s.pump().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.ios_issued, 2);
+        assert_eq!(stats.writes_coalesced, 0);
+    }
+
+    #[test]
+    fn non_contiguous_writes_do_not_coalesce() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
+        s.submit_write(ExtentId(1), 10, b"bb".to_vec(), &none);
+        s.pump().unwrap();
+        assert_eq!(s.stats().ios_issued, 2);
+    }
+
+    #[test]
+    fn amend_pending_write_replaces_payload() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"old".to_vec(), &none);
+        assert!(s.amend_pending_write(&dep, b"new".to_vec(), &[]));
+        s.pump().unwrap();
+        assert_eq!(disk.read(ExtentId(1), 0, 3).unwrap(), b"new");
+    }
+
+    #[test]
+    fn amend_fails_after_issue() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"old".to_vec(), &none);
+        s.issue_ready(usize::MAX).unwrap();
+        assert!(!s.amend_pending_write(&dep, b"new".to_vec(), &[]));
+    }
+
+    #[test]
+    fn amend_extra_deps_are_respected() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        let gate = s.promise();
+        let dep = s.submit_write(ExtentId(1), 0, b"v1".to_vec(), &none);
+        assert!(s.amend_pending_write(&dep, b"v2".to_vec(), &[gate.dependency()]));
+        s.pump().unwrap();
+        assert!(!dep.is_persistent(), "amended write must now wait on the gate");
+        gate.seal();
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+    }
+
+    #[test]
+    fn transient_write_failure_is_retried() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"x".to_vec(), &none);
+        disk.inject_fail_once(ExtentId(1));
+        assert!(s.issue_ready(usize::MAX).is_err());
+        assert!(!dep.is_persistent());
+        assert_eq!(s.pending_count(), 1, "the failed write stays queued");
+        // The next pump retries and succeeds.
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"x");
+        assert_eq!(s.stats().writes_retried, 1);
+    }
+
+    #[test]
+    fn permanent_write_failure_keeps_erroring() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"x".to_vec(), &none);
+        disk.inject_fail_always(ExtentId(1));
+        for _ in 0..3 {
+            assert!(s.pump().is_err());
+            assert!(!dep.is_persistent());
+        }
+        disk.clear_failures();
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+    }
+
+    #[test]
+    fn long_dependency_chains_do_not_overflow() {
+        let (_disk, s) = setup();
+        let mut dep = s.none();
+        for i in 0..5_000 {
+            dep = s.submit_write(ExtentId(1), (i % 100) as usize, vec![1], &dep);
+        }
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+    }
+
+    #[test]
+    fn pending_and_issued_counts() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        s.submit_write(ExtentId(1), 0, b"a".to_vec(), &none);
+        let gate = s.promise();
+        s.submit_write(ExtentId(2), 0, b"b".to_vec(), &gate.dependency());
+        assert_eq!(s.pending_count(), 2);
+        s.issue_ready(usize::MAX).unwrap();
+        assert_eq!(s.pending_count(), 1);
+        assert_eq!(s.issued_count(), 1);
+        s.flush_issued().unwrap();
+        assert_eq!(s.issued_count(), 0);
+    }
+}

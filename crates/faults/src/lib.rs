@@ -1,0 +1,313 @@
+//! Seeded-fault registry and coverage probes for the ShardStore validation
+//! effort.
+//!
+//! The paper's headline result (Fig. 5) is a catalog of 16 issues that the
+//! lightweight formal methods stack prevented from reaching production. To
+//! reproduce that table we re-introduce each issue as a *seeded fault*: a
+//! guarded code path inside the relevant component that restores the
+//! historical buggy behaviour. The default build always runs the fixed code;
+//! a fault only activates when a test explicitly constructs a [`FaultConfig`]
+//! naming its [`BugId`].
+//!
+//! This crate also hosts the lightweight *coverage probe* mechanism used by
+//! §4.2 of the paper: components mark interesting code paths with
+//! [`coverage::hit`], and test harnesses read the global [`coverage`]
+//! registry to detect blind spots (e.g. a cache-miss path that biased
+//! generation never reaches).
+
+pub mod coverage;
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier for one of the 16 production issues from Fig. 5 of the paper.
+///
+/// Each variant documents the component it lives in and the property it
+/// violates, mirroring the paper's table rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugId {
+    /// #1 chunk store: off-by-one in reclamation for chunks of size close to
+    /// `PAGE_SIZE` (functional correctness).
+    B1ReclamationOffByOne,
+    /// #2 buffer cache: cache not drained after resetting an extent
+    /// (functional correctness).
+    B2CacheNotDrained,
+    /// #3 index: metadata not flushed on shutdown if an extent was reset
+    /// (functional correctness).
+    B3MetadataShutdownFlush,
+    /// #4 API: shards lost when a disk is removed from service and later
+    /// returned (functional correctness).
+    B4DiskRemovalLosesShards,
+    /// #5 chunk store: reclamation forgets chunks after a transient read IO
+    /// error (functional correctness, failure injection).
+    B5ReclamationTransientError,
+    /// #6 superblock: extent-ownership dependency incorrect after a reboot
+    /// (crash consistency).
+    B6OwnershipDependency,
+    /// #7 superblock: mismatch between soft and hard write pointers in a
+    /// crash after an extent reset (crash consistency).
+    B7SoftHardPointerMismatch,
+    /// #8 buffer cache: writes missing a dependency on the soft write
+    /// pointer update (crash consistency).
+    B8MissingPointerDependency,
+    /// #9 chunk store: *reference model* not updated correctly after a crash
+    /// during reclamation (crash consistency; a bug in the spec, not the
+    /// implementation).
+    B9ModelCrashReclamation,
+    /// #10 chunk store: reclamation forgets chunks after a crash and UUID
+    /// collision (crash consistency; the worked example of §5).
+    B10UuidCollision,
+    /// #11 chunk store: chunk locators invalid after a race between write
+    /// and flush (concurrency).
+    B11LocatorRace,
+    /// #12 superblock: buffer pool exhaustion deadlocks threads waiting for
+    /// a superblock update (concurrency).
+    B12SuperblockDeadlock,
+    /// #13 API: race between control-plane listing and removal of shards
+    /// (concurrency).
+    B13ListRemoveRace,
+    /// #14 index: race between reclamation and LSM compaction loses recent
+    /// index entries (concurrency; the worked example of §6).
+    B14CompactionReclaimRace,
+    /// #15 chunk store reference model: re-used chunk locators that other
+    /// code assumed unique (concurrency; a model bug).
+    B15ModelLocatorReuse,
+    /// #16 API: race between control-plane bulk create and bulk remove
+    /// (concurrency).
+    B16BulkOpsRace,
+}
+
+impl BugId {
+    /// All sixteen issues, in Fig. 5 order.
+    pub const ALL: [BugId; 16] = [
+        BugId::B1ReclamationOffByOne,
+        BugId::B2CacheNotDrained,
+        BugId::B3MetadataShutdownFlush,
+        BugId::B4DiskRemovalLosesShards,
+        BugId::B5ReclamationTransientError,
+        BugId::B6OwnershipDependency,
+        BugId::B7SoftHardPointerMismatch,
+        BugId::B8MissingPointerDependency,
+        BugId::B9ModelCrashReclamation,
+        BugId::B10UuidCollision,
+        BugId::B11LocatorRace,
+        BugId::B12SuperblockDeadlock,
+        BugId::B13ListRemoveRace,
+        BugId::B14CompactionReclaimRace,
+        BugId::B15ModelLocatorReuse,
+        BugId::B16BulkOpsRace,
+    ];
+
+    /// The Fig. 5 row number (1-based).
+    pub fn number(self) -> u8 {
+        BugId::ALL.iter().position(|b| *b == self).expect("in ALL") as u8 + 1
+    }
+
+    /// The component column of Fig. 5.
+    pub fn component(self) -> &'static str {
+        use BugId::*;
+        match self {
+            B1ReclamationOffByOne | B5ReclamationTransientError | B9ModelCrashReclamation
+            | B10UuidCollision | B11LocatorRace | B15ModelLocatorReuse => "Chunk store",
+            B2CacheNotDrained | B8MissingPointerDependency => "Buffer cache",
+            B3MetadataShutdownFlush | B14CompactionReclaimRace => "Index",
+            B4DiskRemovalLosesShards | B13ListRemoveRace | B16BulkOpsRace => "API",
+            B6OwnershipDependency | B7SoftHardPointerMismatch | B12SuperblockDeadlock => {
+                "Superblock"
+            }
+        }
+    }
+
+    /// The top-level property the issue violates (Fig. 5 section headers).
+    pub fn property(self) -> Property {
+        use BugId::*;
+        match self {
+            B1ReclamationOffByOne | B2CacheNotDrained | B3MetadataShutdownFlush
+            | B4DiskRemovalLosesShards | B5ReclamationTransientError => {
+                Property::FunctionalCorrectness
+            }
+            B6OwnershipDependency | B7SoftHardPointerMismatch | B8MissingPointerDependency
+            | B9ModelCrashReclamation | B10UuidCollision => Property::CrashConsistency,
+            B11LocatorRace | B12SuperblockDeadlock | B13ListRemoveRace
+            | B14CompactionReclaimRace | B15ModelLocatorReuse | B16BulkOpsRace => {
+                Property::Concurrency
+            }
+        }
+    }
+
+    /// One-line description matching the Fig. 5 row.
+    pub fn description(self) -> &'static str {
+        use BugId::*;
+        match self {
+            B1ReclamationOffByOne => {
+                "Off-by-one error in reclamation for chunks of size close to PAGE_SIZE"
+            }
+            B2CacheNotDrained => "Cache was not correctly drained after resetting an extent",
+            B3MetadataShutdownFlush => {
+                "Metadata was not flushed correctly during shutdown if an extent was reset"
+            }
+            B4DiskRemovalLosesShards => {
+                "Shards could be lost if a disk was removed from service and then later returned"
+            }
+            B5ReclamationTransientError => {
+                "Reclamation could forget chunks after a transient read IO error"
+            }
+            B6OwnershipDependency => {
+                "Superblock Dependency for extent ownership was incorrect after a reboot"
+            }
+            B7SoftHardPointerMismatch => {
+                "Mismatch between soft and hard write pointers in a crash after an extent reset"
+            }
+            B8MissingPointerDependency => {
+                "Writes did not include a dependency on the soft write pointer update"
+            }
+            B9ModelCrashReclamation => {
+                "Reference model was not updated correctly after a crash during reclamation"
+            }
+            B10UuidCollision => "Reclamation could forget chunks after a crash and UUID collision",
+            B11LocatorRace => {
+                "Chunk locators could become invalid after a race between write and flush"
+            }
+            B12SuperblockDeadlock => {
+                "Buffer pool exhaustion could cause threads waiting for a superblock update to deadlock"
+            }
+            B13ListRemoveRace => {
+                "Race between control plane operations for listing and removal of shards"
+            }
+            B14CompactionReclaimRace => {
+                "Race between reclamation and LSM compaction could lose recent index entries"
+            }
+            B15ModelLocatorReuse => {
+                "Reference model could re-use chunk locators, which other code assumed were unique"
+            }
+            B16BulkOpsRace => {
+                "Race between control plane bulk operations for creating and removing shards"
+            }
+        }
+    }
+}
+
+impl fmt::Display for BugId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {}", self.number(), self.component())
+    }
+}
+
+/// The top-level correctness property a bug violates (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// Sequential crash-free equivalence with the reference model (§4).
+    FunctionalCorrectness,
+    /// Persistence and forward progress across crashes (§5).
+    CrashConsistency,
+    /// Linearizability / absence of races and deadlocks (§6).
+    Concurrency,
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::FunctionalCorrectness => write!(f, "Functional Correctness"),
+            Property::CrashConsistency => write!(f, "Crash Consistency"),
+            Property::Concurrency => write!(f, "Concurrency"),
+        }
+    }
+}
+
+/// Runtime fault configuration threaded through every component constructor.
+///
+/// Cloning is cheap (the seeded set is shared). The default configuration
+/// seeds no bugs, which means every component runs its fixed, production
+/// behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    seeded: Arc<[BugId]>,
+}
+
+impl FaultConfig {
+    /// Configuration with no seeded faults (the fixed system).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Configuration that re-introduces a single historical bug.
+    pub fn seed(bug: BugId) -> Self {
+        Self { seeded: Arc::new([bug]) }
+    }
+
+    /// Configuration that re-introduces several historical bugs at once.
+    pub fn seed_all(bugs: &[BugId]) -> Self {
+        Self { seeded: bugs.to_vec().into() }
+    }
+
+    /// Returns true if `bug` is seeded, i.e. the component should take the
+    /// historical buggy path instead of the fixed one.
+    #[inline]
+    pub fn is(&self, bug: BugId) -> bool {
+        self.seeded.contains(&bug)
+    }
+
+    /// The set of seeded bugs.
+    pub fn seeded(&self) -> &[BugId] {
+        &self.seeded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bugs_numbered_in_order() {
+        for (i, bug) in BugId::ALL.iter().enumerate() {
+            assert_eq!(bug.number() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn property_partition_matches_fig5() {
+        let count = |p: Property| BugId::ALL.iter().filter(|b| b.property() == p).count();
+        assert_eq!(count(Property::FunctionalCorrectness), 5);
+        assert_eq!(count(Property::CrashConsistency), 5);
+        assert_eq!(count(Property::Concurrency), 6);
+    }
+
+    #[test]
+    fn default_config_seeds_nothing() {
+        let cfg = FaultConfig::none();
+        for bug in BugId::ALL {
+            assert!(!cfg.is(bug));
+        }
+    }
+
+    #[test]
+    fn seeded_config_activates_only_its_bug() {
+        let cfg = FaultConfig::seed(BugId::B10UuidCollision);
+        assert!(cfg.is(BugId::B10UuidCollision));
+        assert!(!cfg.is(BugId::B1ReclamationOffByOne));
+    }
+
+    #[test]
+    fn seed_all_activates_every_listed_bug() {
+        let cfg = FaultConfig::seed_all(&[BugId::B1ReclamationOffByOne, BugId::B2CacheNotDrained]);
+        assert!(cfg.is(BugId::B1ReclamationOffByOne));
+        assert!(cfg.is(BugId::B2CacheNotDrained));
+        assert!(!cfg.is(BugId::B3MetadataShutdownFlush));
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_and_components_known() {
+        for bug in BugId::ALL {
+            assert!(!bug.description().is_empty());
+            assert!(matches!(
+                bug.component(),
+                "Chunk store" | "Buffer cache" | "Index" | "API" | "Superblock"
+            ));
+        }
+    }
+
+    #[test]
+    fn display_includes_number() {
+        assert_eq!(format!("{}", BugId::B10UuidCollision), "#10 Chunk store");
+    }
+}

@@ -1,0 +1,408 @@
+//! Sequential crash-free conformance checking (§4 of the paper), with the
+//! §4.4 failure-injection relaxation.
+//!
+//! The runner applies each operation in a sequence to both the
+//! implementation (a full [`Store`] over the in-memory disk) and the
+//! reference model ([`KvModel`]), compares the results (the paper's
+//! `compare_results!`), and after each operation checks the invariant that
+//! both hold the same key-value mapping.
+//!
+//! Once an injected failure has fired, the strict equivalence is relaxed
+//! by the "has failed" flag: an operation may fail or lose data relative
+//! to the model, but may **never return wrong data** — any bytes returned
+//! must be some value that was actually written to that key (§4.4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_core::{Store, StoreConfig, StoreError};
+use shardstore_faults::FaultConfig;
+use shardstore_model::KvModel;
+use shardstore_vdisk::{CrashPlan, Geometry};
+
+use crate::ops::KvOp;
+
+/// A divergence between implementation and model.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the operation that exposed the divergence.
+    pub op_index: usize,
+    /// Rendering of the operation.
+    pub op: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "divergence at op {} ({}): {}", self.op_index, self.op, self.detail)
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Conformance runner configuration.
+#[derive(Debug, Clone)]
+pub struct ConformanceConfig {
+    /// Disk geometry for the store under test.
+    pub geometry: Geometry,
+    /// Store configuration.
+    pub store: StoreConfig,
+    /// Seeded faults (the system under test).
+    pub faults: FaultConfig,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        Self { geometry: Geometry::small(), store: StoreConfig::small(), faults: FaultConfig::none() }
+    }
+}
+
+impl ConformanceConfig {
+    /// Default configuration with a seeded bug.
+    pub fn with_faults(faults: FaultConfig) -> Self {
+        Self { faults, ..Self::default() }
+    }
+}
+
+/// Statistics from a successful run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunReport {
+    /// Operations executed.
+    pub ops: usize,
+    /// Puts that were skipped because the disk genuinely filled up
+    /// (resource exhaustion is out of scope per §4.4).
+    pub skipped_no_space: usize,
+    /// Whether any injected failure fired (the relaxation was active).
+    pub has_failed: bool,
+}
+
+/// Shared per-run state used by both the conformance and crash runners.
+pub(crate) struct RunCtx {
+    pub store: Store,
+    pub puts_so_far: Vec<u128>,
+    pub history: BTreeMap<u128, Vec<Arc<Vec<u8>>>>,
+    pub has_failed: bool,
+    /// Keys whose state is ambiguous because an operation *on them*
+    /// failed, or because a failed background operation left the whole
+    /// store in an ambiguous state. Only uncertain keys are exempt from
+    /// the strict presence checks — this precision is what lets the
+    /// checker catch bugs like issue #5, where a reclamation silently
+    /// swallowed an IO error and lost data for keys no failed operation
+    /// ever touched.
+    pub uncertain: std::collections::BTreeSet<u128>,
+    pub skipped_no_space: usize,
+}
+
+impl RunCtx {
+    pub fn new(cfg: &ConformanceConfig) -> Self {
+        Self {
+            store: Store::format(cfg.geometry, cfg.store, cfg.faults.clone()),
+            puts_so_far: Vec::new(),
+            history: BTreeMap::new(),
+            has_failed: false,
+            uncertain: std::collections::BTreeSet::new(),
+            skipped_no_space: 0,
+        }
+    }
+
+    /// Marks every key (model-side and implementation-side) uncertain —
+    /// used when a failed background operation (flush, reclaim, shutdown,
+    /// pump) leaves no way to attribute ambiguity to specific keys.
+    pub fn mark_all_uncertain(&mut self, model_keys: impl IntoIterator<Item = u128>) {
+        self.uncertain.extend(model_keys);
+        if let Ok(keys) = self.store.list() {
+            self.uncertain.extend(keys);
+        }
+        self.uncertain.extend(self.history.keys().copied());
+    }
+
+    /// Records a written value for the never-wrong-data check.
+    pub fn record_write(&mut self, key: u128, value: Arc<Vec<u8>>) {
+        self.puts_so_far.push(key);
+        self.history.entry(key).or_default().push(value);
+    }
+
+    /// True if `bytes` was ever written to `key`.
+    pub fn was_written(&self, key: u128, bytes: &[u8]) -> bool {
+        self.history.get(&key).map(|h| h.iter().any(|v| ***v == *bytes)).unwrap_or(false)
+    }
+
+    /// Treats an error as tolerable only when a failure was injected.
+    pub fn tolerate(&self, e: &StoreError) -> bool {
+        self.has_failed && !matches!(e, StoreError::OutOfService)
+    }
+}
+
+fn diverge(op_index: usize, op: &KvOp, detail: impl Into<String>) -> Divergence {
+    Divergence { op_index, op: format!("{op:?}"), detail: detail.into() }
+}
+
+fn is_no_space(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::Chunk(shardstore_chunk::ChunkError::NoSpace { .. })
+            | StoreError::Lsm(shardstore_lsm::LsmError::Chunk(
+                shardstore_chunk::ChunkError::NoSpace { .. }
+            ))
+    )
+}
+
+/// Runs a sequence of crash-free operations, checking conformance against
+/// the reference model after every step (Fig. 3's loop).
+pub fn run_conformance(ops: &[KvOp], cfg: &ConformanceConfig) -> Result<RunReport, Divergence> {
+    let mut ctx = RunCtx::new(cfg);
+    let mut model = KvModel::new();
+    let page_size = cfg.geometry.page_size;
+    for (i, op) in ops.iter().enumerate() {
+        apply_op(&mut ctx, &mut model, i, op, page_size, cfg)?;
+        check_invariants(&ctx, &model, i, op)?;
+    }
+    Ok(RunReport {
+        ops: ops.len(),
+        skipped_no_space: ctx.skipped_no_space,
+        has_failed: ctx.has_failed,
+    })
+}
+
+fn apply_op(
+    ctx: &mut RunCtx,
+    model: &mut KvModel,
+    i: usize,
+    op: &KvOp,
+    page_size: usize,
+    cfg: &ConformanceConfig,
+) -> Result<(), Divergence> {
+    match op {
+        KvOp::Get(kr) => {
+            let key = kr.resolve(&ctx.puts_so_far);
+            let got = ctx.store.get(key);
+            let expected = model.get(key);
+            compare_get(ctx, i, op, key, got, expected)?;
+        }
+        KvOp::Put(kr, spec) => {
+            let key = kr.resolve(&ctx.puts_so_far);
+            let value = Arc::new(spec.materialize(key, page_size));
+            match ctx.store.put(key, &value) {
+                Ok(_dep) => {
+                    model.put(key, &value);
+                    ctx.record_write(key, value);
+                }
+                Err(e) if is_no_space(&e) => {
+                    // Resource exhaustion: out of scope (§4.4); the model
+                    // is not updated so both sides stay equivalent.
+                    ctx.skipped_no_space += 1;
+                }
+                Err(e) if ctx.tolerate(&e) => {
+                    // The put may have partially applied: the key's state
+                    // is ambiguous between the old and new value.
+                    ctx.record_write(key, value);
+                    ctx.uncertain.insert(key);
+                }
+                Err(e) => return Err(diverge(i, op, format!("put failed: {e}"))),
+            }
+        }
+        KvOp::Delete(kr) => {
+            let key = kr.resolve(&ctx.puts_so_far);
+            match ctx.store.delete(key) {
+                Ok(_dep) => {
+                    model.delete(key);
+                }
+                Err(e) if is_no_space(&e) => {
+                    ctx.skipped_no_space += 1;
+                }
+                Err(e) if ctx.tolerate(&e) => {
+                    ctx.uncertain.insert(key);
+                }
+                Err(e) => return Err(diverge(i, op, format!("delete failed: {e}"))),
+            }
+        }
+        KvOp::IndexFlush => {
+            if let Err(e) = ctx.store.flush_index() {
+                if !ctx.tolerate(&e) && !is_no_space(&e) {
+                    return Err(diverge(i, op, format!("flush failed: {e}")));
+                }
+                ctx.mark_all_uncertain(model.list());
+            }
+        }
+        KvOp::Compact => {
+            if let Err(e) = ctx.store.compact_index() {
+                if !ctx.tolerate(&e) && !is_no_space(&e) {
+                    return Err(diverge(i, op, format!("compact failed: {e}")));
+                }
+                ctx.mark_all_uncertain(model.list());
+            }
+        }
+        KvOp::Reclaim(stream) => {
+            if let Err(e) = ctx.store.reclaim(*stream) {
+                if !ctx.tolerate(&e) && !is_no_space(&e) {
+                    return Err(diverge(i, op, format!("reclaim failed: {e}")));
+                }
+                ctx.mark_all_uncertain(model.list());
+            }
+        }
+        KvOp::CacheDrop => {
+            ctx.store.cache().clear();
+        }
+        KvOp::Pump(n) => {
+            let sched = ctx.store.scheduler();
+            if let Err(e) = sched.issue_ready(*n as usize).and_then(|_| sched.flush_issued()) {
+                if !ctx.has_failed {
+                    return Err(diverge(i, op, format!("pump failed: {e}")));
+                }
+                ctx.mark_all_uncertain(model.list());
+            }
+        }
+        KvOp::Reboot => {
+            if let Err(e) = ctx.store.clean_shutdown() {
+                if !ctx.tolerate(&e) && !is_no_space(&e) {
+                    return Err(diverge(i, op, format!("clean shutdown failed: {e}")));
+                }
+                ctx.mark_all_uncertain(model.list());
+            }
+            // Everything must be durable after a clean shutdown: recover
+            // from the disk alone.
+            match ctx.store.dirty_reboot(&CrashPlan::LoseAll) {
+                Ok(recovered) => ctx.store = recovered,
+                Err(e) => {
+                    if !ctx.has_failed {
+                        return Err(diverge(i, op, format!("recovery failed: {e}")));
+                    }
+                    // Recovery blocked by a permanent injected failure:
+                    // re-create the store to keep the run going.
+                    ctx.store.scheduler().disk().clear_failures();
+                    ctx.store = ctx
+                        .store
+                        .dirty_reboot(&CrashPlan::LoseAll)
+                        .map_err(|e| diverge(i, op, format!("recovery failed twice: {e}")))?;
+                }
+            }
+        }
+        KvOp::DirtyReboot(_) => {
+            // Only meaningful in the crash runner; treated as a no-op here
+            // so alphabets can be shared.
+        }
+        KvOp::FailDiskOnce(raw) => {
+            let disk = ctx.store.scheduler().disk().clone();
+            let target = KvOp::fail_target(*raw, cfg.geometry.extent_count);
+            disk.inject_fail_once(target);
+            ctx.has_failed = true;
+        }
+    }
+    Ok(())
+}
+
+fn compare_get(
+    ctx: &RunCtx,
+    i: usize,
+    op: &KvOp,
+    key: u128,
+    got: Result<Option<Vec<u8>>, StoreError>,
+    expected: Option<Arc<Vec<u8>>>,
+) -> Result<(), Divergence> {
+    let uncertain = ctx.uncertain.contains(&key);
+    match (got, expected, ctx.has_failed) {
+        (Ok(None), None, _) => Ok(()),
+        (Ok(Some(g)), Some(e), _) if *g == **e => Ok(()),
+        // An operation itself erroring is tolerated once failures are in
+        // play (the disk really can fail reads).
+        (Err(_), _, true) => Ok(()),
+        // Missing or stale data is tolerated only for keys whose own
+        // state is ambiguous — never as a blanket pass. Silent data loss
+        // for untouched keys (the issue #5 signature) stays a violation.
+        (Ok(None), Some(_), true) if uncertain => Ok(()),
+        (Ok(Some(g)), _, true) if uncertain && ctx.was_written(key, &g) => Ok(()),
+        (Ok(Some(g)), Some(e), _) => Err(diverge(
+            i,
+            op,
+            format!("get({key}) returned {} bytes, model has {} bytes", g.len(), e.len()),
+        )),
+        (Ok(Some(_)), None, _) => {
+            Err(diverge(i, op, format!("get({key}) returned data for an absent key")))
+        }
+        (Ok(None), Some(_), _) => {
+            Err(diverge(i, op, format!("get({key}) lost data the model still has")))
+        }
+        (Err(e), _, false) => Err(diverge(i, op, format!("get({key}) failed: {e}"))),
+    }
+}
+
+/// The §4.1 invariant: implementation and model hold the same key-value
+/// mapping (relaxed to the no-corruption check after injected failures).
+fn check_invariants(
+    ctx: &RunCtx,
+    model: &KvModel,
+    i: usize,
+    op: &KvOp,
+) -> Result<(), Divergence> {
+    let impl_keys = match ctx.store.list() {
+        Ok(k) => k,
+        Err(e) => {
+            if ctx.has_failed {
+                return Ok(());
+            }
+            return Err(diverge(i, op, format!("list failed: {e}")));
+        }
+    };
+    let model_keys = model.list();
+    if !ctx.has_failed {
+        if impl_keys != model_keys {
+            return Err(diverge(
+                i,
+                op,
+                format!("key sets diverge: impl {impl_keys:?} vs model {model_keys:?}"),
+            ));
+        }
+        for key in &model_keys {
+            let expected = model.get(*key).expect("listed key present");
+            match ctx.store.get(*key) {
+                Ok(Some(got)) if got == **expected => {}
+                Ok(other) => {
+                    return Err(diverge(
+                        i,
+                        op,
+                        format!(
+                            "value mismatch for key {key}: impl {:?} bytes",
+                            other.map(|v| v.len())
+                        ),
+                    ));
+                }
+                Err(e) => return Err(diverge(i, op, format!("get({key}) failed: {e}"))),
+            }
+        }
+    } else {
+        // Relaxed mode: the key sets may differ only on uncertain keys,
+        // and anything readable must have been written at some point.
+        for key in model_keys.iter().filter(|k| !ctx.uncertain.contains(k)) {
+            if !impl_keys.contains(key) {
+                return Err(diverge(
+                    i,
+                    op,
+                    format!("key {key} lost although no operation on it failed"),
+                ));
+            }
+        }
+        for key in impl_keys.iter().filter(|k| !ctx.uncertain.contains(k)) {
+            if !model_keys.contains(key) {
+                return Err(diverge(
+                    i,
+                    op,
+                    format!("key {key} present although the model deleted it"),
+                ));
+            }
+        }
+        for key in &impl_keys {
+            if let Ok(Some(got)) = ctx.store.get(*key) {
+                if !ctx.was_written(*key, &got) {
+                    return Err(diverge(
+                        i,
+                        op,
+                        format!("key {key} returned bytes that were never written"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,297 @@
+//! Crash-consistency checking (§5 of the paper).
+//!
+//! The alphabet extends the conformance alphabet with
+//! `DirtyReboot(RebootType)`: the reboot type decides which volatile
+//! component state is flushed or issued before the crash, and which
+//! disk-cache pages survive it (coarse per-component choices plus
+//! block-level page subsets — both granularities from §5).
+//!
+//! Two properties are checked, verbatim from the paper:
+//!
+//! 1. **Persistence** — if a dependency says an operation persisted
+//!    before a crash, it is readable after the crash (unless superseded
+//!    by a later persisted operation), and anything read back must be a
+//!    value that was actually written (no corruption).
+//! 2. **Forward progress** — after a non-crashing shutdown, every
+//!    operation's dependency reports persistent.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use shardstore_faults::coverage;
+use shardstore_model::CrashAwareKvModel;
+use shardstore_vdisk::CrashPlan;
+
+use crate::conformance::{ConformanceConfig, Divergence, RunCtx, RunReport};
+use crate::ops::{KvOp, RebootType};
+
+fn diverge(op_index: usize, op: &KvOp, detail: impl Into<String>) -> Divergence {
+    Divergence { op_index, op: format!("{op:?}"), detail: detail.into() }
+}
+
+/// Runs a sequence that may include dirty reboots, checking the §5
+/// persistence and forward-progress properties at every crash and clean
+/// shutdown.
+pub fn run_crash_consistency(
+    ops: &[KvOp],
+    cfg: &ConformanceConfig,
+) -> Result<RunReport, Divergence> {
+    let mut ctx = RunCtx::new(cfg);
+    let mut model = CrashAwareKvModel::new(cfg.faults.clone());
+    let page_size = cfg.geometry.page_size;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            KvOp::Get(kr) => {
+                let key = kr.resolve(&ctx.puts_so_far);
+                let got = ctx.store.get(key);
+                match got {
+                    Ok(Some(bytes)) => {
+                        let current = model.current(key);
+                        let matches_current =
+                            current.as_ref().map(|c| ***c == *bytes).unwrap_or(false);
+                        if !matches_current && !ctx.has_failed {
+                            return Err(diverge(i, op, format!("get({key}) wrong value")));
+                        }
+                        if !matches_current && !ctx.was_written(key, &bytes) {
+                            return Err(diverge(
+                                i,
+                                op,
+                                format!("get({key}) returned bytes never written"),
+                            ));
+                        }
+                    }
+                    Ok(None) => {
+                        if model.current(key).is_some() && !ctx.has_failed {
+                            return Err(diverge(i, op, format!("get({key}) lost data")));
+                        }
+                    }
+                    Err(e) => {
+                        if !ctx.has_failed {
+                            return Err(diverge(i, op, format!("get({key}) failed: {e}")));
+                        }
+                    }
+                }
+            }
+            KvOp::Put(kr, spec) => {
+                let key = kr.resolve(&ctx.puts_so_far);
+                let value = Arc::new(spec.materialize(key, page_size));
+                match ctx.store.put(key, &value) {
+                    Ok(dep) => {
+                        model.put(key, &value, dep);
+                        ctx.record_write(key, value);
+                    }
+                    Err(e) if crate::conformance_no_space(&e) => {
+                        ctx.skipped_no_space += 1;
+                    }
+                    Err(e) if ctx.tolerate(&e) => {
+                        // Record the attempted mutation with a dependency
+                        // that can never persist: the crash-aware model
+                        // then allows either outcome but never demands
+                        // the failed write survive.
+                        let dead = ctx.store.scheduler().promise().dependency();
+                        model.put(key, &value, dead);
+                        ctx.record_write(key, value);
+                        ctx.uncertain.insert(key);
+                    }
+                    Err(e) => return Err(diverge(i, op, format!("put failed: {e}"))),
+                }
+            }
+            KvOp::Delete(kr) => {
+                let key = kr.resolve(&ctx.puts_so_far);
+                match ctx.store.delete(key) {
+                    Ok(dep) => model.delete(key, dep),
+                    Err(e) if crate::conformance_no_space(&e) => {
+                        ctx.skipped_no_space += 1;
+                    }
+                    Err(e) if ctx.tolerate(&e) => {
+                        let dead = ctx.store.scheduler().promise().dependency();
+                        model.delete(key, dead);
+                        ctx.uncertain.insert(key);
+                    }
+                    Err(e) => return Err(diverge(i, op, format!("delete failed: {e}"))),
+                }
+            }
+            KvOp::IndexFlush => {
+                if let Err(e) = ctx.store.flush_index() {
+                    if !ctx.tolerate(&e) && !crate::conformance_no_space(&e) {
+                        return Err(diverge(i, op, format!("flush failed: {e}")));
+                    }
+                }
+            }
+            KvOp::Compact => {
+                if let Err(e) = ctx.store.compact_index() {
+                    if !ctx.tolerate(&e) && !crate::conformance_no_space(&e) {
+                        return Err(diverge(i, op, format!("compact failed: {e}")));
+                    }
+                }
+            }
+            KvOp::Reclaim(stream) => {
+                match ctx.store.reclaim(*stream) {
+                    Ok(true) => model.note_reclaim(),
+                    Ok(false) => {}
+                    Err(e) => {
+                        if !ctx.tolerate(&e) && !crate::conformance_no_space(&e) {
+                            return Err(diverge(i, op, format!("reclaim failed: {e}")));
+                        }
+                    }
+                }
+            }
+            KvOp::CacheDrop => ctx.store.cache().clear(),
+            KvOp::Pump(n) => {
+                let sched = ctx.store.scheduler();
+                if let Err(e) = sched.issue_ready(*n as usize).and_then(|_| sched.flush_issued())
+                {
+                    if !ctx.has_failed {
+                        return Err(diverge(i, op, format!("pump failed: {e}")));
+                    }
+                }
+            }
+            KvOp::Reboot => {
+                if let Err(e) = ctx.store.clean_shutdown() {
+                    if !ctx.tolerate(&e) && !crate::conformance_no_space(&e) {
+                        return Err(diverge(i, op, format!("clean shutdown failed: {e}")));
+                    }
+                }
+                // Forward progress: every dependency persistent after a
+                // non-crashing shutdown (skipped once failures fired —
+                // failed writes legitimately never persist).
+                if !ctx.has_failed {
+                    if let Err(key) = model.check_forward_progress() {
+                        coverage::hit("crashcheck.forward_progress_violation");
+                        return Err(diverge(
+                            i,
+                            op,
+                            format!("forward progress: dependency for key {key} not persistent after clean shutdown"),
+                        ));
+                    }
+                }
+                match ctx.store.dirty_reboot(&CrashPlan::LoseAll) {
+                    Ok(recovered) => ctx.store = recovered,
+                    Err(e) => {
+                        if !ctx.has_failed {
+                            return Err(diverge(i, op, format!("recovery failed: {e}")));
+                        }
+                        ctx.store.scheduler().disk().clear_failures();
+                        ctx.store = ctx
+                            .store
+                            .dirty_reboot(&CrashPlan::LoseAll)
+                            .map_err(|e| diverge(i, op, format!("recovery failed twice: {e}")))?;
+                    }
+                }
+                model.crash();
+            }
+            KvOp::DirtyReboot(rt) => {
+                dirty_reboot(&mut ctx, &mut model, i, op, rt)?;
+            }
+            KvOp::FailDiskOnce(raw) => {
+                let disk = ctx.store.scheduler().disk().clone();
+                disk.inject_fail_once(KvOp::fail_target(*raw, cfg.geometry.extent_count));
+                ctx.has_failed = true;
+            }
+        }
+    }
+    Ok(RunReport {
+        ops: ops.len(),
+        skipped_no_space: ctx.skipped_no_space,
+        has_failed: ctx.has_failed,
+    })
+}
+
+fn dirty_reboot(
+    ctx: &mut RunCtx,
+    model: &mut CrashAwareKvModel,
+    i: usize,
+    op: &KvOp,
+    rt: &RebootType,
+) -> Result<(), Divergence> {
+    coverage::hit("crashcheck.dirty_reboot");
+    // Pre-crash volatile-state treatment (§5's RebootType).
+    if rt.flush_index {
+        let _ = ctx.store.flush_index();
+    }
+    let sched = ctx.store.scheduler();
+    if rt.issue_ios > 0 {
+        let _ = sched.issue_ready(rt.issue_ios as usize);
+    }
+    // Block-level survival: choose a page subset via the mask.
+    let pages = sched.disk().volatile_pages();
+    let keep: BTreeSet<_> = pages
+        .into_iter()
+        .enumerate()
+        .filter(|(idx, _)| rt.keep_mask & (1u64 << (idx % 64)) != 0)
+        .map(|(_, p)| p)
+        .collect();
+    let plan = if keep.is_empty() { CrashPlan::LoseAll } else { CrashPlan::Keep(keep) };
+    // Crash + recover. Dependency persistence is frozen by the crash
+    // (pending/issued writes become permanently lost), so polling the
+    // model's expectations *after* the crash sees exactly the pre-crash
+    // persistence.
+    let recovered = match ctx.store.dirty_reboot(&plan) {
+        Ok(s) => s,
+        Err(e) => {
+            if ctx.has_failed {
+                ctx.store.scheduler().disk().clear_failures();
+                ctx.store
+                    .dirty_reboot(&CrashPlan::LoseAll)
+                    .map_err(|e| diverge(i, op, format!("recovery failed twice: {e}")))?
+            } else {
+                return Err(diverge(i, op, format!("recovery failed: {e}")));
+            }
+        }
+    };
+    ctx.store = recovered;
+    // The §5 persistence check, one key at a time, collecting the
+    // observed post-recovery state to resynchronize the model.
+    let mut observations: std::collections::BTreeMap<u128, Option<Arc<Vec<u8>>>> =
+        std::collections::BTreeMap::new();
+    for key in model.tracked_keys() {
+        let exp = model.expectation(key);
+        let observed = match ctx.store.get(key) {
+            Ok(v) => v.map(Arc::new),
+            Err(e) => {
+                if ctx.has_failed {
+                    continue;
+                }
+                return Err(diverge(i, op, format!("post-crash get({key}) failed: {e}")));
+            }
+        };
+        observations.insert(key, observed.clone());
+        // The §5 persistence property is exactly the allowed-set check:
+        // the set contains the last persisted mutation's value plus every
+        // later (possibly surviving) unpersisted mutation — so a persisted
+        // value can only be "missing" if nothing in the set matches.
+        if exp.persisted.is_some() && !exp.permits(&observed) && !ctx.has_failed {
+            coverage::hit("crashcheck.persistence_violation");
+            return Err(diverge(
+                i,
+                op,
+                format!(
+                    "persistence violation for key {key}: persisted {:?} bytes, observed {:?} bytes",
+                    exp.persisted.as_ref().and_then(|v| v.as_ref()).map(|v| v.len()),
+                    observed.as_ref().map(|v| v.len())
+                ),
+            ));
+        }
+        if !exp.permits(&observed) {
+            // Corruption (bytes never written) is never allowed, failure
+            // or not.
+            let corrupt = observed
+                .as_ref()
+                .map(|o| !ctx.was_written(key, o))
+                .unwrap_or(false);
+            if corrupt || !ctx.has_failed {
+                coverage::hit("crashcheck.consistency_violation");
+                return Err(diverge(
+                    i,
+                    op,
+                    format!(
+                        "consistency violation for key {key}: observed {:?} bytes not in allowed set",
+                        observed.as_ref().map(|v| v.len())
+                    ),
+                ));
+            }
+        }
+    }
+    model.crash_with_observations(&observations);
+    Ok(())
+}

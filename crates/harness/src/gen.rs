@@ -1,0 +1,206 @@
+//! Proptest strategies for operation sequences, with the paper's §4.2
+//! argument biasing as a toggle.
+//!
+//! Biasing is probabilistic only: it increases the chance of interesting
+//! cases (gets of previously-put keys, page-size-adjacent values) but
+//! every case remains possible. The toggle exists because the E4
+//! experiment quantifies what biasing buys over default randomness.
+
+use proptest::prelude::*;
+
+use crate::ops::{KeyRef, KvOp, NodeOp, RebootType, ValueSpec};
+use shardstore_chunk::Stream;
+
+/// Generation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Apply argument biasing (§4.2). Off = uniform arguments.
+    pub bias: bool,
+    /// Include `DirtyReboot` in the alphabet (§5).
+    pub crash_ops: bool,
+    /// Include `FailDiskOnce` in the alphabet (§4.4).
+    pub failure_ops: bool,
+    /// Maximum sequence length.
+    pub max_len: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self { bias: true, crash_ops: false, failure_ops: false, max_len: 40 }
+    }
+}
+
+impl GenConfig {
+    /// Sequential crash-free conformance (§4).
+    pub fn conformance() -> Self {
+        Self::default()
+    }
+
+    /// Crash-consistency checking (§5).
+    pub fn crash() -> Self {
+        Self { crash_ops: true, ..Self::default() }
+    }
+
+    /// Failure injection (§4.4).
+    pub fn failure() -> Self {
+        Self { failure_ops: true, ..Self::default() }
+    }
+
+    /// Everything at once (crashes + failures).
+    pub fn full() -> Self {
+        Self { crash_ops: true, failure_ops: true, ..Self::default() }
+    }
+
+    /// Disables §4.2 biasing (the E4 ablation).
+    pub fn unbiased(mut self) -> Self {
+        self.bias = false;
+        self
+    }
+}
+
+/// Key strategy: biased mode prefers previously-put keys (via
+/// [`KeyRef::Recent`]) and a small literal domain so collisions happen.
+pub fn key_ref(bias: bool) -> BoxedStrategy<KeyRef> {
+    if bias {
+        prop_oneof![
+            3 => any::<u8>().prop_map(KeyRef::Recent),
+            2 => (0u8..16).prop_map(KeyRef::Literal),
+            1 => any::<u8>().prop_map(KeyRef::Literal),
+        ]
+        .boxed()
+    } else {
+        any::<u8>().prop_map(KeyRef::Literal).boxed()
+    }
+}
+
+/// Value-size strategy: biased mode includes page-size-adjacent lengths.
+pub fn value_spec(bias: bool) -> BoxedStrategy<ValueSpec> {
+    if bias {
+        prop_oneof![
+            3 => (0u8..64).prop_map(ValueSpec::Small),
+            2 => (0u8..5).prop_map(ValueSpec::NearPage),
+            2 => (0u8..24).prop_map(ValueSpec::FrameSpill),
+        ]
+        .boxed()
+    } else {
+        any::<u8>().prop_map(ValueSpec::Small).boxed()
+    }
+}
+
+fn reboot_type() -> impl Strategy<Value = RebootType> {
+    (any::<bool>(), 0u8..8, any::<u64>())
+        .prop_map(|(flush_index, issue_ios, keep_mask)| RebootType {
+            flush_index,
+            issue_ios,
+            keep_mask,
+        })
+}
+
+/// One operation from the KV alphabet.
+pub fn kv_op(cfg: GenConfig) -> BoxedStrategy<KvOp> {
+    let mut options: Vec<(u32, BoxedStrategy<KvOp>)> = vec![
+        (4, key_ref(cfg.bias).prop_map(KvOp::Get).boxed()),
+        (
+            4,
+            (key_ref(cfg.bias), value_spec(cfg.bias))
+                .prop_map(|(k, v)| KvOp::Put(k, v))
+                .boxed(),
+        ),
+        (2, key_ref(cfg.bias).prop_map(KvOp::Delete).boxed()),
+        (1, Just(KvOp::IndexFlush).boxed()),
+        (1, Just(KvOp::Compact).boxed()),
+        (
+            1,
+            prop_oneof![Just(Stream::Data), Just(Stream::Lsm), Just(Stream::Meta)]
+                .prop_map(KvOp::Reclaim)
+                .boxed(),
+        ),
+        (1, Just(KvOp::CacheDrop).boxed()),
+        (1, (0u8..16).prop_map(KvOp::Pump).boxed()),
+        (1, Just(KvOp::Reboot).boxed()),
+    ];
+    if cfg.crash_ops {
+        options.push((2, reboot_type().prop_map(KvOp::DirtyReboot).boxed()));
+    }
+    if cfg.failure_ops {
+        options.push((1, any::<u8>().prop_map(KvOp::FailDiskOnce).boxed()));
+    }
+    proptest::strategy::Union::new_weighted(options).boxed()
+}
+
+/// A sequence of KV operations.
+pub fn kv_ops(cfg: GenConfig) -> impl Strategy<Value = Vec<KvOp>> {
+    proptest::collection::vec(kv_op(cfg), 1..cfg.max_len)
+}
+
+/// One operation from the node-level (control-plane) alphabet.
+pub fn node_op(cfg: GenConfig) -> BoxedStrategy<NodeOp> {
+    let kv = key_ref(cfg.bias);
+    let vs = value_spec(cfg.bias);
+    prop_oneof![
+        4 => key_ref(cfg.bias).prop_map(NodeOp::Get),
+        4 => (key_ref(cfg.bias), value_spec(cfg.bias)).prop_map(|(k, v)| NodeOp::Put(k, v)),
+        2 => key_ref(cfg.bias).prop_map(NodeOp::Delete),
+        1 => Just(NodeOp::List),
+        1 => (0u8..4).prop_map(NodeOp::RemoveDisk),
+        1 => (0u8..4).prop_map(NodeOp::ReturnDisk),
+        1 => proptest::collection::vec((kv.clone(), vs), 1..4).prop_map(NodeOp::BulkCreate),
+        1 => proptest::collection::vec(kv, 1..4).prop_map(NodeOp::BulkRemove),
+        1 => (key_ref(cfg.bias), 0u8..4).prop_map(|(k, d)| NodeOp::Migrate(k, d)),
+    ]
+    .boxed()
+}
+
+/// A sequence of node operations.
+pub fn node_ops(cfg: GenConfig) -> impl Strategy<Value = Vec<NodeOp>> {
+    proptest::collection::vec(node_op(cfg), 1..cfg.max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+
+    fn sample<T: std::fmt::Debug>(s: impl Strategy<Value = T>, n: usize) -> Vec<T> {
+        let mut runner = TestRunner::deterministic();
+        (0..n).map(|_| s.new_tree(&mut runner).unwrap().current()).collect()
+    }
+
+    #[test]
+    fn biased_keys_include_recent_references() {
+        let keys = sample(key_ref(true), 200);
+        assert!(keys.iter().any(|k| matches!(k, KeyRef::Recent(_))));
+        assert!(keys.iter().any(|k| matches!(k, KeyRef::Literal(_))));
+    }
+
+    #[test]
+    fn unbiased_keys_are_all_literals() {
+        let keys = sample(key_ref(false), 100);
+        assert!(keys.iter().all(|k| matches!(k, KeyRef::Literal(_))));
+    }
+
+    #[test]
+    fn biased_values_include_near_page_sizes() {
+        let vals = sample(value_spec(true), 200);
+        assert!(vals.iter().any(|v| matches!(v, ValueSpec::NearPage(_))));
+    }
+
+    #[test]
+    fn crash_config_generates_dirty_reboots() {
+        let seqs = sample(kv_ops(GenConfig::crash()), 50);
+        assert!(seqs.iter().flatten().any(|op| matches!(op, KvOp::DirtyReboot(_))));
+    }
+
+    #[test]
+    fn conformance_config_never_generates_dirty_reboots_or_failures() {
+        let seqs = sample(kv_ops(GenConfig::conformance()), 50);
+        assert!(!seqs.iter().flatten().any(|op| op.is_crash_op() || op.is_failure_op()));
+    }
+
+    #[test]
+    fn failure_config_generates_fail_ops() {
+        let seqs = sample(kv_ops(GenConfig::failure()), 80);
+        assert!(seqs.iter().flatten().any(|op| matches!(op, KvOp::FailDiskOnce(_))));
+    }
+}

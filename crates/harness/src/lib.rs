@@ -1,0 +1,46 @@
+//! The lightweight formal methods validation stack (§3–§6 of the paper).
+//!
+//! This crate is the paper's contribution rendered as a library:
+//!
+//! - [`ops`] / [`gen`] — operation alphabets and biased proptest
+//!   strategies (§4.1, §4.2);
+//! - [`conformance`] — sequential crash-free refinement checking against
+//!   the reference model, with the §4.4 failure-injection relaxation;
+//! - [`crash`] — crash-consistency checking (persistence + forward
+//!   progress, coarse and block-level crash states, §5);
+//! - [`lin`] — a linearizability checker for concurrent histories against
+//!   a sequential specification (§6);
+//! - [`concurrent`] — stateless-model-checking harnesses for the
+//!   concurrency issues of Fig. 5 (the Fig. 4 harness among them);
+//! - [`minimize`] — standalone test-case minimization (§4.3);
+//! - [`detect`] — the Fig. 5 driver: seed a historical bug, run the
+//!   matching checker, report detection.
+
+pub mod concurrent;
+pub mod conformance;
+pub mod crash;
+pub mod detect;
+pub mod gen;
+pub mod index_conformance;
+pub mod lin;
+pub mod node_conformance;
+pub mod minimize;
+pub mod ops;
+
+use shardstore_core::StoreError;
+
+pub use conformance::{run_conformance, ConformanceConfig, Divergence, RunReport};
+pub use crash::run_crash_consistency;
+
+/// True for errors caused by genuine disk-space exhaustion, which the
+/// runners skip rather than flag (§4.4: no oracle for resource
+/// exhaustion).
+pub(crate) fn conformance_no_space(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::Chunk(shardstore_chunk::ChunkError::NoSpace { .. })
+            | StoreError::Lsm(shardstore_lsm::LsmError::Chunk(
+                shardstore_chunk::ChunkError::NoSpace { .. }
+            ))
+    )
+}

@@ -1,0 +1,332 @@
+//! Linearizability checking for concurrent histories (§6 of the paper).
+//!
+//! The goal stated in §6 is to check that concurrent executions of
+//! ShardStore are linearizable with respect to the sequential reference
+//! models. This module provides the machinery: a [`HistoryRecorder`] that
+//! concurrent harness threads use to log invocation/response intervals,
+//! and a Wing–Gong-style search ([`check_linearizable`]) that looks for a
+//! sequential witness ordering consistent with real-time order whose
+//! results the [`SeqSpec`] reproduces. The search memoizes visited
+//! (linearized-set, state) pairs (Lowe's optimization), which keeps the
+//! small histories produced by stateless-model-checking harnesses cheap.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use shardstore_conc::sync::Mutex;
+
+/// A sequential specification: a deterministic state machine whose
+/// behaviours define what concurrent histories are allowed.
+pub trait SeqSpec {
+    /// Operation type.
+    type Op: Clone + std::fmt::Debug;
+    /// Response type.
+    type Ret: PartialEq + Clone + std::fmt::Debug;
+    /// State type (hashable for memoization).
+    type State: Clone + Eq + std::hash::Hash;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// Applies an operation, returning the next state and the response.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// One completed operation in a concurrent history.
+#[derive(Debug, Clone)]
+pub struct Completed<Op, Ret> {
+    /// The operation.
+    pub op: Op,
+    /// The observed response.
+    pub ret: Ret,
+    /// Logical invocation timestamp.
+    pub invoked: u64,
+    /// Logical response timestamp.
+    pub returned: u64,
+}
+
+/// Thread-safe recorder of a concurrent history.
+///
+/// Harness threads call [`HistoryRecorder::invoke`] before an operation
+/// and complete the returned token afterwards; timestamps come from a
+/// shared logical clock, so intervals reflect real-time order.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryRecorder<Op, Ret> {
+    inner: Arc<Mutex<RecorderInner<Op, Ret>>>,
+}
+
+#[derive(Debug)]
+struct RecorderInner<Op, Ret> {
+    clock: u64,
+    completed: Vec<Completed<Op, Ret>>,
+}
+
+impl<Op, Ret> Default for RecorderInner<Op, Ret> {
+    fn default() -> Self {
+        Self { clock: 0, completed: Vec::new() }
+    }
+}
+
+/// Token for an in-flight operation.
+#[derive(Debug)]
+pub struct InFlight<Op> {
+    op: Op,
+    invoked: u64,
+}
+
+impl<Op: Clone + Send, Ret: Clone + Send> HistoryRecorder<Op, Ret> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self { inner: Arc::new(Mutex::new(RecorderInner::default())) }
+    }
+
+    /// Marks an operation as invoked.
+    pub fn invoke(&self, op: Op) -> InFlight<Op> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        InFlight { op, invoked: inner.clock }
+    }
+
+    /// Marks an operation as completed with its response.
+    pub fn complete(&self, token: InFlight<Op>, ret: Ret) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let returned = inner.clock;
+        inner.completed.push(Completed { op: token.op, ret, invoked: token.invoked, returned });
+    }
+
+    /// Extracts the completed history (call after joining all threads).
+    pub fn take(&self) -> Vec<Completed<Op, Ret>> {
+        std::mem::take(&mut self.inner.lock().completed)
+    }
+}
+
+/// Result of a linearizability check.
+#[derive(Debug, Clone)]
+pub enum LinResult {
+    /// A linearization exists; the witness order is returned (indexes
+    /// into the history).
+    Linearizable(Vec<usize>),
+    /// No linearization exists.
+    NotLinearizable {
+        /// Human-readable explanation of the search failure.
+        detail: String,
+    },
+}
+
+impl LinResult {
+    /// True if the history was linearizable.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, LinResult::Linearizable(_))
+    }
+}
+
+/// Checks a history of completed operations against a sequential spec.
+///
+/// The search considers, at each step, every un-linearized operation that
+/// is *minimal* (no other un-linearized operation returned before it was
+/// invoked), applies the spec, and backtracks on response mismatch.
+pub fn check_linearizable<S: SeqSpec>(spec: &S, history: &[Completed<S::Op, S::Ret>]) -> LinResult {
+    let n = history.len();
+    assert!(n <= 63, "history too long for the bitmask search");
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut memo: HashSet<(u64, S::State)> = HashSet::new();
+    let mut witness: Vec<usize> = Vec::new();
+
+    fn search<S: SeqSpec>(
+        spec: &S,
+        history: &[Completed<S::Op, S::Ret>],
+        done: u64,
+        full: u64,
+        state: &S::State,
+        memo: &mut HashSet<(u64, S::State)>,
+        witness: &mut Vec<usize>,
+    ) -> bool {
+        if done == full {
+            return true;
+        }
+        if !memo.insert((done, state.clone())) {
+            return false;
+        }
+        // Minimal-return among pending ops: an op whose invocation is
+        // after another pending op's return cannot linearize first.
+        let min_return = history
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| done & (1 << i) == 0)
+            .map(|(_, c)| c.returned)
+            .min()
+            .expect("pending ops exist");
+        for (i, c) in history.iter().enumerate() {
+            if done & (1 << i) != 0 || c.invoked > min_return {
+                continue;
+            }
+            let (next, ret) = spec.apply(state, &c.op);
+            if ret != c.ret {
+                continue;
+            }
+            witness.push(i);
+            if search(spec, history, done | (1 << i), full, &next, memo, witness) {
+                return true;
+            }
+            witness.pop();
+        }
+        false
+    }
+
+    let init = spec.init();
+    if search(spec, history, 0, full, &init, &mut memo, &mut witness) {
+        LinResult::Linearizable(witness)
+    } else {
+        LinResult::NotLinearizable {
+            detail: format!("no linearization of {n} operations found"),
+        }
+    }
+}
+
+/// The KV sequential spec used by the concurrent harnesses: a map from
+/// shard ids to byte values.
+#[derive(Debug, Clone, Default)]
+pub struct KvSpec;
+
+/// KV operations for [`KvSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvLinOp {
+    /// Read a shard.
+    Get(u128),
+    /// Write a shard.
+    Put(u128, Vec<u8>),
+    /// Delete a shard.
+    Delete(u128),
+}
+
+/// KV responses for [`KvSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvLinRet {
+    /// Response to a get.
+    Value(Option<Vec<u8>>),
+    /// Response to a put or delete.
+    Done,
+}
+
+impl SeqSpec for KvSpec {
+    type Op = KvLinOp;
+    type Ret = KvLinRet;
+    type State = BTreeMap<u128, Vec<u8>>;
+
+    fn init(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret) {
+        match op {
+            KvLinOp::Get(k) => (state.clone(), KvLinRet::Value(state.get(k).cloned())),
+            KvLinOp::Put(k, v) => {
+                let mut next = state.clone();
+                next.insert(*k, v.clone());
+                (next, KvLinRet::Done)
+            }
+            KvLinOp::Delete(k) => {
+                let mut next = state.clone();
+                next.remove(k);
+                (next, KvLinRet::Done)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(
+        op: KvLinOp,
+        ret: KvLinRet,
+        invoked: u64,
+        returned: u64,
+    ) -> Completed<KvLinOp, KvLinRet> {
+        Completed { op, ret, invoked, returned }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check_linearizable(&KvSpec, &[]).is_ok());
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            op(KvLinOp::Put(1, b"a".to_vec()), KvLinRet::Done, 1, 2),
+            op(KvLinOp::Get(1), KvLinRet::Value(Some(b"a".to_vec())), 3, 4),
+            op(KvLinOp::Delete(1), KvLinRet::Done, 5, 6),
+            op(KvLinOp::Get(1), KvLinRet::Value(None), 7, 8),
+        ];
+        assert!(check_linearizable(&KvSpec, &h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_put_returned_is_not_linearizable() {
+        // Put completes strictly before the get is invoked, yet the get
+        // misses the value.
+        let h = vec![
+            op(KvLinOp::Put(1, b"a".to_vec()), KvLinRet::Done, 1, 2),
+            op(KvLinOp::Get(1), KvLinRet::Value(None), 3, 4),
+        ];
+        assert!(!check_linearizable(&KvSpec, &h).is_ok());
+    }
+
+    #[test]
+    fn concurrent_put_get_allows_both_outcomes() {
+        // Get overlaps the put: both `None` and the value linearize.
+        for observed in [None, Some(b"a".to_vec())] {
+            let h = vec![
+                op(KvLinOp::Put(1, b"a".to_vec()), KvLinRet::Done, 1, 4),
+                op(KvLinOp::Get(1), KvLinRet::Value(observed), 2, 3),
+            ];
+            assert!(check_linearizable(&KvSpec, &h).is_ok());
+        }
+    }
+
+    #[test]
+    fn concurrent_get_cannot_see_a_value_never_written() {
+        let h = vec![
+            op(KvLinOp::Put(1, b"a".to_vec()), KvLinRet::Done, 1, 4),
+            op(KvLinOp::Get(1), KvLinRet::Value(Some(b"junk".to_vec())), 2, 3),
+        ];
+        assert!(!check_linearizable(&KvSpec, &h).is_ok());
+    }
+
+    #[test]
+    fn write_write_race_allows_either_final_value_but_reads_agree() {
+        // Two concurrent puts, then two sequential reads: both reads must
+        // agree on one winner.
+        let agree = vec![
+            op(KvLinOp::Put(1, b"x".to_vec()), KvLinRet::Done, 1, 4),
+            op(KvLinOp::Put(1, b"y".to_vec()), KvLinRet::Done, 2, 3),
+            op(KvLinOp::Get(1), KvLinRet::Value(Some(b"x".to_vec())), 5, 6),
+            op(KvLinOp::Get(1), KvLinRet::Value(Some(b"x".to_vec())), 7, 8),
+        ];
+        assert!(check_linearizable(&KvSpec, &agree).is_ok());
+        let flip_flop = vec![
+            op(KvLinOp::Put(1, b"x".to_vec()), KvLinRet::Done, 1, 4),
+            op(KvLinOp::Put(1, b"y".to_vec()), KvLinRet::Done, 2, 3),
+            op(KvLinOp::Get(1), KvLinRet::Value(Some(b"x".to_vec())), 5, 6),
+            op(KvLinOp::Get(1), KvLinRet::Value(Some(b"y".to_vec())), 7, 8),
+        ];
+        assert!(!check_linearizable(&KvSpec, &flip_flop).is_ok());
+    }
+
+    #[test]
+    fn recorder_produces_ordered_intervals() {
+        let rec: HistoryRecorder<KvLinOp, KvLinRet> = HistoryRecorder::new();
+        let t = rec.invoke(KvLinOp::Put(1, b"v".to_vec()));
+        rec.complete(t, KvLinRet::Done);
+        let t = rec.invoke(KvLinOp::Get(1));
+        rec.complete(t, KvLinRet::Value(Some(b"v".to_vec())));
+        let h = rec.take();
+        assert_eq!(h.len(), 2);
+        assert!(h[0].invoked < h[0].returned);
+        assert!(h[0].returned < h[1].invoked);
+        assert!(check_linearizable(&KvSpec, &h).is_ok());
+    }
+}

@@ -1,0 +1,262 @@
+//! Conformance checking for the multi-disk node's control plane.
+//!
+//! Same refinement idea as [`crate::conformance`], but over [`NodeOp`]
+//! sequences against the API-level [`KvModel`]. Disk removal and return
+//! are modelled explicitly: while a disk is out of service, its shards
+//! are unavailable (requests error), but *returning* the disk must bring
+//! every shard back — the property issue #4 violated.
+
+use std::sync::Arc;
+
+use shardstore_core::{Node, StoreConfig, StoreError};
+use shardstore_model::KvModel;
+use shardstore_vdisk::Geometry;
+
+use crate::conformance::{ConformanceConfig, Divergence};
+use crate::ops::NodeOp;
+
+fn diverge(op_index: usize, op: &NodeOp, detail: impl Into<String>) -> Divergence {
+    Divergence { op_index, op: format!("{op:?}"), detail: detail.into() }
+}
+
+fn is_no_space(e: &StoreError) -> bool {
+    crate::conformance_no_space(e)
+}
+
+/// Runs a node-level operation sequence against the KV model.
+///
+/// The model is oblivious to disks; the runner tracks which disks are out
+/// of service and expects `OutOfService` errors for shards routed to
+/// them, while keeping the model unchanged (the data still exists, it is
+/// just unavailable — and must be *available again* after `ReturnDisk`).
+pub fn run_node_conformance(
+    ops: &[NodeOp],
+    cfg: &ConformanceConfig,
+    num_disks: usize,
+) -> Result<(), Divergence> {
+    let node = Node::new(num_disks, cfg.geometry, cfg.store, cfg.faults.clone());
+    run_node_conformance_on(ops, cfg, &node)
+}
+
+/// Like [`run_node_conformance`] but against a caller-provided node.
+pub fn run_node_conformance_on(
+    ops: &[NodeOp],
+    cfg: &ConformanceConfig,
+    node: &Node,
+) -> Result<(), Divergence> {
+    let _ = (Geometry::small(), StoreConfig::small());
+    let mut model = KvModel::new();
+    let mut puts_so_far: Vec<u128> = Vec::new();
+    let mut removed: Vec<bool> = vec![false; node.disk_count()];
+    let page_size = cfg.geometry.page_size;
+    let mut skipped = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            NodeOp::Get(kr) => {
+                let key = kr.resolve(&puts_so_far);
+                let disk = node.route(key);
+                match node.get(key) {
+                    Err(StoreError::OutOfService) if removed[disk] => {}
+                    Err(e) if is_no_space(&e) => {}
+                    Err(e) => return Err(diverge(i, op, format!("get failed: {e}"))),
+                    Ok(got) => {
+                        if removed[disk] {
+                            return Err(diverge(i, op, "get served from a removed disk"));
+                        }
+                        let expected = model.get(key);
+                        let ok = match (&got, &expected) {
+                            (None, None) => true,
+                            (Some(g), Some(e)) => *g == ***e,
+                            _ => false,
+                        };
+                        if !ok {
+                            return Err(diverge(
+                                i,
+                                op,
+                                format!(
+                                    "get({key}) mismatch: impl {:?} vs model {:?} bytes",
+                                    got.map(|v| v.len()),
+                                    expected.map(|v| v.len())
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            NodeOp::Put(kr, spec) => {
+                let key = kr.resolve(&puts_so_far);
+                let disk = node.route(key);
+                let value = Arc::new(spec.materialize(key, page_size));
+                match node.put(key, &value) {
+                    Ok(_) => {
+                        if removed[disk] {
+                            return Err(diverge(i, op, "put accepted by a removed disk"));
+                        }
+                        model.put(key, &value);
+                        puts_so_far.push(key);
+                    }
+                    Err(StoreError::OutOfService) if removed[disk] => {}
+                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) => return Err(diverge(i, op, format!("put failed: {e}"))),
+                }
+            }
+            NodeOp::Delete(kr) => {
+                let key = kr.resolve(&puts_so_far);
+                let disk = node.route(key);
+                match node.delete(key) {
+                    Ok(_) => {
+                        model.delete(key);
+                    }
+                    Err(StoreError::OutOfService) if removed[disk] => {}
+                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) => return Err(diverge(i, op, format!("delete failed: {e}"))),
+                }
+            }
+            NodeOp::List => {
+                let listed = node.list();
+                // The listing must cover every model key on an in-service
+                // disk, and nothing the model does not have.
+                for key in &listed {
+                    if model.get(*key).is_none() {
+                        return Err(diverge(i, op, format!("listed phantom shard {key}")));
+                    }
+                }
+                for key in model.list() {
+                    if !removed[node.route(key)] && !listed.contains(&key) {
+                        return Err(diverge(i, op, format!("listing missed shard {key}")));
+                    }
+                }
+            }
+            NodeOp::RemoveDisk(d) => {
+                let disk = *d as usize % node.disk_count();
+                match node.remove_disk(disk) {
+                    Ok(()) => removed[disk] = true,
+                    Err(StoreError::OutOfService) if removed[disk] => {}
+                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) => return Err(diverge(i, op, format!("remove_disk failed: {e}"))),
+                }
+            }
+            NodeOp::ReturnDisk(d) => {
+                let disk = *d as usize % node.disk_count();
+                match node.return_disk(disk) {
+                    Ok(()) => {
+                        removed[disk] = false;
+                        // The core durability property of disk return:
+                        // every model shard on this disk is available
+                        // again with its data intact.
+                        for key in model.list() {
+                            if node.route(key) != disk {
+                                continue;
+                            }
+                            let expected = model.get(key).expect("listed key");
+                            match node.get(key) {
+                                Ok(Some(got)) if got == **expected => {}
+                                other => {
+                                    return Err(diverge(
+                                        i,
+                                        op,
+                                        format!(
+                                            "shard {key} lost across disk removal/return: {other:?}"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) => return Err(diverge(i, op, format!("return_disk failed: {e}"))),
+                }
+            }
+            NodeOp::BulkCreate(batch) => {
+                let resolved: Vec<(u128, Vec<u8>)> = batch
+                    .iter()
+                    .map(|(kr, spec)| {
+                        let key = kr.resolve(&puts_so_far);
+                        (key, spec.materialize(key, page_size))
+                    })
+                    .collect();
+                // Skip batches touching removed disks (the control plane
+                // would not target them).
+                if resolved.iter().any(|(k, _)| removed[node.route(*k)]) {
+                    continue;
+                }
+                match node.bulk_create(&resolved) {
+                    Ok(_) => {
+                        for (key, value) in resolved {
+                            model.put(key, &value);
+                            puts_so_far.push(key);
+                        }
+                    }
+                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) => return Err(diverge(i, op, format!("bulk create failed: {e}"))),
+                }
+            }
+            NodeOp::BulkRemove(batch) => {
+                let resolved: Vec<u128> =
+                    batch.iter().map(|kr| kr.resolve(&puts_so_far)).collect();
+                if resolved.iter().any(|k| removed[node.route(*k)]) {
+                    continue;
+                }
+                match node.bulk_remove(&resolved) {
+                    Ok(_) => {
+                        for key in resolved {
+                            model.delete(key);
+                        }
+                    }
+                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) => return Err(diverge(i, op, format!("bulk remove failed: {e}"))),
+                }
+            }
+            NodeOp::Migrate(kr, d) => {
+                let key = kr.resolve(&puts_so_far);
+                let to_disk = *d as usize % node.disk_count();
+                let from_disk = node.route(key);
+                if removed[from_disk] || removed[to_disk] {
+                    match node.migrate(key, to_disk) {
+                        Err(StoreError::OutOfService) => {}
+                        Err(e) if is_no_space(&e) => skipped += 1,
+                        Err(e) => {
+                            return Err(diverge(i, op, format!("migrate failed: {e}")))
+                        }
+                        Ok(_) => {}
+                    }
+                    continue;
+                }
+                match node.migrate(key, to_disk) {
+                    Ok(_) => {
+                        // Migration must preserve the data exactly.
+                        let expected = model.get(key);
+                        let got = node.get(key).map_err(|e| {
+                            diverge(i, op, format!("post-migrate get failed: {e}"))
+                        })?;
+                        let ok = match (&expected, &got) {
+                            (None, None) => true,
+                            (Some(e), Some(g)) => ***e == **g,
+                            _ => false,
+                        };
+                        if !ok {
+                            return Err(diverge(
+                                i,
+                                op,
+                                format!("shard {key} changed across migration"),
+                            ));
+                        }
+                        // Placement flips only for shards that exist; a
+                        // missing shard's migrate is a no-op.
+                        if expected.is_some() && node.route(key) != to_disk {
+                            return Err(diverge(i, op, "placement not updated"));
+                        }
+                    }
+                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) => return Err(diverge(i, op, format!("migrate failed: {e}"))),
+                }
+            }
+        }
+        // Catalog/index consistency is an always-on invariant.
+        if let Err(detail) = node.check_catalog_consistent() {
+            return Err(diverge(i, op, detail));
+        }
+    }
+    let _ = skipped;
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Coverage-metrics suites (§4.2, §8.3).
+//!
+//! The paper's one known near-miss (§8.3): a bug hid in the cache-miss
+//! path because every test configured a very large cache, so the
+//! property-based tests never reached that path; coverage monitoring was
+//! introduced to catch exactly such blind spots. This suite reproduces
+//! the mechanism: run the same random workload under a production-sized
+//! cache and under the test-sized cache, and show that the coverage
+//! probes expose the blind spot.
+//!
+//! Coverage state is process-global, so all assertions live in a single
+//! test function.
+
+use shardstore_core::StoreConfig;
+use shardstore_faults::{coverage, FaultConfig};
+use shardstore_harness::conformance::{run_conformance, ConformanceConfig};
+use shardstore_harness::detect::sample_sequences;
+use shardstore_harness::gen::{kv_ops, GenConfig};
+use shardstore_vdisk::Geometry;
+
+/// Coverage state is process-global; serialize the tests in this binary.
+static COVERAGE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn run_workload(cfg: &ConformanceConfig, sequences: u64) {
+    for ops in sample_sequences(kv_ops(GenConfig::conformance()), 0xC0DE, sequences) {
+        run_conformance(&ops, cfg).expect("fixed system conforms");
+    }
+}
+
+#[test]
+fn coverage_metrics_expose_cache_blind_spot() {
+    let _serial = COVERAGE_LOCK.lock().unwrap();
+    // 1. Production-shaped configuration: a cache far larger than the
+    //    whole disk. The miss/eviction paths are a blind spot.
+    let oversized = ConformanceConfig {
+        geometry: Geometry::small(),
+        store: StoreConfig {
+            cache_capacity: 1 << 24, // bigger than the disk itself
+            ..StoreConfig::small()
+        },
+        faults: FaultConfig::none(),
+    };
+    let _rec = coverage::Recording::start();
+    run_workload(&oversized, 40);
+    let evictions_oversized = coverage::count("cache.evict");
+    let misses_oversized = coverage::count("cache.miss");
+    coverage::reset();
+
+    // 2. The test-sized configuration exercises both paths.
+    let test_sized = ConformanceConfig::default();
+    run_workload(&test_sized, 40);
+    let evictions_small = coverage::count("cache.evict");
+    let misses_small = coverage::count("cache.miss");
+
+    // The blind spot is visible purely from the metrics — this is the
+    // check §8.3 motivates adding to CI: probes that a harness *intends*
+    // to exercise must actually fire.
+    assert_eq!(
+        evictions_oversized, 0,
+        "an oversized cache never evicts — the blind spot"
+    );
+    assert!(
+        evictions_small > 0,
+        "the test-sized cache must exercise the eviction path"
+    );
+    assert!(
+        misses_small > misses_oversized,
+        "the test-sized cache must exercise the miss path more ({misses_small} vs {misses_oversized})"
+    );
+}
+
+#[test]
+fn intended_probes_fire_during_validation_runs() {
+    let _serial = COVERAGE_LOCK.lock().unwrap();
+    // The release-blocking variant: a canonical conformance run must hit
+    // every probe the harness relies on (new functionality that adds a
+    // probe without reaching it fails here — §4.2's erosion guard).
+    let _rec = coverage::Recording::start();
+    let cfg = ConformanceConfig::default();
+    for ops in sample_sequences(kv_ops(GenConfig::crash()), 0xFACE, 120) {
+        let _ = shardstore_harness::run_crash_consistency(&ops, &cfg);
+    }
+    for probe in [
+        "lsm.flush.done",
+        "lsm.metadata.written",
+        "lsm.get.memtable",
+        "lsm.get.sstable",
+        "lsm.get.miss",
+        "cache.hit",
+        "cache.miss",
+        "chunk.put.open_new_extent",
+        "chunk.scan.skip_page",
+        "chunk.recover.scan_extent",
+        "superblock.extent.reset",
+        "superblock.update.coalesced",
+        "superblock.update.new_write",
+        "store.recovered",
+        "crashcheck.dirty_reboot",
+    ] {
+        assert!(coverage::count(probe) > 0, "validation blind spot: probe {probe} never fired");
+    }
+}

@@ -1,0 +1,122 @@
+//! The Fig. 5 detection matrix as a test: every one of the sixteen
+//! historical issues, when seeded back into the system, is re-discovered
+//! by the checker the paper credits with the find.
+//!
+//! Budgets here are CI-sized; the `fig5_bugs` bench binary runs the same
+//! matrix with full budgets and reports attempts and minimization stats.
+
+use shardstore_faults::BugId;
+use shardstore_harness::detect::{detect, DetectBudget};
+
+fn budget() -> DetectBudget {
+    DetectBudget { max_sequences: 30_000, conc_iterations: 6_000, seed: 0x5EED }
+}
+
+fn assert_detected(bug: BugId) {
+    let d = detect(bug, budget());
+    assert!(
+        d.detected,
+        "{bug} should be detected by {} within budget ({} attempts): {}",
+        d.method, d.attempts, d.detail
+    );
+}
+
+#[test]
+fn detects_b1_reclamation_off_by_one() {
+    assert_detected(BugId::B1ReclamationOffByOne);
+}
+
+#[test]
+fn detects_b2_cache_not_drained() {
+    assert_detected(BugId::B2CacheNotDrained);
+}
+
+#[test]
+fn detects_b3_metadata_shutdown_flush() {
+    assert_detected(BugId::B3MetadataShutdownFlush);
+}
+
+#[test]
+fn detects_b4_disk_removal_loses_shards() {
+    assert_detected(BugId::B4DiskRemovalLosesShards);
+}
+
+#[test]
+fn detects_b5_reclamation_transient_error() {
+    assert_detected(BugId::B5ReclamationTransientError);
+}
+
+#[test]
+fn detects_b6_ownership_dependency() {
+    assert_detected(BugId::B6OwnershipDependency);
+}
+
+#[test]
+fn detects_b7_soft_hard_pointer_mismatch() {
+    assert_detected(BugId::B7SoftHardPointerMismatch);
+}
+
+#[test]
+fn detects_b8_missing_pointer_dependency() {
+    assert_detected(BugId::B8MissingPointerDependency);
+}
+
+#[test]
+fn detects_b9_model_crash_reclamation() {
+    assert_detected(BugId::B9ModelCrashReclamation);
+}
+
+#[test]
+fn detects_b10_uuid_collision() {
+    assert_detected(BugId::B10UuidCollision);
+}
+
+#[test]
+fn detects_b11_locator_race() {
+    assert_detected(BugId::B11LocatorRace);
+}
+
+#[test]
+fn detects_b12_superblock_deadlock() {
+    assert_detected(BugId::B12SuperblockDeadlock);
+}
+
+#[test]
+fn detects_b13_list_remove_race() {
+    assert_detected(BugId::B13ListRemoveRace);
+}
+
+#[test]
+fn detects_b14_compaction_reclaim_race() {
+    assert_detected(BugId::B14CompactionReclaimRace);
+}
+
+#[test]
+fn detects_b15_model_locator_reuse() {
+    assert_detected(BugId::B15ModelLocatorReuse);
+}
+
+#[test]
+fn detects_b16_bulk_ops_race() {
+    assert_detected(BugId::B16BulkOpsRace);
+}
+
+#[test]
+fn detection_minimizes_counterexamples() {
+    // §4.3: the minimized counterexample is no larger than the original.
+    let d = detect(BugId::B1ReclamationOffByOne, budget());
+    assert!(d.detected);
+    let (original, minimized) = d.minimized.expect("PBT detection reports sizes");
+    assert!(minimized.ops <= original.ops);
+    assert!(minimized.bytes_written <= original.bytes_written);
+    assert!(minimized.ops <= 12, "B1 should minimize to a short sequence: {minimized:?}");
+}
+
+#[test]
+fn detection_is_deterministic_per_seed() {
+    let a = detect(BugId::B3MetadataShutdownFlush, budget());
+    let b = detect(BugId::B3MetadataShutdownFlush, budget());
+    assert_eq!(a.detected, b.detected);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.detail, b.detail);
+}

@@ -1,0 +1,103 @@
+//! The Fig. 3 property-based test, as it appears in the paper: the
+//! persistent LSM index against its hash-map reference model, plus the
+//! §3.2 model-as-mock pattern.
+
+use proptest::prelude::*;
+use shardstore_faults::FaultConfig;
+use shardstore_harness::index_conformance::{index_ops, run_index_conformance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `proptest_index` (Fig. 3): random op sequences over the index
+    /// alphabet, compared against the reference after every operation.
+    #[test]
+    fn proptest_index(ops in index_ops(true, 40)) {
+        if let Err(d) = run_index_conformance(&ops, &FaultConfig::none()) {
+            prop_assert!(false, "index divergence: {d}");
+        }
+    }
+
+    /// The unbiased variant also holds (it just reaches fewer states).
+    #[test]
+    fn proptest_index_unbiased(ops in index_ops(false, 40)) {
+        if let Err(d) = run_index_conformance(&ops, &FaultConfig::none()) {
+            prop_assert!(false, "index divergence: {d}");
+        }
+    }
+}
+
+/// §3.2 "Mocking": the reference models double as mocks in unit tests.
+/// This is the pattern the paper credits with keeping models up to date —
+/// API-layer tests use the hash-map index model instead of the real LSM
+/// tree, and the chunk-store model instead of real chunk storage.
+mod model_as_mock {
+    use shardstore_chunk::Locator;
+    use shardstore_faults::FaultConfig;
+    use shardstore_model::{ChunkStoreModel, IndexModel};
+
+    /// A toy API layer generic over its index, so tests can instantiate it
+    /// with the model.
+    struct ApiLayer<I> {
+        index: I,
+        chunks: ChunkStoreModel,
+    }
+
+    trait IndexLike {
+        fn put(&mut self, key: u128, locators: Vec<Locator>);
+        fn get(&self, key: u128) -> Option<Vec<Locator>>;
+        fn delete(&mut self, key: u128);
+    }
+
+    impl IndexLike for IndexModel {
+        fn put(&mut self, key: u128, locators: Vec<Locator>) {
+            IndexModel::put(self, key, locators)
+        }
+        fn get(&self, key: u128) -> Option<Vec<Locator>> {
+            IndexModel::get(self, key)
+        }
+        fn delete(&mut self, key: u128) {
+            IndexModel::delete(self, key)
+        }
+    }
+
+    impl<I: IndexLike> ApiLayer<I> {
+        fn put_object(&mut self, key: u128, data: &[u8]) {
+            let locator = self.chunks.put(data);
+            self.index.put(key, vec![locator]);
+        }
+
+        fn get_object(&self, key: u128) -> Option<Vec<u8>> {
+            let locators = self.index.get(key)?;
+            let mut out = Vec::new();
+            for l in locators {
+                out.extend_from_slice(&self.chunks.get(&l)?);
+            }
+            Some(out)
+        }
+
+        fn delete_object(&mut self, key: u128) {
+            if let Some(locators) = self.index.get(key) {
+                for l in locators {
+                    self.chunks.delete(&l);
+                }
+            }
+            self.index.delete(key);
+        }
+    }
+
+    #[test]
+    fn api_layer_unit_test_against_mocks() {
+        let mut api = ApiLayer {
+            index: IndexModel::new(),
+            chunks: ChunkStoreModel::new(FaultConfig::none()),
+        };
+        api.put_object(1, b"mocked object");
+        assert_eq!(api.get_object(1).unwrap(), b"mocked object");
+        api.put_object(1, b"overwritten");
+        assert_eq!(api.get_object(1).unwrap(), b"overwritten");
+        api.delete_object(1);
+        assert_eq!(api.get_object(1), None);
+        assert!(api.chunks.is_empty() || api.chunks.len() == 1, "old chunk may linger (GC's job)");
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's property-based validation suites (§4, §5), run against the
+//! *fixed* system: random operation sequences must never diverge from the
+//! reference models. These are the release-blocking checks of §8.4 —
+//! "pay-as-you-go", so CI can raise the case counts.
+
+use proptest::prelude::*;
+use shardstore_harness::gen::{kv_ops, node_ops, GenConfig};
+use shardstore_harness::node_conformance::run_node_conformance;
+use shardstore_harness::{run_conformance, run_crash_consistency, ConformanceConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// §4: sequential crash-free conformance with the KV model.
+    #[test]
+    fn conformance_holds_on_random_sequences(ops in kv_ops(GenConfig::conformance())) {
+        let cfg = ConformanceConfig::default();
+        if let Err(d) = run_conformance(&ops, &cfg) {
+            prop_assert!(false, "divergence: {d}");
+        }
+    }
+
+    /// §5: crash consistency (persistence + forward progress) across
+    /// random crash points with block-level page survival.
+    #[test]
+    fn crash_consistency_holds_on_random_sequences(ops in kv_ops(GenConfig::crash())) {
+        let cfg = ConformanceConfig::default();
+        if let Err(d) = run_crash_consistency(&ops, &cfg) {
+            prop_assert!(false, "crash divergence: {d}");
+        }
+    }
+
+    /// §4.4: conformance with injected IO failures (relaxed equivalence,
+    /// never-wrong-data).
+    #[test]
+    fn failure_injection_holds_on_random_sequences(ops in kv_ops(GenConfig::failure())) {
+        let cfg = ConformanceConfig::default();
+        if let Err(d) = run_conformance(&ops, &cfg) {
+            prop_assert!(false, "failure divergence: {d}");
+        }
+    }
+
+    /// §5 + §4.4 combined: crashes and failures in one alphabet.
+    #[test]
+    fn combined_crash_and_failure_hold(ops in kv_ops(GenConfig::full())) {
+        let cfg = ConformanceConfig::default();
+        if let Err(d) = run_crash_consistency(&ops, &cfg) {
+            prop_assert!(false, "combined divergence: {d}");
+        }
+    }
+
+    /// Control-plane conformance: routing, listing, disk removal/return,
+    /// bulk operations.
+    #[test]
+    fn node_conformance_holds_on_random_sequences(ops in node_ops(GenConfig::conformance())) {
+        let cfg = ConformanceConfig::default();
+        if let Err(d) = run_node_conformance(&ops, &cfg, 2) {
+            prop_assert!(false, "node divergence: {d}");
+        }
+    }
+
+    /// §4.2 ablation sanity: the unbiased generator also passes (it just
+    /// explores less interesting states).
+    #[test]
+    fn unbiased_conformance_holds(ops in kv_ops(GenConfig::conformance().unbiased())) {
+        let cfg = ConformanceConfig::default();
+        if let Err(d) = run_conformance(&ops, &cfg) {
+            prop_assert!(false, "divergence: {d}");
+        }
+    }
+}

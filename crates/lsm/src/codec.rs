@@ -1,0 +1,268 @@
+//! On-disk codecs for SSTables and LSM metadata records.
+//!
+//! Both formats carry a CRC and decode panic-free from arbitrary bytes
+//! (§7 of the paper). The metadata record is the LSM tree's root pointer
+//! structure: it lists the chunk locators currently backing the tree, and
+//! the record with the highest sequence number among valid records wins at
+//! recovery.
+
+use shardstore_chunk::Locator;
+use shardstore_vdisk::codec::{crc32, CodecError, Reader, Writer};
+use shardstore_vdisk::ExtentId;
+
+const SSTABLE_MAGIC: &[u8; 4] = b"SSTB";
+const META_MAGIC: &[u8; 4] = b"SSMD";
+const FORMAT_VERSION: u16 = 1;
+
+/// An index value: a shard's chunk list, or a tombstone marking deletion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexValue {
+    /// The shard exists and its data lives in these chunks, in order.
+    Present(Vec<Locator>),
+    /// The shard was deleted.
+    Tombstone,
+}
+
+/// One SSTable entry.
+pub type SsEntry = (u128, IndexValue);
+
+fn write_locator(w: &mut Writer, l: &Locator) {
+    w.u32(l.extent.0);
+    w.u32(l.offset);
+    w.u32(l.len);
+    w.bytes(&l.uuid.to_le_bytes());
+}
+
+fn read_locator(r: &mut Reader<'_>) -> Result<Locator, CodecError> {
+    let extent = ExtentId(r.u32()?);
+    let offset = r.u32()?;
+    let len = r.u32()?;
+    let mut uuid = [0u8; 16];
+    uuid.copy_from_slice(r.bytes(16)?);
+    Ok(Locator { extent, offset, len, uuid: u128::from_le_bytes(uuid) })
+}
+
+/// Serializes a sorted list of entries into SSTable bytes.
+pub fn encode_sstable(entries: &[SsEntry]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(SSTABLE_MAGIC).u16(FORMAT_VERSION).u32(entries.len() as u32);
+    for (key, value) in entries {
+        w.bytes(&key.to_le_bytes());
+        match value {
+            IndexValue::Tombstone => {
+                w.u8(0);
+            }
+            IndexValue::Present(locators) => {
+                w.u8(1);
+                w.u16(locators.len() as u16);
+                for l in locators {
+                    write_locator(&mut w, l);
+                }
+            }
+        }
+    }
+    let crc = crc32(w.as_bytes());
+    w.u32(crc);
+    w.into_bytes()
+}
+
+/// Decodes SSTable bytes. Never panics on corrupt input.
+pub fn decode_sstable(bytes: &[u8]) -> Result<Vec<SsEntry>, CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated { needed: 4, remaining: bytes.len() });
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let mut crc_r = Reader::new(&bytes[bytes.len() - 4..]);
+    if crc32(body) != crc_r.u32()? {
+        return Err(CodecError::BadChecksum);
+    }
+    let mut r = Reader::new(body);
+    r.expect(SSTABLE_MAGIC)?;
+    if r.u16()? != FORMAT_VERSION {
+        return Err(CodecError::BadValue);
+    }
+    let count = r.u32()? as usize;
+    // Minimum entry size is 17 bytes (key + tag); reject absurd counts
+    // before allocating.
+    if count.checked_mul(17).map(|n| n > r.remaining()).unwrap_or(true) {
+        return Err(CodecError::BadLength);
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut key = [0u8; 16];
+        key.copy_from_slice(r.bytes(16)?);
+        let key = u128::from_le_bytes(key);
+        let value = match r.u8()? {
+            0 => IndexValue::Tombstone,
+            1 => {
+                let n = r.u16()? as usize;
+                if n.checked_mul(28).map(|b| b > r.remaining()).unwrap_or(true) {
+                    return Err(CodecError::BadLength);
+                }
+                let mut locators = Vec::with_capacity(n);
+                for _ in 0..n {
+                    locators.push(read_locator(&mut r)?);
+                }
+                IndexValue::Present(locators)
+            }
+            _ => return Err(CodecError::BadValue),
+        };
+        entries.push((key, value));
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::BadLength);
+    }
+    Ok(entries)
+}
+
+/// A descriptor of one live SSTable in the metadata record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDescriptor {
+    /// Monotonic table id (newer tables have higher ids).
+    pub id: u64,
+    /// Chunks holding the serialized table, in order (a large table spans
+    /// several chunks, exactly as shard data does).
+    pub locators: Vec<Locator>,
+}
+
+/// The LSM metadata record: the authoritative list of live tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataRecord {
+    /// Monotonic sequence; highest valid record wins at recovery.
+    pub seq: u64,
+    /// Live tables, newest first.
+    pub tables: Vec<TableDescriptor>,
+}
+
+/// Serializes a metadata record.
+pub fn encode_metadata(record: &MetadataRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(META_MAGIC).u16(FORMAT_VERSION).u64(record.seq).u32(record.tables.len() as u32);
+    for t in &record.tables {
+        w.u64(t.id);
+        w.u16(t.locators.len() as u16);
+        for l in &t.locators {
+            write_locator(&mut w, l);
+        }
+    }
+    let crc = crc32(w.as_bytes());
+    w.u32(crc);
+    w.into_bytes()
+}
+
+/// Decodes a metadata record. Never panics on corrupt input.
+pub fn decode_metadata(bytes: &[u8]) -> Result<MetadataRecord, CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated { needed: 4, remaining: bytes.len() });
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let mut crc_r = Reader::new(&bytes[bytes.len() - 4..]);
+    if crc32(body) != crc_r.u32()? {
+        return Err(CodecError::BadChecksum);
+    }
+    let mut r = Reader::new(body);
+    r.expect(META_MAGIC)?;
+    if r.u16()? != FORMAT_VERSION {
+        return Err(CodecError::BadValue);
+    }
+    let seq = r.u64()?;
+    let count = r.u32()? as usize;
+    // Each table needs at least 10 bytes (id + locator count).
+    if count.checked_mul(10).map(|n| n > r.remaining()).unwrap_or(true) {
+        return Err(CodecError::BadLength);
+    }
+    let mut tables = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.u64()?;
+        let n = r.u16()? as usize;
+        if n.checked_mul(28).map(|b| b > r.remaining()).unwrap_or(true) {
+            return Err(CodecError::BadLength);
+        }
+        let mut locators = Vec::with_capacity(n);
+        for _ in 0..n {
+            locators.push(read_locator(&mut r)?);
+        }
+        tables.push(TableDescriptor { id, locators });
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::BadLength);
+    }
+    Ok(MetadataRecord { seq, tables })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(e: u32, off: u32) -> Locator {
+        Locator { extent: ExtentId(e), offset: off, len: 10, uuid: (e as u128) << 64 | off as u128 }
+    }
+
+    #[test]
+    fn sstable_roundtrip() {
+        let entries = vec![
+            (1u128, IndexValue::Present(vec![loc(1, 0), loc(2, 50)])),
+            (2u128, IndexValue::Tombstone),
+            (u128::MAX, IndexValue::Present(vec![])),
+        ];
+        let bytes = encode_sstable(&entries);
+        assert_eq!(decode_sstable(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn sstable_detects_bit_flips() {
+        let entries = vec![(7u128, IndexValue::Present(vec![loc(3, 9)]))];
+        let bytes = encode_sstable(&entries);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_sstable(&bad).is_err(), "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn sstable_rejects_trailing_garbage() {
+        let entries = vec![(7u128, IndexValue::Tombstone)];
+        let mut bytes = encode_sstable(&entries);
+        bytes.extend_from_slice(b"junk");
+        assert!(decode_sstable(&bytes).is_err());
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let record = MetadataRecord {
+            seq: 42,
+            tables: vec![
+                TableDescriptor { id: 9, locators: vec![loc(4, 100), loc(4, 200)] },
+                TableDescriptor { id: 3, locators: vec![loc(5, 0)] },
+            ],
+        };
+        let bytes = encode_metadata(&record);
+        assert_eq!(decode_metadata(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn metadata_detects_corruption() {
+        let record = MetadataRecord { seq: 1, tables: vec![] };
+        let mut bytes = encode_metadata(&record);
+        bytes[8] ^= 0xFF;
+        assert!(decode_metadata(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_sstable_roundtrips() {
+        let bytes = encode_sstable(&[]);
+        assert_eq!(decode_sstable(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn decoders_reject_absurd_counts_without_allocating() {
+        // Craft a header claiming u32::MAX entries.
+        let mut w = Writer::new();
+        w.bytes(SSTABLE_MAGIC).u16(FORMAT_VERSION).u32(u32::MAX);
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(decode_sstable(&bytes).is_err());
+    }
+}

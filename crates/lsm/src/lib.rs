@@ -1,0 +1,865 @@
+//! The LSM-tree index: maps shard identifiers to chunk locators, itself
+//! stored as chunks on disk (§2.1 of the paper).
+//!
+//! Following the WiscKey-style design the paper describes, shard *data*
+//! lives outside the tree (in data-stream chunks); the tree maps each
+//! shard id to its chunk list. The tree consists of:
+//!
+//! - an in-memory **memtable**; every mutation creates a [`Promise`]
+//!   dependency that is sealed at the next flush, so `put` can return a
+//!   pollable dependency immediately (Fig. 2's "index entry" node);
+//! - on-disk **SSTables**, each one chunk in the LSM stream;
+//! - **metadata records** (chunks in the metadata stream) listing the live
+//!   tables; the highest-sequence valid record wins at recovery. Metadata
+//!   writes depend on the table chunks they reference, completing the
+//!   three-level dependency graph of Fig. 2 (data → index entry → LSM
+//!   metadata).
+//!
+//! Background maintenance: **flush** (memtable → new SSTable + metadata
+//! record) and **compaction** (merge all tables, dropping shadowed entries
+//! and tombstones). Both write their new chunk while holding a [`PutGuard`]
+//! pin until the in-memory metadata references it — releasing the pin
+//! early is exactly the issue #14 race (reclamation drops the not yet
+//! referenced chunk), seeded by [`BugId::B14CompactionReclaimRace`].
+//!
+//! The index provides the [`Referencer`] reverse-lookup implementations
+//! reclamation needs (§2.1): [`DataReferencer`] for shard-data extents and
+//! [`LsmReferencer`] for LSM/metadata extents, including the *quiescence*
+//! barrier that prevents an extent reset from persisting before an index
+//! state that no longer references the dropped chunks.
+
+pub mod codec;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_cache::CachedChunkStore;
+use shardstore_chunk::{ChunkError, Locator, PutGuard, Referencer, Stream};
+use shardstore_conc::sync::Mutex;
+use shardstore_dependency::{Dependency, Promise};
+use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_vdisk::codec::CodecError;
+
+pub use codec::{IndexValue, MetadataRecord, TableDescriptor};
+
+/// LSM index errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsmError {
+    /// Chunk storage failed.
+    Chunk(ChunkError),
+    /// An on-disk structure failed to decode.
+    Codec(CodecError),
+    /// No valid metadata record was found during recovery although
+    /// metadata extents contain data.
+    CorruptMetadata,
+}
+
+impl fmt::Display for LsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsmError::Chunk(e) => write!(f, "chunk error: {e}"),
+            LsmError::Codec(e) => write!(f, "codec error: {e}"),
+            LsmError::CorruptMetadata => write!(f, "no valid LSM metadata record"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {}
+
+impl From<ChunkError> for LsmError {
+    fn from(e: ChunkError) -> Self {
+        LsmError::Chunk(e)
+    }
+}
+
+impl From<CodecError> for LsmError {
+    fn from(e: CodecError) -> Self {
+        LsmError::Codec(e)
+    }
+}
+
+/// LSM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Mutations applied (puts + deletes).
+    pub mutations: u64,
+    /// Lookups served.
+    pub gets: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+#[derive(Debug)]
+struct MemEntry {
+    value: IndexValue,
+    promise: Promise,
+    /// Durability dependency of the data the entry points at: the SSTable
+    /// that flushes this entry must not persist before it (Fig. 2's
+    /// index-entry → shard-data edge). Data-level, so it can feed write
+    /// input dependencies without cycling through pending superblock
+    /// writes.
+    data_dep: Dependency,
+    /// Mutation sequence number; used to detect overwrites that raced
+    /// with an in-progress flush.
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Table {
+    id: u64,
+    /// Chunks holding the serialized table, in order (large tables span
+    /// several chunks).
+    locators: Vec<Locator>,
+    /// Persists once the table's bytes *and* every data chunk its entries
+    /// reference are durable (transitively, because the table write's
+    /// input dependency joins its entries' data dependencies).
+    data_dep: Dependency,
+}
+
+struct LsmState {
+    memtable: BTreeMap<u128, MemEntry>,
+    /// Live tables, newest first.
+    tables: Vec<Table>,
+    /// Bumped whenever the table list changes (flush, compaction,
+    /// relocation). Readers snapshot locators, read outside the lock, and
+    /// retry on failure if the version moved — the optimistic scheme that
+    /// makes reads safe against concurrent reclamation.
+    tables_version: u64,
+    next_table_id: u64,
+    next_seq: u64,
+    meta_seq: u64,
+    meta_locator: Option<Locator>,
+    /// Dependency of the most recent metadata record write.
+    meta_dep: Option<Dependency>,
+    /// Reverse map for data-extent reclamation: data-chunk locator → the
+    /// shard key whose *current* value references it.
+    refs: BTreeMap<Locator, u128>,
+    /// Set when an extent reset happened since the last flush (drives the
+    /// seeded bug B3).
+    reset_since_flush: bool,
+    stats: LsmStats,
+}
+
+/// The persistent LSM-tree index. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct LsmIndex {
+    core: Arc<LsmCore>,
+}
+
+struct LsmCore {
+    cache: CachedChunkStore,
+    faults: FaultConfig,
+    state: Mutex<LsmState>,
+    /// Serializes flush and compaction against each other (they both
+    /// rewrite the table list).
+    maintenance: Mutex<()>,
+}
+
+impl fmt::Debug for LsmIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.core.state.lock();
+        f.debug_struct("LsmIndex")
+            .field("memtable", &st.memtable.len())
+            .field("tables", &st.tables.len())
+            .finish()
+    }
+}
+
+impl LsmIndex {
+    /// Creates an empty index over a cached chunk store.
+    pub fn new(cache: CachedChunkStore, faults: FaultConfig) -> Self {
+        Self {
+            core: Arc::new(LsmCore {
+                cache,
+                faults,
+                state: Mutex::new(LsmState {
+                    memtable: BTreeMap::new(),
+                    tables: Vec::new(),
+                    tables_version: 0,
+                    next_table_id: 1,
+                    next_seq: 1,
+                    meta_seq: 0,
+                    meta_locator: None,
+                    meta_dep: None,
+                    refs: BTreeMap::new(),
+                    reset_since_flush: false,
+                    stats: LsmStats::default(),
+                }),
+                maintenance: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Recovers the index after a reboot: find the highest-sequence valid
+    /// metadata record among registered metadata chunks, load its table
+    /// list, and rebuild the reverse reference map from the merged view.
+    pub fn recover(cache: CachedChunkStore, faults: FaultConfig) -> Result<Self, LsmError> {
+        let index = Self::new(cache, faults);
+        let mut best: Option<(MetadataRecord, Locator)> = None;
+        let mut meta_chunks = 0usize;
+        for locator in index.core.cache.chunk_store().registered_locators() {
+            if index.core.cache.chunk_store().extent_manager().owner(locator.extent)
+                != shardstore_superblock::Owner::Metadata
+            {
+                continue;
+            }
+            meta_chunks += 1;
+            let bytes = match index.core.cache.get(&locator) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            match codec::decode_metadata(&bytes) {
+                Ok(record) => {
+                    coverage::hit("lsm.recover.valid_metadata");
+                    if best.as_ref().map(|(b, _)| record.seq > b.seq).unwrap_or(true) {
+                        best = Some((record, locator));
+                    }
+                }
+                Err(_) => coverage::hit("lsm.recover.invalid_metadata"),
+            }
+        }
+        // Fence the sequence counter above every metadata record that is
+        // *physically decodable* anywhere on a metadata extent — including
+        // quarantined regions beyond the trusted pointer (torn residue of
+        // unacknowledged flushes). Such a record is not adopted now, but
+        // future appends can advance the pointer past its location, making
+        // it visible to a later recovery; if new records reused its
+        // sequence number, that later recovery could adopt the dead
+        // record instead of the live one.
+        let mut seq_fence = 0u64;
+        {
+            let em = index.core.cache.chunk_store().extent_manager();
+            let disk = em.scheduler().disk().clone();
+            let extent_size = em.extent_size();
+            let page_size = disk.geometry().page_size;
+            for extent in em.extents_owned_by(shardstore_superblock::Owner::Metadata) {
+                let raw = disk.read(extent, 0, extent_size).map_err(|e| {
+                    LsmError::Chunk(ChunkError::Extent(
+                        shardstore_superblock::ExtentError::Io(e),
+                    ))
+                })?;
+                for frame in shardstore_chunk::scan_extent(
+                    &raw,
+                    extent_size,
+                    page_size,
+                    &index.core.faults,
+                ) {
+                    if let Ok(record) = codec::decode_metadata(frame.payload(&raw)) {
+                        seq_fence = seq_fence.max(record.seq);
+                    }
+                }
+            }
+        }
+        let Some((record, locator)) = best else {
+            if meta_chunks > 0 {
+                return Err(LsmError::CorruptMetadata);
+            }
+            coverage::hit("lsm.recover.empty");
+            index.core.state.lock().meta_seq = seq_fence;
+            return Ok(index);
+        };
+        {
+            let mut st = index.core.state.lock();
+            st.meta_seq = record.seq.max(seq_fence);
+            st.meta_locator = Some(locator);
+            st.next_table_id = record.tables.iter().map(|t| t.id).max().unwrap_or(0) + 1;
+            let none = index.scheduler().none();
+            st.tables = record
+                .tables
+                .iter()
+                .map(|t| Table { id: t.id, locators: t.locators.clone(), data_dep: none.clone() })
+                .collect();
+        }
+        // Rebuild the reverse map from the merged (newest-wins) view.
+        let merged = index.merged_entries()?;
+        {
+            let mut st = index.core.state.lock();
+            for (key, value) in merged {
+                if let IndexValue::Present(locators) = value {
+                    for l in locators {
+                        st.refs.insert(l, key);
+                    }
+                }
+            }
+        }
+        Ok(index)
+    }
+
+    /// The cached chunk store backing the index.
+    pub fn cache(&self) -> &CachedChunkStore {
+        &self.core.cache
+    }
+
+    fn scheduler(&self) -> shardstore_dependency::IoScheduler {
+        self.core.cache.chunk_store().extent_manager().scheduler().clone()
+    }
+
+    /// Largest payload that fits one chunk frame on this disk.
+    fn max_chunk_payload(&self) -> usize {
+        self.core.cache.chunk_store().extent_manager().extent_size()
+            - shardstore_chunk::FRAME_OVERHEAD
+    }
+
+    /// Writes serialized table bytes as one or more LSM-stream chunks
+    /// (the tree itself is stored as chunks, §2.1). Returns the locators,
+    /// the joined data dependency, the joined full dependency, and the
+    /// pins.
+    fn write_table_chunks(
+        &self,
+        bytes: &[u8],
+        dep_in: &Dependency,
+    ) -> Result<(Vec<Locator>, Dependency, Dependency, Vec<PutGuard>), LsmError> {
+        let max = self.max_chunk_payload().max(1);
+        let mut locators = Vec::new();
+        let mut data_deps = Vec::new();
+        let mut full_deps = Vec::new();
+        let mut guards = Vec::new();
+        let pieces: Vec<&[u8]> =
+            if bytes.is_empty() { vec![&[][..]] } else { bytes.chunks(max).collect() };
+        if pieces.len() > 1 {
+            coverage::hit("lsm.table.multi_chunk");
+        }
+        for piece in pieces {
+            let out = self.core.cache.put(Stream::Lsm, piece, dep_in)?;
+            locators.push(out.locator);
+            data_deps.push(out.data_dep);
+            full_deps.push(out.dep);
+            guards.push(out.guard);
+        }
+        let sched = self.scheduler();
+        Ok((locators, sched.join(&data_deps), sched.join(&full_deps), guards))
+    }
+
+    /// Reads and reassembles a table from its chunks.
+    fn read_table(&self, locators: &[Locator]) -> Result<Vec<codec::SsEntry>, LsmError> {
+        let mut bytes = Vec::new();
+        for locator in locators {
+            bytes.extend_from_slice(&self.core.cache.get(locator)?);
+        }
+        Ok(codec::decode_sstable(&bytes)?)
+    }
+
+    fn apply(&self, key: u128, value: IndexValue, data_dep: Dependency) -> Dependency {
+        let promise = self.scheduler().promise();
+        let dep = promise.dependency();
+        let mut st = self.core.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        // Maintain the reverse map: the previous value's chunks are no
+        // longer referenced by the current view; the new value's are.
+        let new_promise_dep = dep.clone();
+        let old =
+            st.memtable.insert(key, MemEntry { value: value.clone(), promise, data_dep, seq });
+        if let Some(old_entry) = &old {
+            // The old mutation is superseded: its dependency becomes
+            // persistent exactly when the superseding mutation's does
+            // ("unless superseded by a later persisted operation", §5) —
+            // which also keeps the forward-progress property: no promise
+            // is ever leaked unsealed.
+            old_entry.promise.add_dep(&new_promise_dep);
+            old_entry.promise.seal();
+        }
+        if let Some(MemEntry { value: IndexValue::Present(old_locs), .. }) = old {
+            for l in old_locs {
+                st.refs.remove(&l);
+            }
+        } else if old.is_none() {
+            // Key may still be present in tables; remove any stale refs
+            // pointing at it (the table entry is shadowed now).
+            let stale: Vec<Locator> =
+                st.refs.iter().filter(|(_, k)| **k == key).map(|(l, _)| *l).collect();
+            for l in stale {
+                st.refs.remove(&l);
+            }
+        }
+        if let IndexValue::Present(locators) = &value {
+            for l in locators {
+                st.refs.insert(*l, key);
+            }
+        }
+        st.stats.mutations += 1;
+        dep
+    }
+
+    /// Inserts or overwrites a key. Returns a dependency that persists
+    /// once the entry is durable — sealed at the next flush: SSTable
+    /// chunk, metadata record, and their write-pointer coverage.
+    /// `data_dep` is the (data-level) dependency of the chunks the
+    /// locators point at; the flushed index will not persist before them.
+    pub fn put(&self, key: u128, locators: Vec<Locator>, data_dep: Dependency) -> Dependency {
+        self.apply(key, IndexValue::Present(locators), data_dep)
+    }
+
+    /// Deletes a key by writing a tombstone. Returns the tombstone's
+    /// durability dependency.
+    pub fn delete(&self, key: u128) -> Dependency {
+        let none = self.scheduler().none();
+        self.apply(key, IndexValue::Tombstone, none)
+    }
+
+    /// The current table-list version (bumped by flush, compaction, and
+    /// relocation).
+    pub fn tables_version(&self) -> u64 {
+        self.core.state.lock().tables_version
+    }
+
+    /// Looks up a key: memtable first, then tables newest-first.
+    ///
+    /// Reads are optimistic against concurrent reclamation: the table
+    /// locators are snapshotted, read outside the lock, and the lookup is
+    /// retried if a read fails while the table list has moved (the chunk
+    /// was relocated under us). A failure with an *unchanged* table list
+    /// is genuine corruption and is reported.
+    pub fn get(&self, key: u128) -> Result<Option<Vec<Locator>>, LsmError> {
+        loop {
+            let (tables, version): (Vec<Vec<Locator>>, u64) = {
+                let mut st = self.core.state.lock();
+                st.stats.gets += 1;
+                if let Some(entry) = st.memtable.get(&key) {
+                    coverage::hit("lsm.get.memtable");
+                    return Ok(match &entry.value {
+                        IndexValue::Present(l) => Some(l.clone()),
+                        IndexValue::Tombstone => None,
+                    });
+                }
+                (st.tables.iter().map(|t| t.locators.clone()).collect(), st.tables_version)
+            };
+            match self.lookup_in_tables(key, &tables) {
+                Ok(found) => return Ok(found),
+                Err(e) => {
+                    if self.core.state.lock().tables_version != version {
+                        coverage::hit("lsm.get.retry_relocated");
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn lookup_in_tables(
+        &self,
+        key: u128,
+        tables: &[Vec<Locator>],
+    ) -> Result<Option<Vec<Locator>>, LsmError> {
+        for locators in tables {
+            let entries = self.read_table(locators)?;
+            if let Ok(idx) = entries.binary_search_by_key(&key, |(k, _)| *k) {
+                coverage::hit("lsm.get.sstable");
+                return Ok(match &entries[idx].1 {
+                    IndexValue::Present(l) => Some(l.clone()),
+                    IndexValue::Tombstone => None,
+                });
+            }
+        }
+        coverage::hit("lsm.get.miss");
+        Ok(None)
+    }
+
+    /// The merged newest-wins view of all entries (tombstones included),
+    /// with the same optimistic retry against concurrent relocation as
+    /// [`LsmIndex::get`].
+    fn merged_entries(&self) -> Result<BTreeMap<u128, IndexValue>, LsmError> {
+        loop {
+            let (mem, tables, version): (Vec<(u128, IndexValue)>, Vec<Vec<Locator>>, u64) = {
+                let st = self.core.state.lock();
+                (
+                    st.memtable.iter().map(|(k, e)| (*k, e.value.clone())).collect(),
+                    st.tables.iter().map(|t| t.locators.clone()).collect(),
+                    st.tables_version,
+                )
+            };
+            let mut merged: BTreeMap<u128, IndexValue> = BTreeMap::new();
+            // Oldest table first, memtable last, so newer writers
+            // overwrite.
+            let mut failed = None;
+            for locators in tables.iter().rev() {
+                match self.read_table(locators) {
+                    Ok(entries) => {
+                        for (k, v) in entries {
+                            merged.insert(k, v);
+                        }
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                if self.core.state.lock().tables_version != version {
+                    continue;
+                }
+                return Err(e);
+            }
+            for (k, v) in mem {
+                merged.insert(k, v);
+            }
+            return Ok(merged);
+        }
+    }
+
+    /// All present keys in the merged view (invariant checks and control
+    /// plane listing).
+    pub fn keys(&self) -> Result<Vec<u128>, LsmError> {
+        Ok(self
+            .merged_entries()?
+            .into_iter()
+            .filter(|(_, v)| matches!(v, IndexValue::Present(_)))
+            .map(|(k, _)| k)
+            .collect())
+    }
+
+    /// Writes a metadata record reflecting the current table list. Caller
+    /// must hold the state lock... and therefore must NOT: this takes the
+    /// lock internally. `table_deps` are the data dependencies of any
+    /// just-written table chunks the record references.
+    fn write_metadata(&self, table_deps: &[Dependency]) -> Result<Dependency, LsmError> {
+        let record = {
+            let st = self.core.state.lock();
+            MetadataRecord {
+                seq: st.meta_seq + 1,
+                tables: st
+                    .tables
+                    .iter()
+                    .map(|t| TableDescriptor { id: t.id, locators: t.locators.clone() })
+                    .collect(),
+            }
+        };
+        let bytes = codec::encode_metadata(&record);
+        // The metadata record must not persist before the table chunks it
+        // references (Fig. 2's metadata → index-data edge).
+        let dep_in = self.scheduler().join(table_deps);
+        let out = self.core.cache.put(Stream::Meta, &bytes, &dep_in)?;
+        let mut st = self.core.state.lock();
+        if let Some(old) = st.meta_locator.replace(out.locator) {
+            self.core.cache.chunk_store().mark_dead(&old);
+        }
+        st.meta_seq = record.seq;
+        st.meta_dep = Some(out.dep.clone());
+        coverage::hit("lsm.metadata.written");
+        // The metadata chunk's pin can drop once `meta_locator` references
+        // it (the LsmReferencer consults `meta_locator`).
+        drop(out.guard);
+        Ok(out.dep)
+    }
+
+    /// Flushes the memtable into a new SSTable and writes a metadata
+    /// record referencing it, sealing every flushed entry's promise.
+    /// Returns the metadata record's dependency (or the previous one if
+    /// the memtable was empty).
+    pub fn flush(&self) -> Result<Dependency, LsmError> {
+        let _m = self.core.maintenance.lock();
+        // Phase 1: snapshot the memtable (values, sequence numbers, and
+        // the data dependencies the flushed table must wait for).
+        let (snapshot, data_deps): (Vec<(u128, IndexValue, u64)>, Vec<Dependency>) = {
+            let mut st = self.core.state.lock();
+            st.reset_since_flush = false;
+            (
+                st.memtable.iter().map(|(k, e)| (*k, e.value.clone(), e.seq)).collect(),
+                st.memtable.values().map(|e| e.data_dep.clone()).collect(),
+            )
+        };
+        if snapshot.is_empty() {
+            let st = self.core.state.lock();
+            coverage::hit("lsm.flush.empty");
+            return Ok(st
+                .meta_dep
+                .clone()
+                .unwrap_or_else(|| self.scheduler().none()));
+        }
+        // Phase 2: write the SSTable chunk (outside the state lock — this
+        // is IO). The PutGuard pins the chunk's extent until the metadata
+        // references it.
+        let entries: Vec<codec::SsEntry> =
+            snapshot.iter().map(|(k, v, _)| (*k, v.clone())).collect();
+        let bytes = codec::encode_sstable(&entries);
+        // The SSTable must not persist before the data its entries point
+        // at (Fig. 2: index entry depends on shard data) — otherwise a
+        // crash could recover an index referencing chunks that are not
+        // readable.
+        let table_dep_in = self.scheduler().join(&data_deps);
+        let (locators, table_data_dep, table_full_dep, guards) =
+            self.write_table_chunks(&bytes, &table_dep_in)?;
+        let guards: Vec<PutGuard> = if self.core.faults.is(BugId::B14CompactionReclaimRace) {
+            // BUG B14 (seeded): the pins are released before the metadata
+            // references the new chunks. A concurrently scheduled
+            // reclamation of their extents finds them unreferenced and
+            // drops them (the §6 worked example).
+            drop(guards);
+            Vec::new()
+        } else {
+            guards
+        };
+        // Scheduling point: under the stateless model checker this is
+        // where reclamation can interleave.
+        shardstore_conc::yield_now();
+        // Phase 3: install the table, write metadata, seal promises.
+        let table_id = {
+            let mut st = self.core.state.lock();
+            let id = st.next_table_id;
+            st.next_table_id += 1;
+            st.tables.insert(0, Table {
+                id,
+                locators: locators.clone(),
+                data_dep: table_data_dep.clone(),
+            });
+            st.tables_version += 1;
+            id
+        };
+        let meta_dep = self.write_metadata(std::slice::from_ref(&table_data_dep))?;
+        {
+            let mut st = self.core.state.lock();
+            let _ = table_id;
+            for (key, _, seq) in &snapshot {
+                // Remove the flushed entry unless it was overwritten while
+                // we were flushing; seal its promise either way (the
+                // flushed value is durable).
+                let remove =
+                    matches!(st.memtable.get(key), Some(e) if e.seq == *seq);
+                if remove {
+                    let entry = st.memtable.remove(key).expect("checked above");
+                    entry.promise.add_dep(&table_full_dep);
+                    entry.promise.add_dep(&meta_dep);
+                    entry.promise.seal();
+                } else {
+                    coverage::hit("lsm.flush.overwritten_during_flush");
+                }
+            }
+            st.stats.flushes += 1;
+        }
+        drop(guards);
+        coverage::hit("lsm.flush.done");
+        Ok(meta_dep)
+    }
+
+    /// Records that an extent reset happened (reclamation ran). Drives
+    /// the seeded bug B3's trigger condition.
+    pub fn note_extent_reset(&self) {
+        self.core.state.lock().reset_since_flush = true;
+    }
+
+    /// Merges all tables into one, dropping shadowed entries and
+    /// tombstones, then rewrites the metadata record. Old table chunks
+    /// are marked dead for reclamation.
+    pub fn compact(&self) -> Result<(), LsmError> {
+        let _m = self.core.maintenance.lock();
+        let (old_tables, source_deps): (Vec<(u64, Vec<Locator>)>, Vec<Dependency>) = {
+            let st = self.core.state.lock();
+            (
+                st.tables.iter().map(|t| (t.id, t.locators.clone())).collect(),
+                st.tables.iter().map(|t| t.data_dep.clone()).collect(),
+            )
+        };
+        if old_tables.len() < 2 {
+            coverage::hit("lsm.compact.trivial");
+            return Ok(());
+        }
+        // Merge newest-wins (oldest first so newer overwrite), dropping
+        // tombstones: after a full compaction nothing is shadowed, so a
+        // tombstone's only effect would be wasted space.
+        let mut merged: BTreeMap<u128, IndexValue> = BTreeMap::new();
+        for (_, locators) in old_tables.iter().rev() {
+            for (k, v) in self.read_table(locators)? {
+                merged.insert(k, v);
+            }
+        }
+        merged.retain(|_, v| matches!(v, IndexValue::Present(_)));
+        let entries: Vec<codec::SsEntry> = merged.into_iter().collect();
+        let bytes = codec::encode_sstable(&entries);
+        // The merged table inherits the sources' obligations: it must not
+        // persist before the data its entries (transitively) reference.
+        let table_dep_in = self.scheduler().join(&source_deps);
+        let (locators, table_data_dep, _table_full_dep, guards) =
+            self.write_table_chunks(&bytes, &table_dep_in)?;
+        let guards: Vec<PutGuard> = if self.core.faults.is(BugId::B14CompactionReclaimRace) {
+            drop(guards);
+            Vec::new()
+        } else {
+            guards
+        };
+        // The issue #14 window: the new chunk is on disk but the metadata
+        // does not reference it yet.
+        shardstore_conc::yield_now();
+        {
+            let mut st = self.core.state.lock();
+            // Only replace the tables we actually merged; a concurrent
+            // flush may have prepended newer ones.
+            let merged_ids: Vec<u64> = old_tables.iter().map(|(id, _)| *id).collect();
+            let id = st.next_table_id;
+            st.next_table_id += 1;
+            st.tables.retain(|t| !merged_ids.contains(&t.id));
+            st.tables.push(Table {
+                id,
+                locators: locators.clone(),
+                data_dep: table_data_dep.clone(),
+            });
+            st.tables_version += 1;
+            st.stats.compactions += 1;
+        }
+        self.write_metadata(std::slice::from_ref(&table_data_dep))?;
+        for (_, locators) in &old_tables {
+            for locator in locators {
+                self.core.cache.chunk_store().mark_dead(locator);
+            }
+        }
+        drop(guards);
+        coverage::hit("lsm.compact.done");
+        Ok(())
+    }
+
+    /// Clean shutdown: flush the memtable and pump all IO to completion,
+    /// so that every outstanding dependency becomes persistent (the §5
+    /// forward-progress property).
+    pub fn shutdown(&self) -> Result<(), LsmError> {
+        if self.core.faults.is(BugId::B3MetadataShutdownFlush) {
+            let reset_pending = self.core.state.lock().reset_since_flush;
+            if reset_pending {
+                // BUG B3 (seeded): the shutdown path mishandled the
+                // "extent was reset" case and skipped the flush entirely,
+                // so recent index entries never became durable.
+                coverage::hit("lsm.shutdown.b3_skipped_flush");
+                self.core
+                    .cache
+                    .chunk_store()
+                    .extent_manager()
+                    .pump()
+                    .map_err(ChunkError::Extent)?;
+                return Ok(());
+            }
+        }
+        self.flush()?;
+        self.core.cache.chunk_store().extent_manager().pump().map_err(ChunkError::Extent)?;
+        Ok(())
+    }
+
+    /// Number of entries currently in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.core.state.lock().memtable.len()
+    }
+
+    /// Number of live SSTables.
+    pub fn table_count(&self) -> usize {
+        self.core.state.lock().tables.len()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> LsmStats {
+        self.core.state.lock().stats
+    }
+
+    /// Reverse-lookup callback for shard-data extents.
+    pub fn data_referencer(&self) -> DataReferencer {
+        DataReferencer { index: self.clone() }
+    }
+
+    /// Reverse-lookup callback for LSM-tree extents (SSTable chunks) and
+    /// metadata extents (metadata records).
+    pub fn lsm_referencer(&self) -> LsmReferencer {
+        LsmReferencer { index: self.clone() }
+    }
+}
+
+/// [`Referencer`] over shard-data chunks: liveness is membership in the
+/// index's current reverse map; relocation rewrites the owning shard's
+/// entry (becoming durable at the next flush).
+#[derive(Debug, Clone)]
+pub struct DataReferencer {
+    index: LsmIndex,
+}
+
+impl Referencer for DataReferencer {
+    fn is_live(&self, locator: &Locator) -> bool {
+        self.index.core.state.lock().refs.contains_key(locator)
+    }
+
+    fn relocated(&self, old: &Locator, new: &Locator, _copy_dep: &Dependency) -> Dependency {
+        let key = {
+            let st = self.index.core.state.lock();
+            st.refs.get(old).copied()
+        };
+        let Some(key) = key else {
+            // Raced with a delete; nothing references the chunk anymore.
+            return self.index.scheduler().none();
+        };
+        // Rewrite the shard's locator list through the normal mutation
+        // path, so durability flows through the next flush.
+        let current = {
+            let st = self.index.core.state.lock();
+            match st.memtable.get(&key).map(|e| e.value.clone()) {
+                Some(IndexValue::Present(l)) => Some(l),
+                Some(IndexValue::Tombstone) => None,
+                None => None,
+            }
+        };
+        let locators = match current {
+            Some(l) => l,
+            None => match self.index.get(key) {
+                Ok(Some(l)) => l,
+                _ => return self.index.scheduler().none(),
+            },
+        };
+        let rewritten: Vec<Locator> =
+            locators.into_iter().map(|l| if l == *old { *new } else { l }).collect();
+        coverage::hit("lsm.referencer.relocate_data");
+        self.index.put(key, rewritten, _copy_dep.clone())
+    }
+
+    fn quiesce(&self) -> Option<Dependency> {
+        // The reset must wait for an index state that no longer
+        // references the dropped chunks: flush now and return the
+        // resulting metadata dependency.
+        self.index.flush().ok()
+    }
+}
+
+/// [`Referencer`] over LSM-owned chunks (SSTables) and metadata records.
+#[derive(Debug, Clone)]
+pub struct LsmReferencer {
+    index: LsmIndex,
+}
+
+impl Referencer for LsmReferencer {
+    fn is_live(&self, locator: &Locator) -> bool {
+        let st = self.index.core.state.lock();
+        st.tables.iter().any(|t| t.locators.contains(locator))
+            || st.meta_locator == Some(*locator)
+    }
+
+    fn relocated(&self, old: &Locator, new: &Locator, copy_dep: &Dependency) -> Dependency {
+        let mut st = self.index.core.state.lock();
+        if st.meta_locator == Some(*old) {
+            // The current metadata record itself is being evacuated. The
+            // copy is byte-identical (same seq), so pointing at it is
+            // sound; recovery finds it by scanning.
+            st.meta_locator = Some(*new);
+            st.meta_dep = Some(copy_dep.clone());
+            coverage::hit("lsm.referencer.relocate_meta");
+            return copy_dep.clone();
+        }
+        for t in st.tables.iter_mut() {
+            for l in t.locators.iter_mut() {
+                if *l == *old {
+                    *l = *new;
+                    t.data_dep = t.data_dep.and(copy_dep);
+                }
+            }
+        }
+        st.tables_version += 1;
+        drop(st);
+        coverage::hit("lsm.referencer.relocate_table");
+        // The table list changed: persist a metadata record referencing
+        // the new location, ordered after the copy.
+        match self.index.write_metadata(std::slice::from_ref(copy_dep)) {
+            Ok(dep) => dep,
+            Err(_) => copy_dep.clone(),
+        }
+    }
+
+    fn quiesce(&self) -> Option<Dependency> {
+        self.index.core.state.lock().meta_dep.clone()
+    }
+}

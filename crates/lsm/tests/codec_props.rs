@@ -1,0 +1,84 @@
+//! Property-based tests of the SSTable and metadata codecs: §7
+//! panic-freedom on arbitrary bytes, round trips, and corruption
+//! detection.
+
+use proptest::prelude::*;
+use shardstore_chunk::Locator;
+use shardstore_lsm::codec::{
+    decode_metadata, decode_sstable, encode_metadata, encode_sstable, IndexValue, MetadataRecord,
+    TableDescriptor,
+};
+use shardstore_vdisk::ExtentId;
+
+fn locator_strategy() -> impl Strategy<Value = Locator> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u128>())
+        .prop_map(|(e, o, l, u)| Locator { extent: ExtentId(e), offset: o, len: l, uuid: u })
+}
+
+fn value_strategy() -> impl Strategy<Value = IndexValue> {
+    prop_oneof![
+        1 => Just(IndexValue::Tombstone),
+        3 => proptest::collection::vec(locator_strategy(), 0..4).prop_map(IndexValue::Present),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic either decoder (§7).
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_sstable(&bytes);
+        let _ = decode_metadata(&bytes);
+    }
+
+    /// SSTables round-trip arbitrary entry lists.
+    #[test]
+    fn sstable_roundtrip(entries in proptest::collection::vec((any::<u128>(), value_strategy()), 0..30)) {
+        let bytes = encode_sstable(&entries);
+        prop_assert_eq!(decode_sstable(&bytes).unwrap(), entries);
+    }
+
+    /// Metadata records round-trip arbitrary table lists.
+    #[test]
+    fn metadata_roundtrip(seq in any::<u64>(),
+                          tables in proptest::collection::vec(
+                              (any::<u64>(), proptest::collection::vec(locator_strategy(), 0..4)),
+                              0..20,
+                          )) {
+        let record = MetadataRecord {
+            seq,
+            tables: tables
+                .into_iter()
+                .map(|(id, locators)| TableDescriptor { id, locators })
+                .collect(),
+        };
+        let bytes = encode_metadata(&record);
+        prop_assert_eq!(decode_metadata(&bytes).unwrap(), record);
+    }
+
+    /// Any single-byte corruption of an SSTable is detected.
+    #[test]
+    fn sstable_corruption_detected(
+        entries in proptest::collection::vec((any::<u128>(), value_strategy()), 1..10),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let bytes = encode_sstable(&entries);
+        let pos = pos_seed % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= xor;
+        prop_assert!(decode_sstable(&corrupt).is_err(), "corruption at {pos} undetected");
+    }
+
+    /// Truncating an SSTable at any point is detected.
+    #[test]
+    fn sstable_truncation_detected(
+        entries in proptest::collection::vec((any::<u128>(), value_strategy()), 1..10),
+        cut_seed in any::<usize>(),
+    ) {
+        let bytes = encode_sstable(&entries);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(decode_sstable(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Bounded-exhaustive verification of the reference models themselves
+//! (§3.2 "Model verification").
+//!
+//! The paper experimented with proving properties of the models with the
+//! Prusti verifier — e.g. "the LSM-tree reference model removes a
+//! key-value mapping if and only if it receives a delete operation for
+//! that key". This module takes the small-scope route instead: because
+//! the models are tiny state machines, their properties can be checked
+//! *exhaustively* over every operation sequence up to a bound on a small
+//! domain. Within that scope the result is a proof, not a sample — the
+//! role Prusti/Alloy play in the paper, with no external tooling.
+//!
+//! By the small-scope hypothesis (and because the models are
+//! domain-oblivious: they never branch on key or value contents beyond
+//! equality), bugs like issue #15 show up already at tiny scopes.
+
+use crate::{ChunkStoreModel, IndexModel, KvModel};
+use shardstore_chunk::Locator;
+use shardstore_faults::FaultConfig;
+
+/// One abstract operation over the small scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeOp {
+    /// Put key `k` with value tag `v`.
+    Put(u8, u8),
+    /// Delete key `k`.
+    Delete(u8),
+    /// A background operation (flush/compact/reclaim) — must be a no-op.
+    Background,
+}
+
+/// A property violation found during exhaustive checking.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The operation sequence that exposed the violation.
+    pub sequence: Vec<ScopeOp>,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model violation on {:?}: {}", self.sequence, self.detail)
+    }
+}
+
+fn enumerate(keys: u8, values: u8, len: usize) -> Vec<Vec<ScopeOp>> {
+    let mut alphabet = Vec::new();
+    for k in 0..keys {
+        for v in 0..values {
+            alphabet.push(ScopeOp::Put(k, v));
+        }
+    }
+    for k in 0..keys {
+        alphabet.push(ScopeOp::Delete(k));
+    }
+    alphabet.push(ScopeOp::Background);
+    let mut sequences: Vec<Vec<ScopeOp>> = vec![Vec::new()];
+    let mut frontier = sequences.clone();
+    for _ in 0..len {
+        let mut next = Vec::new();
+        for seq in &frontier {
+            for op in &alphabet {
+                let mut extended = seq.clone();
+                extended.push(*op);
+                next.push(extended);
+            }
+        }
+        sequences.extend(next.iter().cloned());
+        frontier = next;
+    }
+    sequences
+}
+
+fn locators_for(k: u8, v: u8) -> Vec<Locator> {
+    vec![Locator {
+        extent: shardstore_vdisk::ExtentId(k as u32),
+        offset: v as u32,
+        len: 1,
+        uuid: ((k as u128) << 8) | v as u128,
+    }]
+}
+
+/// The paper's example property, exhaustively within scope: after any
+/// operation sequence, a key is absent from [`IndexModel`] **iff** its
+/// last mutation was a delete (or it was never put) — i.e. the model
+/// removes a mapping if and only if it receives a delete for that key.
+/// Also checks that background operations never change the mapping.
+pub fn verify_index_model(keys: u8, values: u8, max_len: usize) -> Result<u64, Violation> {
+    let mut checked = 0u64;
+    for sequence in enumerate(keys, values, max_len) {
+        let mut model = IndexModel::new();
+        // The oracle: last mutation per key, tracked independently.
+        let mut last: std::collections::BTreeMap<u8, Option<u8>> =
+            std::collections::BTreeMap::new();
+        for op in &sequence {
+            let before = model.clone();
+            match op {
+                ScopeOp::Put(k, v) => {
+                    model.put(*k as u128, locators_for(*k, *v));
+                    last.insert(*k, Some(*v));
+                }
+                ScopeOp::Delete(k) => {
+                    model.delete(*k as u128);
+                    last.insert(*k, None);
+                }
+                ScopeOp::Background => {
+                    model.flush();
+                    model.compact();
+                    if model != before {
+                        return Err(Violation {
+                            sequence,
+                            detail: "background operation changed the mapping".into(),
+                        });
+                    }
+                }
+            }
+        }
+        for k in 0..keys {
+            let expected = last.get(&k).copied().flatten();
+            let got = model.get(k as u128);
+            let ok = match (expected, &got) {
+                (None, None) => true,
+                (Some(v), Some(l)) => *l == locators_for(k, v),
+                _ => false,
+            };
+            if !ok {
+                return Err(Violation {
+                    sequence,
+                    detail: format!(
+                        "key {k}: last mutation {expected:?} but model has {got:?} — \
+                         delete-iff-removed violated"
+                    ),
+                });
+            }
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Same property for the API-level [`KvModel`].
+pub fn verify_kv_model(keys: u8, values: u8, max_len: usize) -> Result<u64, Violation> {
+    let mut checked = 0u64;
+    for sequence in enumerate(keys, values, max_len) {
+        let mut model = KvModel::new();
+        let mut last: std::collections::BTreeMap<u8, Option<u8>> =
+            std::collections::BTreeMap::new();
+        for op in &sequence {
+            match op {
+                ScopeOp::Put(k, v) => {
+                    model.put(*k as u128, &[*v]);
+                    last.insert(*k, Some(*v));
+                }
+                ScopeOp::Delete(k) => {
+                    model.delete(*k as u128);
+                    last.insert(*k, None);
+                }
+                ScopeOp::Background => {}
+            }
+        }
+        // list() agrees with per-key gets, and both agree with the oracle.
+        let listed = model.list();
+        for k in 0..keys {
+            let expected = last.get(&k).copied().flatten();
+            let got = model.get(k as u128);
+            let ok = match (expected, &got) {
+                (None, None) => true,
+                (Some(v), Some(data)) => ***data == [v],
+                _ => false,
+            };
+            if !ok {
+                return Err(Violation {
+                    sequence,
+                    detail: format!("key {k}: oracle {expected:?} vs model {got:?}"),
+                });
+            }
+            if listed.contains(&(k as u128)) != got.is_some() {
+                return Err(Violation {
+                    sequence,
+                    detail: format!("key {k}: list()/get() disagree"),
+                });
+            }
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Locator uniqueness for [`ChunkStoreModel`], exhaustively within scope:
+/// over every put/delete interleaving up to the bound, no locator is ever
+/// issued twice (issue #15's violated assumption). With
+/// [`shardstore_faults::BugId::B15ModelLocatorReuse`] seeded this fails.
+pub fn verify_chunk_model_uniqueness(max_len: usize, faults: &FaultConfig) -> Result<u64, Violation> {
+    // Restart-based exhaustive enumeration: every sequence over
+    // {Put, DeleteOldest} up to the bound, each run on a fresh model.
+    let mut checked = 0u64;
+    for len in 0..=max_len {
+        for bits in 0..(1u64 << len) {
+            let model = ChunkStoreModel::new(faults.clone());
+            let mut live: Vec<Locator> = Vec::new();
+            let mut issued: std::collections::BTreeSet<(u32, u32, u32)> =
+                std::collections::BTreeSet::new();
+            let mut trace = Vec::new();
+            for step in 0..len {
+                if bits & (1 << step) == 0 {
+                    let locator = model.put(&[step as u8]);
+                    trace.push(ScopeOp::Put(0, step as u8));
+                    if !issued.insert((locator.extent.0, locator.offset, locator.len)) {
+                        return Err(Violation {
+                            sequence: trace,
+                            detail: format!("locator {locator} issued twice"),
+                        });
+                    }
+                    live.push(locator);
+                } else if !live.is_empty() {
+                    let victim = live.remove(0);
+                    model.delete(&victim);
+                    trace.push(ScopeOp::Delete(0));
+                }
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shardstore_faults::BugId;
+
+    #[test]
+    fn index_model_verified_within_scope() {
+        // 2 keys × 2 values, all sequences up to length 4: thousands of
+        // sequences, checked exhaustively.
+        let checked = verify_index_model(2, 2, 4).expect("index model correct");
+        // Alphabet of 7 ops, all sequences of length ≤ 4: 2,801 sequences.
+        assert_eq!(checked, 2_801);
+    }
+
+    #[test]
+    fn kv_model_verified_within_scope() {
+        let checked = verify_kv_model(2, 2, 4).expect("kv model correct");
+        assert_eq!(checked, 2_801);
+    }
+
+    #[test]
+    fn chunk_model_uniqueness_verified_within_scope() {
+        let checked =
+            verify_chunk_model_uniqueness(8, &FaultConfig::none()).expect("fixed model unique");
+        assert!(checked > 30, "explored only {checked} states");
+    }
+
+    #[test]
+    fn b15_fails_exhaustive_uniqueness() {
+        let result =
+            verify_chunk_model_uniqueness(8, &FaultConfig::seed(BugId::B15ModelLocatorReuse));
+        assert!(result.is_err(), "the seeded model bug must be caught within scope");
+    }
+}

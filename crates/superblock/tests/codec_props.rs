@@ -1,0 +1,75 @@
+//! Property-based tests of the superblock codec: the §7 panic-freedom
+//! property over arbitrary bytes, plus round trips.
+
+use proptest::prelude::*;
+use shardstore_superblock::decode_superblock;
+use shardstore_vdisk::codec::{Reader, Writer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the superblock decoder (§7).
+    #[test]
+    fn superblock_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_superblock(&bytes);
+    }
+
+    /// Flipping any single bit of a valid superblock is detected.
+    #[test]
+    fn superblock_bit_flips_detected(flip_byte in 0usize..200, flip_bit in 0u8..8) {
+        // Build a valid superblock image through the extent manager.
+        use shardstore_dependency::IoScheduler;
+        use shardstore_faults::FaultConfig;
+        use shardstore_superblock::{ExtentManager, Owner, SUPERBLOCK_EXTENT};
+        use shardstore_vdisk::{Disk, Geometry};
+        let disk = Disk::new(Geometry::small());
+        let sched = IoScheduler::new(std::sync::Arc::clone(&disk));
+        let em = ExtentManager::format(sched, FaultConfig::none());
+        em.allocate(Owner::Data).unwrap();
+        em.pump().unwrap();
+        let slot_size = disk.geometry().extent_size() / 2;
+        let valid = disk.read(SUPERBLOCK_EXTENT, 0, slot_size).unwrap();
+        prop_assume!(decode_superblock(&valid).is_ok());
+        let body_len = valid.iter().rposition(|b| *b != 0).map(|i| i + 1).unwrap_or(0);
+        let target = flip_byte % body_len;
+        let mut corrupt = valid.clone();
+        corrupt[target] ^= 1 << flip_bit;
+        prop_assert!(
+            decode_superblock(&corrupt).is_err(),
+            "flip at byte {target} bit {flip_bit} undetected"
+        );
+    }
+
+    /// The generic reader/writer primitives round-trip arbitrary values.
+    #[test]
+    fn codec_roundtrip(a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(),
+                       bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let mut w = Writer::new();
+        w.u8(a).u16(b).u32(c).u64(d).var_bytes(&bytes);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u8().unwrap(), a);
+        prop_assert_eq!(r.u16().unwrap(), b);
+        prop_assert_eq!(r.u32().unwrap(), c);
+        prop_assert_eq!(r.u64().unwrap(), d);
+        prop_assert_eq!(r.var_bytes().unwrap(), &bytes[..]);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Reader operations on arbitrary bytes never panic (§7).
+    #[test]
+    fn reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300),
+                           ops in proptest::collection::vec(0u8..6, 0..20)) {
+        let mut r = Reader::new(&bytes);
+        for op in ops {
+            match op {
+                0 => { let _ = r.u8(); }
+                1 => { let _ = r.u16(); }
+                2 => { let _ = r.u32(); }
+                3 => { let _ = r.u64(); }
+                4 => { let _ = r.var_bytes(); }
+                _ => { let _ = r.expect(b"XY"); }
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Panic-free on-disk byte-format helpers shared by every component codec.
+//!
+//! ShardStore treats data read from disk as untrusted: bit rot and torn
+//! writes can corrupt any byte (§7 of the paper, "Serialization"). The
+//! paper proved panic-freedom of its deserializers with the Crux symbolic
+//! evaluator; here the same property — *no sequence of on-disk bytes can
+//! panic a decoder* — is enforced structurally: every read in this module
+//! is bounds-checked and returns [`CodecError`] instead of indexing
+//! directly, and the property-based suites in each component crate fuzz
+//! the full decoders over arbitrary byte strings.
+
+use std::fmt;
+
+/// Decoding failure: the input is corrupt, truncated, or inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a field could be read.
+    Truncated {
+        /// Bytes needed by the failed read.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A magic number or structural marker did not match.
+    BadMagic,
+    /// A checksum did not match the payload.
+    BadChecksum,
+    /// A length or count field is impossible (e.g. larger than the input).
+    BadLength,
+    /// An enum tag or version is unknown.
+    BadValue,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "truncated input: needed {needed} bytes, {remaining} remaining")
+            }
+            CodecError::BadMagic => write!(f, "bad magic"),
+            CodecError::BadChecksum => write!(f, "checksum mismatch"),
+            CodecError::BadLength => write!(f, "impossible length field"),
+            CodecError::BadValue => write!(f, "unknown tag or version"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bounds-checked cursor over untrusted bytes.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a length-prefixed byte string (`u32` length). The length is
+    /// validated against the remaining input before any allocation, so a
+    /// corrupt length cannot cause huge allocations.
+    pub fn var_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength);
+        }
+        self.bytes(len)
+    }
+
+    /// Expects an exact marker (e.g. magic bytes).
+    pub fn expect(&mut self, marker: &[u8]) -> Result<(), CodecError> {
+        let got = self.bytes(marker.len())?;
+        if got != marker {
+            return Err(CodecError::BadMagic);
+        }
+        Ok(())
+    }
+}
+
+/// Byte-string builder matching [`Reader`].
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn var_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.bytes(b)
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = make_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_types() {
+        let mut w = Writer::new();
+        w.u8(7).u16(300).u32(70_000).u64(u64::MAX).var_bytes(b"payload").bytes(b"tail");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.var_bytes().unwrap(), b"payload");
+        assert_eq!(r.bytes(4).unwrap(), b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(CodecError::Truncated { .. })));
+        // Position unchanged after a failed read.
+        assert_eq!(r.u16().unwrap(), u16::from_le_bytes([1, 2]));
+    }
+
+    #[test]
+    fn var_bytes_rejects_oversized_length() {
+        // Length field claims 1000 bytes; only 2 present.
+        let mut w = Writer::new();
+        w.u32(1000).bytes(b"ab");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.var_bytes(), Err(CodecError::BadLength));
+    }
+
+    #[test]
+    fn expect_detects_bad_magic() {
+        let mut r = Reader::new(b"XXLO");
+        assert_eq!(r.expect(b"HELO"), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let data = b"the quick brown fox".to_vec();
+        let good = crc32(&data);
+        for i in 0..data.len() {
+            let mut bad = data.clone();
+            bad[i] ^= 1;
+            assert_ne!(crc32(&bad), good, "flip at byte {i} undetected");
+        }
+    }
+}

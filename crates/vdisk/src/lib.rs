@@ -1,0 +1,546 @@
+//! In-memory user-space disk for deterministic storage-system testing.
+//!
+//! The paper's conformance checks run the entire ShardStore stack above an
+//! in-memory user-space disk (§4.1): "to ensure determinism and testing
+//! performance, the implementation under test uses an in-memory user-space
+//! disk, but all components above the disk layer use their actual
+//! implementation code." This crate is that disk.
+//!
+//! The device model is a *conventional* disk (not zoned): pages can be
+//! written at any offset, and the append-only extent discipline of
+//! ShardStore is enforced by the layers above via soft write pointers
+//! persisted in the superblock (§2.1 "Append-only IO"). The disk provides
+//! exactly the behaviours the validation effort needs:
+//!
+//! - **A volatile write cache.** Writes land in a page-granular volatile
+//!   cache and only become durable on [`Disk::flush_extent`] /
+//!   [`Disk::flush_all`]. Reads see the cache (read-your-writes).
+//! - **Crash injection.** [`Disk::crash`] applies a [`CrashPlan`]: any
+//!   subset of volatile pages may survive a crash, which models
+//!   out-of-order writeback by the drive and is what makes torn multi-page
+//!   chunk writes (the §5 UUID-collision scenario, issue #10) reachable.
+//! - **IO failure injection.** [`Disk::inject_fail_once`] makes the next IO
+//!   to an extent fail (the paper's `FailDiskOnce(ExtentId)` operation,
+//!   §4.4); [`Disk::inject_fail_always`] models a permanently failed
+//!   region.
+//!
+//! All internal maps are ordered (`BTreeMap`) so that iteration order —
+//! and therefore every behaviour of the disk — is deterministic. The paper
+//! calls out randomized `HashMap` iteration order as exactly the kind of
+//! non-determinism that silently breaks test-case minimization (§4.3).
+
+pub mod codec;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_conc::sync::Mutex;
+
+/// Default page size in bytes, matching a common disk sector-cluster size.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Identifier of an extent: a contiguous fixed-size region of the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExtentId(pub u32);
+
+impl fmt::Display for ExtentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "extent {}", self.0)
+    }
+}
+
+/// Disk shape: number of extents, pages per extent, page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of extents on the disk.
+    pub extent_count: u32,
+    /// Number of pages in each extent.
+    pub pages_per_extent: u32,
+    /// Page size in bytes.
+    pub page_size: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry, validating that all dimensions are non-zero.
+    pub fn new(extent_count: u32, pages_per_extent: u32, page_size: usize) -> Self {
+        assert!(extent_count > 0 && pages_per_extent > 0 && page_size > 0);
+        Self { extent_count, pages_per_extent, page_size }
+    }
+
+    /// A small geometry suitable for fast property-based tests: 128-byte
+    /// pages, 8 pages per extent, 16 extents. Small extents make GC and
+    /// crash corner cases (extent-full, page-spill) cheap to reach.
+    pub fn small() -> Self {
+        Self { extent_count: 16, pages_per_extent: 8, page_size: 128 }
+    }
+
+    /// Bytes per extent.
+    pub fn extent_size(&self) -> usize {
+        self.pages_per_extent as usize * self.page_size
+    }
+
+    /// Total disk capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.extent_count as usize * self.extent_size()
+    }
+
+    /// The page index containing byte `offset` within an extent.
+    pub fn page_of(&self, offset: usize) -> u32 {
+        (offset / self.page_size) as u32
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self { extent_count: 256, pages_per_extent: 64, page_size: DEFAULT_PAGE_SIZE }
+    }
+}
+
+/// Disk IO errors, including injected ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Access beyond the extent or disk bounds.
+    OutOfRange {
+        /// The extent accessed.
+        extent: ExtentId,
+        /// The offending byte offset.
+        offset: usize,
+        /// The access length.
+        len: usize,
+    },
+    /// An injected one-shot failure fired for this IO.
+    Injected {
+        /// The extent whose IO failed.
+        extent: ExtentId,
+    },
+    /// The extent has permanently failed.
+    Failed {
+        /// The failed extent.
+        extent: ExtentId,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::OutOfRange { extent, offset, len } => {
+                write!(f, "out-of-range access to {extent} at offset {offset} len {len}")
+            }
+            IoError::Injected { extent } => write!(f, "injected IO failure on {extent}"),
+            IoError::Failed { extent } => write!(f, "{extent} has permanently failed"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// How a crash treats the volatile write cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashPlan {
+    /// Every cached page is lost (power cut before any writeback).
+    LoseAll,
+    /// Every cached page survives (crash immediately after writeback).
+    KeepAll,
+    /// Exactly the listed `(extent, page)` pairs survive; the rest are
+    /// lost. This is the block-level crash-state enumeration primitive
+    /// (§5 "Block-level crash states").
+    Keep(BTreeSet<(ExtentId, u32)>),
+}
+
+/// Cumulative IO statistics, for benches and coverage checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of successful write calls.
+    pub writes: u64,
+    /// Number of successful read calls.
+    pub reads: u64,
+    /// Number of flush operations (per-extent and whole-disk both count 1).
+    pub flushes: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Number of crashes injected.
+    pub crashes: u64,
+    /// Number of injected IO failures that fired.
+    pub injected_failures: u64,
+}
+
+#[derive(Debug)]
+struct DiskState {
+    /// Durable bytes, one full-size buffer per extent.
+    durable: Vec<Vec<u8>>,
+    /// Volatile page images not yet flushed, keyed `(extent, page)`.
+    volatile: BTreeMap<(u32, u32), Vec<u8>>,
+    /// Extents whose next IO fails once.
+    fail_once: BTreeSet<u32>,
+    /// Extents that permanently fail all IO.
+    fail_always: BTreeSet<u32>,
+    stats: DiskStats,
+}
+
+/// The in-memory user-space disk.
+///
+/// Cheap to share: wrap in [`Arc`] via [`Disk::new`]. All operations are
+/// internally synchronized with a checker-aware mutex, so the disk can be
+/// used directly inside stateless-model-checking harnesses.
+#[derive(Debug)]
+pub struct Disk {
+    geometry: Geometry,
+    state: Mutex<DiskState>,
+}
+
+impl Disk {
+    /// Creates a zero-filled disk with the given geometry.
+    pub fn new(geometry: Geometry) -> Arc<Self> {
+        let durable =
+            (0..geometry.extent_count).map(|_| vec![0u8; geometry.extent_size()]).collect();
+        Arc::new(Self {
+            geometry,
+            state: Mutex::new(DiskState {
+                durable,
+                volatile: BTreeMap::new(),
+                fail_once: BTreeSet::new(),
+                fail_always: BTreeSet::new(),
+                stats: DiskStats::default(),
+            }),
+        })
+    }
+
+    /// The disk's geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    fn check_range(&self, extent: ExtentId, offset: usize, len: usize) -> Result<(), IoError> {
+        let size = self.geometry.extent_size();
+        if extent.0 >= self.geometry.extent_count
+            || offset > size
+            || len > size
+            || offset + len > size
+        {
+            return Err(IoError::OutOfRange { extent, offset, len });
+        }
+        Ok(())
+    }
+
+    fn check_failures(st: &mut DiskState, extent: ExtentId) -> Result<(), IoError> {
+        if st.fail_always.contains(&extent.0) {
+            st.stats.injected_failures += 1;
+            return Err(IoError::Failed { extent });
+        }
+        if st.fail_once.remove(&extent.0) {
+            st.stats.injected_failures += 1;
+            return Err(IoError::Injected { extent });
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` within `extent`, into the volatile cache.
+    ///
+    /// The write is *not* durable until the extent is flushed; a crash may
+    /// lose it, or — because caching is page-granular — lose only some of
+    /// its pages.
+    pub fn write(&self, extent: ExtentId, offset: usize, data: &[u8]) -> Result<(), IoError> {
+        self.check_range(extent, offset, data.len())?;
+        let mut st = self.state.lock();
+        Self::check_failures(&mut st, extent)?;
+        let ps = self.geometry.page_size;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos;
+            let page = (abs / ps) as u32;
+            let page_start = page as usize * ps;
+            let in_page = abs - page_start;
+            let take = (ps - in_page).min(data.len() - pos);
+            // Read-modify-write the page image from the current view.
+            let key = (extent.0, page);
+            if !st.volatile.contains_key(&key) {
+                let image = st.durable[extent.0 as usize][page_start..page_start + ps].to_vec();
+                st.volatile.insert(key, image);
+            }
+            let image = st.volatile.get_mut(&key).expect("just inserted");
+            image[in_page..in_page + take].copy_from_slice(&data[pos..pos + take]);
+            pos += take;
+        }
+        st.stats.writes += 1;
+        st.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` within `extent`, seeing the volatile
+    /// cache over the durable image (read-your-writes).
+    pub fn read(&self, extent: ExtentId, offset: usize, len: usize) -> Result<Vec<u8>, IoError> {
+        self.check_range(extent, offset, len)?;
+        let mut st = self.state.lock();
+        Self::check_failures(&mut st, extent)?;
+        let ps = self.geometry.page_size;
+        let mut out = vec![0u8; len];
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos;
+            let page = (abs / ps) as u32;
+            let page_start = page as usize * ps;
+            let in_page = abs - page_start;
+            let take = (ps - in_page).min(len - pos);
+            let slice = match st.volatile.get(&(extent.0, page)) {
+                Some(image) => &image[in_page..in_page + take],
+                None => &st.durable[extent.0 as usize][abs..abs + take],
+            };
+            out[pos..pos + take].copy_from_slice(slice);
+            pos += take;
+        }
+        st.stats.reads += 1;
+        st.stats.bytes_read += len as u64;
+        Ok(out)
+    }
+
+    /// Flushes all volatile pages of `extent` to durable storage.
+    pub fn flush_extent(&self, extent: ExtentId) -> Result<(), IoError> {
+        self.check_range(extent, 0, 0)?;
+        let mut st = self.state.lock();
+        Self::check_failures(&mut st, extent)?;
+        let ps = self.geometry.page_size;
+        let keys: Vec<_> =
+            st.volatile.range((extent.0, 0)..(extent.0 + 1, 0)).map(|(k, _)| *k).collect();
+        for key in keys {
+            let image = st.volatile.remove(&key).expect("listed key present");
+            let start = key.1 as usize * ps;
+            st.durable[key.0 as usize][start..start + ps].copy_from_slice(&image);
+        }
+        st.stats.flushes += 1;
+        Ok(())
+    }
+
+    /// Flushes the entire volatile cache (a full write barrier).
+    pub fn flush_all(&self) -> Result<(), IoError> {
+        let mut st = self.state.lock();
+        // A permanently failed extent fails the whole-disk barrier.
+        if let Some(e) = st.fail_always.iter().next().copied() {
+            st.stats.injected_failures += 1;
+            return Err(IoError::Failed { extent: ExtentId(e) });
+        }
+        let ps = self.geometry.page_size;
+        let volatile = std::mem::take(&mut st.volatile);
+        for ((ext, page), image) in volatile {
+            let start = page as usize * ps;
+            st.durable[ext as usize][start..start + ps].copy_from_slice(&image);
+        }
+        st.stats.flushes += 1;
+        Ok(())
+    }
+
+    /// Simulates a fail-stop crash: volatile pages survive (become durable)
+    /// or are lost according to `plan`; injected one-shot failures are
+    /// cleared (the reboot replaces the IO path), permanent failures stay.
+    pub fn crash(&self, plan: &CrashPlan) {
+        let mut st = self.state.lock();
+        let ps = self.geometry.page_size;
+        let volatile = std::mem::take(&mut st.volatile);
+        for ((ext, page), image) in volatile {
+            let survive = match plan {
+                CrashPlan::LoseAll => false,
+                CrashPlan::KeepAll => true,
+                CrashPlan::Keep(set) => set.contains(&(ExtentId(ext), page)),
+            };
+            if survive {
+                let start = page as usize * ps;
+                st.durable[ext as usize][start..start + ps].copy_from_slice(&image);
+            }
+        }
+        st.fail_once.clear();
+        st.stats.crashes += 1;
+    }
+
+    /// Lists the `(extent, page)` pairs currently in the volatile cache, in
+    /// deterministic order. The crash-state enumerator uses this to build
+    /// [`CrashPlan::Keep`] subsets.
+    pub fn volatile_pages(&self) -> Vec<(ExtentId, u32)> {
+        let st = self.state.lock();
+        st.volatile.keys().map(|(e, p)| (ExtentId(*e), *p)).collect()
+    }
+
+    /// Makes the next IO (read, write, or flush) to `extent` fail once.
+    pub fn inject_fail_once(&self, extent: ExtentId) {
+        self.state.lock().fail_once.insert(extent.0);
+    }
+
+    /// Makes all IO to `extent` fail until [`Disk::clear_failures`].
+    pub fn inject_fail_always(&self, extent: ExtentId) {
+        self.state.lock().fail_always.insert(extent.0);
+    }
+
+    /// Clears all injected failures.
+    pub fn clear_failures(&self) {
+        let mut st = self.state.lock();
+        st.fail_once.clear();
+        st.fail_always.clear();
+    }
+
+    /// Cumulative IO statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.state.lock().stats
+    }
+
+    /// Returns a copy of the durable bytes of one extent (test helper).
+    pub fn durable_snapshot(&self, extent: ExtentId) -> Vec<u8> {
+        self.state.lock().durable[extent.0 as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Arc<Disk> {
+        Disk::new(Geometry::small())
+    }
+
+    #[test]
+    fn read_your_writes_before_flush() {
+        let d = disk();
+        d.write(ExtentId(0), 10, b"hello").unwrap();
+        assert_eq!(d.read(ExtentId(0), 10, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unwritten_bytes_read_zero() {
+        let d = disk();
+        assert_eq!(d.read(ExtentId(3), 0, 4).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn crash_lose_all_discards_unflushed_writes() {
+        let d = disk();
+        d.write(ExtentId(0), 0, b"gone").unwrap();
+        d.crash(&CrashPlan::LoseAll);
+        assert_eq!(d.read(ExtentId(0), 0, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn crash_preserves_flushed_writes() {
+        let d = disk();
+        d.write(ExtentId(0), 0, b"kept").unwrap();
+        d.flush_extent(ExtentId(0)).unwrap();
+        d.crash(&CrashPlan::LoseAll);
+        assert_eq!(d.read(ExtentId(0), 0, 4).unwrap(), b"kept");
+    }
+
+    #[test]
+    fn crash_keep_subset_is_page_granular() {
+        let d = disk();
+        let ps = d.geometry().page_size;
+        // One write spanning two pages.
+        let data = vec![7u8; ps + 4];
+        d.write(ExtentId(1), 0, &data).unwrap();
+        // Keep only page 0: the spill onto page 1 is lost (the §5 torn
+        // chunk scenario).
+        let mut keep = BTreeSet::new();
+        keep.insert((ExtentId(1), 0));
+        d.crash(&CrashPlan::Keep(keep));
+        assert_eq!(d.read(ExtentId(1), 0, ps).unwrap(), vec![7u8; ps]);
+        assert_eq!(d.read(ExtentId(1), ps, 4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn crash_keep_all_acts_like_flush() {
+        let d = disk();
+        d.write(ExtentId(2), 5, b"stay").unwrap();
+        d.crash(&CrashPlan::KeepAll);
+        assert_eq!(d.read(ExtentId(2), 5, 4).unwrap(), b"stay");
+        assert!(d.volatile_pages().is_empty());
+    }
+
+    #[test]
+    fn flush_extent_only_affects_that_extent() {
+        let d = disk();
+        d.write(ExtentId(0), 0, b"aa").unwrap();
+        d.write(ExtentId(1), 0, b"bb").unwrap();
+        d.flush_extent(ExtentId(0)).unwrap();
+        d.crash(&CrashPlan::LoseAll);
+        assert_eq!(d.read(ExtentId(0), 0, 2).unwrap(), b"aa");
+        assert_eq!(d.read(ExtentId(1), 0, 2).unwrap(), vec![0; 2]);
+    }
+
+    #[test]
+    fn fail_once_fires_exactly_once() {
+        let d = disk();
+        d.inject_fail_once(ExtentId(0));
+        assert_eq!(d.read(ExtentId(0), 0, 1), Err(IoError::Injected { extent: ExtentId(0) }));
+        assert!(d.read(ExtentId(0), 0, 1).is_ok());
+    }
+
+    #[test]
+    fn fail_always_persists_until_cleared_and_survives_crash() {
+        let d = disk();
+        d.inject_fail_always(ExtentId(4));
+        assert!(d.write(ExtentId(4), 0, b"x").is_err());
+        d.crash(&CrashPlan::LoseAll);
+        assert!(d.write(ExtentId(4), 0, b"x").is_err());
+        d.clear_failures();
+        assert!(d.write(ExtentId(4), 0, b"x").is_ok());
+    }
+
+    #[test]
+    fn fail_once_is_cleared_by_crash() {
+        let d = disk();
+        d.inject_fail_once(ExtentId(0));
+        d.crash(&CrashPlan::LoseAll);
+        assert!(d.read(ExtentId(0), 0, 1).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_accesses_are_rejected() {
+        let d = disk();
+        let size = d.geometry().extent_size();
+        assert!(matches!(d.write(ExtentId(0), size - 1, b"ab"), Err(IoError::OutOfRange { .. })));
+        assert!(matches!(d.read(ExtentId(99), 0, 1), Err(IoError::OutOfRange { .. })));
+        // Zero-length read at the very end is fine.
+        assert!(d.read(ExtentId(0), size, 0).is_ok());
+    }
+
+    #[test]
+    fn volatile_pages_are_listed_in_order() {
+        let d = disk();
+        let ps = d.geometry().page_size;
+        d.write(ExtentId(2), 0, b"x").unwrap();
+        d.write(ExtentId(0), ps, b"y").unwrap();
+        d.write(ExtentId(0), 0, b"z").unwrap();
+        assert_eq!(d.volatile_pages(), vec![(ExtentId(0), 0), (ExtentId(0), 1), (ExtentId(2), 0)]);
+    }
+
+    #[test]
+    fn stats_are_tracked() {
+        let d = disk();
+        d.write(ExtentId(0), 0, b"abcd").unwrap();
+        d.read(ExtentId(0), 0, 2).unwrap();
+        d.flush_all().unwrap();
+        d.crash(&CrashPlan::LoseAll);
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.bytes_written, 4);
+        assert_eq!(s.bytes_read, 2);
+        assert_eq!(s.crashes, 1);
+    }
+
+    #[test]
+    fn flush_all_fails_if_any_extent_permanently_failed() {
+        let d = disk();
+        d.write(ExtentId(0), 0, b"q").unwrap();
+        d.inject_fail_always(ExtentId(5));
+        assert!(d.flush_all().is_err());
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let g = Geometry::small();
+        assert_eq!(g.extent_size(), 8 * 128);
+        assert_eq!(g.capacity(), 16 * 8 * 128);
+        assert_eq!(g.page_of(0), 0);
+        assert_eq!(g.page_of(127), 0);
+        assert_eq!(g.page_of(128), 1);
+    }
+}

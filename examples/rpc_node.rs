@@ -1,0 +1,78 @@
+//! A multi-disk storage node behind the RPC interface (§2.1): request
+//! routing by shard id, control-plane disk removal and return, and bulk
+//! operations.
+//!
+//! ```sh
+//! cargo run --example rpc_node
+//! ```
+
+use shardstore::core::rpc::{serve, Request, Response};
+use shardstore::faults::FaultConfig;
+use shardstore::vdisk::Geometry;
+use shardstore::{Node, StoreConfig};
+
+fn main() {
+    // Four disks behind one RPC endpoint; shard ids steer to disks.
+    let node = Node::new(4, Geometry::small(), StoreConfig::small(), FaultConfig::none());
+    let (client, server) = serve(node.clone());
+
+    // Request plane: puts and gets over the wire format.
+    for shard in 0..12u128 {
+        let resp = client.call(&Request::Put {
+            shard,
+            data: format!("object-{shard}").into_bytes(),
+        });
+        assert_eq!(resp, Response::Ok);
+    }
+    println!("stored 12 shards across {} disks", node.disk_count());
+    match client.call(&Request::List) {
+        Response::Shards(shards) => println!("listing: {shards:?}"),
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // Control plane: take disk 1 out of service for repair. Its shards
+    // are unavailable (their replicas on other storage nodes would serve
+    // them in production)...
+    assert_eq!(client.call(&Request::RemoveDisk { disk: 1 }), Response::Ok);
+    let unavailable: Vec<u128> = (0..12u128).filter(|s| node.route(*s) == 1).collect();
+    println!("disk 1 removed; shards {unavailable:?} unavailable");
+    for shard in &unavailable {
+        assert!(matches!(client.call(&Request::Get { shard: *shard }), Response::Error(_)));
+    }
+
+    // ...and returning the disk recovers every one of them (the property
+    // issue #4 in Fig. 5 violated).
+    assert_eq!(client.call(&Request::ReturnDisk { disk: 1 }), Response::Ok);
+    for shard in &unavailable {
+        match client.call(&Request::Get { shard: *shard }) {
+            Response::Data(d) => assert_eq!(d, format!("object-{shard}").into_bytes()),
+            other => panic!("shard {shard} lost across removal/return: {other:?}"),
+        }
+    }
+    println!("disk 1 returned; all shards recovered");
+
+    // Migration (repair/rebalance): move a shard to another disk.
+    let victim = 5u128;
+    let old_disk = node.route(victim);
+    let new_disk = (old_disk + 1) % node.disk_count();
+    assert_eq!(
+        client.call(&Request::Migrate { shard: victim, to_disk: new_disk as u32 }),
+        Response::Ok
+    );
+    assert_eq!(node.route(victim), new_disk);
+    match client.call(&Request::Get { shard: victim }) {
+        Response::Data(d) => assert_eq!(d, format!("object-{victim}").into_bytes()),
+        other => panic!("shard {victim} lost across migration: {other:?}"),
+    }
+    println!("migrated shard {victim}: disk {old_disk} → {new_disk}, data intact");
+
+    // Bulk control-plane operations keep the catalog consistent.
+    node.bulk_remove(&(0..12u128).collect::<Vec<_>>()).unwrap();
+    node.check_catalog_consistent().unwrap();
+    assert_eq!(client.call(&Request::List), Response::Shards(vec![]));
+    println!("bulk remove complete; catalog consistent");
+
+    drop(client);
+    server.join().unwrap();
+    println!("\nrpc_node OK");
+}

@@ -1,0 +1,81 @@
+//! # ShardStore + lightweight formal methods
+//!
+//! A from-scratch reproduction of *"Using Lightweight Formal Methods to
+//! Validate a Key-Value Storage Node in Amazon S3"* (Bornholt et al.,
+//! SOSP 2021): both the storage node the paper describes and the
+//! validation methodology it contributes.
+//!
+//! ## The system under validation
+//!
+//! A [`Store`] is one per-disk key-value store: an LSM-tree index
+//! ([`lsm`]) whose shards live outside the tree as chunks ([`chunk`]),
+//! placed on append-only extents whose soft write pointers persist in a
+//! dual-slot superblock ([`superblock`]), with crash consistency provided
+//! by run-time dependency graphs and a soft-updates IO scheduler
+//! ([`dependency`]) over an in-memory user-space disk ([`vdisk`]). A
+//! [`Node`] routes request-plane and control-plane RPCs ([`core::rpc`])
+//! across several such stores.
+//!
+//! ```
+//! use shardstore::{Store, StoreConfig};
+//! use shardstore::faults::FaultConfig;
+//! use shardstore::vdisk::Geometry;
+//!
+//! let store = Store::format(Geometry::small(), StoreConfig::small(), FaultConfig::none());
+//! let dep = store.put(42, b"hello world").unwrap();
+//! assert!(!dep.is_persistent());       // queued, not yet on disk
+//! store.clean_shutdown().unwrap();     // flush + pump everything
+//! assert!(dep.is_persistent());        // …now it is (forward progress)
+//! assert_eq!(store.get(42).unwrap().unwrap(), b"hello world");
+//! ```
+//!
+//! ## The validation stack
+//!
+//! - [`model`] — executable reference models (§3.2): ordered-map
+//!   specifications that double as mocks, plus the crash-aware extension
+//!   defining what a soft-updates crash may lose.
+//! - [`harness`] — property-based conformance checking (§4), crash
+//!   consistency with coarse and block-level crash states (§5), failure
+//!   injection (§4.4), linearizability checking and hand-written
+//!   concurrency harnesses (§6), test-case minimization (§4.3), and the
+//!   Fig. 5 detection driver that re-discovers all sixteen historical
+//!   issues from seeded faults.
+//! - [`conc`] — a from-scratch stateless model checker (random walk, PCT,
+//!   bounded DFS) with dual-mode sync primitives used by every component.
+//! - [`faults`] — the [`faults::BugId`] registry of the sixteen issues
+//!   and the coverage-probe mechanism (§4.2).
+
+pub use shardstore_core::{Node, Store, StoreConfig, StoreError};
+
+/// The fault registry and coverage probes.
+pub use shardstore_faults as faults;
+
+/// The in-memory user-space disk.
+pub use shardstore_vdisk as vdisk;
+
+/// Dependency graphs and the soft-updates IO scheduler.
+pub use shardstore_dependency as dependency;
+
+/// Soft write pointers, extent ownership, the dual-slot superblock.
+pub use shardstore_superblock as superblock;
+
+/// Chunk storage, framing, and reclamation (GC).
+pub use shardstore_chunk as chunk;
+
+/// The block-position-keyed LRU buffer cache.
+pub use shardstore_cache as cache;
+
+/// The LSM-tree index.
+pub use shardstore_lsm as lsm;
+
+/// The storage node (stores, routing, RPC).
+pub use shardstore_core as core;
+
+/// Executable reference models (the specifications).
+pub use shardstore_model as model;
+
+/// The stateless model checker and dual-mode sync primitives.
+pub use shardstore_conc as conc;
+
+/// The property-based validation harnesses.
+pub use shardstore_harness as harness;

@@ -1,0 +1,161 @@
+//! Workspace-level integration tests: the umbrella crate's public API
+//! exercised across every subsystem at once.
+
+use shardstore::chunk::Stream;
+use shardstore::faults::{coverage, FaultConfig};
+use shardstore::vdisk::{CrashPlan, Geometry};
+use shardstore::{Node, Store, StoreConfig};
+
+fn store() -> Store {
+    Store::format(Geometry::small(), StoreConfig::small(), FaultConfig::none())
+}
+
+#[test]
+fn full_lifecycle_small_store() {
+    let s = store();
+    // Write a working set with overwrites and deletes.
+    let value = |k: u128, gen: u8| vec![k as u8 ^ gen; 30 + (k as usize % 50)];
+    let mut expected = std::collections::BTreeMap::new();
+    for k in 0..10u128 {
+        s.put(k, &value(k, 0)).unwrap();
+        expected.insert(k, value(k, 0));
+    }
+    for k in (0..10u128).step_by(2) {
+        s.put(k, &value(k, 1)).unwrap();
+        expected.insert(k, value(k, 1));
+    }
+    for k in (0..10u128).step_by(3) {
+        s.delete(k).unwrap();
+        expected.remove(&k);
+    }
+    // Maintenance: flush, compact, reclaim every stream.
+    s.flush_index().unwrap();
+    s.compact_index().unwrap();
+    for stream in [Stream::Data, Stream::Lsm, Stream::Meta] {
+        while s.reclaim(stream).unwrap() {
+            s.pump().unwrap();
+        }
+    }
+    // Verify, crash, verify again.
+    for (k, v) in &expected {
+        assert_eq!(s.get(*k).unwrap().as_ref(), Some(v), "key {k}");
+    }
+    assert_eq!(s.list().unwrap(), expected.keys().copied().collect::<Vec<_>>());
+    s.clean_shutdown().unwrap();
+    let s = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+    for (k, v) in &expected {
+        assert_eq!(s.get(*k).unwrap().as_ref(), Some(v), "key {k} after crash");
+    }
+}
+
+#[test]
+fn deep_reboot_chain_with_mixed_crash_plans() {
+    let mut s = store();
+    let mut durable = std::collections::BTreeMap::new();
+    for round in 0..6u8 {
+        let k = round as u128;
+        let v = vec![round; 20];
+        let dep = s.put(k, &v).unwrap();
+        if round % 2 == 0 {
+            // Persist this round before crashing.
+            s.flush_index().unwrap();
+            s.pump().unwrap();
+            assert!(dep.is_persistent());
+            durable.insert(k, v);
+        }
+        let plan = if round % 3 == 0 { CrashPlan::LoseAll } else { CrashPlan::KeepAll };
+        s = s.dirty_reboot(&plan).unwrap();
+        for (k, v) in &durable {
+            assert_eq!(s.get(*k).unwrap().as_ref(), Some(v), "round {round} key {k}");
+        }
+    }
+}
+
+#[test]
+fn node_spanning_workload_with_disk_cycling() {
+    let node = Node::new(3, Geometry::small(), StoreConfig::small(), FaultConfig::none());
+    for k in 0..15u128 {
+        node.put(k, &[k as u8; 25]).unwrap();
+    }
+    node.check_catalog_consistent().unwrap();
+    // Cycle every disk out and back; nothing may be lost.
+    for disk in 0..3 {
+        node.remove_disk(disk).unwrap();
+        node.return_disk(disk).unwrap();
+    }
+    for k in 0..15u128 {
+        assert_eq!(node.get(k).unwrap().unwrap(), vec![k as u8; 25]);
+    }
+    node.check_catalog_consistent().unwrap();
+}
+
+#[test]
+fn coverage_probes_fire_across_the_stack() {
+    // §4.2: the harness watches coverage probes to detect blind spots.
+    // This test pins the probe names the validation effort relies on.
+    let _rec = coverage::Recording::start();
+    let s = store();
+    for k in 0..8u128 {
+        s.put(k, &[k as u8; 60]).unwrap();
+    }
+    s.flush_index().unwrap();
+    s.delete(0).unwrap();
+    s.flush_index().unwrap();
+    s.compact_index().unwrap();
+    s.pump().unwrap();
+    while s.reclaim(Stream::Data).unwrap() {
+        s.pump().unwrap();
+    }
+    s.cache().clear();
+    for k in 1..8u128 {
+        s.get(k).unwrap();
+    }
+    let s2 = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+    s2.get(1).unwrap();
+    for probe in [
+        "lsm.flush.done",
+        "lsm.compact.done",
+        "lsm.metadata.written",
+        "cache.miss",
+        "chunk.reclaim.evacuate",
+        "superblock.extent.reset",
+        "store.recovered",
+        "chunk.recover.scan_extent",
+    ] {
+        assert!(coverage::count(probe) > 0, "probe {probe} never fired");
+    }
+}
+
+#[test]
+fn dependency_api_shape_matches_paper() {
+    // The §2.2 contract: dependencies combine with `and` and poll with
+    // `is_persistent`; forward progress after clean shutdown.
+    let s = store();
+    let d1 = s.put(1, b"one").unwrap();
+    let d2 = s.put(2, b"two").unwrap();
+    let both = d1.and(&d2);
+    assert!(!both.is_persistent());
+    s.clean_shutdown().unwrap();
+    assert!(both.is_persistent());
+}
+
+#[test]
+fn geometry_variants_all_work() {
+    for geometry in [
+        Geometry::small(),
+        Geometry::new(8, 4, 256),
+        Geometry::new(64, 16, 1024),
+    ] {
+        let config = StoreConfig {
+            max_chunk_size: geometry.page_size / 2,
+            flush_threshold: 4,
+            cache_capacity: geometry.page_size * 2,
+            uuid_seed: 5,
+        };
+        let s = Store::format(geometry, config, FaultConfig::none());
+        s.put(1, &vec![9u8; geometry.page_size + 3]).unwrap();
+        s.clean_shutdown().unwrap();
+        let s = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+        assert_eq!(s.get(1).unwrap().unwrap(), vec![9u8; geometry.page_size + 3]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Larger-scale integration stress: production-shaped geometry, thousands
+//! of operations, interleaved maintenance, repeated crash/recovery — the
+//! kind of workload the paper's continuous-integration runs sustain.
+
+use std::collections::BTreeMap;
+
+use shardstore::chunk::Stream;
+use shardstore::faults::FaultConfig;
+use shardstore::vdisk::{CrashPlan, Geometry};
+use shardstore::{Store, StoreConfig};
+
+fn value_for(key: u128, generation: u32, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (key as usize ^ generation as usize).wrapping_add(i).wrapping_mul(131) as u8)
+        .collect()
+}
+
+#[test]
+fn thousand_op_churn_with_maintenance() {
+    let store =
+        Store::format(Geometry::new(64, 16, 1024), StoreConfig::default(), FaultConfig::none());
+    let mut expected: BTreeMap<u128, Vec<u8>> = BTreeMap::new();
+    let mut rng: u64 = 0x3333_7777;
+    let mut next = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for step in 0..1000u32 {
+        let key = (next() % 64) as u128;
+        match next() % 10 {
+            0..=5 => {
+                let len = (next() % 700) as usize;
+                let value = value_for(key, step, len);
+                store.put(key, &value).unwrap();
+                expected.insert(key, value);
+            }
+            6..=7 => {
+                store.delete(key).unwrap();
+                expected.remove(&key);
+            }
+            8 => {
+                let got = store.get(key).unwrap();
+                assert_eq!(got.as_ref(), expected.get(&key), "step {step} key {key}");
+            }
+            _ => match next() % 4 {
+                0 => store.flush_index().unwrap(),
+                1 => store.compact_index().unwrap(),
+                2 => {
+                    let _ = store.reclaim(Stream::Data).unwrap();
+                }
+                _ => {
+                    let _ = store.reclaim(Stream::Lsm).unwrap();
+                }
+            },
+        }
+        if step % 250 == 249 {
+            // Periodic full verification.
+            assert_eq!(
+                store.list().unwrap(),
+                expected.keys().copied().collect::<Vec<_>>(),
+                "step {step}"
+            );
+        }
+    }
+    // Survive a crash with everything flushed.
+    store.clean_shutdown().unwrap();
+    let store = store.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+    for (key, value) in &expected {
+        assert_eq!(store.get(*key).unwrap().as_ref(), Some(value), "post-crash key {key}");
+    }
+}
+
+#[test]
+fn sstables_spanning_many_chunks() {
+    // A tiny-extent geometry forces every SSTable across several chunks
+    // (the tree is "stored as chunks", plural — §2.1 / Fig. 1).
+    let geometry = Geometry::new(48, 8, 128); // 1 KiB extents, 64-byte max chunks
+    let config = StoreConfig {
+        max_chunk_size: 64,
+        flush_threshold: 64, // flush manually
+        cache_capacity: 512,
+        uuid_seed: 9,
+    };
+    let store = Store::format(geometry, config, FaultConfig::none());
+    // Enough distinct keys that one SSTable far exceeds an extent.
+    for key in 0..24u128 {
+        store.put(key, &value_for(key, 0, 40)).unwrap();
+    }
+    store.flush_index().unwrap();
+    store.pump().unwrap();
+    for key in 0..24u128 {
+        assert_eq!(store.get(key).unwrap().unwrap(), value_for(key, 0, 40));
+    }
+    // Compaction rewrites the multi-chunk table; recovery reloads it.
+    store.compact_index().unwrap();
+    store.clean_shutdown().unwrap();
+    let store = store.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+    for key in 0..24u128 {
+        assert_eq!(store.get(key).unwrap().unwrap(), value_for(key, 0, 40), "key {key}");
+    }
+    assert_eq!(store.list().unwrap().len(), 24);
+}
+
+#[test]
+fn repeated_dirty_reboots_under_load() {
+    let mut store =
+        Store::format(Geometry::new(32, 16, 512), StoreConfig::default(), FaultConfig::none());
+    let mut durable: BTreeMap<u128, Vec<u8>> = BTreeMap::new();
+    for round in 0..12u32 {
+        // A burst of writes, half of which get persisted.
+        for k in 0..6u128 {
+            let value = value_for(k, round, 50 + (k as usize * 17) % 200);
+            store.put(k + (round as u128 % 3) * 10, &value).unwrap();
+            if k % 2 == 0 {
+                durable.insert(k + (round as u128 % 3) * 10, value);
+            }
+        }
+        // Persist the even keys' state.
+        store.flush_index().unwrap();
+        store.pump().unwrap();
+        // Re-record what is actually durable now (everything flushed).
+        for k in 0..6u128 {
+            let key = k + (round as u128 % 3) * 10;
+            if let Some(v) = store.get(key).unwrap() {
+                durable.insert(key, v);
+            }
+        }
+        store = store.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+        for (key, value) in &durable {
+            assert_eq!(
+                store.get(*key).unwrap().as_ref(),
+                Some(value),
+                "round {round} key {key}"
+            );
+        }
+    }
+}
