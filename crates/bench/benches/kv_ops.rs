@@ -53,7 +53,7 @@ fn bench_put_get(c: &mut Criterion) {
         store.pump().unwrap();
         let mut shard = 0u128;
         b.iter(|| {
-            store.cache().clear();
+            store.drop_caches();
             shard = (shard + 1) % 32;
             std::hint::black_box(store.get(shard).unwrap());
         })
@@ -77,6 +77,87 @@ fn bench_put_get(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    group.finish();
+}
+
+/// The read-path ablation: table-resident gets with the fence/bloom
+/// metadata and the decoded-table cache on (the default) vs off (the
+/// pre-optimization read path, which re-reads and re-decodes every table
+/// newest-first until the key is found).
+fn bench_read_path(c: &mut Criterion) {
+    const TABLES: u128 = 16;
+    const KEYS_PER_TABLE: u128 = 16;
+    const KEYS: u128 = TABLES * KEYS_PER_TABLE;
+
+    // All keys table-resident: one flush per batch, no compaction, so the
+    // lookup has many tables to consider.
+    let table_resident_store = |config: StoreConfig| {
+        let store = Store::format(Geometry::default(), config, FaultConfig::none());
+        let payload = vec![0x5Au8; 256];
+        for t in 0..TABLES {
+            for i in 0..KEYS_PER_TABLE {
+                store.put(t * KEYS_PER_TABLE + i, &payload).unwrap();
+            }
+            store.flush_index().unwrap();
+        }
+        store.pump().unwrap();
+        store
+    };
+    let old_config = StoreConfig {
+        lsm_filters: false,
+        decoded_cache_tables: 0,
+        ..StoreConfig::default()
+    };
+
+    let mut group = c.benchmark_group("kv_read_path");
+    group.throughput(Throughput::Elements(1));
+
+    // Read-heavy skewed workload: 80% of gets hit the hottest 20% of the
+    // key space, the rest are uniform — the common object-storage shape.
+    for (name, config) in
+        [("table_get_skewed_new", StoreConfig::default()), ("table_get_skewed_old", old_config)]
+    {
+        let store = table_resident_store(config);
+        let mut rng: u64 = 0x9E37_79B9;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = next();
+                let key = if r % 5 != 0 {
+                    (next() % (KEYS as u64 / 5)) as u128
+                } else {
+                    (next() % KEYS as u64) as u128
+                };
+                std::hint::black_box(store.get(key).unwrap());
+            })
+        });
+    }
+
+    // Cold table reads: every volatile cache dropped before each get, so
+    // the chunk reads happen but the fences/blooms still skip tables.
+    let old_config = StoreConfig {
+        lsm_filters: false,
+        decoded_cache_tables: 0,
+        ..StoreConfig::default()
+    };
+    for (name, config) in
+        [("table_get_cold_new", StoreConfig::default()), ("table_get_cold_old", old_config)]
+    {
+        let store = table_resident_store(config);
+        let mut key = 0u128;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                store.drop_caches();
+                key = (key + 7) % KEYS;
+                std::hint::black_box(store.get(key).unwrap());
+            })
+        });
+    }
     group.finish();
 }
 
@@ -108,5 +189,5 @@ fn bench_coalescing_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_put_get, bench_coalescing_ablation);
+criterion_group!(benches, bench_put_get, bench_read_path, bench_coalescing_ablation);
 criterion_main!(benches);

@@ -19,6 +19,13 @@
 //! of the paper recounts a bug that hid behind an oversized test cache
 //! whose miss path was never exercised, which motivated exactly this kind
 //! of coverage monitoring.
+//!
+//! Internally the cache is **sharded**: the byte budget is split across
+//! independently locked segments selected by the locator's position hash,
+//! so concurrent readers of different chunks do not serialize on one
+//! lock. Small caches (the property-test configurations) collapse to a
+//! single segment, preserving exact global-LRU semantics where tests
+//! depend on them.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -68,6 +75,22 @@ struct CacheState {
     stats: CacheStats,
 }
 
+impl CacheState {
+    fn empty() -> Self {
+        Self { entries: BTreeMap::new(), bytes: 0, tick: 0, stats: CacheStats::default() }
+    }
+}
+
+/// Smallest byte budget worth a dedicated segment: below this, sharding
+/// would just fragment the LRU without reducing contention.
+const MIN_SEGMENT_BYTES: usize = 4096;
+/// Upper bound on segment count.
+const MAX_SEGMENTS: usize = 16;
+
+fn segment_count(capacity: usize) -> usize {
+    (capacity / MIN_SEGMENT_BYTES).clamp(1, MAX_SEGMENTS)
+}
+
 /// A chunk store wrapped with an LRU payload cache.
 ///
 /// Cheap to clone; all clones share the cache and the underlying store.
@@ -76,35 +99,36 @@ pub struct CachedChunkStore {
     store: ChunkStore,
     faults: FaultConfig,
     capacity: usize,
-    state: Arc<Mutex<CacheState>>,
+    /// Per-segment byte budget (`capacity / segments.len()`).
+    segment_capacity: usize,
+    /// Independently locked LRU segments, selected by position hash.
+    segments: Arc<[Mutex<CacheState>]>,
 }
 
 impl fmt::Debug for CachedChunkStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.state.lock();
+        let (entries, bytes) = self.segments.iter().fold((0usize, 0usize), |(n, b), seg| {
+            let st = seg.lock();
+            (n + st.entries.len(), b + st.bytes)
+        });
         f.debug_struct("CachedChunkStore")
-            .field("entries", &st.entries.len())
-            .field("bytes", &st.bytes)
+            .field("entries", &entries)
+            .field("bytes", &bytes)
             .field("capacity", &self.capacity)
+            .field("segments", &self.segments.len())
             .finish()
     }
 }
 
 impl CachedChunkStore {
     /// Wraps a chunk store with a cache holding at most `capacity` payload
-    /// bytes. A zero capacity disables caching entirely.
+    /// bytes, split across position-hashed segments. A zero capacity
+    /// disables caching entirely.
     pub fn new(store: ChunkStore, faults: FaultConfig, capacity: usize) -> Self {
-        Self {
-            store,
-            faults,
-            capacity,
-            state: Arc::new(Mutex::new(CacheState {
-                entries: BTreeMap::new(),
-                bytes: 0,
-                tick: 0,
-                stats: CacheStats::default(),
-            })),
-        }
+        let n = segment_count(capacity);
+        let segments: Arc<[Mutex<CacheState>]> =
+            (0..n).map(|_| Mutex::new(CacheState::empty())).collect::<Vec<_>>().into();
+        Self { store, faults, capacity, segment_capacity: capacity / n, segments }
     }
 
     /// The wrapped chunk store.
@@ -112,11 +136,20 @@ impl CachedChunkStore {
         &self.store
     }
 
+    /// Number of independently locked cache segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn segment(&self, locator: &Locator) -> &Mutex<CacheState> {
+        &self.segments[locator.position_hash() as usize % self.segments.len()]
+    }
+
     fn insert(&self, locator: Locator, payload: Arc<Vec<u8>>) {
-        if self.capacity == 0 || payload.len() > self.capacity {
+        if self.segment_capacity == 0 || payload.len() > self.segment_capacity {
             return;
         }
-        let mut st = self.state.lock();
+        let mut st = self.segment(&locator).lock();
         st.tick += 1;
         let tick = st.tick;
         st.bytes += payload.len();
@@ -125,7 +158,7 @@ impl CachedChunkStore {
             st.bytes -= old.payload.len();
         }
         // Evict least-recently-used entries until within budget.
-        while st.bytes > self.capacity {
+        while st.bytes > self.segment_capacity {
             let victim = st
                 .entries
                 .iter()
@@ -142,7 +175,7 @@ impl CachedChunkStore {
     /// Reads a chunk payload, serving from the cache when possible.
     pub fn get(&self, locator: &Locator) -> Result<Arc<Vec<u8>>, ChunkError> {
         {
-            let mut st = self.state.lock();
+            let mut st = self.segment(locator).lock();
             st.tick += 1;
             let tick = st.tick;
             let hit = st.entries.get_mut(&key_of(locator)).map(|e| {
@@ -186,22 +219,25 @@ impl CachedChunkStore {
 
     /// Invalidates a single cache entry (e.g. on delete).
     pub fn invalidate(&self, locator: &Locator) {
-        let mut st = self.state.lock();
+        let mut st = self.segment(locator).lock();
         if let Some(e) = st.entries.remove(&key_of(locator)) {
             st.bytes -= e.payload.len();
         }
     }
 
     /// Drops every cached chunk stored on `extent`. Must be called when
-    /// the extent is reset.
+    /// the extent is reset. Entries from one extent hash to many segments
+    /// (the hash covers the offset too), so every segment is swept.
     pub fn drain_extent(&self, extent: ExtentId) {
-        let mut st = self.state.lock();
-        let victims: Vec<CacheKey> =
-            st.entries.keys().filter(|(e, _)| *e == extent.0).copied().collect();
-        for v in victims {
-            let e = st.entries.remove(&v).expect("listed key present");
-            st.bytes -= e.payload.len();
-            st.stats.drained += 1;
+        for seg in self.segments.iter() {
+            let mut st = seg.lock();
+            let victims: Vec<CacheKey> =
+                st.entries.keys().filter(|(e, _)| *e == extent.0).copied().collect();
+            for v in victims {
+                let e = st.entries.remove(&v).expect("listed key present");
+                st.bytes -= e.payload.len();
+                st.stats.drained += 1;
+            }
         }
         coverage::hit("cache.drain_extent");
     }
@@ -231,19 +267,29 @@ impl CachedChunkStore {
     /// Drops the entire cache (e.g. on dirty reboot simulation, since the
     /// cache is volatile state).
     pub fn clear(&self) {
-        let mut st = self.state.lock();
-        st.entries.clear();
-        st.bytes = 0;
+        for seg in self.segments.iter() {
+            let mut st = seg.lock();
+            st.entries.clear();
+            st.bytes = 0;
+        }
     }
 
-    /// Current cached byte total.
+    /// Current cached byte total, summed across segments.
     pub fn cached_bytes(&self) -> usize {
-        self.state.lock().bytes
+        self.segments.iter().map(|seg| seg.lock().bytes).sum()
     }
 
-    /// Cache statistics.
+    /// Cache statistics, aggregated across segments.
     pub fn stats(&self) -> CacheStats {
-        self.state.lock().stats
+        self.segments.iter().fold(CacheStats::default(), |acc, seg| {
+            let s = seg.lock().stats;
+            CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                evictions: acc.evictions + s.evictions,
+                drained: acc.drained + s.drained,
+            }
+        })
     }
 }
 
@@ -433,5 +479,65 @@ mod tests {
         assert_eq!(c.cached_bytes(), 0);
         assert_eq!(*c.get(&out.locator).unwrap(), vec![9u8; 50]);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn segment_count_scales_with_capacity() {
+        assert_eq!(segment_count(0), 1);
+        assert_eq!(segment_count(512), 1);
+        assert_eq!(segment_count(8192), 2);
+        assert_eq!(segment_count(1 << 20), MAX_SEGMENTS);
+        let c = setup(1 << 20, FaultConfig::none());
+        assert_eq!(c.segment_count(), MAX_SEGMENTS);
+        let c = setup(512, FaultConfig::none());
+        assert_eq!(c.segment_count(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_aggregates_stats_and_bytes() {
+        let c = setup(1 << 20, FaultConfig::none());
+        assert!(c.segment_count() > 1);
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let outs: Vec<_> =
+            (0..20u8).map(|i| c.put(Stream::Data, &vec![i; 30], &none).unwrap()).collect();
+        pump(&c);
+        for out in &outs {
+            c.get(&out.locator).unwrap(); // miss + populate
+        }
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(*c.get(&out.locator).unwrap(), vec![i as u8; 30]);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.misses, 20);
+        assert_eq!(stats.hits, 20);
+        assert_eq!(c.cached_bytes(), 20 * 30);
+        // Entries landed in more than one segment.
+        let used: std::collections::BTreeSet<usize> = outs
+            .iter()
+            .map(|o| o.locator.position_hash() as usize % c.segment_count())
+            .collect();
+        assert!(used.len() > 1, "position hash spread entries across segments");
+    }
+
+    #[test]
+    fn sharded_drain_sweeps_every_segment() {
+        let c = setup(1 << 20, FaultConfig::none());
+        let none = c.chunk_store().extent_manager().scheduler().none();
+        let outs: Vec<_> =
+            (0..10u8).map(|i| c.put(Stream::Data, &vec![i; 25], &none).unwrap()).collect();
+        pump(&c);
+        for out in &outs {
+            c.get(&out.locator).unwrap();
+        }
+        assert!(c.cached_bytes() > 0);
+        // Draining every extent the puts landed on must empty the share of
+        // every segment, not just the first one.
+        let extents: std::collections::BTreeSet<_> =
+            outs.iter().map(|o| o.locator.extent).collect();
+        for extent in extents {
+            c.drain_extent(extent);
+        }
+        assert_eq!(c.cached_bytes(), 0);
+        assert_eq!(c.stats().drained, 10);
     }
 }

@@ -70,6 +70,21 @@ pub struct Locator {
     pub uuid: u128,
 }
 
+impl Locator {
+    /// Stable hash of the chunk's *position* (extent + offset) — the same
+    /// identity the buffer cache keys entries by, so all locators naming
+    /// one on-disk position map to one cache segment regardless of UUID.
+    pub fn position_hash(&self) -> u64 {
+        // splitmix64 finalizer over the packed position; good avalanche
+        // for sequential extents/offsets, no allocation.
+        let mut x = ((self.extent.0 as u64) << 32) | self.offset as u64;
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
 impl fmt::Display for Locator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "chunk@{}+{}:{}", self.extent.0, self.offset, self.len)

@@ -36,7 +36,10 @@ fn random_scheduler_finds_lost_update() {
 
 #[test]
 fn pct_scheduler_finds_lost_update() {
-    let err = check(CheckOptions::pct(11, 3, 500), racy_increment_body)
+    // PCT samples change points over its expected schedule length (far
+    // longer than this tiny program), so per-iteration detection odds are
+    // low; give the search enough budget to be robust across RNG streams.
+    let err = check(CheckOptions::pct(11, 3, 2500), racy_increment_body)
         .expect_err("the race should be found");
     assert!(matches!(err, CheckError::Failure { .. }));
 }

@@ -84,20 +84,45 @@ pub struct StoreConfig {
     pub cache_capacity: usize,
     /// Deterministic seed for chunk UUID generation.
     pub uuid_seed: u64,
+    /// Build per-table fence/bloom metadata on the index read path.
+    pub lsm_filters: bool,
+    /// Decoded-table cache capacity (in tables); 0 disables it.
+    pub decoded_cache_tables: usize,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        Self { max_chunk_size: 4096, flush_threshold: 64, cache_capacity: 1 << 20, uuid_seed: 1 }
+        Self {
+            max_chunk_size: 4096,
+            flush_threshold: 64,
+            cache_capacity: 1 << 20,
+            uuid_seed: 1,
+            lsm_filters: true,
+            decoded_cache_tables: 8,
+        }
     }
 }
 
 impl StoreConfig {
     /// A configuration sized for the small test geometry: chunks split at
-    /// sub-page sizes, early flushes, and a small cache so that eviction
-    /// and miss paths are reachable.
+    /// sub-page sizes, early flushes, and small caches (payload *and*
+    /// decoded-table) so that eviction and miss paths are reachable.
     pub fn small() -> Self {
-        Self { max_chunk_size: 96, flush_threshold: 6, cache_capacity: 512, uuid_seed: 1 }
+        Self {
+            max_chunk_size: 96,
+            flush_threshold: 6,
+            cache_capacity: 512,
+            uuid_seed: 1,
+            lsm_filters: true,
+            decoded_cache_tables: 2,
+        }
+    }
+
+    fn lsm_config(&self) -> shardstore_lsm::LsmConfig {
+        shardstore_lsm::LsmConfig {
+            filters: self.lsm_filters,
+            decoded_cache_tables: self.decoded_cache_tables,
+        }
     }
 }
 
@@ -124,7 +149,7 @@ impl Store {
         let em = ExtentManager::format(sched, faults.clone());
         let cs = ChunkStore::new(em, faults.clone(), config.uuid_seed);
         let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
-        let index = LsmIndex::new(cache, faults.clone());
+        let index = LsmIndex::with_config(cache, faults.clone(), config.lsm_config());
         Self { index, faults, config, in_service: Arc::new(Mutex::new(true)) }
     }
 
@@ -138,7 +163,7 @@ impl Store {
         let em = ExtentManager::recover(sched, faults.clone())?;
         let cs = ChunkStore::recover(em, faults.clone(), config.uuid_seed)?;
         let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
-        let index = LsmIndex::recover(cache, faults.clone())?;
+        let index = LsmIndex::recover_with_config(cache, faults.clone(), config.lsm_config())?;
         coverage::hit("store.recovered");
         Ok(Self { index, faults, config, in_service: Arc::new(Mutex::new(true)) })
     }
@@ -157,6 +182,14 @@ impl Store {
     /// The cached chunk store.
     pub fn cache(&self) -> &CachedChunkStore {
         self.index.cache()
+    }
+
+    /// Drops every volatile read cache: the payload cache and the index's
+    /// decoded-table cache. Harnesses use this to model cache loss; both
+    /// caches must be safe to lose at any moment.
+    pub fn drop_caches(&self) {
+        self.cache().clear();
+        self.index.drop_decoded_cache();
     }
 
     /// The store configuration.

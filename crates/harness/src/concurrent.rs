@@ -75,6 +75,11 @@ pub fn fig4_index_harness(
         t2.join().unwrap();
         t3.join().unwrap();
         // After everything quiesces, no index entry may have been lost.
+        // Read cold: drop the volatile caches first so the check observes
+        // on-disk state — a cache serving decoded tables from memory must
+        // not hide chunks that reclamation dropped (the §8.3 lesson about
+        // caches masking bugs, applied to the checker itself).
+        store.drop_caches();
         for k in 0..4u128 {
             let got = store.get(k).expect("post-join get must not error");
             assert!(got.is_some(), "index entry for key {k} lost");
@@ -361,5 +366,81 @@ pub fn maintenance_harness(
             h.join().unwrap();
         }
         Arc::new(store).pump().unwrap();
+    })
+}
+
+/// Read-path cache-coherence harness: readers race an overwriting writer
+/// plus compaction and LSM-extent reclamation, with every read-path
+/// accelerator in play (table fences, bloom filters, the decoded-table
+/// cache, the sharded chunk cache). Keys 1..3 never change, so a reader
+/// observing anything but their stable value means a cache served a stale
+/// or lost entry; the optimistic `tables_version` retry must absorb
+/// relocations happening between a reader's snapshot and its table reads.
+pub fn read_vs_relocation_harness(
+    faults: FaultConfig,
+    options: CheckOptions,
+) -> Result<CheckReport, CheckError> {
+    check(options, move || {
+        let store = small_store(&faults);
+        for k in 0..4u128 {
+            store.put(k, format!("stable-{k}").as_bytes()).unwrap();
+            store.flush_index().unwrap();
+        }
+        store.pump().unwrap();
+        let lsm_extents = store
+            .cache()
+            .chunk_store()
+            .extent_manager()
+            .extents_owned_by(Owner::LsmData);
+
+        // Maintenance: compact, then evacuate the original table extents,
+        // relocating whatever is still live.
+        let s1 = store.clone();
+        let t1 = thread::spawn(move || {
+            let _ = s1.compact_index();
+            for ext in lsm_extents {
+                let _ = s1.reclaim_extent(ext, Stream::Lsm);
+            }
+        });
+        // Writer: overwrite key 0 and flush, racing readers against the
+        // memtable-to-table transition as well.
+        let s2 = store.clone();
+        let t2 = thread::spawn(move || {
+            s2.put(0, b"replacement-0").unwrap();
+            let _ = s2.flush_index();
+        });
+        // Readers: the stable keys must read back exactly, under every
+        // interleaving.
+        let mut readers = Vec::new();
+        for r in 0..2 {
+            let s = store.clone();
+            readers.push(thread::spawn(move || {
+                for k in 1..4u128 {
+                    let got = s.get(k).expect("read must not error");
+                    assert_eq!(
+                        got,
+                        Some(format!("stable-{k}").into_bytes()),
+                        "reader {r} observed wrong state for stable key {k}"
+                    );
+                }
+            }));
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+        for h in readers {
+            h.join().unwrap();
+        }
+        // Cold cross-check: what the caches say must match what disk says.
+        let warm: Vec<_> = (0..4u128).map(|k| store.get(k).unwrap()).collect();
+        store.drop_caches();
+        for (k, warm_value) in warm.into_iter().enumerate() {
+            let cold = store.get(k as u128).unwrap();
+            assert_eq!(cold, warm_value, "cache diverged from disk for key {k}");
+        }
+        assert_eq!(
+            store.get(0).unwrap().as_deref(),
+            Some(&b"replacement-0"[..]),
+            "overwrite lost"
+        );
     })
 }

@@ -243,7 +243,7 @@ fn apply_op(
             }
         }
         KvOp::CacheDrop => {
-            ctx.store.cache().clear();
+            ctx.store.drop_caches();
         }
         KvOp::Pump(n) => {
             let sched = ctx.store.scheduler();

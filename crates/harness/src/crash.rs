@@ -136,7 +136,7 @@ pub fn run_crash_consistency(
                     }
                 }
             }
-            KvOp::CacheDrop => ctx.store.cache().clear(),
+            KvOp::CacheDrop => ctx.store.drop_caches(),
             KvOp::Pump(n) => {
                 let sched = ctx.store.scheduler();
                 if let Err(e) = sched.issue_ready(*n as usize).and_then(|_| sched.flush_issued())

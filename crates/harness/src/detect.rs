@@ -13,7 +13,7 @@
 //! minimized (§4.3), reporting original vs minimized sizes — the numbers
 //! behind the paper's 61-ops-to-6-ops anecdote.
 
-use proptest::strategy::{Strategy, ValueTree};
+use proptest::strategy::Strategy;
 use proptest::test_runner::{Config, RngAlgorithm, TestRng, TestRunner};
 use shardstore_conc::CheckOptions;
 use shardstore_faults::{BugId, FaultConfig};

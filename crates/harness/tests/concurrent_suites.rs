@@ -6,7 +6,8 @@ use shardstore_conc::{CheckError, CheckOptions};
 use shardstore_faults::{BugId, FaultConfig};
 use shardstore_harness::concurrent::{
     bulk_ops_harness, fig4_index_harness, kv_linearizability_harness, list_remove_harness,
-    maintenance_harness, put_reclaim_harness, superblock_pool_harness,
+    maintenance_harness, put_reclaim_harness, read_vs_relocation_harness,
+    superblock_pool_harness,
 };
 
 const ITERS: usize = 400;
@@ -107,6 +108,12 @@ fn concurrent_kv_history_is_linearizable() {
 fn maintenance_tasks_do_not_deadlock() {
     maintenance_harness(FaultConfig::none(), CheckOptions::random(17, ITERS)).unwrap();
     maintenance_harness(FaultConfig::none(), CheckOptions::pct(17, 3, ITERS)).unwrap();
+}
+
+#[test]
+fn reads_never_see_stale_caches_under_relocation() {
+    read_vs_relocation_harness(FaultConfig::none(), CheckOptions::random(19, ITERS)).unwrap();
+    read_vs_relocation_harness(FaultConfig::none(), CheckOptions::pct(19, 3, ITERS)).unwrap();
 }
 
 #[test]

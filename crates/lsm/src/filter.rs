@@ -1,0 +1,166 @@
+//! Per-table read-path metadata: key fences and a hand-rolled bloom
+//! filter.
+//!
+//! Every SSTable is immutable once written, so its key range and key set
+//! are fixed at flush/compaction/recovery time. [`TableMeta`] captures
+//! both: a `[min_key, max_key]` fence for cheap range exclusion and a
+//! [`KeyFilter`] (a classic bloom filter over the entry keys, tombstones
+//! included) for point exclusion inside the fence. `lookup_in_tables`
+//! consults them to skip tables that cannot contain the probed key,
+//! avoiding the chunk read *and* the SSTable decode for most tables on a
+//! point lookup.
+//!
+//! Both structures are conservative by construction: a table is only
+//! skipped when the key provably cannot be in it (fences are exact;
+//! blooms have no false negatives), so skipping never changes lookup
+//! results — which is why the reference model needs no corresponding
+//! change.
+
+const BITS_PER_KEY: usize = 10;
+const NUM_HASHES: u64 = 6;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Two independent 64-bit hashes of a key, for double hashing. The second
+/// is forced odd so every stride is coprime with the power-of-two bit
+/// count and the probe sequence covers distinct bits.
+fn hash_pair(key: u128) -> (u64, u64) {
+    let h1 = splitmix64(key as u64);
+    let h2 = splitmix64((key >> 64) as u64 ^ h1) | 1;
+    (h1, h2)
+}
+
+/// A bloom filter over shard keys: no false negatives, ~1% false
+/// positives at the configured 10 bits per key.
+#[derive(Debug, Clone)]
+pub struct KeyFilter {
+    bits: Box<[u64]>,
+    /// `bit_count - 1`; the count is a power of two so this is a mask.
+    mask: u64,
+}
+
+impl KeyFilter {
+    /// Builds a filter containing exactly `keys`.
+    pub fn build(keys: &[u128]) -> Self {
+        let bit_count = (keys.len() * BITS_PER_KEY).next_power_of_two().max(64);
+        let mut bits = vec![0u64; bit_count / 64].into_boxed_slice();
+        let mask = bit_count as u64 - 1;
+        for &key in keys {
+            let (h1, h2) = hash_pair(key);
+            for i in 0..NUM_HASHES {
+                let bit = h1.wrapping_add(h2.wrapping_mul(i)) & mask;
+                bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        Self { bits, mask }
+    }
+
+    /// True if `key` *may* be in the filter; false means definitely not.
+    pub fn may_contain(&self, key: u128) -> bool {
+        let (h1, h2) = hash_pair(key);
+        (0..NUM_HASHES).all(|i| {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i)) & self.mask;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// Immutable per-table lookup metadata: key fence plus bloom filter,
+/// built over every entry key — tombstones included, since skipping a
+/// table that holds a tombstone for the probed key would resurrect the
+/// shadowed older value.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    min_key: u128,
+    max_key: u128,
+    filter: KeyFilter,
+}
+
+impl TableMeta {
+    /// Builds metadata from a table's sorted entry keys. An empty table
+    /// gets an inverted fence that excludes every key.
+    pub fn build(keys: &[u128]) -> Self {
+        Self {
+            min_key: keys.first().copied().unwrap_or(u128::MAX),
+            max_key: keys.last().copied().unwrap_or(0),
+            filter: KeyFilter::build(keys),
+        }
+    }
+
+    /// True if `key` falls inside the table's `[min, max]` key fence.
+    pub fn in_fence(&self, key: u128) -> bool {
+        self.min_key <= key && key <= self.max_key
+    }
+
+    /// True if the bloom filter admits `key` (no false negatives).
+    pub fn bloom_may_contain(&self, key: u128) -> bool {
+        self.filter.may_contain(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_has_no_false_negatives() {
+        let keys: Vec<u128> = (0..500u128).map(|i| i * 977 + (i << 80)).collect();
+        let f = KeyFilter::build(&keys);
+        for &k in &keys {
+            assert!(f.may_contain(k), "inserted key {k} reported absent");
+        }
+    }
+
+    #[test]
+    fn filter_false_positive_rate_is_low() {
+        let keys: Vec<u128> = (0..1000u128).map(|i| i * 2 + 1).collect();
+        let f = KeyFilter::build(&keys);
+        // Probe disjoint keys; at 10 bits/key the expected FP rate is ~1%.
+        let fps = (0..10_000u128).map(|i| (i + 1) * 2).filter(|&k| f.may_contain(k)).count();
+        assert!(fps < 500, "false positive rate too high: {fps}/10000");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_via_fence() {
+        let meta = TableMeta::build(&[]);
+        for k in [0u128, 1, u128::MAX] {
+            assert!(!meta.in_fence(k));
+        }
+    }
+
+    #[test]
+    fn fence_is_inclusive_and_exact() {
+        let meta = TableMeta::build(&[10, 20, 30]);
+        assert!(meta.in_fence(10));
+        assert!(meta.in_fence(25));
+        assert!(meta.in_fence(30));
+        assert!(!meta.in_fence(9));
+        assert!(!meta.in_fence(31));
+    }
+
+    #[test]
+    fn single_key_table() {
+        let meta = TableMeta::build(&[42]);
+        assert!(meta.in_fence(42));
+        assert!(meta.bloom_may_contain(42));
+        assert!(!meta.in_fence(41));
+    }
+
+    #[test]
+    fn filter_size_scales_with_keys() {
+        let small = KeyFilter::build(&[1, 2, 3]);
+        let large = KeyFilter::build(&(0..10_000u128).collect::<Vec<_>>());
+        assert!(small.size_bytes() >= 8);
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+}

@@ -29,6 +29,7 @@
 //! state that no longer references the dropped chunks.
 
 pub mod codec;
+pub mod filter;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -42,6 +43,28 @@ use shardstore_faults::{coverage, BugId, FaultConfig};
 use shardstore_vdisk::codec::CodecError;
 
 pub use codec::{IndexValue, MetadataRecord, TableDescriptor};
+pub use filter::{KeyFilter, TableMeta};
+
+/// Read-path tuning knobs for the index.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Build per-table fences and bloom filters (at flush, compaction,
+    /// and recovery) so point lookups skip tables that cannot contain the
+    /// key. Disabling reverts to reading every table newest-first.
+    pub filters: bool,
+    /// Maximum number of decoded tables kept in the decoded-entry cache;
+    /// `0` disables the cache (every lookup re-reads and re-decodes table
+    /// bytes). Keyed by table id — ids are monotonic and never reused, and
+    /// table content is immutable (relocation moves bytes verbatim), so a
+    /// cached decode can never go stale.
+    pub decoded_cache_tables: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        Self { filters: true, decoded_cache_tables: 8 }
+    }
+}
 
 /// LSM index errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,12 +134,50 @@ struct MemEntry {
 struct Table {
     id: u64,
     /// Chunks holding the serialized table, in order (large tables span
-    /// several chunks).
-    locators: Vec<Locator>,
+    /// several chunks). Shared so readers snapshot the list with one
+    /// refcount bump instead of deep-cloning it under the state lock.
+    locators: Arc<[Locator]>,
+    /// Fence + bloom metadata for lookup skipping; `None` when filters
+    /// are disabled by config.
+    meta: Option<Arc<TableMeta>>,
     /// Persists once the table's bytes *and* every data chunk its entries
     /// reference are durable (transitively, because the table write's
     /// input dependency joins its entries' data dependencies).
     data_dep: Dependency,
+}
+
+impl Table {
+    fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            id: self.id,
+            locators: Arc::clone(&self.locators),
+            meta: self.meta.clone(),
+        }
+    }
+}
+
+/// A cheap point-in-time view of one table, valid for reading outside the
+/// state lock (the optimistic-read scheme).
+#[derive(Debug, Clone)]
+struct TableSnapshot {
+    id: u64,
+    locators: Arc<[Locator]>,
+    meta: Option<Arc<TableMeta>>,
+}
+
+#[derive(Debug)]
+struct DecodedEntry {
+    entries: Arc<Vec<codec::SsEntry>>,
+    last_use: u64,
+}
+
+/// LRU cache of decoded tables, keyed by table id. Safe against staleness
+/// by construction: ids are never reused and table content is immutable,
+/// so an entry is valid for as long as anything still snapshots its id.
+#[derive(Debug, Default)]
+struct DecodedCache {
+    tables: BTreeMap<u64, DecodedEntry>,
+    tick: u64,
 }
 
 struct LsmState {
@@ -137,6 +198,12 @@ struct LsmState {
     /// Reverse map for data-extent reclamation: data-chunk locator → the
     /// shard key whose *current* value references it.
     refs: BTreeMap<Locator, u128>,
+    /// Forward index over `refs`: key → locators recorded for it. Kept as
+    /// a superset (an entry may linger after another key claimed the
+    /// locator in `refs`), which is why removals filter on
+    /// `refs[l] == key`. Replaces the O(refs) linear scan `apply` used to
+    /// need to retire a key's stale references.
+    refs_by_key: BTreeMap<u128, Vec<Locator>>,
     /// Set when an extent reset happened since the last flush (drives the
     /// seeded bug B3).
     reset_since_flush: bool,
@@ -152,7 +219,11 @@ pub struct LsmIndex {
 struct LsmCore {
     cache: CachedChunkStore,
     faults: FaultConfig,
+    config: LsmConfig,
     state: Mutex<LsmState>,
+    /// Decoded-table cache; a separate lock so table decodes never hold
+    /// up mutations on the state lock.
+    decoded: Mutex<DecodedCache>,
     /// Serializes flush and compaction against each other (they both
     /// rewrite the table list).
     maintenance: Mutex<()>,
@@ -169,12 +240,19 @@ impl fmt::Debug for LsmIndex {
 }
 
 impl LsmIndex {
-    /// Creates an empty index over a cached chunk store.
+    /// Creates an empty index over a cached chunk store with the default
+    /// read-path configuration.
     pub fn new(cache: CachedChunkStore, faults: FaultConfig) -> Self {
+        Self::with_config(cache, faults, LsmConfig::default())
+    }
+
+    /// Creates an empty index with explicit read-path tuning.
+    pub fn with_config(cache: CachedChunkStore, faults: FaultConfig, config: LsmConfig) -> Self {
         Self {
             core: Arc::new(LsmCore {
                 cache,
                 faults,
+                config,
                 state: Mutex::new(LsmState {
                     memtable: BTreeMap::new(),
                     tables: Vec::new(),
@@ -185,19 +263,32 @@ impl LsmIndex {
                     meta_locator: None,
                     meta_dep: None,
                     refs: BTreeMap::new(),
+                    refs_by_key: BTreeMap::new(),
                     reset_since_flush: false,
                     stats: LsmStats::default(),
                 }),
+                decoded: Mutex::new(DecodedCache::default()),
                 maintenance: Mutex::new(()),
             }),
         }
     }
 
+    /// Recovers the index after a reboot with the default read-path
+    /// configuration.
+    pub fn recover(cache: CachedChunkStore, faults: FaultConfig) -> Result<Self, LsmError> {
+        Self::recover_with_config(cache, faults, LsmConfig::default())
+    }
+
     /// Recovers the index after a reboot: find the highest-sequence valid
     /// metadata record among registered metadata chunks, load its table
-    /// list, and rebuild the reverse reference map from the merged view.
-    pub fn recover(cache: CachedChunkStore, faults: FaultConfig) -> Result<Self, LsmError> {
-        let index = Self::new(cache, faults);
+    /// list (rebuilding each table's fence/bloom metadata), and rebuild
+    /// the reverse reference map from the merged view.
+    pub fn recover_with_config(
+        cache: CachedChunkStore,
+        faults: FaultConfig,
+        config: LsmConfig,
+    ) -> Result<Self, LsmError> {
+        let index = Self::with_config(cache, faults, config);
         let mut best: Option<(MetadataRecord, Locator)> = None;
         let mut meta_chunks = 0usize;
         for locator in index.core.cache.chunk_store().registered_locators() {
@@ -261,17 +352,29 @@ impl LsmIndex {
             index.core.state.lock().meta_seq = seq_fence;
             return Ok(index);
         };
+        // Load each table once: the decode rebuilds the fence/bloom
+        // metadata and warms the decoded-entry cache, so recovery pays the
+        // table reads it needs anyway instead of deferring them to the
+        // first lookups.
+        let none = index.scheduler().none();
+        let mut tables = Vec::with_capacity(record.tables.len());
+        for t in &record.tables {
+            let entries = Arc::new(index.read_table(&t.locators)?);
+            let meta = index.table_meta_of(&entries);
+            index.decoded_insert(t.id, Arc::clone(&entries));
+            tables.push(Table {
+                id: t.id,
+                locators: t.locators.clone().into(),
+                meta,
+                data_dep: none.clone(),
+            });
+        }
         {
             let mut st = index.core.state.lock();
             st.meta_seq = record.seq.max(seq_fence);
             st.meta_locator = Some(locator);
             st.next_table_id = record.tables.iter().map(|t| t.id).max().unwrap_or(0) + 1;
-            let none = index.scheduler().none();
-            st.tables = record
-                .tables
-                .iter()
-                .map(|t| Table { id: t.id, locators: t.locators.clone(), data_dep: none.clone() })
-                .collect();
+            st.tables = tables;
         }
         // Rebuild the reverse map from the merged (newest-wins) view.
         let merged = index.merged_entries()?;
@@ -279,13 +382,93 @@ impl LsmIndex {
             let mut st = index.core.state.lock();
             for (key, value) in merged {
                 if let IndexValue::Present(locators) = value {
-                    for l in locators {
-                        st.refs.insert(l, key);
+                    for l in &locators {
+                        st.refs.insert(*l, key);
                     }
+                    st.refs_by_key.insert(key, locators);
                 }
             }
         }
         Ok(index)
+    }
+
+    /// Builds table metadata from decoded entries, honoring the config
+    /// toggle. Keys cover tombstones too: skipping a table holding a
+    /// tombstone would resurrect the shadowed older value.
+    fn table_meta_of(&self, entries: &[codec::SsEntry]) -> Option<Arc<TableMeta>> {
+        if !self.core.config.filters {
+            return None;
+        }
+        let keys: Vec<u128> = entries.iter().map(|(k, _)| *k).collect();
+        Some(Arc::new(TableMeta::build(&keys)))
+    }
+
+    /// Looks up a decoded table by id, refreshing its LRU position.
+    fn decoded_lookup(&self, id: u64) -> Option<Arc<Vec<codec::SsEntry>>> {
+        if self.core.config.decoded_cache_tables == 0 {
+            return None;
+        }
+        let mut cache = self.core.decoded.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        cache.tables.get_mut(&id).map(|e| {
+            e.last_use = tick;
+            Arc::clone(&e.entries)
+        })
+    }
+
+    /// Caches a decoded table, evicting least-recently-used entries over
+    /// capacity.
+    fn decoded_insert(&self, id: u64, entries: Arc<Vec<codec::SsEntry>>) {
+        let capacity = self.core.config.decoded_cache_tables;
+        if capacity == 0 {
+            return;
+        }
+        let mut cache = self.core.decoded.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        cache.tables.insert(id, DecodedEntry { entries, last_use: tick });
+        while cache.tables.len() > capacity {
+            let victim = cache
+                .tables
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(id, _)| *id)
+                .expect("over capacity implies non-empty");
+            cache.tables.remove(&victim);
+            coverage::hit("lsm.decoded.evict");
+        }
+    }
+
+    /// Drops decoded tables whose ids are no longer live (after
+    /// compaction retired them). A concurrent reader holding an old
+    /// snapshot may transiently re-insert a dead id; that costs memory
+    /// bounded by the LRU capacity, never correctness (ids are unique and
+    /// content immutable).
+    fn decoded_prune(&self, live: &[u64]) {
+        if self.core.config.decoded_cache_tables == 0 {
+            return;
+        }
+        self.core.decoded.lock().tables.retain(|id, _| live.contains(id));
+    }
+
+    /// Drops the decoded-table cache. It is volatile state, so harnesses
+    /// model cache loss (reboot, explicit cache drop) by calling this
+    /// alongside [`CachedChunkStore::clear`].
+    pub fn drop_decoded_cache(&self) {
+        self.core.decoded.lock().tables.clear();
+    }
+
+    /// Reads a table through the decoded-entry cache.
+    fn table_entries(&self, table: &TableSnapshot) -> Result<Arc<Vec<codec::SsEntry>>, LsmError> {
+        if let Some(entries) = self.decoded_lookup(table.id) {
+            coverage::hit("lsm.decoded.hit");
+            return Ok(entries);
+        }
+        coverage::hit("lsm.decoded.miss");
+        let entries = Arc::new(self.read_table(&table.locators)?);
+        self.decoded_insert(table.id, Arc::clone(&entries));
+        Ok(entries)
     }
 
     /// The cached chunk store backing the index.
@@ -362,23 +545,24 @@ impl LsmIndex {
             old_entry.promise.add_dep(&new_promise_dep);
             old_entry.promise.seal();
         }
-        if let Some(MemEntry { value: IndexValue::Present(old_locs), .. }) = old {
+        // Retire every reverse-map entry recorded for this key — the old
+        // memtable value's locators and any table-resident ones, which
+        // the new value shadows either way. `refs_by_key` is a superset
+        // index over `refs`, so removal filters on the ref still pointing
+        // back at this key (another key may have since claimed the
+        // locator). This is O(entry locators), not O(refs).
+        if let Some(old_locs) = st.refs_by_key.remove(&key) {
             for l in old_locs {
-                st.refs.remove(&l);
-            }
-        } else if old.is_none() {
-            // Key may still be present in tables; remove any stale refs
-            // pointing at it (the table entry is shadowed now).
-            let stale: Vec<Locator> =
-                st.refs.iter().filter(|(_, k)| **k == key).map(|(l, _)| *l).collect();
-            for l in stale {
-                st.refs.remove(&l);
+                if st.refs.get(&l) == Some(&key) {
+                    st.refs.remove(&l);
+                }
             }
         }
         if let IndexValue::Present(locators) = &value {
             for l in locators {
                 st.refs.insert(*l, key);
             }
+            st.refs_by_key.insert(key, locators.clone());
         }
         st.stats.mutations += 1;
         dep
@@ -414,8 +598,29 @@ impl LsmIndex {
     /// was relocated under us). A failure with an *unchanged* table list
     /// is genuine corruption and is reported.
     pub fn get(&self, key: u128) -> Result<Option<Vec<Locator>>, LsmError> {
+        self.get_inner(key, None)
+    }
+
+    /// Test-only variant of [`LsmIndex::get`] that invokes `hook` once,
+    /// after the first table snapshot is taken and before any table is
+    /// read — a deterministic window for exercising the relocation-retry
+    /// path without a scheduler.
+    #[doc(hidden)]
+    pub fn get_with_race_hook(
+        &self,
+        key: u128,
+        hook: &mut dyn FnMut(),
+    ) -> Result<Option<Vec<Locator>>, LsmError> {
+        self.get_inner(key, Some(hook))
+    }
+
+    fn get_inner(
+        &self,
+        key: u128,
+        mut hook: Option<&mut dyn FnMut()>,
+    ) -> Result<Option<Vec<Locator>>, LsmError> {
         loop {
-            let (tables, version): (Vec<Vec<Locator>>, u64) = {
+            let (tables, version): (Vec<TableSnapshot>, u64) = {
                 let mut st = self.core.state.lock();
                 st.stats.gets += 1;
                 if let Some(entry) = st.memtable.get(&key) {
@@ -425,8 +630,11 @@ impl LsmIndex {
                         IndexValue::Tombstone => None,
                     });
                 }
-                (st.tables.iter().map(|t| t.locators.clone()).collect(), st.tables_version)
+                (st.tables.iter().map(Table::snapshot).collect(), st.tables_version)
             };
+            if let Some(h) = hook.take() {
+                h();
+            }
             match self.lookup_in_tables(key, &tables) {
                 Ok(found) => return Ok(found),
                 Err(e) => {
@@ -443,10 +651,22 @@ impl LsmIndex {
     fn lookup_in_tables(
         &self,
         key: u128,
-        tables: &[Vec<Locator>],
+        tables: &[TableSnapshot],
     ) -> Result<Option<Vec<Locator>>, LsmError> {
-        for locators in tables {
-            let entries = self.read_table(locators)?;
+        for table in tables {
+            // Fence then bloom: skip tables that provably cannot contain
+            // the key, avoiding the chunk read and the decode entirely.
+            if let Some(meta) = &table.meta {
+                if !meta.in_fence(key) {
+                    coverage::hit("lsm.get.fence_skip");
+                    continue;
+                }
+                if !meta.bloom_may_contain(key) {
+                    coverage::hit("lsm.get.bloom_skip");
+                    continue;
+                }
+            }
+            let entries = self.table_entries(table)?;
             if let Ok(idx) = entries.binary_search_by_key(&key, |(k, _)| *k) {
                 coverage::hit("lsm.get.sstable");
                 return Ok(match &entries[idx].1 {
@@ -464,11 +684,11 @@ impl LsmIndex {
     /// [`LsmIndex::get`].
     fn merged_entries(&self) -> Result<BTreeMap<u128, IndexValue>, LsmError> {
         loop {
-            let (mem, tables, version): (Vec<(u128, IndexValue)>, Vec<Vec<Locator>>, u64) = {
+            let (mem, tables, version): (Vec<(u128, IndexValue)>, Vec<TableSnapshot>, u64) = {
                 let st = self.core.state.lock();
                 (
                     st.memtable.iter().map(|(k, e)| (*k, e.value.clone())).collect(),
-                    st.tables.iter().map(|t| t.locators.clone()).collect(),
+                    st.tables.iter().map(Table::snapshot).collect(),
                     st.tables_version,
                 )
             };
@@ -476,11 +696,11 @@ impl LsmIndex {
             // Oldest table first, memtable last, so newer writers
             // overwrite.
             let mut failed = None;
-            for locators in tables.iter().rev() {
-                match self.read_table(locators) {
+            for table in tables.iter().rev() {
+                match self.table_entries(table) {
                     Ok(entries) => {
-                        for (k, v) in entries {
-                            merged.insert(k, v);
+                        for (k, v) in entries.iter() {
+                            merged.insert(*k, v.clone());
                         }
                     }
                     Err(e) => {
@@ -525,7 +745,7 @@ impl LsmIndex {
                 tables: st
                     .tables
                     .iter()
-                    .map(|t| TableDescriptor { id: t.id, locators: t.locators.clone() })
+                    .map(|t| TableDescriptor { id: t.id, locators: t.locators.to_vec() })
                     .collect(),
             }
         };
@@ -597,19 +817,25 @@ impl LsmIndex {
         // Scheduling point: under the stateless model checker this is
         // where reclamation can interleave.
         shardstore_conc::yield_now();
-        // Phase 3: install the table, write metadata, seal promises.
+        // Phase 3: install the table (with its fence/bloom metadata),
+        // write metadata, seal promises. The freshly built entries also
+        // seed the decoded cache — the table is hot by definition.
+        let entries = Arc::new(entries);
+        let table_meta = self.table_meta_of(&entries);
         let table_id = {
             let mut st = self.core.state.lock();
             let id = st.next_table_id;
             st.next_table_id += 1;
             st.tables.insert(0, Table {
                 id,
-                locators: locators.clone(),
+                locators: locators.clone().into(),
+                meta: table_meta,
                 data_dep: table_data_dep.clone(),
             });
             st.tables_version += 1;
             id
         };
+        self.decoded_insert(table_id, entries);
         let meta_dep = self.write_metadata(std::slice::from_ref(&table_data_dep))?;
         {
             let mut st = self.core.state.lock();
@@ -646,11 +872,12 @@ impl LsmIndex {
     /// tombstones, then rewrites the metadata record. Old table chunks
     /// are marked dead for reclamation.
     pub fn compact(&self) -> Result<(), LsmError> {
+        type OldTables = Vec<(u64, Arc<[Locator]>)>;
         let _m = self.core.maintenance.lock();
-        let (old_tables, source_deps): (Vec<(u64, Vec<Locator>)>, Vec<Dependency>) = {
+        let (old_tables, source_deps): (OldTables, Vec<Dependency>) = {
             let st = self.core.state.lock();
             (
-                st.tables.iter().map(|t| (t.id, t.locators.clone())).collect(),
+                st.tables.iter().map(|t| (t.id, Arc::clone(&t.locators))).collect(),
                 st.tables.iter().map(|t| t.data_dep.clone()).collect(),
             )
         };
@@ -684,7 +911,9 @@ impl LsmIndex {
         // The issue #14 window: the new chunk is on disk but the metadata
         // does not reference it yet.
         shardstore_conc::yield_now();
-        {
+        let entries = Arc::new(entries);
+        let table_meta = self.table_meta_of(&entries);
+        let (new_id, live_ids) = {
             let mut st = self.core.state.lock();
             // Only replace the tables we actually merged; a concurrent
             // flush may have prepended newer ones.
@@ -694,15 +923,19 @@ impl LsmIndex {
             st.tables.retain(|t| !merged_ids.contains(&t.id));
             st.tables.push(Table {
                 id,
-                locators: locators.clone(),
+                locators: locators.clone().into(),
+                meta: table_meta,
                 data_dep: table_data_dep.clone(),
             });
             st.tables_version += 1;
             st.stats.compactions += 1;
-        }
+            (id, st.tables.iter().map(|t| t.id).collect::<Vec<u64>>())
+        };
+        self.decoded_insert(new_id, entries);
+        self.decoded_prune(&live_ids);
         self.write_metadata(std::slice::from_ref(&table_data_dep))?;
         for (_, locators) in &old_tables {
-            for locator in locators {
+            for locator in locators.iter() {
                 self.core.cache.chunk_store().mark_dead(locator);
             }
         }
@@ -841,11 +1074,18 @@ impl Referencer for LsmReferencer {
             return copy_dep.clone();
         }
         for t in st.tables.iter_mut() {
-            for l in t.locators.iter_mut() {
-                if *l == *old {
-                    *l = *new;
-                    t.data_dep = t.data_dep.and(copy_dep);
-                }
+            if t.locators.contains(old) {
+                // Clone-on-write: concurrent readers keep their snapshot
+                // Arc; only the installed list is replaced. The fence and
+                // bloom are untouched — the copy is byte-identical, so
+                // the table's key set is unchanged.
+                let rewritten: Vec<Locator> = t
+                    .locators
+                    .iter()
+                    .map(|l| if *l == *old { *new } else { *l })
+                    .collect();
+                t.locators = rewritten.into();
+                t.data_dep = t.data_dep.and(copy_dep);
             }
         }
         st.tables_version += 1;

@@ -5,7 +5,7 @@ use shardstore_cache::CachedChunkStore;
 use shardstore_chunk::{ChunkStore, Locator, Referencer, Stream};
 use shardstore_dependency::IoScheduler;
 use shardstore_faults::{BugId, FaultConfig};
-use shardstore_lsm::{IndexValue, LsmIndex};
+use shardstore_lsm::LsmIndex;
 use shardstore_superblock::ExtentManager;
 use shardstore_vdisk::{CrashPlan, Disk, ExtentId, Geometry};
 
@@ -395,4 +395,248 @@ fn many_entries_across_flushes_remain_consistent() {
         index.keys().unwrap(),
         expected.keys().copied().collect::<Vec<_>>()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Read path: fences, blooms, decoded-table cache, relocation retry.
+//
+// Coverage probes are process-global, so tests that assert on counts
+// serialize on a local mutex (same pattern as the coverage module's own
+// tests).
+// ---------------------------------------------------------------------------
+
+use shardstore_faults::coverage;
+use shardstore_lsm::LsmConfig;
+use std::sync::Mutex;
+
+static COVERAGE_LOCK: Mutex<()> = Mutex::new(());
+
+fn cov_guard() -> std::sync::MutexGuard<'static, ()> {
+    COVERAGE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn setup_config(config: LsmConfig) -> LsmIndex {
+    let disk = Disk::new(Geometry::small());
+    let sched = IoScheduler::new(disk);
+    let em = ExtentManager::format(sched, FaultConfig::none());
+    let cs = ChunkStore::new(em, FaultConfig::none(), 99);
+    let cache = CachedChunkStore::new(cs, FaultConfig::none(), 4096);
+    LsmIndex::with_config(cache, FaultConfig::none(), config)
+}
+
+#[test]
+fn fences_skip_tables_outside_key_range() {
+    let _g = cov_guard();
+    let index = setup();
+    for k in 0..8u128 {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+    }
+    index.flush().unwrap();
+    for k in 100..108u128 {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+    }
+    index.flush().unwrap();
+    index.drop_decoded_cache();
+    let _rec = coverage::Recording::start();
+    // Key 3 lives in the older table; the newer table's fence is
+    // [100, 107], so the lookup must skip it without reading a chunk.
+    assert_eq!(index.get(3).unwrap(), Some(vec![loc(3, 3, 3)]));
+    assert!(coverage::count("lsm.get.fence_skip") >= 1, "newest table not fence-skipped");
+    assert_eq!(coverage::count("lsm.decoded.miss"), 1, "exactly one table decoded");
+}
+
+#[test]
+fn blooms_skip_overlapping_tables_without_the_key() {
+    let _g = cov_guard();
+    let index = setup();
+    // Even keys in one table, odd keys in another: the fences overlap,
+    // so only the bloom can skip the wrong table.
+    for k in (0..16u128).step_by(2) {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+    }
+    index.flush().unwrap();
+    for k in (1..16u128).step_by(2) {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+    }
+    index.flush().unwrap();
+    let _rec = coverage::Recording::start();
+    for k in (2..16u128).step_by(2) {
+        assert_eq!(index.get(k).unwrap(), Some(vec![loc(3, k as u32, k)]));
+    }
+    // Each even-key lookup is inside the odd table's fence; with a ~1%
+    // false-positive rate at 10 bits/key the bloom must reject at least
+    // one of the seven (the filter is deterministic, so this is stable).
+    assert!(coverage::count("lsm.get.bloom_skip") >= 1, "bloom never skipped a table");
+}
+
+#[test]
+fn decoded_cache_avoids_repeat_decodes() {
+    let _g = cov_guard();
+    let index = setup();
+    index.put2(5, vec![loc(3, 0, 11)]);
+    index.flush().unwrap();
+    index.drop_decoded_cache();
+    let _rec = coverage::Recording::start();
+    assert_eq!(index.get(5).unwrap(), Some(vec![loc(3, 0, 11)]));
+    assert_eq!(coverage::count("lsm.decoded.miss"), 1);
+    assert_eq!(coverage::count("lsm.decoded.hit"), 0);
+    assert_eq!(index.get(5).unwrap(), Some(vec![loc(3, 0, 11)]));
+    assert_eq!(coverage::count("lsm.decoded.miss"), 1, "second read must not re-decode");
+    assert_eq!(coverage::count("lsm.decoded.hit"), 1);
+}
+
+#[test]
+fn decoded_cache_capacity_zero_disables_caching() {
+    let _g = cov_guard();
+    let index = setup_config(LsmConfig { filters: true, decoded_cache_tables: 0 });
+    index.put2(5, vec![loc(3, 0, 11)]);
+    index.flush().unwrap();
+    let _rec = coverage::Recording::start();
+    assert_eq!(index.get(5).unwrap(), Some(vec![loc(3, 0, 11)]));
+    assert_eq!(index.get(5).unwrap(), Some(vec![loc(3, 0, 11)]));
+    assert_eq!(coverage::count("lsm.decoded.hit"), 0);
+    assert_eq!(coverage::count("lsm.decoded.miss"), 2);
+}
+
+#[test]
+fn decoded_cache_evicts_least_recently_used_table() {
+    let _g = cov_guard();
+    let index = setup_config(LsmConfig { filters: false, decoded_cache_tables: 2 });
+    // Three tables, capacity two: reading all three in order must evict.
+    for k in 0..3u128 {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+        index.flush().unwrap();
+    }
+    index.drop_decoded_cache();
+    let _rec = coverage::Recording::start();
+    // Filters are off, so each get touches every newer table too; the
+    // oldest key walks all three tables and fills + overflows the cache.
+    for k in (0..3u128).rev() {
+        assert_eq!(index.get(k).unwrap(), Some(vec![loc(3, k as u32, k)]));
+    }
+    assert!(coverage::count("lsm.decoded.evict") >= 1, "capacity-2 cache never evicted");
+}
+
+#[test]
+fn filters_disabled_reads_stay_correct() {
+    let _g = cov_guard();
+    let index = setup_config(LsmConfig { filters: false, decoded_cache_tables: 8 });
+    for k in 0..8u128 {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+    }
+    index.flush().unwrap();
+    for k in 100..104u128 {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+    }
+    index.flush().unwrap();
+    let _rec = coverage::Recording::start();
+    for k in 0..8u128 {
+        assert_eq!(index.get(k).unwrap(), Some(vec![loc(3, k as u32, k)]));
+    }
+    assert_eq!(index.get(50).unwrap(), None);
+    assert_eq!(coverage::count("lsm.get.fence_skip"), 0);
+    assert_eq!(coverage::count("lsm.get.bloom_skip"), 0);
+}
+
+#[test]
+fn relocation_between_snapshot_and_read_retries_with_new_locators() {
+    let _g = cov_guard();
+    let index = setup();
+    for k in 0..5u128 {
+        index.put2(k, vec![loc(3, k as u32, k)]);
+        index.flush().unwrap();
+    }
+    index.compact().unwrap();
+    pump(&index);
+    let _rec = coverage::Recording::start();
+    let em = index.cache().chunk_store().extent_manager().clone();
+    let mut fired = false;
+    let mut hook = || {
+        // The reader has snapshotted the (old) table locators. Relocate
+        // every live LSM chunk out from under it, then drop the decoded
+        // cache so the lookup must follow the stale locators to disk.
+        let referencer = index.lsm_referencer();
+        for ext in em.extents_owned_by(shardstore_superblock::Owner::LsmData) {
+            index.cache().reclaim(ext, Stream::Lsm, &referencer).unwrap();
+        }
+        pump(&index);
+        index.drop_decoded_cache();
+        fired = true;
+    };
+    assert_eq!(
+        index.get_with_race_hook(3, &mut hook).unwrap(),
+        Some(vec![loc(3, 3, 3)]),
+        "retried read must return the value via the relocated table"
+    );
+    assert!(fired);
+    assert!(
+        coverage::count("lsm.get.retry_relocated") >= 1,
+        "the stale-snapshot read must have retried"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Reverse-map (key -> locators) bookkeeping in the data referencer.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_locator_claim_survives_first_owner_overwrite() {
+    // Two keys claiming the same locator: the newer claim owns it, and
+    // the older key's overwrite must not revoke the newer key's claim.
+    let index = setup();
+    let referencer = index.data_referencer();
+    let l = loc(3, 0, 1);
+    index.put2(1, vec![l]);
+    index.put2(2, vec![l]);
+    index.put2(1, vec![loc(4, 0, 2)]);
+    assert!(referencer.is_live(&l), "key 2 still references the locator");
+    index.put2(2, vec![loc(4, 10, 3)]);
+    assert!(!referencer.is_live(&l), "no key references the locator anymore");
+}
+
+#[test]
+fn data_referencer_matches_brute_force_model_under_churn() {
+    use std::collections::{BTreeMap, BTreeSet};
+    let index = setup_with(
+        Geometry { extent_count: 64, pages_per_extent: 16, page_size: 128 },
+        FaultConfig::none(),
+    );
+    let referencer = index.data_referencer();
+    let mut expected: BTreeMap<u128, Vec<Locator>> = BTreeMap::new();
+    let mut all: BTreeSet<Locator> = BTreeSet::new();
+    let mut rng: u64 = 0xD00D_F00D;
+    let mut next = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for step in 0..400u32 {
+        let key = (next() % 12) as u128;
+        match next() % 6 {
+            0..=3 => {
+                let n = 1 + (next() % 3) as usize;
+                let locators: Vec<Locator> = (0..n)
+                    .map(|i| loc(3 + (next() % 4) as u32, step * 8 + i as u32, step as u128))
+                    .collect();
+                all.extend(locators.iter().copied());
+                index.put2(key, locators.clone());
+                expected.insert(key, locators);
+            }
+            4 => {
+                index.delete(key);
+                expected.remove(&key);
+            }
+            _ => {
+                if index.memtable_len() > 0 && step % 3 == 0 {
+                    index.flush().unwrap();
+                }
+            }
+        }
+    }
+    // Every locator ever handed out is live iff some key still maps to it.
+    for l in &all {
+        let model_live = expected.values().any(|ls| ls.contains(l));
+        assert_eq!(referencer.is_live(l), model_live, "locator {l:?} liveness diverged");
+    }
 }

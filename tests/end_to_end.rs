@@ -151,6 +151,7 @@ fn geometry_variants_all_work() {
             flush_threshold: 4,
             cache_capacity: geometry.page_size * 2,
             uuid_seed: 5,
+            ..StoreConfig::default()
         };
         let s = Store::format(geometry, config, FaultConfig::none());
         s.put(1, &vec![9u8; geometry.page_size + 3]).unwrap();

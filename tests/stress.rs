@@ -82,6 +82,7 @@ fn sstables_spanning_many_chunks() {
         flush_threshold: 64, // flush manually
         cache_capacity: 512,
         uuid_seed: 9,
+        ..StoreConfig::default()
     };
     let store = Store::format(geometry, config, FaultConfig::none());
     // Enough distinct keys that one SSTable far exceeds an extent.

@@ -1,0 +1,323 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The workspace builds without registry access, so the external
+//! `criterion` dependency is replaced by this vendored shim covering the
+//! surface the bench crate uses: `Criterion`, `benchmark_group`,
+//! `throughput`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`
+//! and `iter_batched`, and the `criterion_group!`/`criterion_main!`
+//! macros. Statistics are intentionally simple — per-sample means with an
+//! adaptive iteration count — but the measurement loop is real, so
+//! relative comparisons (the only thing this workspace's benches are used
+//! for) are meaningful.
+//!
+//! Pass `--json <path>` (or set `CRITERION_JSON=<path>`) to a bench
+//! binary to also write machine-readable results.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Units for reporting throughput alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup between timed routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; one setup per timed routine call.
+    SmallInput,
+    /// Large per-iteration inputs; identical here.
+    LargeInput,
+    /// One input per batch; identical here.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 15 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_bench(name.into(), None, sample_size, f);
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares the work per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        run_bench(id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (reporting happens as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timed iterations for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    /// (total duration, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(8);
+const MAX_BENCH_TIME: Duration = Duration::from_secs(5);
+
+impl Bencher {
+    /// Times `routine`, called in an adaptive-length loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + calibration: how many iterations fill a sample?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((t.elapsed(), per_sample));
+            if bench_start.elapsed() > MAX_BENCH_TIME {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; only `routine` is
+    /// timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Calibration run (timed separately, not recorded).
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                total += t.elapsed();
+            }
+            self.samples.push((total, per_sample));
+            if bench_start.elapsed() > MAX_BENCH_TIME {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench(
+    id: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { sample_size, samples: Vec::new() };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        return;
+    }
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(d, n)| d.as_nanos() as f64 / (*n).max(1) as f64)
+        .collect();
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min_ns = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let result =
+        BenchResult { id, mean_ns, min_ns, samples: per_iter.len(), throughput };
+    report(&result);
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(result);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(r: &BenchResult) {
+    let rate = match r.throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / r.mean_ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 * 1e9 / r.mean_ns / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{:<44} time: [mean {} | best {}]{rate}",
+        r.id,
+        format_ns(r.mean_ns),
+        format_ns(r.min_ns)
+    );
+}
+
+/// Writes collected results and any `--json` output. Called by
+/// `criterion_main!` after all groups run.
+#[doc(hidden)]
+pub fn finalize() {
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let json_path = std::env::var("CRITERION_JSON").ok().or_else(|| {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned())
+    });
+    let Some(path) = json_path else { return };
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let throughput = match r.throughput {
+            Some(Throughput::Elements(n)) => format!("{{\"elements\": {n}}}"),
+            Some(Throughput::Bytes(n)) => format!("{{\"bytes\": {n}}}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"throughput\": {}}}{}\n",
+            r.id,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            throughput,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+/// Defines a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running each group then finalizing reports.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+        }
+        acc
+    }
+
+    #[test]
+    fn groups_measure_and_record() {
+        let mut c = Criterion::default().sample_size(3);
+        {
+            let mut g = c.benchmark_group("unit");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("spin", |b| b.iter(|| spin(100)));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 50u64, spin, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|r| r.id == "unit/spin" && r.mean_ns > 0.0));
+        assert!(results.iter().any(|r| r.id == "unit/batched"));
+    }
+}

@@ -1,0 +1,898 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The workspace builds without registry access, so the external `proptest`
+//! dependency is replaced by this vendored shim. It implements the exact
+//! surface the workspace uses — the `proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!`, and `prop_assume!` macros; `any`,
+//! `Just`, integer/float range strategies, a character-class string
+//! strategy, tuples, `collection::vec`, `prop_map`, `boxed`, and
+//! `Union::new_weighted`; plus `TestRunner`/`TestRng`/`Config` — with one
+//! deliberate simplification: failing inputs are reported but **not
+//! shrunk** (`simplify` always returns `false`). The harness crate carries
+//! its own delta-debugging minimizer, so shrinking here is redundant.
+//!
+//! Runs are deterministic: `TestRunner::new` seeds from a fixed constant,
+//! so a failure reproduces on re-run without a persistence file.
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Test execution: runner, RNG, and configuration.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// RNG algorithm selector (only ChaCha is named by callers; the
+    /// backing engine here is xoshiro either way).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RngAlgorithm {
+        /// The default algorithm.
+        ChaCha,
+    }
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds a RNG from an explicit byte seed.
+        pub fn from_seed(_algorithm: RngAlgorithm, seed: &[u8]) -> Self {
+            let mut full = [0u8; 32];
+            for (i, b) in seed.iter().take(32).enumerate() {
+                full[i] = *b;
+            }
+            Self { inner: StdRng::from_seed(full) }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for a pass.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the input is a counterexample.
+        Fail(String),
+        /// The input did not satisfy a `prop_assume!`; draw another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed-assertion error.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self::Fail(message.into())
+        }
+
+        /// A rejected-input marker.
+        pub fn reject(message: impl Into<String>) -> Self {
+            Self::Reject(message.into())
+        }
+    }
+
+    /// Result alias used by generated test closures.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives strategies: draws values and counts cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    const DEFAULT_SEED: &[u8; 32] = b"shardstore-proptest-shim-seed\0\0\0";
+
+    impl TestRunner {
+        /// A runner with the given config and the fixed default seed.
+        pub fn new(config: Config) -> Self {
+            Self { config, rng: TestRng::from_seed(RngAlgorithm::ChaCha, DEFAULT_SEED) }
+        }
+
+        /// A runner with default config and the fixed default seed.
+        pub fn deterministic() -> Self {
+            Self::new(Config::default())
+        }
+
+        /// A runner with an explicit RNG (for seed-parameterized search).
+        pub fn new_with_rng(config: Config, rng: TestRng) -> Self {
+            Self { config, rng }
+        }
+
+        /// The runner's RNG, for strategies to draw from.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+
+        /// The runner's configuration.
+        pub fn config(&self) -> &Config {
+            &self.config
+        }
+    }
+
+    /// Executes `config.cases` cases of `test` over `strategy`; returns a
+    /// human-readable failure report on the first counterexample. Inputs
+    /// rejected by `prop_assume!` don't count as cases (bounded retries).
+    pub fn run_proptest<S: crate::strategy::Strategy>(
+        runner: &mut TestRunner,
+        strategy: S,
+        test: impl Fn(S::Value) -> TestCaseResult,
+    ) -> Result<(), String> {
+        let cases = runner.config().cases;
+        let mut rejects = 0u64;
+        let max_rejects = (cases as u64).saturating_mul(8).max(1024);
+        let mut passed = 0u32;
+        while passed < cases {
+            let value = strategy
+                .new_tree(runner)
+                .map_err(|reason| format!("strategy failed to generate a value: {reason}"))?
+                .current();
+            let rendered = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        return Err(format!(
+                            "too many inputs rejected by prop_assume! ({rejects}); last: {why}"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "proptest case failed after {passed} passing case(s): {message}\n\
+                         counterexample input: {rendered}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `Strategy`/`ValueTree` abstraction and combinators.
+pub mod strategy {
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Reason a strategy could not produce a value.
+    pub type Reason = String;
+
+    /// Result of instantiating one value tree.
+    pub type NewTree<V> = Result<Box<dyn ValueTree<Value = V>>, Reason>;
+
+    /// A generated value (no shrinking in this shim: `simplify` is always
+    /// `false`, so `current` is stable).
+    pub trait ValueTree {
+        /// The value type produced.
+        type Value;
+
+        /// The current value.
+        fn current(&self) -> Self::Value;
+
+        /// Attempts to shrink; this shim never shrinks.
+        fn simplify(&mut self) -> bool {
+            false
+        }
+
+        /// Undoes a shrink step; this shim never shrinks.
+        fn complicate(&mut self) -> bool {
+            false
+        }
+    }
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value tree from the runner's RNG.
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f: Arc::new(f) }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: Arc::new(self) }
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Arc<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            Self { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<V> Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("BoxedStrategy").finish_non_exhaustive()
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<V> {
+            self.inner.new_tree(runner)
+        }
+    }
+
+    struct Sampled<V: Clone> {
+        value: V,
+    }
+
+    impl<V: Clone> ValueTree for Sampled<V> {
+        type Value = V;
+        fn current(&self) -> V {
+            self.value.clone()
+        }
+    }
+
+    /// Strategy producing exactly one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn new_tree(&self, _runner: &mut TestRunner) -> NewTree<T> {
+            Ok(Box::new(Sampled { value: self.0.clone() }))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                    if self.start >= self.end {
+                        return Err(format!("empty range {:?}", self));
+                    }
+                    let value = runner.rng().gen_range(self.clone());
+                    Ok(Box::new(Sampled { value }))
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                    if self.start() > self.end() {
+                        return Err(format!("empty range {:?}", self));
+                    }
+                    let value = runner.rng().gen_range(self.clone());
+                    Ok(Box::new(Sampled { value }))
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<f64> {
+            if self.start >= self.end {
+                return Err(format!("empty range {:?}", self));
+            }
+            let value = runner.rng().gen_range(self.clone());
+            Ok(Box::new(Sampled { value }))
+        }
+    }
+
+    /// Character-class string strategy: `&'static str` patterns of the
+    /// form `[class]{m,n}` (a subset of proptest's regex strategies
+    /// covering what the workspace uses: classes with ranges, literals,
+    /// and `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<String> {
+            let units = parse_pattern(self)?;
+            let mut out = String::new();
+            for unit in &units {
+                let n = if unit.min == unit.max {
+                    unit.min
+                } else {
+                    runner.rng().gen_range(unit.min..=unit.max)
+                };
+                for _ in 0..n {
+                    let idx = runner.rng().gen_range(0..unit.alphabet.len());
+                    out.push(unit.alphabet[idx]);
+                }
+            }
+            Ok(Box::new(Sampled { value: out }))
+        }
+    }
+
+    struct PatternUnit {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Result<Vec<PatternUnit>, Reason> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut units = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|c| *c == ']')
+                        .ok_or_else(|| format!("unclosed class in pattern {pattern:?}"))?
+                        + i;
+                    let class = &chars[i + 1..close];
+                    i = close + 1;
+                    expand_class(class, pattern)?
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| format!("dangling escape in pattern {pattern:?}"))?;
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern)?;
+            units.push(PatternUnit { alphabet, min, max });
+        }
+        Ok(units)
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Result<Vec<char>, Reason> {
+        let mut alphabet = Vec::new();
+        let mut j = 0;
+        while j < class.len() {
+            if j + 2 < class.len() && class[j + 1] == '-' {
+                let (lo, hi) = (class[j] as u32, class[j + 2] as u32);
+                if lo > hi {
+                    return Err(format!("inverted class range in pattern {pattern:?}"));
+                }
+                for c in lo..=hi {
+                    alphabet.push(char::from_u32(c).expect("class range stays in char space"));
+                }
+                j += 3;
+            } else {
+                alphabet.push(class[j]);
+                j += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return Err(format!("empty class in pattern {pattern:?}"));
+        }
+        Ok(alphabet)
+    }
+
+    fn parse_quantifier(
+        chars: &[char],
+        i: &mut usize,
+        pattern: &str,
+    ) -> Result<(usize, usize), Reason> {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .ok_or_else(|| format!("unclosed quantifier in pattern {pattern:?}"))?
+                    + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad quantifier {body:?} in pattern {pattern:?}"))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => Ok((parse(lo)?, parse(hi)?)),
+                    None => {
+                        let n = parse(&body)?;
+                        Ok((n, n))
+                    }
+                }
+            }
+            Some('?') => {
+                *i += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *i += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *i += 1;
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    /// Strategy mapping another strategy's output through a function.
+    pub struct Map<S, F: ?Sized> {
+        source: S,
+        f: Arc<F>,
+    }
+
+    impl<S: Clone, F: ?Sized> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Self { source: self.source.clone(), f: Arc::clone(&self.f) }
+        }
+    }
+
+    struct MapTree<I, F: ?Sized> {
+        inner: Box<dyn ValueTree<Value = I>>,
+        f: Arc<F>,
+    }
+
+    impl<I, O, F> ValueTree for MapTree<I, F>
+    where
+        F: Fn(I) -> O + ?Sized,
+    {
+        type Value = O;
+        fn current(&self) -> O {
+            (self.f)(self.inner.current())
+        }
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        S::Value: 'static,
+        O: Debug,
+        F: Fn(S::Value) -> O + 'static,
+    {
+        type Value = O;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<O> {
+            let inner = self.source.new_tree(runner)?;
+            Ok(Box::new(MapTree { inner, f: Arc::clone(&self.f) }))
+        }
+    }
+
+    /// Weighted choice among strategies of a common value type.
+    pub struct Union<S: Strategy> {
+        options: Vec<(u32, S)>,
+        total: u64,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// Builds a union choosing each option proportionally to its
+        /// weight. Panics if empty or all-zero-weight.
+        pub fn new_weighted(options: Vec<(u32, S)>) -> Self {
+            let total: u64 = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "Union::new_weighted needs a positive total weight");
+            Self { options, total }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<S::Value> {
+            let mut roll = runner.rng().gen_range(0..self.total);
+            for (weight, option) in &self.options {
+                let weight = *weight as u64;
+                if roll < weight {
+                    return option.new_tree(runner);
+                }
+                roll -= weight;
+            }
+            unreachable!("weighted roll exceeded total weight");
+        }
+    }
+
+    struct TupleTree<T> {
+        children: T,
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: 'static,)+
+            {
+                type Value = ($($name::Value,)+);
+                fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value> {
+                    Ok(Box::new(TupleTree {
+                        children: ($(self.$idx.new_tree(runner)?,)+),
+                    }))
+                }
+            }
+
+            impl<$($name),+> ValueTree for TupleTree<($(Box<dyn ValueTree<Value = $name>>,)+)> {
+                type Value = ($($name,)+);
+                fn current(&self) -> Self::Value {
+                    ($(self.children.$idx.current(),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+    /// Marker for [`crate::arbitrary::any`] (kept here so `Strategy` is
+    /// implemented next to its peers).
+    #[derive(Debug)]
+    pub struct Any<T> {
+        pub(crate) marker: PhantomData<T>,
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Self { marker: PhantomData }
+        }
+    }
+
+    impl<T> Strategy for Any<T>
+    where
+        T: rand::StandardSample + Clone + Debug + 'static,
+    {
+        type Value = T;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<T> {
+            let value = runner.rng().gen::<T>();
+            Ok(Box::new(Sampled { value }))
+        }
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::Any;
+
+    /// A strategy producing uniformly distributed values of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy,
+    {
+        Any { marker: PhantomData }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::{NewTree, Strategy, ValueTree};
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max_exclusive: r.end().saturating_add(1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    struct VecTree<V> {
+        children: Vec<Box<dyn ValueTree<Value = V>>>,
+    }
+
+    impl<V> ValueTree for VecTree<V> {
+        type Value = Vec<V>;
+        fn current(&self) -> Vec<V> {
+            self.children.iter().map(|c| c.current()).collect()
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug + 'static,
+    {
+        type Value = Vec<S::Value>;
+        fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Vec<S::Value>> {
+            if self.size.min >= self.size.max_exclusive {
+                return Err(format!(
+                    "empty vec size range {}..{}",
+                    self.size.min, self.size.max_exclusive
+                ));
+            }
+            let n = runner.rng().gen_range(self.size.min..self.size.max_exclusive);
+            let mut children = Vec::with_capacity(n);
+            for _ in 0..n {
+                children.push(self.element.new_tree(runner)?);
+            }
+            Ok(Box::new(VecTree { children }))
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `Config::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strategy:expr ),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strategy = ( $( $strategy, )+ );
+            let outcome = $crate::test_runner::run_proptest(
+                &mut runner,
+                strategy,
+                |( $( $pat, )+ )| {
+                    $body;
+                    ::core::result::Result::Ok(())
+                },
+            );
+            if let ::core::result::Result::Err(message) = outcome {
+                panic!("{}", message);
+            }
+        }
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( ($weight, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Asserts inside a property body; failure reports the counterexample
+/// input instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards inputs that don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::{Strategy, Union, ValueTree};
+    use crate::test_runner::TestRunner;
+
+    fn sample<T: std::fmt::Debug>(s: impl Strategy<Value = T>, n: usize) -> Vec<T> {
+        let mut runner = TestRunner::deterministic();
+        (0..n).map(|_| s.new_tree(&mut runner).unwrap().current()).collect()
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        for v in sample(3u8..17, 500) {
+            assert!((3..17).contains(&v));
+        }
+        for v in sample(1u8..=255, 500) {
+            assert!(v >= 1);
+        }
+        for v in sample(0.0f64..1.0, 500) {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_bias_choice() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Pick {
+            Heavy,
+            Light,
+        }
+        let s = prop_oneof![
+            9 => Just(Pick::Heavy),
+            1 => Just(Pick::Light),
+        ];
+        let picks = sample(s, 1000);
+        let heavy = picks.iter().filter(|p| **p == Pick::Heavy).count();
+        assert!(heavy > 700, "heavy={heavy}");
+        assert!(heavy < 1000, "light never chosen");
+    }
+
+    #[test]
+    fn union_new_weighted_delegates() {
+        let s = Union::new_weighted(vec![(1u32, Just(4usize).boxed()), (1, Just(9).boxed())]);
+        let vals = sample(s, 200);
+        assert!(vals.contains(&4) && vals.contains(&9));
+    }
+
+    #[test]
+    fn vec_and_tuple_and_map_compose() {
+        let s = crate::collection::vec((any::<u8>(), 0u8..4).prop_map(|(a, b)| a as u32 + b as u32), 1..9);
+        for v in sample(s, 100) {
+            assert!((1..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let vals = sample("[a-zA-Z0-9 ]{0,40}", 200);
+        assert!(vals.iter().any(|s| !s.is_empty()));
+        for s in vals {
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: bindings, assertions, and assumptions.
+        #[test]
+        fn macro_roundtrip(a in any::<u64>(), b in 1usize..10, v in crate::collection::vec(any::<u8>(), 0..5)) {
+            prop_assume!(b > 0);
+            prop_assert!(b < 10);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(b, 10);
+            prop_assert!(v.len() < 5, "len was {}", v.len());
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_counterexample() {
+        let mut runner = TestRunner::deterministic();
+        let err = crate::test_runner::run_proptest(&mut runner, (0u8..10,), |(v,)| {
+            crate::prop_assert!(v < 5);
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(err.contains("counterexample input"), "{err}");
+    }
+}

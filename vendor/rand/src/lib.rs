@@ -1,0 +1,283 @@
+//! Offline drop-in subset of `rand` 0.8.
+//!
+//! The workspace builds without registry access, so the external `rand`
+//! dependency is replaced by this vendored shim. It provides the subset the
+//! workspace uses — `rngs::StdRng`, `SeedableRng::{from_seed, seed_from_u64}`,
+//! and `Rng::{gen, gen_range, gen_bool, fill_bytes}` — deterministically
+//! backed by xoshiro256** (seeded via splitmix64). Streams differ from the
+//! real `rand` crate, which is fine: every consumer in this workspace only
+//! requires determinism for a fixed seed, not rand-compatible streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of `u64` randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunk = [0u8; 8];
+        let mut have = 0usize;
+        for b in dest.iter_mut() {
+            if have == 0 {
+                chunk = self.next_u64().to_le_bytes();
+                have = 8;
+            }
+            *b = chunk[8 - have];
+            have -= 1;
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (`rand`'s `Standard`
+/// distribution, flattened into a single trait).
+pub trait StandardSample {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly distributed mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts (`rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range. Panics if empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (u128::sample(rng) % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u128 + 1;
+                if span == 0 {
+                    // Full u128 range: every draw is in range.
+                    return u128::sample(rng) as $t;
+                }
+                start + (u128::sample(rng) % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::sample(rng) % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (u128::sample(rng) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, as in `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the `Standard` distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable RNG constructors, as in `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64` via splitmix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256**-backed standard RNG.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // Avoid the all-zero state, which xoshiro cannot escape.
+            if s == [0, 0, 0, 0] {
+                let mut sm = 0xDEAD_BEEF_CAFE_F00Du64;
+                for word in s.iter_mut() {
+                    *word = splitmix64(&mut sm);
+                }
+            }
+            Self { s }
+        }
+    }
+
+    /// Small-footprint RNG; same engine as [`StdRng`] here.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(u64::MAX / 2..u64::MAX);
+            assert!(w >= u64::MAX / 2);
+            let x: u8 = rng.gen_range(1u8..=255);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.4)).count();
+        assert!((3_000..5_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn u128_uses_two_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v: u128 = rng.gen();
+        assert!(v > u64::MAX as u128 || v.leading_zeros() >= 64);
+    }
+}
