@@ -161,6 +161,79 @@ fn bench_read_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// The write path with group commit: the same 32-shard workload as
+/// `kv_ops/put_1k`, issued one put at a time (the serial reference),
+/// through [`Store::put_batch`] (one dependency group, one superblock
+/// update, coalesced disk IOs), with the batch forced through the
+/// WAL-like barrier scheduler (the serial-path ablation: grouping with
+/// no coalescing to gain from it), and under a flush-heavy regime where
+/// the LSM's group-sealed memtable flushes dominate.
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_write_path");
+    group.throughput(Throughput::Elements(1));
+    let payload = vec![0xABu8; 1024];
+
+    group.bench_function("put_serial_1k", |b| {
+        b.iter_batched(
+            fresh_store,
+            |store| {
+                for shard in 0..32u128 {
+                    store.put(shard, &payload).unwrap();
+                }
+                store.pump().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let make_batch = || -> Vec<(u128, Vec<u8>)> {
+        (0..32u128).map(|shard| (shard, vec![0xABu8; 1024])).collect()
+    };
+
+    group.bench_function("put_batch_1k", |b| {
+        b.iter_batched(
+            || (fresh_store(), make_batch()),
+            |(store, batch)| {
+                store.put_batch(&batch).unwrap();
+                store.pump().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("put_batch_1k_barrier", |b| {
+        b.iter_batched(
+            || {
+                let store = fresh_store();
+                store.scheduler().set_barrier_mode(true);
+                (store, make_batch())
+            },
+            |(store, batch)| {
+                store.put_batch(&batch).unwrap();
+                store.pump().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("put_flush_heavy", |b| {
+        b.iter_batched(
+            fresh_store,
+            |store| {
+                for shard in 0..32u128 {
+                    store.put(shard, &payload).unwrap();
+                    if shard % 4 == 3 {
+                        store.flush_index().unwrap();
+                    }
+                }
+                store.pump().unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 /// The §2.2 motivation: soft updates let independent writes coalesce; a
 /// WAL-like barrier per write cannot.
 fn bench_coalescing_ablation(c: &mut Criterion) {
@@ -189,5 +262,11 @@ fn bench_coalescing_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_put_get, bench_read_path, bench_coalescing_ablation);
+criterion_group!(
+    benches,
+    bench_put_get,
+    bench_read_path,
+    bench_write_path,
+    bench_coalescing_ablation
+);
 criterion_main!(benches);

@@ -217,6 +217,27 @@ impl CachedChunkStore {
         Ok(out)
     }
 
+    /// Writes several chunks as one group commit (see
+    /// [`ChunkStore::put_batch`]). Like [`CachedChunkStore::put`], the
+    /// cache itself is untouched — the batch goes straight to the chunk
+    /// store's grouped write path.
+    pub fn put_batch(
+        &self,
+        stream: Stream,
+        payloads: &[&[u8]],
+        dep: &Dependency,
+    ) -> Result<Vec<PutOutcome>, ChunkError> {
+        let mut outs = self.store.put_batch(stream, payloads, dep)?;
+        if self.faults.is(BugId::B8MissingPointerDependency) {
+            // BUG B8 (seeded): same missing-pointer-dependency defect as
+            // the single-put path.
+            for out in &mut outs {
+                out.dep = out.data_dep.clone();
+            }
+        }
+        Ok(outs)
+    }
+
     /// Invalidates a single cache entry (e.g. on delete).
     pub fn invalidate(&self, locator: &Locator) {
         let mut st = self.segment(locator).lock();

@@ -503,6 +503,101 @@ impl ChunkStore {
         })
     }
 
+    /// Stores several chunks as one group commit. The whole batch targets
+    /// a single extent and shares one superblock pointer update (see
+    /// [`ExtentManager::append_batch`]), so the scheduler can merge the
+    /// contiguous frames into one disk IO. Each element still gets its own
+    /// locator, dependencies, and [`PutGuard`], exactly as if stored by
+    /// [`ChunkStore::put`]. Batches that cannot fit one extent (or lose a
+    /// space race) degrade to per-chunk puts — the batch is an
+    /// optimisation, never a semantic change.
+    pub fn put_batch(
+        &self,
+        stream: Stream,
+        payloads: &[&[u8]],
+        dep: &Dependency,
+    ) -> Result<Vec<PutOutcome>, ChunkError> {
+        match payloads {
+            [] => return Ok(Vec::new()),
+            [single] => return Ok(vec![self.put(stream, single, dep)?]),
+            _ => {}
+        }
+        let total: usize = payloads.iter().map(|p| p.len() + FRAME_OVERHEAD).sum();
+        if total > self.core.em.extent_size() {
+            // Too big to ever group in one extent; store individually.
+            coverage::hit("chunk.put_batch.split_oversize");
+            return payloads.iter().map(|p| self.put(stream, p, dep)).collect();
+        }
+        let pinning = !self.core.faults.is(BugId::B11LocatorRace);
+        let extent = loop {
+            let candidate = self.target_extent(stream, total)?;
+            let mut st = self.core.state.lock();
+            if st.reclaiming.contains(&candidate.0) {
+                drop(st);
+                shardstore_conc::yield_now();
+                continue;
+            }
+            if pinning {
+                // One pin per outcome: every returned PutGuard releases
+                // its own, matching the single-put contract.
+                *st.pinned.entry(candidate.0).or_insert(0) += payloads.len();
+            }
+            break candidate;
+        };
+        let mut st = self.core.state.lock();
+        let uuids: Vec<u128> = payloads.iter().map(|_| Self::next_uuid(&mut st)).collect();
+        drop(st);
+        let frames: Vec<Vec<u8>> =
+            payloads.iter().zip(&uuids).map(|(p, u)| encode_frame(p, *u)).collect();
+        let frame_refs: Vec<&[u8]> = frames.iter().map(|f| f.as_slice()).collect();
+        let outcomes = match self.core.em.append_batch(extent, &frame_refs, dep) {
+            Ok(v) => v,
+            Err(e) => {
+                if pinning {
+                    let mut st = self.core.state.lock();
+                    if let Some(n) = st.pinned.get_mut(&extent.0) {
+                        *n -= payloads.len();
+                        if *n == 0 {
+                            st.pinned.remove(&extent.0);
+                        }
+                    }
+                }
+                if let ExtentError::ExtentFull { .. } = e {
+                    // Lost a space race for the open extent; per-chunk
+                    // puts re-target (and may spread across extents).
+                    coverage::hit("chunk.put_batch.retry_full");
+                    return payloads.iter().map(|p| self.put(stream, p, dep)).collect();
+                }
+                return Err(e.into());
+            }
+        };
+        coverage::hit("chunk.put_batch.grouped");
+        let guard_extent = if pinning { extent } else { ExtentId(u32::MAX) };
+        let mut st = self.core.state.lock();
+        let mut out = Vec::with_capacity(payloads.len());
+        for ((payload, uuid), ao) in payloads.iter().zip(&uuids).zip(outcomes) {
+            let locator = Locator {
+                extent,
+                offset: ao.offset as u32,
+                len: payload.len() as u32,
+                uuid: *uuid,
+            };
+            st.registry.entry(extent.0).or_default().insert(
+                locator.offset,
+                ChunkMeta { len: locator.len, uuid: *uuid, dead_hint: false },
+            );
+            st.stats.puts += 1;
+            out.push(PutOutcome {
+                locator,
+                data_dep: ao.data,
+                dep: ao.dep,
+                guard: PutGuard { store: self.clone(), extent: guard_extent },
+            });
+        }
+        drop(st);
+        Ok(out)
+    }
+
     /// Reads a chunk back, validating its frame. Corruption is detected
     /// and reported as [`ChunkError::Corrupt`] — never returned as data.
     pub fn get(&self, locator: &Locator) -> Result<Vec<u8>, ChunkError> {

@@ -63,6 +63,50 @@ mod tests {
     }
 
     #[test]
+    fn put_batch_matches_sequential_puts() {
+        let s = store();
+        assert!(s.put_batch(&[]).unwrap().is_empty());
+        let batch: Vec<(u128, Vec<u8>)> = vec![
+            (1, b"one".to_vec()),
+            (2, vec![7u8; 300]),      // multi-chunk element
+            (3, Vec::new()),          // empty element
+            (2, b"two-v2".to_vec()),  // duplicate key: later wins
+        ];
+        let deps = s.put_batch(&batch).unwrap();
+        assert_eq!(deps.len(), 4);
+        assert_eq!(s.get(1).unwrap().unwrap(), b"one");
+        assert_eq!(s.get(2).unwrap().unwrap(), b"two-v2");
+        assert_eq!(s.get(3).unwrap().unwrap(), b"");
+        s.clean_shutdown().unwrap();
+        for dep in &deps {
+            assert!(dep.is_persistent());
+        }
+        let s2 = s.dirty_reboot(&CrashPlan::LoseAll).unwrap();
+        assert_eq!(s2.get(1).unwrap().unwrap(), b"one");
+        assert_eq!(s2.get(2).unwrap().unwrap(), b"two-v2");
+        assert_eq!(s2.get(3).unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn put_batch_persists_under_background_writeback() {
+        use shardstore_dependency::{WritebackConfig, WritebackMode};
+        let s = store();
+        let sched = s.scheduler();
+        sched.set_writeback_mode(WritebackMode::Background(WritebackConfig::default()));
+        let deps = s
+            .put_batch(&(0..8u128).map(|k| (k, vec![k as u8; 20])).collect::<Vec<_>>())
+            .unwrap();
+        s.flush_index().unwrap();
+        sched.quiesce().unwrap();
+        for dep in &deps {
+            assert!(dep.is_persistent());
+        }
+        for k in 0..8u128 {
+            assert_eq!(s.get(k).unwrap().unwrap(), vec![k as u8; 20]);
+        }
+    }
+
+    #[test]
     fn overwrite_returns_latest() {
         let s = store();
         s.put(4, b"v1").unwrap();

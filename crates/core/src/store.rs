@@ -258,6 +258,64 @@ impl Store {
         Ok(dep)
     }
 
+    /// Stores several shards as one group commit. All elements' data
+    /// chunks go down as a single grouped batch — one shared superblock
+    /// pointer update, contiguous frames coalesced into fewer disk IOs —
+    /// then each element's index entry is recorded individually. The
+    /// batch is atomic *per element*, exactly as if the puts had run back
+    /// to back (later duplicates of a key overwrite earlier ones); it is
+    /// never all-or-nothing across elements. Returns one durability
+    /// dependency per element, in input order.
+    pub fn put_batch(&self, shards: &[(u128, Vec<u8>)]) -> Result<Vec<Dependency>, StoreError> {
+        self.check_service()?;
+        if shards.is_empty() {
+            return Ok(Vec::new());
+        }
+        let none = self.scheduler().none();
+        let max = self.config.max_chunk_size.max(1);
+        // Chunk every element up front, remembering how many pieces each
+        // contributed so the grouped outcomes can be handed back out.
+        let mut pieces: Vec<&[u8]> = Vec::new();
+        let mut counts: Vec<usize> = Vec::with_capacity(shards.len());
+        for (_, data) in shards {
+            let before = pieces.len();
+            if data.is_empty() {
+                pieces.push(&[][..]);
+            } else {
+                pieces.extend(data.chunks(max));
+            }
+            counts.push(pieces.len() - before);
+        }
+        coverage::hit("store.put_batch");
+        let mut outs = self.cache().put_batch(Stream::Data, &pieces, &none)?.into_iter();
+        let mut deps_out = Vec::with_capacity(shards.len());
+        for ((shard, _), n) in shards.iter().zip(counts) {
+            let mut locators = Vec::with_capacity(n);
+            let mut deps = Vec::with_capacity(n + 1);
+            let mut data_deps = Vec::with_capacity(n);
+            let mut guards = Vec::with_capacity(n);
+            for _ in 0..n {
+                let out = outs.next().expect("one outcome per piece");
+                locators.push(out.locator);
+                deps.push(out.dep);
+                data_deps.push(out.data_dep);
+                guards.push(out.guard);
+            }
+            if let Some(old) = self.index.get(*shard)? {
+                for locator in &old {
+                    self.cache().chunk_store().mark_dead(locator);
+                }
+            }
+            let data_dep = self.scheduler().join(&data_deps);
+            let index_dep = self.index.put(*shard, locators, data_dep);
+            drop(guards);
+            deps.push(index_dep);
+            deps_out.push(self.scheduler().join(&deps));
+        }
+        self.maybe_flush()?;
+        Ok(deps_out)
+    }
+
     /// Reads a shard. Returns `None` for absent shards; corruption is
     /// always detected and surfaced as an error, never as wrong data.
     ///

@@ -26,18 +26,36 @@
 //!   persistent only once some future LSM flush and metadata write land,
 //!   so `put` returns a promise that the flush seals afterwards.
 //!
-//! The scheduler also implements *write coalescing*: contiguous pending
-//! writes to the same extent are merged into one disk IO when issued
-//! (Fig. 2's two puts sharing one IO), and pending writes can be *amended*
-//! in place ([`IoScheduler::amend_pending_write`]) which is how superblock
+//! # Group commit
+//!
+//! Persistence is resolved *event-driven*: every node counts its
+//! unresolved dependencies, and completion events (a flush persisting a
+//! write, a promise being sealed) cascade through reverse edges, feeding a
+//! ready queue of issueable writes. Nothing is polled; pumping pops the
+//! ready queue, groups the whole batch per extent, merges contiguous
+//! same-extent writes into single disk IOs (Fig. 2's two puts sharing one
+//! IO), and [`IoScheduler::flush_issued`] fences only the extents the
+//! batch actually dirtied instead of barriering the whole disk. Pending
+//! writes can also be *amended* in place
+//! ([`IoScheduler::amend_pending_write`]), which is how superblock
 //! soft-write-pointer updates from many appends fold into one superblock
 //! write.
+//!
+//! Writeback can run on the caller's thread ([`WritebackMode::Deterministic`],
+//! the default — checkers rely on it for deterministic schedules) or on a
+//! background pump ([`WritebackMode::Background`]) signalled on every
+//! submission and batching work within a configurable window. Under a
+//! checked execution the pump becomes a checker-controlled task, so model
+//! checking explores its interleavings too; harnesses must call
+//! [`IoScheduler::quiesce`] before asserting (and before dropping a
+//! controlled scheduler) so no pump task outlives the execution.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
-use shardstore_conc::sync::Mutex;
+use shardstore_conc::sync::{Condvar, Mutex};
 use shardstore_vdisk::{CrashPlan, Disk, ExtentId, IoError};
 
 /// Index of a node in the scheduler's arena.
@@ -63,7 +81,15 @@ enum NodeKind {
 struct Node {
     kind: NodeKind,
     deps: Vec<NodeId>,
-    /// Memoized "this node and everything below it has persisted".
+    /// Reverse edges: nodes whose `unresolved` count includes this node.
+    /// Drained when this node resolves; a lost node never drains its
+    /// waiters, which is exactly what keeps them from persisting.
+    waiters: Vec<NodeId>,
+    /// How many of `deps` have not yet resolved. A pending write with
+    /// `unresolved == 0` is ready to issue.
+    unresolved: usize,
+    /// "This node and everything below it has persisted." Maintained
+    /// eagerly by the resolution cascade, so polling is O(1).
     persistent_memo: bool,
 }
 
@@ -76,7 +102,7 @@ pub struct SchedulerStats {
     pub ios_issued: u64,
     /// Writes that were merged into a preceding IO.
     pub writes_coalesced: u64,
-    /// Flush barriers executed.
+    /// Flush barriers executed (one per fenced extent).
     pub flushes: u64,
     /// Writes lost to crashes before being issued.
     pub writes_lost_pending: u64,
@@ -87,19 +113,92 @@ pub struct SchedulerStats {
     pub waw_dependencies: u64,
     /// Writes re-queued after a transient IO failure.
     pub writes_retried: u64,
+    /// Group-commit batches issued (one per `issue_ready` call that
+    /// issued at least one write).
+    pub batches_issued: u64,
+    /// Extents fenced by flushes (only dirty extents are ever fenced).
+    pub extents_fenced: u64,
+    /// Current depth of the ready queue (writes issueable right now);
+    /// a snapshot taken when the stats are read, not a counter.
+    pub queue_depth: u64,
 }
 
 #[derive(Debug)]
 struct Inner {
     nodes: Vec<Node>,
-    /// Write nodes not yet issued, in submission order.
+    /// Write nodes not yet issued, in submission order (the
+    /// read-your-writes overlay and crash semantics need this order).
     pending: VecDeque<NodeId>,
-    /// Write nodes issued to the disk cache but not yet flushed.
-    issued: Vec<NodeId>,
+    /// Pending writes whose dependencies have all resolved, in the order
+    /// they became ready. Entries can go stale (amended with new deps,
+    /// issued via a duplicate entry, lost to a crash); consumers re-check
+    /// readiness when popping.
+    ready: VecDeque<NodeId>,
+    /// Issued-but-unflushed writes, grouped by the extent they dirtied.
+    issued: BTreeMap<ExtentId, Vec<NodeId>>,
+    issued_total: usize,
     /// When true, every write is flushed individually as it is issued
     /// (the "global barrier" ablation mode — no coalescing benefit).
     barrier_mode: bool,
     stats: SchedulerStats,
+}
+
+/// How writeback is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritebackMode {
+    /// Writes reach the disk only when the caller pumps. The default, and
+    /// what every checker uses: schedules stay deterministic.
+    Deterministic,
+    /// A background pump issues and flushes ready writes on its own,
+    /// batching submissions within the configured window. Outside checked
+    /// executions this is a real thread signalled over a crossbeam
+    /// channel; inside one it is a checker-controlled task (the batch
+    /// window does not apply — the checker owns the schedule).
+    Background(WritebackConfig),
+}
+
+/// Tuning for [`WritebackMode::Background`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritebackConfig {
+    /// After a submission wakes the pump, how long it waits for more
+    /// submissions to batch into one group commit.
+    pub batch_window: Duration,
+    /// Pump without further waiting once this many submissions have
+    /// accumulated in the current window.
+    pub max_batch: usize,
+}
+
+impl Default for WritebackConfig {
+    fn default() -> Self {
+        Self { batch_window: Duration::from_micros(100), max_batch: 64 }
+    }
+}
+
+/// Wake-up messages for the std-thread pump.
+enum PumpSignal {
+    Work,
+    Shutdown,
+}
+
+/// Rendezvous state for the checker-controlled pump task.
+struct ControlledPump {
+    state: Mutex<ControlledPumpState>,
+    cv: Condvar,
+}
+
+struct ControlledPumpState {
+    signals: u64,
+    shutdown: bool,
+}
+
+enum PumpWorker {
+    Std { tx: crossbeam::channel::Sender<PumpSignal>, handle: std::thread::JoinHandle<()> },
+    Controlled { shared: Arc<ControlledPump>, handle: shardstore_conc::thread::JoinHandle<()> },
+}
+
+struct PumpCtl {
+    mode: WritebackMode,
+    worker: Option<PumpWorker>,
 }
 
 /// The IO scheduler: the single gateway through which all ShardStore
@@ -114,6 +213,25 @@ pub struct IoScheduler {
 struct SchedCore {
     disk: Arc<Disk>,
     inner: Mutex<Inner>,
+    pump_ctl: Mutex<PumpCtl>,
+}
+
+impl SchedCore {
+    /// Nudges the background pump, if one is running.
+    fn signal_pump(&self) {
+        let ctl = self.pump_ctl.lock();
+        match &ctl.worker {
+            None => {}
+            Some(PumpWorker::Std { tx, .. }) => {
+                let _ = tx.send(PumpSignal::Work);
+            }
+            Some(PumpWorker::Controlled { shared, .. }) => {
+                let mut st = shared.state.lock();
+                st.signals += 1;
+                shared.cv.notify_one();
+            }
+        }
+    }
 }
 
 impl fmt::Debug for IoScheduler {
@@ -122,7 +240,8 @@ impl fmt::Debug for IoScheduler {
         f.debug_struct("IoScheduler")
             .field("nodes", &inner.nodes.len())
             .field("pending", &inner.pending.len())
-            .field("issued", &inner.issued.len())
+            .field("ready", &inner.ready.len())
+            .field("issued", &inner.issued_total)
             .finish()
     }
 }
@@ -161,10 +280,13 @@ impl IoScheduler {
                 inner: Mutex::new(Inner {
                     nodes: Vec::new(),
                     pending: VecDeque::new(),
-                    issued: Vec::new(),
+                    ready: VecDeque::new(),
+                    issued: BTreeMap::new(),
+                    issued_total: 0,
                     barrier_mode: false,
                     stats: SchedulerStats::default(),
                 }),
+                pump_ctl: Mutex::new(PumpCtl { mode: WritebackMode::Deterministic, worker: None }),
             }),
         }
     }
@@ -197,57 +319,75 @@ impl IoScheduler {
         dep: &Dependency,
     ) -> Dependency {
         debug_assert!(Arc::ptr_eq(&self.core, &dep.core), "dependency from another scheduler");
-        let mut inner = self.core.inner.lock();
-        let id = inner.nodes.len();
-        let mut deps: Vec<NodeId> = dep.node.into_iter().collect();
-        // Write-after-write ordering: a write overlapping a still-pending
-        // earlier write to the same bytes must not be issued before it —
-        // otherwise dependency readiness can reorder them and the *older*
-        // data lands last. This arises when an extent reset reuses space
-        // while writes from before the reset are still queued.
-        let overlapping: Vec<NodeId> = inner
-            .pending
-            .iter()
-            .copied()
-            .filter(|p| {
-                matches!(
-                    &inner.nodes[*p].kind,
-                    NodeKind::Write { extent: e, offset: o, len: l, state, .. }
-                        if *state == WriteState::Pending
-                            && *e == extent
-                            && *o < offset + data.len()
-                            && offset < *o + *l
-                )
-            })
-            .collect();
-        inner.stats.waw_dependencies += overlapping.len() as u64;
-        deps.extend(overlapping);
-        inner.nodes.push(Node {
-            kind: NodeKind::Write {
-                extent,
-                offset,
-                len: data.len(),
-                data: Some(data),
-                state: WriteState::Pending,
-            },
-            deps,
-            persistent_memo: false,
-        });
-        inner.pending.push_back(id);
-        inner.stats.writes_submitted += 1;
+        let id;
+        {
+            let mut guard = self.core.inner.lock();
+            let inner = &mut *guard;
+            id = inner.nodes.len();
+            let mut deps: Vec<NodeId> = dep.node.into_iter().collect();
+            // Write-after-write ordering: a write overlapping a still-pending
+            // earlier write to the same bytes must not be issued before it —
+            // otherwise dependency readiness can reorder them and the *older*
+            // data lands last. This arises when an extent reset reuses space
+            // while writes from before the reset are still queued.
+            let overlapping: Vec<NodeId> = inner
+                .pending
+                .iter()
+                .copied()
+                .filter(|p| {
+                    matches!(
+                        &inner.nodes[*p].kind,
+                        NodeKind::Write { extent: e, offset: o, len: l, state, .. }
+                            if *state == WriteState::Pending
+                                && *e == extent
+                                && *o < offset + data.len()
+                                && offset < *o + *l
+                    )
+                })
+                .collect();
+            inner.stats.waw_dependencies += overlapping.len() as u64;
+            deps.extend(overlapping);
+            inner.nodes.push(Node {
+                kind: NodeKind::Write {
+                    extent,
+                    offset,
+                    len: data.len(),
+                    data: Some(data),
+                    state: WriteState::Pending,
+                },
+                deps,
+                waiters: Vec::new(),
+                unresolved: 0,
+                persistent_memo: false,
+            });
+            inner.pending.push_back(id);
+            Self::register_deps(inner, id);
+            if inner.nodes[id].unresolved == 0 {
+                inner.ready.push_back(id);
+            }
+            inner.stats.writes_submitted += 1;
+        }
+        self.core.signal_pump();
         Dependency { core: Arc::clone(&self.core), node: Some(id) }
     }
 
     /// Joins several dependencies: the result persists when all of them
     /// have persisted.
     pub fn join(&self, deps: &[Dependency]) -> Dependency {
-        let mut inner = self.core.inner.lock();
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
         let id = inner.nodes.len();
         inner.nodes.push(Node {
             kind: NodeKind::Join { sealed: true },
             deps: deps.iter().filter_map(|d| d.node).collect(),
+            waiters: Vec::new(),
+            unresolved: 0,
             persistent_memo: false,
         });
+        Self::register_deps(inner, id);
+        if inner.nodes[id].unresolved == 0 {
+            Self::resolve(inner, id);
+        }
         Dependency { core: Arc::clone(&self.core), node: Some(id) }
     }
 
@@ -258,6 +398,8 @@ impl IoScheduler {
         inner.nodes.push(Node {
             kind: NodeKind::Join { sealed: false },
             deps: Vec::new(),
+            waiters: Vec::new(),
+            unresolved: 0,
             persistent_memo: false,
         });
         Promise { dep: Dependency { core: Arc::clone(&self.core), node: Some(id) } }
@@ -275,7 +417,8 @@ impl IoScheduler {
         extra_deps: &[Dependency],
     ) -> bool {
         let Some(id) = dep.node else { return false };
-        let mut inner = self.core.inner.lock();
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
         let extra: Vec<NodeId> = extra_deps.iter().filter_map(|d| d.node).collect();
         match &mut inner.nodes[id].kind {
             NodeKind::Write { len, data, state: WriteState::Pending, .. } => {
@@ -284,157 +427,261 @@ impl IoScheduler {
             }
             _ => return false,
         }
-        inner.nodes[id].deps.extend(extra);
+        // New dependencies can put an already-ready write back to waiting;
+        // any stale ready-queue entry is skipped on pop and the resolution
+        // cascade re-queues the write when the new deps land.
+        for d in extra {
+            inner.nodes[id].deps.push(d);
+            if !inner.nodes[d].persistent_memo {
+                inner.nodes[d].waiters.push(id);
+                inner.nodes[id].unresolved += 1;
+            }
+        }
         true
     }
 
-    /// Returns true if `node`'s subgraph is fully persisted, memoizing.
-    fn compute_persistent(inner: &mut Inner, node: NodeId) -> bool {
-        // Iterative post-order DFS with memoization; dependency graphs can
-        // form long chains (one per append), so no recursion.
-        if inner.nodes[node].persistent_memo {
-            return true;
+    /// Wires `id`'s dependency edges: counts unresolved deps and registers
+    /// `id` as a waiter on each, so completion events — not polling —
+    /// drive readiness.
+    fn register_deps(inner: &mut Inner, id: NodeId) {
+        let deps = inner.nodes[id].deps.clone();
+        let mut unresolved = 0usize;
+        for d in deps {
+            if !inner.nodes[d].persistent_memo {
+                inner.nodes[d].waiters.push(id);
+                unresolved += 1;
+            }
         }
-        let mut stack = vec![(node, false)];
-        while let Some((n, expanded)) = stack.pop() {
+        inner.nodes[id].unresolved = unresolved;
+    }
+
+    /// Marks `node` resolved (persistent) and cascades the event: each
+    /// waiter's unresolved count drops; pending writes whose count hits
+    /// zero enter the ready queue, and sealed joins whose count hits zero
+    /// resolve in turn.
+    fn resolve(inner: &mut Inner, node: NodeId) {
+        let mut worklist = vec![node];
+        while let Some(n) = worklist.pop() {
             if inner.nodes[n].persistent_memo {
                 continue;
             }
-            let self_ok = match &inner.nodes[n].kind {
-                NodeKind::Write { state, .. } => *state == WriteState::Persisted,
-                NodeKind::Join { sealed } => *sealed,
-            };
-            if !self_ok {
-                // Not persistent itself; no need to expand below it.
-                continue;
-            }
-            if expanded {
-                // All children processed; node is persistent iff all its
-                // deps are memoized persistent.
-                let all = inner.nodes[n].deps.iter().all(|d| inner.nodes[*d].persistent_memo);
-                if all {
-                    inner.nodes[n].persistent_memo = true;
+            inner.nodes[n].persistent_memo = true;
+            let waiters = std::mem::take(&mut inner.nodes[n].waiters);
+            for w in waiters {
+                let node_w = &mut inner.nodes[w];
+                node_w.unresolved -= 1;
+                if node_w.unresolved > 0 {
+                    continue;
                 }
-            } else {
-                stack.push((n, true));
-                let deps = inner.nodes[n].deps.clone();
-                for d in deps {
-                    if !inner.nodes[d].persistent_memo {
-                        stack.push((d, false));
+                match &node_w.kind {
+                    NodeKind::Write { state: WriteState::Pending, .. } => {
+                        inner.ready.push_back(w);
                     }
+                    NodeKind::Write { .. } => {}
+                    NodeKind::Join { sealed: true } => worklist.push(w),
+                    // Unsealed promises resolve at seal time.
+                    NodeKind::Join { sealed: false } => {}
                 }
             }
         }
-        inner.nodes[node].persistent_memo
+    }
+
+    /// True if `id` is a pending write whose dependencies have all
+    /// resolved (ready-queue entries can be stale; this is the re-check).
+    fn is_ready_write(inner: &Inner, id: NodeId) -> bool {
+        inner.nodes[id].unresolved == 0
+            && matches!(
+                &inner.nodes[id].kind,
+                NodeKind::Write { state: WriteState::Pending, data: Some(_), .. }
+            )
+    }
+
+    fn write_range(inner: &Inner, id: NodeId) -> (usize, usize) {
+        match &inner.nodes[id].kind {
+            NodeKind::Write { offset, len, .. } => (*offset, *len),
+            NodeKind::Join { .. } => unreachable!("ready queue holds only writes"),
+        }
+    }
+
+    fn write_extent(inner: &Inner, id: NodeId) -> ExtentId {
+        match &inner.nodes[id].kind {
+            NodeKind::Write { extent, .. } => *extent,
+            NodeKind::Join { .. } => unreachable!("ready queue holds only writes"),
+        }
+    }
+
+    /// Drops writes that left the `Pending` state from the submission-order
+    /// queue (they no longer participate in the read overlay).
+    fn drop_issued_from_pending(inner: &mut Inner) {
+        let Inner { nodes, pending, .. } = inner;
+        pending.retain(|&id| {
+            matches!(&nodes[id].kind, NodeKind::Write { state: WriteState::Pending, .. })
+        });
     }
 
     /// Issues up to `max` ready pending writes (writes whose dependencies
-    /// have all persisted) into the disk's volatile cache, coalescing
-    /// contiguous same-extent writes into single IOs. Returns how many
-    /// write nodes were issued.
+    /// have all persisted) into the disk's volatile cache as one group
+    /// commit batch: the batch is grouped per extent and contiguous
+    /// same-extent writes merge into single IOs. Returns how many write
+    /// nodes were issued.
     ///
-    /// On an injected IO failure the failing write is marked lost and the
-    /// error is returned; already-issued writes from this call remain
-    /// issued.
+    /// On an injected IO failure the failing and not-yet-written parts of
+    /// the batch are requeued for retry and the error is returned;
+    /// already-written parts of the batch remain issued.
     pub fn issue_ready(&self, max: usize) -> Result<usize, IoError> {
-        let mut inner = self.core.inner.lock();
-        let inner = &mut *inner;
-        let mut issued = 0usize;
-        let mut scanned = 0usize;
-        while issued < max && scanned < inner.pending.len() {
-            // Find the next ready write, preserving FIFO order among the
-            // not-ready ones.
-            let idx = (scanned..inner.pending.len()).find(|i| {
-                let id = inner.pending[*i];
-                let deps = inner.nodes[id].deps.clone();
-                deps.iter().all(|d| Self::compute_persistent(inner, *d))
-            });
-            let Some(idx) = idx else { break };
-            scanned = idx;
-            let id = inner.pending.remove(idx).expect("index valid");
-            let (extent, offset, data) = match &mut inner.nodes[id].kind {
-                NodeKind::Write { extent, offset, data, .. } => {
-                    (*extent, *offset, data.take().expect("pending write has data"))
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
+        if inner.barrier_mode {
+            return Self::issue_barrier(inner, &self.core.disk, max);
+        }
+        let mut batch: Vec<NodeId> = Vec::new();
+        while batch.len() < max {
+            let Some(id) = inner.ready.pop_front() else { break };
+            if Self::is_ready_write(inner, id) {
+                batch.push(id);
+            }
+        }
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        inner.stats.batches_issued += 1;
+        // Group per extent. WAW edges guarantee no two ready writes
+        // overlap, so offset order within an extent is safe and maximizes
+        // contiguity.
+        let mut by_extent: BTreeMap<ExtentId, Vec<NodeId>> = BTreeMap::new();
+        for &id in &batch {
+            by_extent.entry(Self::write_extent(inner, id)).or_default().push(id);
+        }
+        let mut runs: Vec<(ExtentId, Vec<NodeId>)> = Vec::new();
+        for (extent, mut ids) in by_extent {
+            ids.sort_by_key(|&id| Self::write_range(inner, id).0);
+            let mut run: Vec<NodeId> = Vec::new();
+            for id in ids {
+                if let Some(&prev) = run.last() {
+                    let (po, pl) = Self::write_range(inner, prev);
+                    if po + pl != Self::write_range(inner, id).0 {
+                        runs.push((extent, std::mem::take(&mut run)));
+                    }
                 }
-                NodeKind::Join { .. } => unreachable!("pending queue holds only writes"),
-            };
-            // Coalesce: greedily absorb immediately-following ready writes
-            // that continue contiguously on the same extent.
-            let mut batch = data;
-            let mut batch_nodes = vec![id];
-            if !inner.barrier_mode {
-                while issued + batch_nodes.len() < max && scanned < inner.pending.len() {
-                    let next_id = inner.pending[scanned];
-                    let contiguous = matches!(
-                        &inner.nodes[next_id].kind,
-                        NodeKind::Write { extent: e, offset: o, .. }
-                            if *e == extent && *o == offset + batch.len()
-                    );
-                    let ready = contiguous && {
-                        let deps = inner.nodes[next_id].deps.clone();
-                        deps.iter().all(|d| Self::compute_persistent(inner, *d))
-                    };
-                    if !ready {
-                        break;
-                    }
-                    inner.pending.remove(scanned).expect("index valid");
-                    if let NodeKind::Write { data, .. } = &mut inner.nodes[next_id].kind {
-                        batch.extend_from_slice(&data.take().expect("pending write has data"));
-                    }
-                    batch_nodes.push(next_id);
-                    inner.stats.writes_coalesced += 1;
+                run.push(id);
+            }
+            if !run.is_empty() {
+                runs.push((extent, run));
+            }
+        }
+        let mut issued = 0usize;
+        for (extent, run) in &runs {
+            let offset = Self::write_range(inner, run[0]).0;
+            let mut buf = Vec::new();
+            for &id in run {
+                if let NodeKind::Write { data, .. } = &mut inner.nodes[id].kind {
+                    buf.extend_from_slice(&data.take().expect("pending write has data"));
                 }
             }
             if std::env::var_os("IO_TRACE").is_some() {
-                eprintln!("IO: write ext {} off {} len {} (nodes {:?})", extent.0, offset, batch.len(), batch_nodes);
+                eprintln!(
+                    "IO: write ext {} off {} len {} (nodes {:?})",
+                    extent.0,
+                    offset,
+                    buf.len(),
+                    run
+                );
             }
-            match self.core.disk.write(extent, offset, &batch) {
+            match self.core.disk.write(*extent, offset, &buf) {
                 Ok(()) => {
-                    for n in &batch_nodes {
-                        if let NodeKind::Write { state, .. } = &mut inner.nodes[*n].kind {
+                    for &id in run {
+                        if let NodeKind::Write { state, .. } = &mut inner.nodes[id].kind {
                             *state = WriteState::Issued;
                         }
-                        inner.issued.push(*n);
                     }
+                    inner.issued.entry(*extent).or_default().extend(run.iter().copied());
+                    inner.issued_total += run.len();
                     inner.stats.ios_issued += 1;
-                    issued += batch_nodes.len();
-                    if inner.barrier_mode {
-                        self.core.disk.flush_extent(extent)?;
-                        inner.stats.flushes += 1;
-                        for n in &batch_nodes {
-                            if let NodeKind::Write { state, .. } = &mut inner.nodes[*n].kind {
-                                *state = WriteState::Persisted;
-                            }
-                        }
-                        inner.issued.clear();
-                    }
+                    inner.stats.writes_coalesced += (run.len() - 1) as u64;
+                    issued += run.len();
                 }
                 Err(e) => {
-                    // Transient IO failure: the write stays pending and is
-                    // retried on the next pump (a permanently failing
-                    // extent keeps erroring and keeps the write queued).
-                    // Without the retry, one transient failure would
-                    // poison every write that transitively depends on the
-                    // failed one.
-                    for n in batch_nodes.iter().rev() {
-                        if let NodeKind::Write { data, .. } = &mut inner.nodes[*n].kind {
-                            debug_assert!(data.is_none());
-                        }
-                        inner.pending.push_front(*n);
-                    }
-                    // Restore the batch payload to the individual nodes.
+                    // Transient IO failure: restore the payload to the
+                    // failing run's nodes and requeue every batch member
+                    // that is still pending, preserving batch order (a
+                    // permanently failing extent keeps erroring and keeps
+                    // its writes queued). Without the retry, one transient
+                    // failure would poison every write that transitively
+                    // depends on the failed one.
                     let mut pos = 0usize;
-                    for n in &batch_nodes {
-                        if let NodeKind::Write { len, data, .. } = &mut inner.nodes[*n].kind {
-                            *data = Some(batch[pos..pos + *len].to_vec());
+                    for &id in run {
+                        if let NodeKind::Write { len, data, .. } = &mut inner.nodes[id].kind {
+                            *data = Some(buf[pos..pos + *len].to_vec());
                             pos += *len;
                         }
                     }
                     inner.stats.writes_retried += 1;
+                    let back: Vec<NodeId> =
+                        batch.iter().copied().filter(|&id| Self::is_ready_write(inner, id)).collect();
+                    for id in back.into_iter().rev() {
+                        inner.ready.push_front(id);
+                    }
+                    Self::drop_issued_from_pending(inner);
                     return Err(e);
                 }
             }
         }
+        Self::drop_issued_from_pending(inner);
+        Ok(issued)
+    }
+
+    /// The barrier-mode (WAL ablation) issue path: one IO and one fence
+    /// per write, no coalescing.
+    fn issue_barrier(inner: &mut Inner, disk: &Disk, max: usize) -> Result<usize, IoError> {
+        let mut issued = 0usize;
+        while issued < max {
+            let id = loop {
+                match inner.ready.pop_front() {
+                    None => break None,
+                    Some(id) if Self::is_ready_write(inner, id) => break Some(id),
+                    Some(_) => {}
+                }
+            };
+            let Some(id) = id else { break };
+            let (extent, offset, data) = match &mut inner.nodes[id].kind {
+                NodeKind::Write { extent, offset, data, .. } => {
+                    (*extent, *offset, data.take().expect("pending write has data"))
+                }
+                NodeKind::Join { .. } => unreachable!("ready queue holds only writes"),
+            };
+            if let Err(e) = disk.write(extent, offset, &data) {
+                if let NodeKind::Write { data: d, .. } = &mut inner.nodes[id].kind {
+                    *d = Some(data);
+                }
+                inner.ready.push_front(id);
+                inner.stats.writes_retried += 1;
+                Self::drop_issued_from_pending(inner);
+                return Err(e);
+            }
+            if let NodeKind::Write { state, .. } = &mut inner.nodes[id].kind {
+                *state = WriteState::Issued;
+            }
+            inner.issued.entry(extent).or_default().push(id);
+            inner.issued_total += 1;
+            inner.stats.ios_issued += 1;
+            inner.stats.batches_issued += 1;
+            issued += 1;
+            if let Err(e) = disk.flush_extent(extent) {
+                Self::drop_issued_from_pending(inner);
+                return Err(e);
+            }
+            inner.stats.flushes += 1;
+            inner.stats.extents_fenced += 1;
+            let ids = inner.issued.remove(&extent).unwrap_or_default();
+            inner.issued_total -= ids.len();
+            for wid in ids {
+                if let NodeKind::Write { state, .. } = &mut inner.nodes[wid].kind {
+                    *state = WriteState::Persisted;
+                }
+                Self::resolve(inner, wid);
+            }
+        }
+        Self::drop_issued_from_pending(inner);
         Ok(issued)
     }
 
@@ -457,26 +704,33 @@ impl IoScheduler {
                 let start = (*o).max(offset);
                 let end = (o + d.len()).min(offset + len);
                 if start < end {
-                    out[start - offset..end - offset]
-                        .copy_from_slice(&d[start - o..end - o]);
+                    out[start - offset..end - offset].copy_from_slice(&d[start - o..end - o]);
                 }
             }
         }
         Ok(out)
     }
 
-    /// Flushes the disk and marks all issued writes persisted.
+    /// Fences every dirty extent (extents holding issued-but-unflushed
+    /// writes) and marks their issued writes persisted. Untouched extents
+    /// see no flush at all.
     pub fn flush_issued(&self) -> Result<(), IoError> {
-        let mut inner = self.core.inner.lock();
-        if inner.issued.is_empty() {
-            return Ok(());
-        }
-        self.core.disk.flush_all()?;
-        inner.stats.flushes += 1;
-        let issued = std::mem::take(&mut inner.issued);
-        for n in issued {
-            if let NodeKind::Write { state, .. } = &mut inner.nodes[n].kind {
-                *state = WriteState::Persisted;
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
+        while let Some((&extent, _)) = inner.issued.iter().next() {
+            // On failure the extent's writes stay issued (and the extent
+            // dirty), so a later flush retries; extents already fenced in
+            // this call keep their persistence.
+            self.core.disk.flush_extent(extent)?;
+            inner.stats.flushes += 1;
+            inner.stats.extents_fenced += 1;
+            let ids = inner.issued.remove(&extent).expect("dirty extent present");
+            inner.issued_total -= ids.len();
+            for id in ids {
+                if let NodeKind::Write { state, .. } = &mut inner.nodes[id].kind {
+                    *state = WriteState::Persisted;
+                }
+                Self::resolve(inner, id);
             }
         }
         Ok(())
@@ -499,11 +753,88 @@ impl IoScheduler {
         }
     }
 
+    /// Switches how writeback is driven. Entering
+    /// [`WritebackMode::Background`] starts the pump (a std thread outside
+    /// checked executions, a checker-controlled task inside one); leaving
+    /// it stops and joins the pump. Queued work is never lost — anything
+    /// the background pump did not get to is picked up by the next
+    /// explicit pump.
+    pub fn set_writeback_mode(&self, mode: WritebackMode) {
+        self.stop_worker();
+        let worker = match mode {
+            WritebackMode::Deterministic => None,
+            WritebackMode::Background(cfg) => Some(self.spawn_worker(cfg)),
+        };
+        {
+            let mut ctl = self.core.pump_ctl.lock();
+            ctl.mode = mode;
+            ctl.worker = worker;
+        }
+        if matches!(mode, WritebackMode::Background(_)) {
+            // Cover work submitted before the pump existed.
+            self.core.signal_pump();
+        }
+    }
+
+    /// The current writeback mode.
+    pub fn writeback_mode(&self) -> WritebackMode {
+        self.core.pump_ctl.lock().mode
+    }
+
+    /// Stops the background pump (reverting to
+    /// [`WritebackMode::Deterministic`]) and pumps until quiescent.
+    /// Checkers running in `Background` mode must call this before
+    /// asserting — and before the checked execution ends, so no pump task
+    /// outlives it.
+    pub fn quiesce(&self) -> Result<(), IoError> {
+        self.stop_worker();
+        self.core.pump_ctl.lock().mode = WritebackMode::Deterministic;
+        self.pump()
+    }
+
+    fn spawn_worker(&self, cfg: WritebackConfig) -> PumpWorker {
+        let weak = Arc::downgrade(&self.core);
+        if shardstore_conc::is_controlled() {
+            let shared = Arc::new(ControlledPump {
+                state: Mutex::new(ControlledPumpState { signals: 0, shutdown: false }),
+                cv: Condvar::new(),
+            });
+            let worker_shared = Arc::clone(&shared);
+            let handle =
+                shardstore_conc::thread::spawn(move || controlled_pump_loop(weak, worker_shared));
+            PumpWorker::Controlled { shared, handle }
+        } else {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            let handle = std::thread::spawn(move || std_pump_loop(weak, rx, cfg));
+            PumpWorker::Std { tx, handle }
+        }
+    }
+
+    fn stop_worker(&self) {
+        let worker = self.core.pump_ctl.lock().worker.take();
+        match worker {
+            None => {}
+            Some(PumpWorker::Std { tx, handle }) => {
+                let _ = tx.send(PumpSignal::Shutdown);
+                let _ = handle.join();
+            }
+            Some(PumpWorker::Controlled { shared, handle }) => {
+                {
+                    let mut st = shared.state.lock();
+                    st.shutdown = true;
+                    shared.cv.notify_all();
+                }
+                let _ = handle.join();
+            }
+        }
+    }
+
     /// Simulates a fail-stop crash: pending writes are dropped, issued
     /// writes survive at page granularity per `plan` (via
     /// [`Disk::crash`]), and neither can ever become persistent.
     pub fn crash(&self, plan: &CrashPlan) {
-        let mut inner = self.core.inner.lock();
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
         let pending = std::mem::take(&mut inner.pending);
         for n in pending {
             if let NodeKind::Write { state, data, .. } = &mut inner.nodes[n].kind {
@@ -512,12 +843,16 @@ impl IoScheduler {
             }
             inner.stats.writes_lost_pending += 1;
         }
+        inner.ready.clear();
         let issued = std::mem::take(&mut inner.issued);
-        for n in issued {
-            if let NodeKind::Write { state, .. } = &mut inner.nodes[n].kind {
-                *state = WriteState::Lost;
+        inner.issued_total = 0;
+        for ids in issued.into_values() {
+            for n in ids {
+                if let NodeKind::Write { state, .. } = &mut inner.nodes[n].kind {
+                    *state = WriteState::Lost;
+                }
+                inner.stats.writes_lost_issued += 1;
             }
-            inner.stats.writes_lost_issued += 1;
         }
         self.core.disk.crash(plan);
     }
@@ -529,39 +864,38 @@ impl IoScheduler {
 
     /// Number of issued-but-unflushed writes.
     pub fn issued_count(&self) -> usize {
-        self.core.inner.lock().issued.len()
+        self.core.inner.lock().issued_total
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics. `queue_depth` is a point-in-time snapshot of
+    /// how many writes are issueable right now.
     pub fn stats(&self) -> SchedulerStats {
-        self.core.inner.lock().stats
+        let inner = self.core.inner.lock();
+        let mut stats = inner.stats;
+        stats.queue_depth =
+            inner.ready.iter().filter(|&&id| Self::is_ready_write(&inner, id)).count() as u64;
+        stats
     }
 
     /// Debug rendering of every pending write and the state of its
     /// dependency subgraph (for diagnosing stuck writebacks).
     pub fn debug_pending(&self) -> Vec<String> {
-        let mut inner = self.core.inner.lock();
-        let pending: Vec<NodeId> = inner.pending.iter().copied().collect();
-        pending
+        let inner = self.core.inner.lock();
+        inner
+            .pending
             .iter()
             .map(|&id| {
                 let (extent, offset, len) = match &inner.nodes[id].kind {
                     NodeKind::Write { extent, offset, len, .. } => (extent.0, *offset, *len),
                     NodeKind::Join { .. } => (u32::MAX, 0, 0),
                 };
-                let deps = inner.nodes[id].deps.clone();
-                let unresolved: Vec<NodeId> = deps
+                let blocked: Vec<String> = inner.nodes[id]
+                    .deps
                     .iter()
-                    .filter(|d| !IoScheduler::compute_persistent(&mut inner, **d))
-                    .copied()
+                    .filter(|d| !inner.nodes[**d].persistent_memo)
+                    .map(|d| Self::describe_node(&inner, *d))
                     .collect();
-                let blocked: Vec<String> = unresolved
-                    .iter()
-                    .map(|d| IoScheduler::describe_node(&inner, *d))
-                    .collect();
-                format!(
-                    "write #{id} ext {extent} off {offset} len {len}: blocked on {blocked:?}"
-                )
+                format!("write #{id} ext {extent} off {offset} len {len}: blocked on {blocked:?}")
             })
             .collect()
     }
@@ -579,16 +913,63 @@ impl IoScheduler {
     }
 }
 
+/// The std-thread background pump: waits for a submission signal, absorbs
+/// further signals within the batch window, then pumps the scheduler.
+/// Exits on shutdown, channel disconnect, or the scheduler being dropped.
+fn std_pump_loop(
+    core: Weak<SchedCore>,
+    rx: crossbeam::channel::Receiver<PumpSignal>,
+    cfg: WritebackConfig,
+) {
+    use crossbeam::channel::RecvTimeoutError;
+    loop {
+        match rx.recv() {
+            Ok(PumpSignal::Work) => {}
+            Ok(PumpSignal::Shutdown) | Err(_) => return,
+        }
+        let mut batched = 1usize;
+        while batched < cfg.max_batch {
+            match rx.recv_timeout(cfg.batch_window) {
+                Ok(PumpSignal::Work) => batched += 1,
+                Ok(PumpSignal::Shutdown) => return,
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+        let Some(core) = core.upgrade() else { return };
+        // Transient injected failures are retried on the next signal; the
+        // failed writes stay queued either way.
+        let _ = IoScheduler { core }.pump();
+    }
+}
+
+/// The checker-controlled background pump: same contract as
+/// [`std_pump_loop`], but signalled through controlled sync primitives so
+/// the model checker owns every interleaving. No batch window — wall-clock
+/// time does not exist inside a checked execution.
+fn controlled_pump_loop(core: Weak<SchedCore>, shared: Arc<ControlledPump>) {
+    loop {
+        {
+            let mut st =
+                shared.cv.wait_while(shared.state.lock(), |s| s.signals == 0 && !s.shutdown);
+            if st.shutdown {
+                return;
+            }
+            st.signals = 0;
+        }
+        let Some(core) = core.upgrade() else { return };
+        let _ = IoScheduler { core }.pump();
+    }
+}
+
 impl Dependency {
     /// Returns true once the operation this dependency represents — and
     /// everything it transitively depends on — has been persisted to disk.
+    /// O(1): persistence is resolved eagerly by completion events.
     pub fn is_persistent(&self) -> bool {
         match self.node {
             None => true,
-            Some(n) => {
-                let mut inner = self.core.inner.lock();
-                IoScheduler::compute_persistent(&mut inner, n)
-            }
+            Some(n) => self.core.inner.lock().nodes[n].persistent_memo,
         }
     }
 
@@ -605,13 +986,20 @@ impl Dependency {
             (None, _) => other.clone(),
             (_, None) => self.clone(),
             (Some(a), Some(b)) => {
-                let mut inner = self.core.inner.lock();
+                let mut guard = self.core.inner.lock();
+                let inner = &mut *guard;
                 let id = inner.nodes.len();
                 inner.nodes.push(Node {
                     kind: NodeKind::Join { sealed: true },
                     deps: vec![a, b],
+                    waiters: Vec::new(),
+                    unresolved: 0,
                     persistent_memo: false,
                 });
+                IoScheduler::register_deps(inner, id);
+                if inner.nodes[id].unresolved == 0 {
+                    IoScheduler::resolve(inner, id);
+                }
                 Dependency { core: Arc::clone(&self.core), node: Some(id) }
             }
         }
@@ -626,24 +1014,42 @@ impl Promise {
     /// Panics if the promise has already been sealed.
     pub fn add_dep(&self, dep: &Dependency) {
         let id = self.dep.node.expect("promise has a node");
-        let mut inner = self.dep.core.inner.lock();
+        let mut guard = self.dep.core.inner.lock();
+        let inner = &mut *guard;
         match &inner.nodes[id].kind {
             NodeKind::Join { sealed: false } => {}
             _ => panic!("add_dep on a sealed promise"),
         }
         if let Some(d) = dep.node {
             inner.nodes[id].deps.push(d);
+            if !inner.nodes[d].persistent_memo {
+                inner.nodes[d].waiters.push(id);
+                inner.nodes[id].unresolved += 1;
+            }
         }
     }
 
     /// Seals the promise: no further dependencies may be added, and it can
-    /// now become persistent once its dependencies do.
+    /// now become persistent once its dependencies do. Sealing can unblock
+    /// writes waiting on the promise, so it also nudges the background
+    /// pump when one is running.
     pub fn seal(&self) {
         let id = self.dep.node.expect("promise has a node");
-        let mut inner = self.dep.core.inner.lock();
-        if let NodeKind::Join { sealed } = &mut inner.nodes[id].kind {
-            *sealed = true;
+        {
+            let mut guard = self.dep.core.inner.lock();
+            let inner = &mut *guard;
+            let newly_sealed = match &mut inner.nodes[id].kind {
+                NodeKind::Join { sealed } if !*sealed => {
+                    *sealed = true;
+                    true
+                }
+                _ => false,
+            };
+            if newly_sealed && inner.nodes[id].unresolved == 0 {
+                IoScheduler::resolve(inner, id);
+            }
         }
+        self.dep.core.signal_pump();
     }
 
     /// The promise's dependency handle (pollable by clients immediately).
@@ -925,5 +1331,119 @@ mod tests {
         assert_eq!(s.issued_count(), 1);
         s.flush_issued().unwrap();
         assert_eq!(s.issued_count(), 0);
+    }
+
+    // --- group commit -----------------------------------------------------
+
+    #[test]
+    fn flush_fences_only_dirty_extents() {
+        let (disk, s) = setup();
+        // A permanently failing extent the workload never touches: the old
+        // whole-disk barrier tripped over it; per-extent fencing must not.
+        disk.inject_fail_always(ExtentId(3));
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+        assert_eq!(s.stats().extents_fenced, 1);
+    }
+
+    #[test]
+    fn flush_counts_one_fence_per_dirty_extent() {
+        let (disk, s) = setup();
+        let none = s.none();
+        s.submit_write(ExtentId(1), 0, b"a".to_vec(), &none);
+        s.submit_write(ExtentId(2), 0, b"b".to_vec(), &none);
+        s.submit_write(ExtentId(2), 1, b"c".to_vec(), &none);
+        s.pump().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.extents_fenced, 2);
+        assert_eq!(stats.batches_issued, 1, "all three ready writes form one batch");
+        assert_eq!(disk.stats().flushes, 2, "the untouched extents see no flush");
+    }
+
+    #[test]
+    fn same_extent_batch_coalesces_across_submitters() {
+        let (disk, s) = setup();
+        let none = s.none();
+        // Interleaved submission order across extents; the batch is still
+        // grouped per extent and each contiguous range is one IO.
+        s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
+        s.submit_write(ExtentId(2), 0, b"xx".to_vec(), &none);
+        s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &none);
+        s.submit_write(ExtentId(2), 2, b"yy".to_vec(), &none);
+        s.pump().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.ios_issued, 2, "one IO per extent");
+        assert_eq!(stats.writes_coalesced, 2);
+        assert_eq!(disk.read(ExtentId(1), 0, 4).unwrap(), b"aabb");
+        assert_eq!(disk.read(ExtentId(2), 0, 4).unwrap(), b"xxyy");
+    }
+
+    #[test]
+    fn readiness_is_event_driven_not_polled() {
+        let (_d, s) = setup();
+        let gate = s.promise();
+        let none = s.none();
+        s.submit_write(ExtentId(1), 0, b"a".to_vec(), &none);
+        s.submit_write(ExtentId(2), 0, b"b".to_vec(), &gate.dependency());
+        assert_eq!(s.stats().queue_depth, 1, "only the unblocked write is ready");
+        gate.seal();
+        assert_eq!(s.stats().queue_depth, 2, "sealing cascades readiness without a pump");
+        s.pump().unwrap();
+        assert_eq!(s.stats().queue_depth, 0);
+    }
+
+    #[test]
+    fn background_writeback_persists_without_explicit_pump() {
+        let (disk, s) = setup();
+        s.set_writeback_mode(WritebackMode::Background(WritebackConfig {
+            batch_window: Duration::from_micros(50),
+            max_batch: 8,
+        }));
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"bg".to_vec(), &none);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !dep.is_persistent() {
+            assert!(std::time::Instant::now() < deadline, "background pump never ran");
+            std::thread::yield_now();
+        }
+        assert_eq!(disk.read(ExtentId(1), 0, 2).unwrap(), b"bg");
+        s.quiesce().unwrap();
+        assert_eq!(s.writeback_mode(), WritebackMode::Deterministic);
+    }
+
+    #[test]
+    fn background_pump_wakes_on_seal() {
+        let (_d, s) = setup();
+        s.set_writeback_mode(WritebackMode::Background(WritebackConfig::default()));
+        let gate = s.promise();
+        let dep = s.submit_write(ExtentId(1), 0, b"z".to_vec(), &gate.dependency());
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!dep.is_persistent());
+        gate.seal();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !dep.is_persistent() {
+            assert!(std::time::Instant::now() < deadline, "seal did not wake the pump");
+            std::thread::yield_now();
+        }
+        s.quiesce().unwrap();
+    }
+
+    #[test]
+    fn quiesce_stops_the_pump_and_drains() {
+        let (_d, s) = setup();
+        s.set_writeback_mode(WritebackMode::Background(WritebackConfig::default()));
+        let none = s.none();
+        let deps: Vec<_> =
+            (0..16).map(|i| s.submit_write(ExtentId(1), i, vec![i as u8], &none)).collect();
+        s.quiesce().unwrap();
+        assert!(deps.iter().all(|d| d.is_persistent()));
+        // After quiesce, new writes stay queued until an explicit pump.
+        let d = s.submit_write(ExtentId(2), 0, b"x".to_vec(), &none);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!d.is_persistent());
+        s.pump().unwrap();
+        assert!(d.is_persistent());
     }
 }

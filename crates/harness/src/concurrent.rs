@@ -25,6 +25,13 @@ fn small_store(faults: &FaultConfig) -> Store {
     Store::format(Geometry::small(), StoreConfig::small(), faults.clone())
 }
 
+/// Switches a scheduler to the background writeback engine (used by the
+/// `*_background_harness` variants of the seeded-bug harnesses).
+fn enable_background(sched: &IoScheduler) {
+    use shardstore_dependency::{WritebackConfig, WritebackMode};
+    sched.set_writeback_mode(WritebackMode::Background(WritebackConfig::default()));
+}
+
 /// The Fig. 4 harness, verbatim in structure: initialize the index with a
 /// fixed set of keys, then run three concurrent tasks — chunk reclamation
 /// over the LSM extents, LSM compaction, and a task that overwrites keys
@@ -87,6 +94,127 @@ pub fn fig4_index_harness(
     })
 }
 
+/// The Fig. 4 harness with the *background* writeback engine enabled: the
+/// same three racing tasks, plus the group-commit pump running as a
+/// fourth scheduled task signalled by every submit and seal. The checker
+/// quiesce rule applies: the harness must stop the pump and drain
+/// ([`IoScheduler::quiesce`]) before its assertions — and before the
+/// controlled execution ends, since a parked worker task would otherwise
+/// read as a deadlocked leftover. With
+/// [`shardstore_faults::BugId::B14CompactionReclaimRace`] seeded the same
+/// interleavings lose compacted index entries: the added asynchrony must
+/// not mask the bug.
+pub fn fig4_background_harness(
+    faults: FaultConfig,
+    options: CheckOptions,
+) -> Result<CheckReport, CheckError> {
+    use shardstore_dependency::{WritebackConfig, WritebackMode};
+    check(options, move || {
+        let store = small_store(&faults);
+        for k in 0..4u128 {
+            store.put(k, format!("value-{k}").as_bytes()).unwrap();
+            store.flush_index().unwrap();
+        }
+        store.pump().unwrap();
+        let lsm_extents = store
+            .cache()
+            .chunk_store()
+            .extent_manager()
+            .extents_owned_by(Owner::LsmData);
+        let sched = store.scheduler();
+        sched.set_writeback_mode(WritebackMode::Background(WritebackConfig::default()));
+
+        let s1 = store.clone();
+        let t1 = thread::spawn(move || {
+            for ext in lsm_extents {
+                let _ = s1.reclaim_extent(ext, Stream::Lsm);
+            }
+        });
+        let s2 = store.clone();
+        let t2 = thread::spawn(move || {
+            let _ = s2.compact_index();
+        });
+        let s3 = store.clone();
+        let t3 = thread::spawn(move || {
+            for k in 0..2u128 {
+                let value = format!("new-{k}");
+                s3.put(k, value.as_bytes()).unwrap();
+                let read_back = s3.get(k).expect("get must not error");
+                assert_eq!(read_back.as_deref(), Some(value.as_bytes()), "read-after-write");
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        t3.join().unwrap();
+        // Quiesce before asserting: stop the worker, fall back to
+        // deterministic writeback, drain everything.
+        sched.quiesce().unwrap();
+        store.drop_caches();
+        for k in 0..4u128 {
+            let got = store.get(k).expect("post-join get must not error");
+            assert!(got.is_some(), "index entry for key {k} lost");
+        }
+    })
+}
+
+/// Group-commit race harness: a `put_batch` races an index flush, a
+/// compaction, and data-extent reclamation. Whatever the interleaving,
+/// every batched element must be readable right after the batch returns
+/// (atomic per element — exactly the sequential-put guarantee), and the
+/// batch must stay intact through the maintenance storm.
+pub fn put_batch_maintenance_harness(
+    faults: FaultConfig,
+    options: CheckOptions,
+) -> Result<CheckReport, CheckError> {
+    check(options, move || {
+        let store = small_store(&faults);
+        // Seed some state plus garbage so reclamation has real work.
+        for k in 0..3u128 {
+            store.put(k, format!("seed-{k}").as_bytes()).unwrap();
+        }
+        store.delete(0).unwrap();
+        store.flush_index().unwrap();
+        store.pump().unwrap();
+        let data_extents =
+            store.cache().chunk_store().extent_manager().extents_owned_by(Owner::Data);
+
+        let s1 = store.clone();
+        let batcher = thread::spawn(move || {
+            let batch: Vec<(u128, Vec<u8>)> =
+                (10..14u128).map(|k| (k, format!("batch-{k}").into_bytes())).collect();
+            s1.put_batch(&batch).unwrap();
+            for (k, v) in &batch {
+                let got = s1.get(*k).expect("get must not error");
+                assert_eq!(got.as_deref(), Some(v.as_slice()), "batched put lost (key {k})");
+            }
+        });
+        let s2 = store.clone();
+        let maintainer = thread::spawn(move || {
+            let _ = s2.flush_index();
+            let _ = s2.compact_index();
+        });
+        let s3 = store.clone();
+        let reclaimer = thread::spawn(move || {
+            for ext in data_extents {
+                let _ = s3.reclaim_extent(ext, Stream::Data);
+            }
+        });
+        batcher.join().unwrap();
+        maintainer.join().unwrap();
+        reclaimer.join().unwrap();
+        store.pump().unwrap();
+        store.drop_caches();
+        for k in 10..14u128 {
+            let got = store.get(k).expect("cold get must not error");
+            assert_eq!(
+                got,
+                Some(format!("batch-{k}").into_bytes()),
+                "batched key {k} lost after maintenance"
+            );
+        }
+    })
+}
+
 /// Issue #12 harness: concurrent appenders race a background pump with a
 /// one-permit superblock buffer pool. The fixed code waits for permits
 /// without holding the extent-manager state lock; the seeded bug waits
@@ -95,62 +223,82 @@ pub fn superblock_pool_harness(
     faults: FaultConfig,
     options: CheckOptions,
 ) -> Result<CheckReport, CheckError> {
-    check(options, move || {
-        let disk = Disk::new(Geometry::small());
-        let sched = IoScheduler::new(disk);
-        let em = ExtentManager::format_with_pool(sched, faults.clone(), 1);
-        let (ext, _) = em.allocate(Owner::Data).unwrap();
-        em.pump().unwrap();
-        // Writer/pumper rendezvous: the pumper blocks until the writer
-        // queued new IO (a spin loop would starve under priority-based
-        // schedulers), pumps, and exits once the writer is done.
-        #[derive(Default)]
-        struct Signal {
-            done: bool,
-            seq: u64,
-        }
-        let signal = Arc::new((
-            shardstore_conc::sync::Mutex::new(Signal::default()),
-            shardstore_conc::sync::Condvar::new(),
-        ));
-        let em1 = em.clone();
-        let sig1 = Arc::clone(&signal);
-        let writer = thread::spawn(move || {
-            let none = em1.scheduler().none();
-            for _ in 0..2 {
-                em1.append(ext, b"block", &none).unwrap();
-                // Issue the pending superblock write so the next append
-                // needs a fresh one (and thus a fresh permit).
-                let _ = em1.scheduler().issue_ready(usize::MAX);
-                let (m, cv) = &*sig1;
-                m.lock().seq += 1;
-                cv.notify_all();
-            }
+    check(options, move || superblock_pool_body(&faults, false))
+}
+
+/// [`superblock_pool_harness`] with the background writeback engine
+/// running as an extra scheduled task. The engine only flushes at the
+/// scheduler level — permit reclamation stays with the extent manager —
+/// so the seeded issue #12 deadlock must still be reached (the parked
+/// worker counts as blocked, so deadlock detection is unaffected).
+pub fn superblock_pool_background_harness(
+    faults: FaultConfig,
+    options: CheckOptions,
+) -> Result<CheckReport, CheckError> {
+    check(options, move || superblock_pool_body(&faults, true))
+}
+
+fn superblock_pool_body(faults: &FaultConfig, background: bool) {
+    let disk = Disk::new(Geometry::small());
+    let sched = IoScheduler::new(disk);
+    if background {
+        enable_background(&sched);
+    }
+    let em = ExtentManager::format_with_pool(sched, faults.clone(), 1);
+    let (ext, _) = em.allocate(Owner::Data).unwrap();
+    em.pump().unwrap();
+    // Writer/pumper rendezvous: the pumper blocks until the writer
+    // queued new IO (a spin loop would starve under priority-based
+    // schedulers), pumps, and exits once the writer is done.
+    #[derive(Default)]
+    struct Signal {
+        done: bool,
+        seq: u64,
+    }
+    let signal = Arc::new((
+        shardstore_conc::sync::Mutex::new(Signal::default()),
+        shardstore_conc::sync::Condvar::new(),
+    ));
+    let em1 = em.clone();
+    let sig1 = Arc::clone(&signal);
+    let writer = thread::spawn(move || {
+        let none = em1.scheduler().none();
+        for _ in 0..2 {
+            em1.append(ext, b"block", &none).unwrap();
+            // Issue the pending superblock write so the next append
+            // needs a fresh one (and thus a fresh permit).
+            let _ = em1.scheduler().issue_ready(usize::MAX);
             let (m, cv) = &*sig1;
-            m.lock().done = true;
+            m.lock().seq += 1;
             cv.notify_all();
-        });
-        let em2 = em.clone();
-        let sig2 = Arc::clone(&signal);
-        let pumper = thread::spawn(move || {
-            let (m, cv) = &*sig2;
-            let mut seen = 0u64;
-            loop {
-                let mut st = m.lock();
-                st = cv.wait_while(st, |s| !s.done && s.seq == seen);
-                seen = st.seq;
-                let done = st.done;
-                drop(st);
-                let _ = em2.pump();
-                if done {
-                    break;
-                }
+        }
+        let (m, cv) = &*sig1;
+        m.lock().done = true;
+        cv.notify_all();
+    });
+    let em2 = em.clone();
+    let sig2 = Arc::clone(&signal);
+    let pumper = thread::spawn(move || {
+        let (m, cv) = &*sig2;
+        let mut seen = 0u64;
+        loop {
+            let mut st = m.lock();
+            st = cv.wait_while(st, |s| !s.done && s.seq == seen);
+            seen = st.seq;
+            let done = st.done;
+            drop(st);
+            let _ = em2.pump();
+            if done {
+                break;
             }
-        });
-        writer.join().unwrap();
-        pumper.join().unwrap();
-        em.pump().unwrap();
-    })
+        }
+    });
+    writer.join().unwrap();
+    pumper.join().unwrap();
+    em.pump().unwrap();
+    if background {
+        em.scheduler().quiesce().unwrap();
+    }
 }
 
 /// Issue #11 harness: a put races chunk reclamation of its target extent.
@@ -161,32 +309,49 @@ pub fn put_reclaim_harness(
     faults: FaultConfig,
     options: CheckOptions,
 ) -> Result<CheckReport, CheckError> {
-    check(options, move || {
-        let store = small_store(&faults);
-        // Leave garbage on the open data extent so reclamation has a
-        // reason to touch it.
-        store.put(0, &[0u8; 40]).unwrap();
-        store.delete(0).unwrap();
-        store.flush_index().unwrap();
-        store.pump().unwrap();
-        let data_extents =
-            store.cache().chunk_store().extent_manager().extents_owned_by(Owner::Data);
+    check(options, move || put_reclaim_body(&faults, false))
+}
 
-        let s1 = store.clone();
-        let putter = thread::spawn(move || {
-            s1.put(1, b"fresh data").unwrap();
-        });
-        let s2 = store.clone();
-        let reclaimer = thread::spawn(move || {
-            for ext in data_extents {
-                let _ = s2.reclaim_extent(ext, Stream::Data);
-            }
-        });
-        putter.join().unwrap();
-        reclaimer.join().unwrap();
-        let got = store.get(1).expect("locator must stay valid");
-        assert_eq!(got.as_deref(), Some(&b"fresh data"[..]), "put lost to reclamation race");
-    })
+/// [`put_reclaim_harness`] with the background writeback engine running
+/// as an extra scheduled task (the engine must not mask issue #11).
+pub fn put_reclaim_background_harness(
+    faults: FaultConfig,
+    options: CheckOptions,
+) -> Result<CheckReport, CheckError> {
+    check(options, move || put_reclaim_body(&faults, true))
+}
+
+fn put_reclaim_body(faults: &FaultConfig, background: bool) {
+    let store = small_store(faults);
+    // Leave garbage on the open data extent so reclamation has a
+    // reason to touch it.
+    store.put(0, &[0u8; 40]).unwrap();
+    store.delete(0).unwrap();
+    store.flush_index().unwrap();
+    store.pump().unwrap();
+    let data_extents =
+        store.cache().chunk_store().extent_manager().extents_owned_by(Owner::Data);
+    if background {
+        enable_background(&store.scheduler());
+    }
+
+    let s1 = store.clone();
+    let putter = thread::spawn(move || {
+        s1.put(1, b"fresh data").unwrap();
+    });
+    let s2 = store.clone();
+    let reclaimer = thread::spawn(move || {
+        for ext in data_extents {
+            let _ = s2.reclaim_extent(ext, Stream::Data);
+        }
+    });
+    putter.join().unwrap();
+    reclaimer.join().unwrap();
+    if background {
+        store.scheduler().quiesce().unwrap();
+    }
+    let got = store.get(1).expect("locator must stay valid");
+    assert_eq!(got.as_deref(), Some(&b"fresh data"[..]), "put lost to reclamation race");
 }
 
 /// Issue #13 harness: the control-plane listing races shard removal. The
@@ -197,25 +362,42 @@ pub fn list_remove_harness(
     faults: FaultConfig,
     options: CheckOptions,
 ) -> Result<CheckReport, CheckError> {
-    check(options, move || {
-        let node = Node::new(1, Geometry::small(), StoreConfig::small(), faults.clone());
-        node.put(1, b"one").unwrap();
-        node.put(2, b"two").unwrap();
-        let n1 = node.clone();
-        let lister = thread::spawn(move || {
-            let listed = n1.list_verified().unwrap();
-            // Whatever subset is returned must carry correct sizes.
-            for (shard, size) in listed {
-                assert!(size == 3, "shard {shard} listed with wrong size {size}");
-            }
-        });
-        let n2 = node.clone();
-        let remover = thread::spawn(move || {
-            n2.delete(2).unwrap();
-        });
-        lister.join().unwrap();
-        remover.join().unwrap();
-    })
+    check(options, move || list_remove_body(&faults, false))
+}
+
+/// [`list_remove_harness`] with the background writeback engine running
+/// as an extra scheduled task (the engine must not mask issue #13).
+pub fn list_remove_background_harness(
+    faults: FaultConfig,
+    options: CheckOptions,
+) -> Result<CheckReport, CheckError> {
+    check(options, move || list_remove_body(&faults, true))
+}
+
+fn list_remove_body(faults: &FaultConfig, background: bool) {
+    let node = Node::new(1, Geometry::small(), StoreConfig::small(), faults.clone());
+    node.put(1, b"one").unwrap();
+    node.put(2, b"two").unwrap();
+    if background {
+        enable_background(&node.store(0).expect("disk 0 in service").scheduler());
+    }
+    let n1 = node.clone();
+    let lister = thread::spawn(move || {
+        let listed = n1.list_verified().unwrap();
+        // Whatever subset is returned must carry correct sizes.
+        for (shard, size) in listed {
+            assert!(size == 3, "shard {shard} listed with wrong size {size}");
+        }
+    });
+    let n2 = node.clone();
+    let remover = thread::spawn(move || {
+        n2.delete(2).unwrap();
+    });
+    lister.join().unwrap();
+    remover.join().unwrap();
+    if background {
+        node.store(0).expect("disk 0 in service").scheduler().quiesce().unwrap();
+    }
 }
 
 /// Issue #16 harness: bulk create races bulk remove over the same shard.
@@ -225,21 +407,38 @@ pub fn bulk_ops_harness(
     faults: FaultConfig,
     options: CheckOptions,
 ) -> Result<CheckReport, CheckError> {
-    check(options, move || {
-        let node = Node::new(1, Geometry::small(), StoreConfig::small(), faults.clone());
-        node.put(5, b"seed").unwrap();
-        let n1 = node.clone();
-        let creator = thread::spawn(move || {
-            n1.bulk_create(&[(5, b"recreated".to_vec()), (6, b"six".to_vec())]).unwrap();
-        });
-        let n2 = node.clone();
-        let remover = thread::spawn(move || {
-            n2.bulk_remove(&[5]).unwrap();
-        });
-        creator.join().unwrap();
-        remover.join().unwrap();
-        node.check_catalog_consistent().expect("catalog and index diverged");
-    })
+    check(options, move || bulk_ops_body(&faults, false))
+}
+
+/// [`bulk_ops_harness`] with the background writeback engine running as
+/// an extra scheduled task (the engine must not mask issue #16).
+pub fn bulk_ops_background_harness(
+    faults: FaultConfig,
+    options: CheckOptions,
+) -> Result<CheckReport, CheckError> {
+    check(options, move || bulk_ops_body(&faults, true))
+}
+
+fn bulk_ops_body(faults: &FaultConfig, background: bool) {
+    let node = Node::new(1, Geometry::small(), StoreConfig::small(), faults.clone());
+    node.put(5, b"seed").unwrap();
+    if background {
+        enable_background(&node.store(0).expect("disk 0 in service").scheduler());
+    }
+    let n1 = node.clone();
+    let creator = thread::spawn(move || {
+        n1.bulk_create(&[(5, b"recreated".to_vec()), (6, b"six".to_vec())]).unwrap();
+    });
+    let n2 = node.clone();
+    let remover = thread::spawn(move || {
+        n2.bulk_remove(&[5]).unwrap();
+    });
+    creator.join().unwrap();
+    remover.join().unwrap();
+    if background {
+        node.store(0).expect("disk 0 in service").scheduler().quiesce().unwrap();
+    }
+    node.check_catalog_consistent().expect("catalog and index diverged");
 }
 
 /// Generic §6 linearizability harness: concurrent request-plane workers

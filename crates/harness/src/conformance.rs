@@ -51,11 +51,22 @@ pub struct ConformanceConfig {
     pub store: StoreConfig,
     /// Seeded faults (the system under test).
     pub faults: FaultConfig,
+    /// Run every store under test with the background writeback engine
+    /// enabled (a real pump thread racing the generated sequences). The
+    /// checked properties are unchanged — persistence facts are frozen by
+    /// crashes and the conformance model is timing-independent — so this
+    /// flag only widens the explored behaviours.
+    pub background_writeback: bool,
 }
 
 impl Default for ConformanceConfig {
     fn default() -> Self {
-        Self { geometry: Geometry::small(), store: StoreConfig::small(), faults: FaultConfig::none() }
+        Self {
+            geometry: Geometry::small(),
+            store: StoreConfig::small(),
+            faults: FaultConfig::none(),
+            background_writeback: false,
+        }
     }
 }
 
@@ -63,6 +74,12 @@ impl ConformanceConfig {
     /// Default configuration with a seeded bug.
     pub fn with_faults(faults: FaultConfig) -> Self {
         Self { faults, ..Self::default() }
+    }
+
+    /// Enables the background writeback engine for the run.
+    pub fn background(mut self) -> Self {
+        self.background_writeback = true;
+        self
     }
 }
 
@@ -97,8 +114,18 @@ pub(crate) struct RunCtx {
 
 impl RunCtx {
     pub fn new(cfg: &ConformanceConfig) -> Self {
+        let store = Store::format(cfg.geometry, cfg.store, cfg.faults.clone());
+        if cfg.background_writeback {
+            // Reboots reuse the same scheduler, so the mode survives
+            // every recovery in the sequence.
+            store.scheduler().set_writeback_mode(
+                shardstore_dependency::WritebackMode::Background(
+                    shardstore_dependency::WritebackConfig::default(),
+                ),
+            );
+        }
         Self {
-            store: Store::format(cfg.geometry, cfg.store, cfg.faults.clone()),
+            store,
             puts_so_far: Vec::new(),
             history: BTreeMap::new(),
             has_failed: false,
@@ -201,6 +228,40 @@ fn apply_op(
                     ctx.uncertain.insert(key);
                 }
                 Err(e) => return Err(diverge(i, op, format!("put failed: {e}"))),
+            }
+        }
+        KvOp::PutBatch(elems) => {
+            // All key references resolve against the state before the
+            // batch; the batch itself is atomic per element (equivalent
+            // to the puts applied in order).
+            let batch: Vec<(u128, Arc<Vec<u8>>)> = elems
+                .iter()
+                .map(|(kr, spec)| {
+                    let key = kr.resolve(&ctx.puts_so_far);
+                    (key, Arc::new(spec.materialize(key, page_size)))
+                })
+                .collect();
+            let arg: Vec<(u128, Vec<u8>)> =
+                batch.iter().map(|(k, v)| (*k, v.to_vec())).collect();
+            match ctx.store.put_batch(&arg) {
+                Ok(_deps) => {
+                    for (key, value) in batch {
+                        model.put(key, &value);
+                        ctx.record_write(key, value);
+                    }
+                }
+                Err(e) if is_no_space(&e) => {
+                    ctx.skipped_no_space += 1;
+                }
+                Err(e) if ctx.tolerate(&e) => {
+                    // Any prefix of the batch may have applied: every
+                    // batched key's state is ambiguous.
+                    for (key, value) in batch {
+                        ctx.record_write(key, value);
+                        ctx.uncertain.insert(key);
+                    }
+                }
+                Err(e) => return Err(diverge(i, op, format!("put_batch failed: {e}"))),
             }
         }
         KvOp::Delete(kr) => {

@@ -96,6 +96,37 @@ pub fn run_crash_consistency(
                     Err(e) => return Err(diverge(i, op, format!("put failed: {e}"))),
                 }
             }
+            KvOp::PutBatch(elems) => {
+                let batch: Vec<(u128, Arc<Vec<u8>>)> = elems
+                    .iter()
+                    .map(|(kr, spec)| {
+                        let key = kr.resolve(&ctx.puts_so_far);
+                        (key, Arc::new(spec.materialize(key, page_size)))
+                    })
+                    .collect();
+                let arg: Vec<(u128, Vec<u8>)> =
+                    batch.iter().map(|(k, v)| (*k, v.to_vec())).collect();
+                match ctx.store.put_batch(&arg) {
+                    Ok(deps) => {
+                        for ((key, value), dep) in batch.into_iter().zip(deps) {
+                            model.put(key, &value, dep);
+                            ctx.record_write(key, value);
+                        }
+                    }
+                    Err(e) if crate::conformance_no_space(&e) => {
+                        ctx.skipped_no_space += 1;
+                    }
+                    Err(e) if ctx.tolerate(&e) => {
+                        for (key, value) in batch {
+                            let dead = ctx.store.scheduler().promise().dependency();
+                            model.put(key, &value, dead);
+                            ctx.record_write(key, value);
+                            ctx.uncertain.insert(key);
+                        }
+                    }
+                    Err(e) => return Err(diverge(i, op, format!("put_batch failed: {e}"))),
+                }
+            }
             KvOp::Delete(kr) => {
                 let key = kr.resolve(&ctx.puts_so_far);
                 match ctx.store.delete(key) {

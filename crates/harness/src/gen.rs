@@ -106,6 +106,12 @@ pub fn kv_op(cfg: GenConfig) -> BoxedStrategy<KvOp> {
                 .prop_map(|(k, v)| KvOp::Put(k, v))
                 .boxed(),
         ),
+        (
+            2,
+            proptest::collection::vec((key_ref(cfg.bias), value_spec(cfg.bias)), 2..6)
+                .prop_map(KvOp::PutBatch)
+                .boxed(),
+        ),
         (2, key_ref(cfg.bias).prop_map(KvOp::Delete).boxed()),
         (1, Just(KvOp::IndexFlush).boxed()),
         (1, Just(KvOp::Compact).boxed()),
@@ -159,7 +165,6 @@ pub fn node_ops(cfg: GenConfig) -> impl Strategy<Value = Vec<NodeOp>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::strategy::ValueTree;
     use proptest::test_runner::TestRunner;
 
     fn sample<T: std::fmt::Debug>(s: impl Strategy<Value = T>, n: usize) -> Vec<T> {
@@ -184,6 +189,12 @@ mod tests {
     fn biased_values_include_near_page_sizes() {
         let vals = sample(value_spec(true), 200);
         assert!(vals.iter().any(|v| matches!(v, ValueSpec::NearPage(_))));
+    }
+
+    #[test]
+    fn all_configs_generate_put_batches() {
+        let seqs = sample(kv_ops(GenConfig::conformance()), 80);
+        assert!(seqs.iter().flatten().any(|op| matches!(op, KvOp::PutBatch(_))));
     }
 
     #[test]

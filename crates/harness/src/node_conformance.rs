@@ -35,6 +35,17 @@ pub fn run_node_conformance(
     num_disks: usize,
 ) -> Result<(), Divergence> {
     let node = Node::new(num_disks, cfg.geometry, cfg.store, cfg.faults.clone());
+    if cfg.background_writeback {
+        for disk in 0..num_disks {
+            if let Some(store) = node.store(disk) {
+                store.scheduler().set_writeback_mode(
+                    shardstore_dependency::WritebackMode::Background(
+                        shardstore_dependency::WritebackConfig::default(),
+                    ),
+                );
+            }
+        }
+    }
     run_node_conformance_on(ops, cfg, &node)
 }
 

@@ -111,6 +111,13 @@ pub enum KvOp {
     Get(KeyRef),
     /// Store a shard.
     Put(KeyRef, ValueSpec),
+    /// Store several shards as one group commit ([`Store::put_batch`]).
+    /// Atomic per element: equivalent to the puts applied in order, so
+    /// the model applies them one by one (key references all resolve
+    /// against the state *before* the batch).
+    ///
+    /// [`Store::put_batch`]: shardstore_core::Store::put_batch
+    PutBatch(Vec<(KeyRef, ValueSpec)>),
     /// Delete a shard.
     Delete(KeyRef),
     /// Flush the LSM memtable (background; model no-op).

@@ -5,9 +5,9 @@
 use shardstore_conc::{CheckError, CheckOptions};
 use shardstore_faults::{BugId, FaultConfig};
 use shardstore_harness::concurrent::{
-    bulk_ops_harness, fig4_index_harness, kv_linearizability_harness, list_remove_harness,
-    maintenance_harness, put_reclaim_harness, read_vs_relocation_harness,
-    superblock_pool_harness,
+    bulk_ops_harness, fig4_background_harness, fig4_index_harness, kv_linearizability_harness,
+    list_remove_harness, maintenance_harness, put_batch_maintenance_harness, put_reclaim_harness,
+    read_vs_relocation_harness, superblock_pool_harness,
 };
 
 const ITERS: usize = 400;
@@ -26,6 +26,31 @@ fn fig4_finds_issue_14() {
     )
     .expect_err("issue #14 should be found");
     assert!(matches!(err, CheckError::Failure { .. }), "unexpected: {err}");
+}
+
+#[test]
+fn fig4_background_holds_on_fixed_code() {
+    fig4_background_harness(FaultConfig::none(), CheckOptions::random(21, ITERS)).unwrap();
+    fig4_background_harness(FaultConfig::none(), CheckOptions::pct(21, 3, ITERS)).unwrap();
+}
+
+#[test]
+fn fig4_background_still_finds_issue_14() {
+    // The background writeback engine must not mask the compaction /
+    // reclamation race: the same seeded bug stays discoverable with the
+    // pump running as an extra scheduled task.
+    let err = fig4_background_harness(
+        FaultConfig::seed(BugId::B14CompactionReclaimRace),
+        CheckOptions::pct(21, 3, 5_000),
+    )
+    .expect_err("issue #14 should be found under background writeback");
+    assert!(matches!(err, CheckError::Failure { .. }), "unexpected: {err}");
+}
+
+#[test]
+fn put_batch_survives_maintenance_races() {
+    put_batch_maintenance_harness(FaultConfig::none(), CheckOptions::random(22, ITERS)).unwrap();
+    put_batch_maintenance_harness(FaultConfig::none(), CheckOptions::pct(22, 3, ITERS)).unwrap();
 }
 
 #[test]

@@ -39,6 +39,7 @@ fn coverage_metrics_expose_cache_blind_spot() {
             ..StoreConfig::small()
         },
         faults: FaultConfig::none(),
+        ..ConformanceConfig::default()
     };
     let _rec = coverage::Recording::start();
     run_workload(&oversized, 40);

@@ -505,8 +505,10 @@ impl LsmIndex {
         if pieces.len() > 1 {
             coverage::hit("lsm.table.multi_chunk");
         }
-        for piece in pieces {
-            let out = self.core.cache.put(Stream::Lsm, piece, dep_in)?;
+        // Group commit: the pieces go down as one batch, sharing a single
+        // superblock pointer update and (when contiguous) one disk IO,
+        // instead of one append round trip per piece.
+        for out in self.core.cache.put_batch(Stream::Lsm, &pieces, dep_in)? {
             locators.push(out.locator);
             data_deps.push(out.data_dep);
             full_deps.push(out.dep);
@@ -837,6 +839,10 @@ impl LsmIndex {
         };
         self.decoded_insert(table_id, entries);
         let meta_dep = self.write_metadata(std::slice::from_ref(&table_data_dep))?;
+        // One shared group dependency — table chunks ∧ metadata record —
+        // sealed into every flushed promise: a single join node carries
+        // the whole flush group instead of two edges per entry.
+        let group_dep = table_full_dep.and(&meta_dep);
         {
             let mut st = self.core.state.lock();
             let _ = table_id;
@@ -848,8 +854,7 @@ impl LsmIndex {
                     matches!(st.memtable.get(key), Some(e) if e.seq == *seq);
                 if remove {
                     let entry = st.memtable.remove(key).expect("checked above");
-                    entry.promise.add_dep(&table_full_dep);
-                    entry.promise.add_dep(&meta_dep);
+                    entry.promise.add_dep(&group_dep);
                     entry.promise.seal();
                 } else {
                     coverage::hit("lsm.flush.overwritten_during_flush");

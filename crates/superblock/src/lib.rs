@@ -701,6 +701,94 @@ impl ExtentManager {
         Ok(AppendOutcome { offset, data: data_dep, dep })
     }
 
+    /// Appends several payloads to `extent` back to back as one group
+    /// commit: each payload gets its own data write (contiguous, so the
+    /// scheduler merges them into one disk IO) but all of them share a
+    /// *single* superblock update covering the final write pointer —
+    /// instead of one superblock round trip per payload. Fails with
+    /// [`ExtentError::ExtentFull`] — without appending anything — if the
+    /// whole batch does not fit.
+    pub fn append_batch(
+        &self,
+        extent: ExtentId,
+        payloads: &[&[u8]],
+        dep: &Dependency,
+    ) -> Result<Vec<AppendOutcome>, ExtentError> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !self.core.faults.is(BugId::B12SuperblockDeadlock) {
+            self.reclaim_permits();
+            self.acquire_permit_pumping();
+        }
+        let mut st = self.core.state.lock();
+        let size = self.extent_size();
+        let info = &st.extents[extent.0 as usize];
+        if info.owner == Owner::Free || info.owner == Owner::Superblock {
+            let owner = info.owner;
+            drop(st);
+            if !self.core.faults.is(BugId::B12SuperblockDeadlock) {
+                self.release_permits(1);
+            }
+            return Err(ExtentError::WrongOwner { extent, owner });
+        }
+        let offset = info.write_ptr;
+        let total: usize = payloads.iter().map(|p| p.len()).sum();
+        if offset + total > size {
+            drop(st);
+            if !self.core.faults.is(BugId::B12SuperblockDeadlock) {
+                self.release_permits(1);
+            }
+            return Err(ExtentError::ExtentFull {
+                extent,
+                requested: total,
+                available: size - offset,
+            });
+        }
+        let reset_gate = match &st.reset_gates[extent.0 as usize] {
+            Some(g) if !g.is_persistent() => Some(g.clone()),
+            Some(_) => {
+                st.reset_gates[extent.0 as usize] = None;
+                None
+            }
+            None => None,
+        };
+        st.extents[extent.0 as usize].write_ptr = offset + total;
+        let dep_in = match &reset_gate {
+            Some(gate) => {
+                coverage::hit("superblock.append.reset_gated");
+                dep.and(gate)
+            }
+            None => dep.clone(),
+        };
+        coverage::hit("superblock.append.batch");
+        let mut placed: Vec<(usize, Dependency)> = Vec::with_capacity(payloads.len());
+        let mut data_deps: Vec<Dependency> = Vec::with_capacity(payloads.len());
+        let mut pos = offset;
+        for p in payloads {
+            let data_dep = self.core.sched.submit_write(extent, pos, p.to_vec(), &dep_in);
+            placed.push((pos, data_dep.clone()));
+            data_deps.push(data_dep);
+            pos += p.len();
+        }
+        let force_new = matches!(
+            (&reset_gate, &st.pending_sb),
+            (Some(gate), Some(pending)) if gate.same_node(pending)
+        );
+        let (sb_dep, created_new) = self.record_update_inner(&mut st, &data_deps, force_new);
+        drop(st);
+        if !self.core.faults.is(BugId::B12SuperblockDeadlock) && !created_new {
+            self.release_permits(1);
+        }
+        Ok(placed
+            .into_iter()
+            .map(|(off, data_dep)| {
+                let dep = data_dep.and(&sb_dep);
+                AppendOutcome { offset: off, data: data_dep, dep }
+            })
+            .collect())
+    }
+
     /// Resets an extent: soft write pointer back to zero, making all data
     /// on it unreadable. The reset's superblock update will not persist
     /// until `dep` does — callers pass the dependency of whatever must
@@ -888,6 +976,41 @@ mod tests {
         let b = em.append(ext, b"bbb", &none).unwrap().offset;
         assert_eq!((a, b), (0, 2));
         assert_eq!(em.write_pointer(ext), 5);
+    }
+
+    #[test]
+    fn append_batch_shares_one_superblock_update() {
+        let em = setup();
+        let (ext, _) = em.allocate(Owner::Data).unwrap();
+        em.pump().unwrap();
+        let sb_before = em.scheduler().stats().writes_submitted;
+        let none = em.scheduler().none();
+        let outs = em
+            .append_batch(ext, &[b"aa".as_slice(), b"bbb".as_slice(), b"c".as_slice()], &none)
+            .unwrap();
+        // 3 data writes + exactly 1 superblock update.
+        assert_eq!(em.scheduler().stats().writes_submitted - sb_before, 4);
+        assert_eq!(outs.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(em.write_pointer(ext), 6);
+        em.pump().unwrap();
+        for o in &outs {
+            assert!(o.dep.is_persistent());
+        }
+        assert_eq!(em.read(ext, 0, 6).unwrap(), b"aabbbc");
+    }
+
+    #[test]
+    fn append_batch_rejects_overflow_without_appending() {
+        let em = setup();
+        let (ext, _) = em.allocate(Owner::Data).unwrap();
+        let none = em.scheduler().none();
+        let size = em.extent_size();
+        let big = vec![1u8; size - 1];
+        assert!(matches!(
+            em.append_batch(ext, &[big.as_slice(), b"xy".as_slice()], &none),
+            Err(ExtentError::ExtentFull { .. })
+        ));
+        assert_eq!(em.write_pointer(ext), 0);
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived within the timeout.
+        Timeout,
+        /// All senders have disconnected.
+        Disconnected,
+    }
+
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
         inner: mpsc::Sender<T>,
@@ -97,6 +106,16 @@ pub mod channel {
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
         }
+
+        /// Blocks until a value arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let rx = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Creates an unbounded channel.
@@ -117,6 +136,17 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_disconnects() {
+            let (tx, rx) = unbounded::<u8>();
+            let short = std::time::Duration::from_millis(1);
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Timeout));
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(short), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Disconnected));
         }
 
         #[test]
