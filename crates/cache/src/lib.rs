@@ -238,6 +238,39 @@ impl CachedChunkStore {
         Ok(outs)
     }
 
+    /// Cache-only lookup: returns the cached payload without falling
+    /// through to the chunk store. This is how degraded mode finds the
+    /// last surviving local copy of a chunk whose extent was quarantined —
+    /// the disk copy is unreadable, so a store fallthrough would only
+    /// report the fault again.
+    pub fn cached(&self, locator: &Locator) -> Option<Arc<Vec<u8>>> {
+        let mut st = self.segment(locator).lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.entries.get_mut(&key_of(locator)).map(|e| {
+            e.last_use = tick;
+            Arc::clone(&e.payload)
+        })
+    }
+
+    /// Evacuates the live chunks of a quarantined extent (see
+    /// [`ChunkStore::evacuate_quarantined`]), sourcing payloads from this
+    /// cache. The quarantined extent is deliberately *not* drained: its
+    /// cached entries are the only local copies of any stranded chunks,
+    /// and the extent's space is never reused while quarantined, so the
+    /// stale-read hazard that mandates draining after a reset (issue #2)
+    /// does not exist here.
+    pub fn evacuate_quarantined(
+        &self,
+        extent: ExtentId,
+        stream: Stream,
+        referencer: &dyn Referencer,
+    ) -> Result<shardstore_chunk::EvacuationReport, ChunkError> {
+        self.store.evacuate_quarantined(extent, stream, referencer, &|l: &Locator| {
+            self.cached(l).map(|p| p.as_ref().clone())
+        })
+    }
+
     /// Invalidates a single cache entry (e.g. on delete).
     pub fn invalidate(&self, locator: &Locator) {
         let mut st = self.segment(locator).lock();
@@ -366,7 +399,7 @@ mod tests {
         let c = setup(100, FaultConfig::none());
         let none = c.chunk_store().extent_manager().scheduler().none();
         let outs: Vec<_> =
-            (0..8u8).map(|i| c.put(Stream::Data, &vec![i; 40], &none).unwrap()).collect();
+            (0..8u8).map(|i| c.put(Stream::Data, &[i; 40], &none).unwrap()).collect();
         for out in &outs {
             c.get(&out.locator).unwrap();
         }
@@ -520,7 +553,7 @@ mod tests {
         assert!(c.segment_count() > 1);
         let none = c.chunk_store().extent_manager().scheduler().none();
         let outs: Vec<_> =
-            (0..20u8).map(|i| c.put(Stream::Data, &vec![i; 30], &none).unwrap()).collect();
+            (0..20u8).map(|i| c.put(Stream::Data, &[i; 30], &none).unwrap()).collect();
         pump(&c);
         for out in &outs {
             c.get(&out.locator).unwrap(); // miss + populate
@@ -545,7 +578,7 @@ mod tests {
         let c = setup(1 << 20, FaultConfig::none());
         let none = c.chunk_store().extent_manager().scheduler().none();
         let outs: Vec<_> =
-            (0..10u8).map(|i| c.put(Stream::Data, &vec![i; 25], &none).unwrap()).collect();
+            (0..10u8).map(|i| c.put(Stream::Data, &[i; 25], &none).unwrap()).collect();
         pump(&c);
         for out in &outs {
             c.get(&out.locator).unwrap();

@@ -292,7 +292,7 @@ mod tests {
         // A torn frame at offset 0 (trailer corrupted), then a good frame
         // at the next page boundary.
         let mut buf = vec![0u8; 3 * PAGE];
-        let torn = encode_frame(&vec![7u8; 20], 11);
+        let torn = encode_frame(&[7u8; 20], 11);
         buf[..torn.len()].copy_from_slice(&torn);
         buf[torn.len() - 1] ^= 0xFF; // corrupt the trailer
         let good = encode_frame(b"live", 22);
@@ -312,7 +312,7 @@ mod tests {
         let mut buf = vec![0u8; 4 * PAGE];
         // The live second chunk, written from page 1 after the crash.
         let live_uuid: u128 = 0x11FE;
-        let live = encode_frame(&vec![9u8; 30], live_uuid);
+        let live = encode_frame(&[9u8; 30], live_uuid);
         buf[PAGE..PAGE + live.len()].copy_from_slice(&live);
         // The torn first chunk: header on page 0 claiming a length whose
         // trailer lands exactly on bytes inside the live chunk that equal
@@ -358,7 +358,7 @@ mod tests {
     #[test]
     fn b1_seeded_off_by_one_loses_following_chunks() {
         // First frame exactly one page long (payload = PAGE - overhead).
-        let mut buf = encode_frame(&vec![1u8; PAGE - FRAME_OVERHEAD], 5);
+        let mut buf = encode_frame(&[1u8; PAGE - FRAME_OVERHEAD], 5);
         assert_eq!(buf.len(), PAGE);
         buf.extend_from_slice(&encode_frame(b"second", 6));
         let fixed = scan_extent(&buf, buf.len(), PAGE, &FaultConfig::none());

@@ -7,7 +7,8 @@ mod store;
 
 pub use frame::{decode_frame_at, encode_frame, scan_extent, DecodedFrame, FRAME_OVERHEAD, MAGIC};
 pub use store::{
-    ChunkError, ChunkStats, ChunkStore, Locator, PutGuard, PutOutcome, ReclaimReport, Referencer, Stream,
+    ChunkError, ChunkStats, ChunkStore, EvacuationReport, Locator, PutGuard, PutOutcome,
+    ReclaimReport, Referencer, Stream,
 };
 
 #[cfg(test)]

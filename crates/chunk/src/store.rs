@@ -107,6 +107,12 @@ pub enum ChunkError {
         /// The payload size that could not be placed.
         requested: usize,
     },
+    /// The chunk lives on a quarantined extent and has no surviving
+    /// replica to serve it from. The caller can distinguish this from
+    /// `NotFound`: the data existed and may still be recovered by
+    /// re-replication from another node (out of scope for a single
+    /// storage node), but this node cannot return it.
+    Degraded(Locator),
 }
 
 impl fmt::Display for ChunkError {
@@ -116,7 +122,20 @@ impl fmt::Display for ChunkError {
             ChunkError::NotFound(l) => write!(f, "{l} not found"),
             ChunkError::Corrupt(l) => write!(f, "{l} failed validation"),
             ChunkError::NoSpace { requested } => write!(f, "no space for {requested}-byte chunk"),
+            ChunkError::Degraded(l) => write!(f, "{l} is on a quarantined extent (degraded)"),
         }
+    }
+}
+
+impl ChunkError {
+    /// True if this error reports data made unreachable by an extent
+    /// quarantine (degraded mode), as opposed to data that never existed
+    /// or failed validation.
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            ChunkError::Degraded(_) | ChunkError::Extent(ExtentError::Quarantined { .. })
+        )
     }
 }
 
@@ -158,6 +177,22 @@ pub trait Referencer {
     /// record's dependency. Returning `None` means the referencer's state
     /// is purely in-memory and imposes no ordering (test doubles).
     fn quiesce(&self) -> Option<Dependency>;
+}
+
+/// Outcome of one quarantined-extent evacuation
+/// ([`ChunkStore::evacuate_quarantined`]).
+#[derive(Debug, Clone)]
+pub struct EvacuationReport {
+    /// The quarantined extent.
+    pub extent: ExtentId,
+    /// Live chunks re-homed to fresh extents (from the cache copy).
+    pub evacuated: usize,
+    /// Live chunks with no surviving local copy; reads stay degraded.
+    pub stranded: usize,
+    /// Unreferenced chunks dropped from the registry.
+    pub dropped: usize,
+    /// Persists once every evacuated copy and pointer update has.
+    pub dep: Dependency,
 }
 
 /// Outcome of one reclamation pass.
@@ -304,6 +339,10 @@ impl ChunkStore {
         let extent_size = store.core.em.extent_size();
         for owner in [Owner::Data, Owner::LsmData, Owner::Metadata] {
             for extent in store.core.em.extents_owned_by(owner) {
+                if store.core.em.is_quarantined(extent) {
+                    coverage::hit("chunk.recover.skip_quarantined");
+                    continue;
+                }
                 // Chunks are trusted — and registered — only below the
                 // *persisted* write pointer. Bytes beyond it are either
                 // torn residue of unacknowledged appends or dead data
@@ -311,9 +350,22 @@ impl ChunkStore {
                 // may be resurrected.
                 let sb_ptr = store.core.em.write_pointer(extent);
                 let frames = if sb_ptr > 0 {
-                    let buf = store.core.em.read(extent, 0, sb_ptr)?;
-                    coverage::hit("chunk.recover.scan_extent");
-                    scan_extent(&buf, sb_ptr, page_size, &store.core.faults)
+                    match store.read_with_retry(extent, 0, sb_ptr) {
+                        Ok(buf) => {
+                            coverage::hit("chunk.recover.scan_extent");
+                            scan_extent(&buf, sb_ptr, page_size, &store.core.faults)
+                        }
+                        Err(ExtentError::Io(IoError::Failed { .. }))
+                        | Err(ExtentError::Quarantined { .. }) => {
+                            // Permanently dead extent: quarantine it and
+                            // recover everything else. Its chunks read as
+                            // Degraded, never as wrong data.
+                            store.core.em.quarantine(extent);
+                            coverage::hit("chunk.recover.quarantined");
+                            continue;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 } else {
                     Vec::new()
                 };
@@ -338,7 +390,25 @@ impl ChunkStore {
                 // misparse the mix — the §5 scenario, where "a second
                 // chunk is written to the same extent, starting from
                 // page 1".
-                let raw = store.core.em.scheduler().disk().read(extent, 0, extent_size)?;
+                let raw = {
+                    let disk = store.core.em.scheduler().disk();
+                    let mut attempts = 0u32;
+                    loop {
+                        match disk.read(extent, 0, extent_size) {
+                            Err(IoError::Injected { .. }) if attempts < 3 => attempts += 1,
+                            other => break other,
+                        }
+                    }
+                };
+                let raw = match raw {
+                    Ok(r) => r,
+                    Err(IoError::Failed { .. }) => {
+                        store.core.em.quarantine(extent);
+                        coverage::hit("chunk.recover.quarantined");
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                };
                 let garbage_end =
                     raw.iter().rposition(|b| *b != 0).map(|i| i + 1).unwrap_or(0);
                 let new_ptr = if garbage_end > last_valid_end {
@@ -363,6 +433,26 @@ impl ChunkStore {
         &self.core.em
     }
 
+    /// Reads through the extent manager with a bounded retry of transient
+    /// (injected) failures, mirroring the scheduler's write-retry budget.
+    fn read_with_retry(
+        &self,
+        extent: ExtentId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ExtentError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.core.em.read(extent, offset, len) {
+                Err(ExtentError::Io(IoError::Injected { .. })) if attempts < 3 => {
+                    attempts += 1;
+                    coverage::hit("chunk.read.retried");
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Forces the next generated UUID (test support for the §5 collision
     /// scenario).
     #[doc(hidden)]
@@ -384,11 +474,13 @@ impl ChunkStore {
         if frame_len > size {
             return Err(ChunkError::NoSpace { requested: frame_len });
         }
-        // Fast path: current open extent fits (and is not mid-reclaim).
+        // Fast path: current open extent fits (and is not mid-reclaim or
+        // quarantined).
         {
             let st = self.core.state.lock();
             if let Some(ext) = st.open.get(&stream).copied() {
                 if !st.reclaiming.contains(&ext.0)
+                    && !self.core.em.is_quarantined(ext)
                     && self.core.em.write_pointer(ext) + frame_len <= size
                 {
                     return Ok(ext);
@@ -399,7 +491,9 @@ impl ChunkStore {
         // Try an existing partially-filled extent of this stream, else
         // allocate a fresh one.
         for ext in self.core.em.extents_owned_by(stream.owner()) {
-            if self.core.state.lock().reclaiming.contains(&ext.0) {
+            if self.core.state.lock().reclaiming.contains(&ext.0)
+                || self.core.em.is_quarantined(ext)
+            {
                 continue;
             }
             if self.core.em.write_pointer(ext) + frame_len <= size {
@@ -463,11 +557,22 @@ impl ChunkStore {
                         }
                     }
                 }
-                if let ExtentError::ExtentFull { .. } = e {
-                    // Lost a race for the open extent; retry once with a
-                    // fresh target.
-                    coverage::hit("chunk.put.retry_full");
-                    return self.put(stream, payload, dep);
+                match e {
+                    ExtentError::ExtentFull { .. } => {
+                        // Lost a race for the open extent; retry once
+                        // with a fresh target.
+                        coverage::hit("chunk.put.retry_full");
+                        return self.put(stream, payload, dep);
+                    }
+                    ExtentError::Quarantined { .. } => {
+                        // The open extent died under us; re-route to a
+                        // fresh one (target selection skips quarantined
+                        // extents, so this terminates).
+                        coverage::hit("chunk.put.rerouted_quarantined");
+                        self.core.state.lock().open.retain(|_, x| *x != extent);
+                        return self.put(stream, payload, dep);
+                    }
+                    _ => {}
                 }
                 return Err(e.into());
             }
@@ -562,11 +667,21 @@ impl ChunkStore {
                         }
                     }
                 }
-                if let ExtentError::ExtentFull { .. } = e {
-                    // Lost a space race for the open extent; per-chunk
-                    // puts re-target (and may spread across extents).
-                    coverage::hit("chunk.put_batch.retry_full");
-                    return payloads.iter().map(|p| self.put(stream, p, dep)).collect();
+                match e {
+                    ExtentError::ExtentFull { .. } => {
+                        // Lost a space race for the open extent; per-chunk
+                        // puts re-target (and may spread across extents).
+                        coverage::hit("chunk.put_batch.retry_full");
+                        return payloads.iter().map(|p| self.put(stream, p, dep)).collect();
+                    }
+                    ExtentError::Quarantined { .. } => {
+                        // Open extent died; re-route each chunk to fresh
+                        // extents individually.
+                        coverage::hit("chunk.put_batch.rerouted_quarantined");
+                        self.core.state.lock().open.retain(|_, x| *x != extent);
+                        return payloads.iter().map(|p| self.put(stream, p, dep)).collect();
+                    }
+                    _ => {}
                 }
                 return Err(e.into());
             }
@@ -610,12 +725,37 @@ impl ChunkStore {
                 .map(|m| m.uuid == locator.uuid && m.len == locator.len)
                 .unwrap_or(false);
             if !known {
+                // A quarantined extent cannot be scanned at recovery, so
+                // its chunks are absent from the registry; a miss there is
+                // "unreadable", not "never existed".
+                if self.core.em.is_quarantined(locator.extent) {
+                    coverage::hit("chunk.get.degraded_unregistered");
+                    return Err(ChunkError::Degraded(*locator));
+                }
                 coverage::hit("chunk.get.not_found");
                 return Err(ChunkError::NotFound(*locator));
             }
         }
         let frame_len = locator.len as usize + FRAME_OVERHEAD;
-        let bytes = self.core.em.read(locator.extent, locator.offset as usize, frame_len)?;
+        let bytes = match self.read_with_retry(locator.extent, locator.offset as usize, frame_len)
+        {
+            Ok(b) => b,
+            Err(ExtentError::Quarantined { .. }) => {
+                // The chunk is registered but its extent is dead: the
+                // caller gets a *distinguishable* degraded error, never
+                // NotFound and never wrong bytes.
+                coverage::hit("chunk.get.degraded");
+                return Err(ChunkError::Degraded(*locator));
+            }
+            Err(ExtentError::Io(IoError::Failed { extent })) => {
+                // First observation of a permanent fault on a read path:
+                // quarantine so writers re-route, then report degraded.
+                self.core.em.quarantine(extent);
+                coverage::hit("chunk.get.degraded");
+                return Err(ChunkError::Degraded(*locator));
+            }
+            Err(e) => return Err(e.into()),
+        };
         let decoded = crate::frame::decode_frame_at(&bytes, 0, bytes.len())
             .map_err(|_| ChunkError::Corrupt(*locator))?;
         if decoded.uuid != locator.uuid || decoded.payload_len != locator.len as usize {
@@ -682,6 +822,13 @@ impl ChunkStore {
         stream: Stream,
         referencer: &dyn Referencer,
     ) -> Result<Option<ReclaimReport>, ChunkError> {
+        if self.core.em.is_quarantined(extent) {
+            // A dead extent cannot be scanned or reset; evacuation (and
+            // eventual re-replication) is handled by
+            // [`ChunkStore::evacuate_quarantined`], not GC.
+            coverage::hit("chunk.reclaim.skipped_quarantined");
+            return Ok(None);
+        }
         {
             let mut st = self.core.state.lock();
             if st.pinned.contains_key(&extent.0) {
@@ -779,6 +926,78 @@ impl ChunkStore {
         }
         drop(guards);
         Ok(Some(ReclaimReport { extent, evacuated, dropped, reset_dep }))
+    }
+
+    /// Evacuates the still-live chunks of a *quarantined* extent to fresh
+    /// extents. The dead extent cannot be read, so payloads come from the
+    /// `lookup` callback (in practice the buffer cache — the only
+    /// surviving local copy). Live chunks with no cached copy are
+    /// *stranded*: their registry entries stay, and reads keep returning
+    /// [`ChunkError::Degraded`] until a cross-node re-replication (out of
+    /// scope here) restores them. Unreferenced chunks are dropped from
+    /// the registry. The extent is never reset — it is dead, not free.
+    pub fn evacuate_quarantined(
+        &self,
+        extent: ExtentId,
+        stream: Stream,
+        referencer: &dyn Referencer,
+        lookup: &dyn Fn(&Locator) -> Option<Vec<u8>>,
+    ) -> Result<EvacuationReport, ChunkError> {
+        let chunks: Vec<Locator> = {
+            let st = self.core.state.lock();
+            st.registry
+                .get(&extent.0)
+                .map(|per| {
+                    per.iter()
+                        .map(|(off, m)| Locator {
+                            extent,
+                            offset: *off,
+                            len: m.len,
+                            uuid: m.uuid,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let mut evacuated = 0usize;
+        let mut stranded = 0usize;
+        let mut dropped = 0usize;
+        let mut deps: Vec<Dependency> = Vec::new();
+        for old in chunks {
+            if !referencer.is_live(&old) {
+                if let Some(per) = self.core.state.lock().registry.get_mut(&extent.0) {
+                    per.remove(&old.offset);
+                }
+                dropped += 1;
+                continue;
+            }
+            match lookup(&old) {
+                Some(payload) => {
+                    coverage::hit("chunk.evacuate.from_cache");
+                    let none = self.core.em.scheduler().none();
+                    let out = self.put(stream, &payload, &none)?;
+                    let ptr_dep = referencer.relocated(&old, &out.locator, &out.data_dep);
+                    deps.push(out.data_dep.clone());
+                    deps.push(ptr_dep);
+                    drop(out.guard);
+                    if let Some(per) = self.core.state.lock().registry.get_mut(&extent.0) {
+                        per.remove(&old.offset);
+                    }
+                    evacuated += 1;
+                }
+                None => {
+                    coverage::hit("chunk.evacuate.stranded");
+                    stranded += 1;
+                }
+            }
+        }
+        {
+            let mut st = self.core.state.lock();
+            st.open.retain(|_, e| *e != extent);
+            st.stats.evacuated += evacuated as u64;
+        }
+        let dep = self.core.em.scheduler().join(&deps);
+        Ok(EvacuationReport { extent, evacuated, stranded, dropped, dep })
     }
 
     /// All live locators currently registered, in deterministic order

@@ -266,6 +266,72 @@ mod tests {
 }
 
 #[cfg(test)]
+mod quarantine_tests {
+    use shardstore_faults::FaultConfig;
+    use shardstore_vdisk::Geometry;
+
+    use super::*;
+
+    fn store() -> Store {
+        Store::format(Geometry::small(), StoreConfig::small(), FaultConfig::none())
+    }
+
+    #[test]
+    fn permanent_read_fault_quarantines_and_rescues_cached_chunks() {
+        let s = store();
+        s.put(1, b"cached survivor").unwrap();
+        s.put(2, b"stranded victim").unwrap();
+        s.pump().unwrap();
+        let ext_a = s.index().get(1).unwrap().unwrap()[0].extent;
+        let ext_b = s.index().get(2).unwrap().unwrap()[0].extent;
+        assert_eq!(ext_a, ext_b, "both small chunks share the open extent");
+        // Read key 1 so its payload is resident in the buffer cache.
+        assert_eq!(s.get(1).unwrap().unwrap(), b"cached survivor");
+        // The extent dies permanently.
+        s.scheduler().disk().inject_fail_always(ext_a);
+        // Key 2 was never cached: its first post-fault read discovers the
+        // fault, quarantines the extent, and reports *degraded* — not
+        // NotFound, and never wrong bytes.
+        let err = s.get(2).unwrap_err();
+        assert!(err.is_degraded(), "got {err}");
+        assert_eq!(s.quarantined_extents(), vec![ext_a]);
+        // Key 1's cache copy was evacuated to a fresh extent and its
+        // index pointer rewired; it reads back fine.
+        assert_eq!(s.get(1).unwrap().unwrap(), b"cached survivor");
+        assert_ne!(s.index().get(1).unwrap().unwrap()[0].extent, ext_a);
+        // And the rescue is durable across a reboot (the dead extent
+        // stays dead — fail_always survives crashes).
+        s.flush_index().unwrap();
+        s.pump().unwrap();
+        let s2 = s.dirty_reboot(&shardstore_vdisk::CrashPlan::LoseAll).unwrap();
+        assert_eq!(s2.get(1).unwrap().unwrap(), b"cached survivor");
+    }
+
+    #[test]
+    fn writes_reroute_after_open_extent_death() {
+        let s = store();
+        s.put(1, b"first").unwrap();
+        s.pump().unwrap();
+        let open = s.index().get(1).unwrap().unwrap()[0].extent;
+        s.scheduler().disk().inject_fail_always(open);
+        // This put targets the dead open extent; its data write fails
+        // permanently during the pump, which quarantines the extent. The
+        // put is never acknowledged — but the store must not wedge.
+        let doomed = s.put(2, b"lost to the fault").unwrap();
+        s.pump().unwrap();
+        assert!(!doomed.is_persistent(), "a write lost to a dead extent must not ack");
+        assert!(s.quarantined_extents().contains(&open));
+        // New writes re-route to healthy extents and become durable,
+        // including the index flush (whose doomed entry is skipped).
+        let dep = s.put(3, b"rerouted").unwrap();
+        s.flush_index().unwrap();
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+        assert_eq!(s.get(3).unwrap().unwrap(), b"rerouted");
+    }
+}
+
+#[cfg(test)]
 mod migration_tests {
     use shardstore_faults::FaultConfig;
     use shardstore_vdisk::Geometry;

@@ -24,7 +24,7 @@ use shardstore_conc::sync::Mutex;
 use shardstore_dependency::{Dependency, IoScheduler};
 use shardstore_faults::{coverage, FaultConfig};
 use shardstore_lsm::{LsmError, LsmIndex};
-use shardstore_superblock::{ExtentError, ExtentManager};
+use shardstore_superblock::{ExtentError, ExtentManager, Owner};
 use shardstore_vdisk::{Disk, Geometry};
 
 /// Store-level errors.
@@ -47,6 +47,22 @@ impl fmt::Display for StoreError {
             StoreError::Lsm(e) => write!(f, "index: {e}"),
             StoreError::Extent(e) => write!(f, "extent: {e}"),
             StoreError::OutOfService => write!(f, "store out of service"),
+        }
+    }
+}
+
+impl StoreError {
+    /// True if this error reports *degraded* data — present but
+    /// unreachable because its extent was quarantined after a permanent
+    /// fault — rather than data that never existed. Callers (and the
+    /// validation harness) use this to distinguish honest unavailability
+    /// from a lost write.
+    pub fn is_degraded(&self) -> bool {
+        match self {
+            StoreError::Chunk(e) => e.is_degraded(),
+            StoreError::Lsm(e) => e.is_degraded(),
+            StoreError::Extent(e) => matches!(e, ExtentError::Quarantined { .. }),
+            StoreError::OutOfService => false,
         }
     }
 }
@@ -133,6 +149,9 @@ pub struct Store {
     faults: FaultConfig,
     config: StoreConfig,
     in_service: Arc<Mutex<bool>>,
+    /// Quarantined extents whose evacuation has already run (evacuation
+    /// is one-shot per extent; stranded chunks stay degraded).
+    evacuated: Arc<Mutex<std::collections::BTreeSet<u32>>>,
 }
 
 impl fmt::Debug for Store {
@@ -150,7 +169,13 @@ impl Store {
         let cs = ChunkStore::new(em, faults.clone(), config.uuid_seed);
         let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
         let index = LsmIndex::with_config(cache, faults.clone(), config.lsm_config());
-        Self { index, faults, config, in_service: Arc::new(Mutex::new(true)) }
+        Self {
+            index,
+            faults,
+            config,
+            in_service: Arc::new(Mutex::new(true)),
+            evacuated: Arc::new(Mutex::new(std::collections::BTreeSet::new())),
+        }
     }
 
     /// Recovers a store from an existing disk after a reboot (clean or
@@ -165,7 +190,13 @@ impl Store {
         let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
         let index = LsmIndex::recover_with_config(cache, faults.clone(), config.lsm_config())?;
         coverage::hit("store.recovered");
-        Ok(Self { index, faults, config, in_service: Arc::new(Mutex::new(true)) })
+        Ok(Self {
+            index,
+            faults,
+            config,
+            in_service: Arc::new(Mutex::new(true)),
+            evacuated: Arc::new(Mutex::new(std::collections::BTreeSet::new())),
+        })
     }
 
     /// The store's IO scheduler (for pumping, crash injection, and
@@ -243,11 +274,17 @@ impl Store {
             guards.push(out.guard);
         }
         // An overwrite orphans the previous value's chunks: hint them
-        // dead so reclamation can prioritize their extents.
-        if let Some(old) = self.index.get(shard)? {
-            for locator in &old {
-                self.cache().chunk_store().mark_dead(locator);
+        // dead so reclamation can prioritize their extents. The hint is
+        // best-effort — a degraded index read must not fail the write.
+        match self.index.get(shard) {
+            Ok(Some(old)) => {
+                for locator in &old {
+                    self.cache().chunk_store().mark_dead(locator);
+                }
             }
+            Ok(None) => {}
+            Err(e) if e.is_degraded() => {}
+            Err(e) => return Err(e.into()),
         }
         let data_dep = self.scheduler().join(&data_deps);
         let index_dep = self.index.put(shard, locators, data_dep);
@@ -301,10 +338,15 @@ impl Store {
                 data_deps.push(out.data_dep);
                 guards.push(out.guard);
             }
-            if let Some(old) = self.index.get(*shard)? {
-                for locator in &old {
-                    self.cache().chunk_store().mark_dead(locator);
+            match self.index.get(*shard) {
+                Ok(Some(old)) => {
+                    for locator in &old {
+                        self.cache().chunk_store().mark_dead(locator);
+                    }
                 }
+                Ok(None) => {}
+                Err(e) if e.is_degraded() => {}
+                Err(e) => return Err(e.into()),
             }
             let data_dep = self.scheduler().join(&data_deps);
             let index_dep = self.index.put(*shard, locators, data_dep);
@@ -341,6 +383,13 @@ impl Store {
                 }
             }
             let Some(e) = failed else { return Ok(Some(data)) };
+            if e.is_degraded() {
+                // A quarantine surfaced on this read path. Evacuate what
+                // the cache still holds — it may re-home this very chunk
+                // (rewiring the index), and helps every other key on the
+                // extent either way.
+                self.evacuate_pending()?;
+            }
             let now = self.index.get(shard)?;
             if now.as_ref() != Some(&locators) {
                 coverage::hit("store.get.retry_relocated");
@@ -358,10 +407,15 @@ impl Store {
     /// an extent (the invariant issue #2 violated).
     pub fn delete(&self, shard: u128) -> Result<Dependency, StoreError> {
         self.check_service()?;
-        if let Some(locators) = self.index.get(shard)? {
-            for locator in &locators {
-                self.cache().chunk_store().mark_dead(locator);
+        match self.index.get(shard) {
+            Ok(Some(locators)) => {
+                for locator in &locators {
+                    self.cache().chunk_store().mark_dead(locator);
+                }
             }
+            Ok(None) => {}
+            Err(e) if e.is_degraded() => {}
+            Err(e) => return Err(e.into()),
         }
         let dep = self.index.delete(shard);
         self.maybe_flush()?;
@@ -442,10 +496,72 @@ impl Store {
     }
 
     /// Drives all queued IO to completion (the background writeback pump
-    /// making a full pass).
+    /// making a full pass). Permanent extent faults observed during the
+    /// pump quarantine the extent (inside the extent manager); this
+    /// entry point then evacuates the surviving chunks and pumps the
+    /// evacuation IO down too.
     pub fn pump(&self) -> Result<(), StoreError> {
-        self.cache().chunk_store().extent_manager().pump()?;
+        let em = self.cache().chunk_store().extent_manager();
+        // Each round can quarantine at most one new extent, so the loop
+        // is bounded by the extent count.
+        for _ in 0..=em.extent_count() {
+            em.pump()?;
+            if !self.evacuate_pending()? {
+                return Ok(());
+            }
+        }
         Ok(())
+    }
+
+    /// Extents currently quarantined after a permanent fault.
+    pub fn quarantined_extents(&self) -> Vec<shardstore_vdisk::ExtentId> {
+        self.cache().chunk_store().extent_manager().quarantined()
+    }
+
+    /// Runs the one-shot evacuation for any quarantined extent that has
+    /// not been evacuated yet: still-live chunks with a surviving cache
+    /// copy are re-homed to fresh extents and their index pointers
+    /// rewired; the rest stay degraded. Returns true if any evacuation
+    /// ran (the caller should pump the resulting IO).
+    pub fn evacuate_pending(&self) -> Result<bool, StoreError> {
+        let mut ran = false;
+        for extent in self.quarantined_extents() {
+            if !self.evacuated.lock().insert(extent.0) {
+                continue;
+            }
+            let owner = self.cache().chunk_store().extent_manager().owner(extent);
+            let result = match owner {
+                Owner::Data => {
+                    let referencer = self.index.data_referencer();
+                    self.cache().evacuate_quarantined(extent, Stream::Data, &referencer)
+                }
+                Owner::LsmData => {
+                    let referencer = self.index.lsm_referencer();
+                    self.cache().evacuate_quarantined(extent, Stream::Lsm, &referencer)
+                }
+                Owner::Metadata => {
+                    let referencer = self.index.lsm_referencer();
+                    self.cache().evacuate_quarantined(extent, Stream::Meta, &referencer)
+                }
+                _ => continue,
+            };
+            match result {
+                Ok(report) => {
+                    if report.evacuated > 0 {
+                        coverage::hit("store.evacuate.rescued");
+                    }
+                    if report.stranded > 0 {
+                        coverage::hit("store.evacuate.stranded");
+                    }
+                    ran = true;
+                }
+                // A full disk leaves the remaining chunks stranded (and
+                // degraded) — honest unavailability, not an error.
+                Err(ChunkError::NoSpace { .. }) => ran = true,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(ran)
     }
 
     /// Clean shutdown: flush the index and pump all IO, after which every

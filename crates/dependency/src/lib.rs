@@ -113,6 +113,15 @@ pub struct SchedulerStats {
     pub waw_dependencies: u64,
     /// Writes re-queued after a transient IO failure.
     pub writes_retried: u64,
+    /// In-call retry attempts of transient (`Injected`) write failures
+    /// inside `issue_ready` / `issue_barrier`.
+    pub retries: u64,
+    /// Transient failures that survived the whole in-call retry budget
+    /// and were requeued with an error surfaced to the pumper.
+    pub retry_exhausted: u64,
+    /// Writes permanently failed by `fail_extent_writes` (extent
+    /// quarantine): they are `Lost` and will never persist.
+    pub writes_failed: u64,
     /// Group-commit batches issued (one per `issue_ready` call that
     /// issued at least one write).
     pub batches_issued: u64,
@@ -140,8 +149,14 @@ struct Inner {
     /// When true, every write is flushed individually as it is issued
     /// (the "global barrier" ablation mode — no coalescing benefit).
     barrier_mode: bool,
+    /// How many immediate in-call retries a transient (`Injected`) write
+    /// failure gets before the batch is requeued and the error surfaced.
+    retry_budget: u32,
     stats: SchedulerStats,
 }
+
+/// Default in-call retry budget for transient write failures.
+pub const DEFAULT_RETRY_BUDGET: u32 = 3;
 
 /// How writeback is driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,6 +299,7 @@ impl IoScheduler {
                     issued: BTreeMap::new(),
                     issued_total: 0,
                     barrier_mode: false,
+                    retry_budget: DEFAULT_RETRY_BUDGET,
                     stats: SchedulerStats::default(),
                 }),
                 pump_ctl: Mutex::new(PumpCtl { mode: WritebackMode::Deterministic, worker: None }),
@@ -587,7 +603,9 @@ impl IoScheduler {
                     run
                 );
             }
-            match self.core.disk.write(*extent, offset, &buf) {
+            let result =
+                Self::write_with_retry(inner, &self.core.disk, *extent, offset, &buf);
+            match result {
                 Ok(()) => {
                     for &id in run {
                         if let NodeKind::Write { state, .. } = &mut inner.nodes[id].kind {
@@ -630,6 +648,37 @@ impl IoScheduler {
         Ok(issued)
     }
 
+    /// Drives one disk write with the bounded in-call retry of transient
+    /// (`Injected`) failures. The retried IO is byte-identical — the
+    /// batch grouping and every dependency edge are untouched; a retry is
+    /// simply the same coalesced IO driven again. Permanent (`Failed`)
+    /// and out-of-range errors are never retried: they return on the
+    /// first attempt without burning budget (a permanently failed extent
+    /// keeps erroring until it is quarantined or the fault cleared). The
+    /// success path costs one branch — no bookkeeping.
+    fn write_with_retry(
+        inner: &mut Inner,
+        disk: &Disk,
+        extent: ExtentId,
+        offset: usize,
+        buf: &[u8],
+    ) -> Result<(), IoError> {
+        let mut result = disk.write(extent, offset, buf);
+        if result.is_ok() {
+            return result;
+        }
+        let mut budget = inner.retry_budget;
+        while budget > 0 && matches!(result, Err(IoError::Injected { .. })) {
+            budget -= 1;
+            inner.stats.retries += 1;
+            result = disk.write(extent, offset, buf);
+        }
+        if matches!(result, Err(IoError::Injected { .. })) {
+            inner.stats.retry_exhausted += 1;
+        }
+        result
+    }
+
     /// The barrier-mode (WAL ablation) issue path: one IO and one fence
     /// per write, no coalescing.
     fn issue_barrier(inner: &mut Inner, disk: &Disk, max: usize) -> Result<usize, IoError> {
@@ -649,7 +698,7 @@ impl IoScheduler {
                 }
                 NodeKind::Join { .. } => unreachable!("ready queue holds only writes"),
             };
-            if let Err(e) = disk.write(extent, offset, &data) {
+            if let Err(e) = Self::write_with_retry(inner, disk, extent, offset, &data) {
                 if let NodeKind::Write { data: d, .. } = &mut inner.nodes[id].kind {
                     *d = Some(data);
                 }
@@ -829,6 +878,200 @@ impl IoScheduler {
         }
     }
 
+    /// Sets how many immediate in-call retries a transient (`Injected`)
+    /// write failure gets before `issue_ready` gives up, requeues the
+    /// batch, and surfaces the error. Zero disables in-call retry (the
+    /// failed batch is still requeued for the next pump, the pre-retry
+    /// behavior).
+    pub fn set_retry_budget(&self, budget: u32) {
+        self.core.inner.lock().retry_budget = budget;
+    }
+
+    /// Permanently fails every not-yet-persisted write targeting
+    /// `extent`: pending and issued writes are marked `Lost` (they can
+    /// never become persistent) and leave the queues. Extent quarantine
+    /// calls this once an extent is known bad — its queued writes will
+    /// never succeed, and leaving them `Pending` would wedge everything
+    /// ordered after them (most damagingly the shared superblock write).
+    /// Returns how many writes were failed.
+    pub fn fail_extent_writes(&self, extent: ExtentId) -> usize {
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
+        let mut failed = 0usize;
+        let pending_ids: Vec<NodeId> = inner.pending.iter().copied().collect();
+        for id in pending_ids {
+            if let NodeKind::Write { extent: e, state, data, .. } = &mut inner.nodes[id].kind {
+                if *e == extent && *state == WriteState::Pending {
+                    *state = WriteState::Lost;
+                    *data = None;
+                    failed += 1;
+                }
+            }
+        }
+        // Issued-but-unflushed writes on the extent can never be fenced
+        // (the flush would keep failing), so they are lost too.
+        if let Some(ids) = inner.issued.remove(&extent) {
+            inner.issued_total -= ids.len();
+            for id in ids {
+                if let NodeKind::Write { state, .. } = &mut inner.nodes[id].kind {
+                    *state = WriteState::Lost;
+                }
+                failed += 1;
+            }
+        }
+        // Lost nodes drop out of the submission-order queue (and the
+        // ready queue skips them via the staleness re-check).
+        Self::drop_issued_from_pending(inner);
+        inner.stats.writes_failed += failed as u64;
+        failed
+    }
+
+    /// Detaches *ordering* edges onto `Lost` writes from a still-pending
+    /// write, recursing through unshared sealed joins (a join some other
+    /// node still waits on, or an unsealed promise, is left alone). This
+    /// is how the pending superblock write survives extent quarantine:
+    /// its edges onto appends that went down with the extent are pruned
+    /// in place — keeping its slot, generation, and amended table —
+    /// instead of abandoning it, which would burn the slot and let a
+    /// torn replacement write destroy the newest durable superblock
+    /// generation. Client durability handles are untouched: the lost
+    /// writes themselves stay `Lost` forever, so a put whose data was
+    /// lost still never acknowledges. Returns how many edges were
+    /// detached.
+    pub fn prune_doomed_deps(&self, dep: &Dependency) -> usize {
+        let Some(root) = dep.node else { return 0 };
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
+        if !matches!(
+            &inner.nodes[root].kind,
+            NodeKind::Write { state: WriteState::Pending, .. }
+        ) {
+            return 0;
+        }
+        // Collect the prunable subgraph: the root write plus sealed joins
+        // reachable through it that nothing else waits on (their single
+        // waiter is the node we came from, so resolving them early is
+        // invisible outside this chain).
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut visit = vec![root];
+        while let Some(n) = visit.pop() {
+            if order.contains(&n) {
+                continue;
+            }
+            order.push(n);
+            for &d in &inner.nodes[n].deps {
+                if matches!(&inner.nodes[d].kind, NodeKind::Join { sealed: true })
+                    && !inner.nodes[d].persistent_memo
+                    && inner.nodes[d].waiters.len() <= 1
+                {
+                    visit.push(d);
+                }
+            }
+        }
+        let mut pruned = 0usize;
+        // Deepest joins first, so a join freed of its last blocker
+        // resolves before its parent is examined and the readiness
+        // cascade runs through the normal event machinery.
+        for &n in order.iter().rev() {
+            let deps = inner.nodes[n].deps.clone();
+            for d in deps {
+                if !matches!(
+                    &inner.nodes[d].kind,
+                    NodeKind::Write { state: WriteState::Lost, .. }
+                ) {
+                    continue;
+                }
+                inner.nodes[n].deps.retain(|&x| x != d);
+                if let Some(pos) = inner.nodes[d].waiters.iter().position(|&w| w == n) {
+                    inner.nodes[d].waiters.remove(pos);
+                    inner.nodes[n].unresolved -= 1;
+                }
+                pruned += 1;
+            }
+            if inner.nodes[n].unresolved == 0 {
+                match &inner.nodes[n].kind {
+                    NodeKind::Join { sealed: true } => Self::resolve(inner, n),
+                    NodeKind::Write { state: WriteState::Pending, .. }
+                        if !inner.ready.contains(&n) =>
+                    {
+                        inner.ready.push_back(n);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        drop(guard);
+        if pruned > 0 {
+            self.core.signal_pump();
+        }
+        pruned
+    }
+
+    /// True if the subgraph below `start` contains a lost write that no
+    /// memoized-persistent node shadows — i.e. the node can never resolve.
+    fn subtree_doomed(inner: &Inner, start: NodeId) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) || inner.nodes[n].persistent_memo {
+                continue;
+            }
+            if matches!(&inner.nodes[n].kind, NodeKind::Write { state: WriteState::Lost, .. }) {
+                return true;
+            }
+            stack.extend(inner.nodes[n].deps.iter().copied());
+        }
+        false
+    }
+
+    /// Cuts, for **every** pending write, direct dependency edges whose
+    /// subgraph can never resolve (it contains a lost write). Called after
+    /// an extent quarantine: without this, a write wedged on a doomed
+    /// dependency wedges everything ordered after it — in particular the
+    /// coalesced superblock write, and with it the entire node.
+    ///
+    /// Only the *edge* is removed. A shared dependency node (e.g. a
+    /// client durability join containing the lost write) is never
+    /// resolved by this: its other waiters — acknowledgement checks —
+    /// still see it unresolved forever, which is exactly the no-lost-ack
+    /// guarantee. The unwedged write may persist state that references
+    /// data which never landed; readers of such references get a
+    /// `NotFound`/`Degraded` error, never wrong bytes.
+    pub fn prune_doomed_pending(&self) -> usize {
+        let mut guard = self.core.inner.lock();
+        let inner = &mut *guard;
+        let writes: Vec<NodeId> = inner.pending.iter().copied().collect();
+        let mut pruned = 0usize;
+        for w in writes {
+            if !matches!(
+                &inner.nodes[w].kind,
+                NodeKind::Write { state: WriteState::Pending, .. }
+            ) {
+                continue;
+            }
+            let deps = inner.nodes[w].deps.clone();
+            for d in deps {
+                if inner.nodes[d].persistent_memo || !Self::subtree_doomed(inner, d) {
+                    continue;
+                }
+                inner.nodes[w].deps.retain(|&x| x != d);
+                if let Some(pos) = inner.nodes[d].waiters.iter().position(|&x| x == w) {
+                    inner.nodes[d].waiters.remove(pos);
+                    inner.nodes[w].unresolved -= 1;
+                }
+                pruned += 1;
+            }
+            if inner.nodes[w].unresolved == 0 && !inner.ready.contains(&w) {
+                inner.ready.push_back(w);
+            }
+        }
+        drop(guard);
+        if pruned > 0 {
+            self.core.signal_pump();
+        }
+        pruned
+    }
+
     /// Simulates a fail-stop crash: pending writes are dropped, issued
     /// writes survive at page granularity per `plan` (via
     /// [`Disk::crash`]), and neither can ever become persistent.
@@ -971,6 +1214,32 @@ impl Dependency {
             None => true,
             Some(n) => self.core.inner.lock().nodes[n].persistent_memo,
         }
+    }
+
+    /// True if this dependency can never become persistent: it is, or
+    /// transitively depends on, a write lost to a crash or failed by
+    /// extent quarantine. Unsealed promises are not doomed — they may
+    /// still be sealed onto live dependencies. The complement of
+    /// [`Dependency::is_persistent`] is three-valued (pending work is
+    /// neither persistent nor doomed); this resolves the "never" third.
+    pub fn is_doomed(&self) -> bool {
+        let Some(root) = self.node else { return false };
+        let inner = self.core.inner.lock();
+        if inner.nodes[root].persistent_memo {
+            return false;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) || inner.nodes[n].persistent_memo {
+                continue;
+            }
+            if matches!(&inner.nodes[n].kind, NodeKind::Write { state: WriteState::Lost, .. }) {
+                return true;
+            }
+            stack.extend(inner.nodes[n].deps.iter().copied());
+        }
+        false
     }
 
     /// True if both handles point at the same graph node (or both are the
@@ -1277,8 +1546,27 @@ mod tests {
     }
 
     #[test]
-    fn transient_write_failure_is_retried() {
+    fn transient_write_failure_is_retried_in_call() {
         let (disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"x".to_vec(), &none);
+        disk.inject_fail_once(ExtentId(1));
+        // The bounded in-call retry absorbs the transient failure: the
+        // batch issues without surfacing an error.
+        assert_eq!(s.issue_ready(usize::MAX).unwrap(), 1);
+        s.flush_issued().unwrap();
+        assert!(dep.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"x");
+        let stats = s.stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.retry_exhausted, 0);
+        assert_eq!(stats.writes_retried, 0, "nothing was requeued");
+    }
+
+    #[test]
+    fn transient_failure_with_zero_budget_requeues() {
+        let (disk, s) = setup();
+        s.set_retry_budget(0);
         let none = s.none();
         let dep = s.submit_write(ExtentId(1), 0, b"x".to_vec(), &none);
         disk.inject_fail_once(ExtentId(1));
@@ -1290,6 +1578,123 @@ mod tests {
         assert!(dep.is_persistent());
         assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"x");
         assert_eq!(s.stats().writes_retried, 1);
+        assert_eq!(s.stats().retries, 0);
+    }
+
+    #[test]
+    fn transient_burst_exhausts_retry_budget_then_recovers() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let dep = s.submit_write(ExtentId(1), 0, b"x".to_vec(), &none);
+        // One more transient failure than the first attempt plus the
+        // default budget covers: the in-call retry is exhausted, the
+        // write is requeued, and the *next* pump succeeds (the burst is
+        // spent).
+        disk.inject_fail_times(ExtentId(1), DEFAULT_RETRY_BUDGET + 1);
+        assert!(matches!(s.issue_ready(usize::MAX), Err(IoError::Injected { .. })));
+        assert!(!dep.is_persistent());
+        let stats = s.stats();
+        assert_eq!(stats.retries, u64::from(DEFAULT_RETRY_BUDGET));
+        assert_eq!(stats.retry_exhausted, 1);
+        s.pump().unwrap();
+        assert!(dep.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn retry_keeps_dependency_edges_and_batching() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let gate = s.promise();
+        let a = s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
+        let b = s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &none);
+        let blocked = s.submit_write(ExtentId(2), 0, b"zz".to_vec(), &gate.dependency());
+        disk.inject_fail_once(ExtentId(1));
+        s.pump().unwrap();
+        // The coalesced two-write IO was retried as one IO: the retry
+        // preserves group-commit batching.
+        assert!(a.is_persistent() && b.is_persistent());
+        let stats = s.stats();
+        assert_eq!(stats.ios_issued, 1);
+        assert_eq!(stats.writes_coalesced, 1);
+        assert_eq!(stats.retries, 1);
+        // The gated write still respects its dependency edge.
+        assert!(!blocked.is_persistent());
+        gate.seal();
+        s.pump().unwrap();
+        assert!(blocked.is_persistent());
+        assert_eq!(disk.read(ExtentId(1), 0, 4).unwrap(), b"aabb");
+    }
+
+    #[test]
+    fn permanent_failure_burns_no_retries() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let _dep = s.submit_write(ExtentId(1), 0, b"x".to_vec(), &none);
+        disk.inject_fail_always(ExtentId(1));
+        assert!(matches!(s.issue_ready(usize::MAX), Err(IoError::Failed { .. })));
+        let stats = s.stats();
+        assert_eq!(stats.retries, 0, "permanent faults are not retried");
+        assert_eq!(stats.retry_exhausted, 0);
+    }
+
+    #[test]
+    fn fail_extent_writes_loses_pending_and_issued() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let issued = s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
+        s.issue_ready(usize::MAX).unwrap();
+        let gate = s.promise();
+        let pending = s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &gate.dependency());
+        let other = s.submit_write(ExtentId(2), 0, b"cc".to_vec(), &gate.dependency());
+        assert_eq!(s.fail_extent_writes(ExtentId(1)), 2);
+        assert_eq!(s.stats().writes_failed, 2);
+        // The other extent's write is untouched and still completes.
+        gate.seal();
+        s.pump().unwrap();
+        assert!(!issued.is_persistent());
+        assert!(!pending.is_persistent());
+        assert!(other.is_persistent());
+        assert_eq!(disk.read(ExtentId(2), 0, 2).unwrap(), b"cc");
+        assert_eq!(s.issued_count(), 0);
+    }
+
+    #[test]
+    fn prune_doomed_deps_unwedges_a_pending_write() {
+        let (disk, s) = setup();
+        let none = s.none();
+        let doomed = s.submit_write(ExtentId(1), 0, b"dd".to_vec(), &none);
+        let live = s.submit_write(ExtentId(2), 0, b"ll".to_vec(), &none);
+        // A write gated on join(doomed, live) — the record_update shape.
+        let gate = s.join(&[doomed.clone(), live.clone()]);
+        let gated = s.submit_write(ExtentId(3), 0, b"gg".to_vec(), &gate);
+        s.fail_extent_writes(ExtentId(1));
+        s.pump().unwrap();
+        assert!(live.is_persistent());
+        assert!(!gated.is_persistent(), "wedged on the lost write");
+        assert!(s.prune_doomed_deps(&gated) > 0);
+        s.pump().unwrap();
+        assert!(gated.is_persistent());
+        assert_eq!(disk.read(ExtentId(3), 0, 2).unwrap(), b"gg");
+        // The lost write itself still never acknowledges.
+        assert!(!doomed.is_persistent());
+    }
+
+    #[test]
+    fn prune_leaves_shared_joins_alone() {
+        let (_disk, s) = setup();
+        let none = s.none();
+        let doomed = s.submit_write(ExtentId(1), 0, b"d".to_vec(), &none);
+        s.fail_extent_writes(ExtentId(1));
+        let shared = s.join(std::slice::from_ref(&doomed));
+        // Two writes wait on the same join: it is shared, so pruning one
+        // waiter must not resolve it out from under the other.
+        let w1 = s.submit_write(ExtentId(2), 0, b"1".to_vec(), &shared);
+        let w2 = s.submit_write(ExtentId(3), 0, b"2".to_vec(), &shared);
+        assert_eq!(s.prune_doomed_deps(&w1), 0);
+        s.pump().unwrap();
+        assert!(!w1.is_persistent());
+        assert!(!w2.is_persistent());
     }
 
     #[test]

@@ -106,7 +106,23 @@ fn retry_preserves_waw_order() {
     let (disk, s) = setup();
     let first = s.submit_write(ExtentId(1), 0, b"one".to_vec(), &s.none());
     let second = s.submit_write(ExtentId(1), 0, b"two".to_vec(), &s.none());
-    // Fail the first issue attempt; both must still land in order.
+    // Fail the first issue attempt; the in-call retry absorbs it and
+    // both must still land in order.
+    disk.inject_fail_once(ExtentId(1));
+    s.pump().unwrap();
+    assert!(first.is_persistent());
+    assert!(second.is_persistent());
+    assert_eq!(disk.read(ExtentId(1), 0, 3).unwrap(), b"two");
+}
+
+#[test]
+fn requeue_preserves_waw_order_without_retry_budget() {
+    let (disk, s) = setup();
+    s.set_retry_budget(0);
+    let first = s.submit_write(ExtentId(1), 0, b"one".to_vec(), &s.none());
+    let second = s.submit_write(ExtentId(1), 0, b"two".to_vec(), &s.none());
+    // With in-call retry disabled the transient failure surfaces, the
+    // write is requeued, and the next pump lands both in order.
     disk.inject_fail_once(ExtentId(1));
     assert!(s.pump().is_err());
     s.pump().unwrap();

@@ -67,6 +67,25 @@ fn test_rng(seed: u64) -> TestRng {
     TestRng::from_seed(RngAlgorithm::ChaCha, &bytes)
 }
 
+/// Seed override for CI fault matrices: `SHARDSTORE_SEED` (decimal or
+/// `0x`-prefixed hex) replaces `default` when set, so the same test
+/// binaries can be fanned out across a seed matrix without recompiling.
+/// Unset or unparsable values fall back to `default`, keeping local runs
+/// reproducible.
+pub fn seed_override(default: u64) -> u64 {
+    match std::env::var("SHARDSTORE_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
 /// Deterministically samples operation sequences from a strategy.
 pub fn sample_sequences<T: std::fmt::Debug>(
     strategy: impl Strategy<Value = T>,
@@ -99,13 +118,25 @@ where
         if let Some(detail) = run(&ops, &cfg) {
             // Minimize the counterexample (§4.3). Minimization needs
             // deterministic replay — "still fails" must be well-defined —
-            // which the live background pump thread breaks, so background
-            // detections report the un-minimized sequence.
-            let minimized = if background {
+            // which the live background pump thread breaks. So background
+            // detections quiesce before minimizing: candidates are
+            // replayed with the pump disabled (the checked properties are
+            // timing-independent, so any sequence that still fails
+            // deterministically is the same bug). Counterexamples that
+            // *only* fail under the racing pump are reported un-minimized.
+            let replay_cfg = if background {
+                let mut c = cfg.clone();
+                c.background_writeback = false;
+                c
+            } else {
+                cfg.clone()
+            };
+            let minimized = if background && run(&ops, &replay_cfg).is_none() {
                 None
             } else {
                 let original = measure(&ops, cfg.geometry.page_size);
-                let minimized_ops = minimize(&ops, |candidate| run(candidate, &cfg).is_some());
+                let minimized_ops =
+                    minimize(&ops, |candidate| run(candidate, &replay_cfg).is_some());
                 Some((original, measure(&minimized_ops, cfg.geometry.page_size)))
             };
             return Detection { bug, detected: true, method, attempts, minimized, detail };
@@ -132,13 +163,23 @@ fn search_node(bug: BugId, budget: DetectBudget, background: bool) -> Detection 
     ) {
         attempts += 1;
         if let Err(d) = run_node_conformance(&ops, &cfg, 2) {
-            // Greedy op-removal shrink — skipped under the background
-            // pump, where replay is not deterministic (see search_kv).
-            let minimized = if background {
+            // Greedy op-removal shrink. Under the background pump the
+            // quiesce-before-minimize rule applies (see search_kv):
+            // candidates replay with the pump disabled, and purely
+            // schedule-dependent counterexamples stay un-minimized.
+            let replay_cfg = if background {
+                let mut c = cfg.clone();
+                c.background_writeback = false;
+                c
+            } else {
+                cfg.clone()
+            };
+            let minimized = if background && run_node_conformance(&ops, &replay_cfg, 2).is_ok() {
                 None
             } else {
-                let fails =
-                    |candidate: &[NodeOp]| run_node_conformance(candidate, &cfg, 2).is_err();
+                let fails = |candidate: &[NodeOp]| {
+                    run_node_conformance(candidate, &replay_cfg, 2).is_err()
+                };
                 let mut current: Vec<NodeOp> = ops.clone();
                 let mut changed = true;
                 while changed {

@@ -1,0 +1,662 @@
+//! Deterministic fault-schedule sweeps: §4.4's failure injection taken
+//! systematic.
+//!
+//! The random alphabets inject transient failures at random points
+//! ([`KvOp::FailDiskOnce`]); this module instead *enumerates* fault
+//! schedules — the cross product of target extent, operation index, and
+//! fault kind (a counted transient burst, or a permanent extent death) —
+//! and replays each schedule against generated operation sequences.
+//!
+//! Every run checks three properties:
+//!
+//! - **Conformance under faults** (§4.4's relaxation): operations may
+//!   fail and keys touched by failed operations become uncertain, but no
+//!   read ever returns bytes that were never written, and no *untouched*
+//!   key is silently lost.
+//! - **Durability under quarantine**: a key whose put was acknowledged
+//!   (its dependency reported persistent) must afterwards read back as an
+//!   acknowledged-or-later value for that key, or fail with a
+//!   *distinguishable* degraded error once its extent is quarantined —
+//!   never `None`, and never wrong bytes.
+//! - **No lost acks**: a dependency that has reported persistent must
+//!   never revert. Retry and quarantine bookkeeping in the scheduler must
+//!   not un-acknowledge a durable write.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use shardstore_core::{Store, StoreConfig, StoreError};
+use shardstore_dependency::Dependency;
+use shardstore_faults::FaultConfig;
+use shardstore_model::KvModel;
+use shardstore_vdisk::{CrashPlan, ExtentId, Geometry};
+
+use crate::detect::sample_sequences;
+use crate::gen::{kv_ops, GenConfig};
+use crate::ops::KvOp;
+
+/// The kind of fault a schedule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The next `n` IOs to the extent fail with a *transient* error.
+    /// `n` at or below the scheduler's retry budget is absorbed
+    /// invisibly; above it, the error surfaces and the write requeues.
+    Transient(u32),
+    /// Every IO to the extent fails permanently: the extent is expected
+    /// to be quarantined on first contact.
+    Permanent,
+}
+
+/// One point in the fault-schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Target extent. Extent 0 (the superblock) is never enumerated: a
+    /// dead superblock extent is node death, not degraded mode.
+    pub extent: ExtentId,
+    /// The fault is armed immediately before this operation index.
+    pub op_index: usize,
+    /// What kind of fault fires.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Transient(n) => {
+                write!(f, "transient×{n} on extent {} before op {}", self.extent.0, self.op_index)
+            }
+            FaultKind::Permanent => {
+                write!(f, "permanent fault on extent {} before op {}", self.extent.0, self.op_index)
+            }
+        }
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Disk geometry for the stores under test.
+    pub geometry: Geometry,
+    /// Store configuration.
+    pub store: StoreConfig,
+    /// Run the stores with the background writeback engine.
+    pub background_writeback: bool,
+    /// Base seed for sequence generation (sweeps are deterministic).
+    pub seed: u64,
+    /// Number of generated operation sequences to sweep.
+    pub sequences: u64,
+    /// Enumerate every `extent_stride`-th extent starting at 1.
+    pub extent_stride: u32,
+    /// Enumerate every `op_stride`-th operation index starting at 0.
+    pub op_stride: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            geometry: Geometry::small(),
+            store: StoreConfig::small(),
+            background_writeback: false,
+            seed: 0xFA17,
+            sequences: 4,
+            extent_stride: 3,
+            op_stride: 7,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Enables the background writeback engine for every store.
+    pub fn background(mut self) -> Self {
+        self.background_writeback = true;
+        self
+    }
+
+    /// The fault schedules enumerated for a sequence of `seq_len` ops.
+    pub fn schedules(&self, seq_len: usize) -> Vec<FaultSchedule> {
+        let kinds = [
+            FaultKind::Transient(1),
+            FaultKind::Transient(shardstore_dependency::DEFAULT_RETRY_BUDGET + 1),
+            FaultKind::Permanent,
+        ];
+        let mut out = Vec::new();
+        let mut extent = 1u32;
+        while extent < self.geometry.extent_count {
+            let mut op_index = 0usize;
+            while op_index < seq_len {
+                for kind in kinds {
+                    out.push(FaultSchedule { extent: ExtentId(extent), op_index, kind });
+                }
+                op_index += self.op_stride.max(1);
+            }
+            extent += self.extent_stride.max(1);
+        }
+        out
+    }
+}
+
+/// A property violation found by the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepViolation {
+    /// The schedule that exposed it.
+    pub schedule: FaultSchedule,
+    /// Index of the sequence (within the sweep) it fired on.
+    pub sequence: u64,
+    /// Index of the operation at which the violation was observed.
+    pub op_index: usize,
+    /// Which property failed and how.
+    pub detail: String,
+}
+
+impl fmt::Display for SweepViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep violation (seq {}, {}) at op {}: {}",
+            self.sequence, self.schedule, self.op_index, self.detail
+        )
+    }
+}
+
+impl std::error::Error for SweepViolation {}
+
+/// Aggregate statistics from a completed sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepReport {
+    /// Sequences swept.
+    pub sequences: u64,
+    /// Fault schedules executed in total.
+    pub schedules: u64,
+    /// Runs in which the scheduler absorbed the fault via in-call retry.
+    pub retried_runs: u64,
+    /// Runs that ended with at least one quarantined extent.
+    pub quarantined_runs: u64,
+    /// Degraded read errors observed (and tolerated) across all runs.
+    pub degraded_reads: u64,
+    /// Acknowledged dependencies tracked across all runs.
+    pub acks_tracked: u64,
+}
+
+/// One acknowledged-durability tracking record: a put (or delete) whose
+/// dependency we watch for the no-lost-ack property.
+struct Tracked {
+    key: u128,
+    /// Index into the key's write history; `None` for a delete.
+    hist_idx: Option<usize>,
+    dep: Dependency,
+    acked: bool,
+}
+
+struct SweepCtx {
+    store: Store,
+    model: KvModel,
+    history: BTreeMap<u128, Vec<Arc<Vec<u8>>>>,
+    tracked: Vec<Tracked>,
+    puts_so_far: Vec<u128>,
+    uncertain: std::collections::BTreeSet<u128>,
+    /// Keys deleted at or after their last acked write (a later `None`
+    /// read is then legal).
+    deleted_after_ack: std::collections::BTreeSet<u128>,
+    fault_armed: bool,
+    degraded_reads: u64,
+}
+
+impl SweepCtx {
+    fn was_written(&self, key: u128, bytes: &[u8]) -> bool {
+        self.history.get(&key).map(|h| h.iter().any(|v| ***v == *bytes)).unwrap_or(false)
+    }
+
+    fn record_write(&mut self, key: u128, value: Arc<Vec<u8>>) -> usize {
+        self.puts_so_far.push(key);
+        let h = self.history.entry(key).or_default();
+        h.push(value);
+        h.len() - 1
+    }
+
+    /// Polls every tracked dependency, promoting to acked and enforcing
+    /// the no-lost-ack property.
+    fn poll_acks(&mut self, at: usize) -> Result<(), String> {
+        for t in &mut self.tracked {
+            let persistent = t.dep.is_persistent();
+            if t.acked && !persistent {
+                return Err(format!(
+                    "no-lost-ack violated at op {at}: key {} was acknowledged durable and reverted",
+                    t.key
+                ));
+            }
+            if persistent && !t.acked {
+                t.acked = true;
+                if t.hist_idx.is_none() {
+                    self.deleted_after_ack.insert(t.key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The latest acknowledged *write* per key (deletes supersede).
+    fn acked_values(&self) -> BTreeMap<u128, usize> {
+        let mut out = BTreeMap::new();
+        for t in self.tracked.iter().filter(|t| t.acked) {
+            match t.hist_idx {
+                Some(idx) => {
+                    out.insert(t.key, idx);
+                }
+                None => {
+                    out.remove(&t.key);
+                }
+            }
+        }
+        out
+    }
+
+    fn tolerate(&self, e: &StoreError) -> bool {
+        self.fault_armed && !matches!(e, StoreError::OutOfService)
+    }
+
+    /// True if the key's most recent tracked write was never acknowledged
+    /// (or the key was never written through the tracked path). Under an
+    /// armed fault such a write may legitimately vanish — its data write
+    /// can be `Lost` to a quarantine before persisting, the doomed index
+    /// entry is then filtered out of the next flush, and the client was
+    /// never told otherwise. Only *acknowledged* state carries a
+    /// durability promise, and that promise is enforced separately by
+    /// `poll_acks` (acks never revert) and `check_acked_durability`
+    /// (acked keys stay readable or fail degraded).
+    fn latest_write_unacked(&self, key: u128) -> bool {
+        match self.tracked.iter().rev().find(|t| t.key == key && t.hist_idx.is_some()) {
+            Some(t) => !t.acked,
+            None => true,
+        }
+    }
+}
+
+fn is_no_space(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::Chunk(shardstore_chunk::ChunkError::NoSpace { .. })
+            | StoreError::Lsm(shardstore_lsm::LsmError::Chunk(
+                shardstore_chunk::ChunkError::NoSpace { .. }
+            ))
+    )
+}
+
+/// Runs one operation sequence under one fault schedule, checking all
+/// three sweep properties. Returns per-run observations on success.
+pub fn run_schedule(
+    ops: &[KvOp],
+    schedule: FaultSchedule,
+    cfg: &SweepConfig,
+    faults: &FaultConfig,
+) -> Result<(bool, bool, u64, u64), SweepViolation> {
+    let store = Store::format(cfg.geometry, cfg.store, faults.clone());
+    if cfg.background_writeback {
+        store.scheduler().set_writeback_mode(shardstore_dependency::WritebackMode::Background(
+            shardstore_dependency::WritebackConfig::default(),
+        ));
+    }
+    let mut ctx = SweepCtx {
+        store,
+        model: KvModel::new(),
+        history: BTreeMap::new(),
+        tracked: Vec::new(),
+        puts_so_far: Vec::new(),
+        uncertain: std::collections::BTreeSet::new(),
+        deleted_after_ack: std::collections::BTreeSet::new(),
+        fault_armed: false,
+        degraded_reads: 0,
+    };
+    let violation = |i: usize, detail: String| SweepViolation {
+        schedule,
+        sequence: 0,
+        op_index: i,
+        detail,
+    };
+    let page_size = cfg.geometry.page_size;
+    let retries_before = ctx.store.scheduler().stats().retries;
+    for (i, op) in ops.iter().enumerate() {
+        if i == schedule.op_index {
+            let disk = ctx.store.scheduler().disk().clone();
+            match schedule.kind {
+                FaultKind::Transient(n) => disk.inject_fail_times(schedule.extent, n),
+                FaultKind::Permanent => disk.inject_fail_always(schedule.extent),
+            }
+            ctx.fault_armed = true;
+        }
+        apply_swept_op(&mut ctx, i, op, page_size).map_err(|d| violation(i, d))?;
+        ctx.poll_acks(i).map_err(|d| violation(i, d))?;
+        check_step(&ctx, i).map_err(|d| violation(i, d))?;
+    }
+    // Settle: drive all remaining IO (absorbing leftover transient
+    // counts), then check acked durability one final time.
+    let n = ops.len();
+    for _ in 0..4 {
+        if ctx.store.pump().is_ok() {
+            break;
+        }
+    }
+    ctx.poll_acks(n).map_err(|d| violation(n, d))?;
+    check_acked_durability(&mut ctx, n).map_err(|d| violation(n, d))?;
+    // A permanent schedule on an extent the run never touched simply never
+    // quarantines: an uninteresting schedule, not a violation.
+    let retried = ctx.store.scheduler().stats().retries > retries_before;
+    let quarantined = !ctx.store.quarantined_extents().is_empty();
+    let acks = ctx.tracked.iter().filter(|t| t.acked).count() as u64;
+    Ok((retried, quarantined, ctx.degraded_reads, acks))
+}
+
+fn apply_swept_op(
+    ctx: &mut SweepCtx,
+    i: usize,
+    op: &KvOp,
+    page_size: usize,
+) -> Result<(), String> {
+    match op {
+        KvOp::Get(kr) => {
+            let key = kr.resolve(&ctx.puts_so_far);
+            let got = ctx.store.get(key);
+            check_get(ctx, i, key, got)?;
+        }
+        KvOp::Put(kr, spec) => {
+            let key = kr.resolve(&ctx.puts_so_far);
+            let value = Arc::new(spec.materialize(key, page_size));
+            match ctx.store.put(key, &value) {
+                Ok(dep) => {
+                    ctx.model.put(key, &value);
+                    let hist_idx = ctx.record_write(key, value);
+                    ctx.deleted_after_ack.remove(&key);
+                    ctx.tracked.push(Tracked { key, hist_idx: Some(hist_idx), dep, acked: false });
+                }
+                Err(e) if is_no_space(&e) => {}
+                Err(e) if ctx.tolerate(&e) => {
+                    ctx.record_write(key, value);
+                    ctx.uncertain.insert(key);
+                }
+                Err(e) => return Err(format!("put({key}) failed without a fault: {e}")),
+            }
+        }
+        KvOp::PutBatch(elems) => {
+            let batch: Vec<(u128, Arc<Vec<u8>>)> = elems
+                .iter()
+                .map(|(kr, spec)| {
+                    let key = kr.resolve(&ctx.puts_so_far);
+                    (key, Arc::new(spec.materialize(key, page_size)))
+                })
+                .collect();
+            let arg: Vec<(u128, Vec<u8>)> = batch.iter().map(|(k, v)| (*k, v.to_vec())).collect();
+            match ctx.store.put_batch(&arg) {
+                Ok(deps) => {
+                    for ((key, value), dep) in batch.into_iter().zip(deps) {
+                        ctx.model.put(key, &value);
+                        let hist_idx = ctx.record_write(key, value);
+                        ctx.deleted_after_ack.remove(&key);
+                        ctx.tracked.push(Tracked {
+                            key,
+                            hist_idx: Some(hist_idx),
+                            dep,
+                            acked: false,
+                        });
+                    }
+                }
+                Err(e) if is_no_space(&e) => {}
+                Err(e) if ctx.tolerate(&e) => {
+                    for (key, value) in batch {
+                        ctx.record_write(key, value);
+                        ctx.uncertain.insert(key);
+                    }
+                }
+                Err(e) => return Err(format!("put_batch failed without a fault: {e}")),
+            }
+        }
+        KvOp::Delete(kr) => {
+            let key = kr.resolve(&ctx.puts_so_far);
+            match ctx.store.delete(key) {
+                Ok(dep) => {
+                    ctx.model.delete(key);
+                    ctx.tracked.push(Tracked { key, hist_idx: None, dep, acked: false });
+                }
+                Err(e) if is_no_space(&e) => {}
+                Err(e) if ctx.tolerate(&e) => {
+                    // A partially-applied delete makes later absence legal.
+                    ctx.uncertain.insert(key);
+                    ctx.deleted_after_ack.insert(key);
+                }
+                Err(e) => return Err(format!("delete({key}) failed without a fault: {e}")),
+            }
+        }
+        KvOp::IndexFlush => background_op(ctx, "flush", |c| c.store.flush_index())?,
+        KvOp::Compact => background_op(ctx, "compact", |c| c.store.compact_index())?,
+        KvOp::Reclaim(stream) => {
+            let stream = *stream;
+            background_op(ctx, "reclaim", |c| c.store.reclaim(stream).map(|_| ()))?
+        }
+        KvOp::CacheDrop => ctx.store.drop_caches(),
+        KvOp::Pump(n) => {
+            let sched = ctx.store.scheduler();
+            let r = sched.issue_ready(*n as usize).and_then(|_| sched.flush_issued());
+            if let Err(e) = r {
+                if !ctx.fault_armed {
+                    return Err(format!("pump failed without a fault: {e}"));
+                }
+                mark_all_uncertain(ctx);
+            }
+            // Pumping may have surfaced a permanent fault; let the store
+            // quarantine and evacuate.
+            let _ = ctx.store.evacuate_pending();
+        }
+        KvOp::Reboot => {
+            if let Err(e) = ctx.store.clean_shutdown() {
+                if !ctx.tolerate(&e) && !is_no_space(&e) {
+                    return Err(format!("clean shutdown failed without a fault: {e}"));
+                }
+                mark_all_uncertain(ctx);
+            }
+            match ctx.store.dirty_reboot(&CrashPlan::LoseAll) {
+                Ok(recovered) => ctx.store = recovered,
+                Err(e) => {
+                    if !ctx.fault_armed {
+                        return Err(format!("recovery failed without a fault: {e}"));
+                    }
+                    // Recovery blocked by the injected fault (a dead node
+                    // would be re-replicated from other hosts). Clear the
+                    // fault and retry so the sequence can continue; the
+                    // relaxation stays active.
+                    ctx.store.scheduler().disk().clear_failures();
+                    mark_all_uncertain(ctx);
+                    ctx.store = ctx
+                        .store
+                        .dirty_reboot(&CrashPlan::LoseAll)
+                        .map_err(|e| format!("recovery failed twice: {e}"))?;
+                }
+            }
+        }
+        KvOp::DirtyReboot(_) | KvOp::FailDiskOnce(_) => {
+            // Not part of the sweep alphabet (faults come from the
+            // schedule); treated as no-ops so alphabets can be shared.
+        }
+    }
+    Ok(())
+}
+
+fn background_op(
+    ctx: &mut SweepCtx,
+    what: &str,
+    f: impl FnOnce(&mut SweepCtx) -> Result<(), StoreError>,
+) -> Result<(), String> {
+    if let Err(e) = f(ctx) {
+        if !ctx.tolerate(&e) && !is_no_space(&e) {
+            return Err(format!("{what} failed without a fault: {e}"));
+        }
+        mark_all_uncertain(ctx);
+    }
+    Ok(())
+}
+
+fn mark_all_uncertain(ctx: &mut SweepCtx) {
+    let model_keys = ctx.model.list();
+    ctx.uncertain.extend(model_keys);
+    if let Ok(keys) = ctx.store.list() {
+        ctx.uncertain.extend(keys);
+    }
+    let hist_keys: Vec<u128> = ctx.history.keys().copied().collect();
+    ctx.uncertain.extend(hist_keys);
+}
+
+fn check_get(
+    ctx: &mut SweepCtx,
+    _i: usize,
+    key: u128,
+    got: Result<Option<Vec<u8>>, StoreError>,
+) -> Result<(), String> {
+    let expected = ctx.model.get(key);
+    let uncertain = ctx.uncertain.contains(&key);
+    match (got, expected, ctx.fault_armed) {
+        (Ok(None), None, _) => Ok(()),
+        (Ok(Some(g)), Some(e), _) if *g == **e => Ok(()),
+        (Err(e), _, true) => {
+            if e.is_degraded() {
+                ctx.degraded_reads += 1;
+            }
+            Ok(())
+        }
+        (Ok(None), Some(_), true) if uncertain || ctx.latest_write_unacked(key) => Ok(()),
+        (Ok(Some(g)), _, true)
+            if (uncertain || ctx.latest_write_unacked(key)) && ctx.was_written(key, &g) =>
+        {
+            Ok(())
+        }
+        (Ok(Some(g)), Some(e), _) => Err(format!(
+            "get({key}) returned {} bytes, model has {} bytes",
+            g.len(),
+            e.len()
+        )),
+        (Ok(Some(_)), None, _) => Err(format!("get({key}) returned data for an absent key")),
+        (Ok(None), Some(_), _) => Err(format!("get({key}) lost data the model still has")),
+        (Err(e), _, false) => Err(format!("get({key}) failed without a fault: {e}")),
+    }
+}
+
+/// Per-step relaxed conformance check (the §4.4 invariant): untouched
+/// keys are never silently lost, and nothing readable was never written.
+fn check_step(ctx: &SweepCtx, _i: usize) -> Result<(), String> {
+    let impl_keys = match ctx.store.list() {
+        Ok(k) => k,
+        Err(_) if ctx.fault_armed => return Ok(()),
+        Err(e) => return Err(format!("list failed without a fault: {e}")),
+    };
+    let model_keys = ctx.model.list();
+    if !ctx.fault_armed {
+        if impl_keys != model_keys {
+            return Err(format!(
+                "key sets diverge: impl {impl_keys:?} vs model {model_keys:?}"
+            ));
+        }
+        return Ok(());
+    }
+    for key in model_keys.iter().filter(|k| !ctx.uncertain.contains(k)) {
+        if !impl_keys.contains(key) && !ctx.latest_write_unacked(*key) {
+            return Err(format!("acked key {key} lost although no operation on it failed"));
+        }
+    }
+    for key in &impl_keys {
+        if let Ok(Some(got)) = ctx.store.get(*key) {
+            if !ctx.was_written(*key, &got) {
+                return Err(format!("key {key} returned bytes that were never written"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The durability-under-quarantine property, checked after the sequence
+/// settles: every key with an acknowledged write reads back as its acked
+/// value or a later-written one, or fails *degraded* — never `None`
+/// (unless deleted after the ack), and never unwritten bytes.
+fn check_acked_durability(ctx: &mut SweepCtx, _at: usize) -> Result<(), String> {
+    let acked = ctx.acked_values();
+    for (key, acked_idx) in acked {
+        if ctx.deleted_after_ack.contains(&key) {
+            continue;
+        }
+        // A later (possibly unacked) delete makes absence legal; only
+        // keys the model still holds carry the strict obligation.
+        if ctx.model.get(key).is_none() {
+            continue;
+        }
+        // Tolerate leftover transient counts: retry the read a couple of
+        // times before judging.
+        let mut last = ctx.store.get(key);
+        for _ in 0..2 {
+            if last.is_ok() {
+                break;
+            }
+            last = ctx.store.get(key);
+        }
+        match last {
+            Ok(Some(got)) => {
+                let hist = ctx.history.get(&key).expect("acked key has history");
+                let ok = hist[acked_idx..].iter().any(|v| ***v == *got);
+                if !ok {
+                    return Err(format!(
+                        "durability violated: acked key {key} read back bytes older than (or \
+                         foreign to) its acknowledged write"
+                    ));
+                }
+            }
+            Ok(None) => {
+                return Err(format!(
+                    "durability violated: acked key {key} is silently missing (no delete, no \
+                     degraded error)"
+                ));
+            }
+            Err(e) if e.is_degraded() => {
+                ctx.degraded_reads += 1;
+            }
+            Err(e) => {
+                // At quiescence the only legitimate read failure for an
+                // acknowledged key is a *distinguishable* degraded error
+                // (its extent quarantined). Anything else — e.g. a
+                // NotFound because some maintenance pass forgot the chunk
+                // — is silent loss of acknowledged data.
+                return Err(format!(
+                    "durability violated: acked key {key} unreadable with a non-degraded \
+                     error: {e}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sweeps every enumerated fault schedule over `cfg.sequences` generated
+/// operation sequences. Returns aggregate statistics, or the first
+/// property violation found.
+pub fn run_sweep(cfg: &SweepConfig, faults: &FaultConfig) -> Result<SweepReport, SweepViolation> {
+    let mut report = SweepReport::default();
+    let sequences: Vec<Vec<KvOp>> =
+        sample_sequences(kv_ops(GenConfig::conformance()), cfg.seed, cfg.sequences).collect();
+    for (seq_idx, ops) in sequences.iter().enumerate() {
+        report.sequences += 1;
+        for schedule in cfg.schedules(ops.len()) {
+            report.schedules += 1;
+            match run_schedule(ops, schedule, cfg, faults) {
+                Ok((retried, quarantined, degraded, acks)) => {
+                    if retried {
+                        report.retried_runs += 1;
+                    }
+                    if quarantined {
+                        report.quarantined_runs += 1;
+                    }
+                    report.degraded_reads += degraded;
+                    report.acks_tracked += acks;
+                }
+                Err(mut v) => {
+                    v.sequence = seq_idx as u64;
+                    return Err(v);
+                }
+            }
+        }
+    }
+    Ok(report)
+}

@@ -20,6 +20,7 @@ pub mod concurrent;
 pub mod conformance;
 pub mod crash;
 pub mod detect;
+pub mod fault_sweep;
 pub mod gen;
 pub mod index_conformance;
 pub mod lin;

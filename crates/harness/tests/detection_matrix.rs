@@ -6,10 +6,10 @@
 //! matrix with full budgets and reports attempts and minimization stats.
 
 use shardstore_faults::BugId;
-use shardstore_harness::detect::{detect, DetectBudget};
+use shardstore_harness::detect::{detect, seed_override, DetectBudget};
 
 fn budget() -> DetectBudget {
-    DetectBudget { max_sequences: 30_000, conc_iterations: 6_000, seed: 0x5EED }
+    DetectBudget { max_sequences: 30_000, conc_iterations: 6_000, seed: seed_override(0x5EED) }
 }
 
 fn assert_detected(bug: BugId) {

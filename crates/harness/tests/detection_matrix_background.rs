@@ -12,11 +12,11 @@
 use shardstore_faults::{BugId, FaultConfig};
 use shardstore_harness::conformance::{run_conformance, ConformanceConfig};
 use shardstore_harness::crash::run_crash_consistency;
-use shardstore_harness::detect::{detect_background, sample_sequences, DetectBudget};
+use shardstore_harness::detect::{detect, detect_background, sample_sequences, seed_override, DetectBudget};
 use shardstore_harness::gen::{kv_ops, GenConfig};
 
 fn budget() -> DetectBudget {
-    DetectBudget { max_sequences: 30_000, conc_iterations: 6_000, seed: 0x5EED }
+    DetectBudget { max_sequences: 30_000, conc_iterations: 6_000, seed: seed_override(0x5EED) }
 }
 
 fn assert_detected(bug: BugId) {
@@ -122,4 +122,28 @@ fn background_writeback_causes_no_false_positives() {
     for ops in sample_sequences(kv_ops(GenConfig::crash()), 0xBA5E ^ 1, 150) {
         run_crash_consistency(&ops, &cfg).expect("background crash check diverged on fixed code");
     }
+}
+
+#[test]
+fn background_minimizes_counterexamples_like_deterministic_mode() {
+    // Regression for the quiesce-before-minimize rule: background-mode
+    // detections replay their candidate under a deterministic config and
+    // minimize the replay, so a logic bug like B1 must come back with a
+    // minimized counterexample of the same quality as the deterministic
+    // matrix produces — not `None` just because a pump thread was racing
+    // when the divergence was first observed.
+    let det = detect(BugId::B1ReclamationOffByOne, budget());
+    let bg = detect_background(BugId::B1ReclamationOffByOne, budget());
+    assert!(det.detected && bg.detected);
+
+    let (det_orig, det_min) = det.minimized.expect("deterministic detection reports sizes");
+    let (bg_orig, bg_min) = bg
+        .minimized
+        .expect("background detection must minimize via deterministic replay");
+    assert!(det_min.ops <= det_orig.ops);
+    assert!(bg_min.ops <= bg_orig.ops);
+    assert!(bg_min.bytes_written <= bg_orig.bytes_written);
+    // Same quality bar as the deterministic matrix applies to both modes.
+    assert!(det_min.ops <= 12, "deterministic B1 counterexample: {det_min:?}");
+    assert!(bg_min.ops <= 12, "background B1 counterexample: {bg_min:?}");
 }

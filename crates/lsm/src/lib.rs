@@ -41,6 +41,7 @@ use shardstore_conc::sync::Mutex;
 use shardstore_dependency::{Dependency, Promise};
 use shardstore_faults::{coverage, BugId, FaultConfig};
 use shardstore_vdisk::codec::CodecError;
+use shardstore_vdisk::ExtentId;
 
 pub use codec::{IndexValue, MetadataRecord, TableDescriptor};
 pub use filter::{KeyFilter, TableMeta};
@@ -76,6 +77,12 @@ pub enum LsmError {
     /// No valid metadata record was found during recovery although
     /// metadata extents contain data.
     CorruptMetadata,
+    /// Recovery found a metadata extent quarantined: the newest metadata
+    /// record may be unreadable, so the recovered index cannot be
+    /// certified (adopting an older record would silently roll back
+    /// acknowledged writes). The node must be treated as failed and
+    /// re-replicated rather than served degraded.
+    UncertifiableRecovery(ExtentId),
 }
 
 impl fmt::Display for LsmError {
@@ -84,7 +91,18 @@ impl fmt::Display for LsmError {
             LsmError::Chunk(e) => write!(f, "chunk error: {e}"),
             LsmError::Codec(e) => write!(f, "codec error: {e}"),
             LsmError::CorruptMetadata => write!(f, "no valid LSM metadata record"),
+            LsmError::UncertifiableRecovery(e) => {
+                write!(f, "metadata extent {e} quarantined: recovered index uncertifiable")
+            }
         }
+    }
+}
+
+impl LsmError {
+    /// True if the underlying failure is a quarantined-extent degradation
+    /// (see [`ChunkError::is_degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, LsmError::Chunk(e) if e.is_degraded())
     }
 }
 
@@ -327,11 +345,34 @@ impl LsmIndex {
             let extent_size = em.extent_size();
             let page_size = disk.geometry().page_size;
             for extent in em.extents_owned_by(shardstore_superblock::Owner::Metadata) {
-                let raw = disk.read(extent, 0, extent_size).map_err(|e| {
-                    LsmError::Chunk(ChunkError::Extent(
-                        shardstore_superblock::ExtentError::Io(e),
-                    ))
-                })?;
+                let raw = {
+                    let mut attempts = 0u32;
+                    loop {
+                        match disk.read(extent, 0, extent_size) {
+                            Err(shardstore_vdisk::IoError::Injected { .. }) if attempts < 3 => {
+                                attempts += 1;
+                            }
+                            other => break other,
+                        }
+                    }
+                };
+                let raw = match raw {
+                    Ok(r) => r,
+                    Err(shardstore_vdisk::IoError::Failed { .. }) => {
+                        // A permanently dead metadata extent cannot be
+                        // fenced against, but it cannot serve stale
+                        // records either: quarantine bars it from reads
+                        // and from pointer advancement forever.
+                        em.quarantine(extent);
+                        coverage::hit("lsm.recover.fence_quarantined");
+                        continue;
+                    }
+                    Err(e) => {
+                        return Err(LsmError::Chunk(ChunkError::Extent(
+                            shardstore_superblock::ExtentError::Io(e),
+                        )))
+                    }
+                };
                 for frame in shardstore_chunk::scan_extent(
                     &raw,
                     extent_size,
@@ -341,6 +382,20 @@ impl LsmIndex {
                     if let Ok(record) = codec::decode_metadata(frame.payload(&raw)) {
                         seq_fence = seq_fence.max(record.seq);
                     }
+                }
+            }
+        }
+        // A quarantined metadata extent may hold the *newest* metadata
+        // record, invisible to the registry scan above. Adopting an older
+        // record would silently roll back acknowledged index updates, so
+        // the recovered index cannot be certified: fail recovery loudly
+        // (node death → re-replication) instead of serving stale state.
+        {
+            let em = index.core.cache.chunk_store().extent_manager();
+            for extent in em.extents_owned_by(shardstore_superblock::Owner::Metadata) {
+                if em.is_quarantined(extent) {
+                    coverage::hit("lsm.recover.uncertifiable");
+                    return Err(LsmError::UncertifiableRecovery(extent));
                 }
             }
         }
@@ -780,9 +835,24 @@ impl LsmIndex {
         let (snapshot, data_deps): (Vec<(u128, IndexValue, u64)>, Vec<Dependency>) = {
             let mut st = self.core.state.lock();
             st.reset_since_flush = false;
+            // Skip entries whose data write was lost to a permanent
+            // extent fault: their dependency can never resolve, and
+            // joining it into `table_dep_in` would wedge this and every
+            // future flush. The doomed entries stay in the memtable
+            // unacknowledged (their puts never become durable); a later
+            // overwrite of the same key supersedes them normally.
+            let live = st
+                .memtable
+                .iter()
+                .filter(|(_, e)| !e.data_dep.is_doomed())
+                .map(|(k, e)| (*k, e.value.clone(), e.seq, e.data_dep.clone()))
+                .collect::<Vec<_>>();
+            if live.len() < st.memtable.len() {
+                coverage::hit("lsm.flush.skipped_doomed");
+            }
             (
-                st.memtable.iter().map(|(k, e)| (*k, e.value.clone(), e.seq)).collect(),
-                st.memtable.values().map(|e| e.data_dep.clone()).collect(),
+                live.iter().map(|(k, v, s, _)| (*k, v.clone(), *s)).collect(),
+                live.into_iter().map(|(_, _, _, d)| d).collect(),
             )
         };
         if snapshot.is_empty() {

@@ -155,6 +155,13 @@ pub enum ExtentError {
     NoFreeExtent,
     /// Both superblock slots were invalid during recovery.
     CorruptSuperblock,
+    /// The extent has permanently failed and is quarantined: appends are
+    /// re-routed elsewhere, and its data is only reachable through
+    /// degraded-mode fallbacks (cache, re-replicated copies).
+    Quarantined {
+        /// The quarantined extent.
+        extent: ExtentId,
+    },
 }
 
 impl fmt::Display for ExtentError {
@@ -172,6 +179,9 @@ impl fmt::Display for ExtentError {
             }
             ExtentError::NoFreeExtent => write!(f, "no free extent"),
             ExtentError::CorruptSuperblock => write!(f, "both superblock slots corrupt"),
+            ExtentError::Quarantined { extent } => {
+                write!(f, "{extent} is quarantined after a permanent fault")
+            }
         }
     }
 }
@@ -219,6 +229,11 @@ struct SbState {
     /// Extents allocated since recovery (used by the seeded bug B6: the
     /// buggy superblock encoding dropped their ownership change).
     allocated_since_recovery: std::collections::BTreeSet<u32>,
+    /// Extents quarantined after a permanent (`Failed`) fault. In-memory
+    /// only: `fail_always` survives crashes, so recovery re-discovers the
+    /// set lazily the first time a dead extent is touched. Quarantined
+    /// extents are never appended to, never allocated, and never reset.
+    quarantined: std::collections::BTreeSet<u32>,
 }
 
 /// The extent manager. Cheap to clone; all clones share state.
@@ -395,10 +410,32 @@ impl ExtentManager {
                     coverage::hit("superblock.recover.wipe_dead_incarnation");
                     let geometry = disk.geometry();
                     let zeros = vec![0u8; geometry.extent_size()];
+                    // Per-extent, fault tolerant: a permanently failed
+                    // extent cannot be wiped (or flushed) — skip it; it
+                    // is quarantined the first time it is touched, so its
+                    // residue is unreachable anyway. Transient failures
+                    // get a bounded retry.
+                    let with_retry = |op: &dyn Fn() -> Result<(), IoError>| {
+                        let mut result = op();
+                        let mut tries = 0;
+                        while matches!(result, Err(IoError::Injected { .. })) && tries < 3 {
+                            tries += 1;
+                            result = op();
+                        }
+                        result
+                    };
                     for e in 0..geometry.extent_count {
-                        disk.write(ExtentId(e), 0, &zeros)?;
+                        let ext = ExtentId(e);
+                        match with_retry(&|| disk.write(ext, 0, &zeros)) {
+                            Ok(()) => {}
+                            Err(IoError::Failed { .. }) => continue,
+                            Err(err) => return Err(err.into()),
+                        }
+                        match with_retry(&|| disk.flush_extent(ext)) {
+                            Ok(()) | Err(IoError::Failed { .. }) => {}
+                            Err(err) => return Err(err.into()),
+                        }
                     }
-                    disk.flush_all()?;
                     return Ok(Self::format_with_pool(sched, faults, pool_size));
                 }
                 Err(ExtentError::CorruptSuperblock)
@@ -429,6 +466,7 @@ impl ExtentManager {
                     inflight_sb: Vec::new(),
                     recovered,
                     allocated_since_recovery: std::collections::BTreeSet::new(),
+                    quarantined: std::collections::BTreeSet::new(),
                 }),
                 pool: Mutex::new(pool_size),
                 pool_cv: Condvar::new(),
@@ -462,6 +500,51 @@ impl ExtentManager {
         self.core.state.lock().extents[extent.0 as usize].owner
     }
 
+    /// Quarantines an extent after a permanent (`Failed`) fault: its
+    /// queued writes are failed (they can never succeed and would wedge
+    /// everything ordered after them — most damagingly the shared
+    /// superblock write), the pending superblock write is unwedged by
+    /// pruning its ordering edges onto the lost writes *in place* (its
+    /// slot, generation, and amended table are preserved; a replacement
+    /// write would take the alternate slot, which holds the newest
+    /// durable generation, and a torn replacement could regress recovery
+    /// below acknowledged state), and all future appends, reads, resets,
+    /// and allocations of the extent are refused. Returns how many
+    /// writes were failed. The superblock extent itself cannot be
+    /// quarantined — losing it is node death, not a degraded mode.
+    pub fn quarantine(&self, extent: ExtentId) -> usize {
+        if extent == SUPERBLOCK_EXTENT {
+            return 0;
+        }
+        let newly = self.core.state.lock().quarantined.insert(extent.0);
+        if newly {
+            coverage::hit("superblock.extent.quarantined");
+        }
+        // Idempotent on purpose: writes submitted between the insert and
+        // a racing earlier quarantine call are still failed.
+        let failed = self.core.sched.fail_extent_writes(extent);
+        // Unwedge every pending write ordered after the lost ones — in
+        // particular the coalesced superblock write and any index write
+        // joined on a dead data dependency. Client durability joins are
+        // left unresolved (no lost ack).
+        self.core.sched.prune_doomed_pending();
+        let pending = self.core.state.lock().pending_sb.clone();
+        if let Some(p) = &pending {
+            self.core.sched.prune_doomed_deps(p);
+        }
+        failed
+    }
+
+    /// True if the extent is quarantined.
+    pub fn is_quarantined(&self, extent: ExtentId) -> bool {
+        self.core.state.lock().quarantined.contains(&extent.0)
+    }
+
+    /// The quarantined extents, in id order.
+    pub fn quarantined(&self) -> Vec<ExtentId> {
+        self.core.state.lock().quarantined.iter().map(|e| ExtentId(*e)).collect()
+    }
+
     /// Takes a buffer-pool permit for a new in-flight superblock write,
     /// reclaiming permits whose writes have persisted. In the fixed code
     /// this is called *without* holding the state lock; the seeded bug
@@ -493,9 +576,17 @@ impl ExtentManager {
                 }
             }
             coverage::hit("superblock.pool.exhausted");
-            // Retire whatever can be retired; IO errors leave the writes
-            // queued for retry and we keep trying.
-            let _ = self.core.sched.pump();
+            // Retire whatever can be retired; transient IO errors leave
+            // the writes queued for retry and we keep trying. A permanent
+            // fault quarantines the extent — without that, its doomed
+            // writes would wedge the superblock chain and this loop would
+            // starve to the panic below.
+            match self.core.sched.pump() {
+                Ok(()) | Err(IoError::Injected { .. } | IoError::OutOfRange { .. }) => {}
+                Err(IoError::Failed { extent }) => {
+                    self.quarantine(extent);
+                }
+            }
             if self.reclaim_permits() == 0 {
                 // Nothing retired: let other tasks run (under the model
                 // checker this is also the livelock-visible yield point).
@@ -641,6 +732,13 @@ impl ExtentManager {
         }
         let mut st = self.core.state.lock();
         let size = self.extent_size();
+        if st.quarantined.contains(&extent.0) {
+            drop(st);
+            if !self.core.faults.is(BugId::B12SuperblockDeadlock) {
+                self.release_permits(1);
+            }
+            return Err(ExtentError::Quarantined { extent });
+        }
         let info = &st.extents[extent.0 as usize];
         if info.owner == Owner::Free || info.owner == Owner::Superblock {
             let owner = info.owner;
@@ -723,6 +821,13 @@ impl ExtentManager {
         }
         let mut st = self.core.state.lock();
         let size = self.extent_size();
+        if st.quarantined.contains(&extent.0) {
+            drop(st);
+            if !self.core.faults.is(BugId::B12SuperblockDeadlock) {
+                self.release_permits(1);
+            }
+            return Err(ExtentError::Quarantined { extent });
+        }
         let info = &st.extents[extent.0 as usize];
         if info.owner == Owner::Free || info.owner == Owner::Superblock {
             let owner = info.owner;
@@ -795,6 +900,12 @@ impl ExtentManager {
     /// survive the reset (e.g. evacuated chunks and their index updates).
     pub fn reset(&self, extent: ExtentId, dep: &Dependency) -> Dependency {
         let mut st = self.core.state.lock();
+        if st.quarantined.contains(&extent.0) {
+            // A quarantined extent is never reused: keeping its pointer
+            // and registry intact is what lets degraded reads stay
+            // attributable instead of turning into pointer errors.
+            return dep.clone();
+        }
         st.extents[extent.0 as usize].write_ptr = 0;
         coverage::hit("superblock.extent.reset");
         if self.core.faults.is(BugId::B7SoftHardPointerMismatch) {
@@ -875,7 +986,10 @@ impl ExtentManager {
             let st = self.core.state.lock();
             st.extents
                 .iter()
-                .position(|e| e.owner == Owner::Free)
+                .enumerate()
+                .position(|(i, e)| {
+                    e.owner == Owner::Free && !st.quarantined.contains(&(i as u32))
+                })
                 .map(|i| ExtentId(i as u32))
                 .ok_or(ExtentError::NoFreeExtent)?
         };
@@ -899,6 +1013,10 @@ impl ExtentManager {
     /// reads beyond the pointer are forbidden even if stale bytes are
     /// still physically present.
     pub fn read(&self, extent: ExtentId, offset: usize, len: usize) -> Result<Vec<u8>, ExtentError> {
+        if self.is_quarantined(extent) {
+            coverage::hit("superblock.read.quarantined");
+            return Err(ExtentError::Quarantined { extent });
+        }
         let write_ptr = self.write_pointer(extent);
         if offset + len > write_ptr {
             coverage::hit("superblock.read.beyond_pointer");
@@ -913,7 +1031,24 @@ impl ExtentManager {
     /// buffer-pool permits. Equivalent to the background flusher making a
     /// full pass.
     pub fn pump(&self) -> Result<(), ExtentError> {
-        self.core.sched.pump()?;
+        // A permanent fault surfacing mid-pump quarantines the extent and
+        // the pump resumes: the rest of the queue must still drain. The
+        // iteration bound is defensive — each quarantine removes the
+        // failing extent's writes, so a pass over every extent suffices.
+        let mut attempts = 0u32;
+        loop {
+            match self.core.sched.pump() {
+                Ok(()) => break,
+                Err(IoError::Failed { extent })
+                    if extent != SUPERBLOCK_EXTENT
+                        && attempts <= self.extent_count() =>
+                {
+                    attempts += 1;
+                    self.quarantine(extent);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
         {
             let mut st = self.core.state.lock();
             // Whatever superblock write was pending has now been issued;
@@ -1283,5 +1418,84 @@ mod tests {
         let reset_dep = em_bug.reset(ext, &gate.dependency());
         em_bug.pump().unwrap();
         assert!(reset_dep.is_persistent(), "buggy reset persists without its dependency");
+    }
+
+    #[test]
+    fn append_batch_survives_transient_fault_within_budget() {
+        // A transient fault striking the batch's coalesced data IO is
+        // absorbed by the scheduler's bounded retry: the whole batch and
+        // its single shared superblock update land, and a crash after the
+        // pump recovers every payload byte-exactly.
+        let em = setup();
+        let (ext, _) = em.allocate(Owner::Data).unwrap();
+        let none = em.scheduler().none();
+        em.append(ext, b"base", &none).unwrap();
+        em.pump().unwrap();
+        let payloads: Vec<Vec<u8>> =
+            (0u8..3).map(|i| vec![0x40 + i; 100]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        em.scheduler().disk().inject_fail_once(ext);
+        let outcomes = em.append_batch(ext, &refs, &none).unwrap();
+        em.pump().unwrap();
+        assert!(em.scheduler().stats().retries >= 1);
+        assert_eq!(em.scheduler().stats().retry_exhausted, 0);
+        for o in &outcomes {
+            assert!(o.dep.is_persistent(), "batch ack must cover the retried IO");
+        }
+        em.scheduler().crash(&CrashPlan::LoseAll);
+        let em2 =
+            ExtentManager::recover(em.scheduler().clone(), FaultConfig::none()).unwrap();
+        assert_eq!(em2.write_pointer(ext), 4 + 300);
+        for (o, p) in outcomes.iter().zip(&payloads) {
+            assert_eq!(&em2.read(ext, o.offset, p.len()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn batch_on_dying_extent_never_acks_and_never_poisons_siblings() {
+        // A permanent fault strikes while a batch (three data writes plus
+        // one shared superblock pointer update) is in flight. The pump
+        // must quarantine the extent and keep going; the batch must never
+        // be acknowledged (its data is gone); and a sibling extent's
+        // append riding the same pump — and the same coalesced
+        // superblock write — must still become durable. After a crash,
+        // recovery re-discovers the broken extent (fail_always survives
+        // reboots) and must not serve reads from it, while the sibling's
+        // data is intact.
+        let em = setup();
+        let (dead, _) = em.allocate(Owner::Data).unwrap();
+        let (live, _) = em.allocate(Owner::Data).unwrap();
+        let none = em.scheduler().none();
+        em.append(dead, b"base", &none).unwrap();
+        em.pump().unwrap();
+
+        em.scheduler().disk().inject_fail_always(dead);
+        let refs: [&[u8]; 3] = [&[0xAA; 100], &[0xBB; 100], &[0xCC; 100]];
+        let outcomes = em.append_batch(dead, &refs, &none).unwrap();
+        let live_out = em.append(live, b"alive", &none).unwrap();
+        em.pump().unwrap();
+
+        assert!(em.is_quarantined(dead));
+        assert!(!em.is_quarantined(live));
+        for o in &outcomes {
+            assert!(
+                !o.dep.is_persistent(),
+                "batch on the dead extent must never be acknowledged"
+            );
+        }
+        assert!(live_out.dep.is_persistent(), "sibling append must not be wedged");
+        // The quarantined extent refuses further appends outright.
+        assert!(matches!(
+            em.append(dead, b"x", &none),
+            Err(ExtentError::Quarantined { .. })
+        ));
+
+        em.scheduler().crash(&CrashPlan::LoseAll);
+        let em2 =
+            ExtentManager::recover(em.scheduler().clone(), FaultConfig::none()).unwrap();
+        assert_eq!(em2.read(live, 0, 5).unwrap(), b"alive");
+        // The hardware fault survives the reboot: the dead extent's bytes
+        // are unreadable, never fabricated.
+        assert!(em2.read(dead, 0, 4).is_err());
     }
 }

@@ -173,8 +173,9 @@ struct DiskState {
     durable: Vec<Vec<u8>>,
     /// Volatile page images not yet flushed, keyed `(extent, page)`.
     volatile: BTreeMap<(u32, u32), Vec<u8>>,
-    /// Extents whose next IO fails once.
-    fail_once: BTreeSet<u32>,
+    /// Extents whose next IOs fail transiently, with the remaining
+    /// failure count (one-shot injection is count 1).
+    fail_once: BTreeMap<u32, u32>,
     /// Extents that permanently fail all IO.
     fail_always: BTreeSet<u32>,
     stats: DiskStats,
@@ -201,7 +202,7 @@ impl Disk {
             state: Mutex::new(DiskState {
                 durable,
                 volatile: BTreeMap::new(),
-                fail_once: BTreeSet::new(),
+                fail_once: BTreeMap::new(),
                 fail_always: BTreeSet::new(),
                 stats: DiskStats::default(),
             }),
@@ -230,7 +231,11 @@ impl Disk {
             st.stats.injected_failures += 1;
             return Err(IoError::Failed { extent });
         }
-        if st.fail_once.remove(&extent.0) {
+        if let Some(remaining) = st.fail_once.get_mut(&extent.0) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                st.fail_once.remove(&extent.0);
+            }
             st.stats.injected_failures += 1;
             return Err(IoError::Injected { extent });
         }
@@ -363,7 +368,19 @@ impl Disk {
 
     /// Makes the next IO (read, write, or flush) to `extent` fail once.
     pub fn inject_fail_once(&self, extent: ExtentId) {
-        self.state.lock().fail_once.insert(extent.0);
+        self.inject_fail_times(extent, 1);
+    }
+
+    /// Makes the next `times` IOs to `extent` fail transiently (each
+    /// failing IO consumes one count). A zero count injects nothing.
+    /// Used to model transient-fault bursts longer than one IO, e.g. to
+    /// exhaust a bounded retry budget deterministically.
+    pub fn inject_fail_times(&self, extent: ExtentId, times: u32) {
+        if times == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        *st.fail_once.entry(extent.0).or_insert(0) += times;
     }
 
     /// Makes all IO to `extent` fail until [`Disk::clear_failures`].

@@ -179,3 +179,135 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Error precedence: a range violation is reported before any injected
+    /// fault (and consumes no fault count), and a permanent fault wins
+    /// over a pending transient one without consuming it.
+    #[test]
+    fn error_precedence_range_then_failed_then_injected(
+        extent in 0u32..16,
+        len in 1usize..64,
+        times in 1u32..4,
+    ) {
+        use shardstore_vdisk::IoError;
+        let geometry = Geometry::small();
+        let disk = Disk::new(geometry);
+        let e = ExtentId(extent);
+        disk.inject_fail_times(e, times);
+        disk.inject_fail_always(e);
+        // Out of range beats both injected faults: no count is consumed.
+        let before = disk.stats().injected_failures;
+        let bad = disk.read(e, geometry.extent_size(), len);
+        prop_assert!(matches!(bad, Err(IoError::OutOfRange { .. })), "{bad:?}");
+        prop_assert_eq!(disk.stats().injected_failures, before);
+        // In range, the permanent fault wins over the transient one …
+        let got = disk.read(e, 0, len);
+        prop_assert!(matches!(got, Err(IoError::Failed { extent: x }) if x == e), "{got:?}");
+        // … and does NOT consume transient counts: a fresh disk with only
+        // the transient injection exposes all `times` failures in a row.
+        let disk2 = Disk::new(geometry);
+        disk2.inject_fail_times(e, times);
+        for _ in 0..times {
+            let got = disk2.read(e, 0, len);
+            prop_assert!(matches!(got, Err(IoError::Injected { extent: x }) if x == e), "{got:?}");
+        }
+        prop_assert!(disk2.read(e, 0, len).is_ok());
+    }
+
+    /// `inject_fail_times(e, n)` produces exactly `n` transient failures,
+    /// each counted once in `injected_failures`, and success counters
+    /// only ever advance on successful IO.
+    #[test]
+    fn fail_times_counted_exactly(
+        extent in 0u32..16,
+        times in 0u32..6,
+        len in 1usize..64,
+    ) {
+        use shardstore_vdisk::IoError;
+        let geometry = Geometry::small();
+        let disk = Disk::new(geometry);
+        let e = ExtentId(extent);
+        disk.write(e, 0, &vec![7u8; len]).unwrap();
+        let base = disk.stats();
+        disk.inject_fail_times(e, times);
+        let mut failures = 0u64;
+        loop {
+            match disk.read(e, 0, len) {
+                Err(IoError::Injected { .. }) => failures += 1,
+                Ok(_) => break,
+                other => prop_assert!(false, "unexpected: {other:?}"),
+            }
+            prop_assert!(failures <= u64::from(times), "more failures than injected");
+        }
+        prop_assert_eq!(failures, u64::from(times));
+        let stats = disk.stats();
+        prop_assert_eq!(stats.injected_failures, base.injected_failures + u64::from(times));
+        // Exactly one successful read happened; failed reads counted no
+        // bytes.
+        prop_assert_eq!(stats.reads, base.reads + 1);
+        prop_assert_eq!(stats.bytes_read, base.bytes_read + len as u64);
+        prop_assert_eq!(stats.writes, base.writes);
+    }
+
+    /// A flush that hits a pending injected fault leaves the volatile
+    /// pages exactly as they were: nothing partially syncs, the data is
+    /// still readable, and the retried flush makes all of it durable.
+    #[test]
+    fn failed_flush_is_atomic(
+        extent in 0u32..16,
+        offset in 0usize..900,
+        data in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        use shardstore_vdisk::IoError;
+        let geometry = Geometry::small();
+        let disk = Disk::new(geometry);
+        let e = ExtentId(extent);
+        let offset = offset.min(geometry.extent_size() - data.len());
+        let durable_before = disk.durable_snapshot(e);
+        disk.write(e, offset, &data).unwrap();
+        let volatile_before = disk.volatile_pages();
+        disk.inject_fail_once(e);
+        let r = disk.flush_extent(e);
+        prop_assert!(matches!(r, Err(IoError::Injected { .. })), "{r:?}");
+        // Nothing synced, nothing lost: durable image unchanged, volatile
+        // set unchanged, content still readable through the cache.
+        prop_assert_eq!(disk.durable_snapshot(e), durable_before);
+        prop_assert_eq!(disk.volatile_pages(), volatile_before);
+        prop_assert_eq!(disk.read(e, offset, data.len()).unwrap(), data.clone());
+        // The retried flush succeeds and lands everything.
+        disk.flush_extent(e).unwrap();
+        let durable = disk.durable_snapshot(e);
+        prop_assert_eq!(&durable[offset..offset + data.len()], &data[..]);
+        prop_assert!(disk.volatile_pages().is_empty());
+    }
+
+    /// A crash clears pending transient faults (the reboot replaces the
+    /// IO path) but keeps permanent ones (the hardware is still broken).
+    #[test]
+    fn crash_clears_transient_keeps_permanent(
+        t_extent in 0u32..16,
+        p_extent in 0u32..16,
+        times in 1u32..4,
+    ) {
+        use shardstore_vdisk::IoError;
+        let geometry = Geometry::small();
+        let disk = Disk::new(geometry);
+        let te = ExtentId(t_extent);
+        let pe = ExtentId(p_extent);
+        disk.inject_fail_times(te, times);
+        disk.inject_fail_always(pe);
+        disk.crash(&CrashPlan::LoseAll);
+        if t_extent != p_extent {
+            prop_assert!(disk.read(te, 0, 8).is_ok());
+        }
+        let got = disk.read(pe, 0, 8);
+        prop_assert!(matches!(got, Err(IoError::Failed { extent: x }) if x == pe), "{got:?}");
+        // clear_failures removes even permanent faults (the harness's
+        // "replace the disk" escape hatch).
+        disk.clear_failures();
+        prop_assert!(disk.read(pe, 0, 8).is_ok());
+    }
+}
