@@ -3,7 +3,7 @@
 //! soft-updates dependency scheduling with write coalescing vs a
 //! write-ahead-log-like global barrier per write.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use shardstore_core::{Store, StoreConfig};
 use shardstore_faults::FaultConfig;
 use shardstore_vdisk::Geometry;
@@ -262,6 +262,36 @@ fn bench_coalescing_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Runs the representative `kv_ops` workload once against a fresh store
+/// and writes its metrics snapshot as a JSON sidecar next to the
+/// committed `BENCH_kv_ops.json` baseline. Wall-clock latencies are the
+/// bench-only opt-in: they go through `shardstore_obs::walltime` into a
+/// histogram and never into the (deterministic) trace log.
+fn emit_metrics_sidecar() {
+    use shardstore_obs::walltime::{Stopwatch, LATENCY_BOUNDS_US};
+
+    let store = fresh_store();
+    let obs = store.obs();
+    let put_us = obs.registry().histogram("bench.put_latency_us", LATENCY_BOUNDS_US);
+    let get_us = obs.registry().histogram("bench.get_latency_us", LATENCY_BOUNDS_US);
+    let payload = vec![0xABu8; 1024];
+    for shard in 0..32u128 {
+        let sw = Stopwatch::start(put_us.clone());
+        store.put(shard, &payload).unwrap();
+        sw.stop();
+    }
+    store.flush_index().unwrap();
+    store.pump().unwrap();
+    for shard in 0..32u128 {
+        let sw = Stopwatch::start(get_us.clone());
+        std::hint::black_box(store.get(shard).unwrap());
+        sw.stop();
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kv_ops.metrics.json");
+    std::fs::write(path, obs.snapshot().to_json()).expect("write metrics sidecar");
+    eprintln!("metrics sidecar written to {path}");
+}
+
 criterion_group!(
     benches,
     bench_put_get,
@@ -269,4 +299,9 @@ criterion_group!(
     bench_write_path,
     bench_coalescing_ablation
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    criterion::finalize();
+    emit_metrics_sidecar();
+}

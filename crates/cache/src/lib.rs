@@ -35,6 +35,7 @@ use shardstore_chunk::{ChunkError, ChunkStore, Locator, PutOutcome, ReclaimRepor
 use shardstore_conc::sync::Mutex;
 use shardstore_dependency::Dependency;
 use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_obs::{Counter, Histogram, Obs, TraceEvent};
 use shardstore_vdisk::ExtentId;
 
 /// Cache statistics.
@@ -72,12 +73,46 @@ struct CacheState {
     entries: BTreeMap<CacheKey, Entry>,
     bytes: usize,
     tick: u64,
-    stats: CacheStats,
 }
 
 impl CacheState {
     fn empty() -> Self {
-        Self { entries: BTreeMap::new(), bytes: 0, tick: 0, stats: CacheStats::default() }
+        Self { entries: BTreeMap::new(), bytes: 0, tick: 0 }
+    }
+}
+
+/// Registry-backed metric handles for the cache. The registry (shared
+/// through the scheduler's [`Obs`]) is the single source of truth;
+/// [`CachedChunkStore::stats`] is a thin compat view over these. The
+/// per-shard histograms record the *segment index* of each hit/miss, so a
+/// snapshot exposes the hit distribution across shards without a counter
+/// per segment.
+#[derive(Debug, Clone)]
+struct CacheCounters {
+    obs: Obs,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    drained: Counter,
+    shard_hits: Histogram,
+    shard_misses: Histogram,
+}
+
+impl CacheCounters {
+    fn new(obs: Obs) -> Self {
+        let r = obs.registry();
+        // One inclusive bucket per possible segment (the overflow bucket
+        // catches MAX_SEGMENTS - 1).
+        let shard_bounds: Vec<u64> = (0..MAX_SEGMENTS as u64 - 1).collect();
+        Self {
+            hits: r.counter("cache.hits"),
+            misses: r.counter("cache.misses"),
+            evictions: r.counter("cache.evictions"),
+            drained: r.counter("cache.drained"),
+            shard_hits: r.histogram("cache.shard_hits", &shard_bounds),
+            shard_misses: r.histogram("cache.shard_misses", &shard_bounds),
+            obs,
+        }
     }
 }
 
@@ -103,6 +138,7 @@ pub struct CachedChunkStore {
     segment_capacity: usize,
     /// Independently locked LRU segments, selected by position hash.
     segments: Arc<[Mutex<CacheState>]>,
+    counters: CacheCounters,
 }
 
 impl fmt::Debug for CachedChunkStore {
@@ -128,7 +164,8 @@ impl CachedChunkStore {
         let n = segment_count(capacity);
         let segments: Arc<[Mutex<CacheState>]> =
             (0..n).map(|_| Mutex::new(CacheState::empty())).collect::<Vec<_>>().into();
-        Self { store, faults, capacity, segment_capacity: capacity / n, segments }
+        let counters = CacheCounters::new(store.extent_manager().scheduler().obs());
+        Self { store, faults, capacity, segment_capacity: capacity / n, segments, counters }
     }
 
     /// The wrapped chunk store.
@@ -141,8 +178,12 @@ impl CachedChunkStore {
         self.segments.len()
     }
 
+    fn segment_index(&self, locator: &Locator) -> usize {
+        locator.position_hash() as usize % self.segments.len()
+    }
+
     fn segment(&self, locator: &Locator) -> &Mutex<CacheState> {
-        &self.segments[locator.position_hash() as usize % self.segments.len()]
+        &self.segments[self.segment_index(locator)]
     }
 
     fn insert(&self, locator: Locator, payload: Arc<Vec<u8>>) {
@@ -167,15 +208,20 @@ impl CachedChunkStore {
                 .expect("over budget implies non-empty");
             let e = st.entries.remove(&victim).expect("victim present");
             st.bytes -= e.payload.len();
-            st.stats.evictions += 1;
+            self.counters.evictions.inc();
+            self.counters
+                .obs
+                .trace()
+                .event(TraceEvent::CacheEvict { extent: victim.0, offset: victim.1 });
             coverage::hit("cache.evict");
         }
     }
 
     /// Reads a chunk payload, serving from the cache when possible.
     pub fn get(&self, locator: &Locator) -> Result<Arc<Vec<u8>>, ChunkError> {
+        let seg_idx = self.segment_index(locator);
         {
-            let mut st = self.segment(locator).lock();
+            let mut st = self.segments[seg_idx].lock();
             st.tick += 1;
             let tick = st.tick;
             let hit = st.entries.get_mut(&key_of(locator)).map(|e| {
@@ -183,11 +229,21 @@ impl CachedChunkStore {
                 Arc::clone(&e.payload)
             });
             if let Some(payload) = hit {
-                st.stats.hits += 1;
+                self.counters.hits.inc();
+                self.counters.shard_hits.record(seg_idx as u64);
+                self.counters.obs.trace().event(TraceEvent::CacheHit {
+                    extent: locator.extent.0,
+                    offset: locator.offset,
+                });
                 coverage::hit("cache.hit");
                 return Ok(payload);
             }
-            st.stats.misses += 1;
+            self.counters.misses.inc();
+            self.counters.shard_misses.record(seg_idx as u64);
+            self.counters.obs.trace().event(TraceEvent::CacheMiss {
+                extent: locator.extent.0,
+                offset: locator.offset,
+            });
         }
         coverage::hit("cache.miss");
         let payload = Arc::new(self.store.get(locator)?);
@@ -290,7 +346,7 @@ impl CachedChunkStore {
             for v in victims {
                 let e = st.entries.remove(&v).expect("listed key present");
                 st.bytes -= e.payload.len();
-                st.stats.drained += 1;
+                self.counters.drained.inc();
             }
         }
         coverage::hit("cache.drain_extent");
@@ -333,17 +389,16 @@ impl CachedChunkStore {
         self.segments.iter().map(|seg| seg.lock().bytes).sum()
     }
 
-    /// Cache statistics, aggregated across segments.
+    /// Cache statistics. Compat view: the `cache.*` counters in the shared
+    /// registry (see the scheduler's `obs()`) are the source of truth;
+    /// this assembles the legacy struct from them.
     pub fn stats(&self) -> CacheStats {
-        self.segments.iter().fold(CacheStats::default(), |acc, seg| {
-            let s = seg.lock().stats;
-            CacheStats {
-                hits: acc.hits + s.hits,
-                misses: acc.misses + s.misses,
-                evictions: acc.evictions + s.evictions,
-                drained: acc.drained + s.drained,
-            }
-        })
+        CacheStats {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            evictions: self.counters.evictions.get(),
+            drained: self.counters.drained.get(),
+        }
     }
 }
 

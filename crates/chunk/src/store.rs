@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 use shardstore_conc::sync::Mutex;
 use shardstore_dependency::Dependency;
 use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_obs::TraceEvent;
 use shardstore_superblock::{ExtentError, ExtentManager, Owner};
 use shardstore_vdisk::{ExtentId, IoError};
 
@@ -895,6 +896,14 @@ impl ChunkStore {
                     eprintln!("GC: evacuate {} -> {}", old, out.locator);
                 }
                 let ptr_dep = referencer.relocated(&old, &out.locator, &out.data_dep);
+                {
+                    let obs = self.core.em.scheduler().obs();
+                    obs.registry().counter("chunk.relocations").inc();
+                    obs.trace().event(TraceEvent::Relocation {
+                        from_extent: old.extent.0,
+                        to_extent: out.locator.extent.0,
+                    });
+                }
                 deps.push(out.data_dep.clone());
                 deps.push(ptr_dep);
                 guards.push(out.guard);
@@ -977,6 +986,14 @@ impl ChunkStore {
                     let none = self.core.em.scheduler().none();
                     let out = self.put(stream, &payload, &none)?;
                     let ptr_dep = referencer.relocated(&old, &out.locator, &out.data_dep);
+                    {
+                        let obs = self.core.em.scheduler().obs();
+                        obs.registry().counter("chunk.relocations").inc();
+                        obs.trace().event(TraceEvent::Relocation {
+                            from_extent: old.extent.0,
+                            to_extent: out.locator.extent.0,
+                        });
+                    }
                     deps.push(out.data_dep.clone());
                     deps.push(ptr_dep);
                     drop(out.guard);

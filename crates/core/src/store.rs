@@ -24,6 +24,7 @@ use shardstore_conc::sync::Mutex;
 use shardstore_dependency::{Dependency, IoScheduler};
 use shardstore_faults::{coverage, FaultConfig};
 use shardstore_lsm::{LsmError, LsmIndex};
+use shardstore_obs::{Obs, OpKind, TraceEvent};
 use shardstore_superblock::{ExtentError, ExtentManager, Owner};
 use shardstore_vdisk::{Disk, Geometry};
 
@@ -185,6 +186,18 @@ impl Store {
         config: StoreConfig,
         faults: FaultConfig,
     ) -> Result<Self, StoreError> {
+        let obs = sched.obs();
+        obs.trace().event(TraceEvent::RecoveryStart);
+        let res = Self::recover_inner(sched, config, faults);
+        obs.trace().event(TraceEvent::RecoveryEnd { ok: res.is_ok() });
+        res
+    }
+
+    fn recover_inner(
+        sched: IoScheduler,
+        config: StoreConfig,
+        faults: FaultConfig,
+    ) -> Result<Self, StoreError> {
         let em = ExtentManager::recover(sched, faults.clone())?;
         let cs = ChunkStore::recover(em, faults.clone(), config.uuid_seed)?;
         let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
@@ -203,6 +216,12 @@ impl Store {
     /// dependency construction in tests).
     pub fn scheduler(&self) -> IoScheduler {
         self.index.cache().chunk_store().extent_manager().scheduler().clone()
+    }
+
+    /// The store's observability handle (metrics registry + trace log),
+    /// shared by every layer of the stack down to the virtual disk.
+    pub fn obs(&self) -> Obs {
+        self.index.cache().chunk_store().extent_manager().scheduler().obs()
     }
 
     /// The LSM index.
@@ -250,6 +269,20 @@ impl Store {
     /// chunks, the index entry, and the covering superblock updates are
     /// all durable (Fig. 2's graph for one put).
     pub fn put(&self, shard: u128, data: &[u8]) -> Result<Dependency, StoreError> {
+        let obs = self.obs();
+        let op = obs.begin_op(OpKind::Put, shard);
+        let res = self.put_inner(shard, data, op, &obs);
+        obs.end_op(op, res.is_ok());
+        res
+    }
+
+    fn put_inner(
+        &self,
+        shard: u128,
+        data: &[u8],
+        op: u64,
+        obs: &Obs,
+    ) -> Result<Dependency, StoreError> {
         self.check_service()?;
         let none = self.scheduler().none();
         let mut locators = Vec::new();
@@ -291,6 +324,14 @@ impl Store {
         drop(guards);
         deps.push(index_dep);
         let dep = self.scheduler().join(&deps);
+        // Announce the op's data-write nodes and its returned durability
+        // handle so the acked-durability oracle can link a later ack back
+        // to the writes it promises.
+        let nodes: Vec<u64> = data_deps.iter().filter_map(Dependency::trace_node).collect();
+        obs.trace().event(TraceEvent::OpWrites { op, nodes });
+        if let Some(n) = dep.trace_node() {
+            obs.trace().event(TraceEvent::OpReturn { op, dep: n });
+        }
         self.maybe_flush()?;
         Ok(dep)
     }
@@ -304,6 +345,18 @@ impl Store {
     /// never all-or-nothing across elements. Returns one durability
     /// dependency per element, in input order.
     pub fn put_batch(&self, shards: &[(u128, Vec<u8>)]) -> Result<Vec<Dependency>, StoreError> {
+        let obs = self.obs();
+        let op = obs.begin_op(OpKind::PutBatch, 0);
+        let res = self.put_batch_inner(shards, &obs);
+        obs.end_op(op, res.is_ok());
+        res
+    }
+
+    fn put_batch_inner(
+        &self,
+        shards: &[(u128, Vec<u8>)],
+        obs: &Obs,
+    ) -> Result<Vec<Dependency>, StoreError> {
         self.check_service()?;
         if shards.is_empty() {
             return Ok(Vec::new());
@@ -327,6 +380,9 @@ impl Store {
         let mut outs = self.cache().put_batch(Stream::Data, &pieces, &none)?.into_iter();
         let mut deps_out = Vec::with_capacity(shards.len());
         for ((shard, _), n) in shards.iter().zip(counts) {
+            // Each element gets its own span: the batch is atomic per
+            // element, so the oracles treat each as an independent put.
+            let elem_op = obs.begin_op(OpKind::Put, *shard);
             let mut locators = Vec::with_capacity(n);
             let mut deps = Vec::with_capacity(n + 1);
             let mut data_deps = Vec::with_capacity(n);
@@ -346,13 +402,23 @@ impl Store {
                 }
                 Ok(None) => {}
                 Err(e) if e.is_degraded() => {}
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    obs.end_op(elem_op, false);
+                    return Err(e.into());
+                }
             }
             let data_dep = self.scheduler().join(&data_deps);
             let index_dep = self.index.put(*shard, locators, data_dep);
             drop(guards);
             deps.push(index_dep);
-            deps_out.push(self.scheduler().join(&deps));
+            let dep = self.scheduler().join(&deps);
+            let nodes: Vec<u64> = data_deps.iter().filter_map(Dependency::trace_node).collect();
+            obs.trace().event(TraceEvent::OpWrites { op: elem_op, nodes });
+            if let Some(nid) = dep.trace_node() {
+                obs.trace().event(TraceEvent::OpReturn { op: elem_op, dep: nid });
+            }
+            obs.end_op(elem_op, true);
+            deps_out.push(dep);
         }
         self.maybe_flush()?;
         Ok(deps_out)
@@ -366,6 +432,14 @@ impl Store {
     /// has moved in the meantime (its chunks were relocated), the read is
     /// retried against the fresh locators.
     pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
+        let obs = self.obs();
+        let op = obs.begin_op(OpKind::Get, shard);
+        let res = self.get_inner(shard);
+        obs.end_op(op, res.is_ok());
+        res
+    }
+
+    fn get_inner(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
         self.check_service()?;
         loop {
             let Some(locators) = self.index.get(shard)? else {
@@ -406,6 +480,19 @@ impl Store {
     /// through the index, and reclamation drains the cache when it resets
     /// an extent (the invariant issue #2 violated).
     pub fn delete(&self, shard: u128) -> Result<Dependency, StoreError> {
+        let obs = self.obs();
+        let op = obs.begin_op(OpKind::Delete, shard);
+        let res = self.delete_inner(shard, op, &obs);
+        obs.end_op(op, res.is_ok());
+        res
+    }
+
+    fn delete_inner(
+        &self,
+        shard: u128,
+        op: u64,
+        obs: &Obs,
+    ) -> Result<Dependency, StoreError> {
         self.check_service()?;
         match self.index.get(shard) {
             Ok(Some(locators)) => {
@@ -418,6 +505,9 @@ impl Store {
             Err(e) => return Err(e.into()),
         }
         let dep = self.index.delete(shard);
+        if let Some(n) = dep.trace_node() {
+            obs.trace().event(TraceEvent::OpReturn { op, dep: n });
+        }
         self.maybe_flush()?;
         Ok(dep)
     }
@@ -438,7 +528,11 @@ impl Store {
 
     /// Explicitly flushes the index memtable.
     pub fn flush_index(&self) -> Result<(), StoreError> {
-        self.index.flush()?;
+        let obs = self.obs();
+        let op = obs.begin_op(OpKind::Flush, 0);
+        let res = self.index.flush();
+        obs.end_op(op, res.is_ok());
+        res?;
         Ok(())
     }
 
@@ -451,6 +545,14 @@ impl Store {
     /// Runs one chunk-reclamation pass over the best victim extent of the
     /// given stream, if any. Returns true if an extent was reclaimed.
     pub fn reclaim(&self, stream: Stream) -> Result<bool, StoreError> {
+        let obs = self.obs();
+        let op = obs.begin_op(OpKind::Reclaim, 0);
+        let res = self.reclaim_inner(stream);
+        obs.end_op(op, res.is_ok());
+        res
+    }
+
+    fn reclaim_inner(&self, stream: Stream) -> Result<bool, StoreError> {
         self.check_service()?;
         let Some(victim) = self.cache().chunk_store().select_victim(stream) else {
             coverage::hit("store.reclaim.no_victim");

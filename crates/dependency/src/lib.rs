@@ -56,6 +56,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use shardstore_conc::sync::{Condvar, Mutex};
+use shardstore_obs::{Counter, Gauge, Obs, TraceEvent};
 use shardstore_vdisk::{CrashPlan, Disk, ExtentId, IoError};
 
 /// Index of a node in the scheduler's arena.
@@ -152,7 +153,55 @@ struct Inner {
     /// How many immediate in-call retries a transient (`Injected`) write
     /// failure gets before the batch is requeued and the error surfaced.
     retry_budget: u32,
-    stats: SchedulerStats,
+    /// The shared observability handle (also attached to the disk); the
+    /// scheduler emits its trace events through this.
+    obs: Obs,
+    /// Registry-backed counter handles. The registry is the single source
+    /// of truth for scheduler statistics; [`IoScheduler::stats`] is a thin
+    /// compat view assembled from these.
+    counters: SchedCounters,
+}
+
+/// Pre-resolved handles for every scheduler metric, so hot-path recording
+/// is one atomic increment with no registry lookup.
+#[derive(Debug)]
+struct SchedCounters {
+    writes_submitted: Counter,
+    ios_issued: Counter,
+    writes_coalesced: Counter,
+    flushes: Counter,
+    writes_lost_pending: Counter,
+    writes_lost_issued: Counter,
+    waw_dependencies: Counter,
+    writes_retried: Counter,
+    retries: Counter,
+    retry_exhausted: Counter,
+    writes_failed: Counter,
+    batches_issued: Counter,
+    extents_fenced: Counter,
+    queue_depth: Gauge,
+}
+
+impl SchedCounters {
+    fn new(obs: &Obs) -> Self {
+        let r = obs.registry();
+        Self {
+            writes_submitted: r.counter("sched.writes_submitted"),
+            ios_issued: r.counter("sched.ios_issued"),
+            writes_coalesced: r.counter("sched.writes_coalesced"),
+            flushes: r.counter("sched.flushes"),
+            writes_lost_pending: r.counter("sched.writes_lost_pending"),
+            writes_lost_issued: r.counter("sched.writes_lost_issued"),
+            waw_dependencies: r.counter("sched.waw_dependencies"),
+            writes_retried: r.counter("sched.writes_retried"),
+            retries: r.counter("sched.retries"),
+            retry_exhausted: r.counter("sched.retry_exhausted"),
+            writes_failed: r.counter("sched.writes_failed"),
+            batches_issued: r.counter("sched.batches_issued"),
+            extents_fenced: r.counter("sched.extents_fenced"),
+            queue_depth: r.gauge("sched.queue_depth"),
+        }
+    }
 }
 
 /// Default in-call retry budget for transient write failures.
@@ -227,6 +276,9 @@ pub struct IoScheduler {
 
 struct SchedCore {
     disk: Arc<Disk>,
+    /// The shared observability handle (also held inside `inner` for
+    /// lock-held emission, and attached to the disk).
+    obs: Obs,
     inner: Mutex<Inner>,
     pump_ctl: Mutex<PumpCtl>,
 }
@@ -287,11 +339,18 @@ pub struct Promise {
 }
 
 impl IoScheduler {
-    /// Creates a scheduler over a disk.
+    /// Creates a scheduler over a disk. The scheduler is the root of the
+    /// observability topology: it creates the shared [`Obs`] handle and
+    /// attaches it to the disk, and every layer above reaches it through
+    /// [`IoScheduler::obs`] — no constructor anywhere else changes.
     pub fn new(disk: Arc<Disk>) -> Self {
+        let obs = Obs::default();
+        disk.attach_obs(obs.clone());
+        let counters = SchedCounters::new(&obs);
         Self {
             core: Arc::new(SchedCore {
                 disk,
+                obs: obs.clone(),
                 inner: Mutex::new(Inner {
                     nodes: Vec::new(),
                     pending: VecDeque::new(),
@@ -300,11 +359,18 @@ impl IoScheduler {
                     issued_total: 0,
                     barrier_mode: false,
                     retry_budget: DEFAULT_RETRY_BUDGET,
-                    stats: SchedulerStats::default(),
+                    obs,
+                    counters,
                 }),
                 pump_ctl: Mutex::new(PumpCtl { mode: WritebackMode::Deterministic, worker: None }),
             }),
         }
+    }
+
+    /// The shared observability handle (created by this scheduler and
+    /// attached to its disk).
+    pub fn obs(&self) -> Obs {
+        self.core.obs.clone()
     }
 
     /// Enables the write-ahead-log-like ablation mode: every write is
@@ -361,7 +427,7 @@ impl IoScheduler {
                     )
                 })
                 .collect();
-            inner.stats.waw_dependencies += overlapping.len() as u64;
+            inner.counters.waw_dependencies.add(overlapping.len() as u64);
             deps.extend(overlapping);
             inner.nodes.push(Node {
                 kind: NodeKind::Write {
@@ -381,7 +447,7 @@ impl IoScheduler {
             if inner.nodes[id].unresolved == 0 {
                 inner.ready.push_back(id);
             }
-            inner.stats.writes_submitted += 1;
+            inner.counters.writes_submitted.inc();
         }
         self.core.signal_pump();
         Dependency { core: Arc::clone(&self.core), node: Some(id) }
@@ -476,12 +542,17 @@ impl IoScheduler {
     /// zero enter the ready queue, and sealed joins whose count hits zero
     /// resolve in turn.
     fn resolve(inner: &mut Inner, node: NodeId) {
+        let obs = inner.obs.clone();
         let mut worklist = vec![node];
         while let Some(n) = worklist.pop() {
             if inner.nodes[n].persistent_memo {
                 continue;
             }
             inner.nodes[n].persistent_memo = true;
+            // Every node that turns persistent — writes *and* joins — is
+            // announced, so the acked-durability oracle can check that a
+            // dependency handle's entire cone persisted before its ack.
+            obs.trace().event(TraceEvent::WritePersisted { node: n as u64 });
             let waiters = std::mem::take(&mut inner.nodes[n].waiters);
             for w in waiters {
                 let node_w = &mut inner.nodes[w];
@@ -560,7 +631,7 @@ impl IoScheduler {
         if batch.is_empty() {
             return Ok(0);
         }
-        inner.stats.batches_issued += 1;
+        inner.counters.batches_issued.inc();
         // Group per extent. WAW edges guarantee no two ready writes
         // overlap, so offset order within an extent is safe and maximizes
         // contiguity.
@@ -611,11 +682,18 @@ impl IoScheduler {
                         if let NodeKind::Write { state, .. } = &mut inner.nodes[id].kind {
                             *state = WriteState::Issued;
                         }
+                        let (o, l) = Self::write_range(inner, id);
+                        inner.obs.trace().event(TraceEvent::WriteIssued {
+                            node: id as u64,
+                            extent: extent.0,
+                            offset: o as u32,
+                            len: l as u32,
+                        });
                     }
                     inner.issued.entry(*extent).or_default().extend(run.iter().copied());
                     inner.issued_total += run.len();
-                    inner.stats.ios_issued += 1;
-                    inner.stats.writes_coalesced += (run.len() - 1) as u64;
+                    inner.counters.ios_issued.inc();
+                    inner.counters.writes_coalesced.add((run.len() - 1) as u64);
                     issued += run.len();
                 }
                 Err(e) => {
@@ -633,7 +711,7 @@ impl IoScheduler {
                             pos += *len;
                         }
                     }
-                    inner.stats.writes_retried += 1;
+                    inner.counters.writes_retried.inc();
                     let back: Vec<NodeId> =
                         batch.iter().copied().filter(|&id| Self::is_ready_write(inner, id)).collect();
                     for id in back.into_iter().rev() {
@@ -667,14 +745,19 @@ impl IoScheduler {
         if result.is_ok() {
             return result;
         }
-        let mut budget = inner.retry_budget;
+        let total = inner.retry_budget;
+        let mut budget = total;
         while budget > 0 && matches!(result, Err(IoError::Injected { .. })) {
             budget -= 1;
-            inner.stats.retries += 1;
+            inner.counters.retries.inc();
+            inner
+                .obs
+                .trace()
+                .event(TraceEvent::Retry { extent: extent.0, attempt: total - budget });
             result = disk.write(extent, offset, buf);
         }
         if matches!(result, Err(IoError::Injected { .. })) {
-            inner.stats.retry_exhausted += 1;
+            inner.counters.retry_exhausted.inc();
         }
         result
     }
@@ -703,24 +786,33 @@ impl IoScheduler {
                     *d = Some(data);
                 }
                 inner.ready.push_front(id);
-                inner.stats.writes_retried += 1;
+                inner.counters.writes_retried.inc();
                 Self::drop_issued_from_pending(inner);
                 return Err(e);
             }
             if let NodeKind::Write { state, .. } = &mut inner.nodes[id].kind {
                 *state = WriteState::Issued;
             }
+            {
+                let (o, l) = Self::write_range(inner, id);
+                inner.obs.trace().event(TraceEvent::WriteIssued {
+                    node: id as u64,
+                    extent: extent.0,
+                    offset: o as u32,
+                    len: l as u32,
+                });
+            }
             inner.issued.entry(extent).or_default().push(id);
             inner.issued_total += 1;
-            inner.stats.ios_issued += 1;
-            inner.stats.batches_issued += 1;
+            inner.counters.ios_issued.inc();
+            inner.counters.batches_issued.inc();
             issued += 1;
             if let Err(e) = disk.flush_extent(extent) {
                 Self::drop_issued_from_pending(inner);
                 return Err(e);
             }
-            inner.stats.flushes += 1;
-            inner.stats.extents_fenced += 1;
+            inner.counters.flushes.inc();
+            inner.counters.extents_fenced.inc();
             let ids = inner.issued.remove(&extent).unwrap_or_default();
             inner.issued_total -= ids.len();
             for wid in ids {
@@ -771,8 +863,8 @@ impl IoScheduler {
             // dirty), so a later flush retries; extents already fenced in
             // this call keep their persistence.
             self.core.disk.flush_extent(extent)?;
-            inner.stats.flushes += 1;
-            inner.stats.extents_fenced += 1;
+            inner.counters.flushes.inc();
+            inner.counters.extents_fenced.inc();
             let ids = inner.issued.remove(&extent).expect("dirty extent present");
             inner.issued_total -= ids.len();
             for id in ids {
@@ -898,6 +990,7 @@ impl IoScheduler {
         let mut guard = self.core.inner.lock();
         let inner = &mut *guard;
         let mut failed = 0usize;
+        let mut lost_nodes: Vec<NodeId> = Vec::new();
         let pending_ids: Vec<NodeId> = inner.pending.iter().copied().collect();
         for id in pending_ids {
             if let NodeKind::Write { extent: e, state, data, .. } = &mut inner.nodes[id].kind {
@@ -905,6 +998,7 @@ impl IoScheduler {
                     *state = WriteState::Lost;
                     *data = None;
                     failed += 1;
+                    lost_nodes.push(id);
                 }
             }
         }
@@ -917,12 +1011,16 @@ impl IoScheduler {
                     *state = WriteState::Lost;
                 }
                 failed += 1;
+                lost_nodes.push(id);
             }
+        }
+        for id in lost_nodes {
+            inner.obs.trace().event(TraceEvent::WriteLost { node: id as u64 });
         }
         // Lost nodes drop out of the submission-order queue (and the
         // ready queue skips them via the staleness re-check).
         Self::drop_issued_from_pending(inner);
-        inner.stats.writes_failed += failed as u64;
+        inner.counters.writes_failed.add(failed as u64);
         failed
     }
 
@@ -1084,7 +1182,8 @@ impl IoScheduler {
                 *state = WriteState::Lost;
                 *data = None;
             }
-            inner.stats.writes_lost_pending += 1;
+            inner.counters.writes_lost_pending.inc();
+            inner.obs.trace().event(TraceEvent::WriteLost { node: n as u64 });
         }
         inner.ready.clear();
         let issued = std::mem::take(&mut inner.issued);
@@ -1094,7 +1193,8 @@ impl IoScheduler {
                 if let NodeKind::Write { state, .. } = &mut inner.nodes[n].kind {
                     *state = WriteState::Lost;
                 }
-                inner.stats.writes_lost_issued += 1;
+                inner.counters.writes_lost_issued.inc();
+                inner.obs.trace().event(TraceEvent::WriteLost { node: n as u64 });
             }
         }
         self.core.disk.crash(plan);
@@ -1112,12 +1212,32 @@ impl IoScheduler {
 
     /// Cumulative statistics. `queue_depth` is a point-in-time snapshot of
     /// how many writes are issueable right now.
+    ///
+    /// Compat view: the registry behind [`IoScheduler::obs`] is the source
+    /// of truth (`sched.*` counters); this assembles the legacy struct
+    /// from those counters and refreshes the `sched.queue_depth` gauge.
     pub fn stats(&self) -> SchedulerStats {
         let inner = self.core.inner.lock();
-        let mut stats = inner.stats;
-        stats.queue_depth =
+        let queue_depth =
             inner.ready.iter().filter(|&&id| Self::is_ready_write(&inner, id)).count() as u64;
-        stats
+        let c = &inner.counters;
+        c.queue_depth.set(queue_depth as i64);
+        SchedulerStats {
+            writes_submitted: c.writes_submitted.get(),
+            ios_issued: c.ios_issued.get(),
+            writes_coalesced: c.writes_coalesced.get(),
+            flushes: c.flushes.get(),
+            writes_lost_pending: c.writes_lost_pending.get(),
+            writes_lost_issued: c.writes_lost_issued.get(),
+            waw_dependencies: c.waw_dependencies.get(),
+            writes_retried: c.writes_retried.get(),
+            retries: c.retries.get(),
+            retry_exhausted: c.retry_exhausted.get(),
+            writes_failed: c.writes_failed.get(),
+            batches_issued: c.batches_issued.get(),
+            extents_fenced: c.extents_fenced.get(),
+            queue_depth,
+        }
     }
 
     /// Debug rendering of every pending write and the state of its
@@ -1240,6 +1360,15 @@ impl Dependency {
             stack.extend(inner.nodes[n].deps.iter().copied());
         }
         false
+    }
+
+    /// The scheduler node id this handle points at, for trace-event
+    /// correlation (`None` for the empty dependency). Harnesses emit
+    /// [`shardstore_obs::TraceEvent::Acked`] with this id so the
+    /// acked-durability oracle can tie acknowledgements back to the
+    /// `WritePersisted` events of the node's cone.
+    pub fn trace_node(&self) -> Option<u64> {
+        self.node.map(|n| n as u64)
     }
 
     /// True if both handles point at the same graph node (or both are the

@@ -32,11 +32,28 @@ pub struct Divergence {
     pub op: String,
     /// What went wrong.
     pub detail: String,
+    /// Per-op trace timeline from the failing run (tail of the trace
+    /// log); empty when the runner had no store to read it from.
+    pub timeline: String,
+}
+
+impl Divergence {
+    /// Attaches the tail of the store's trace log, rendered per-op, so a
+    /// minimized counterexample carries the events that led up to it.
+    pub(crate) fn with_timeline(mut self, store: &Store) -> Self {
+        let records = store.obs().trace().snapshot();
+        self.timeline = shardstore_obs::oracle::render_timeline_tail(&records, 60);
+        self
+    }
 }
 
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "divergence at op {} ({}): {}", self.op_index, self.op, self.detail)
+        write!(f, "divergence at op {} ({}): {}", self.op_index, self.op, self.detail)?;
+        if !self.timeline.is_empty() {
+            write!(f, "\n--- trace timeline (tail) ---\n{}", self.timeline)?;
+        }
+        Ok(())
     }
 }
 
@@ -163,7 +180,7 @@ impl RunCtx {
 }
 
 fn diverge(op_index: usize, op: &KvOp, detail: impl Into<String>) -> Divergence {
-    Divergence { op_index, op: format!("{op:?}"), detail: detail.into() }
+    Divergence { op_index, op: format!("{op:?}"), detail: detail.into(), timeline: String::new() }
 }
 
 fn is_no_space(e: &StoreError) -> bool {
@@ -183,8 +200,11 @@ pub fn run_conformance(ops: &[KvOp], cfg: &ConformanceConfig) -> Result<RunRepor
     let mut model = KvModel::new();
     let page_size = cfg.geometry.page_size;
     for (i, op) in ops.iter().enumerate() {
-        apply_op(&mut ctx, &mut model, i, op, page_size, cfg)?;
-        check_invariants(&ctx, &model, i, op)?;
+        let step = apply_op(&mut ctx, &mut model, i, op, page_size, cfg)
+            .and_then(|()| check_invariants(&ctx, &model, i, op));
+        if let Err(d) = step {
+            return Err(d.with_timeline(&ctx.store));
+        }
     }
     Ok(RunReport {
         ops: ops.len(),

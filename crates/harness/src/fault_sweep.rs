@@ -147,6 +147,9 @@ pub struct SweepViolation {
     pub op_index: usize,
     /// Which property failed and how.
     pub detail: String,
+    /// Per-op trace timeline from the failing run (tail of the trace
+    /// log), rendered for the minimized counterexample report.
+    pub timeline: String,
 }
 
 impl fmt::Display for SweepViolation {
@@ -155,7 +158,11 @@ impl fmt::Display for SweepViolation {
             f,
             "sweep violation (seq {}, {}) at op {}: {}",
             self.sequence, self.schedule, self.op_index, self.detail
-        )
+        )?;
+        if !self.timeline.is_empty() {
+            write!(f, "\n--- trace timeline (tail) ---\n{}", self.timeline)?;
+        }
+        Ok(())
     }
 }
 
@@ -217,6 +224,7 @@ impl SweepCtx {
     /// Polls every tracked dependency, promoting to acked and enforcing
     /// the no-lost-ack property.
     fn poll_acks(&mut self, at: usize) -> Result<(), String> {
+        let obs = self.store.obs();
         for t in &mut self.tracked {
             let persistent = t.dep.is_persistent();
             if t.acked && !persistent {
@@ -227,6 +235,12 @@ impl SweepCtx {
             }
             if persistent && !t.acked {
                 t.acked = true;
+                // Record the acknowledgement in the trace so the
+                // acked-durability trace oracle can check that every write
+                // the op announced had persisted by this point.
+                if let Some(n) = t.dep.trace_node() {
+                    obs.trace().event(shardstore_obs::TraceEvent::Acked { dep: n });
+                }
                 if t.hist_idx.is_none() {
                     self.deleted_after_ack.insert(t.key);
                 }
@@ -307,11 +321,16 @@ pub fn run_schedule(
         fault_armed: false,
         degraded_reads: 0,
     };
-    let violation = |i: usize, detail: String| SweepViolation {
-        schedule,
-        sequence: 0,
-        op_index: i,
-        detail,
+    let obs = ctx.store.obs();
+    let violation = {
+        let obs = obs.clone();
+        move |i: usize, detail: String| SweepViolation {
+            schedule,
+            sequence: 0,
+            op_index: i,
+            detail,
+            timeline: shardstore_obs::oracle::render_timeline_tail(&obs.trace().snapshot(), 60),
+        }
     };
     let page_size = cfg.geometry.page_size;
     let retries_before = ctx.store.scheduler().stats().retries;
@@ -338,6 +357,32 @@ pub fn run_schedule(
     }
     ctx.poll_acks(n).map_err(|d| violation(n, d))?;
     check_acked_durability(&mut ctx, n).map_err(|d| violation(n, d))?;
+    // Trace-based oracles: re-derive the causal properties from the run's
+    // event log alone. A wrapped (truncated) trace cannot be certified and
+    // is skipped — never treated as a pass or a failure.
+    if let Ok(records) = shardstore_obs::oracle::certify(obs.trace()) {
+        let budget = shardstore_dependency::DEFAULT_RETRY_BUDGET;
+        let mut checks: Vec<(&str, Result<(), shardstore_obs::oracle::OracleViolation>)> = vec![
+            ("acked-durability", shardstore_obs::oracle::check_acked_durability(&records)),
+            ("retry-budget", shardstore_obs::oracle::check_retry_budget(&records, budget)),
+            ("cache-coherence", shardstore_obs::oracle::check_cache_coherence(&records)),
+        ];
+        // Under background writeback the quarantine event (emitted by the
+        // writeback thread) and a concurrent cache hit on the main thread
+        // have no defined trace order, so the isolation oracle only holds
+        // in deterministic mode.
+        if !cfg.background_writeback {
+            checks.push((
+                "quarantine-isolation",
+                shardstore_obs::oracle::check_quarantine_isolation(&records),
+            ));
+        }
+        for (name, res) in checks {
+            if let Err(e) = res {
+                return Err(violation(n, format!("trace oracle {name} failed: {e}")));
+            }
+        }
+    }
     // A permanent schedule on an extent the run never touched simply never
     // quarantines: an uninteresting schedule, not a violation.
     let retried = ctx.store.scheduler().stats().retries > retries_before;

@@ -39,7 +39,7 @@ pub fn index_ops(bias: bool, max_len: usize) -> impl Strategy<Value = Vec<IndexO
 }
 
 fn diverge(op_index: usize, op: &IndexOp, detail: impl Into<String>) -> Divergence {
-    Divergence { op_index, op: format!("{op:?}"), detail: detail.into() }
+    Divergence { op_index, op: format!("{op:?}"), detail: detail.into(), timeline: String::new() }
 }
 
 /// Synthesizes a locator list for a `Put(key, v)` op: locators are index

@@ -1,0 +1,137 @@
+//! Determinism of the observability layer: two runs of the same operation
+//! sequence under the same `SHARDSTORE_SEED` must produce byte-identical
+//! trace logs and metric snapshots. Trace events carry only logical
+//! counters (sequence numbers, node ids, extent numbers) — never wall
+//! clock — so this holds in deterministic writeback mode and, once the
+//! background pump is quiesced before reading, in background mode too.
+
+use std::time::Duration;
+
+use shardstore_core::{Store, StoreConfig};
+use shardstore_dependency::{WritebackConfig, WritebackMode};
+use shardstore_faults::FaultConfig;
+use shardstore_harness::detect::{sample_sequences, seed_override};
+use shardstore_harness::gen::{kv_ops, GenConfig};
+use shardstore_harness::ops::KvOp;
+use shardstore_vdisk::{CrashPlan, Geometry};
+
+/// Minimal deterministic interpreter for the conformance alphabet: applies
+/// each op, ignoring outcomes (conformance is checked elsewhere — here only
+/// the *trace* matters, and it must not depend on anything but the ops).
+fn apply(store: &mut Store, puts: &mut Vec<u128>, op: &KvOp, page_size: usize) {
+    match op {
+        KvOp::Get(kr) => {
+            let _ = store.get(kr.resolve(puts));
+        }
+        KvOp::Put(kr, spec) => {
+            let key = kr.resolve(puts);
+            let value = spec.materialize(key, page_size);
+            if store.put(key, &value).is_ok() {
+                puts.push(key);
+            }
+        }
+        KvOp::PutBatch(elems) => {
+            let batch: Vec<(u128, Vec<u8>)> = elems
+                .iter()
+                .map(|(kr, spec)| {
+                    let key = kr.resolve(puts);
+                    (key, spec.materialize(key, page_size))
+                })
+                .collect();
+            if store.put_batch(&batch).is_ok() {
+                puts.extend(batch.iter().map(|(k, _)| *k));
+            }
+        }
+        KvOp::Delete(kr) => {
+            let _ = store.delete(kr.resolve(puts));
+        }
+        KvOp::IndexFlush => {
+            let _ = store.flush_index();
+        }
+        KvOp::Compact => {
+            let _ = store.compact_index();
+        }
+        KvOp::Reclaim(stream) => {
+            let _ = store.reclaim(*stream);
+        }
+        KvOp::CacheDrop => store.drop_caches(),
+        KvOp::Pump(n) => {
+            let sched = store.scheduler();
+            let _ = sched.issue_ready(*n as usize).and_then(|_| sched.flush_issued());
+        }
+        KvOp::Reboot => {
+            let _ = store.clean_shutdown();
+            if let Ok(recovered) = store.dirty_reboot(&CrashPlan::LoseAll) {
+                *store = recovered;
+            }
+        }
+        KvOp::DirtyReboot(_) | KvOp::FailDiskOnce(_) => {}
+    }
+}
+
+/// Runs one sequence and returns the rendered trace plus the metrics
+/// snapshot JSON. In background mode the pump is configured with a batch
+/// window far longer than the test (so it never fires mid-run on its own
+/// schedule) and quiesced — drained deterministically on the caller
+/// thread — before the trace is read.
+fn run_once(ops: &[KvOp], background: bool) -> (String, String) {
+    let geometry = Geometry::small();
+    let mut store = Store::format(geometry, StoreConfig::small(), FaultConfig::none());
+    if background {
+        store.scheduler().set_writeback_mode(WritebackMode::Background(WritebackConfig {
+            batch_window: Duration::from_secs(600),
+            max_batch: usize::MAX,
+        }));
+    }
+    let mut puts = Vec::new();
+    for op in ops {
+        apply(&mut store, &mut puts, op, geometry.page_size);
+    }
+    store.scheduler().quiesce().expect("quiesce after a fault-free run");
+    let obs = store.obs();
+    (obs.trace().render(), obs.snapshot().to_json())
+}
+
+fn check_mode(background: bool) {
+    let seed = seed_override(0x0B5_D1CE);
+    let sequences: Vec<Vec<KvOp>> =
+        sample_sequences(kv_ops(GenConfig::conformance()), seed, 3).collect();
+    for (i, ops) in sequences.iter().enumerate() {
+        let (trace_a, snap_a) = run_once(ops, background);
+        let (trace_b, snap_b) = run_once(ops, background);
+        assert!(
+            !trace_a.is_empty(),
+            "sequence {i}: a non-empty op sequence must leave a trace"
+        );
+        assert_eq!(trace_a, trace_b, "sequence {i}: trace logs diverge between identical runs");
+        assert_eq!(snap_a, snap_b, "sequence {i}: metric snapshots diverge between identical runs");
+    }
+}
+
+#[test]
+fn traces_and_metrics_are_deterministic() {
+    check_mode(false);
+}
+
+#[test]
+fn traces_and_metrics_are_deterministic_under_background_writeback() {
+    check_mode(true);
+}
+
+#[test]
+fn metrics_snapshot_json_round_trips_from_a_real_run() {
+    let seed = seed_override(0x0B5_D1CE);
+    let ops: Vec<KvOp> = sample_sequences(kv_ops(GenConfig::conformance()), seed, 1)
+        .next()
+        .expect("one sequence");
+    let geometry = Geometry::small();
+    let mut store = Store::format(geometry, StoreConfig::small(), FaultConfig::none());
+    let mut puts = Vec::new();
+    for op in &ops {
+        apply(&mut store, &mut puts, op, geometry.page_size);
+    }
+    let snap = store.obs().snapshot();
+    let json = snap.to_json();
+    let back = shardstore_obs::MetricsSnapshot::from_json(&json).expect("snapshot parses back");
+    assert_eq!(snap, back, "snapshot JSON round-trip must be lossless");
+}

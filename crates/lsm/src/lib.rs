@@ -40,6 +40,7 @@ use shardstore_chunk::{ChunkError, Locator, PutGuard, Referencer, Stream};
 use shardstore_conc::sync::Mutex;
 use shardstore_dependency::{Dependency, Promise};
 use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_obs::{Counter, Obs, TraceEvent};
 use shardstore_vdisk::codec::CodecError;
 use shardstore_vdisk::ExtentId;
 
@@ -225,7 +226,39 @@ struct LsmState {
     /// Set when an extent reset happened since the last flush (drives the
     /// seeded bug B3).
     reset_since_flush: bool,
-    stats: LsmStats,
+}
+
+/// Registry-backed metric handles for the index. The shared registry
+/// (reached through the chunk store's scheduler) is the source of truth;
+/// [`LsmIndex::stats`] is a thin compat view over these.
+#[derive(Debug, Clone)]
+struct LsmCounters {
+    obs: Obs,
+    mutations: Counter,
+    gets: Counter,
+    flushes: Counter,
+    compactions: Counter,
+    table_decodes: Counter,
+    fence_skips: Counter,
+    bloom_skips: Counter,
+    bloom_false_positives: Counter,
+}
+
+impl LsmCounters {
+    fn new(obs: Obs) -> Self {
+        let r = obs.registry();
+        Self {
+            mutations: r.counter("lsm.mutations"),
+            gets: r.counter("lsm.gets"),
+            flushes: r.counter("lsm.flushes"),
+            compactions: r.counter("lsm.compactions"),
+            table_decodes: r.counter("lsm.table_decodes"),
+            fence_skips: r.counter("lsm.fence_skips"),
+            bloom_skips: r.counter("lsm.bloom_skips"),
+            bloom_false_positives: r.counter("lsm.bloom_false_positives"),
+            obs,
+        }
+    }
 }
 
 /// The persistent LSM-tree index. Cheap to clone; all clones share state.
@@ -245,6 +278,7 @@ struct LsmCore {
     /// Serializes flush and compaction against each other (they both
     /// rewrite the table list).
     maintenance: Mutex<()>,
+    counters: LsmCounters,
 }
 
 impl fmt::Debug for LsmIndex {
@@ -266,6 +300,7 @@ impl LsmIndex {
 
     /// Creates an empty index with explicit read-path tuning.
     pub fn with_config(cache: CachedChunkStore, faults: FaultConfig, config: LsmConfig) -> Self {
+        let counters = LsmCounters::new(cache.chunk_store().extent_manager().scheduler().obs());
         Self {
             core: Arc::new(LsmCore {
                 cache,
@@ -283,10 +318,10 @@ impl LsmIndex {
                     refs: BTreeMap::new(),
                     refs_by_key: BTreeMap::new(),
                     reset_since_flush: false,
-                    stats: LsmStats::default(),
                 }),
                 decoded: Mutex::new(DecodedCache::default()),
                 maintenance: Mutex::new(()),
+                counters,
             }),
         }
     }
@@ -521,6 +556,8 @@ impl LsmIndex {
             return Ok(entries);
         }
         coverage::hit("lsm.decoded.miss");
+        self.core.counters.table_decodes.inc();
+        self.core.counters.obs.trace().event(TraceEvent::TableLoad { table: table.id });
         let entries = Arc::new(self.read_table(&table.locators)?);
         self.decoded_insert(table.id, Arc::clone(&entries));
         Ok(entries)
@@ -621,7 +658,7 @@ impl LsmIndex {
             }
             st.refs_by_key.insert(key, locators.clone());
         }
-        st.stats.mutations += 1;
+        self.core.counters.mutations.inc();
         dep
     }
 
@@ -678,8 +715,8 @@ impl LsmIndex {
     ) -> Result<Option<Vec<Locator>>, LsmError> {
         loop {
             let (tables, version): (Vec<TableSnapshot>, u64) = {
-                let mut st = self.core.state.lock();
-                st.stats.gets += 1;
+                let st = self.core.state.lock();
+                self.core.counters.gets.inc();
                 if let Some(entry) = st.memtable.get(&key) {
                     coverage::hit("lsm.get.memtable");
                     return Ok(match &entry.value {
@@ -716,20 +753,30 @@ impl LsmIndex {
             if let Some(meta) = &table.meta {
                 if !meta.in_fence(key) {
                     coverage::hit("lsm.get.fence_skip");
+                    self.core.counters.fence_skips.inc();
                     continue;
                 }
                 if !meta.bloom_may_contain(key) {
                     coverage::hit("lsm.get.bloom_skip");
+                    self.core.counters.bloom_skips.inc();
                     continue;
                 }
             }
             let entries = self.table_entries(table)?;
-            if let Ok(idx) = entries.binary_search_by_key(&key, |(k, _)| *k) {
-                coverage::hit("lsm.get.sstable");
-                return Ok(match &entries[idx].1 {
-                    IndexValue::Present(l) => Some(l.clone()),
-                    IndexValue::Tombstone => None,
-                });
+            match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                Ok(idx) => {
+                    coverage::hit("lsm.get.sstable");
+                    return Ok(match &entries[idx].1 {
+                        IndexValue::Present(l) => Some(l.clone()),
+                        IndexValue::Tombstone => None,
+                    });
+                }
+                // The filters said "maybe present" but the table does not
+                // contain the key: a bloom false positive.
+                Err(_) if table.meta.is_some() => {
+                    self.core.counters.bloom_false_positives.inc();
+                }
+                Err(_) => {}
             }
         }
         coverage::hit("lsm.get.miss");
@@ -915,7 +962,6 @@ impl LsmIndex {
         let group_dep = table_full_dep.and(&meta_dep);
         {
             let mut st = self.core.state.lock();
-            let _ = table_id;
             for (key, _, seq) in &snapshot {
                 // Remove the flushed entry unless it was overwritten while
                 // we were flushing; seal its promise either way (the
@@ -930,8 +976,12 @@ impl LsmIndex {
                     coverage::hit("lsm.flush.overwritten_during_flush");
                 }
             }
-            st.stats.flushes += 1;
         }
+        self.core.counters.flushes.inc();
+        self.core.counters.obs.trace().event(TraceEvent::LsmFlush {
+            entries: snapshot.len() as u32,
+            table: table_id,
+        });
         drop(guards);
         coverage::hit("lsm.flush.done");
         Ok(meta_dep)
@@ -1003,7 +1053,7 @@ impl LsmIndex {
                 data_dep: table_data_dep.clone(),
             });
             st.tables_version += 1;
-            st.stats.compactions += 1;
+            self.core.counters.compactions.inc();
             (id, st.tables.iter().map(|t| t.id).collect::<Vec<u64>>())
         };
         self.decoded_insert(new_id, entries);
@@ -1054,9 +1104,16 @@ impl LsmIndex {
         self.core.state.lock().tables.len()
     }
 
-    /// Statistics.
+    /// Statistics: a compatibility view assembled from the obs registry
+    /// counters (the registry is the single source of truth).
     pub fn stats(&self) -> LsmStats {
-        self.core.state.lock().stats
+        let c = &self.core.counters;
+        LsmStats {
+            mutations: c.mutations.get(),
+            gets: c.gets.get(),
+            flushes: c.flushes.get(),
+            compactions: c.compactions.get(),
+        }
     }
 
     /// Reverse-lookup callback for shard-data extents.

@@ -1,0 +1,151 @@
+//! `shardstore-obs`: the unified observability layer — deterministic
+//! structured tracing plus a lock-free metrics registry, and the
+//! trace-based oracles the validation harnesses assert with.
+//!
+//! The paper's methodology depends on being able to *see* what the system
+//! did: conformance failures, crash states, and fault schedules are only
+//! debuggable from a faithful record of events (§8 leans on exactly this
+//! kind of telemetry in production). This crate replaces the ad-hoc
+//! counters that had grown in isolation (`SchedulerStats`, per-segment
+//! cache tallies, LSM stats) with one substrate:
+//!
+//! - [`metrics`] — named counters, gauges, and fixed-bucket histograms.
+//!   Hot-path recording is a single atomic RMW (no lock); snapshots
+//!   ([`metrics::MetricsSnapshot`]) serialize to JSON and round-trip.
+//! - [`trace`] — a bounded ring buffer of typed events stamped with a
+//!   **logical clock** (a sequence number handed out under the ring's
+//!   lock). Wall-clock time never appears on checked paths, so a trace is
+//!   byte-identical across runs of the same schedule — which is what lets
+//!   the model checker and `SHARDSTORE_SEED`-driven harnesses diff traces
+//!   directly. Overflow is never silent: wrapped events bump a
+//!   `dropped_events` counter surfaced in every snapshot.
+//! - [`oracle`] — harness-side assertions over a captured trace: causal
+//!   invariants the state-based checkers can't see (acknowledged
+//!   durability is dominated by persistence events, retries stay within
+//!   budget, no cache hit after quarantine, no stale hit after an extent
+//!   reset), plus a per-op timeline pretty-printer attached to minimized
+//!   counterexamples.
+//! - [`walltime`] — the *opt-in* wall-clock layer for benches only. It is
+//!   the single place `std::time::Instant` is allowed; nothing on a
+//!   checked path may use it.
+//!
+//! One [`Obs`] instance is shared by an entire store stack: the IO
+//! scheduler creates it and attaches it to the disk, and every layer above
+//! reaches it through the scheduler, so constructors stay unchanged.
+
+pub mod json;
+pub mod metrics;
+pub mod oracle;
+pub mod trace;
+pub mod walltime;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use trace::{OpKind, TraceEvent, TraceLog, TraceRecord};
+
+/// Default trace-ring capacity: large enough that harness runs (a few
+/// hundred ops, a handful of events each) never wrap, small enough that a
+/// soak run wraps instead of growing without bound.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+struct ObsInner {
+    registry: Registry,
+    trace: TraceLog,
+    next_op: AtomicU64,
+}
+
+/// The shared observability handle: one metrics registry plus one trace
+/// log. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").field("trace_len", &self.inner.trace.len()).finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Obs {
+    /// Creates an observability handle with the given trace-ring capacity.
+    pub fn new(trace_capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(ObsInner {
+                registry: Registry::new(),
+                trace: TraceLog::new(trace_capacity),
+                next_op: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.inner.trace
+    }
+
+    /// Opens an operation span: allocates the next op id and records
+    /// [`TraceEvent::OpStart`]. Close it with [`Obs::end_op`].
+    pub fn begin_op(&self, kind: OpKind, key: u128) -> u64 {
+        let op = self.inner.next_op.fetch_add(1, Ordering::Relaxed);
+        self.inner.trace.event(TraceEvent::OpStart { op, kind, key });
+        op
+    }
+
+    /// Closes an operation span.
+    pub fn end_op(&self, op: u64, ok: bool) {
+        self.inner.trace.event(TraceEvent::OpEnd { op, ok });
+    }
+
+    /// Snapshots every metric, folding in the trace log's own counters
+    /// (`trace.recorded_events`, `trace.dropped_events`) so a truncated
+    /// trace is visible from the snapshot alone — the oracles refuse to
+    /// certify causal properties over a trace that wrapped.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.registry.snapshot();
+        snap.counters.insert("trace.recorded_events".into(), self.inner.trace.recorded());
+        snap.counters.insert("trace.dropped_events".into(), self.inner.trace.dropped());
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_ids_are_sequential() {
+        let obs = Obs::default();
+        assert_eq!(obs.begin_op(OpKind::Put, 1), 0);
+        assert_eq!(obs.begin_op(OpKind::Get, 2), 1);
+        obs.end_op(0, true);
+        let trace = obs.trace().snapshot();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].seq, 0);
+        assert_eq!(trace[2].seq, 2);
+    }
+
+    #[test]
+    fn snapshot_carries_trace_counters() {
+        let obs = Obs::new(2);
+        for i in 0..5 {
+            obs.begin_op(OpKind::Get, i);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["trace.recorded_events"], 5);
+        assert_eq!(snap.counters["trace.dropped_events"], 3);
+    }
+}

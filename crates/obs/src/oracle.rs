@@ -1,0 +1,398 @@
+//! Trace-based oracles: causal assertions over a captured [`TraceLog`]
+//! snapshot, for harnesses to run alongside their state-based checks.
+//!
+//! State-based checkers (conformance against the reference model, crash
+//! consistency against the dependency spec) validate *outcomes*. These
+//! oracles validate *causality* — orderings the outcome can't expose:
+//!
+//! - an acknowledged dependency must be dominated by `WritePersisted`
+//!   events for every data write the op submitted ([`check_acked_durability`]);
+//! - in-call retries must stay within the scheduler's budget per extent
+//!   per failure burst ([`check_retry_budget`]);
+//! - a quarantined extent must never serve a cache hit afterwards
+//!   ([`check_quarantine_isolation`]);
+//! - an extent reset must not be followed by a cache hit for a chunk
+//!   address on that extent unless the cache missed (repopulated) it
+//!   first ([`check_cache_coherence`]).
+//!
+//! All oracles begin by *certifying* the trace: a ring that wrapped
+//! (`dropped > 0`) has lost history, and a causal check over partial
+//! history can pass vacuously — so [`certify`] turns truncation into an
+//! explicit failure instead.
+//!
+//! [`render_timeline`] is the companion debugging tool: it groups events
+//! by operation (attributing scheduler-node events to the op that
+//! submitted them) and pretty-prints a per-op timeline, which the
+//! harnesses attach to minimized counterexamples.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::trace::{TraceEvent, TraceRecord};
+use crate::TraceLog;
+
+/// A failed oracle: which invariant broke and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleViolation {
+    /// Which oracle fired (stable identifier, e.g. `acked_durability`).
+    pub oracle: &'static str,
+    /// Human-readable description of the breakage.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace oracle `{}`: {}", self.oracle, self.detail)
+    }
+}
+
+/// Refuses a truncated trace. Every causal oracle calls this first: if
+/// the ring wrapped, events are missing and "no violation found" would be
+/// meaningless.
+pub fn certify(log: &TraceLog) -> Result<Vec<TraceRecord>, OracleViolation> {
+    let dropped = log.dropped();
+    if dropped > 0 {
+        return Err(OracleViolation {
+            oracle: "certify",
+            detail: format!(
+                "trace ring wrapped: {dropped} events dropped of {} recorded; \
+                 causal oracles cannot certify a truncated trace \
+                 (raise the trace capacity)",
+                log.recorded()
+            ),
+        });
+    }
+    Ok(log.snapshot())
+}
+
+/// Acked durability: for every `Acked {{ dep }}`, the dependency's op (via
+/// `OpReturn`) must have had **all** of its data-write nodes (via
+/// `OpWrites`) persisted before the ack, and the returned dep node itself
+/// must be persisted. This is the trace-level image of the paper's
+/// durability property: nothing is acknowledged ahead of its writes.
+pub fn check_acked_durability(records: &[TraceRecord]) -> Result<(), OracleViolation> {
+    // dep node -> op, op -> data-write nodes.
+    let mut dep_to_op: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut op_writes: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::OpReturn { op, dep } => {
+                dep_to_op.insert(*dep, *op);
+            }
+            TraceEvent::OpWrites { op, nodes } => {
+                op_writes.entry(*op).or_default().extend(nodes.iter().copied());
+            }
+            _ => {}
+        }
+    }
+    let mut persisted: BTreeSet<u64> = BTreeSet::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::WritePersisted { node } => {
+                persisted.insert(*node);
+            }
+            TraceEvent::Acked { dep } => {
+                if !persisted.contains(dep) {
+                    return Err(OracleViolation {
+                        oracle: "acked_durability",
+                        detail: format!(
+                            "dep #{dep} acked at seq {} before its own \
+                             WritePersisted event",
+                            r.seq
+                        ),
+                    });
+                }
+                if let Some(op) = dep_to_op.get(dep) {
+                    if let Some(nodes) = op_writes.get(op) {
+                        for node in nodes {
+                            if !persisted.contains(node) {
+                                return Err(OracleViolation {
+                                    oracle: "acked_durability",
+                                    detail: format!(
+                                        "dep #{dep} (op {op}) acked at seq {} but \
+                                         data write #{node} was not yet persisted",
+                                        r.seq
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Retry budget: within one failure burst on an extent (a run of `Retry`
+/// events not interrupted by a successful event on that extent), the
+/// attempt number must never exceed `budget`. Attempt numbers are 1-based.
+pub fn check_retry_budget(records: &[TraceRecord], budget: u32) -> Result<(), OracleViolation> {
+    for r in records {
+        if let TraceEvent::Retry { extent, attempt } = r.event {
+            if attempt > budget {
+                return Err(OracleViolation {
+                    oracle: "retry_budget",
+                    detail: format!(
+                        "extent {extent} retried attempt {attempt} at seq {} \
+                         exceeding budget {budget}",
+                        r.seq
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Quarantine isolation: once an extent is quarantined, no later cache
+/// hit may be served for a chunk on that extent. (The degraded salvage
+/// path deliberately emits no `CacheHit`, so reads that *knowingly*
+/// salvage stale bytes don't trip this.) Only meaningful on deterministic
+/// runs — background writeback can interleave a racing hit benignly, so
+/// harnesses skip this oracle there.
+pub fn check_quarantine_isolation(records: &[TraceRecord]) -> Result<(), OracleViolation> {
+    let mut quarantined: BTreeSet<u32> = BTreeSet::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::Quarantine { extent } => {
+                quarantined.insert(*extent);
+            }
+            TraceEvent::CacheHit { extent, offset } if quarantined.contains(extent) => {
+                return Err(OracleViolation {
+                    oracle: "quarantine_isolation",
+                    detail: format!(
+                        "cache hit for ext {extent} off {offset} at seq {} \
+                         after the extent was quarantined",
+                        r.seq
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Cache coherence across extent reuse: after `ExtentReset {{ extent }}`,
+/// any address on that extent must first `CacheMiss` (be repopulated
+/// from the store) before it may `CacheHit` again. A hit without an
+/// intervening miss is a stale entry surviving reclamation — exactly the
+/// seeded B2 "cache not drained" bug.
+pub fn check_cache_coherence(records: &[TraceRecord]) -> Result<(), OracleViolation> {
+    // Addresses on reset extents that have not been repopulated yet.
+    let mut stale: BTreeSet<(u32, u32)> = BTreeSet::new();
+    // Every address ever touched, so a reset can invalidate them.
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::CacheMiss { extent, offset } => {
+                seen.insert((*extent, *offset));
+                stale.remove(&(*extent, *offset));
+            }
+            TraceEvent::CacheHit { extent, offset } => {
+                if stale.contains(&(*extent, *offset)) {
+                    return Err(OracleViolation {
+                        oracle: "cache_coherence",
+                        detail: format!(
+                            "stale cache hit for ext {extent} off {offset} at seq {} \
+                             after the extent was reset without repopulation",
+                            r.seq
+                        ),
+                    });
+                }
+                seen.insert((*extent, *offset));
+            }
+            TraceEvent::ExtentReset { extent } => {
+                let ext = *extent;
+                for addr in seen.iter().filter(|(e, _)| *e == ext) {
+                    stale.insert(*addr);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Runs every oracle applicable to a deterministic run. `retry_budget`
+/// is the scheduler's configured in-call retry budget.
+pub fn check_all(log: &TraceLog, retry_budget: u32) -> Result<(), OracleViolation> {
+    let records = certify(log)?;
+    check_acked_durability(&records)?;
+    check_retry_budget(&records, retry_budget)?;
+    check_quarantine_isolation(&records)?;
+    check_cache_coherence(&records)?;
+    Ok(())
+}
+
+/// Pretty-prints a per-operation timeline from a trace snapshot. Events
+/// carrying an op id land under that op; scheduler-node events are
+/// attributed to the op that submitted the node (via `OpWrites` /
+/// `OpReturn`); everything else goes under a `[system]` heading. The
+/// result is what the harnesses attach to minimized counterexamples.
+pub fn render_timeline(records: &[TraceRecord]) -> String {
+    // First pass: node -> op attribution.
+    let mut node_op: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::OpWrites { op, nodes } => {
+                for n in nodes {
+                    node_op.insert(*n, *op);
+                }
+            }
+            TraceEvent::OpReturn { op, dep } => {
+                node_op.insert(*dep, *op);
+            }
+            _ => {}
+        }
+    }
+    let op_of = |ev: &TraceEvent| -> Option<u64> {
+        match ev {
+            TraceEvent::OpStart { op, .. }
+            | TraceEvent::OpEnd { op, .. }
+            | TraceEvent::OpReturn { op, .. }
+            | TraceEvent::OpWrites { op, .. } => Some(*op),
+            TraceEvent::Acked { dep } => node_op.get(dep).copied(),
+            TraceEvent::WriteIssued { node, .. }
+            | TraceEvent::WritePersisted { node }
+            | TraceEvent::WriteLost { node } => node_op.get(node).copied(),
+            _ => None,
+        }
+    };
+    // Second pass: group in logical-clock order.
+    let mut by_op: BTreeMap<Option<u64>, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        by_op.entry(op_of(&r.event)).or_default().push(r);
+    }
+    let mut out = String::new();
+    // None (system events) sorts first in the BTreeMap; print it last for
+    // readability.
+    for (op, evs) in by_op.iter().filter(|(op, _)| op.is_some()) {
+        let op = op.expect("filtered");
+        out.push_str(&format!("op {op}:\n"));
+        for r in evs {
+            out.push_str(&format!("  #{:06}  {}\n", r.seq, r.event));
+        }
+    }
+    if let Some(evs) = by_op.get(&None) {
+        out.push_str("[system]:\n");
+        for r in evs {
+            out.push_str(&format!("  #{:06}  {}\n", r.seq, r.event));
+        }
+    }
+    out
+}
+
+/// [`render_timeline`] over only the trailing `tail` events — for
+/// attaching a bounded excerpt to a failure report from a long run.
+pub fn render_timeline_tail(records: &[TraceRecord], tail: usize) -> String {
+    let start = records.len().saturating_sub(tail);
+    render_timeline(&records[start..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::OpKind;
+
+    fn rec(seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, event }
+    }
+
+    #[test]
+    fn certify_rejects_wrapped_trace() {
+        let log = TraceLog::new(1);
+        log.event(TraceEvent::RecoveryStart);
+        log.event(TraceEvent::RecoveryEnd { ok: true });
+        let err = certify(&log).unwrap_err();
+        assert_eq!(err.oracle, "certify");
+    }
+
+    #[test]
+    fn acked_durability_accepts_persist_then_ack() {
+        let records = vec![
+            rec(0, TraceEvent::OpWrites { op: 0, nodes: vec![1, 2] }),
+            rec(1, TraceEvent::OpReturn { op: 0, dep: 3 }),
+            rec(2, TraceEvent::WritePersisted { node: 1 }),
+            rec(3, TraceEvent::WritePersisted { node: 2 }),
+            rec(4, TraceEvent::WritePersisted { node: 3 }),
+            rec(5, TraceEvent::Acked { dep: 3 }),
+        ];
+        check_acked_durability(&records).unwrap();
+    }
+
+    #[test]
+    fn acked_durability_rejects_early_ack() {
+        let records = vec![
+            rec(0, TraceEvent::OpWrites { op: 0, nodes: vec![1] }),
+            rec(1, TraceEvent::OpReturn { op: 0, dep: 2 }),
+            rec(2, TraceEvent::WritePersisted { node: 2 }),
+            // data write #1 never persisted
+            rec(3, TraceEvent::Acked { dep: 2 }),
+        ];
+        let err = check_acked_durability(&records).unwrap_err();
+        assert_eq!(err.oracle, "acked_durability");
+        assert!(err.detail.contains("#1"), "{}", err.detail);
+    }
+
+    #[test]
+    fn retry_budget_enforced() {
+        let records = vec![
+            rec(0, TraceEvent::Retry { extent: 4, attempt: 1 }),
+            rec(1, TraceEvent::Retry { extent: 4, attempt: 2 }),
+        ];
+        check_retry_budget(&records, 2).unwrap();
+        check_retry_budget(&records, 1).unwrap_err();
+    }
+
+    #[test]
+    fn quarantine_isolation_flags_late_hit() {
+        let records = vec![
+            rec(0, TraceEvent::CacheHit { extent: 7, offset: 0 }),
+            rec(1, TraceEvent::Quarantine { extent: 7 }),
+            rec(2, TraceEvent::CacheHit { extent: 7, offset: 0 }),
+        ];
+        let err = check_quarantine_isolation(&records).unwrap_err();
+        assert_eq!(err.oracle, "quarantine_isolation");
+    }
+
+    #[test]
+    fn cache_coherence_requires_repopulation() {
+        let stale = vec![
+            rec(0, TraceEvent::CacheMiss { extent: 3, offset: 8 }),
+            rec(1, TraceEvent::ExtentReset { extent: 3 }),
+            rec(2, TraceEvent::CacheHit { extent: 3, offset: 8 }),
+        ];
+        assert_eq!(check_cache_coherence(&stale).unwrap_err().oracle, "cache_coherence");
+
+        let repopulated = vec![
+            rec(0, TraceEvent::CacheMiss { extent: 3, offset: 8 }),
+            rec(1, TraceEvent::ExtentReset { extent: 3 }),
+            rec(2, TraceEvent::CacheMiss { extent: 3, offset: 8 }),
+            rec(3, TraceEvent::CacheHit { extent: 3, offset: 8 }),
+        ];
+        check_cache_coherence(&repopulated).unwrap();
+    }
+
+    #[test]
+    fn timeline_groups_by_op() {
+        let records = vec![
+            rec(0, TraceEvent::OpStart { op: 0, kind: OpKind::Put, key: 9 }),
+            rec(1, TraceEvent::OpWrites { op: 0, nodes: vec![5] }),
+            rec(2, TraceEvent::WriteIssued { node: 5, extent: 1, offset: 0, len: 16 }),
+            rec(3, TraceEvent::FlushExtent { extent: 1 }),
+            rec(4, TraceEvent::WritePersisted { node: 5 }),
+            rec(5, TraceEvent::OpEnd { op: 0, ok: true }),
+        ];
+        let text = render_timeline(&records);
+        assert!(text.contains("op 0:"), "{text}");
+        assert!(text.contains("write #5 issued"), "{text}");
+        assert!(text.contains("[system]:"), "{text}");
+        assert!(text.contains("flush ext 1"), "{text}");
+        // Node events attributed to op 0, not [system].
+        let sys_at = text.find("[system]").unwrap();
+        let issue_at = text.find("write #5 issued").unwrap();
+        assert!(issue_at < sys_at, "{text}");
+    }
+}

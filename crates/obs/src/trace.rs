@@ -1,0 +1,417 @@
+//! Structured event tracing with a logical clock.
+//!
+//! A [`TraceLog`] is a bounded ring buffer of typed [`TraceEvent`]s. Each
+//! recorded event is stamped with a **logical sequence number** handed out
+//! under the ring's lock — never wall-clock time — so a trace of a
+//! deterministic schedule is byte-identical across runs. That is the
+//! property the model checker and the `SHARDSTORE_SEED` determinism suite
+//! rely on, and it is why wall clock is banned on checked paths (the
+//! opt-in [`crate::walltime`] layer exists for benches).
+//!
+//! When the ring is full the oldest event is dropped **and counted**: the
+//! `dropped_events` tally is surfaced through [`TraceLog::dropped`] and in
+//! every [`crate::Obs::snapshot`], so harness oracles can refuse to
+//! certify causal properties over a truncated trace instead of silently
+//! passing on missing history.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The kind of store-level operation an op span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `Store::put`.
+    Put,
+    /// One element of `Store::put_batch`.
+    PutBatch,
+    /// `Store::get`.
+    Get,
+    /// `Store::delete`.
+    Delete,
+    /// Store recovery after a reboot.
+    Recovery,
+    /// An index flush.
+    Flush,
+    /// A reclamation pass.
+    Reclaim,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpKind::Put => "put",
+            OpKind::PutBatch => "put_batch",
+            OpKind::Get => "get",
+            OpKind::Delete => "delete",
+            OpKind::Recovery => "recovery",
+            OpKind::Flush => "flush",
+            OpKind::Reclaim => "reclaim",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One typed trace event. Every payload is a plain integer (node ids,
+/// extent numbers, logical counts) — no strings, no times — so rendering
+/// is deterministic and cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A store-level operation span opened.
+    OpStart {
+        /// Op id (from the shared per-`Obs` counter).
+        op: u64,
+        /// What kind of operation.
+        kind: OpKind,
+        /// The shard key (0 where not applicable).
+        key: u128,
+    },
+    /// The span closed.
+    OpEnd {
+        /// Op id.
+        op: u64,
+        /// Whether the operation returned Ok.
+        ok: bool,
+    },
+    /// The op returned this dependency node as its durability handle.
+    OpReturn {
+        /// Op id.
+        op: u64,
+        /// Scheduler node id of the returned dependency.
+        dep: u64,
+    },
+    /// The data-write nodes the op submitted.
+    OpWrites {
+        /// Op id.
+        op: u64,
+        /// Scheduler node ids of the op's data writes.
+        nodes: Vec<u64>,
+    },
+    /// A client observed the dependency persistent (acknowledgement).
+    Acked {
+        /// Scheduler node id of the acknowledged dependency.
+        dep: u64,
+    },
+    /// A write node was issued to the disk's volatile cache.
+    WriteIssued {
+        /// Scheduler node id.
+        node: u64,
+        /// Target extent.
+        extent: u32,
+        /// Byte offset within the extent.
+        offset: u32,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// A dependency node became persistent (write flushed, join resolved).
+    WritePersisted {
+        /// Scheduler node id.
+        node: u64,
+    },
+    /// A disk IO failed.
+    WriteFailed {
+        /// Failing extent.
+        extent: u32,
+        /// True for injected transient failures, false for permanent.
+        transient: bool,
+    },
+    /// A write node was permanently lost (crash or extent quarantine).
+    WriteLost {
+        /// Scheduler node id.
+        node: u64,
+    },
+    /// An in-call retry of a transient write failure.
+    Retry {
+        /// Retried extent.
+        extent: u32,
+        /// 1-based attempt number within the retry budget.
+        attempt: u32,
+    },
+    /// An extent fence (flush barrier) completed.
+    FlushExtent {
+        /// Fenced extent.
+        extent: u32,
+    },
+    /// Buffer-cache hit.
+    CacheHit {
+        /// Extent of the cached chunk.
+        extent: u32,
+        /// Offset of the cached chunk.
+        offset: u32,
+    },
+    /// Buffer-cache miss (the entry is populated from the store).
+    CacheMiss {
+        /// Extent of the missed chunk.
+        extent: u32,
+        /// Offset of the missed chunk.
+        offset: u32,
+    },
+    /// Buffer-cache eviction.
+    CacheEvict {
+        /// Extent of the evicted chunk.
+        extent: u32,
+        /// Offset of the evicted chunk.
+        offset: u32,
+    },
+    /// An LSM memtable flush wrote a new SSTable.
+    LsmFlush {
+        /// Entries flushed.
+        entries: u32,
+        /// Id of the table written.
+        table: u64,
+    },
+    /// An SSTable was decoded from disk (decoded-cache miss).
+    TableLoad {
+        /// Table id.
+        table: u64,
+    },
+    /// A live chunk was relocated (reclamation or quarantine evacuation).
+    Relocation {
+        /// Source extent.
+        from_extent: u32,
+        /// Destination extent.
+        to_extent: u32,
+    },
+    /// An extent was quarantined after a permanent fault.
+    Quarantine {
+        /// The quarantined extent.
+        extent: u32,
+    },
+    /// An extent was reset (reclamation reclaimed it for reuse).
+    ExtentReset {
+        /// The reset extent.
+        extent: u32,
+    },
+    /// A fail-stop crash was injected at the disk.
+    CrashPoint {
+        /// Volatile pages that survived per the crash plan.
+        pages_kept: u32,
+        /// Volatile pages lost.
+        pages_lost: u32,
+    },
+    /// Store recovery began.
+    RecoveryStart,
+    /// Store recovery finished.
+    RecoveryEnd {
+        /// Whether recovery succeeded.
+        ok: bool,
+    },
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+                TraceEvent::OpStart { op, kind, key } => {
+                    write!(f, "op {op} start {kind} key={key:#x}")
+                }
+                TraceEvent::OpEnd { op, ok } => write!(f, "op {op} end ok={ok}"),
+                TraceEvent::OpReturn { op, dep } => write!(f, "op {op} returns dep #{dep}"),
+                TraceEvent::OpWrites { op, nodes } => write!(f, "op {op} writes {nodes:?}"),
+                TraceEvent::Acked { dep } => write!(f, "acked dep #{dep}"),
+                TraceEvent::WriteIssued { node, extent, offset, len } => {
+                    write!(f, "write #{node} issued ext {extent} off {offset} len {len}")
+                }
+                TraceEvent::WritePersisted { node } => write!(f, "node #{node} persisted"),
+                TraceEvent::WriteFailed { extent, transient } => {
+                    write!(f, "io failed ext {extent} transient={transient}")
+                }
+                TraceEvent::WriteLost { node } => write!(f, "write #{node} lost"),
+                TraceEvent::Retry { extent, attempt } => {
+                    write!(f, "retry ext {extent} attempt {attempt}")
+                }
+                TraceEvent::FlushExtent { extent } => write!(f, "flush ext {extent}"),
+                TraceEvent::CacheHit { extent, offset } => {
+                    write!(f, "cache hit ext {extent} off {offset}")
+                }
+                TraceEvent::CacheMiss { extent, offset } => {
+                    write!(f, "cache miss ext {extent} off {offset}")
+                }
+                TraceEvent::CacheEvict { extent, offset } => {
+                    write!(f, "cache evict ext {extent} off {offset}")
+                }
+                TraceEvent::LsmFlush { entries, table } => {
+                    write!(f, "lsm flush {entries} entries -> table {table}")
+                }
+                TraceEvent::TableLoad { table } => write!(f, "table {table} decoded"),
+                TraceEvent::Relocation { from_extent, to_extent } => {
+                    write!(f, "relocated ext {from_extent} -> ext {to_extent}")
+                }
+                TraceEvent::Quarantine { extent } => write!(f, "quarantine ext {extent}"),
+                TraceEvent::ExtentReset { extent } => write!(f, "extent {extent} reset"),
+                TraceEvent::CrashPoint { pages_kept, pages_lost } => {
+                    write!(f, "crash: kept {pages_kept} pages, lost {pages_lost}")
+                }
+                TraceEvent::RecoveryStart => write!(f, "recovery start"),
+                TraceEvent::RecoveryEnd { ok } => write!(f, "recovery end ok={ok}"),
+        }
+    }
+}
+
+/// One recorded event with its logical-clock stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Logical sequence number: a per-log counter, never wall clock.
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+struct TraceInner {
+    ring: VecDeque<TraceRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded event ring. Cheap interior mutability; every recording
+/// takes the ring lock exactly once (sequence stamping and insertion are
+/// atomic together, which is what makes the logical clock total).
+pub struct TraceLog {
+    inner: Mutex<TraceInner>,
+    capacity: usize,
+    enabled: AtomicBool,
+}
+
+impl TraceLog {
+    /// A ring holding at most `capacity` events (0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(TraceInner {
+                ring: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            capacity,
+            enabled: AtomicBool::new(capacity > 0),
+        }
+    }
+
+    /// Turns recording on or off (benches turn it off to measure pure
+    /// datapath cost; the dropped/recorded counters are unaffected).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on && self.capacity > 0, Ordering::Relaxed);
+    }
+
+    /// Records an event, returning its logical timestamp (or `None` when
+    /// recording is disabled).
+    pub fn event(&self, event: TraceEvent) -> Option<u64> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("trace lock");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(TraceRecord { seq, event });
+        Some(seq)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace lock").ring.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events recorded (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("trace lock").next_seq
+    }
+
+    /// Events lost to ring wrap. Non-zero means the trace is truncated
+    /// and causal oracles must refuse to certify it.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace lock").dropped
+    }
+
+    /// Copies out the retained records in logical-clock order.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.inner.lock().expect("trace lock").ring.iter().cloned().collect()
+    }
+
+    /// Clears the ring and counters (a fresh logical clock).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        inner.ring.clear();
+        inner.next_seq = 0;
+        inner.dropped = 0;
+    }
+
+    /// Renders the retained events one per line (`#seq  event`). Two
+    /// identical schedules render byte-identically — the determinism
+    /// suite compares exactly this.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("trace lock");
+        let mut out = String::new();
+        for r in &inner.ring {
+            out.push_str(&format!("#{:06}  {}\n", r.seq, r.event));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("trace lock");
+        f.debug_struct("TraceLog")
+            .field("len", &inner.ring.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wrap_counts_drops() {
+        let log = TraceLog::new(3);
+        for i in 0..5u32 {
+            log.event(TraceEvent::FlushExtent { extent: i });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.recorded(), 5);
+        // The retained window is the most recent events, stamps intact.
+        let snap = log.snapshot();
+        assert_eq!(snap[0].seq, 2);
+        assert_eq!(snap[2].seq, 4);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = TraceLog::new(8);
+        log.set_enabled(false);
+        assert_eq!(log.event(TraceEvent::RecoveryStart), None);
+        assert_eq!(log.recorded(), 0);
+        log.set_enabled(true);
+        assert_eq!(log.event(TraceEvent::RecoveryStart), Some(0));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = TraceLog::new(0);
+        assert_eq!(log.event(TraceEvent::RecoveryStart), None);
+        log.set_enabled(true); // cannot re-enable a zero-capacity ring
+        assert_eq!(log.event(TraceEvent::RecoveryStart), None);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mk = || {
+            let log = TraceLog::new(16);
+            log.event(TraceEvent::OpStart { op: 0, kind: OpKind::Put, key: 0xbeef });
+            log.event(TraceEvent::WriteIssued { node: 3, extent: 1, offset: 0, len: 64 });
+            log.event(TraceEvent::OpEnd { op: 0, ok: true });
+            log.render()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

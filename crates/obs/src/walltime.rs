@@ -1,0 +1,72 @@
+//! The **opt-in** wall-clock layer — the only module in the workspace
+//! allowed to touch `std::time`. Benches use it to turn op spans into
+//! real latencies; nothing on a checked path may, because wall-clock
+//! values would make traces and snapshots run-dependent and break the
+//! byte-identical determinism the model checker and `SHARDSTORE_SEED`
+//! suites compare against.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A running stopwatch that records elapsed microseconds into a
+/// histogram when stopped (or dropped).
+pub struct Stopwatch {
+    start: Instant,
+    histogram: Histogram,
+    recorded: bool,
+}
+
+impl Stopwatch {
+    /// Starts timing; the elapsed time lands in `histogram` (in
+    /// microseconds) on [`Stopwatch::stop`] or drop.
+    pub fn start(histogram: Histogram) -> Self {
+        Self { start: Instant::now(), histogram, recorded: false }
+    }
+
+    /// Stops and records, returning the elapsed microseconds.
+    pub fn stop(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        let micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if !self.recorded {
+            self.histogram.record(micros);
+            self.recorded = true;
+        }
+        micros
+    }
+}
+
+impl Drop for Stopwatch {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.record();
+        }
+    }
+}
+
+/// Latency bucket bounds (microseconds) suited to the in-memory disk:
+/// sub-microsecond ops up through multi-millisecond stalls.
+pub const LATENCY_BOUNDS_US: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 5_000, 25_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn stopwatch_records_once() {
+        let reg = Registry::new();
+        let h = reg.histogram("bench.op_us", LATENCY_BOUNDS_US);
+        let sw = Stopwatch::start(h.clone());
+        sw.stop();
+        assert_eq!(h.count(), 1);
+        {
+            let _sw = Stopwatch::start(h.clone());
+            // recorded on drop
+        }
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -35,6 +35,7 @@ use std::sync::Arc;
 use shardstore_conc::sync::{Condvar, Mutex};
 use shardstore_dependency::{Dependency, IoScheduler};
 use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_obs::TraceEvent;
 use shardstore_vdisk::codec::{crc32, CodecError, Reader, Writer};
 use shardstore_vdisk::{ExtentId, IoError};
 
@@ -519,6 +520,9 @@ impl ExtentManager {
         let newly = self.core.state.lock().quarantined.insert(extent.0);
         if newly {
             coverage::hit("superblock.extent.quarantined");
+            let obs = self.core.sched.obs();
+            obs.registry().counter("extent.quarantines").inc();
+            obs.trace().event(TraceEvent::Quarantine { extent: extent.0 });
         }
         // Idempotent on purpose: writes submitted between the insert and
         // a racing earlier quarantine call are still failed.
@@ -908,6 +912,11 @@ impl ExtentManager {
         }
         st.extents[extent.0 as usize].write_ptr = 0;
         coverage::hit("superblock.extent.reset");
+        {
+            let obs = self.core.sched.obs();
+            obs.registry().counter("extent.resets").inc();
+            obs.trace().event(TraceEvent::ExtentReset { extent: extent.0 });
+        }
         if self.core.faults.is(BugId::B7SoftHardPointerMismatch) {
             // BUG B7 (seeded): the reset's superblock update is submitted
             // with no ordering at all — neither the evacuation barrier
@@ -994,6 +1003,7 @@ impl ExtentManager {
                 .ok_or(ExtentError::NoFreeExtent)?
         };
         coverage::hit("superblock.extent.allocate");
+        self.core.sched.obs().registry().counter("extent.allocations").inc();
         let dep = self.set_owner(extent, owner);
         Ok((extent, dep))
     }

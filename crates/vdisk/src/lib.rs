@@ -34,8 +34,10 @@ pub mod codec;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use shardstore_conc::sync::Mutex;
+use shardstore_obs::{Obs, TraceEvent};
 
 /// Default page size in bytes, matching a common disk sector-cluster size.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -190,6 +192,10 @@ struct DiskState {
 pub struct Disk {
     geometry: Geometry,
     state: Mutex<DiskState>,
+    /// Observability handle, attached once by the IO scheduler that owns
+    /// this disk. Unset (e.g. in crate-local unit tests) the disk simply
+    /// records nothing.
+    obs: OnceLock<Obs>,
 }
 
 impl Disk {
@@ -206,12 +212,25 @@ impl Disk {
                 fail_always: BTreeSet::new(),
                 stats: DiskStats::default(),
             }),
+            obs: OnceLock::new(),
         })
     }
 
     /// The disk's geometry.
     pub fn geometry(&self) -> Geometry {
         self.geometry
+    }
+
+    /// Attaches the shared observability handle. Called once by the IO
+    /// scheduler when it takes ownership of the disk; later calls are
+    /// ignored (first attach wins).
+    pub fn attach_obs(&self, obs: Obs) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// The attached observability handle, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.get()
     }
 
     fn check_range(&self, extent: ExtentId, offset: usize, len: usize) -> Result<(), IoError> {
@@ -226,9 +245,10 @@ impl Disk {
         Ok(())
     }
 
-    fn check_failures(st: &mut DiskState, extent: ExtentId) -> Result<(), IoError> {
+    fn check_failures(&self, st: &mut DiskState, extent: ExtentId) -> Result<(), IoError> {
         if st.fail_always.contains(&extent.0) {
             st.stats.injected_failures += 1;
+            self.note_io_failure(extent, false);
             return Err(IoError::Failed { extent });
         }
         if let Some(remaining) = st.fail_once.get_mut(&extent.0) {
@@ -237,9 +257,17 @@ impl Disk {
                 st.fail_once.remove(&extent.0);
             }
             st.stats.injected_failures += 1;
+            self.note_io_failure(extent, true);
             return Err(IoError::Injected { extent });
         }
         Ok(())
+    }
+
+    fn note_io_failure(&self, extent: ExtentId, transient: bool) {
+        if let Some(obs) = self.obs.get() {
+            obs.registry().counter("disk.injected_failures").inc();
+            obs.trace().event(TraceEvent::WriteFailed { extent: extent.0, transient });
+        }
     }
 
     /// Writes `data` at `offset` within `extent`, into the volatile cache.
@@ -250,7 +278,7 @@ impl Disk {
     pub fn write(&self, extent: ExtentId, offset: usize, data: &[u8]) -> Result<(), IoError> {
         self.check_range(extent, offset, data.len())?;
         let mut st = self.state.lock();
-        Self::check_failures(&mut st, extent)?;
+        self.check_failures(&mut st, extent)?;
         let ps = self.geometry.page_size;
         let mut pos = 0usize;
         while pos < data.len() {
@@ -279,7 +307,7 @@ impl Disk {
     pub fn read(&self, extent: ExtentId, offset: usize, len: usize) -> Result<Vec<u8>, IoError> {
         self.check_range(extent, offset, len)?;
         let mut st = self.state.lock();
-        Self::check_failures(&mut st, extent)?;
+        self.check_failures(&mut st, extent)?;
         let ps = self.geometry.page_size;
         let mut out = vec![0u8; len];
         let mut pos = 0usize;
@@ -305,7 +333,7 @@ impl Disk {
     pub fn flush_extent(&self, extent: ExtentId) -> Result<(), IoError> {
         self.check_range(extent, 0, 0)?;
         let mut st = self.state.lock();
-        Self::check_failures(&mut st, extent)?;
+        self.check_failures(&mut st, extent)?;
         let ps = self.geometry.page_size;
         let keys: Vec<_> =
             st.volatile.range((extent.0, 0)..(extent.0 + 1, 0)).map(|(k, _)| *k).collect();
@@ -315,6 +343,10 @@ impl Disk {
             st.durable[key.0 as usize][start..start + ps].copy_from_slice(&image);
         }
         st.stats.flushes += 1;
+        if let Some(obs) = self.obs.get() {
+            obs.registry().counter("disk.flushes").inc();
+            obs.trace().event(TraceEvent::FlushExtent { extent: extent.0 });
+        }
         Ok(())
     }
 
@@ -324,6 +356,7 @@ impl Disk {
         // A permanently failed extent fails the whole-disk barrier.
         if let Some(e) = st.fail_always.iter().next().copied() {
             st.stats.injected_failures += 1;
+            self.note_io_failure(ExtentId(e), false);
             return Err(IoError::Failed { extent: ExtentId(e) });
         }
         let ps = self.geometry.page_size;
@@ -343,6 +376,8 @@ impl Disk {
         let mut st = self.state.lock();
         let ps = self.geometry.page_size;
         let volatile = std::mem::take(&mut st.volatile);
+        let mut kept = 0u32;
+        let mut lost = 0u32;
         for ((ext, page), image) in volatile {
             let survive = match plan {
                 CrashPlan::LoseAll => false,
@@ -352,10 +387,17 @@ impl Disk {
             if survive {
                 let start = page as usize * ps;
                 st.durable[ext as usize][start..start + ps].copy_from_slice(&image);
+                kept += 1;
+            } else {
+                lost += 1;
             }
         }
         st.fail_once.clear();
         st.stats.crashes += 1;
+        if let Some(obs) = self.obs.get() {
+            obs.registry().counter("disk.crashes").inc();
+            obs.trace().event(TraceEvent::CrashPoint { pages_kept: kept, pages_lost: lost });
+        }
     }
 
     /// Lists the `(extent, page)` pairs currently in the volatile cache, in

@@ -79,3 +79,6 @@ pub use shardstore_conc as conc;
 
 /// The property-based validation harnesses.
 pub use shardstore_harness as harness;
+
+/// Deterministic metrics, structured event tracing, and trace oracles.
+pub use shardstore_obs as obs;
