@@ -103,11 +103,8 @@ fn bench_read_path(c: &mut Criterion) {
         store.pump().unwrap();
         store
     };
-    let old_config = StoreConfig {
-        lsm_filters: false,
-        decoded_cache_tables: 0,
-        ..StoreConfig::default()
-    };
+    let old_config =
+        StoreConfig::builder().lsm_filters(false).decoded_cache_tables(0).build().unwrap();
 
     let mut group = c.benchmark_group("kv_read_path");
     group.throughput(Throughput::Elements(1));
@@ -140,11 +137,8 @@ fn bench_read_path(c: &mut Criterion) {
 
     // Cold table reads: every volatile cache dropped before each get, so
     // the chunk reads happen but the fences/blooms still skip tables.
-    let old_config = StoreConfig {
-        lsm_filters: false,
-        decoded_cache_tables: 0,
-        ..StoreConfig::default()
-    };
+    let old_config =
+        StoreConfig::builder().lsm_filters(false).decoded_cache_tables(0).build().unwrap();
     for (name, config) in
         [("table_get_cold_new", StoreConfig::default()), ("table_get_cold_old", old_config)]
     {

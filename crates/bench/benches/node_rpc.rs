@@ -1,0 +1,168 @@
+//! Criterion bench: the parallel request plane vs the old single-thread
+//! serve loop.
+//!
+//! Four pipelined clients issue a put-heavy KV workload against a node.
+//! The baseline reproduces the pre-engine architecture — one dispatcher
+//! thread draining one channel through a synchronous `rpc::dispatch` —
+//! while the engine rows route the same workload through per-disk
+//! executors with batched dispatch (co-routed puts funnel into
+//! `put_batch` group commit). Both paths skip the wire codec so the
+//! comparison isolates the request plane itself.
+//!
+//! The committed baseline is `BENCH_node_rpc.json` (regenerate with
+//! `cargo bench --bench node_rpc -- --json BENCH_node_rpc.json`); the
+//! engine at 4 disks must hold ≥2x the serial baseline's aggregate
+//! throughput.
+
+use std::sync::mpsc;
+
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
+use shardstore_core::rpc::{dispatch, Request, Response};
+use shardstore_core::{Engine, EngineConfig, Node, NodeConfig, StoreConfig};
+use shardstore_vdisk::Geometry;
+
+const CLIENTS: usize = 4;
+/// Puts per client, issued in pipelined windows of `WINDOW`.
+const PUTS: usize = 96;
+/// Gets per client (over the shards that client just wrote).
+const GETS: usize = 16;
+const WINDOW: usize = 32;
+const PAYLOAD: usize = 1024;
+const TOTAL_OPS: u64 = (CLIENTS * (PUTS + GETS)) as u64;
+
+fn fresh_node(disks: usize) -> Node {
+    let config = NodeConfig::builder()
+        .disks(disks)
+        .geometry(Geometry::default())
+        .store(StoreConfig::default())
+        .build()
+        .unwrap();
+    Node::from_config(&config)
+}
+
+/// Client `c` owns shards ≡ c (mod CLIENTS); with CLIENTS divisible by
+/// the disk count, each client's traffic lands on one disk.
+fn shard_for(client: usize, i: usize) -> u128 {
+    (client + i * CLIENTS) as u128
+}
+
+/// The pre-engine request plane: every request from every client funnels
+/// through one channel into one synchronous dispatch loop.
+fn run_serial(node: Node) {
+    type Envelope = (Request, mpsc::Sender<Response>);
+    let (tx, rx) = mpsc::channel::<Envelope>();
+    let dispatcher = std::thread::spawn(move || {
+        while let Ok((req, reply)) = rx.recv() {
+            let _ = reply.send(dispatch(&node, req));
+        }
+    });
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let payload = vec![c as u8; PAYLOAD];
+                let mut issued = 0;
+                while issued < PUTS {
+                    let window = WINDOW.min(PUTS - issued);
+                    let (rtx, rrx) = mpsc::channel();
+                    for i in issued..issued + window {
+                        let req =
+                            Request::Put { shard: shard_for(c, i), data: payload.clone() };
+                        tx.send((req, rtx.clone())).unwrap();
+                    }
+                    for _ in 0..window {
+                        assert_eq!(rrx.recv().unwrap(), Response::Ok);
+                    }
+                    issued += window;
+                }
+                let (rtx, rrx) = mpsc::channel();
+                for i in 0..GETS {
+                    tx.send((Request::Get { shard: shard_for(c, i) }, rtx.clone())).unwrap();
+                }
+                for _ in 0..GETS {
+                    assert!(matches!(rrx.recv().unwrap(), Response::Data(_)));
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+    drop(tx);
+    dispatcher.join().unwrap();
+}
+
+/// The same workload through the engine: pipelined windows of nowait
+/// calls so per-disk executors see runs of co-routed puts to batch.
+fn run_engine(engine: &Engine) {
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let client = engine.client();
+            std::thread::spawn(move || {
+                let payload = vec![c as u8; PAYLOAD];
+                let mut issued = 0;
+                while issued < PUTS {
+                    let window = WINDOW.min(PUTS - issued);
+                    let pending: Vec<_> = (issued..issued + window)
+                        .map(|i| {
+                            client.call_nowait(Request::Put {
+                                shard: shard_for(c, i),
+                                data: payload.clone(),
+                            })
+                        })
+                        .collect();
+                    for p in pending {
+                        assert_eq!(p.wait(), Response::Ok);
+                    }
+                    issued += window;
+                }
+                let pending: Vec<_> = (0..GETS)
+                    .map(|i| client.call_nowait(Request::Get { shard: shard_for(c, i) }))
+                    .collect();
+                for p in pending {
+                    assert!(matches!(p.wait(), Response::Data(_)));
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+}
+
+fn bench_node_rpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_rpc");
+    group.throughput(Throughput::Elements(TOTAL_OPS));
+
+    group.bench_function("serial_baseline_4disks", |b| {
+        b.iter_batched(|| fresh_node(4), run_serial, BatchSize::SmallInput)
+    });
+
+    for disks in [1usize, 2, 4] {
+        // Queue bound sized so a full window per client fits even when
+        // every client routes to the same single disk.
+        let engine_config = EngineConfig::builder()
+            .queue_depth(CLIENTS * WINDOW)
+            .batch_window(WINDOW)
+            .build()
+            .unwrap();
+        group.bench_function(format!("engine_{disks}disk"), |b| {
+            b.iter_batched(
+                || Engine::start(fresh_node(disks), engine_config),
+                |engine| {
+                    run_engine(&engine);
+                    engine.shutdown();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_rpc);
+
+fn main() {
+    benches();
+    criterion::finalize();
+}

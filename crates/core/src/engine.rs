@@ -1,0 +1,670 @@
+//! The parallel request plane: a router plus per-disk executors replacing
+//! the old single-threaded serve loop.
+//!
+//! ShardStore's node hosts many disks, each an isolated failure domain;
+//! a request plane that drains one channel through a synchronous
+//! dispatch cannot scale with disk count. The [`Engine`] gives every
+//! disk slot its own executor — one worker, one bounded admission queue
+//! — fed by a router keyed on [`Node::route`]:
+//!
+//! - requests for *different* disks run concurrently;
+//! - requests for the *same* disk stay FIFO (one worker per queue);
+//! - `List`/`BulkCreate`/`BulkRemove` fan out one piece per target disk
+//!   and a join block aggregates the pieces into a single response;
+//! - admission is bounded: a request targeting a full queue is rejected
+//!   with a typed [`ErrorCode::Overloaded`] error (and an
+//!   `RpcOverloaded` trace event plus an `rpc.overloaded` counter in the
+//!   disk's [`Obs`]) instead of queueing unboundedly;
+//! - executors practice batched dispatch: the leading run of consecutive
+//!   puts in a queue is funnelled into one [`Node::put_batch`]
+//!   (group commit; see PR 2), never reordering a put past a later read.
+//!
+//! The engine is dual-mode like everything else: [`conc::thread::spawn`]
+//! gives OS-thread workers in passthrough mode and controlled tasks
+//! under the stateless model checker, and every queue is built from
+//! `conc` mutexes and condvars so the checker owns each interleaving.
+//! Checked executions must call [`Engine::shutdown`] before the closure
+//! ends (the quiesce rule).
+//!
+//! [`conc::thread::spawn`]: shardstore_conc::thread::spawn
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use shardstore_conc as conc;
+use shardstore_conc::sync::{Condvar, Mutex};
+use shardstore_obs::{Counter, Gauge, Obs, TraceEvent};
+
+use crate::config::EngineConfig;
+use crate::node::Node;
+use crate::rpc::{self, ErrorCode, Request, Response, RpcError, WireError};
+
+/// A running request plane over a [`Node`]. Cheap to clone; the workers
+/// stop when [`Engine::shutdown`] runs or every handle is dropped.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+/// A handle for issuing requests to an [`Engine`]. Cheap to clone;
+/// usable from any thread (or checked task).
+#[derive(Clone)]
+pub struct RpcClient {
+    inner: Arc<EngineInner>,
+}
+
+/// An in-flight request submitted with [`RpcClient::call_nowait`].
+pub struct PendingReply {
+    reply: Arc<Reply>,
+}
+
+impl PendingReply {
+    /// Blocks (cooperatively under the checker) until the response is
+    /// ready.
+    pub fn wait(self) -> Response {
+        self.reply.wait()
+    }
+
+    /// Returns the response if it is already ready, without blocking.
+    pub fn poll(&self) -> Option<Response> {
+        self.reply.state.lock().clone()
+    }
+}
+
+struct EngineInner {
+    node: Node,
+    config: EngineConfig,
+    executors: Vec<Arc<Executor>>,
+    workers: Mutex<Vec<conc::thread::JoinHandle<()>>>,
+}
+
+struct Executor {
+    disk: u32,
+    state: Mutex<ExecState>,
+    /// Signalled when work arrives, the executor is resumed, or the
+    /// engine closes.
+    work_cv: Condvar,
+    /// The disk's observability root (absent only when B4's buggy
+    /// removal dropped the disk handle).
+    obs: Option<Obs>,
+    depth_gauge: Option<Gauge>,
+    overloaded_ctr: Option<Counter>,
+    batch_ctr: Option<Counter>,
+}
+
+struct ExecState {
+    queue: VecDeque<Job>,
+    closed: bool,
+    /// Test support: a paused executor admits but does not execute, so a
+    /// test can saturate the admission queue deterministically.
+    paused: bool,
+}
+
+enum Job {
+    /// A single-disk request answered directly.
+    Direct { req: Request, reply: Arc<Reply> },
+    /// One disk's slice of a fanned-out `List`.
+    ListPiece { disk: usize, fan: Arc<ListFan> },
+    /// One disk's slice of a fanned-out `BulkCreate`.
+    BulkCreatePiece { shards: Vec<(u128, Vec<u8>)>, fan: Arc<BulkFan> },
+    /// One disk's slice of a fanned-out `BulkRemove`.
+    BulkRemovePiece { shards: Vec<u128>, fan: Arc<BulkFan> },
+}
+
+/// A one-shot reply slot: the executor fills it, the client waits on it.
+struct Reply {
+    state: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl Reply {
+    fn new() -> Arc<Self> {
+        Arc::new(Reply { state: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn set(&self, response: Response) {
+        *self.state.lock() = Some(response);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut guard = self.state.lock();
+        guard = self.cv.wait_while(guard, |s| s.is_none());
+        guard.take().expect("reply present after wait")
+    }
+}
+
+/// Join block for a fanned-out `List`: pieces merge their catalog slices
+/// here; the last one sorts and answers.
+struct ListFan {
+    state: Mutex<(usize, Vec<u128>)>,
+    reply: Arc<Reply>,
+}
+
+impl ListFan {
+    fn complete(&self, piece: Vec<u128>) {
+        let done = {
+            let mut state = self.state.lock();
+            state.1.extend(piece);
+            state.0 -= 1;
+            state.0 == 0
+        };
+        if done {
+            let mut all = std::mem::take(&mut self.state.lock().1);
+            all.sort_unstable();
+            all.dedup();
+            self.reply.set(Response::Shards(all));
+        }
+    }
+}
+
+/// Join block for fanned-out bulk ops: the last piece answers `Ok`, or
+/// the first error recorded wins.
+struct BulkFan {
+    state: Mutex<(usize, Option<RpcError>)>,
+    reply: Arc<Reply>,
+}
+
+impl BulkFan {
+    fn complete(&self, result: Result<(), RpcError>) {
+        let done = {
+            let mut state = self.state.lock();
+            if let Err(e) = result {
+                state.1.get_or_insert(e);
+            }
+            state.0 -= 1;
+            state.0 == 0
+        };
+        if done {
+            let outcome = self.state.lock().1.take();
+            self.reply.set(match outcome {
+                Some(e) => Response::Error(e),
+                None => Response::Ok,
+            });
+        }
+    }
+}
+
+impl Executor {
+    fn new(disk: u32, obs: Option<Obs>) -> Arc<Self> {
+        let depth_gauge = obs.as_ref().map(|o| o.registry().gauge("rpc.queue_depth"));
+        let overloaded_ctr = obs.as_ref().map(|o| o.registry().counter("rpc.overloaded"));
+        let batch_ctr = obs.as_ref().map(|o| o.registry().counter("rpc.batches"));
+        Arc::new(Executor {
+            disk,
+            state: Mutex::new(ExecState {
+                queue: VecDeque::new(),
+                closed: false,
+                paused: false,
+            }),
+            work_cv: Condvar::new(),
+            obs,
+            depth_gauge,
+            overloaded_ctr,
+            batch_ctr,
+        })
+    }
+
+    fn set_depth(&self, depth: usize) {
+        if let Some(g) = &self.depth_gauge {
+            g.set(depth as i64);
+        }
+    }
+
+    fn note_overloaded(&self, depth: u32) {
+        if let Some(c) = &self.overloaded_ctr {
+            c.inc();
+        }
+        if let Some(o) = &self.obs {
+            o.trace().event(TraceEvent::RpcOverloaded { disk: self.disk, depth });
+        }
+    }
+
+    fn note_batch(&self, puts: u32) {
+        if let Some(c) = &self.batch_ctr {
+            c.inc();
+        }
+        if let Some(o) = &self.obs {
+            o.trace().event(TraceEvent::RpcBatch { disk: self.disk, puts });
+        }
+    }
+}
+
+fn overloaded(disk: u32) -> Response {
+    Response::Error(RpcError::new(
+        ErrorCode::Overloaded,
+        format!("disk {disk} admission queue full"),
+    ))
+}
+
+fn server_stopped() -> Response {
+    Response::Error(RpcError::new(ErrorCode::ServerStopped, "request plane shut down"))
+}
+
+impl Engine {
+    /// Starts the request plane over a node: one executor (and one
+    /// worker) per disk slot.
+    pub fn start(node: Node, config: EngineConfig) -> Self {
+        let executors: Vec<Arc<Executor>> =
+            (0..node.disk_count()).map(|d| Executor::new(d as u32, node.disk_obs(d))).collect();
+        let inner = Arc::new(EngineInner {
+            node: node.clone(),
+            config,
+            executors,
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = inner.workers.lock();
+        for exec in &inner.executors {
+            let exec = Arc::clone(exec);
+            let node = node.clone();
+            workers.push(conc::thread::spawn(move || worker_loop(exec, node, config)));
+        }
+        drop(workers);
+        Engine { inner }
+    }
+
+    /// A client handle for this engine.
+    pub fn client(&self) -> RpcClient {
+        RpcClient { inner: Arc::clone(&self.inner) }
+    }
+
+    /// The node this engine serves.
+    pub fn node(&self) -> &Node {
+        &self.inner.node
+    }
+
+    /// Test support: stop executing (admission stays open) so a test can
+    /// fill an admission queue deterministically.
+    pub fn pause(&self) {
+        for exec in &self.inner.executors {
+            exec.state.lock().paused = true;
+        }
+    }
+
+    /// Undoes [`Engine::pause`].
+    pub fn resume(&self) {
+        for exec in &self.inner.executors {
+            exec.state.lock().paused = false;
+            exec.work_cv.notify_all();
+        }
+    }
+
+    /// Closes admission, drains every queue, and joins the workers.
+    /// Requests submitted after this return [`ErrorCode::ServerStopped`].
+    /// Checked executions must call this before the closure ends.
+    pub fn shutdown(&self) {
+        for exec in &self.inner.executors {
+            let mut state = exec.state.lock();
+            state.closed = true;
+            // A paused engine still drains on shutdown.
+            state.paused = false;
+            drop(state);
+            exec.work_cv.notify_all();
+        }
+        let workers = std::mem::take(&mut *self.inner.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EngineInner {
+    fn drop(&mut self) {
+        // Last handle gone: close so detached workers exit. (They hold
+        // the Node and their Executor, not the EngineInner.)
+        for exec in &self.executors {
+            exec.state.lock().closed = true;
+            exec.work_cv.notify_all();
+        }
+    }
+}
+
+impl RpcClient {
+    /// Issues a request and blocks for the response.
+    pub fn call(&self, request: Request) -> Response {
+        self.call_nowait(request).wait()
+    }
+
+    /// Issues a request without waiting; the reply is collected from the
+    /// returned [`PendingReply`].
+    pub fn call_nowait(&self, request: Request) -> PendingReply {
+        PendingReply { reply: self.inner.submit(request) }
+    }
+
+    /// The wire entry point: decodes a request frame, executes it, and
+    /// encodes the response. A frame with an unsupported version byte is
+    /// answered with [`ErrorCode::Unsupported`] (encoded at this build's
+    /// version); other decode failures answer [`ErrorCode::Malformed`].
+    pub fn call_wire(&self, frame: &[u8]) -> Vec<u8> {
+        match Request::decode(frame) {
+            Ok(req) => self.call(req).encode(),
+            Err(e @ WireError::UnsupportedVersion { .. }) => Response::error(e).encode(),
+            Err(e) => Response::error(e).encode(),
+        }
+    }
+
+    /// Typed put.
+    pub fn put(&self, shard: u128, data: Vec<u8>) -> Result<(), RpcError> {
+        match self.call(Request::Put { shard, data }) {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed get.
+    pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, RpcError> {
+        match self.call(Request::Get { shard }) {
+            Response::Data(data) => Ok(Some(data)),
+            Response::NotFound => Ok(None),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed delete.
+    pub fn delete(&self, shard: u128) -> Result<(), RpcError> {
+        match self.call(Request::Delete { shard }) {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed listing (fans out across disks, merged sorted).
+    pub fn list(&self) -> Result<Vec<u128>, RpcError> {
+        match self.call(Request::List) {
+            Response::Shards(shards) => Ok(shards),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed bulk create (fans out across disks).
+    pub fn bulk_create(&self, shards: Vec<(u128, Vec<u8>)>) -> Result<(), RpcError> {
+        match self.call(Request::BulkCreate { shards }) {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed bulk remove (fans out across disks).
+    pub fn bulk_remove(&self, shards: Vec<u128>) -> Result<(), RpcError> {
+        match self.call(Request::BulkRemove { shards }) {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed migration.
+    pub fn migrate(&self, shard: u128, to_disk: u32) -> Result<(), RpcError> {
+        match self.call(Request::Migrate { shard, to_disk }) {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed disk removal.
+    pub fn remove_disk(&self, disk: u32) -> Result<(), RpcError> {
+        match self.call(Request::RemoveDisk { disk }) {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed disk return.
+    pub fn return_disk(&self, disk: u32) -> Result<(), RpcError> {
+        match self.call(Request::ReturnDisk { disk }) {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> RpcError {
+    RpcError::new(ErrorCode::Malformed, format!("unexpected response shape: {resp:?}"))
+}
+
+impl EngineInner {
+    fn submit(&self, request: Request) -> Arc<Reply> {
+        let reply = Reply::new();
+        match request {
+            Request::Put { shard, .. } | Request::Get { shard } | Request::Delete { shard } => {
+                let disk = self.node.route(shard);
+                self.enqueue_direct(disk, request, &reply);
+            }
+            Request::Migrate { shard, to_disk } => {
+                if to_disk as usize >= self.node.disk_count() {
+                    reply.set(rpc::no_such_disk(to_disk));
+                } else {
+                    // Migration executes on the *source* executor so it
+                    // stays FIFO with writes to the shard's current home.
+                    let disk = self.node.route(shard);
+                    self.enqueue_direct(disk, Request::Migrate { shard, to_disk }, &reply);
+                }
+            }
+            Request::RemoveDisk { disk } | Request::ReturnDisk { disk } => {
+                if disk as usize >= self.node.disk_count() {
+                    reply.set(rpc::no_such_disk(disk));
+                } else {
+                    self.enqueue_direct(disk as usize, request, &reply);
+                }
+            }
+            Request::List => self.submit_list(&reply),
+            Request::BulkCreate { shards } => self.submit_bulk_create(shards, &reply),
+            Request::BulkRemove { shards } => self.submit_bulk_remove(shards, &reply),
+        }
+        reply
+    }
+
+    fn enqueue_direct(&self, disk: usize, req: Request, reply: &Arc<Reply>) {
+        let exec = &self.executors[disk];
+        let mut state = exec.state.lock();
+        if state.closed {
+            drop(state);
+            reply.set(server_stopped());
+            return;
+        }
+        if state.queue.len() >= self.config.queue_depth {
+            let depth = state.queue.len() as u32;
+            drop(state);
+            exec.note_overloaded(depth);
+            reply.set(overloaded(disk as u32));
+            return;
+        }
+        state.queue.push_back(Job::Direct { req, reply: Arc::clone(reply) });
+        exec.set_depth(state.queue.len());
+        drop(state);
+        exec.work_cv.notify_one();
+    }
+
+    /// Admits one job per target disk atomically: every target's state
+    /// lock is taken in slot order, capacity is verified for all pieces,
+    /// and only then are the pieces pushed — a rejected fan-out leaves no
+    /// partial pieces behind.
+    fn admit_fanout(&self, pieces: Vec<(usize, Job)>, reply: &Arc<Reply>) {
+        debug_assert!(pieces.windows(2).all(|w| w[0].0 < w[1].0), "pieces in slot order");
+        let mut guards = Vec::with_capacity(pieces.len());
+        for (disk, _) in &pieces {
+            guards.push(self.executors[*disk].state.lock());
+        }
+        for ((disk, _), guard) in pieces.iter().zip(&guards) {
+            if guard.closed {
+                drop(guards);
+                reply.set(server_stopped());
+                return;
+            }
+            if guard.queue.len() >= self.config.queue_depth {
+                let depth = guard.queue.len() as u32;
+                let disk = *disk;
+                drop(guards);
+                self.executors[disk].note_overloaded(depth);
+                reply.set(overloaded(disk as u32));
+                return;
+            }
+        }
+        let disks: Vec<usize> = pieces.iter().map(|(d, _)| *d).collect();
+        for ((disk, job), guard) in pieces.into_iter().zip(guards.iter_mut()) {
+            guard.queue.push_back(job);
+            self.executors[disk].set_depth(guard.queue.len());
+        }
+        drop(guards);
+        for disk in disks {
+            self.executors[disk].work_cv.notify_one();
+        }
+    }
+
+    fn submit_list(&self, reply: &Arc<Reply>) {
+        let disks = self.node.disk_count();
+        let fan = Arc::new(ListFan {
+            state: Mutex::new((disks, Vec::new())),
+            reply: Arc::clone(reply),
+        });
+        let pieces = (0..disks)
+            .map(|d| (d, Job::ListPiece { disk: d, fan: Arc::clone(&fan) }))
+            .collect();
+        self.admit_fanout(pieces, reply);
+    }
+
+    fn submit_bulk_create(&self, shards: Vec<(u128, Vec<u8>)>, reply: &Arc<Reply>) {
+        if shards.is_empty() {
+            reply.set(Response::Ok);
+            return;
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<(u128, Vec<u8>)>> =
+            std::collections::BTreeMap::new();
+        for (shard, data) in shards {
+            groups.entry(self.node.route(shard)).or_default().push((shard, data));
+        }
+        let fan = Arc::new(BulkFan {
+            state: Mutex::new((groups.len(), None)),
+            reply: Arc::clone(reply),
+        });
+        let pieces = groups
+            .into_iter()
+            .map(|(d, shards)| (d, Job::BulkCreatePiece { shards, fan: Arc::clone(&fan) }))
+            .collect();
+        self.admit_fanout(pieces, reply);
+    }
+
+    fn submit_bulk_remove(&self, shards: Vec<u128>, reply: &Arc<Reply>) {
+        if shards.is_empty() {
+            reply.set(Response::Ok);
+            return;
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<u128>> =
+            std::collections::BTreeMap::new();
+        for shard in shards {
+            groups.entry(self.node.route(shard)).or_default().push(shard);
+        }
+        let fan = Arc::new(BulkFan {
+            state: Mutex::new((groups.len(), None)),
+            reply: Arc::clone(reply),
+        });
+        let pieces = groups
+            .into_iter()
+            .map(|(d, shards)| (d, Job::BulkRemovePiece { shards, fan: Arc::clone(&fan) }))
+            .collect();
+        self.admit_fanout(pieces, reply);
+    }
+}
+
+fn worker_loop(exec: Arc<Executor>, node: Node, config: EngineConfig) {
+    loop {
+        let mut state = exec.state.lock();
+        state = exec
+            .work_cv
+            .wait_while(state, |s| (s.queue.is_empty() || s.paused) && !s.closed);
+        if state.queue.is_empty() {
+            if state.closed {
+                return;
+            }
+            continue;
+        }
+        // Batched dispatch: take the leading run of consecutive puts (up
+        // to the batch window). Only the *leading* run, so a get queued
+        // after a put is never answered from before it.
+        let mut run = Vec::new();
+        while run.len() < config.batch_window
+            && matches!(
+                state.queue.front(),
+                Some(Job::Direct { req: Request::Put { .. }, .. })
+            )
+        {
+            run.push(state.queue.pop_front().expect("front checked"));
+        }
+        let single = if run.is_empty() { state.queue.pop_front() } else { None };
+        exec.set_depth(state.queue.len());
+        drop(state);
+
+        if run.len() >= 2 {
+            execute_put_run(&exec, &node, run);
+        } else if let Some(job) = run.pop() {
+            execute(&node, job);
+        } else if let Some(job) = single {
+            execute(&node, job);
+        }
+    }
+}
+
+/// Funnels a run of co-routed puts into one [`Node::put_batch`]; on a
+/// batch-level error, falls back to individual dispatch so every client
+/// still gets its own element's accurate outcome.
+fn execute_put_run(exec: &Executor, node: &Node, run: Vec<Job>) {
+    exec.note_batch(run.len() as u32);
+    let mut items = Vec::with_capacity(run.len());
+    let mut replies = Vec::with_capacity(run.len());
+    for job in &run {
+        match job {
+            Job::Direct { req: Request::Put { shard, data }, reply } => {
+                items.push((*shard, data.clone()));
+                replies.push(Arc::clone(reply));
+            }
+            _ => unreachable!("put run contains only puts"),
+        }
+    }
+    match node.put_batch(&items) {
+        Ok(_deps) => {
+            for reply in replies {
+                reply.set(Response::Ok);
+            }
+        }
+        Err(_) => {
+            // Per-element fallback: puts are idempotent (later-wins), so
+            // re-driving any element that already landed is safe.
+            for job in run {
+                execute(node, job);
+            }
+        }
+    }
+}
+
+fn execute(node: &Node, job: Job) {
+    match job {
+        Job::Direct { req, reply } => {
+            reply.set(rpc::dispatch(node, req));
+        }
+        Job::ListPiece { disk, fan } => {
+            // Reading the catalog slice *through the executor* means the
+            // listing observes every previously admitted same-disk write.
+            fan.complete(node.list_disk(disk));
+        }
+        Job::BulkCreatePiece { shards, fan } => {
+            fan.complete(node.bulk_create(&shards).map(|_| ()).map_err(RpcError::from));
+        }
+        Job::BulkRemovePiece { shards, fan } => {
+            fan.complete(node.bulk_remove(&shards).map(|_| ()).map_err(RpcError::from));
+        }
+    }
+}
+
+/// Serves a node with the default engine configuration — the drop-in
+/// successor of the old single-threaded `serve` loop.
+pub fn serve(node: Node) -> Engine {
+    Engine::start(node, EngineConfig::default())
+}

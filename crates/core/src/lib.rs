@@ -5,12 +5,24 @@
 //! describes: per-disk stores ([`Store`]) combining an LSM index, chunk
 //! store, buffer cache, superblock and soft-updates IO scheduler over an
 //! in-memory disk; a multi-disk [`Node`] with request routing and
-//! control-plane operations; and the [`rpc`] wire interface.
+//! control-plane operations; the [`rpc`] wire interface (versioned
+//! frames, typed [`rpc::ErrorCode`] errors); and the parallel request
+//! plane ([`engine::Engine`]: per-disk executors, bounded admission,
+//! cross-disk fan-out).
+//!
+//! Configurations are built through validating builders
+//! ([`StoreConfig::builder`], [`NodeConfig::builder`]); a node plus its
+//! request plane comes up with [`engine::serve`] or
+//! [`engine::Engine::start`].
 
+pub mod config;
+pub mod engine;
 mod node;
 pub mod rpc;
 mod store;
 
+pub use config::{ConfigError, EngineConfig, NodeConfig};
+pub use engine::{serve, Engine, PendingReply, RpcClient};
 pub use node::Node;
 pub use store::{Store, StoreConfig, StoreError};
 

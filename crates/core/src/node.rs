@@ -7,6 +7,14 @@
 //! plane adds listing, bulk create/remove, and disk removal/return for
 //! migration and repair.
 //!
+//! The control-plane catalog is sharded per disk ([`Node::list_disk`]):
+//! request-plane writes to different disks touch different catalog locks,
+//! so the parallel request plane ([`crate::engine`]) scales with disk
+//! count instead of serializing every put behind one node-global mutex.
+//! The invariant checked by [`Node::check_catalog_consistent`] is
+//! correspondingly per-disk: catalog shard *d* must equal disk *d*'s
+//! index keys.
+//!
 //! Three of the paper's Fig. 5 issues live at this layer and are seeded
 //! here:
 //!
@@ -19,15 +27,17 @@
 //!   index and the control-plane catalog in separate phases, letting a
 //!   race leave them inconsistent.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
 use shardstore_conc::sync::Mutex;
 use shardstore_dependency::Dependency;
 use shardstore_faults::{coverage, BugId, FaultConfig};
+use shardstore_obs::Obs;
 use shardstore_vdisk::Geometry;
 
+use crate::config::NodeConfig;
 use crate::store::{Store, StoreConfig, StoreError};
 
 /// A multi-disk storage node. Cheap to clone.
@@ -47,12 +57,15 @@ struct DiskSlot {
 
 struct NodeInner {
     disks: Vec<Mutex<DiskSlot>>,
-    /// Control-plane catalog of shards believed to exist. Kept consistent
-    /// with the per-disk indexes by the fixed code paths.
-    catalog: Mutex<BTreeSet<u128>>,
+    /// Control-plane catalogs of shards believed to exist, one per disk
+    /// slot. Sharded so writes routed to different disks never contend;
+    /// each shard's entry lives in the catalog of the disk it is routed
+    /// to, and the fixed code paths keep catalog shard and disk index
+    /// consistent by updating both under that disk's catalog lock.
+    catalogs: Vec<Mutex<BTreeSet<u128>>>,
     /// Placement overrides: shards moved off their home disk by
     /// [`Node::migrate`]. Absent entries use hash placement.
-    placement: Mutex<std::collections::BTreeMap<u128, usize>>,
+    placement: Mutex<BTreeMap<u128, usize>>,
     /// Shards currently mid-migration: writes wait for the latch so a
     /// concurrent put cannot land on the source after its copy was taken
     /// (it would be wiped by the source delete).
@@ -84,17 +97,24 @@ impl Node {
                 Mutex::new(DiskSlot { store: Some(store), sched: Some(sched) })
             })
             .collect();
+        let catalogs = (0..num_disks).map(|_| Mutex::new(BTreeSet::new())).collect();
         Self {
             inner: Arc::new(NodeInner {
                 disks,
-                catalog: Mutex::new(BTreeSet::new()),
-                placement: Mutex::new(std::collections::BTreeMap::new()),
+                catalogs,
+                placement: Mutex::new(BTreeMap::new()),
                 migrating: Mutex::new(BTreeSet::new()),
                 config,
                 geometry,
                 faults,
             }),
         }
+    }
+
+    /// Creates a node from a validated [`NodeConfig`] (see
+    /// [`NodeConfig::builder`]).
+    pub fn from_config(config: &NodeConfig) -> Self {
+        Self::new(config.disks, config.geometry, config.store, config.faults.clone())
     }
 
     /// Number of disk slots (including removed ones).
@@ -116,8 +136,8 @@ impl Node {
         (shard % self.inner.disks.len() as u128) as usize
     }
 
-    fn store_for(&self, shard: u128) -> Result<Store, StoreError> {
-        let slot = self.inner.disks[self.route(shard)].lock();
+    fn store_at(&self, disk: usize) -> Result<Store, StoreError> {
+        let slot = self.inner.disks[disk].lock();
         slot.store.clone().ok_or(StoreError::OutOfService)
     }
 
@@ -136,17 +156,25 @@ impl Node {
         self.inner.disks[disk].lock().store.clone()
     }
 
+    /// The observability root of a disk slot. Rooted at the slot's IO
+    /// scheduler, so it survives removal from service; `None` only on
+    /// B4's buggy path where removal dropped the disk handle.
+    pub fn disk_obs(&self, disk: usize) -> Option<Obs> {
+        self.inner.disks[disk].lock().sched.as_ref().map(|s| s.obs())
+    }
+
     /// Stores a shard (request plane). Writes wait out an in-flight
     /// migration of the same shard.
     pub fn put(&self, shard: u128, data: &[u8]) -> Result<Dependency, StoreError> {
         loop {
             self.wait_not_migrating(shard);
             let disk = self.route(shard);
-            let store = self.store_for(shard)?;
-            // Fixed code keeps catalog and index consistent by updating
-            // both under the catalog lock; re-validate the route under
-            // the lock so a migration that slipped in retries the write.
-            let mut catalog = self.inner.catalog.lock();
+            let store = self.store_at(disk)?;
+            // Fixed code keeps catalog shard and index consistent by
+            // updating both under the disk's catalog lock; re-validate
+            // the route under the lock so a migration that slipped in
+            // retries the write.
+            let mut catalog = self.inner.catalogs[disk].lock();
             if self.route(shard) != disk || self.inner.migrating.lock().contains(&shard) {
                 drop(catalog);
                 continue;
@@ -157,12 +185,59 @@ impl Node {
         }
     }
 
+    /// Stores several shards, grouping those routed to the same disk into
+    /// one [`Store::put_batch`] (one dependency group, coalesced IO).
+    /// Atomicity is per element, exactly like issuing the puts one at a
+    /// time; returned dependencies are in input order. This is the funnel
+    /// the engine's batched dispatch feeds (§2.1's request plane meeting
+    /// PR 2's group commit).
+    pub fn put_batch(&self, shards: &[(u128, Vec<u8>)]) -> Result<Vec<Dependency>, StoreError> {
+        let mut deps: Vec<Option<Dependency>> = (0..shards.len()).map(|_| None).collect();
+        let mut remaining: Vec<usize> = (0..shards.len()).collect();
+        while !remaining.is_empty() {
+            for &i in &remaining {
+                self.wait_not_migrating(shards[i].0);
+            }
+            // Snapshot routes, group by disk, then re-validate each group
+            // under its disk's catalog lock (same protocol as `put`).
+            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for &i in &remaining {
+                groups.entry(self.route(shards[i].0)).or_default().push(i);
+            }
+            let mut retry = Vec::new();
+            for (disk, idxs) in groups {
+                let store = self.store_at(disk)?;
+                let mut catalog = self.inner.catalogs[disk].lock();
+                let moved = {
+                    let migrating = self.inner.migrating.lock();
+                    idxs.iter().any(|&i| {
+                        self.route(shards[i].0) != disk || migrating.contains(&shards[i].0)
+                    })
+                };
+                if moved {
+                    drop(catalog);
+                    retry.extend(idxs);
+                    continue;
+                }
+                let batch: Vec<(u128, Vec<u8>)> =
+                    idxs.iter().map(|&i| shards[i].clone()).collect();
+                let group_deps = store.put_batch(&batch)?;
+                for (&i, dep) in idxs.iter().zip(group_deps) {
+                    catalog.insert(shards[i].0);
+                    deps[i] = Some(dep);
+                }
+            }
+            remaining = retry;
+        }
+        Ok(deps.into_iter().map(|d| d.expect("every element resolved")).collect())
+    }
+
     /// Reads a shard (request plane). Reads racing a migration retry when
     /// the placement moved under them.
     pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
         loop {
             let disk = self.route(shard);
-            let store = self.store_for(shard)?;
+            let store = self.store_at(disk)?;
             let got = store.get(shard)?;
             if got.is_none() && self.route(shard) != disk {
                 // The shard moved between routing and reading; retry on
@@ -180,8 +255,8 @@ impl Node {
         loop {
             self.wait_not_migrating(shard);
             let disk = self.route(shard);
-            let store = self.store_for(shard)?;
-            let mut catalog = self.inner.catalog.lock();
+            let store = self.store_at(disk)?;
+            let mut catalog = self.inner.catalogs[disk].lock();
             if self.route(shard) != disk || self.inner.migrating.lock().contains(&shard) {
                 drop(catalog);
                 continue;
@@ -192,9 +267,21 @@ impl Node {
         }
     }
 
-    /// Control plane: the catalog of shards believed to exist.
+    /// Control plane: the catalog of shards believed to exist (the merge
+    /// of every disk's catalog shard).
     pub fn list(&self) -> Vec<u128> {
-        self.inner.catalog.lock().iter().copied().collect()
+        let mut all = BTreeSet::new();
+        for catalog in &self.inner.catalogs {
+            all.extend(catalog.lock().iter().copied());
+        }
+        all.into_iter().collect()
+    }
+
+    /// Control plane: the catalog shard of one disk. The engine's `List`
+    /// fan-out reads each disk's slice through that disk's executor, so a
+    /// listing observes every previously admitted same-disk write.
+    pub fn list_disk(&self, disk: usize) -> Vec<u128> {
+        self.inner.catalogs[disk].lock().iter().copied().collect()
     }
 
     /// Control plane: list shards with their sizes, verifying each one by
@@ -226,24 +313,22 @@ impl Node {
     /// [`BugId::B16BulkOpsRace`] seeded, the index writes and the catalog
     /// updates happen in separate phases, racing with bulk removal.
     pub fn bulk_create(&self, shards: &[(u128, Vec<u8>)]) -> Result<Vec<Dependency>, StoreError> {
-        let mut deps = Vec::with_capacity(shards.len());
-        if self.inner.faults.is(BugId::B16BulkOpsRace) {
+        let deps = if self.inner.faults.is(BugId::B16BulkOpsRace) {
             // BUG B16 (seeded): phase 1 writes every shard...
+            let mut phase1 = Vec::with_capacity(shards.len());
             for (shard, data) in shards {
-                let store = self.store_for(*shard)?;
-                deps.push(store.put(*shard, data)?);
+                let store = self.store_at(self.route(*shard))?;
+                phase1.push(store.put(*shard, data)?);
             }
             shardstore_conc::yield_now();
             // ...phase 2 updates the catalog afterwards.
-            let mut catalog = self.inner.catalog.lock();
             for (shard, _) in shards {
-                catalog.insert(*shard);
+                self.inner.catalogs[self.route(*shard)].lock().insert(*shard);
             }
+            phase1
         } else {
-            for (shard, data) in shards {
-                deps.push(self.put(*shard, data)?);
-            }
-        }
+            self.put_batch(shards)?
+        };
         coverage::hit("node.bulk_create");
         Ok(deps)
     }
@@ -254,16 +339,13 @@ impl Node {
         let mut deps = Vec::with_capacity(shards.len());
         if self.inner.faults.is(BugId::B16BulkOpsRace) {
             // BUG B16 (seeded): catalog first...
-            {
-                let mut catalog = self.inner.catalog.lock();
-                for shard in shards {
-                    catalog.remove(shard);
-                }
+            for shard in shards {
+                self.inner.catalogs[self.route(*shard)].lock().remove(shard);
             }
             shardstore_conc::yield_now();
             // ...index second.
             for shard in shards {
-                let store = self.store_for(*shard)?;
+                let store = self.store_at(self.route(*shard))?;
                 deps.push(store.delete(*shard)?);
             }
         } else {
@@ -286,7 +368,7 @@ impl Node {
         store.clean_shutdown()?;
         let shards = store.list()?;
         {
-            let mut catalog = self.inner.catalog.lock();
+            let mut catalog = self.inner.catalogs[disk].lock();
             for s in shards {
                 catalog.remove(&s);
             }
@@ -324,7 +406,7 @@ impl Node {
         };
         let shards = store.list()?;
         {
-            let mut catalog = self.inner.catalog.lock();
+            let mut catalog = self.inner.catalogs[disk].lock();
             for s in shards {
                 catalog.insert(s);
             }
@@ -357,16 +439,30 @@ impl Node {
     }
 
     fn migrate_locked(&self, shard: u128, to_disk: usize) -> Result<Dependency, StoreError> {
-        // Hold the catalog lock across the copy→flip→delete transition:
-        // request-plane writes perform their route re-validation and
-        // store write under the same lock, so no write can slip between
-        // our copy and the source deletion and be silently wiped.
-        let _catalog = self.inner.catalog.lock();
+        // The route is stable here: only migrations move placements, and
+        // the `migrating` latch admits one migration per shard at a time.
         let from_disk = self.route(shard);
         let source = self.inner.disks[from_disk].lock().store.clone();
         let target = self.inner.disks[to_disk].lock().store.clone();
         let (Some(source), Some(target)) = (source, target) else {
             return Err(StoreError::OutOfService);
+        };
+        if from_disk == to_disk {
+            return Ok(target.scheduler().none());
+        }
+        // Hold both disks' catalog locks (acquired in slot order, so
+        // concurrent migrations cannot deadlock) across the
+        // copy→flip→delete transition: request-plane writes re-validate
+        // their route under their disk's catalog lock, so no write can
+        // slip between our copy and the source deletion and be silently
+        // wiped.
+        let (lo, hi) = (from_disk.min(to_disk), from_disk.max(to_disk));
+        let mut lo_cat = self.inner.catalogs[lo].lock();
+        let mut hi_cat = self.inner.catalogs[hi].lock();
+        let (from_cat, to_cat) = if from_disk < to_disk {
+            (&mut lo_cat, &mut hi_cat)
+        } else {
+            (&mut hi_cat, &mut lo_cat)
         };
         let Some(data) = source.get(shard)? else {
             // Nothing to move; clear any stale override.
@@ -375,11 +471,9 @@ impl Node {
             }
             return Ok(target.scheduler().none());
         };
-        if from_disk == to_disk {
-            return Ok(target.scheduler().none());
-        }
-        // 1. Copy to the target.
+        // 1. Copy to the target (catalog shard updated with it).
         let dep = target.put(shard, &data)?;
+        to_cat.insert(shard);
         // 2. Flip placement: reads now go to the target.
         {
             let mut placement = self.inner.placement.lock();
@@ -391,6 +485,7 @@ impl Node {
         }
         // 3. Drop the source copy (its space is reclaimed by GC).
         source.delete(shard)?;
+        from_cat.remove(&shard);
         coverage::hit("node.migrate");
         Ok(dep)
     }
@@ -400,24 +495,34 @@ impl Node {
         self.inner.placement.lock().iter().map(|(s, d)| (*s, *d)).collect()
     }
 
-    /// Checks that the control-plane catalog matches the union of the
-    /// per-disk indexes (the invariant the issue #16 race violates).
+    /// Checks that each disk's control-plane catalog shard matches that
+    /// disk's index (the invariant the issue #16 race violates). Sharding
+    /// made the invariant *stronger*: a shard recorded in the right
+    /// catalog but on the wrong disk now fails the check too.
     pub fn check_catalog_consistent(&self) -> Result<(), String> {
-        let catalog: BTreeSet<u128> = self.inner.catalog.lock().iter().copied().collect();
-        let mut actual = BTreeSet::new();
-        for slot in &self.inner.disks {
+        for (disk, slot) in self.inner.disks.iter().enumerate() {
             let store = slot.lock().store.clone();
-            if let Some(store) = store {
-                match store.list() {
-                    Ok(keys) => actual.extend(keys),
-                    Err(e) => return Err(format!("listing failed: {e}")),
+            let catalog: BTreeSet<u128> =
+                self.inner.catalogs[disk].lock().iter().copied().collect();
+            let Some(store) = store else {
+                if !catalog.is_empty() {
+                    return Err(format!(
+                        "catalog shard for out-of-service disk {disk} not empty: {catalog:?}"
+                    ));
                 }
+                continue;
+            };
+            match store.list() {
+                Ok(keys) => {
+                    let actual: BTreeSet<u128> = keys.into_iter().collect();
+                    if catalog != actual {
+                        return Err(format!(
+                            "catalog/index divergence on disk {disk}: catalog {catalog:?} vs index {actual:?}"
+                        ));
+                    }
+                }
+                Err(e) => return Err(format!("listing failed: {e}")),
             }
-        }
-        if catalog != actual {
-            return Err(format!(
-                "catalog/index divergence: catalog {catalog:?} vs index {actual:?}"
-            ));
         }
         Ok(())
     }

@@ -1,10 +1,13 @@
-//! RPC layer tests: wire-codec round trips, panic-freedom on arbitrary
-//! bytes (§7 — request parsing is untrusted-input handling), and the
-//! in-process server loop.
+//! RPC layer tests: versioned wire-codec round trips, version
+//! negotiation, panic-freedom on arbitrary bytes (§7 — request parsing
+//! is untrusted-input handling), typed error codes, and the engine-backed
+//! server.
 
 use proptest::prelude::*;
-use shardstore_core::rpc::{dispatch, serve, Request, Response};
-use shardstore_core::{Node, StoreConfig};
+use shardstore_core::rpc::{
+    dispatch, ErrorCode, Request, Response, RpcError, WireError, WIRE_MAGIC, WIRE_VERSION,
+};
+use shardstore_core::{serve, Node, StoreConfig, StoreError};
 use shardstore_faults::FaultConfig;
 use shardstore_vdisk::Geometry;
 
@@ -28,10 +31,10 @@ fn dispatch_migrate() {
     dispatch(&n, Request::Put { shard: 1, data: b"move me".to_vec() });
     assert_eq!(dispatch(&n, Request::Migrate { shard: 1, to_disk: 0 }), Response::Ok);
     assert_eq!(dispatch(&n, Request::Get { shard: 1 }), Response::Data(b"move me".to_vec()));
-    assert!(matches!(
-        dispatch(&n, Request::Migrate { shard: 1, to_disk: 99 }),
-        Response::Error(_)
-    ));
+    match dispatch(&n, Request::Migrate { shard: 1, to_disk: 99 }) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::NoSuchDisk),
+        other => panic!("unexpected: {other:?}"),
+    }
 }
 
 #[test]
@@ -39,20 +42,85 @@ fn dispatch_disk_control_plane() {
     let n = node();
     dispatch(&n, Request::Put { shard: 0, data: b"even".to_vec() });
     assert_eq!(dispatch(&n, Request::RemoveDisk { disk: 0 }), Response::Ok);
-    assert!(matches!(dispatch(&n, Request::Get { shard: 0 }), Response::Error(_)));
+    match dispatch(&n, Request::Get { shard: 0 }) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::OutOfService),
+        other => panic!("unexpected: {other:?}"),
+    }
     assert_eq!(dispatch(&n, Request::ReturnDisk { disk: 0 }), Response::Ok);
     assert_eq!(dispatch(&n, Request::Get { shard: 0 }), Response::Data(b"even".to_vec()));
-    assert!(matches!(dispatch(&n, Request::RemoveDisk { disk: 9 }), Response::Error(_)));
+    match dispatch(&n, Request::RemoveDisk { disk: 9 }) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::NoSuchDisk),
+        other => panic!("unexpected: {other:?}"),
+    }
 }
 
 #[test]
-fn server_loop_handles_wire_requests() {
-    let (client, handle) = serve(node());
-    assert_eq!(client.call(&Request::Put { shard: 3, data: b"x".to_vec() }), Response::Ok);
-    assert_eq!(client.call(&Request::Get { shard: 3 }), Response::Data(b"x".to_vec()));
-    assert_eq!(client.call(&Request::Get { shard: 4 }), Response::NotFound);
-    drop(client);
-    handle.join().unwrap();
+fn dispatch_bulk_ops() {
+    let n = node();
+    let shards: Vec<(u128, Vec<u8>)> = (0..6u128).map(|s| (s, vec![s as u8; 8])).collect();
+    assert_eq!(dispatch(&n, Request::BulkCreate { shards }), Response::Ok);
+    assert_eq!(dispatch(&n, Request::List), Response::Shards((0..6u128).collect()));
+    assert_eq!(dispatch(&n, Request::BulkRemove { shards: vec![0, 2, 4] }), Response::Ok);
+    assert_eq!(dispatch(&n, Request::List), Response::Shards(vec![1, 3, 5]));
+    n.check_catalog_consistent().unwrap();
+}
+
+#[test]
+fn engine_server_handles_wire_requests() {
+    let engine = serve(node());
+    let client = engine.client();
+    let put = Request::Put { shard: 3, data: b"x".to_vec() }.encode();
+    assert_eq!(Response::decode(&client.call_wire(&put)).unwrap(), Response::Ok);
+    let get = Request::Get { shard: 3 }.encode();
+    assert_eq!(
+        Response::decode(&client.call_wire(&get)).unwrap(),
+        Response::Data(b"x".to_vec())
+    );
+    let miss = Request::Get { shard: 4 }.encode();
+    assert_eq!(Response::decode(&client.call_wire(&miss)).unwrap(), Response::NotFound);
+    engine.shutdown();
+}
+
+#[test]
+fn frames_carry_magic_and_version() {
+    let frame = Request::List.encode();
+    assert_eq!(&frame[..2], &WIRE_MAGIC);
+    assert_eq!(frame[2], WIRE_VERSION);
+    let frame = Response::Ok.encode();
+    assert_eq!(&frame[..2], &WIRE_MAGIC);
+    assert_eq!(frame[2], WIRE_VERSION);
+}
+
+#[test]
+fn version_mismatch_is_distinguished_from_corruption() {
+    let mut frame = Request::Get { shard: 9 }.encode();
+    frame[2] = WIRE_VERSION + 1;
+    assert_eq!(
+        Request::decode(&frame),
+        Err(WireError::UnsupportedVersion { got: WIRE_VERSION + 1 })
+    );
+    // Bad magic is corruption, not a version problem.
+    let mut frame = Request::Get { shard: 9 }.encode();
+    frame[0] ^= 0xFF;
+    assert!(matches!(Request::decode(&frame), Err(WireError::Codec(_))));
+}
+
+#[test]
+fn engine_answers_version_mismatch_with_unsupported() {
+    let engine = serve(node());
+    let client = engine.client();
+    let mut frame = Request::List.encode();
+    frame[2] = 0x7F;
+    match Response::decode(&client.call_wire(&frame)).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Unsupported),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // Garbage that is not even a frame answers Malformed.
+    match Response::decode(&client.call_wire(b"junk")).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("unexpected: {other:?}"),
+    }
+    engine.shutdown();
 }
 
 #[test]
@@ -68,39 +136,73 @@ fn decode_rejects_unknown_tags() {
     assert!(Response::decode(&[77]).is_err());
 }
 
+#[test]
+fn error_code_wire_bytes_are_stable() {
+    for code in ErrorCode::ALL {
+        assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+    }
+    assert_eq!(ErrorCode::from_u8(0xFE), None);
+}
+
+#[test]
+fn store_errors_map_to_typed_codes() {
+    // The conversions are total: every layer error lands on a code, and
+    // the degraded/quarantine cases stay distinguishable.
+    let quarantined = StoreError::Extent(shardstore_superblock::ExtentError::Quarantined {
+        extent: shardstore_vdisk::ExtentId(3),
+    });
+    assert_eq!(RpcError::from(&quarantined).code, ErrorCode::Degraded);
+    assert_eq!(RpcError::from(&StoreError::OutOfService).code, ErrorCode::OutOfService);
+    let no_free = StoreError::Extent(shardstore_superblock::ExtentError::NoFreeExtent);
+    assert_eq!(RpcError::from(&no_free).code, ErrorCode::ExtentState);
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let data = proptest::collection::vec(any::<u8>(), 0..120);
+    let bulk = proptest::collection::vec((any::<u128>(), data.clone()), 0..8);
+    let removes = proptest::collection::vec(any::<u128>(), 0..12);
+    prop_oneof![
+        (any::<u128>(), data).prop_map(|(shard, data)| Request::Put { shard, data }),
+        any::<u128>().prop_map(|shard| Request::Get { shard }),
+        any::<u128>().prop_map(|shard| Request::Delete { shard }),
+        Just(Request::List),
+        any::<u32>().prop_map(|disk| Request::RemoveDisk { disk }),
+        any::<u32>().prop_map(|disk| Request::ReturnDisk { disk }),
+        (any::<u128>(), any::<u32>())
+            .prop_map(|(shard, to_disk)| Request::Migrate { shard, to_disk }),
+        bulk.prop_map(|shards| Request::BulkCreate { shards }),
+        removes.prop_map(|shards| Request::BulkRemove { shards }),
+    ]
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    any::<u8>().prop_map(|b| ErrorCode::ALL[b as usize % ErrorCode::ALL.len()])
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        proptest::collection::vec(any::<u8>(), 0..120).prop_map(Response::Data),
+        Just(Response::NotFound),
+        proptest::collection::vec(any::<u128>(), 0..20).prop_map(Response::Shards),
+        (arb_error_code(), "[a-zA-Z0-9 :_-]{0,60}")
+            .prop_map(|(code, detail)| Response::Error(RpcError { code, detail })),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Requests round-trip through the wire format.
+    /// Arbitrary requests round-trip through the versioned wire format.
     #[test]
-    fn request_roundtrip(shard in any::<u128>(), data in proptest::collection::vec(any::<u8>(), 0..200), disk in any::<u32>()) {
-        for req in [
-            Request::Put { shard, data: data.clone() },
-            Request::Get { shard },
-            Request::Delete { shard },
-            Request::List,
-            Request::RemoveDisk { disk },
-            Request::ReturnDisk { disk },
-            Request::Migrate { shard, to_disk: disk },
-        ] {
-            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
-        }
+    fn request_roundtrip(req in arb_request()) {
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
     }
 
-    /// Responses round-trip through the wire format.
+    /// Arbitrary responses round-trip through the versioned wire format.
     #[test]
-    fn response_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200),
-                          shards in proptest::collection::vec(any::<u128>(), 0..20),
-                          msg in "[a-zA-Z0-9 ]{0,40}") {
-        for resp in [
-            Response::Ok,
-            Response::Data(data.clone()),
-            Response::NotFound,
-            Response::Shards(shards.clone()),
-            Response::Error(msg.clone()),
-        ] {
-            prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
-        }
+    fn response_roundtrip(resp in arb_response()) {
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
     /// Arbitrary bytes never panic the decoders (§7).
@@ -108,6 +210,24 @@ proptest! {
     fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+    }
+
+    /// Any single corrupted byte in a valid frame either still decodes or
+    /// fails cleanly — and flipping the version byte specifically reports
+    /// a version problem, never garbage.
+    #[test]
+    fn corrupted_frames_fail_cleanly(req in arb_request(), pos in any::<usize>(), flip in 1..=255u8) {
+        let mut bytes = req.encode();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        match Request::decode(&bytes) {
+            Ok(_) => {}
+            Err(WireError::UnsupportedVersion { got }) => {
+                prop_assert_eq!(pos, 2);
+                prop_assert_eq!(got, WIRE_VERSION ^ flip);
+            }
+            Err(WireError::Codec(_)) => {}
+        }
     }
 
     /// A malformed wire request gets an error response, not a dead server.

@@ -25,6 +25,7 @@ pub mod gen;
 pub mod index_conformance;
 pub mod lin;
 pub mod node_conformance;
+pub mod node_rpc;
 pub mod minimize;
 pub mod ops;
 

@@ -193,3 +193,45 @@ fn migration_races_are_linearizable() {
     )
     .unwrap();
 }
+
+#[test]
+fn node_rpc_histories_are_linearizable() {
+    shardstore_harness::node_rpc::node_rpc_linearizability_harness(
+        FaultConfig::none(),
+        CheckOptions::random(21, ITERS),
+    )
+    .unwrap();
+    shardstore_harness::node_rpc::node_rpc_linearizability_harness(
+        FaultConfig::none(),
+        CheckOptions::pct(21, 3, ITERS),
+    )
+    .unwrap();
+}
+
+#[test]
+fn node_rpc_histories_are_linearizable_with_background_writeback() {
+    shardstore_harness::node_rpc::node_rpc_linearizability_background_harness(
+        FaultConfig::none(),
+        CheckOptions::random(22, ITERS),
+    )
+    .unwrap();
+    shardstore_harness::node_rpc::node_rpc_linearizability_background_harness(
+        FaultConfig::none(),
+        CheckOptions::pct(22, 3, ITERS),
+    )
+    .unwrap();
+}
+
+#[test]
+fn node_rpc_fanout_keeps_catalogs_consistent() {
+    shardstore_harness::node_rpc::node_rpc_fanout_harness(
+        FaultConfig::none(),
+        CheckOptions::random(23, ITERS),
+    )
+    .unwrap();
+    shardstore_harness::node_rpc::node_rpc_fanout_harness(
+        FaultConfig::none(),
+        CheckOptions::pct(23, 3, ITERS),
+    )
+    .unwrap();
+}

@@ -34,10 +34,11 @@ fn coverage_metrics_expose_cache_blind_spot() {
     //    whole disk. The miss/eviction paths are a blind spot.
     let oversized = ConformanceConfig {
         geometry: Geometry::small(),
-        store: StoreConfig {
-            cache_capacity: 1 << 24, // bigger than the disk itself
-            ..StoreConfig::small()
-        },
+        store: StoreConfig::small()
+            .to_builder()
+            .cache_capacity(1 << 24) // bigger than the disk itself
+            .build()
+            .unwrap(),
         faults: FaultConfig::none(),
         ..ConformanceConfig::default()
     };

@@ -196,6 +196,23 @@ pub enum TraceEvent {
         /// Whether recovery succeeded.
         ok: bool,
     },
+    /// An RPC request was rejected at admission: the target disk
+    /// executor's bounded queue was full (typed backpressure — the
+    /// client sees an `Overloaded` error).
+    RpcOverloaded {
+        /// Target disk slot.
+        disk: u32,
+        /// Queue depth observed at rejection (the configured bound).
+        depth: u32,
+    },
+    /// A run of co-routed puts was funnelled into one `Store::put_batch`
+    /// by a disk executor's batched dispatch.
+    RpcBatch {
+        /// Executing disk slot.
+        disk: u32,
+        /// Number of puts in the funnelled run.
+        puts: u32,
+    },
 }
 
 impl std::fmt::Display for TraceEvent {
@@ -243,6 +260,12 @@ impl std::fmt::Display for TraceEvent {
                 }
                 TraceEvent::RecoveryStart => write!(f, "recovery start"),
                 TraceEvent::RecoveryEnd { ok } => write!(f, "recovery end ok={ok}"),
+                TraceEvent::RpcOverloaded { disk, depth } => {
+                    write!(f, "rpc overloaded disk {disk} depth {depth}")
+                }
+                TraceEvent::RpcBatch { disk, puts } => {
+                    write!(f, "rpc batch disk {disk} puts {puts}")
+                }
         }
     }
 }

@@ -1,53 +1,66 @@
-//! A multi-disk storage node behind the RPC interface (§2.1): request
-//! routing by shard id, control-plane disk removal and return, and bulk
-//! operations.
+//! A multi-disk storage node behind the parallel request plane (§2.1):
+//! per-disk executors routed by shard id, typed errors, control-plane
+//! disk removal and return, migration, and cross-disk bulk operations.
 //!
 //! ```sh
 //! cargo run --example rpc_node
 //! ```
 
-use shardstore::core::rpc::{serve, Request, Response};
-use shardstore::faults::FaultConfig;
+use shardstore::core::rpc::{ErrorCode, Request, Response};
+use shardstore::core::{Engine, NodeConfig};
 use shardstore::vdisk::Geometry;
 use shardstore::{Node, StoreConfig};
 
 fn main() {
-    // Four disks behind one RPC endpoint; shard ids steer to disks.
-    let node = Node::new(4, Geometry::small(), StoreConfig::small(), FaultConfig::none());
-    let (client, server) = serve(node.clone());
+    // Four disks behind one RPC endpoint; shard ids steer to per-disk
+    // executors, so traffic to different disks runs concurrently.
+    let config = NodeConfig::builder()
+        .disks(4)
+        .geometry(Geometry::small())
+        .store(StoreConfig::small())
+        .build()
+        .expect("valid node config");
+    let node = Node::from_config(&config);
+    let engine = Engine::start(node.clone(), config.engine);
+    let client = engine.client();
 
-    // Request plane: puts and gets over the wire format.
+    // Request plane: typed puts and gets through the client API.
     for shard in 0..12u128 {
-        let resp = client.call(&Request::Put {
-            shard,
-            data: format!("object-{shard}").into_bytes(),
-        });
-        assert_eq!(resp, Response::Ok);
+        client.put(shard, format!("object-{shard}").into_bytes()).unwrap();
     }
     println!("stored 12 shards across {} disks", node.disk_count());
-    match client.call(&Request::List) {
-        Response::Shards(shards) => println!("listing: {shards:?}"),
+    println!("listing: {:?}", client.list().unwrap());
+
+    // The same requests also travel as versioned wire frames; a frame
+    // with a future version byte gets a typed rejection, not garbage.
+    let frame = Request::Get { shard: 3 }.encode();
+    let resp = Response::decode(&client.call_wire(&frame)).unwrap();
+    assert_eq!(resp, Response::Data(b"object-3".to_vec()));
+    let mut future = frame.clone();
+    future[2] = 0xEE; // version byte
+    match Response::decode(&client.call_wire(&future)).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Unsupported),
         other => panic!("unexpected: {other:?}"),
     }
+    println!("wire round-trip OK; future version rejected as Unsupported");
 
     // Control plane: take disk 1 out of service for repair. Its shards
-    // are unavailable (their replicas on other storage nodes would serve
-    // them in production)...
-    assert_eq!(client.call(&Request::RemoveDisk { disk: 1 }), Response::Ok);
+    // are unavailable — reported with a typed code (their replicas on
+    // other storage nodes would serve them in production)...
+    client.remove_disk(1).unwrap();
     let unavailable: Vec<u128> = (0..12u128).filter(|s| node.route(*s) == 1).collect();
     println!("disk 1 removed; shards {unavailable:?} unavailable");
     for shard in &unavailable {
-        assert!(matches!(client.call(&Request::Get { shard: *shard }), Response::Error(_)));
+        let err = client.get(*shard).unwrap_err();
+        assert_eq!(err.code, ErrorCode::OutOfService);
     }
 
     // ...and returning the disk recovers every one of them (the property
     // issue #4 in Fig. 5 violated).
-    assert_eq!(client.call(&Request::ReturnDisk { disk: 1 }), Response::Ok);
+    client.return_disk(1).unwrap();
     for shard in &unavailable {
-        match client.call(&Request::Get { shard: *shard }) {
-            Response::Data(d) => assert_eq!(d, format!("object-{shard}").into_bytes()),
-            other => panic!("shard {shard} lost across removal/return: {other:?}"),
-        }
+        let data = client.get(*shard).unwrap();
+        assert_eq!(data.unwrap(), format!("object-{shard}").into_bytes());
     }
     println!("disk 1 returned; all shards recovered");
 
@@ -55,24 +68,19 @@ fn main() {
     let victim = 5u128;
     let old_disk = node.route(victim);
     let new_disk = (old_disk + 1) % node.disk_count();
-    assert_eq!(
-        client.call(&Request::Migrate { shard: victim, to_disk: new_disk as u32 }),
-        Response::Ok
-    );
+    client.migrate(victim, new_disk as u32).unwrap();
     assert_eq!(node.route(victim), new_disk);
-    match client.call(&Request::Get { shard: victim }) {
-        Response::Data(d) => assert_eq!(d, format!("object-{victim}").into_bytes()),
-        other => panic!("shard {victim} lost across migration: {other:?}"),
-    }
+    assert_eq!(client.get(victim).unwrap().unwrap(), format!("object-{victim}").into_bytes());
     println!("migrated shard {victim}: disk {old_disk} → {new_disk}, data intact");
 
-    // Bulk control-plane operations keep the catalog consistent.
-    node.bulk_remove(&(0..12u128).collect::<Vec<_>>()).unwrap();
+    // Bulk control-plane operations fan out one piece per disk and keep
+    // the per-disk catalogs consistent.
+    client.bulk_remove((0..12u128).collect()).unwrap();
     node.check_catalog_consistent().unwrap();
-    assert_eq!(client.call(&Request::List), Response::Shards(vec![]));
+    assert_eq!(client.list().unwrap(), Vec::<u128>::new());
     println!("bulk remove complete; catalog consistent");
 
-    drop(client);
-    server.join().unwrap();
+    engine.shutdown();
+    assert_eq!(client.put(1, b"late".to_vec()).unwrap_err().code, ErrorCode::ServerStopped);
     println!("\nrpc_node OK");
 }

@@ -13,8 +13,10 @@
 //! dual-slot superblock ([`superblock`]), with crash consistency provided
 //! by run-time dependency graphs and a soft-updates IO scheduler
 //! ([`dependency`]) over an in-memory user-space disk ([`vdisk`]). A
-//! [`Node`] routes request-plane and control-plane RPCs ([`core::rpc`])
-//! across several such stores.
+//! [`Node`] spans several such stores behind a parallel request plane
+//! ([`core::engine`]): per-disk executors routed by shard id, bounded
+//! admission with typed backpressure, batched put dispatch, and a
+//! versioned wire protocol ([`core::rpc`]).
 //!
 //! ```
 //! use shardstore::{Store, StoreConfig};
@@ -27,6 +29,28 @@
 //! store.clean_shutdown().unwrap();     // flush + pump everything
 //! assert!(dep.is_persistent());        // …now it is (forward progress)
 //! assert_eq!(store.get(42).unwrap().unwrap(), b"hello world");
+//! ```
+//!
+//! A multi-disk node brings up through validated config builders and is
+//! driven through typed [`RpcClient`] handles:
+//!
+//! ```
+//! use shardstore::{Engine, Node, NodeConfig, StoreConfig};
+//! use shardstore::core::rpc::ErrorCode;
+//! use shardstore::vdisk::Geometry;
+//!
+//! let config = NodeConfig::builder()
+//!     .disks(4)
+//!     .geometry(Geometry::small())
+//!     .store(StoreConfig::small())
+//!     .build()
+//!     .unwrap();
+//! let engine = Engine::start(Node::from_config(&config), config.engine);
+//! let client = engine.client();
+//! client.put(7, b"routed to disk 3".to_vec()).unwrap();
+//! assert_eq!(client.get(7).unwrap().unwrap(), b"routed to disk 3");
+//! engine.shutdown();
+//! assert_eq!(client.get(7).unwrap_err().code, ErrorCode::ServerStopped);
 //! ```
 //!
 //! ## The validation stack
@@ -45,7 +69,10 @@
 //! - [`faults`] — the [`faults::BugId`] registry of the sixteen issues
 //!   and the coverage-probe mechanism (§4.2).
 
-pub use shardstore_core::{Node, Store, StoreConfig, StoreError};
+pub use shardstore_core::{
+    serve, ConfigError, Engine, EngineConfig, Node, NodeConfig, RpcClient, Store, StoreConfig,
+    StoreError,
+};
 
 /// The fault registry and coverage probes.
 pub use shardstore_faults as faults;

@@ -146,13 +146,13 @@ fn geometry_variants_all_work() {
         Geometry::new(8, 4, 256),
         Geometry::new(64, 16, 1024),
     ] {
-        let config = StoreConfig {
-            max_chunk_size: geometry.page_size / 2,
-            flush_threshold: 4,
-            cache_capacity: geometry.page_size * 2,
-            uuid_seed: 5,
-            ..StoreConfig::default()
-        };
+        let config = StoreConfig::builder()
+            .max_chunk_size(geometry.page_size / 2)
+            .flush_threshold(4)
+            .cache_capacity(geometry.page_size * 2)
+            .uuid_seed(5)
+            .build()
+            .unwrap();
         let s = Store::format(geometry, config, FaultConfig::none());
         s.put(1, &vec![9u8; geometry.page_size + 3]).unwrap();
         s.clean_shutdown().unwrap();

@@ -77,13 +77,13 @@ fn sstables_spanning_many_chunks() {
     // A tiny-extent geometry forces every SSTable across several chunks
     // (the tree is "stored as chunks", plural — §2.1 / Fig. 1).
     let geometry = Geometry::new(48, 8, 128); // 1 KiB extents, 64-byte max chunks
-    let config = StoreConfig {
-        max_chunk_size: 64,
-        flush_threshold: 64, // flush manually
-        cache_capacity: 512,
-        uuid_seed: 9,
-        ..StoreConfig::default()
-    };
+    let config = StoreConfig::builder()
+        .max_chunk_size(64)
+        .flush_threshold(64) // flush manually
+        .cache_capacity(512)
+        .uuid_seed(9)
+        .build()
+        .unwrap();
     let store = Store::format(geometry, config, FaultConfig::none());
     // Enough distinct keys that one SSTable far exceeds an extent.
     for key in 0..24u128 {
