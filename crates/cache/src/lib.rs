@@ -27,9 +27,13 @@
 //! single segment, preserving exact global-LRU semantics where tests
 //! depend on them.
 
+pub mod value;
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+pub use value::ValueBuf;
 
 use shardstore_chunk::{ChunkError, ChunkStore, Locator, PutOutcome, ReclaimReport, Referencer, Stream};
 use shardstore_conc::sync::Mutex;

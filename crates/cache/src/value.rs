@@ -1,0 +1,174 @@
+//! Zero-copy value handles for the read hot path.
+//!
+//! A shard's value is stored as one or more chunks; the cache already
+//! hands payloads out as `Arc<Vec<u8>>`. [`ValueBuf`] is a rope over
+//! those shared payloads: `Store::get`/`scan` assemble a value by
+//! *collecting the Arcs* instead of `extend_from_slice`-ing the bytes
+//! into a fresh `Vec<u8>`, and the wire encoder writes the segments
+//! straight into the response frame — zero value memcpys between a warm
+//! cache and the wire.
+//!
+//! Equality is content-based (segmentation is an implementation detail),
+//! so a decoded `ValueBuf` built from one contiguous segment compares
+//! equal to the multi-chunk original — roundtrip properties hold across
+//! re-chunking.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A contiguous logical byte string backed by shared, possibly
+/// discontiguous segments.
+#[derive(Clone, Default)]
+pub struct ValueBuf {
+    segments: Vec<Arc<Vec<u8>>>,
+    len: usize,
+}
+
+impl ValueBuf {
+    /// An empty value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps one shared payload without copying.
+    pub fn from_arc(segment: Arc<Vec<u8>>) -> Self {
+        let len = segment.len();
+        Self { segments: vec![segment], len }
+    }
+
+    /// Appends a shared payload without copying. Empty segments are
+    /// dropped so the segment list mirrors the logical content.
+    pub fn push_segment(&mut self, segment: Arc<Vec<u8>>) {
+        if segment.is_empty() {
+            return;
+        }
+        self.len += segment.len();
+        self.segments.push(segment);
+    }
+
+    /// Total logical length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the value has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of backing segments (diagnostics / copy accounting).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The backing segments, in order.
+    pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
+        self.segments.iter().map(|s| s.as_slice())
+    }
+
+    /// Materializes the value as one contiguous `Vec<u8>` (the one
+    /// deliberate copy, for callers that need owned contiguous bytes).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for s in &self.segments {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+}
+
+impl From<Vec<u8>> for ValueBuf {
+    fn from(bytes: Vec<u8>) -> Self {
+        if bytes.is_empty() {
+            Self::new()
+        } else {
+            Self::from_arc(Arc::new(bytes))
+        }
+    }
+}
+
+impl From<&[u8]> for ValueBuf {
+    fn from(bytes: &[u8]) -> Self {
+        bytes.to_vec().into()
+    }
+}
+
+impl PartialEq for ValueBuf {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let mut a = self.segments().flatten();
+        let mut b = other.segments().flatten();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (x, y) if x == y => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl Eq for ValueBuf {}
+
+impl PartialEq<[u8]> for ValueBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.len == other.len() && self.segments().flatten().eq(other.iter())
+    }
+}
+
+impl PartialEq<Vec<u8>> for ValueBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl fmt::Debug for ValueBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ValueBuf")
+            .field("len", &self.len)
+            .field("segments", &self.segments.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_segments_without_copying() {
+        let seg = Arc::new(vec![1u8, 2, 3]);
+        let v = ValueBuf::from_arc(Arc::clone(&seg));
+        // The segment is shared, not copied: two owners of one allocation.
+        assert_eq!(Arc::strong_count(&seg), 2);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.segment_count(), 1);
+        assert_eq!(v.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_ignores_segmentation() {
+        let mut a = ValueBuf::new();
+        a.push_segment(Arc::new(vec![1, 2]));
+        a.push_segment(Arc::new(vec![3, 4, 5]));
+        let b: ValueBuf = vec![1u8, 2, 3, 4, 5].into();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1u8, 2, 3, 4, 5]);
+        assert!(a != *[1u8, 2, 3, 4].as_slice());
+        assert!(a != *[1u8, 2, 3, 4, 6].as_slice());
+    }
+
+    #[test]
+    fn empty_values() {
+        let v = ValueBuf::new();
+        assert!(v.is_empty());
+        assert_eq!(v.segment_count(), 0);
+        let e: ValueBuf = Vec::new().into();
+        assert_eq!(v, e);
+        let mut w = ValueBuf::new();
+        w.push_segment(Arc::new(Vec::new()));
+        assert_eq!(w.segment_count(), 0, "empty segments are dropped");
+    }
+}

@@ -105,6 +105,13 @@ impl StoreConfigBuilder {
         self
     }
 
+    /// Number of hash-sharded memtable segments (point ops lock one
+    /// shard; scans and flush take an ordered cut across all of them).
+    pub fn memtable_shards(mut self, shards: usize) -> Self {
+        self.config.memtable_shards = shards;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<StoreConfig, ConfigError> {
         if self.config.max_chunk_size == 0 {
@@ -112,6 +119,9 @@ impl StoreConfigBuilder {
         }
         if self.config.flush_threshold == 0 {
             return Err(ConfigError::Zero { field: "flush_threshold" });
+        }
+        if self.config.memtable_shards == 0 {
+            return Err(ConfigError::Zero { field: "memtable_shards" });
         }
         Ok(self.config)
     }

@@ -31,12 +31,13 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use shardstore_cache::ValueBuf;
 use shardstore_conc as conc;
 use shardstore_conc::sync::{Condvar, Mutex};
 use shardstore_obs::{Counter, Gauge, Obs, TraceEvent};
 
 use crate::config::EngineConfig;
-use crate::node::Node;
+use crate::node::{merge_scan_pages, resolve_scan_start, Node};
 use crate::rpc::{self, ErrorCode, Request, Response, RpcError, WireError};
 
 /// A running request plane over a [`Node`]. Cheap to clone; the workers
@@ -90,6 +91,7 @@ struct Executor {
     depth_gauge: Option<Gauge>,
     overloaded_ctr: Option<Counter>,
     batch_ctr: Option<Counter>,
+    scan_ctr: Option<Counter>,
 }
 
 struct ExecState {
@@ -109,6 +111,8 @@ enum Job {
     BulkCreatePiece { shards: Vec<(u128, Vec<u8>)>, fan: Arc<BulkFan> },
     /// One disk's slice of a fanned-out `BulkRemove`.
     BulkRemovePiece { shards: Vec<u128>, fan: Arc<BulkFan> },
+    /// One disk's slice of a fanned-out `Scan`.
+    ScanPiece { disk: usize, start: u128, end: u128, limit: u32, fan: Arc<ScanFan> },
 }
 
 /// A one-shot reply slot: the executor fills it, the client waits on it.
@@ -185,11 +189,52 @@ impl BulkFan {
     }
 }
 
+/// Join block for a fanned-out `Scan`: pieces deposit their disk's slice
+/// (entries plus a truncation flag); the last one merges the slices into
+/// a page and answers. Any piece's error wins — a scan that cannot read
+/// a key (e.g. a quarantined extent) reports it rather than silently
+/// skipping data.
+struct ScanFan {
+    state: ScanFanState,
+    limit: u32,
+    reply: Arc<Reply>,
+}
+
+type ScanFanState = Mutex<(usize, Vec<(Vec<(u128, ValueBuf)>, bool)>, Option<RpcError>)>;
+
+impl ScanFan {
+    fn complete(&self, result: Result<(Vec<(u128, ValueBuf)>, bool), RpcError>) {
+        let done = {
+            let mut state = self.state.lock();
+            match result {
+                Ok(piece) => state.1.push(piece),
+                Err(e) => {
+                    state.2.get_or_insert(e);
+                }
+            }
+            state.0 -= 1;
+            state.0 == 0
+        };
+        if done {
+            let mut state = self.state.lock();
+            if let Some(e) = state.2.take() {
+                self.reply.set(Response::Error(e));
+            } else {
+                let pieces = std::mem::take(&mut state.1);
+                drop(state);
+                let (entries, next) = merge_scan_pages(pieces, self.limit);
+                self.reply.set(Response::ScanPage { entries, next });
+            }
+        }
+    }
+}
+
 impl Executor {
     fn new(disk: u32, obs: Option<Obs>) -> Arc<Self> {
         let depth_gauge = obs.as_ref().map(|o| o.registry().gauge("rpc.queue_depth"));
         let overloaded_ctr = obs.as_ref().map(|o| o.registry().counter("rpc.overloaded"));
         let batch_ctr = obs.as_ref().map(|o| o.registry().counter("rpc.batches"));
+        let scan_ctr = obs.as_ref().map(|o| o.registry().counter("rpc.scan"));
         Arc::new(Executor {
             disk,
             state: Mutex::new(ExecState {
@@ -202,6 +247,7 @@ impl Executor {
             depth_gauge,
             overloaded_ctr,
             batch_ctr,
+            scan_ctr,
         })
     }
 
@@ -226,6 +272,15 @@ impl Executor {
         }
         if let Some(o) = &self.obs {
             o.trace().event(TraceEvent::RpcBatch { disk: self.disk, puts });
+        }
+    }
+
+    fn note_scan_page(&self, entries: u32) {
+        if let Some(c) = &self.scan_ctr {
+            c.inc();
+        }
+        if let Some(o) = &self.obs {
+            o.trace().event(TraceEvent::ScanPage { disk: self.disk, entries });
         }
     }
 }
@@ -352,11 +407,35 @@ impl RpcClient {
         }
     }
 
-    /// Typed get.
+    /// Typed get, materialized to owned contiguous bytes.
     pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, RpcError> {
+        Ok(self.get_value(shard)?.map(|v| v.to_vec()))
+    }
+
+    /// Typed get returning the zero-copy [`ValueBuf`] handle.
+    pub fn get_value(&self, shard: u128) -> Result<Option<ValueBuf>, RpcError> {
         match self.call(Request::Get { shard }) {
             Response::Data(data) => Ok(Some(data)),
             Response::NotFound => Ok(None),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Typed range scan: one page of up to `limit` entries (0 = no
+    /// limit) of `[start, end]` past `continuation`, plus the next-page
+    /// continuation (`None` when the range is exhausted). Fans out one
+    /// slice per disk.
+    #[allow(clippy::type_complexity)]
+    pub fn scan(
+        &self,
+        start: u128,
+        end: u128,
+        limit: u32,
+        continuation: Option<u128>,
+    ) -> Result<(Vec<(u128, ValueBuf)>, Option<u128>), RpcError> {
+        match self.call(Request::Scan { start, end, limit, continuation }) {
+            Response::ScanPage { entries, next } => Ok((entries, next)),
             Response::Error(e) => Err(e),
             other => Err(unexpected(&other)),
         }
@@ -458,6 +537,9 @@ impl EngineInner {
             Request::List => self.submit_list(&reply),
             Request::BulkCreate { shards } => self.submit_bulk_create(shards, &reply),
             Request::BulkRemove { shards } => self.submit_bulk_remove(shards, &reply),
+            Request::Scan { start, end, limit, continuation } => {
+                self.submit_scan(start, end, limit, continuation, &reply)
+            }
         }
         reply
     }
@@ -552,6 +634,30 @@ impl EngineInner {
         self.admit_fanout(pieces, reply);
     }
 
+    fn submit_scan(
+        &self,
+        start: u128,
+        end: u128,
+        limit: u32,
+        continuation: Option<u128>,
+        reply: &Arc<Reply>,
+    ) {
+        let Some(start) = resolve_scan_start(start, end, continuation) else {
+            reply.set(Response::ScanPage { entries: Vec::new(), next: None });
+            return;
+        };
+        let disks = self.node.disk_count();
+        let fan = Arc::new(ScanFan {
+            state: Mutex::new((disks, Vec::new(), None)),
+            limit,
+            reply: Arc::clone(reply),
+        });
+        let pieces = (0..disks)
+            .map(|d| (d, Job::ScanPiece { disk: d, start, end, limit, fan: Arc::clone(&fan) }))
+            .collect();
+        self.admit_fanout(pieces, reply);
+    }
+
     fn submit_bulk_remove(&self, shards: Vec<u128>, reply: &Arc<Reply>) {
         if shards.is_empty() {
             reply.set(Response::Ok);
@@ -605,9 +711,9 @@ fn worker_loop(exec: Arc<Executor>, node: Node, config: EngineConfig) {
         if run.len() >= 2 {
             execute_put_run(&exec, &node, run);
         } else if let Some(job) = run.pop() {
-            execute(&node, job);
+            execute(&exec, &node, job);
         } else if let Some(job) = single {
-            execute(&node, job);
+            execute(&exec, &node, job);
         }
     }
 }
@@ -638,13 +744,13 @@ fn execute_put_run(exec: &Executor, node: &Node, run: Vec<Job>) {
             // Per-element fallback: puts are idempotent (later-wins), so
             // re-driving any element that already landed is safe.
             for job in run {
-                execute(node, job);
+                execute(exec, node, job);
             }
         }
     }
 }
 
-fn execute(node: &Node, job: Job) {
+fn execute(exec: &Executor, node: &Node, job: Job) {
     match job {
         Job::Direct { req, reply } => {
             reply.set(rpc::dispatch(node, req));
@@ -659,6 +765,15 @@ fn execute(node: &Node, job: Job) {
         }
         Job::BulkRemovePiece { shards, fan } => {
             fan.complete(node.bulk_remove(&shards).map(|_| ()).map_err(RpcError::from));
+        }
+        Job::ScanPiece { disk, start, end, limit, fan } => {
+            // Scanning *through the executor* means the slice observes
+            // every previously admitted same-disk write.
+            let result = node.scan_disk(disk, start, end, limit).map_err(RpcError::from);
+            if let Ok((entries, _)) = &result {
+                exec.note_scan_page(entries.len() as u32);
+            }
+            fan.complete(result);
         }
     }
 }

@@ -24,6 +24,7 @@ mod store;
 pub use config::{ConfigError, EngineConfig, NodeConfig};
 pub use engine::{serve, Engine, PendingReply, RpcClient};
 pub use node::Node;
+pub use shardstore_cache::ValueBuf;
 pub use store::{Store, StoreConfig, StoreError};
 
 #[cfg(test)]

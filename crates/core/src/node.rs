@@ -39,6 +39,7 @@ use shardstore_vdisk::Geometry;
 
 use crate::config::NodeConfig;
 use crate::store::{Store, StoreConfig, StoreError};
+use shardstore_cache::ValueBuf;
 
 /// A multi-disk storage node. Cheap to clone.
 #[derive(Clone)]
@@ -232,13 +233,19 @@ impl Node {
         Ok(deps.into_iter().map(|d| d.expect("every element resolved")).collect())
     }
 
-    /// Reads a shard (request plane). Reads racing a migration retry when
-    /// the placement moved under them.
+    /// Reads a shard (request plane) as owned contiguous bytes: the
+    /// copy-based compatibility wrapper over [`Node::get_value`].
     pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.get_value(shard)?.map(|v| v.to_vec()))
+    }
+
+    /// Reads a shard (request plane) as a zero-copy [`ValueBuf`]. Reads
+    /// racing a migration retry when the placement moved under them.
+    pub fn get_value(&self, shard: u128) -> Result<Option<ValueBuf>, StoreError> {
         loop {
             let disk = self.route(shard);
             let store = self.store_at(disk)?;
-            let got = store.get(shard)?;
+            let got = store.get_value(shard)?;
             if got.is_none() && self.route(shard) != disk {
                 // The shard moved between routing and reading; retry on
                 // the new placement.
@@ -247,6 +254,55 @@ impl Node {
             }
             return Ok(got);
         }
+    }
+
+    /// One disk's slice of a range scan: up to `limit` entries (0 = no
+    /// limit) of `[start, end]` from that disk's store, plus whether the
+    /// slice was truncated at the limit. The engine's `Scan` fan-out runs
+    /// one slice per disk through that disk's executor; an out-of-service
+    /// disk contributes an empty slice (its catalog entries were dropped
+    /// at removal).
+    pub fn scan_disk(
+        &self,
+        disk: usize,
+        start: u128,
+        end: u128,
+        limit: u32,
+    ) -> Result<(Vec<(u128, ValueBuf)>, bool), StoreError> {
+        let store = self.inner.disks[disk].lock().store.clone();
+        let Some(store) = store else {
+            return Ok((Vec::new(), false));
+        };
+        let mut entries = store.scan(start, end)?;
+        let truncated = limit != 0 && entries.len() > limit as usize;
+        if truncated {
+            entries.truncate(limit as usize);
+        }
+        Ok((entries, truncated))
+    }
+
+    /// Range scan across every disk with keyset pagination: returns up to
+    /// `limit` entries (0 = no limit) of `[start, end]` past
+    /// `continuation` (exclusive), in ascending key order, plus the
+    /// continuation for the next page (`None` when the range is
+    /// exhausted). A degraded key surfaces an error — a scan never
+    /// silently skips data it cannot read.
+    #[allow(clippy::type_complexity)]
+    pub fn scan(
+        &self,
+        start: u128,
+        end: u128,
+        limit: u32,
+        continuation: Option<u128>,
+    ) -> Result<(Vec<(u128, ValueBuf)>, Option<u128>), StoreError> {
+        let Some(start) = resolve_scan_start(start, end, continuation) else {
+            return Ok((Vec::new(), None));
+        };
+        let mut pieces = Vec::with_capacity(self.disk_count());
+        for disk in 0..self.disk_count() {
+            pieces.push(self.scan_disk(disk, start, end, limit)?);
+        }
+        Ok(merge_scan_pages(pieces, limit))
     }
 
     /// Deletes a shard (request plane). Waits out in-flight migrations
@@ -548,4 +604,48 @@ impl Node {
         }
         Ok(())
     }
+}
+
+/// Resolves a scan's effective start key from its continuation: the page
+/// resumes just past the last key already returned. `None` means the
+/// range is already exhausted (empty page, no continuation).
+pub(crate) fn resolve_scan_start(start: u128, end: u128, continuation: Option<u128>) -> Option<u128> {
+    let start = match continuation {
+        // The previous page ended at the top of the key space.
+        Some(c) => c.checked_add(1)?.max(start),
+        None => start,
+    };
+    (start <= end).then_some(start)
+}
+
+/// Merges per-disk scan slices into one page of at most `limit` entries
+/// (0 = no limit) and computes the next-page continuation.
+///
+/// Correctness of the global cut: a slice truncated at `limit` entries
+/// still contains *at least* `limit` keys, each ≤ its own last key, so
+/// the merged page's cutoff key is ≤ every truncated slice's last key —
+/// no key below the cutoff can be missing from a truncated slice. A
+/// continuation is returned iff any entry beyond the page is known to
+/// exist (the merge overflowed the limit, or some slice truncated).
+pub(crate) fn merge_scan_pages(
+    pieces: Vec<(Vec<(u128, ValueBuf)>, bool)>,
+    limit: u32,
+) -> (Vec<(u128, ValueBuf)>, Option<u128>) {
+    let mut more = false;
+    let mut all: Vec<(u128, ValueBuf)> = Vec::new();
+    for (entries, truncated) in pieces {
+        more |= truncated;
+        all.extend(entries);
+    }
+    all.sort_by_key(|(k, _)| *k);
+    // Routing makes placements exclusive, but a scan racing a migration
+    // can observe a shard on both the source and destination disk; keep
+    // one copy.
+    all.dedup_by_key(|(k, _)| *k);
+    if limit != 0 && all.len() > limit as usize {
+        all.truncate(limit as usize);
+        more = true;
+    }
+    let next = if more { all.last().map(|(k, _)| *k) } else { None };
+    (all, next)
 }

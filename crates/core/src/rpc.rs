@@ -35,6 +35,8 @@ use shardstore_lsm::LsmError;
 use shardstore_superblock::ExtentError;
 use shardstore_vdisk::codec::{CodecError, Reader, Writer};
 
+use shardstore_cache::ValueBuf;
+
 use crate::node::Node;
 use crate::store::StoreError;
 
@@ -138,6 +140,19 @@ pub enum Request {
         /// The shards to remove.
         shards: Vec<u128>,
     },
+    /// Range scan with keyset pagination (request plane; fanned out
+    /// across disks).
+    Scan {
+        /// First key of the range, inclusive.
+        start: u128,
+        /// Last key of the range, inclusive.
+        end: u128,
+        /// Page size cap; 0 means unlimited.
+        limit: u32,
+        /// Resume after this key (the `next` of the previous
+        /// [`Response::ScanPage`]); `None` starts at `start`.
+        continuation: Option<u128>,
+    },
 }
 
 /// An RPC response.
@@ -145,12 +160,23 @@ pub enum Request {
 pub enum Response {
     /// The operation succeeded with no payload.
     Ok,
-    /// A get succeeded.
-    Data(Vec<u8>),
+    /// A get succeeded. The payload is a zero-copy [`ValueBuf`]: on the
+    /// server it shares the cache's chunk buffers, and the encoder
+    /// writes its segments straight into the frame.
+    Data(ValueBuf),
     /// The shard does not exist.
     NotFound,
     /// A listing.
     Shards(Vec<u128>),
+    /// One page of a range scan: entries in ascending key order, plus
+    /// the continuation to pass to the next [`Request::Scan`] (`None`
+    /// when the range is exhausted).
+    ScanPage {
+        /// The page's `(key, value)` entries, ascending by key.
+        entries: Vec<(u128, ValueBuf)>,
+        /// Continuation key for the next page, if any entries remain.
+        next: Option<u128>,
+    },
     /// The operation failed; the payload says how, typed.
     Error(RpcError),
 }
@@ -404,6 +430,10 @@ impl Request {
                     w.bytes(&shard.to_le_bytes());
                 }
             }
+            Request::Scan { start, end, limit, continuation } => {
+                w.u8(9).bytes(&start.to_le_bytes()).bytes(&end.to_le_bytes()).u32(*limit);
+                write_opt_u128(&mut w, continuation);
+            }
         }
         w.into_bytes()
     }
@@ -455,6 +485,12 @@ impl Request {
                 }
                 Request::BulkRemove { shards }
             }
+            9 => Request::Scan {
+                start: read_u128(&mut r)?,
+                end: read_u128(&mut r)?,
+                limit: r.u32()?,
+                continuation: read_opt_u128(&mut r)?,
+            },
             _ => return Err(CodecError::BadValue.into()),
         };
         if r.remaining() != 0 {
@@ -474,7 +510,8 @@ impl Response {
                 w.u8(0);
             }
             Response::Data(data) => {
-                w.u8(1).var_bytes(data);
+                w.u8(1);
+                write_value(&mut w, data);
             }
             Response::NotFound => {
                 w.u8(2);
@@ -488,6 +525,14 @@ impl Response {
             Response::Error(e) => {
                 w.u8(4).u8(e.code.as_u8()).var_bytes(e.detail.as_bytes());
             }
+            Response::ScanPage { entries, next } => {
+                w.u8(5).u32(entries.len() as u32);
+                for (key, value) in entries {
+                    w.bytes(&key.to_le_bytes());
+                    write_value(&mut w, value);
+                }
+                write_opt_u128(&mut w, next);
+            }
         }
         w.into_bytes()
     }
@@ -499,7 +544,7 @@ impl Response {
         let tag = r.u8()?;
         let resp = match tag {
             0 => Response::Ok,
-            1 => Response::Data(r.var_bytes()?.to_vec()),
+            1 => Response::Data(r.var_bytes()?.to_vec().into()),
             2 => Response::NotFound,
             3 => {
                 let n = r.u32()? as usize;
@@ -518,6 +563,22 @@ impl Response {
                     .map_err(|_| CodecError::BadValue)?;
                 Response::Error(RpcError { code, detail })
             }
+            5 => {
+                let n = r.u32()? as usize;
+                // Each entry is at least 20 bytes (u128 key + u32 value
+                // length); reject impossible counts before allocating.
+                if n.checked_mul(20).map(|b| b > r.remaining()).unwrap_or(true) {
+                    return Err(CodecError::BadLength.into());
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = read_u128(&mut r)?;
+                    let value: ValueBuf = r.var_bytes()?.to_vec().into();
+                    entries.push((key, value));
+                }
+                let next = read_opt_u128(&mut r)?;
+                Response::ScanPage { entries, next }
+            }
             _ => return Err(CodecError::BadValue.into()),
         };
         if r.remaining() != 0 {
@@ -533,6 +594,36 @@ fn read_u128(r: &mut Reader<'_>) -> Result<u128, CodecError> {
     Ok(u128::from_le_bytes(b))
 }
 
+fn write_opt_u128(w: &mut Writer, v: &Option<u128>) {
+    match v {
+        Some(v) => {
+            w.u8(1).bytes(&v.to_le_bytes());
+        }
+        None => {
+            w.u8(0);
+        }
+    }
+}
+
+fn read_opt_u128(r: &mut Reader<'_>) -> Result<Option<u128>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(read_u128(r)?)),
+        _ => Err(CodecError::BadValue),
+    }
+}
+
+/// Encodes a value as a length-prefixed byte string by writing the
+/// [`ValueBuf`]'s shared segments straight into the frame — the hot read
+/// path's only value "copy" is this serialization into the wire buffer,
+/// never an intermediate `Vec<u8>` assembly.
+fn write_value(w: &mut Writer, value: &ValueBuf) {
+    w.u32(value.len() as u32);
+    for segment in value.segments() {
+        w.bytes(segment);
+    }
+}
+
 /// Dispatches one decoded request against a node, synchronously. This is
 /// the single-request execution path shared by the parallel engine's
 /// executors ([`crate::engine`]) and by direct in-process callers.
@@ -542,7 +633,7 @@ pub fn dispatch(node: &Node, request: Request) -> Response {
             Ok(_dep) => Response::Ok,
             Err(e) => Response::error(e),
         },
-        Request::Get { shard } => match node.get(shard) {
+        Request::Get { shard } => match node.get_value(shard) {
             Ok(Some(data)) => Response::Data(data),
             Ok(None) => Response::NotFound,
             Err(e) => Response::error(e),
@@ -587,6 +678,12 @@ pub fn dispatch(node: &Node, request: Request) -> Response {
             Ok(_deps) => Response::Ok,
             Err(e) => Response::error(e),
         },
+        Request::Scan { start, end, limit, continuation } => {
+            match node.scan(start, end, limit, continuation) {
+                Ok((entries, next)) => Response::ScanPage { entries, next },
+                Err(e) => Response::error(e),
+            }
+        }
     }
 }
 

@@ -18,7 +18,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use shardstore_cache::CachedChunkStore;
+use shardstore_cache::{CachedChunkStore, ValueBuf};
 use shardstore_chunk::{ChunkError, ChunkStore, Stream};
 use shardstore_conc::sync::Mutex;
 use shardstore_dependency::{Dependency, IoScheduler};
@@ -105,6 +105,9 @@ pub struct StoreConfig {
     pub lsm_filters: bool,
     /// Decoded-table cache capacity (in tables); 0 disables it.
     pub decoded_cache_tables: usize,
+    /// Key-hashed memtable shard count (clamped to at least 1). `1`
+    /// reproduces the old single-lock memtable for ablation.
+    pub memtable_shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -116,6 +119,7 @@ impl Default for StoreConfig {
             uuid_seed: 1,
             lsm_filters: true,
             decoded_cache_tables: 8,
+            memtable_shards: 8,
         }
     }
 }
@@ -132,6 +136,9 @@ impl StoreConfig {
             uuid_seed: 1,
             lsm_filters: true,
             decoded_cache_tables: 2,
+            // Two shards: enough to exercise the cross-shard merge paths
+            // without multiplying checker scheduling points.
+            memtable_shards: 2,
         }
     }
 
@@ -139,6 +146,7 @@ impl StoreConfig {
         shardstore_lsm::LsmConfig {
             filters: self.lsm_filters,
             decoded_cache_tables: self.decoded_cache_tables,
+            memtable_shards: self.memtable_shards,
         }
     }
 }
@@ -424,53 +432,127 @@ impl Store {
         Ok(deps_out)
     }
 
-    /// Reads a shard. Returns `None` for absent shards; corruption is
-    /// always detected and surfaced as an error, never as wrong data.
+    /// Reads a shard as owned contiguous bytes. Returns `None` for absent
+    /// shards; corruption is always detected and surfaced as an error,
+    /// never as wrong data. The copy-based compatibility wrapper over
+    /// [`Store::get_value`] — new callers should prefer the zero-copy
+    /// handle.
+    pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.get_value(shard)?.map(|v| v.to_vec()))
+    }
+
+    /// Reads a shard as a zero-copy [`ValueBuf`]: the returned handle
+    /// shares the cache's payload buffers instead of copying them, so a
+    /// warm get performs zero value memcpys.
     ///
     /// Like the index, the data-chunk read is optimistic against
     /// concurrent reclamation: if a chunk read fails and the index entry
     /// has moved in the meantime (its chunks were relocated), the read is
     /// retried against the fresh locators.
-    pub fn get(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
+    pub fn get_value(&self, shard: u128) -> Result<Option<ValueBuf>, StoreError> {
         let obs = self.obs();
         let op = obs.begin_op(OpKind::Get, shard);
-        let res = self.get_inner(shard);
+        let res = self.get_value_inner(shard);
         obs.end_op(op, res.is_ok());
         res
     }
 
-    fn get_inner(&self, shard: u128) -> Result<Option<Vec<u8>>, StoreError> {
+    fn get_value_inner(&self, shard: u128) -> Result<Option<ValueBuf>, StoreError> {
         self.check_service()?;
         loop {
             let Some(locators) = self.index.get(shard)? else {
                 return Ok(None);
             };
-            let mut data = Vec::new();
-            let mut failed = None;
-            for locator in &locators {
-                match self.cache().get(locator) {
-                    Ok(bytes) => data.extend_from_slice(&bytes),
-                    Err(e) => {
-                        failed = Some(e);
+            match self.read_value(&locators) {
+                Ok(value) => return Ok(Some(value)),
+                Err(e) => {
+                    if e.is_degraded() {
+                        // A quarantine surfaced on this read path.
+                        // Evacuate what the cache still holds — it may
+                        // re-home this very chunk (rewiring the index),
+                        // and helps every other key on the extent either
+                        // way.
+                        self.evacuate_pending()?;
+                    }
+                    let now = self.index.get(shard)?;
+                    if now.as_ref() != Some(&locators) {
+                        coverage::hit("store.get.retry_relocated");
+                        continue;
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    // HOT-PATH-BEGIN(store-read): the certified zero-copy read path. The
+    // guard script (scripts/check_hot_path.sh) asserts no value bytes are
+    // copied here — cache payloads are shared into the ValueBuf, never
+    // `extend_from_slice`d or `to_vec`d.
+    /// Assembles a value from its chunks by collecting the cache's shared
+    /// payload handles.
+    fn read_value(&self, locators: &[shardstore_chunk::Locator]) -> Result<ValueBuf, ChunkError> {
+        let mut value = ValueBuf::new();
+        for locator in locators {
+            value.push_segment(self.cache().get(locator)?);
+        }
+        Ok(value)
+    }
+    // HOT-PATH-END(store-read)
+
+    /// Ordered range scan: every present shard in the inclusive range
+    /// `[start, end]` with its value, ascending by key.
+    ///
+    /// The key set and per-key locators are pinned by the index's
+    /// snapshot-consistent [`LsmIndex::scan`] at scan start; values are
+    /// then resolved through the same optimistic relocation retry as
+    /// [`Store::get_value`]. A key whose chunks are degraded surfaces the
+    /// error — a scan never silently skips a key it cannot read. A key
+    /// deleted *after* the snapshot may be dropped from the result (the
+    /// scan linearizes per key against concurrent writers, like
+    /// back-to-back gets would).
+    pub fn scan(&self, start: u128, end: u128) -> Result<Vec<(u128, ValueBuf)>, StoreError> {
+        let obs = self.obs();
+        let op = obs.begin_op(OpKind::Scan, start);
+        let res = self.scan_inner(start, end);
+        obs.end_op(op, res.is_ok());
+        res
+    }
+
+    fn scan_inner(&self, start: u128, end: u128) -> Result<Vec<(u128, ValueBuf)>, StoreError> {
+        self.check_service()?;
+        let entries = self.index.scan(start, end)?;
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, mut locators) in entries {
+            loop {
+                match self.read_value(&locators) {
+                    Ok(value) => {
+                        out.push((key, value));
                         break;
+                    }
+                    Err(e) => {
+                        if e.is_degraded() {
+                            self.evacuate_pending()?;
+                        }
+                        match self.index.get(key)? {
+                            Some(now) if now != locators => {
+                                coverage::hit("store.scan.retry_relocated");
+                                locators = now;
+                            }
+                            None => {
+                                // Deleted while the scan resolved values:
+                                // the key leaves the page rather than
+                                // surfacing a phantom error.
+                                coverage::hit("store.scan.raced_delete");
+                                break;
+                            }
+                            Some(_) => return Err(e.into()),
+                        }
                     }
                 }
             }
-            let Some(e) = failed else { return Ok(Some(data)) };
-            if e.is_degraded() {
-                // A quarantine surfaced on this read path. Evacuate what
-                // the cache still holds — it may re-home this very chunk
-                // (rewiring the index), and helps every other key on the
-                // extent either way.
-                self.evacuate_pending()?;
-            }
-            let now = self.index.get(shard)?;
-            if now.as_ref() != Some(&locators) {
-                coverage::hit("store.get.retry_relocated");
-                continue;
-            }
-            return Err(e.into());
         }
+        Ok(out)
     }
 
     /// Deletes a shard. Returns the tombstone's durability dependency.

@@ -19,10 +19,45 @@ fn node() -> Node {
 fn dispatch_roundtrip() {
     let n = node();
     assert_eq!(dispatch(&n, Request::Put { shard: 7, data: b"hello".to_vec() }), Response::Ok);
-    assert_eq!(dispatch(&n, Request::Get { shard: 7 }), Response::Data(b"hello".to_vec()));
+    assert_eq!(dispatch(&n, Request::Get { shard: 7 }), Response::Data(b"hello".to_vec().into()));
     assert_eq!(dispatch(&n, Request::List), Response::Shards(vec![7]));
     assert_eq!(dispatch(&n, Request::Delete { shard: 7 }), Response::Ok);
     assert_eq!(dispatch(&n, Request::Get { shard: 7 }), Response::NotFound);
+}
+
+#[test]
+fn dispatch_scan() {
+    let n = node();
+    for k in [2u128, 5, 9] {
+        dispatch(&n, Request::Put { shard: k, data: format!("s-{k}").into_bytes() });
+    }
+    match dispatch(&n, Request::Scan { start: 0, end: u128::MAX, limit: 0, continuation: None }) {
+        Response::ScanPage { entries, next } => {
+            let keys: Vec<u128> = entries.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, vec![2, 5, 9]);
+            for (k, v) in &entries {
+                assert!(*v == format!("s-{k}").into_bytes());
+            }
+            assert_eq!(next, None);
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    // A limited scan returns a continuation that resumes after the last key.
+    match dispatch(&n, Request::Scan { start: 0, end: u128::MAX, limit: 2, continuation: None }) {
+        Response::ScanPage { entries, next } => {
+            assert_eq!(entries.len(), 2);
+            assert_eq!(next, Some(5));
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    match dispatch(&n, Request::Scan { start: 0, end: u128::MAX, limit: 2, continuation: Some(5) })
+    {
+        Response::ScanPage { entries, next } => {
+            assert_eq!(entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![9]);
+            assert_eq!(next, None);
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
 }
 
 #[test]
@@ -30,7 +65,7 @@ fn dispatch_migrate() {
     let n = node();
     dispatch(&n, Request::Put { shard: 1, data: b"move me".to_vec() });
     assert_eq!(dispatch(&n, Request::Migrate { shard: 1, to_disk: 0 }), Response::Ok);
-    assert_eq!(dispatch(&n, Request::Get { shard: 1 }), Response::Data(b"move me".to_vec()));
+    assert_eq!(dispatch(&n, Request::Get { shard: 1 }), Response::Data(b"move me".to_vec().into()));
     match dispatch(&n, Request::Migrate { shard: 1, to_disk: 99 }) {
         Response::Error(e) => assert_eq!(e.code, ErrorCode::NoSuchDisk),
         other => panic!("unexpected: {other:?}"),
@@ -47,7 +82,7 @@ fn dispatch_disk_control_plane() {
         other => panic!("unexpected: {other:?}"),
     }
     assert_eq!(dispatch(&n, Request::ReturnDisk { disk: 0 }), Response::Ok);
-    assert_eq!(dispatch(&n, Request::Get { shard: 0 }), Response::Data(b"even".to_vec()));
+    assert_eq!(dispatch(&n, Request::Get { shard: 0 }), Response::Data(b"even".to_vec().into()));
     match dispatch(&n, Request::RemoveDisk { disk: 9 }) {
         Response::Error(e) => assert_eq!(e.code, ErrorCode::NoSuchDisk),
         other => panic!("unexpected: {other:?}"),
@@ -74,7 +109,7 @@ fn engine_server_handles_wire_requests() {
     let get = Request::Get { shard: 3 }.encode();
     assert_eq!(
         Response::decode(&client.call_wire(&get)).unwrap(),
-        Response::Data(b"x".to_vec())
+        Response::Data(b"x".to_vec().into())
     );
     let miss = Request::Get { shard: 4 }.encode();
     assert_eq!(Response::decode(&client.call_wire(&miss)).unwrap(), Response::NotFound);
@@ -172,6 +207,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
             .prop_map(|(shard, to_disk)| Request::Migrate { shard, to_disk }),
         bulk.prop_map(|shards| Request::BulkCreate { shards }),
         removes.prop_map(|shards| Request::BulkRemove { shards }),
+        (any::<u128>(), any::<u128>(), any::<u32>(), prop_oneof![Just(None), any::<u128>().prop_map(Some)])
+            .prop_map(|(start, end, limit, continuation)| Request::Scan {
+                start,
+                end,
+                limit,
+                continuation,
+            }),
     ]
 }
 
@@ -182,11 +224,22 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         Just(Response::Ok),
-        proptest::collection::vec(any::<u8>(), 0..120).prop_map(Response::Data),
+        proptest::collection::vec(any::<u8>(), 0..120).prop_map(|v| Response::Data(v.into())),
         Just(Response::NotFound),
         proptest::collection::vec(any::<u128>(), 0..20).prop_map(Response::Shards),
         (arb_error_code(), "[a-zA-Z0-9 :_-]{0,60}")
             .prop_map(|(code, detail)| Response::Error(RpcError { code, detail })),
+        (
+            proptest::collection::vec(
+                (any::<u128>(), proptest::collection::vec(any::<u8>(), 0..40)),
+                0..8,
+            ),
+            prop_oneof![Just(None), any::<u128>().prop_map(Some)],
+        )
+            .prop_map(|(entries, next)| Response::ScanPage {
+                entries: entries.into_iter().map(|(k, v)| (k, v.into())).collect(),
+                next,
+            }),
     ]
 }
 

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use shardstore_core::{Store, StoreConfig, StoreError};
+use shardstore_core::{Store, StoreConfig, StoreError, ValueBuf};
 use shardstore_faults::FaultConfig;
 use shardstore_model::KvModel;
 use shardstore_vdisk::{CrashPlan, Geometry};
@@ -299,6 +299,14 @@ fn apply_op(
                 Err(e) => return Err(diverge(i, op, format!("delete failed: {e}"))),
             }
         }
+        KvOp::Scan(a, b) => {
+            let ka = a.resolve(&ctx.puts_so_far);
+            let kb = b.resolve(&ctx.puts_so_far);
+            let (start, end) = (ka.min(kb), ka.max(kb));
+            let got = ctx.store.scan(start, end);
+            let expected = model.scan(start, end);
+            compare_scan(ctx, i, op, start, end, got, expected)?;
+        }
         KvOp::IndexFlush => {
             if let Err(e) = ctx.store.flush_index() {
                 if !ctx.tolerate(&e) && !is_no_space(&e) {
@@ -407,6 +415,87 @@ fn compare_get(
         }
         (Err(e), _, false) => Err(diverge(i, op, format!("get({key}) failed: {e}"))),
     }
+}
+
+/// Compares a scan result against the model's range, with the §4.4
+/// relaxations: after an injected failure the scan may error, and
+/// *uncertain* keys may be missing or extra — but a certain key must
+/// appear exactly when the model has it, and any returned bytes must be
+/// some value actually written to that key (a scan never fabricates).
+pub(crate) fn compare_scan(
+    ctx: &RunCtx,
+    i: usize,
+    op: &KvOp,
+    start: u128,
+    end: u128,
+    got: Result<Vec<(u128, ValueBuf)>, StoreError>,
+    expected: Vec<(u128, Arc<Vec<u8>>)>,
+) -> Result<(), Divergence> {
+    let got = match got {
+        Ok(g) => g,
+        Err(_) if ctx.has_failed => return Ok(()),
+        Err(e) => return Err(diverge(i, op, format!("scan({start}, {end}) failed: {e}"))),
+    };
+    if !got.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(diverge(i, op, "scan entries are not strictly ascending".to_string()));
+    }
+    if let Some((k, _)) = got.iter().find(|(k, _)| *k < start || *k > end) {
+        return Err(diverge(i, op, format!("scan returned key {k} outside [{start}, {end}]")));
+    }
+    if !ctx.has_failed {
+        let got_keys: Vec<u128> = got.iter().map(|(k, _)| *k).collect();
+        let exp_keys: Vec<u128> = expected.iter().map(|(k, _)| *k).collect();
+        if got_keys != exp_keys {
+            return Err(diverge(
+                i,
+                op,
+                format!("scan key sets diverge: impl {got_keys:?} vs model {exp_keys:?}"),
+            ));
+        }
+        for ((key, gv), (_, ev)) in got.iter().zip(&expected) {
+            if *gv != **ev {
+                return Err(diverge(
+                    i,
+                    op,
+                    format!(
+                        "scan value mismatch for key {key}: impl {} bytes, model {} bytes",
+                        gv.len(),
+                        ev.len()
+                    ),
+                ));
+            }
+        }
+    } else {
+        let got_keys: std::collections::BTreeSet<u128> = got.iter().map(|(k, _)| *k).collect();
+        for (key, _) in expected.iter().filter(|(k, _)| !ctx.uncertain.contains(k)) {
+            if !got_keys.contains(key) {
+                return Err(diverge(
+                    i,
+                    op,
+                    format!("scan lost key {key} although no operation on it failed"),
+                ));
+            }
+        }
+        let exp_keys: std::collections::BTreeSet<u128> =
+            expected.iter().map(|(k, _)| *k).collect();
+        for (key, value) in &got {
+            if !exp_keys.contains(key) && !ctx.uncertain.contains(key) {
+                return Err(diverge(
+                    i,
+                    op,
+                    format!("scan returned key {key} the model deleted"),
+                ));
+            }
+            if !ctx.was_written(*key, &value.to_vec()) {
+                return Err(diverge(
+                    i,
+                    op,
+                    format!("scan returned bytes for key {key} that were never written"),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The §4.1 invariant: implementation and model hold the same key-value

@@ -142,6 +142,65 @@ pub fn run_crash_consistency(
                     Err(e) => return Err(diverge(i, op, format!("delete failed: {e}"))),
                 }
             }
+            KvOp::Scan(a, b) => {
+                let ka = a.resolve(&ctx.puts_so_far);
+                let kb = b.resolve(&ctx.puts_so_far);
+                let (start, end) = (ka.min(kb), ka.max(kb));
+                match ctx.store.scan(start, end) {
+                    Ok(entries) => {
+                        // Between crashes execution is sequential and
+                        // deterministic, so the scan must agree with the
+                        // crash-free current state key by key.
+                        for (key, value) in &entries {
+                            if *key < start || *key > end {
+                                return Err(diverge(
+                                    i,
+                                    op,
+                                    format!("scan returned key {key} outside [{start}, {end}]"),
+                                ));
+                            }
+                            let current = model.current(*key);
+                            let matches_current =
+                                current.as_ref().map(|c| *value == ***c).unwrap_or(false);
+                            if !matches_current && !ctx.has_failed {
+                                return Err(diverge(
+                                    i,
+                                    op,
+                                    format!("scan returned wrong value for key {key}"),
+                                ));
+                            }
+                            if !matches_current && !ctx.was_written(*key, &value.to_vec()) {
+                                return Err(diverge(
+                                    i,
+                                    op,
+                                    format!("scan returned bytes never written for key {key}"),
+                                ));
+                            }
+                        }
+                        if !ctx.has_failed {
+                            let got: BTreeSet<u128> =
+                                entries.iter().map(|(k, _)| *k).collect();
+                            for key in model.tracked_keys() {
+                                if (start..=end).contains(&key)
+                                    && model.current(key).is_some()
+                                    && !got.contains(&key)
+                                {
+                                    return Err(diverge(
+                                        i,
+                                        op,
+                                        format!("scan lost key {key}"),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if !ctx.has_failed {
+                            return Err(diverge(i, op, format!("scan failed: {e}")));
+                        }
+                    }
+                }
+            }
             KvOp::IndexFlush => {
                 if let Err(e) = ctx.store.flush_index() {
                     if !ctx.tolerate(&e) && !crate::conformance_no_space(&e) {

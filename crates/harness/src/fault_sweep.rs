@@ -470,6 +470,43 @@ fn apply_swept_op(
                 Err(e) => return Err(format!("delete({key}) failed without a fault: {e}")),
             }
         }
+        KvOp::Scan(a, b) => {
+            let ka = a.resolve(&ctx.puts_so_far);
+            let kb = b.resolve(&ctx.puts_so_far);
+            let (start, end) = (ka.min(kb), ka.max(kb));
+            match ctx.store.scan(start, end) {
+                Ok(entries) => {
+                    // Without a fault armed the scan must be exactly the
+                    // model's range; with one, missing keys fall under the
+                    // per-key relaxations below.
+                    if !ctx.fault_armed {
+                        let got: Vec<u128> = entries.iter().map(|(k, _)| *k).collect();
+                        let exp: Vec<u128> =
+                            ctx.model.scan(start, end).iter().map(|(k, _)| *k).collect();
+                        if got != exp {
+                            return Err(format!(
+                                "scan key sets diverge: impl {got:?} vs model {exp:?}"
+                            ));
+                        }
+                    }
+                    // Each returned entry must be a readable key's current
+                    // or once-written value — reuse the point-get check.
+                    for (key, value) in entries {
+                        check_get(ctx, i, key, Ok(Some(value.to_vec())))?;
+                    }
+                }
+                Err(e) => {
+                    if e.is_degraded() {
+                        // Degraded mode: the scan crossed a quarantined
+                        // extent and honestly refused (§4.4) — it must
+                        // error rather than silently skip the key.
+                        ctx.degraded_reads += 1;
+                    } else if !ctx.fault_armed {
+                        return Err(format!("scan failed without a fault: {e}"));
+                    }
+                }
+            }
+        }
         KvOp::IndexFlush => background_op(ctx, "flush", |c| c.store.flush_index())?,
         KvOp::Compact => background_op(ctx, "compact", |c| c.store.compact_index())?,
         KvOp::Reclaim(stream) => {

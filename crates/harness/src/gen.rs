@@ -113,6 +113,12 @@ pub fn kv_op(cfg: GenConfig) -> BoxedStrategy<KvOp> {
                 .boxed(),
         ),
         (2, key_ref(cfg.bias).prop_map(KvOp::Delete).boxed()),
+        (
+            2,
+            (key_ref(cfg.bias), key_ref(cfg.bias))
+                .prop_map(|(a, b)| KvOp::Scan(a, b))
+                .boxed(),
+        ),
         (1, Just(KvOp::IndexFlush).boxed()),
         (1, Just(KvOp::Compact).boxed()),
         (
@@ -195,6 +201,12 @@ mod tests {
     fn all_configs_generate_put_batches() {
         let seqs = sample(kv_ops(GenConfig::conformance()), 80);
         assert!(seqs.iter().flatten().any(|op| matches!(op, KvOp::PutBatch(_))));
+    }
+
+    #[test]
+    fn all_configs_generate_scans() {
+        let seqs = sample(kv_ops(GenConfig::conformance()), 80);
+        assert!(seqs.iter().flatten().any(|op| matches!(op, KvOp::Scan(_, _))));
     }
 
     #[test]

@@ -120,6 +120,10 @@ pub enum KvOp {
     PutBatch(Vec<(KeyRef, ValueSpec)>),
     /// Delete a shard.
     Delete(KeyRef),
+    /// Range scan between two key references (the runner orders the
+    /// resolved endpoints, so the pair always denotes a non-inverted
+    /// inclusive range).
+    Scan(KeyRef, KeyRef),
     /// Flush the LSM memtable (background; model no-op).
     IndexFlush,
     /// Compact the LSM tree (background; model no-op).

@@ -7,7 +7,8 @@ use shardstore_faults::{BugId, FaultConfig};
 use shardstore_harness::concurrent::{
     bulk_ops_harness, fig4_background_harness, fig4_index_harness, kv_linearizability_harness,
     list_remove_harness, maintenance_harness, put_batch_maintenance_harness, put_reclaim_harness,
-    read_vs_relocation_harness, superblock_pool_harness,
+    read_vs_relocation_harness, scan_vs_flush_harness, scan_vs_put_batch_harness,
+    scan_vs_relocation_harness, superblock_pool_harness,
 };
 
 const ITERS: usize = 400;
@@ -45,6 +46,24 @@ fn fig4_background_still_finds_issue_14() {
     )
     .expect_err("issue #14 should be found under background writeback");
     assert!(matches!(err, CheckError::Failure { .. }), "unexpected: {err}");
+}
+
+#[test]
+fn scans_stay_consistent_across_flushes() {
+    scan_vs_flush_harness(FaultConfig::none(), CheckOptions::random(24, ITERS)).unwrap();
+    scan_vs_flush_harness(FaultConfig::none(), CheckOptions::pct(24, 3, ITERS)).unwrap();
+}
+
+#[test]
+fn scans_observe_batch_prefixes_only() {
+    scan_vs_put_batch_harness(FaultConfig::none(), CheckOptions::random(25, ITERS)).unwrap();
+    scan_vs_put_batch_harness(FaultConfig::none(), CheckOptions::pct(25, 3, ITERS)).unwrap();
+}
+
+#[test]
+fn scans_survive_relocation_races() {
+    scan_vs_relocation_harness(FaultConfig::none(), CheckOptions::random(26, ITERS)).unwrap();
+    scan_vs_relocation_harness(FaultConfig::none(), CheckOptions::pct(26, 3, ITERS)).unwrap();
 }
 
 #[test]

@@ -45,6 +45,10 @@ fn apply(store: &mut Store, puts: &mut Vec<u128>, op: &KvOp, page_size: usize) {
         KvOp::Delete(kr) => {
             let _ = store.delete(kr.resolve(puts));
         }
+        KvOp::Scan(a, b) => {
+            let (ka, kb) = (a.resolve(puts), b.resolve(puts));
+            let _ = store.scan(ka.min(kb), ka.max(kb));
+        }
         KvOp::IndexFlush => {
             let _ = store.flush_index();
         }

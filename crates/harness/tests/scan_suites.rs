@@ -1,0 +1,62 @@
+//! Scan-focused conformance suites: deterministic seed-matrix runs of the
+//! §4 conformance checker over sequences that exercise `KvOp::Scan`, in
+//! both writeback modes. The generic proptest suites already include
+//! scans in the alphabet; these runs pin four named seeds (overridable
+//! via `SHARDSTORE_SEED` for the CI fault matrix) and assert the sampled
+//! sequences actually contained scans — a weight change in the generator
+//! must not silently turn this suite into a no-op.
+
+use shardstore_harness::detect::{sample_sequences, seed_override};
+use shardstore_harness::gen::{kv_ops, GenConfig};
+use shardstore_harness::ops::KvOp;
+use shardstore_harness::{run_conformance, run_crash_consistency, ConformanceConfig};
+
+const SEEDS: [u64; 4] = [0x5CA4_0001, 0x5CA4_0002, 0x5CA4_0003, 0x5CA4_0004];
+const SEQUENCES: u64 = 24;
+
+fn count_scans(ops: &[KvOp]) -> usize {
+    ops.iter().filter(|op| matches!(op, KvOp::Scan(_, _))).count()
+}
+
+fn run_seed(seed: u64, cfg: &ConformanceConfig) {
+    let mut scans = 0usize;
+    for ops in sample_sequences(kv_ops(GenConfig::conformance()), seed_override(seed), SEQUENCES)
+    {
+        scans += count_scans(&ops);
+        if let Err(d) = run_conformance(&ops, cfg) {
+            panic!("seed {seed:#x}: scan conformance divergence: {d}");
+        }
+    }
+    assert!(scans > 0, "seed {seed:#x} sampled no scans — generator weights changed?");
+}
+
+#[test]
+fn scan_conformance_holds_on_seed_matrix_deterministic() {
+    for seed in SEEDS {
+        run_seed(seed, &ConformanceConfig::default());
+    }
+}
+
+#[test]
+fn scan_conformance_holds_on_seed_matrix_background() {
+    for seed in SEEDS {
+        run_seed(seed, &ConformanceConfig::default().background());
+    }
+}
+
+#[test]
+fn scan_crash_consistency_holds_on_seed_matrix() {
+    // Crash alphabet (dirty reboots interleaved with scans): scans after
+    // recovery must still agree with the persistence facts.
+    for seed in SEEDS {
+        let cfg = ConformanceConfig::default();
+        let mut scans = 0usize;
+        for ops in sample_sequences(kv_ops(GenConfig::crash()), seed_override(seed), SEQUENCES) {
+            scans += count_scans(&ops);
+            if let Err(d) = run_crash_consistency(&ops, &cfg) {
+                panic!("seed {seed:#x}: scan crash divergence: {d}");
+            }
+        }
+        assert!(scans > 0, "seed {seed:#x} sampled no scans");
+    }
+}

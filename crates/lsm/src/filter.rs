@@ -19,7 +19,7 @@
 const BITS_PER_KEY: usize = 10;
 const NUM_HASHES: u64 = 6;
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -106,6 +106,15 @@ impl TableMeta {
     pub fn bloom_may_contain(&self, key: u128) -> bool {
         self.filter.may_contain(key)
     }
+
+    /// True if the table's key fence overlaps the inclusive range
+    /// `[start, end]`. An empty table's inverted fence overlaps nothing.
+    pub fn overlaps(&self, start: u128, end: u128) -> bool {
+        // The inverted fence (min > max) marks an empty table; the range
+        // test alone would wrongly match it when the probe range spans
+        // the key-space extremes.
+        self.min_key <= self.max_key && self.min_key <= end && start <= self.max_key
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +155,25 @@ mod tests {
         assert!(meta.in_fence(30));
         assert!(!meta.in_fence(9));
         assert!(!meta.in_fence(31));
+    }
+
+    #[test]
+    fn range_overlap_is_inclusive_and_exact() {
+        let meta = TableMeta::build(&[10, 20, 30]);
+        assert!(meta.overlaps(0, u128::MAX));
+        assert!(meta.overlaps(30, 40), "start touching max_key overlaps");
+        assert!(meta.overlaps(0, 10), "end touching min_key overlaps");
+        assert!(meta.overlaps(15, 15), "point range inside the fence overlaps");
+        assert!(!meta.overlaps(0, 9));
+        assert!(!meta.overlaps(31, u128::MAX));
+    }
+
+    #[test]
+    fn empty_table_overlaps_no_range() {
+        let meta = TableMeta::build(&[]);
+        assert!(!meta.overlaps(0, u128::MAX));
+        assert!(!meta.overlaps(0, 0));
+        assert!(!meta.overlaps(u128::MAX, u128::MAX));
     }
 
     #[test]

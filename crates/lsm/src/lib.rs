@@ -5,9 +5,12 @@
 //! lives outside the tree (in data-stream chunks); the tree maps each
 //! shard id to its chunk list. The tree consists of:
 //!
-//! - an in-memory **memtable**; every mutation creates a [`Promise`]
-//!   dependency that is sealed at the next flush, so `put` can return a
-//!   pollable dependency immediately (Fig. 2's "index entry" node);
+//! - an in-memory **memtable**, split into key-hashed shards so point ops
+//!   on different keys do not serialize on one lock (scans and flush
+//!   build an ordered merge view across the shards); every mutation
+//!   creates a [`Promise`] dependency that is sealed at the next flush,
+//!   so `put` can return a pollable dependency immediately (Fig. 2's
+//!   "index entry" node);
 //! - on-disk **SSTables**, each one chunk in the LSM stream;
 //! - **metadata records** (chunks in the metadata stream) listing the live
 //!   tables; the highest-sequence valid record wins at recovery. Metadata
@@ -60,11 +63,17 @@ pub struct LsmConfig {
     /// table content is immutable (relocation moves bytes verbatim), so a
     /// cached decode can never go stale.
     pub decoded_cache_tables: usize,
+    /// Number of key-hashed memtable shards (clamped to at least 1).
+    /// Point ops lock only the key's shard; scans, flush, and the merged
+    /// view lock the shards in index order (then the table-list state
+    /// lock — the global lock order) to build a consistent cut. `1`
+    /// reproduces the old single-lock memtable for ablation.
+    pub memtable_shards: usize,
 }
 
 impl Default for LsmConfig {
     fn default() -> Self {
-        Self { filters: true, decoded_cache_tables: 8 }
+        Self { filters: true, decoded_cache_tables: 8, memtable_shards: 8 }
     }
 }
 
@@ -199,8 +208,10 @@ struct DecodedCache {
     tick: u64,
 }
 
+/// One key-hashed shard of the memtable.
+type MemShard = BTreeMap<u128, MemEntry>;
+
 struct LsmState {
-    memtable: BTreeMap<u128, MemEntry>,
     /// Live tables, newest first.
     tables: Vec<Table>,
     /// Bumped whenever the table list changes (flush, compaction,
@@ -217,11 +228,13 @@ struct LsmState {
     /// Reverse map for data-extent reclamation: data-chunk locator → the
     /// shard key whose *current* value references it.
     refs: BTreeMap<Locator, u128>,
-    /// Forward index over `refs`: key → locators recorded for it. Kept as
-    /// a superset (an entry may linger after another key claimed the
-    /// locator in `refs`), which is why removals filter on
-    /// `refs[l] == key`. Replaces the O(refs) linear scan `apply` used to
-    /// need to retire a key's stale references.
+    /// Forward index over `refs`: key → locators recorded for it. Kept in
+    /// *exact* sync with `refs`: when another key claims a locator (extent
+    /// offsets are reused after resets), the previous owner's entry is
+    /// stripped eagerly instead of lingering until the next write to that
+    /// key. [`LsmIndex::refs_maps_in_sync`] checks the bidirectional
+    /// invariant. Replaces the O(refs) linear scan `apply` used to need to
+    /// retire a key's stale references.
     refs_by_key: BTreeMap<u128, Vec<Locator>>,
     /// Set when an extent reset happened since the last flush (drives the
     /// seeded bug B3).
@@ -242,6 +255,8 @@ struct LsmCounters {
     fence_skips: Counter,
     bloom_skips: Counter,
     bloom_false_positives: Counter,
+    scans: Counter,
+    scan_tables_pruned: Counter,
 }
 
 impl LsmCounters {
@@ -256,6 +271,8 @@ impl LsmCounters {
             fence_skips: r.counter("lsm.fence_skips"),
             bloom_skips: r.counter("lsm.bloom_skips"),
             bloom_false_positives: r.counter("lsm.bloom_false_positives"),
+            scans: r.counter("lsm.scans"),
+            scan_tables_pruned: r.counter("lsm.scan.tables_pruned"),
             obs,
         }
     }
@@ -271,6 +288,9 @@ struct LsmCore {
     cache: CachedChunkStore,
     faults: FaultConfig,
     config: LsmConfig,
+    /// Key-hashed memtable shards. Lock order is shard (index order when
+    /// taking several) before `state`; never the reverse.
+    memtable: Box<[Mutex<MemShard>]>,
     state: Mutex<LsmState>,
     /// Decoded-table cache; a separate lock so table decodes never hold
     /// up mutations on the state lock.
@@ -283,11 +303,9 @@ struct LsmCore {
 
 impl fmt::Debug for LsmIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.core.state.lock();
-        f.debug_struct("LsmIndex")
-            .field("memtable", &st.memtable.len())
-            .field("tables", &st.tables.len())
-            .finish()
+        let mem: usize = self.core.memtable.iter().map(|s| s.lock().len()).sum();
+        let tables = self.core.state.lock().tables.len();
+        f.debug_struct("LsmIndex").field("memtable", &mem).field("tables", &tables).finish()
     }
 }
 
@@ -301,13 +319,14 @@ impl LsmIndex {
     /// Creates an empty index with explicit read-path tuning.
     pub fn with_config(cache: CachedChunkStore, faults: FaultConfig, config: LsmConfig) -> Self {
         let counters = LsmCounters::new(cache.chunk_store().extent_manager().scheduler().obs());
+        let shards = config.memtable_shards.max(1);
         Self {
             core: Arc::new(LsmCore {
                 cache,
                 faults,
                 config,
+                memtable: (0..shards).map(|_| Mutex::new(MemShard::new())).collect(),
                 state: Mutex::new(LsmState {
-                    memtable: BTreeMap::new(),
                     tables: Vec::new(),
                     tables_version: 0,
                     next_table_id: 1,
@@ -568,6 +587,21 @@ impl LsmIndex {
         &self.core.cache
     }
 
+    /// The memtable shard owning `key`. Hashed (not range-partitioned) so
+    /// adjacent keys spread across shards and skewed workloads still
+    /// scale.
+    fn mem_shard(&self, key: u128) -> &Mutex<MemShard> {
+        let h = filter::splitmix64(key as u64 ^ (key >> 64) as u64);
+        &self.core.memtable[h as usize % self.core.memtable.len()]
+    }
+
+    /// Locks every memtable shard in index order (the global lock order
+    /// admits taking the state lock afterwards while these are held),
+    /// yielding a consistent cut of the whole memtable.
+    fn lock_all_shards(&self) -> Vec<shardstore_conc::sync::MutexGuard<'_, MemShard>> {
+        self.core.memtable.iter().map(|s| s.lock()).collect()
+    }
+
     fn scheduler(&self) -> shardstore_dependency::IoScheduler {
         self.core.cache.chunk_store().extent_manager().scheduler().clone()
     }
@@ -622,14 +656,52 @@ impl LsmIndex {
     fn apply(&self, key: u128, value: IndexValue, data_dep: Dependency) -> Dependency {
         let promise = self.scheduler().promise();
         let dep = promise.dependency();
-        let mut st = self.core.state.lock();
-        let seq = st.next_seq;
-        st.next_seq += 1;
-        // Maintain the reverse map: the previous value's chunks are no
-        // longer referenced by the current view; the new value's are.
         let new_promise_dep = dep.clone();
-        let old =
-            st.memtable.insert(key, MemEntry { value: value.clone(), promise, data_dep, seq });
+        // Lock the key's memtable shard first (same-key mutations fully
+        // serialize on it; other shards proceed), then the state lock for
+        // the sequence counter and the reference maps — the global lock
+        // order.
+        let mut shard = self.mem_shard(key).lock();
+        let seq = {
+            let mut st = self.core.state.lock();
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            // Maintain the reverse map: the previous value's chunks are no
+            // longer referenced by the current view; the new value's are.
+            // Retire every reverse-map entry recorded for this key — the
+            // old memtable value's locators and any table-resident ones,
+            // which the new value shadows either way. This is O(entry
+            // locators), not O(refs).
+            if let Some(old_locs) = st.refs_by_key.remove(&key) {
+                for l in old_locs {
+                    if st.refs.get(&l) == Some(&key) {
+                        st.refs.remove(&l);
+                    }
+                }
+            }
+            if let IndexValue::Present(locators) = &value {
+                for l in locators {
+                    if let Some(prev) = st.refs.insert(*l, key) {
+                        if prev != key {
+                            // The locator changed owners (extent offsets
+                            // are reused after resets): strip it from the
+                            // previous owner's forward entry eagerly so
+                            // the two maps stay in exact sync.
+                            coverage::hit("lsm.refs.reowned");
+                            if let Some(v) = st.refs_by_key.get_mut(&prev) {
+                                v.retain(|x| x != l);
+                                if v.is_empty() {
+                                    st.refs_by_key.remove(&prev);
+                                }
+                            }
+                        }
+                    }
+                }
+                st.refs_by_key.insert(key, locators.clone());
+            }
+            seq
+        };
+        let old = shard.insert(key, MemEntry { value, promise, data_dep, seq });
         if let Some(old_entry) = &old {
             // The old mutation is superseded: its dependency becomes
             // persistent exactly when the superseding mutation's does
@@ -638,25 +710,6 @@ impl LsmIndex {
             // is ever leaked unsealed.
             old_entry.promise.add_dep(&new_promise_dep);
             old_entry.promise.seal();
-        }
-        // Retire every reverse-map entry recorded for this key — the old
-        // memtable value's locators and any table-resident ones, which
-        // the new value shadows either way. `refs_by_key` is a superset
-        // index over `refs`, so removal filters on the ref still pointing
-        // back at this key (another key may have since claimed the
-        // locator). This is O(entry locators), not O(refs).
-        if let Some(old_locs) = st.refs_by_key.remove(&key) {
-            for l in old_locs {
-                if st.refs.get(&l) == Some(&key) {
-                    st.refs.remove(&l);
-                }
-            }
-        }
-        if let IndexValue::Present(locators) = &value {
-            for l in locators {
-                st.refs.insert(*l, key);
-            }
-            st.refs_by_key.insert(key, locators.clone());
         }
         self.core.counters.mutations.inc();
         dep
@@ -714,16 +767,26 @@ impl LsmIndex {
         mut hook: Option<&mut dyn FnMut()>,
     ) -> Result<Option<Vec<Locator>>, LsmError> {
         loop {
-            let (tables, version): (Vec<TableSnapshot>, u64) = {
-                let st = self.core.state.lock();
-                self.core.counters.gets.inc();
-                if let Some(entry) = st.memtable.get(&key) {
+            self.core.counters.gets.inc();
+            // HOT-PATH-BEGIN(lsm-get): lock only the key's memtable shard;
+            // a hit never touches the table-list state lock.
+            {
+                let shard = self.mem_shard(key).lock();
+                if let Some(entry) = shard.get(&key) {
                     coverage::hit("lsm.get.memtable");
                     return Ok(match &entry.value {
-                        IndexValue::Present(l) => Some(l.clone()),
+                        IndexValue::Present(l) => Some(l.clone()), // hot-path: metadata clone
                         IndexValue::Tombstone => None,
                     });
                 }
+            }
+            // HOT-PATH-END(lsm-get)
+            // A miss snapshots the table list *after* the shard probe:
+            // flush installs the new table (and bumps the version) before
+            // removing memtable entries, so an entry that left the shard
+            // is already visible in this snapshot.
+            let (tables, version): (Vec<TableSnapshot>, u64) = {
+                let st = self.core.state.lock();
                 (st.tables.iter().map(Table::snapshot).collect(), st.tables_version)
             };
             if let Some(h) = hook.take() {
@@ -788,10 +851,17 @@ impl LsmIndex {
     /// [`LsmIndex::get`].
     fn merged_entries(&self) -> Result<BTreeMap<u128, IndexValue>, LsmError> {
         loop {
+            // Consistent cut: every memtable shard plus the table list,
+            // locked together (shards in index order, then state), so the
+            // memtable view and the table list belong to one instant.
             let (mem, tables, version): (Vec<(u128, IndexValue)>, Vec<TableSnapshot>, u64) = {
+                let shards = self.lock_all_shards();
                 let st = self.core.state.lock();
                 (
-                    st.memtable.iter().map(|(k, e)| (*k, e.value.clone())).collect(),
+                    shards
+                        .iter()
+                        .flat_map(|s| s.iter().map(|(k, e)| (*k, e.value.clone())))
+                        .collect(),
                     st.tables.iter().map(Table::snapshot).collect(),
                     st.tables_version,
                 )
@@ -823,6 +893,92 @@ impl LsmIndex {
                 merged.insert(k, v);
             }
             return Ok(merged);
+        }
+    }
+
+    /// Ordered range scan: every present key in the inclusive range
+    /// `[start, end]` with its locator list, newest-wins and
+    /// tombstone-suppressed, in ascending key order.
+    ///
+    /// The scan is snapshot-consistent: the memtable cut and the table
+    /// list are pinned together at scan start (shards in index order,
+    /// then the state lock), so a concurrent flush or compaction can
+    /// neither hide an entry nor resurrect an overwritten one. Tables
+    /// whose `[min, max]` fence misses the range are pruned without being
+    /// read (counted by `lsm.scan.tables_pruned`); the rest merge
+    /// oldest-first so newer tables overwrite, with the memtable cut
+    /// applied last. Table reads run outside the locks with the same
+    /// optimistic retry against concurrent relocation as
+    /// [`LsmIndex::get`].
+    pub fn scan(&self, start: u128, end: u128) -> Result<Vec<(u128, Vec<Locator>)>, LsmError> {
+        self.core.counters.scans.inc();
+        if start > end {
+            return Ok(Vec::new());
+        }
+        loop {
+            let (mem, tables, version): (Vec<(u128, IndexValue)>, Vec<TableSnapshot>, u64) = {
+                let shards = self.lock_all_shards();
+                let st = self.core.state.lock();
+                (
+                    shards
+                        .iter()
+                        .flat_map(|s| s.range(start..=end).map(|(k, e)| (*k, e.value.clone())))
+                        .collect(),
+                    st.tables.iter().map(Table::snapshot).collect(),
+                    st.tables_version,
+                )
+            };
+            // Fence pruning: a table whose key range provably misses
+            // [start, end] is skipped without a chunk read or a decode.
+            let mut pruned = 0u64;
+            let overlapping: Vec<&TableSnapshot> = tables
+                .iter()
+                .filter(|t| match &t.meta {
+                    Some(m) if !m.overlaps(start, end) => {
+                        pruned += 1;
+                        false
+                    }
+                    _ => true,
+                })
+                .collect();
+            if pruned > 0 {
+                coverage::hit("lsm.scan.fence_prune");
+                self.core.counters.scan_tables_pruned.add(pruned);
+            }
+            let mut merged: BTreeMap<u128, IndexValue> = BTreeMap::new();
+            // Oldest table first so newer tables overwrite, memtable last.
+            let mut failed = None;
+            for table in overlapping.iter().rev() {
+                match self.table_entries(table) {
+                    Ok(entries) => {
+                        let from = entries.partition_point(|(k, _)| *k < start);
+                        for (k, v) in entries[from..].iter().take_while(|(k, _)| *k <= end) {
+                            merged.insert(*k, v.clone());
+                        }
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                if self.core.state.lock().tables_version != version {
+                    coverage::hit("lsm.scan.retry_relocated");
+                    continue;
+                }
+                return Err(e);
+            }
+            for (k, v) in mem {
+                merged.insert(k, v);
+            }
+            return Ok(merged
+                .into_iter()
+                .filter_map(|(k, v)| match v {
+                    IndexValue::Present(l) => Some((k, l)),
+                    IndexValue::Tombstone => None,
+                })
+                .collect());
         }
     }
 
@@ -880,23 +1036,35 @@ impl LsmIndex {
         // Phase 1: snapshot the memtable (values, sequence numbers, and
         // the data dependencies the flushed table must wait for).
         let (snapshot, data_deps): (Vec<(u128, IndexValue, u64)>, Vec<Dependency>) = {
-            let mut st = self.core.state.lock();
-            st.reset_since_flush = false;
+            self.core.state.lock().reset_since_flush = false;
             // Skip entries whose data write was lost to a permanent
             // extent fault: their dependency can never resolve, and
             // joining it into `table_dep_in` would wedge this and every
             // future flush. The doomed entries stay in the memtable
             // unacknowledged (their puts never become durable); a later
             // overwrite of the same key supersedes them normally.
-            let live = st
-                .memtable
-                .iter()
-                .filter(|(_, e)| !e.data_dep.is_doomed())
-                .map(|(k, e)| (*k, e.value.clone(), e.seq, e.data_dep.clone()))
-                .collect::<Vec<_>>();
-            if live.len() < st.memtable.len() {
+            //
+            // The shard-by-shard walk need not be one atomic cut: an
+            // entry written after its shard was visited simply waits for
+            // the next flush, and an overwrite racing the flush is caught
+            // by the per-entry sequence check at removal below.
+            let mut live: Vec<(u128, IndexValue, u64, Dependency)> = Vec::new();
+            let mut total = 0usize;
+            for shard in self.core.memtable.iter() {
+                let s = shard.lock();
+                total += s.len();
+                live.extend(
+                    s.iter()
+                        .filter(|(_, e)| !e.data_dep.is_doomed())
+                        .map(|(k, e)| (*k, e.value.clone(), e.seq, e.data_dep.clone())),
+                );
+            }
+            if live.len() < total {
                 coverage::hit("lsm.flush.skipped_doomed");
             }
+            // Shards are hash-partitioned; the SSTable codec and its
+            // binary-search readers need key order.
+            live.sort_unstable_by_key(|(k, _, _, _)| *k);
             (
                 live.iter().map(|(k, v, s, _)| (*k, v.clone(), *s)).collect(),
                 live.into_iter().map(|(_, _, _, d)| d).collect(),
@@ -960,21 +1128,20 @@ impl LsmIndex {
         // sealed into every flushed promise: a single join node carries
         // the whole flush group instead of two edges per entry.
         let group_dep = table_full_dep.and(&meta_dep);
-        {
-            let mut st = self.core.state.lock();
-            for (key, _, seq) in &snapshot {
-                // Remove the flushed entry unless it was overwritten while
-                // we were flushing; seal its promise either way (the
-                // flushed value is durable).
-                let remove =
-                    matches!(st.memtable.get(key), Some(e) if e.seq == *seq);
-                if remove {
-                    let entry = st.memtable.remove(key).expect("checked above");
-                    entry.promise.add_dep(&group_dep);
-                    entry.promise.seal();
-                } else {
-                    coverage::hit("lsm.flush.overwritten_during_flush");
-                }
+        for (key, _, seq) in &snapshot {
+            // Remove the flushed entry unless it was overwritten while
+            // we were flushing (per-entry sequence check); seal its
+            // promise either way (the flushed value is durable). The new
+            // table was installed above, so a reader that misses the
+            // entry here already sees it in its table snapshot.
+            let mut shard = self.mem_shard(*key).lock();
+            let remove = matches!(shard.get(key), Some(e) if e.seq == *seq);
+            if remove {
+                let entry = shard.remove(key).expect("checked above");
+                entry.promise.add_dep(&group_dep);
+                entry.promise.seal();
+            } else {
+                coverage::hit("lsm.flush.overwritten_during_flush");
             }
         }
         self.core.counters.flushes.inc();
@@ -1094,9 +1261,32 @@ impl LsmIndex {
         Ok(())
     }
 
-    /// Number of entries currently in the memtable.
+    /// Number of entries currently in the memtable (summed over shards).
     pub fn memtable_len(&self) -> usize {
-        self.core.state.lock().memtable.len()
+        self.core.memtable.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of memtable shards in use.
+    pub fn memtable_shard_count(&self) -> usize {
+        self.core.memtable.len()
+    }
+
+    /// Invariant check (test support): `refs` and `refs_by_key` describe
+    /// exactly the same relation — every `refs` edge appears in its key's
+    /// forward entry and every forward-entry locator maps back to that
+    /// key.
+    #[doc(hidden)]
+    pub fn refs_maps_in_sync(&self) -> bool {
+        let st = self.core.state.lock();
+        let forward_ok = st
+            .refs
+            .iter()
+            .all(|(l, k)| st.refs_by_key.get(k).map(|v| v.contains(l)).unwrap_or(false));
+        let reverse_ok = st
+            .refs_by_key
+            .iter()
+            .all(|(k, v)| v.iter().all(|l| st.refs.get(l) == Some(k)));
+        forward_ok && reverse_ok
     }
 
     /// Number of live SSTables.
@@ -1153,8 +1343,8 @@ impl Referencer for DataReferencer {
         // Rewrite the shard's locator list through the normal mutation
         // path, so durability flows through the next flush.
         let current = {
-            let st = self.index.core.state.lock();
-            match st.memtable.get(&key).map(|e| e.value.clone()) {
+            let shard = self.index.mem_shard(key).lock();
+            match shard.get(&key).map(|e| e.value.clone()) {
                 Some(IndexValue::Present(l)) => Some(l),
                 Some(IndexValue::Tombstone) => None,
                 None => None,

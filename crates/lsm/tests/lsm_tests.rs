@@ -488,7 +488,7 @@ fn decoded_cache_avoids_repeat_decodes() {
 #[test]
 fn decoded_cache_capacity_zero_disables_caching() {
     let _g = cov_guard();
-    let index = setup_config(LsmConfig { filters: true, decoded_cache_tables: 0 });
+    let index = setup_config(LsmConfig { filters: true, decoded_cache_tables: 0, memtable_shards: 4 });
     index.put2(5, vec![loc(3, 0, 11)]);
     index.flush().unwrap();
     let _rec = coverage::Recording::start();
@@ -501,7 +501,7 @@ fn decoded_cache_capacity_zero_disables_caching() {
 #[test]
 fn decoded_cache_evicts_least_recently_used_table() {
     let _g = cov_guard();
-    let index = setup_config(LsmConfig { filters: false, decoded_cache_tables: 2 });
+    let index = setup_config(LsmConfig { filters: false, decoded_cache_tables: 2, memtable_shards: 4 });
     // Three tables, capacity two: reading all three in order must evict.
     for k in 0..3u128 {
         index.put2(k, vec![loc(3, k as u32, k)]);
@@ -520,7 +520,7 @@ fn decoded_cache_evicts_least_recently_used_table() {
 #[test]
 fn filters_disabled_reads_stay_correct() {
     let _g = cov_guard();
-    let index = setup_config(LsmConfig { filters: false, decoded_cache_tables: 8 });
+    let index = setup_config(LsmConfig { filters: false, decoded_cache_tables: 8, memtable_shards: 4 });
     for k in 0..8u128 {
         index.put2(k, vec![loc(3, k as u32, k)]);
     }
@@ -638,5 +638,55 @@ fn data_referencer_matches_brute_force_model_under_churn() {
     for l in &all {
         let model_live = expected.values().any(|ls| ls.contains(l));
         assert_eq!(referencer.is_live(l), model_live, "locator {l:?} liveness diverged");
+    }
+}
+
+/// §4 invariant, property-tested: under arbitrary interleavings of puts,
+/// deletes, flushes, and compactions, the reverse map (`refs`) and the
+/// forward map (`refs_by_key`) describe exactly the same relation — the
+/// eager cleanup on delete/overwrite must never leave a dangling edge in
+/// either direction.
+mod refs_sync_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn refs_maps_stay_in_exact_sync(
+            ops in proptest::collection::vec((0u8..6, 0u8..12, 1u8..4), 1..40),
+        ) {
+            let index = setup_with(
+                Geometry { extent_count: 64, pages_per_extent: 16, page_size: 128 },
+                FaultConfig::none(),
+            );
+            let mut step = 0u32;
+            for (op, key, n) in ops {
+                let key = key as u128;
+                match op {
+                    0..=2 => {
+                        step += 1;
+                        let locators: Vec<Locator> = (0..n as u32)
+                            .map(|i| loc(3 + (step % 4), step * 8 + i, step as u128))
+                            .collect();
+                        index.put2(key, locators);
+                    }
+                    3 => {
+                        index.delete(key);
+                    }
+                    4 => {
+                        let _ = index.flush();
+                    }
+                    _ => {
+                        let _ = index.compact();
+                    }
+                }
+                prop_assert!(
+                    index.refs_maps_in_sync(),
+                    "refs/refs_by_key diverged after step {}",
+                    step
+                );
+            }
+        }
     }
 }

@@ -213,6 +213,18 @@ impl KvModel {
         self.map.keys().copied().collect()
     }
 
+    /// Range scan: every `(shard, value)` with `start <= shard <= end`,
+    /// ascending. The specification for [`Store::scan`]-style range
+    /// reads — the ordered map *is* the semantics.
+    ///
+    /// [`Store::scan`]: ../shardstore_core/store/struct.Store.html
+    pub fn scan(&self, start: u128, end: u128) -> Vec<(u128, Arc<Vec<u8>>)> {
+        if start > end {
+            return Vec::new();
+        }
+        self.map.range(start..=end).map(|(k, v)| (*k, Arc::clone(v))).collect()
+    }
+
     /// Number of shards.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -495,6 +507,20 @@ mod tests {
         assert!(!m.delete(1));
         assert_eq!(m.get(1), None);
         assert_eq!(*m.get(2).unwrap(), b"two");
+    }
+
+    #[test]
+    fn kv_model_scan_is_the_ordered_range() {
+        let mut m = KvModel::new();
+        for k in [5u128, 1, 9, 3] {
+            m.put(k, &k.to_le_bytes());
+        }
+        let hits: Vec<u128> = m.scan(2, 8).iter().map(|(k, _)| *k).collect();
+        assert_eq!(hits, vec![3, 5]);
+        assert_eq!(m.scan(0, u128::MAX).len(), 4);
+        assert!(m.scan(6, 8).is_empty());
+        assert!(m.scan(8, 2).is_empty(), "inverted range is empty");
+        assert_eq!(*m.scan(3, 3)[0].1, 3u128.to_le_bytes().to_vec());
     }
 
     #[test]

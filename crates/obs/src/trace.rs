@@ -29,6 +29,8 @@ pub enum OpKind {
     Get,
     /// `Store::delete`.
     Delete,
+    /// `Store::scan` (a range scan; the span key is the range start).
+    Scan,
     /// Store recovery after a reboot.
     Recovery,
     /// An index flush.
@@ -44,6 +46,7 @@ impl std::fmt::Display for OpKind {
             OpKind::PutBatch => "put_batch",
             OpKind::Get => "get",
             OpKind::Delete => "delete",
+            OpKind::Scan => "scan",
             OpKind::Recovery => "recovery",
             OpKind::Flush => "flush",
             OpKind::Reclaim => "reclaim",
@@ -213,6 +216,14 @@ pub enum TraceEvent {
         /// Number of puts in the funnelled run.
         puts: u32,
     },
+    /// One disk's slice of a fanned-out scan completed and contributed a
+    /// page of entries to the merged response.
+    ScanPage {
+        /// Executing disk slot.
+        disk: u32,
+        /// Entries this slice contributed.
+        entries: u32,
+    },
 }
 
 impl std::fmt::Display for TraceEvent {
@@ -265,6 +276,9 @@ impl std::fmt::Display for TraceEvent {
                 }
                 TraceEvent::RpcBatch { disk, puts } => {
                     write!(f, "rpc batch disk {disk} puts {puts}")
+                }
+                TraceEvent::ScanPage { disk, entries } => {
+                    write!(f, "scan page disk {disk} entries {entries}")
                 }
         }
     }

@@ -35,7 +35,24 @@ fn main() {
     // with a future version byte gets a typed rejection, not garbage.
     let frame = Request::Get { shard: 3 }.encode();
     let resp = Response::decode(&client.call_wire(&frame)).unwrap();
-    assert_eq!(resp, Response::Data(b"object-3".to_vec()));
+    assert_eq!(resp, Response::Data(b"object-3".to_vec().into()));
+
+    // Range scans page through the key space with a keyset continuation;
+    // each page fans out one slice per disk and merges in key order.
+    let mut continuation = None;
+    let mut pages = 0;
+    loop {
+        let (entries, next) = client.scan(0, u128::MAX, 5, continuation).unwrap();
+        pages += 1;
+        for (key, value) in &entries {
+            assert_eq!(*value, format!("object-{key}").into_bytes());
+        }
+        match next {
+            Some(_) => continuation = next,
+            None => break,
+        }
+    }
+    println!("scanned the catalog in {pages} pages of ≤5 entries");
     let mut future = frame.clone();
     future[2] = 0xEE; // version byte
     match Response::decode(&client.call_wire(&future)).unwrap() {
