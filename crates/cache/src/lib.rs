@@ -517,8 +517,8 @@ mod tests {
             fn relocated(&self, _o: &Locator, _n: &Locator, d: &Dependency) -> Dependency {
                 d.clone()
             }
-            fn quiesce(&self) -> Option<Dependency> {
-                None
+            fn quiesce(&self) -> Result<Option<Dependency>, ChunkError> {
+                Ok(None)
             }
         }
         c.reclaim(out.locator.extent, Stream::Data, &NoneLive).unwrap().unwrap();
@@ -542,8 +542,8 @@ mod tests {
             fn relocated(&self, _o: &Locator, _n: &Locator, d: &Dependency) -> Dependency {
                 d.clone()
             }
-            fn quiesce(&self) -> Option<Dependency> {
-                None
+            fn quiesce(&self) -> Result<Option<Dependency>, ChunkError> {
+                Ok(None)
             }
         }
         c.reclaim(out.locator.extent, Stream::Data, &NoneLive).unwrap().unwrap();

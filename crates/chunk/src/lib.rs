@@ -83,8 +83,8 @@ mod tests {
             copy_dep.clone()
         }
 
-        fn quiesce(&self) -> Option<Dependency> {
-            None
+        fn quiesce(&self) -> Result<Option<Dependency>, ChunkError> {
+            Ok(None)
         }
     }
 

@@ -175,9 +175,16 @@ pub trait Referencer {
     /// resetting its extent before the current state persists would let a
     /// crash recover to an index with dangling pointers. For the LSM
     /// index this triggers a flush and returns the resulting metadata
-    /// record's dependency. Returning `None` means the referencer's state
-    /// is purely in-memory and imposes no ordering (test doubles).
-    fn quiesce(&self) -> Option<Dependency>;
+    /// record's dependency. Returning `Ok(None)` means the referencer's
+    /// state is purely in-memory and imposes no ordering (test doubles).
+    ///
+    /// An `Err` means the current reference state *cannot* be made
+    /// durable right now (e.g. no space left for the barrier record).
+    /// Reclamation must then abort the pass without resetting the
+    /// extent: an older persisted index state may still reference the
+    /// chunks about to be dropped, and resetting anyway would let a
+    /// crash recover to an index full of dangling pointers.
+    fn quiesce(&self) -> Result<Option<Dependency>, ChunkError>;
 }
 
 /// Outcome of one quarantined-extent evacuation
@@ -919,8 +926,16 @@ impl ChunkStore {
         // Reset: pointer to zero, dependent on every evacuation + pointer
         // update, plus the referencer's quiescence point (so a crash can
         // never recover to an index state referencing dropped chunks).
-        if let Some(q) = referencer.quiesce() {
-            deps.push(q);
+        // If the barrier cannot be produced at all, abort the pass before
+        // the reset: the evacuated copies stay live and the old frames
+        // become dead, so a later pass simply retries.
+        match referencer.quiesce() {
+            Ok(Some(q)) => deps.push(q),
+            Ok(None) => {}
+            Err(e) => {
+                coverage::hit("chunk.reclaim.aborted_barrier");
+                return Err(e);
+            }
         }
         let barrier = self.core.em.scheduler().join(&deps);
         let reset_dep = self.core.em.reset(extent, &barrier);

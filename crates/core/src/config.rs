@@ -112,6 +112,19 @@ impl StoreConfigBuilder {
         self
     }
 
+    /// Live-table count at which an automatic flush also schedules a
+    /// bounded tiered compaction round.
+    pub fn compaction_trigger_tables(mut self, tables: usize) -> Self {
+        self.config.compaction_trigger_tables = tables;
+        self
+    }
+
+    /// Max entries per block in format-v2 SSTables.
+    pub fn block_size(mut self, entries: usize) -> Self {
+        self.config.block_size = entries;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<StoreConfig, ConfigError> {
         if self.config.max_chunk_size == 0 {
@@ -122,6 +135,12 @@ impl StoreConfigBuilder {
         }
         if self.config.memtable_shards == 0 {
             return Err(ConfigError::Zero { field: "memtable_shards" });
+        }
+        if self.config.compaction_trigger_tables == 0 {
+            return Err(ConfigError::Zero { field: "compaction_trigger_tables" });
+        }
+        if self.config.block_size == 0 {
+            return Err(ConfigError::Zero { field: "block_size" });
         }
         Ok(self.config)
     }

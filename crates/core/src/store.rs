@@ -108,6 +108,14 @@ pub struct StoreConfig {
     /// Key-hashed memtable shard count (clamped to at least 1). `1`
     /// reproduces the old single-lock memtable for ablation.
     pub memtable_shards: usize,
+    /// Live-table count at which an automatic flush also schedules a
+    /// compaction round (size-tiered, bounded per round). Explicit
+    /// `compact_index` calls ignore this trigger.
+    pub compaction_trigger_tables: usize,
+    /// Max entries per block in format-v2 SSTables (clamped to at
+    /// least 1). Point gets decode one block; smaller blocks mean less
+    /// decoded per get but more fence-index overhead.
+    pub block_size: usize,
 }
 
 impl Default for StoreConfig {
@@ -120,6 +128,8 @@ impl Default for StoreConfig {
             lsm_filters: true,
             decoded_cache_tables: 8,
             memtable_shards: 8,
+            compaction_trigger_tables: 8,
+            block_size: 16,
         }
     }
 }
@@ -139,6 +149,10 @@ impl StoreConfig {
             // Two shards: enough to exercise the cross-shard merge paths
             // without multiplying checker scheduling points.
             memtable_shards: 2,
+            // Low trigger and tiny blocks so tests reach multi-round
+            // compaction and block-boundary paths quickly.
+            compaction_trigger_tables: 4,
+            block_size: 4,
         }
     }
 
@@ -147,6 +161,8 @@ impl StoreConfig {
             filters: self.lsm_filters,
             decoded_cache_tables: self.decoded_cache_tables,
             memtable_shards: self.memtable_shards,
+            compaction_trigger_tables: self.compaction_trigger_tables,
+            block_size: self.block_size,
         }
     }
 }
@@ -603,9 +619,65 @@ impl Store {
     fn maybe_flush(&self) -> Result<(), StoreError> {
         if self.index.memtable_len() >= self.config.flush_threshold {
             coverage::hit("store.flush.threshold");
-            self.index.flush()?;
+            match self.index.flush() {
+                Ok(_) => {}
+                // A full disk defers the flush rather than failing the
+                // write that tripped the threshold: that write already
+                // succeeded, the memtable keeps its entries visible, and
+                // reclamation may free space before the next attempt.
+                // Compaction retires whole tables, so a pressure-driven
+                // reclaim pass over the index streams usually frees the
+                // very space the flush needs — run one and retry once
+                // before giving up for this round.
+                Err(LsmError::Chunk(ChunkError::NoSpace { .. })) => {
+                    coverage::hit("store.flush.deferred");
+                    self.reclaim_index_streams();
+                    if self.index.flush().is_err() {
+                        return Ok(());
+                    }
+                    coverage::hit("store.flush.deferred_retry_ok");
+                }
+                Err(e) => return Err(e.into()),
+            }
+            // Table-count trigger: a threshold flush that tips the tree
+            // past the trigger also runs one bounded tiered round.
+            // Explicit flush_index calls never compact, so harnesses can
+            // stack tables deliberately. Best-effort: the triggering
+            // write already succeeded (and may have been acked), and a
+            // failed round leaves the table set untouched — so a
+            // compaction error (say, NoSpace writing the merged table)
+            // must not fail the write that tripped it.
+            if self.index.table_count() >= self.config.compaction_trigger_tables.max(2) {
+                coverage::hit("store.compact.threshold");
+                if self.index.compact().is_err() {
+                    coverage::hit("store.compact.deferred");
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Pressure-driven reclamation of the index streams, best-effort.
+    /// Compaction and flush retire whole tables in place, so when either
+    /// runs out of space the Lsm/Meta streams usually hold extents that
+    /// are mostly dead; drain victims until none is left.
+    /// Meta first: reclaiming metadata extents never needs a barrier
+    /// record (superseded records are dead, and a relocated current
+    /// record is byte-identical — recovery finds it by scanning), so it
+    /// frees the space the Lsm pass's barrier writes then need.
+    fn reclaim_index_streams(&self) {
+        coverage::hit("store.reclaim.pressure");
+        for stream in [Stream::Meta, Stream::Lsm] {
+            while matches!(self.reclaim(stream), Ok(true)) {}
+        }
+    }
+
+    /// Keys whose latest mutation lives only in the memtable. Harness
+    /// support: after a shutdown flush fails with `NoSpace`, these are
+    /// exactly the keys a reboot may roll back (§4.4 resource
+    /// exhaustion) — everything else must still survive.
+    pub fn unflushed_keys(&self) -> Vec<u128> {
+        self.index.memtable_keys()
     }
 
     /// Explicitly flushes the index memtable.
@@ -751,7 +823,34 @@ impl Store {
     /// Clean shutdown: flush the index and pump all IO, after which every
     /// returned dependency must report persistent (§5 forward progress).
     pub fn clean_shutdown(&self) -> Result<(), StoreError> {
-        self.index.shutdown()?;
+        match self.index.shutdown() {
+            Ok(()) => {}
+            // A full disk can leave the shutdown flush nowhere to write
+            // its table. Retired-table chunks are dead space, so reclaim
+            // the index streams and retry once; if the disk is genuinely
+            // exhausted the error propagates and the memtable's entries
+            // are lost to the shutdown (resource exhaustion, §4.4).
+            Err(LsmError::Chunk(ChunkError::NoSpace { .. })) => {
+                coverage::hit("store.shutdown.reclaim_retry");
+                self.reclaim_index_streams();
+                match self.index.shutdown() {
+                    Ok(()) => {}
+                    Err(e @ LsmError::Chunk(ChunkError::NoSpace { .. })) => {
+                        // The shutdown flush has nowhere to write even
+                        // after reclamation. Still pump: every already
+                        // scheduled write (prior flushes, relocations,
+                        // data chunks) must become durable, so the loss
+                        // is bounded to exactly the unflushed memtable
+                        // (§4.4 resource exhaustion).
+                        coverage::hit("store.shutdown.no_space");
+                        self.pump()?;
+                        return Err(e.into());
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
         self.pump()?;
         coverage::hit("store.clean_shutdown");
         Ok(())

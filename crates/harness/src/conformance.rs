@@ -344,10 +344,19 @@ fn apply_op(
             }
         }
         KvOp::Reboot => {
+            // A genuinely full disk can leave the shutdown flush nowhere
+            // to write even after reclamation (§4.4 resource exhaustion):
+            // the memtable's keys — and only those — may come back stale
+            // or absent after the reboot. Capture them so the model can
+            // be reconciled below; flushed state must still survive, and
+            // the reconciliation insists any surviving value was actually
+            // written (never-wrong-data is not relaxed).
+            let mut lost_unflushed: Vec<u128> = Vec::new();
             if let Err(e) = ctx.store.clean_shutdown() {
                 if !ctx.tolerate(&e) && !is_no_space(&e) {
                     return Err(diverge(i, op, format!("clean shutdown failed: {e}")));
                 }
+                lost_unflushed = ctx.store.unflushed_keys();
                 ctx.mark_all_uncertain(model.list());
             }
             // Everything must be durable after a clean shutdown: recover
@@ -365,6 +374,37 @@ fn apply_op(
                         .store
                         .dirty_reboot(&CrashPlan::LoseAll)
                         .map_err(|e| diverge(i, op, format!("recovery failed twice: {e}")))?;
+                }
+            }
+            for key in lost_unflushed {
+                match ctx.store.get(key) {
+                    Ok(Some(v)) => {
+                        if model.get(key).map(|e| **e == *v).unwrap_or(false) {
+                            continue;
+                        }
+                        if !ctx.was_written(key, &v) {
+                            return Err(diverge(
+                                i,
+                                op,
+                                format!(
+                                    "key {key} returned bytes never written after a \
+                                     no-space shutdown"
+                                ),
+                            ));
+                        }
+                        model.put(key, &v);
+                    }
+                    Ok(None) => {
+                        model.delete(key);
+                    }
+                    Err(_) if ctx.has_failed => {}
+                    Err(e) => {
+                        return Err(diverge(
+                            i,
+                            op,
+                            format!("get({key}) failed after a no-space shutdown: {e}"),
+                        ));
+                    }
                 }
             }
         }

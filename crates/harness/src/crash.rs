@@ -237,15 +237,20 @@ pub fn run_crash_consistency(
                 }
             }
             KvOp::Reboot => {
+                let mut shutdown_no_space = false;
                 if let Err(e) = ctx.store.clean_shutdown() {
                     if !ctx.tolerate(&e) && !crate::conformance_no_space(&e) {
                         return Err(diverge(i, op, format!("clean shutdown failed: {e}")));
                     }
+                    shutdown_no_space = crate::conformance_no_space(&e);
                 }
                 // Forward progress: every dependency persistent after a
                 // non-crashing shutdown (skipped once failures fired —
-                // failed writes legitimately never persist).
-                if !ctx.has_failed {
+                // failed writes legitimately never persist — and when the
+                // shutdown flush itself had no space to write: unflushed
+                // dependencies then legitimately stay unpersistent, and
+                // the crash-aware model already permits their loss).
+                if !ctx.has_failed && !shutdown_no_space {
                     if let Err(key) = model.check_forward_progress() {
                         coverage::hit("crashcheck.forward_progress_violation");
                         return Err(diverge(

@@ -366,6 +366,10 @@ pub fn run_schedule(
             ("acked-durability", shardstore_obs::oracle::check_acked_durability(&records)),
             ("retry-budget", shardstore_obs::oracle::check_retry_budget(&records, budget)),
             ("cache-coherence", shardstore_obs::oracle::check_cache_coherence(&records)),
+            (
+                "compaction-discipline",
+                shardstore_obs::oracle::check_compaction_discipline(&records),
+            ),
         ];
         // Under background writeback the quarantine event (emitted by the
         // writeback thread) and a concurrent cache hit on the main thread
@@ -528,10 +532,16 @@ fn apply_swept_op(
             let _ = ctx.store.evacuate_pending();
         }
         KvOp::Reboot => {
+            // On a no-space shutdown the memtable's keys — and only
+            // those — may roll back across the reboot (§4.4 resource
+            // exhaustion). Capture them so the model can be reconciled
+            // to the surviving state; never-wrong-data stays enforced.
+            let mut lost_unflushed: Vec<u128> = Vec::new();
             if let Err(e) = ctx.store.clean_shutdown() {
                 if !ctx.tolerate(&e) && !is_no_space(&e) {
                     return Err(format!("clean shutdown failed without a fault: {e}"));
                 }
+                lost_unflushed = ctx.store.unflushed_keys();
                 mark_all_uncertain(ctx);
             }
             match ctx.store.dirty_reboot(&CrashPlan::LoseAll) {
@@ -550,6 +560,31 @@ fn apply_swept_op(
                         .store
                         .dirty_reboot(&CrashPlan::LoseAll)
                         .map_err(|e| format!("recovery failed twice: {e}"))?;
+                }
+            }
+            for key in lost_unflushed {
+                match ctx.store.get(key) {
+                    Ok(Some(v)) => {
+                        if ctx.model.get(key).map(|e| **e == *v).unwrap_or(false) {
+                            continue;
+                        }
+                        if !ctx.was_written(key, &v) {
+                            return Err(format!(
+                                "key {key} returned bytes never written after a no-space \
+                                 shutdown"
+                            ));
+                        }
+                        ctx.model.put(key, &v);
+                    }
+                    Ok(None) => {
+                        ctx.model.delete(key);
+                    }
+                    Err(_) if ctx.fault_armed => {}
+                    Err(e) => {
+                        return Err(format!(
+                            "get({key}) failed after a no-space shutdown: {e}"
+                        ));
+                    }
                 }
             }
         }

@@ -1,0 +1,365 @@
+//! Compaction-focused suites for the tiered compactor and the v2
+//! block-indexed table format.
+//!
+//! Three layers of checking:
+//!
+//! 1. **Seed-matrix conformance** — deterministic runs of the §4
+//!    conformance checker (and the §5 crash checker) over generated
+//!    sequences, asserting the sampled sequences actually contained
+//!    `KvOp::Compact` so a generator weight change cannot silently turn
+//!    the suite into a no-op (the `scan_suites` pattern). Seeds are
+//!    overridable via `SHARDSTORE_SEED` for the CI fault matrix.
+//! 2. **Directed mid-compaction crashes** — a crash-point matrix over
+//!    the writes a tiered compaction round schedules: at every prefix of
+//!    the compaction's IO, crash and recover, asserting recovery lands
+//!    on the *old* table set or the *new* one (never a mix) and that
+//!    every acked key still reads its exact value, tombstones included.
+//! 3. **Reclaim integration** — after a compaction retires a run of
+//!    tables, their chunks are dead: reclamation must find a victim,
+//!    shrink the LSM extent footprint, and leave every value readable
+//!    cold, with the `lsm.compaction.*` counters accounting for the
+//!    round.
+
+use std::collections::BTreeMap;
+
+use shardstore_chunk::Stream;
+use shardstore_core::{Store, StoreConfig};
+use shardstore_faults::FaultConfig;
+use shardstore_harness::detect::{sample_sequences, seed_override};
+use shardstore_harness::gen::{kv_ops, GenConfig};
+use shardstore_harness::ops::KvOp;
+use shardstore_harness::{run_conformance, run_crash_consistency, ConformanceConfig};
+use shardstore_vdisk::{CrashPlan, Geometry};
+
+const SEEDS: [u64; 4] = [0xC04A_0001, 0xC04A_0002, 0xC04A_0003, 0xC04A_0004];
+const SEQUENCES: u64 = 24;
+
+fn count_compactions(ops: &[KvOp]) -> usize {
+    ops.iter().filter(|op| matches!(op, KvOp::Compact)).count()
+}
+
+fn run_seed(seed: u64, cfg: &ConformanceConfig) {
+    let mut compactions = 0usize;
+    for ops in sample_sequences(kv_ops(GenConfig::conformance()), seed_override(seed), SEQUENCES)
+    {
+        compactions += count_compactions(&ops);
+        if let Err(d) = run_conformance(&ops, cfg) {
+            panic!("seed {seed:#x}: compaction conformance divergence: {d}");
+        }
+    }
+    assert!(
+        compactions > 0,
+        "seed {seed:#x} sampled no compactions — generator weights changed?"
+    );
+}
+
+#[test]
+fn compaction_conformance_holds_on_seed_matrix_deterministic() {
+    for seed in SEEDS {
+        run_seed(seed, &ConformanceConfig::default());
+    }
+}
+
+#[test]
+fn compaction_conformance_holds_on_seed_matrix_background() {
+    for seed in SEEDS {
+        run_seed(seed, &ConformanceConfig::default().background());
+    }
+}
+
+#[test]
+fn compaction_crash_consistency_holds_on_seed_matrix() {
+    // Crash alphabet: dirty reboots interleaved with compactions. The
+    // recovered store must satisfy the §5 persistence facts no matter
+    // where the crash fell relative to a compaction's swap.
+    for seed in SEEDS {
+        let cfg = ConformanceConfig::default();
+        let mut compactions = 0usize;
+        for ops in sample_sequences(kv_ops(GenConfig::crash()), seed_override(seed), SEQUENCES) {
+            compactions += count_compactions(&ops);
+            if let Err(d) = run_crash_consistency(&ops, &cfg) {
+                panic!("seed {seed:#x}: compaction crash divergence: {d}");
+            }
+        }
+        assert!(compactions > 0, "seed {seed:#x} sampled no compactions");
+    }
+}
+
+/// Builds a store holding a stack of eight single-key tables — two
+/// generations of keys 0..4 with key 2 deleted above its insert — and
+/// pumps everything durable. Returns the store plus the expected
+/// post-recovery view of every key. The automatic flush-time compaction
+/// trigger is parked high so the stack survives setup intact and the
+/// explicit `compact_index` below is the only compaction in play.
+fn stacked_store(background: bool) -> (Store, BTreeMap<u128, Option<Vec<u8>>>) {
+    let config =
+        StoreConfig::small().to_builder().compaction_trigger_tables(64).build().unwrap();
+    let store = Store::format(Geometry::small(), config, FaultConfig::none());
+    let mut expected: BTreeMap<u128, Option<Vec<u8>>> = BTreeMap::new();
+    for k in 0..4u128 {
+        store.put(k, format!("old-{k}").as_bytes()).unwrap();
+        store.flush_index().unwrap();
+    }
+    for k in [0u128, 1, 3] {
+        store.put(k, format!("new-{k}").as_bytes()).unwrap();
+        store.flush_index().unwrap();
+        expected.insert(k, Some(format!("new-{k}").into_bytes()));
+    }
+    store.delete(2).unwrap();
+    store.flush_index().unwrap();
+    expected.insert(2, None);
+    store.pump().unwrap();
+    if background {
+        store.scheduler().set_writeback_mode(
+            shardstore_dependency::WritebackMode::Background(
+                shardstore_dependency::WritebackConfig::default(),
+            ),
+        );
+    }
+    (store, expected)
+}
+
+fn check_recovered(store: &Store, expected: &BTreeMap<u128, Option<Vec<u8>>>, at: &str) {
+    for (k, want) in expected {
+        let got = store.get(*k).unwrap_or_else(|e| panic!("{at}: get({k}) failed: {e}"));
+        assert_eq!(&got, want, "{at}: key {k} wrong after mid-compaction crash");
+    }
+}
+
+/// Crash-point matrix over a tiered compaction's scheduled writes: for
+/// every prefix length of the compaction's IO (issued and flushed in
+/// dependency order, the rest lost), recovery must see either the
+/// pre-compaction table set or the post-compaction one — never a mix —
+/// and every acked key must read back exactly.
+#[test]
+fn mid_compaction_crash_recovers_old_or_new_table_set() {
+    // One clean run end-to-end pins the two legal table counts.
+    let (store, _) = stacked_store(false);
+    let tables_before = store.index().table_count();
+    store.compact_index().unwrap();
+    store.pump().unwrap();
+    let tables_after = store.index().table_count();
+    assert!(
+        tables_after < tables_before,
+        "compaction did not shrink the table set ({tables_before} -> {tables_after})"
+    );
+
+    let mut seen_old = false;
+    let mut seen_new = false;
+    for crash_point in 0..=16usize {
+        let (store, expected) = stacked_store(false);
+        store.compact_index().unwrap();
+        // Persist exactly `crash_point` IOs in dependency order; the
+        // rest die with the crash.
+        let sched = store.scheduler();
+        for _ in 0..crash_point {
+            let _ = sched.issue_ready(1).and_then(|_| sched.flush_issued());
+        }
+        let recovered = store
+            .dirty_reboot(&CrashPlan::LoseAll)
+            .unwrap_or_else(|e| panic!("crash point {crash_point}: recovery failed: {e}"));
+        let tables = recovered.index().table_count();
+        assert!(
+            tables == tables_before || tables == tables_after,
+            "crash point {crash_point}: recovered a mixed table set \
+             ({tables} tables; legal: {tables_before} or {tables_after})"
+        );
+        seen_old |= tables == tables_before;
+        seen_new |= tables == tables_after;
+        check_recovered(&recovered, &expected, &format!("crash point {crash_point}"));
+        // Cold, too: the recovered view must come from disk, not a cache.
+        recovered.drop_caches();
+        check_recovered(&recovered, &expected, &format!("crash point {crash_point} (cold)"));
+    }
+    // The matrix must actually straddle the swap: losing everything
+    // lands on the old set, persisting everything on the new one.
+    assert!(seen_old, "no crash point recovered the old table set");
+    assert!(seen_new, "no crash point recovered the new table set");
+}
+
+/// The same property under the background writeback engine: a crash
+/// right after `compact_index` returns (with the engine mid-drain)
+/// must recover old-or-new with exact values, and a quiesced engine
+/// must land on the new set.
+#[test]
+fn mid_compaction_crash_recovers_under_background_writeback() {
+    let (store, _) = stacked_store(false);
+    let tables_before = store.index().table_count();
+    store.compact_index().unwrap();
+    store.pump().unwrap();
+    let tables_after = store.index().table_count();
+
+    // Crash with the engine mid-drain: whatever prefix the worker got
+    // durable, recovery must be consistent.
+    let (store, expected) = stacked_store(true);
+    store.compact_index().unwrap();
+    let recovered = store.dirty_reboot(&CrashPlan::LoseAll).expect("recovery failed");
+    let tables = recovered.index().table_count();
+    assert!(
+        tables == tables_before || tables == tables_after,
+        "background crash recovered a mixed table set \
+         ({tables} tables; legal: {tables_before} or {tables_after})"
+    );
+    check_recovered(&recovered, &expected, "background mid-drain crash");
+
+    // Quiesce the engine, then crash: the swap is fully durable.
+    let (store, expected) = stacked_store(true);
+    store.compact_index().unwrap();
+    store.scheduler().quiesce().unwrap();
+    let recovered = store.dirty_reboot(&CrashPlan::LoseAll).expect("recovery failed");
+    assert_eq!(
+        recovered.index().table_count(),
+        tables_after,
+        "quiesced compaction not fully durable"
+    );
+    check_recovered(&recovered, &expected, "background quiesced crash");
+}
+
+/// A compaction whose writes fail at pump time: the store absorbs the
+/// transient faults (quarantining the hit extents and evacuating their
+/// live chunks) or surfaces an error — either way, a crash straight
+/// after must recover the old table set or the new one with every acked
+/// key reading exactly. The merged table's metadata record persisting
+/// without its data would be the mix this test exists to rule out.
+#[test]
+fn mid_compaction_write_failure_never_mixes_table_sets() {
+    let (store, _) = stacked_store(false);
+    let tables_before = store.index().table_count();
+    store.compact_index().unwrap();
+    store.pump().unwrap();
+    let tables_after = store.index().table_count();
+
+    let (store, expected) = stacked_store(false);
+    store.compact_index().unwrap();
+    // Fail IO on every extent past the scheduler's in-call retry budget:
+    // whichever extent the merged table and its metadata record land on,
+    // the write burst exhausts its retries. The store either surfaces
+    // the error or absorbs it by quarantining the hit extents.
+    let disk = store.scheduler().disk().clone();
+    for ext in 0..Geometry::small().extent_count {
+        disk.inject_fail_times(
+            shardstore_vdisk::ExtentId(ext),
+            2 * shardstore_dependency::DEFAULT_RETRY_BUDGET,
+        );
+    }
+    let pump_failed = store.pump().is_err();
+    if !pump_failed {
+        assert!(
+            !store.quarantined_extents().is_empty(),
+            "pump neither failed nor quarantined — injected faults vanished"
+        );
+    }
+    disk.clear_failures();
+    let recovered = store.dirty_reboot(&CrashPlan::LoseAll).expect("recovery failed");
+    let tables = recovered.index().table_count();
+    assert!(
+        tables == tables_before || tables == tables_after,
+        "write failure during compaction left a mixed table set \
+         ({tables} tables; legal: {tables_before} or {tables_after})"
+    );
+    check_recovered(&recovered, &expected, "failed-write crash");
+}
+
+/// Reclaim integration: a compaction round retires its input tables,
+/// so their chunks are dead and reclamation must (a) find a victim,
+/// (b) shrink the LSM extent footprint, and (c) leave every value
+/// readable cold afterwards — with the `lsm.compaction.*` counters
+/// accounting for the round.
+#[test]
+fn compaction_retired_tables_are_reclaimable() {
+    let (store, expected) = stacked_store(false);
+    let obs = store.obs();
+    let registry = obs.registry();
+    let picked_before = registry.counter("lsm.compaction.picked").get();
+    let bytes_in_before = registry.counter("lsm.compaction.bytes_in").get();
+    let bytes_out_before = registry.counter("lsm.compaction.bytes_out").get();
+    let stats_before = store.cache().chunk_store().stats();
+
+    store.compact_index().unwrap();
+    store.pump().unwrap();
+
+    let picked = registry.counter("lsm.compaction.picked").get() - picked_before;
+    let bytes_in = registry.counter("lsm.compaction.bytes_in").get() - bytes_in_before;
+    let bytes_out = registry.counter("lsm.compaction.bytes_out").get() - bytes_out_before;
+    assert!(picked >= 2, "a tiered pick merges at least two tables (picked {picked})");
+    assert!(bytes_in > 0, "compaction read no bytes");
+    assert!(bytes_out > 0, "compaction wrote no bytes");
+    assert!(
+        bytes_out <= bytes_in,
+        "merging shadowed versions must not grow the data ({bytes_in} -> {bytes_out})"
+    );
+
+    // The retired run's chunks are dead: reclamation finds a victim.
+    let mut reclaimed = 0usize;
+    while store.reclaim(Stream::Lsm).unwrap() {
+        reclaimed += 1;
+        store.pump().unwrap();
+    }
+    assert!(reclaimed > 0, "no LSM extent was reclaimable after compaction retired tables");
+    // The retired tables' chunks were dead, so reclamation must have
+    // *dropped* chunks (freed their space), not just relocated live ones.
+    let stats_after = store.cache().chunk_store().stats();
+    assert!(
+        stats_after.reclaims > stats_before.reclaims,
+        "chunk store recorded no reclaim passes"
+    );
+    assert!(
+        stats_after.dropped > stats_before.dropped,
+        "reclaim dropped no dead chunks — retired tables were not marked dead"
+    );
+
+    // Everything still reads exactly — cold, so the reads traverse the
+    // relocated chunks rather than a warm cache.
+    store.drop_caches();
+    for (k, want) in &expected {
+        assert_eq!(&store.get(*k).unwrap(), want, "key {k} wrong after reclaim");
+    }
+}
+
+/// The flush-time trigger: once the live table count reaches the
+/// configured threshold, the next automatic flush schedules a bounded
+/// compaction round in passing — in both writeback modes — and the
+/// store keeps serving exact values throughout.
+#[test]
+fn flush_time_trigger_schedules_compaction() {
+    for background in [false, true] {
+        let config = StoreConfig::small().to_builder().flush_threshold(1).build().unwrap();
+        let store = Store::format(Geometry::small(), config, FaultConfig::none());
+        if background {
+            store.scheduler().set_writeback_mode(
+                shardstore_dependency::WritebackMode::Background(
+                    shardstore_dependency::WritebackConfig::default(),
+                ),
+            );
+        }
+        let obs = store.obs();
+        let registry = obs.registry();
+        let picked_before = registry.counter("lsm.compaction.picked").get();
+        // flush_threshold(1): every put flushes a table, so the table
+        // count climbs to the trigger and maybe_flush compacts.
+        for round in 0..3u32 {
+            for k in 0..8u128 {
+                store.put(k, format!("r{round}-{k}").as_bytes()).unwrap();
+            }
+        }
+        let picked = registry.counter("lsm.compaction.picked").get() - picked_before;
+        assert!(picked >= 2, "automatic trigger never compacted (background={background})");
+        assert!(
+            store.index().table_count() < 24,
+            "table count unbounded despite trigger (background={background})"
+        );
+        if background {
+            store.scheduler().quiesce().unwrap();
+        } else {
+            store.pump().unwrap();
+        }
+        store.drop_caches();
+        for k in 0..8u128 {
+            assert_eq!(
+                store.get(k).unwrap(),
+                Some(format!("r2-{k}").into_bytes()),
+                "key {k} wrong after trigger-driven compactions (background={background})"
+            );
+        }
+    }
+}

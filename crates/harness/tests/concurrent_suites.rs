@@ -5,10 +5,12 @@
 use shardstore_conc::{CheckError, CheckOptions};
 use shardstore_faults::{BugId, FaultConfig};
 use shardstore_harness::concurrent::{
-    bulk_ops_harness, fig4_background_harness, fig4_index_harness, kv_linearizability_harness,
+    bulk_ops_harness, fig4_background_harness, fig4_index_harness,
+    get_vs_compaction_background_harness, get_vs_compaction_harness, kv_linearizability_harness,
     list_remove_harness, maintenance_harness, put_batch_maintenance_harness, put_reclaim_harness,
-    read_vs_relocation_harness, scan_vs_flush_harness, scan_vs_put_batch_harness,
-    scan_vs_relocation_harness, superblock_pool_harness,
+    read_vs_relocation_harness, scan_vs_compaction_background_harness, scan_vs_compaction_harness,
+    scan_vs_flush_harness, scan_vs_put_batch_harness, scan_vs_relocation_harness,
+    superblock_pool_harness,
 };
 
 const ITERS: usize = 400;
@@ -64,6 +66,34 @@ fn scans_observe_batch_prefixes_only() {
 fn scans_survive_relocation_races() {
     scan_vs_relocation_harness(FaultConfig::none(), CheckOptions::random(26, ITERS)).unwrap();
     scan_vs_relocation_harness(FaultConfig::none(), CheckOptions::pct(26, 3, ITERS)).unwrap();
+}
+
+#[test]
+fn gets_stay_fresh_during_tiered_compaction() {
+    get_vs_compaction_harness(FaultConfig::none(), CheckOptions::random(27, ITERS)).unwrap();
+    get_vs_compaction_harness(FaultConfig::none(), CheckOptions::pct(27, 3, ITERS)).unwrap();
+}
+
+#[test]
+fn gets_stay_fresh_during_tiered_compaction_background() {
+    get_vs_compaction_background_harness(FaultConfig::none(), CheckOptions::random(27, ITERS))
+        .unwrap();
+    get_vs_compaction_background_harness(FaultConfig::none(), CheckOptions::pct(27, 3, ITERS))
+        .unwrap();
+}
+
+#[test]
+fn scans_stay_consistent_during_tiered_compaction() {
+    scan_vs_compaction_harness(FaultConfig::none(), CheckOptions::random(28, ITERS)).unwrap();
+    scan_vs_compaction_harness(FaultConfig::none(), CheckOptions::pct(28, 3, ITERS)).unwrap();
+}
+
+#[test]
+fn scans_stay_consistent_during_tiered_compaction_background() {
+    scan_vs_compaction_background_harness(FaultConfig::none(), CheckOptions::random(28, ITERS))
+        .unwrap();
+    scan_vs_compaction_background_harness(FaultConfig::none(), CheckOptions::pct(28, 3, ITERS))
+        .unwrap();
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! and a detection-matrix failure path prints a per-op timeline alongside
 //! its minimized counterexample.
 
-use shardstore_chunk::{Locator, Referencer, Stream};
+use shardstore_chunk::{ChunkError, Locator, Referencer, Stream};
 use shardstore_core::{Store, StoreConfig};
 use shardstore_dependency::Dependency;
 use shardstore_faults::{BugId, FaultConfig};
@@ -96,8 +96,8 @@ impl Referencer for NoneLive {
     fn relocated(&self, _o: &Locator, _n: &Locator, d: &Dependency) -> Dependency {
         d.clone()
     }
-    fn quiesce(&self) -> Option<Dependency> {
-        None
+    fn quiesce(&self) -> Result<Option<Dependency>, ChunkError> {
+        Ok(None)
     }
 }
 

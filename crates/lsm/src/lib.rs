@@ -19,8 +19,10 @@
 //!   metadata).
 //!
 //! Background maintenance: **flush** (memtable → new SSTable + metadata
-//! record) and **compaction** (merge all tables, dropping shadowed entries
-//! and tombstones). Both write their new chunk while holding a [`PutGuard`]
+//! record) and **size-tiered compaction** (each round picks a bounded run
+//! of adjacent, similar-size tables and merges just those, dropping
+//! shadowed entries — and tombstones only when no older table remains
+//! below the run). Both write their new chunk while holding a [`PutGuard`]
 //! pin until the in-memory metadata references it — releasing the pin
 //! early is exactly the issue #14 race (reclamation drops the not yet
 //! referenced chunk), seeded by [`BugId::B14CompactionReclaimRace`].
@@ -69,11 +71,26 @@ pub struct LsmConfig {
     /// lock — the global lock order) to build a consistent cut. `1`
     /// reproduces the old single-lock memtable for ablation.
     pub memtable_shards: usize,
+    /// Table count at which background maintenance should run a
+    /// compaction round (consulted by the store's maintenance hook;
+    /// explicit [`LsmIndex::compact`] calls ignore it). Clamped to at
+    /// least 2.
+    pub compaction_trigger_tables: usize,
+    /// Maximum entries per SSTable block in the v2 format (clamped to at
+    /// least 1). Point gets decode exactly one block; smaller blocks
+    /// mean less decoded per get but a larger fence index.
+    pub block_size: usize,
 }
 
 impl Default for LsmConfig {
     fn default() -> Self {
-        Self { filters: true, decoded_cache_tables: 8, memtable_shards: 8 }
+        Self {
+            filters: true,
+            decoded_cache_tables: 8,
+            memtable_shards: 8,
+            compaction_trigger_tables: 8,
+            block_size: 16,
+        }
     }
 }
 
@@ -184,6 +201,62 @@ impl Table {
     }
 }
 
+/// Most tables one compaction round may merge. Bounds each round's write
+/// amplification: a round rewrites at most this many tables' bytes, never
+/// the whole tree.
+const MAX_COMPACTION_PICK: usize = 4;
+
+/// A contiguous run of tables qualifies as a tier when its largest member
+/// is at most this factor bigger than its smallest — merging similar-size
+/// tables keeps total write amplification logarithmic.
+const TIER_RATIO: u64 = 4;
+
+/// Size-tiered compaction picker. `sizes` are the live tables'
+/// serialized sizes, newest first; returns the index range of the run to
+/// merge, or `None` when fewer than two tables exist.
+///
+/// Policy: among contiguous windows of 2..=[`MAX_COMPACTION_PICK`]
+/// tables whose sizes are within [`TIER_RATIO`] of each other, prefer
+/// the longest, then the fewest total bytes, then the oldest. When no
+/// window qualifies (sizes form a steep geometric staircase), fall back
+/// to the adjacent pair with the fewest total bytes so repeated rounds
+/// still converge toward one table.
+fn pick_compaction(sizes: &[u64]) -> Option<std::ops::Range<usize>> {
+    if sizes.len() < 2 {
+        return None;
+    }
+    let mut best: Option<(usize, u64, usize)> = None; // (len, total, start)
+    for len in 2..=MAX_COMPACTION_PICK.min(sizes.len()) {
+        for start in 0..=sizes.len() - len {
+            let window = &sizes[start..start + len];
+            let min = *window.iter().min().unwrap_or(&0);
+            let max = *window.iter().max().unwrap_or(&0);
+            if max > min.saturating_mul(TIER_RATIO) {
+                continue;
+            }
+            let total: u64 = window.iter().sum();
+            let better = match best {
+                None => true,
+                Some((blen, btotal, bstart)) => {
+                    (len, std::cmp::Reverse(total), start)
+                        > (blen, std::cmp::Reverse(btotal), bstart)
+                }
+            };
+            if better {
+                best = Some((len, total, start));
+            }
+        }
+    }
+    if let Some((len, _, start)) = best {
+        return Some(start..start + len);
+    }
+    // No tier qualifies: merge the cheapest adjacent pair.
+    let start = (0..sizes.len() - 1)
+        .min_by_key(|&i| sizes[i] + sizes[i + 1])
+        .unwrap_or(0);
+    Some(start..start + 2)
+}
+
 /// A cheap point-in-time view of one table, valid for reading outside the
 /// state lock (the optimistic-read scheme).
 #[derive(Debug, Clone)]
@@ -199,12 +272,21 @@ struct DecodedEntry {
     last_use: u64,
 }
 
-/// LRU cache of decoded tables, keyed by table id. Safe against staleness
-/// by construction: ids are never reused and table content is immutable,
-/// so an entry is valid for as long as anything still snapshots its id.
+/// Cache key: `(table id, block index)`, with [`WHOLE_TABLE`] standing
+/// for a fully decoded table (flush and compaction seed their output
+/// whole; block-granular entries come from cold point lookups).
+const WHOLE_TABLE: u32 = u32::MAX;
+
+/// LRU cache of decoded tables and blocks, keyed by `(table id, block)`.
+/// Safe against staleness by construction: ids are never reused and
+/// table content is immutable (relocation moves bytes verbatim), so a
+/// cached decode can never go stale. The fence indexes ride along
+/// (`None` marks a v1 table with no index): one small entry per live
+/// table, pruned with the tables.
 #[derive(Debug, Default)]
 struct DecodedCache {
-    tables: BTreeMap<u64, DecodedEntry>,
+    blocks: BTreeMap<(u64, u32), DecodedEntry>,
+    indexes: BTreeMap<u64, Option<Arc<codec::TableIndex>>>,
     tick: u64,
 }
 
@@ -257,6 +339,13 @@ struct LsmCounters {
     bloom_false_positives: Counter,
     scans: Counter,
     scan_tables_pruned: Counter,
+    tables_consulted: Counter,
+    block_decodes: Counter,
+    block_fence_skips: Counter,
+    bytes_decoded: Counter,
+    compaction_picked: Counter,
+    compaction_bytes_in: Counter,
+    compaction_bytes_out: Counter,
 }
 
 impl LsmCounters {
@@ -273,6 +362,13 @@ impl LsmCounters {
             bloom_false_positives: r.counter("lsm.bloom_false_positives"),
             scans: r.counter("lsm.scans"),
             scan_tables_pruned: r.counter("lsm.scan.tables_pruned"),
+            tables_consulted: r.counter("lsm.get.tables_consulted"),
+            block_decodes: r.counter("lsm.block_decodes"),
+            block_fence_skips: r.counter("lsm.block.fence_skips"),
+            bytes_decoded: r.counter("lsm.bytes_decoded"),
+            compaction_picked: r.counter("lsm.compaction.picked"),
+            compaction_bytes_in: r.counter("lsm.compaction.bytes_in"),
+            compaction_bytes_out: r.counter("lsm.compaction.bytes_out"),
             obs,
         }
     }
@@ -512,23 +608,31 @@ impl LsmIndex {
         Some(Arc::new(TableMeta::build(&keys)))
     }
 
-    /// Looks up a decoded table by id, refreshing its LRU position.
-    fn decoded_lookup(&self, id: u64) -> Option<Arc<Vec<codec::SsEntry>>> {
+    /// Looks up a cached decode by `(table id, block)`, refreshing its
+    /// LRU position.
+    fn decoded_lookup_at(&self, id: u64, block: u32) -> Option<Arc<Vec<codec::SsEntry>>> {
         if self.core.config.decoded_cache_tables == 0 {
             return None;
         }
         let mut cache = self.core.decoded.lock();
         cache.tick += 1;
         let tick = cache.tick;
-        cache.tables.get_mut(&id).map(|e| {
+        cache.blocks.get_mut(&(id, block)).map(|e| {
             e.last_use = tick;
             Arc::clone(&e.entries)
         })
     }
 
-    /// Caches a decoded table, evicting least-recently-used entries over
-    /// capacity.
-    fn decoded_insert(&self, id: u64, entries: Arc<Vec<codec::SsEntry>>) {
+    /// Looks up a fully decoded table by id.
+    fn decoded_lookup(&self, id: u64) -> Option<Arc<Vec<codec::SsEntry>>> {
+        self.decoded_lookup_at(id, WHOLE_TABLE)
+    }
+
+    /// Caches a decode, evicting least-recently-used entries over
+    /// capacity. The capacity counts cache slots — whole tables and
+    /// single blocks alike — so block-granular entries from cold point
+    /// lookups cannot balloon memory past the configured bound.
+    fn decoded_insert_at(&self, id: u64, block: u32, entries: Arc<Vec<codec::SsEntry>>) {
         let capacity = self.core.config.decoded_cache_tables;
         if capacity == 0 {
             return;
@@ -536,39 +640,63 @@ impl LsmIndex {
         let mut cache = self.core.decoded.lock();
         cache.tick += 1;
         let tick = cache.tick;
-        cache.tables.insert(id, DecodedEntry { entries, last_use: tick });
-        while cache.tables.len() > capacity {
+        cache.blocks.insert((id, block), DecodedEntry { entries, last_use: tick });
+        while cache.blocks.len() > capacity {
             let victim = cache
-                .tables
+                .blocks
                 .iter()
                 .min_by_key(|(_, e)| e.last_use)
-                .map(|(id, _)| *id)
+                .map(|(k, _)| *k)
                 .expect("over capacity implies non-empty");
-            cache.tables.remove(&victim);
+            cache.blocks.remove(&victim);
             coverage::hit("lsm.decoded.evict");
         }
     }
 
-    /// Drops decoded tables whose ids are no longer live (after
-    /// compaction retired them). A concurrent reader holding an old
-    /// snapshot may transiently re-insert a dead id; that costs memory
-    /// bounded by the LRU capacity, never correctness (ids are unique and
-    /// content immutable).
-    fn decoded_prune(&self, live: &[u64]) {
+    /// Caches a fully decoded table.
+    fn decoded_insert(&self, id: u64, entries: Arc<Vec<codec::SsEntry>>) {
+        self.decoded_insert_at(id, WHOLE_TABLE, entries);
+    }
+
+    /// Looks up a cached fence index (`Some(None)` = known v1 table).
+    fn index_lookup(&self, id: u64) -> Option<Option<Arc<codec::TableIndex>>> {
+        if self.core.config.decoded_cache_tables == 0 {
+            return None;
+        }
+        self.core.decoded.lock().indexes.get(&id).cloned()
+    }
+
+    fn index_insert(&self, id: u64, index: Option<Arc<codec::TableIndex>>) {
         if self.core.config.decoded_cache_tables == 0 {
             return;
         }
-        self.core.decoded.lock().tables.retain(|id, _| live.contains(id));
+        self.core.decoded.lock().indexes.insert(id, index);
     }
 
-    /// Drops the decoded-table cache. It is volatile state, so harnesses
-    /// model cache loss (reboot, explicit cache drop) by calling this
-    /// alongside [`CachedChunkStore::clear`].
+    /// Drops decoded entries and indexes whose table ids are no longer
+    /// live (after compaction retired them). A concurrent reader holding
+    /// an old snapshot may transiently re-insert a dead id; that costs
+    /// memory bounded by the LRU capacity, never correctness (ids are
+    /// unique and content immutable).
+    fn decoded_prune(&self, live: &std::collections::BTreeSet<u64>) {
+        if self.core.config.decoded_cache_tables == 0 {
+            return;
+        }
+        let mut cache = self.core.decoded.lock();
+        cache.blocks.retain(|(id, _), _| live.contains(id));
+        cache.indexes.retain(|id, _| live.contains(id));
+    }
+
+    /// Drops the decoded-table cache (entries and fence indexes). It is
+    /// volatile state, so harnesses model cache loss (reboot, explicit
+    /// cache drop) by calling this alongside [`CachedChunkStore::clear`].
     pub fn drop_decoded_cache(&self) {
-        self.core.decoded.lock().tables.clear();
+        let mut cache = self.core.decoded.lock();
+        cache.blocks.clear();
+        cache.indexes.clear();
     }
 
-    /// Reads a table through the decoded-entry cache.
+    /// Reads a whole table through the decoded-entry cache.
     fn table_entries(&self, table: &TableSnapshot) -> Result<Arc<Vec<codec::SsEntry>>, LsmError> {
         if let Some(entries) = self.decoded_lookup(table.id) {
             coverage::hit("lsm.decoded.hit");
@@ -579,6 +707,61 @@ impl LsmIndex {
         self.core.counters.obs.trace().event(TraceEvent::TableLoad { table: table.id });
         let entries = Arc::new(self.read_table(&table.locators)?);
         self.decoded_insert(table.id, Arc::clone(&entries));
+        Ok(entries)
+    }
+
+    /// Fetches (and caches) a table's fence index; `None` for v1 tables,
+    /// which have no index and fall back to full decodes. Reads only the
+    /// header and tail bytes of the table, not its blocks.
+    fn table_index(&self, table: &TableSnapshot) -> Result<Option<Arc<codec::TableIndex>>, LsmError> {
+        if let Some(cached) = self.index_lookup(table.id) {
+            return Ok(cached);
+        }
+        let total: usize = table.locators.iter().map(|l| l.len as usize).sum();
+        let header = self.read_table_slice(&table.locators, 0, total.min(codec::V2_HEADER_LEN))?;
+        let index = if codec::sstable_version(&header)? == codec::FORMAT_VERSION_V1 {
+            None
+        } else {
+            let trailer = self.read_table_slice(
+                &table.locators,
+                total.saturating_sub(codec::V2_TRAILER_LEN),
+                codec::V2_TRAILER_LEN.min(total),
+            )?;
+            let footer_off = codec::footer_offset(&trailer, total).map_err(LsmError::Codec)? as usize;
+            let footer = self.read_table_slice(
+                &table.locators,
+                footer_off,
+                total - codec::V2_TRAILER_LEN - footer_off,
+            )?;
+            Some(Arc::new(
+                codec::decode_index(&header, &footer, &trailer, total).map_err(LsmError::Codec)?,
+            ))
+        };
+        self.index_insert(table.id, index.clone());
+        Ok(index)
+    }
+
+    /// Reads one block of a v2 table through the decoded cache, decoding
+    /// only that block's bytes on a miss.
+    fn block_entries(
+        &self,
+        table: &TableSnapshot,
+        block: usize,
+        fence: &codec::BlockFence,
+    ) -> Result<Arc<Vec<codec::SsEntry>>, LsmError> {
+        if let Some(entries) = self.decoded_lookup_at(table.id, block as u32) {
+            coverage::hit("lsm.decoded.hit");
+            return Ok(entries);
+        }
+        coverage::hit("lsm.decoded.miss");
+        self.core.counters.block_decodes.inc();
+        self.core.counters.bytes_decoded.add(fence.len as u64);
+        self.core.counters.obs.trace().event(TraceEvent::TableLoad { table: table.id });
+        let bytes =
+            self.read_table_slice(&table.locators, fence.offset as usize, fence.len as usize)?;
+        let entries =
+            Arc::new(codec::decode_block(&bytes, fence).map_err(LsmError::Codec)?);
+        self.decoded_insert_at(table.id, block as u32, Arc::clone(&entries));
         Ok(entries)
     }
 
@@ -644,13 +827,51 @@ impl LsmIndex {
         Ok((locators, sched.join(&data_deps), sched.join(&full_deps), guards))
     }
 
-    /// Reads and reassembles a table from its chunks.
+    /// Reads and reassembles a whole table from its chunks, decoding
+    /// every entry (recovery, merges, and v1 tables; point gets on v2
+    /// tables use [`LsmIndex::block_entries`] instead).
     fn read_table(&self, locators: &[Locator]) -> Result<Vec<codec::SsEntry>, LsmError> {
         let mut bytes = Vec::new();
         for locator in locators {
             bytes.extend_from_slice(&self.core.cache.get(locator)?);
         }
+        self.core.counters.bytes_decoded.add(bytes.len() as u64);
         Ok(codec::decode_sstable(&bytes)?)
+    }
+
+    /// Reads the byte subrange `[off, off + len)` of a serialized table,
+    /// touching only the chunks that overlap it. Locator lengths are
+    /// payload lengths, so prefix sums give each chunk's position in the
+    /// reassembled table.
+    fn read_table_slice(
+        &self,
+        locators: &[Locator],
+        off: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, LsmError> {
+        let end = off + len;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = 0usize;
+        for locator in locators {
+            let chunk_end = pos + locator.len as usize;
+            if chunk_end > off && pos < end {
+                let bytes = self.core.cache.get(locator)?;
+                let from = off.saturating_sub(pos);
+                let to = (end - pos).min(bytes.len());
+                if from > bytes.len() || from > to {
+                    return Err(LsmError::Codec(CodecError::BadLength));
+                }
+                out.extend_from_slice(&bytes[from..to]);
+            }
+            pos = chunk_end;
+            if pos >= end {
+                break;
+            }
+        }
+        if out.len() != len {
+            return Err(LsmError::Codec(CodecError::BadLength));
+        }
+        Ok(out)
     }
 
     fn apply(&self, key: u128, value: IndexValue, data_dep: Dependency) -> Dependency {
@@ -825,7 +1046,31 @@ impl LsmIndex {
                     continue;
                 }
             }
-            let entries = self.table_entries(table)?;
+            self.core.counters.tables_consulted.inc();
+            let entries = if let Some(entries) = self.decoded_lookup(table.id) {
+                // A fully decoded table (fresh flush/compaction output)
+                // answers without consulting the fence index.
+                coverage::hit("lsm.decoded.hit");
+                Some(entries)
+            } else if let Some(index) = self.table_index(table)? {
+                // HOT-PATH-BEGIN(lsm-block-decode): the certified point
+                // lookup on a block-indexed table routes through the
+                // fence index to the one block that can hold the key and
+                // decodes only it — never the whole table.
+                match index.locate(key) {
+                    None => {
+                        coverage::hit("lsm.get.block_fence_skip");
+                        self.core.counters.block_fence_skips.inc();
+                        None
+                    }
+                    Some(b) => Some(self.block_entries(table, b, &index.fences[b])?),
+                }
+                // HOT-PATH-END(lsm-block-decode)
+            } else {
+                // v1 table: no index, decode it whole.
+                Some(self.table_entries(table)?)
+            };
+            let Some(entries) = entries else { continue };
             match entries.binary_search_by_key(&key, |(k, _)| *k) {
                 Ok(idx) => {
                     coverage::hit("lsm.get.sstable");
@@ -949,17 +1194,9 @@ impl LsmIndex {
             // Oldest table first so newer tables overwrite, memtable last.
             let mut failed = None;
             for table in overlapping.iter().rev() {
-                match self.table_entries(table) {
-                    Ok(entries) => {
-                        let from = entries.partition_point(|(k, _)| *k < start);
-                        for (k, v) in entries[from..].iter().take_while(|(k, _)| *k <= end) {
-                            merged.insert(*k, v.clone());
-                        }
-                    }
-                    Err(e) => {
-                        failed = Some(e);
-                        break;
-                    }
+                if let Err(e) = self.scan_table_range(table, start, end, &mut merged) {
+                    failed = Some(e);
+                    break;
                 }
             }
             if let Some(e) = failed {
@@ -980,6 +1217,44 @@ impl LsmIndex {
                 })
                 .collect());
         }
+    }
+
+    /// Merges one table's entries within `[start, end]` into `merged`.
+    /// On a block-indexed table the fence index seeks straight to the
+    /// overlapping blocks (a warm whole-table decode is used when
+    /// available); v1 tables decode whole.
+    fn scan_table_range(
+        &self,
+        table: &TableSnapshot,
+        start: u128,
+        end: u128,
+        merged: &mut BTreeMap<u128, IndexValue>,
+    ) -> Result<(), LsmError> {
+        if let Some(entries) = self.decoded_lookup(table.id) {
+            coverage::hit("lsm.decoded.hit");
+            let from = entries.partition_point(|(k, _)| *k < start);
+            for (k, v) in entries[from..].iter().take_while(|(k, _)| *k <= end) {
+                merged.insert(*k, v.clone());
+            }
+            return Ok(());
+        }
+        if let Some(index) = self.table_index(table)? {
+            for b in index.overlapping(start, end) {
+                coverage::hit("lsm.scan.block_seek");
+                let entries = self.block_entries(table, b, &index.fences[b])?;
+                let from = entries.partition_point(|(k, _)| *k < start);
+                for (k, v) in entries[from..].iter().take_while(|(k, _)| *k <= end) {
+                    merged.insert(*k, v.clone());
+                }
+            }
+            return Ok(());
+        }
+        let entries = self.table_entries(table)?;
+        let from = entries.partition_point(|(k, _)| *k < start);
+        for (k, v) in entries[from..].iter().take_while(|(k, _)| *k <= end) {
+            merged.insert(*k, v.clone());
+        }
+        Ok(())
     }
 
     /// All present keys in the merged view (invariant checks and control
@@ -1083,7 +1358,7 @@ impl LsmIndex {
         // references it.
         let entries: Vec<codec::SsEntry> =
             snapshot.iter().map(|(k, v, _)| (*k, v.clone())).collect();
-        let bytes = codec::encode_sstable(&entries);
+        let bytes = codec::encode_sstable(&entries, self.core.config.block_size);
         // The SSTable must not persist before the data its entries point
         // at (Fig. 2: index entry depends on shard data) — otherwise a
         // crash could recover an index referencing chunks that are not
@@ -1160,41 +1435,97 @@ impl LsmIndex {
         self.core.state.lock().reset_since_flush = true;
     }
 
-    /// Merges all tables into one, dropping shadowed entries and
-    /// tombstones, then rewrites the metadata record. Old table chunks
-    /// are marked dead for reclamation.
+    /// Runs one bounded round of size-tiered compaction: pick a
+    /// contiguous run of adjacent, similar-size tables (at most
+    /// [`MAX_COMPACTION_PICK`]), merge them newest-wins into one table,
+    /// and swap the run atomically under the table-list version. Old
+    /// table chunks are marked dead for reclamation. Tombstones are
+    /// dropped only when the run includes the oldest table — otherwise an
+    /// older table below the run could resurrect the deleted key.
+    ///
+    /// Each round's write amplification is bounded by the run (at most
+    /// `MAX_COMPACTION_PICK` tables), never O(total data); repeated
+    /// rounds converge the tree toward one table. With fewer than two
+    /// tables (or none pickable) the call is a no-op.
     pub fn compact(&self) -> Result<(), LsmError> {
-        type OldTables = Vec<(u64, Arc<[Locator]>)>;
         let _m = self.core.maintenance.lock();
-        let (old_tables, source_deps): (OldTables, Vec<Dependency>) = {
+        let (run, source_deps, includes_oldest) = {
             let st = self.core.state.lock();
-            (
-                st.tables.iter().map(|t| (t.id, Arc::clone(&t.locators))).collect(),
-                st.tables.iter().map(|t| t.data_dep.clone()).collect(),
-            )
+            let sizes: Vec<u64> = st
+                .tables
+                .iter()
+                .map(|t| t.locators.iter().map(|l| l.len as u64).sum())
+                .collect();
+            match pick_compaction(&sizes) {
+                None => {
+                    drop(st);
+                    coverage::hit("lsm.compact.trivial");
+                    return Ok(());
+                }
+                Some(range) => {
+                    let run: Vec<(u64, Arc<[Locator]>)> = st.tables[range.clone()]
+                        .iter()
+                        .map(|t| (t.id, Arc::clone(&t.locators)))
+                        .collect();
+                    let source_deps: Vec<Dependency> =
+                        st.tables[range.clone()].iter().map(|t| t.data_dep.clone()).collect();
+                    (run, source_deps, range.end == st.tables.len())
+                }
+            }
         };
-        if old_tables.len() < 2 {
-            coverage::hit("lsm.compact.trivial");
-            return Ok(());
-        }
-        // Merge newest-wins (oldest first so newer overwrite), dropping
-        // tombstones: after a full compaction nothing is shadowed, so a
-        // tombstone's only effect would be wasted space.
+        let bytes_in: u64 =
+            run.iter().map(|(_, ls)| ls.iter().map(|l| l.len as u64).sum::<u64>()).sum();
+        self.core.counters.compaction_picked.add(run.len() as u64);
+        self.core.counters.compaction_bytes_in.add(bytes_in);
+        self.core.counters.obs.trace().event(TraceEvent::CompactionStart {
+            picked: run.len() as u64,
+            bytes_in,
+        });
+        let result = self.compact_run(run, source_deps, includes_oldest);
+        self.core.counters.obs.trace().event(TraceEvent::CompactionEnd {
+            bytes_out: *result.as_ref().unwrap_or(&0),
+            tables_after: self.table_count() as u64,
+        });
+        result.map(|_| ())
+    }
+
+    /// The body of one compaction round, split out so the caller can
+    /// emit a matching `CompactionEnd` event on success and error alike.
+    /// Returns the merged table's serialized size.
+    fn compact_run(
+        &self,
+        run: Vec<(u64, Arc<[Locator]>)>,
+        source_deps: Vec<Dependency>,
+        includes_oldest: bool,
+    ) -> Result<u64, LsmError> {
+        // Merge newest-wins (oldest first so newer overwrite). Tombstones
+        // are dropped only when no table older than the run remains: a
+        // tombstone merged away above a live older entry would resurrect
+        // it.
         let mut merged: BTreeMap<u128, IndexValue> = BTreeMap::new();
-        for (_, locators) in old_tables.iter().rev() {
+        for (_, locators) in run.iter().rev() {
             for (k, v) in self.read_table(locators)? {
                 merged.insert(k, v);
             }
         }
-        merged.retain(|_, v| matches!(v, IndexValue::Present(_)));
+        if includes_oldest {
+            coverage::hit("lsm.compact.tombstones_dropped");
+            merged.retain(|_, v| matches!(v, IndexValue::Present(_)));
+        } else {
+            coverage::hit("lsm.compact.tombstones_kept");
+        }
         let entries: Vec<codec::SsEntry> = merged.into_iter().collect();
-        let bytes = codec::encode_sstable(&entries);
+        let bytes = codec::encode_sstable(&entries, self.core.config.block_size);
+        let bytes_out = bytes.len() as u64;
         // The merged table inherits the sources' obligations: it must not
         // persist before the data its entries (transitively) reference.
         let table_dep_in = self.scheduler().join(&source_deps);
         let (locators, table_data_dep, _table_full_dep, guards) =
             self.write_table_chunks(&bytes, &table_dep_in)?;
         let guards: Vec<PutGuard> = if self.core.faults.is(BugId::B14CompactionReclaimRace) {
+            // BUG B14 (seeded): the pins are released before the metadata
+            // references the new chunks — a concurrently scheduled
+            // reclamation finds them unreferenced and drops them.
             drop(guards);
             Vec::new()
         } else {
@@ -1205,15 +1536,23 @@ impl LsmIndex {
         shardstore_conc::yield_now();
         let entries = Arc::new(entries);
         let table_meta = self.table_meta_of(&entries);
+        let run_ids: std::collections::BTreeSet<u64> = run.iter().map(|(id, _)| *id).collect();
         let (new_id, live_ids) = {
             let mut st = self.core.state.lock();
-            // Only replace the tables we actually merged; a concurrent
-            // flush may have prepended newer ones.
-            let merged_ids: Vec<u64> = old_tables.iter().map(|(id, _)| *id).collect();
+            // Replace exactly the run, at its position: the merged table
+            // holds only the run's entries, so it must stay between the
+            // tables that were newer and older than the run (a concurrent
+            // flush may have prepended newer ones). Membership checks go
+            // through a set, not a per-table list scan.
+            let insert_at = st
+                .tables
+                .iter()
+                .position(|t| run_ids.contains(&t.id))
+                .unwrap_or(st.tables.len());
             let id = st.next_table_id;
             st.next_table_id += 1;
-            st.tables.retain(|t| !merged_ids.contains(&t.id));
-            st.tables.push(Table {
+            st.tables.retain(|t| !run_ids.contains(&t.id));
+            st.tables.insert(insert_at, Table {
                 id,
                 locators: locators.clone().into(),
                 meta: table_meta,
@@ -1221,19 +1560,20 @@ impl LsmIndex {
             });
             st.tables_version += 1;
             self.core.counters.compactions.inc();
-            (id, st.tables.iter().map(|t| t.id).collect::<Vec<u64>>())
+            (id, st.tables.iter().map(|t| t.id).collect::<std::collections::BTreeSet<u64>>())
         };
         self.decoded_insert(new_id, entries);
         self.decoded_prune(&live_ids);
+        self.core.counters.compaction_bytes_out.add(bytes_out);
         self.write_metadata(std::slice::from_ref(&table_data_dep))?;
-        for (_, locators) in &old_tables {
+        for (_, locators) in &run {
             for locator in locators.iter() {
                 self.core.cache.chunk_store().mark_dead(locator);
             }
         }
         drop(guards);
         coverage::hit("lsm.compact.done");
-        Ok(())
+        Ok(bytes_out)
     }
 
     /// Clean shutdown: flush the memtable and pump all IO to completion,
@@ -1264,6 +1604,22 @@ impl LsmIndex {
     /// Number of entries currently in the memtable (summed over shards).
     pub fn memtable_len(&self) -> usize {
         self.core.memtable.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Keys with unflushed memtable state, tombstones included — exactly
+    /// the keys whose latest mutation is lost if the process stops before
+    /// the next successful flush (e.g. a shutdown flush with no space
+    /// left to write the table).
+    pub fn memtable_keys(&self) -> Vec<u128> {
+        let mut keys: Vec<u128> = self
+            .core
+            .memtable
+            .iter()
+            .flat_map(|s| s.lock().keys().copied().collect::<Vec<_>>())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
     }
 
     /// Number of memtable shards in use.
@@ -1314,7 +1670,17 @@ impl LsmIndex {
     /// Reverse-lookup callback for LSM-tree extents (SSTable chunks) and
     /// metadata extents (metadata records).
     pub fn lsm_referencer(&self) -> LsmReferencer {
-        LsmReferencer { index: self.clone() }
+        LsmReferencer { index: self.clone(), meta_stale: std::cell::Cell::new(false) }
+    }
+}
+
+/// Maps a barrier-write failure to the chunk-level error reclamation
+/// reports. Flush and metadata writes can only fail at the chunk layer
+/// (encoding is infallible); the fallback arm is defensive.
+fn barrier_err(e: LsmError) -> ChunkError {
+    match e {
+        LsmError::Chunk(c) => c,
+        _ => ChunkError::NoSpace { requested: 0 },
     }
 }
 
@@ -1363,11 +1729,14 @@ impl Referencer for DataReferencer {
         self.index.put(key, rewritten, _copy_dep.clone())
     }
 
-    fn quiesce(&self) -> Option<Dependency> {
+    fn quiesce(&self) -> Result<Option<Dependency>, ChunkError> {
         // The reset must wait for an index state that no longer
         // references the dropped chunks: flush now and return the
-        // resulting metadata dependency.
-        self.index.flush().ok()
+        // resulting metadata dependency. A failed flush (say, no space
+        // for the table or record) must abort the reclamation — silently
+        // degrading the barrier would let a crash recover to an index
+        // whose entries dangle into the reset extent.
+        self.index.flush().map(Some).map_err(barrier_err)
     }
 }
 
@@ -1375,6 +1744,11 @@ impl Referencer for DataReferencer {
 #[derive(Debug, Clone)]
 pub struct LsmReferencer {
     index: LsmIndex,
+    /// Set when a relocation's metadata write failed: the persisted
+    /// record still references the old locations, so the quiescence
+    /// barrier must re-write it (or abort the reclamation) before any
+    /// reset may proceed.
+    meta_stale: std::cell::Cell<bool>,
 }
 
 impl Referencer for LsmReferencer {
@@ -1417,11 +1791,32 @@ impl Referencer for LsmReferencer {
         // the new location, ordered after the copy.
         match self.index.write_metadata(std::slice::from_ref(copy_dep)) {
             Ok(dep) => dep,
-            Err(_) => copy_dep.clone(),
+            Err(_) => {
+                // No space for the record right now. Remember that the
+                // persisted metadata is stale — quiesce() below retries
+                // the write and aborts the reclamation if it still
+                // cannot land, so the reset never outruns the record.
+                coverage::hit("lsm.referencer.meta_barrier_failed");
+                self.meta_stale.set(true);
+                copy_dep.clone()
+            }
         }
     }
 
-    fn quiesce(&self) -> Option<Dependency> {
-        self.index.core.state.lock().meta_dep.clone()
+    fn quiesce(&self) -> Result<Option<Dependency>, ChunkError> {
+        if self.meta_stale.get() {
+            // A relocation's metadata write failed, so every persisted
+            // record still points at the old locations. Retry once (the
+            // pass itself may have freed meta space); on failure abort
+            // the reclamation rather than reset under a stale record.
+            // Ordering is safe without explicit deps: the reset barrier
+            // separately joins every copy dependency, so a record that
+            // persists before its copies merely becomes an invalid
+            // record recovery skips.
+            let dep = self.index.write_metadata(&[]).map_err(barrier_err)?;
+            self.meta_stale.set(false);
+            return Ok(Some(dep));
+        }
+        Ok(self.index.core.state.lock().meta_dep.clone())
     }
 }

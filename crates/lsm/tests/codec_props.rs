@@ -22,6 +22,19 @@ fn value_strategy() -> impl Strategy<Value = IndexValue> {
     ]
 }
 
+/// Entry lists as the LSM produces them: sorted by key, keys unique
+/// (flush and compaction iterate a `BTreeMap`). The codec's contract —
+/// and what the block fence index validates on decode.
+fn entries_strategy(
+    min: usize,
+    max: usize,
+) -> impl Strategy<Value = Vec<(u128, IndexValue)>> {
+    proptest::collection::vec((any::<u128>(), value_strategy()), min..max).prop_map(|v| {
+        let m: std::collections::BTreeMap<u128, IndexValue> = v.into_iter().collect();
+        m.into_iter().collect::<Vec<_>>()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -32,10 +45,10 @@ proptest! {
         let _ = decode_metadata(&bytes);
     }
 
-    /// SSTables round-trip arbitrary entry lists.
+    /// SSTables round-trip arbitrary entry lists at arbitrary block sizes.
     #[test]
-    fn sstable_roundtrip(entries in proptest::collection::vec((any::<u128>(), value_strategy()), 0..30)) {
-        let bytes = encode_sstable(&entries);
+    fn sstable_roundtrip(entries in entries_strategy(0, 30), block_size in 1usize..20) {
+        let bytes = encode_sstable(&entries, block_size);
         prop_assert_eq!(decode_sstable(&bytes).unwrap(), entries);
     }
 
@@ -60,11 +73,12 @@ proptest! {
     /// Any single-byte corruption of an SSTable is detected.
     #[test]
     fn sstable_corruption_detected(
-        entries in proptest::collection::vec((any::<u128>(), value_strategy()), 1..10),
+        entries in entries_strategy(1, 10),
+        block_size in 1usize..8,
         pos_seed in any::<usize>(),
         xor in 1u8..=255,
     ) {
-        let bytes = encode_sstable(&entries);
+        let bytes = encode_sstable(&entries, block_size);
         let pos = pos_seed % bytes.len();
         let mut corrupt = bytes.clone();
         corrupt[pos] ^= xor;
@@ -74,10 +88,11 @@ proptest! {
     /// Truncating an SSTable at any point is detected.
     #[test]
     fn sstable_truncation_detected(
-        entries in proptest::collection::vec((any::<u128>(), value_strategy()), 1..10),
+        entries in entries_strategy(1, 10),
+        block_size in 1usize..8,
         cut_seed in any::<usize>(),
     ) {
-        let bytes = encode_sstable(&entries);
+        let bytes = encode_sstable(&entries, block_size);
         let cut = cut_seed % bytes.len();
         prop_assert!(decode_sstable(&bytes[..cut]).is_err());
     }

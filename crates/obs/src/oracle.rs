@@ -215,6 +215,71 @@ pub fn check_cache_coherence(records: &[TraceRecord]) -> Result<(), OracleViolat
     Ok(())
 }
 
+/// Compaction discipline: `CompactionStart` and `CompactionEnd` events
+/// strictly alternate beginning with a Start (the maintenance lock
+/// serializes rounds, and the round always emits its End — even on
+/// error); every Start picks at least two tables; and the round's output
+/// never exceeds its input by more than a fixed per-table framing slack
+/// (a merge can only shrink data — a round that *grows* it beyond
+/// headers would mean O(total-data) write amplification crept back in).
+pub fn check_compaction_discipline(records: &[TraceRecord]) -> Result<(), OracleViolation> {
+    /// Per-round headroom for block/footer framing when merging tiny
+    /// tables whose payloads don't amortize the fixed overhead.
+    const FRAMING_SLACK: u64 = 256;
+    let mut open: Option<(u64, u64)> = None; // (seq of Start, bytes_in)
+    for r in records {
+        match &r.event {
+            TraceEvent::CompactionStart { picked, bytes_in } => {
+                if let Some((start_seq, _)) = open {
+                    return Err(OracleViolation {
+                        oracle: "compaction_discipline",
+                        detail: format!(
+                            "compaction started at seq {} while the round from \
+                             seq {start_seq} never ended",
+                            r.seq
+                        ),
+                    });
+                }
+                if *picked < 2 {
+                    return Err(OracleViolation {
+                        oracle: "compaction_discipline",
+                        detail: format!(
+                            "compaction at seq {} picked {picked} tables; a round \
+                             must merge at least two",
+                            r.seq
+                        ),
+                    });
+                }
+                open = Some((r.seq, *bytes_in));
+            }
+            TraceEvent::CompactionEnd { bytes_out, .. } => {
+                let Some((_, bytes_in)) = open.take() else {
+                    return Err(OracleViolation {
+                        oracle: "compaction_discipline",
+                        detail: format!(
+                            "compaction end at seq {} without a matching start",
+                            r.seq
+                        ),
+                    });
+                };
+                if *bytes_out > bytes_in + FRAMING_SLACK {
+                    return Err(OracleViolation {
+                        oracle: "compaction_discipline",
+                        detail: format!(
+                            "compaction at seq {} wrote {bytes_out} bytes from \
+                             {bytes_in} bytes in — a merge must not grow its \
+                             input beyond framing slack",
+                            r.seq
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 /// Runs every oracle applicable to a deterministic run. `retry_budget`
 /// is the scheduler's configured in-call retry budget.
 pub fn check_all(log: &TraceLog, retry_budget: u32) -> Result<(), OracleViolation> {
@@ -223,6 +288,7 @@ pub fn check_all(log: &TraceLog, retry_budget: u32) -> Result<(), OracleViolatio
     check_retry_budget(&records, retry_budget)?;
     check_quarantine_isolation(&records)?;
     check_cache_coherence(&records)?;
+    check_compaction_discipline(&records)?;
     Ok(())
 }
 

@@ -168,6 +168,21 @@ pub enum TraceEvent {
         /// Table id.
         table: u64,
     },
+    /// A compaction round started: the picker chose a run of tables.
+    CompactionStart {
+        /// Tables in the picked run (always ≥ 2).
+        picked: u64,
+        /// Total serialized bytes of the picked tables.
+        bytes_in: u64,
+    },
+    /// The compaction round finished (emitted on success and error
+    /// alike, so Start/End strictly alternate in any complete trace).
+    CompactionEnd {
+        /// Serialized size of the merged output table (0 on error).
+        bytes_out: u64,
+        /// Live tables after the round.
+        tables_after: u64,
+    },
     /// A live chunk was relocated (reclamation or quarantine evacuation).
     Relocation {
         /// Source extent.
@@ -261,6 +276,12 @@ impl std::fmt::Display for TraceEvent {
                     write!(f, "lsm flush {entries} entries -> table {table}")
                 }
                 TraceEvent::TableLoad { table } => write!(f, "table {table} decoded"),
+                TraceEvent::CompactionStart { picked, bytes_in } => {
+                    write!(f, "compaction start picked {picked} tables ({bytes_in} bytes)")
+                }
+                TraceEvent::CompactionEnd { bytes_out, tables_after } => {
+                    write!(f, "compaction end {bytes_out} bytes out, {tables_after} tables live")
+                }
                 TraceEvent::Relocation { from_extent, to_extent } => {
                     write!(f, "relocated ext {from_extent} -> ext {to_extent}")
                 }

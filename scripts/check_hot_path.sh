@@ -21,7 +21,7 @@ if [ -z "$files" ]; then
   exit 1
 fi
 
-for tag in lsm-get store-read; do
+for tag in lsm-get store-read lsm-block-decode; do
   if ! grep -rq "HOT-PATH-BEGIN($tag)" crates --include='*.rs'; then
     echo "check_hot_path: certified region '$tag' is missing" >&2
     fail=1
