@@ -1,0 +1,108 @@
+//! Swarm-mode simulator driver: a batch of compressed-time seeds through
+//! the deterministic whole-system simulator, reporting simulated events
+//! per second and auto-minimizing any failing seed.
+//!
+//! ```sh
+//! cargo run --release -p shardstore-bench --bin sim_swarm -- [runs] [base-seed]
+//! ```
+//!
+//! `SHARDSTORE_SEED` overrides the base seed (the CI seed-matrix knob).
+//! On success the throughput baseline is written to `BENCH_sim.json`; on
+//! failure the minimized `(ops, schedule)` repro is written to
+//! `sim_swarm_minimized.txt` (the CI artifact) and the process exits
+//! non-zero.
+
+use shardstore_bench::{fmt_duration, row, rule};
+use shardstore_faults::coverage;
+use shardstore_harness::swarm::{run_swarm, SwarmConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let base_seed: u64 = std::env::var("SHARDSTORE_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s))
+        .or_else(|| args.get(2).and_then(|a| parse_seed(a)))
+        .unwrap_or(0x5EED);
+
+    coverage::enable();
+    println!("sim swarm: {runs} seeds starting at {base_seed:#x}\n");
+    let config = SwarmConfig { base_seed, runs, ..SwarmConfig::default() };
+    let outcome = run_swarm(&config);
+
+    let widths = [22, 16];
+    row(&["Metric", "Value"], &widths);
+    rule(&widths);
+    let s = &outcome.stats;
+    for (name, value) in [
+        ("seeds", runs as u64),
+        ("events", s.events),
+        ("ops applied", s.ops),
+        ("deliveries", s.deliveries),
+        ("timer ticks", s.ticks),
+        ("faults armed", s.faults_armed),
+        ("crash-restarts", s.crashes),
+    ] {
+        row(&[name, &value.to_string()], &widths);
+    }
+    row(
+        &[
+            "elapsed",
+            &fmt_duration(std::time::Duration::from_secs_f64(outcome.elapsed_secs)),
+        ],
+        &widths,
+    );
+    row(&["events/sec", &format!("{:.0}", outcome.events_per_sec())], &widths);
+
+    let cov = coverage::schedule_coverage();
+    println!("\nschedule coverage:\n{}", cov.render());
+    if !cov.all_groups_covered() {
+        eprintln!("warning: a schedule-coverage group is empty — widen the perturbation profile");
+    }
+
+    if !outcome.failures.is_empty() {
+        let mut report = String::new();
+        for f in &outcome.failures {
+            report.push_str(&format!(
+                "seed {:#x} ({} world): {}\nminimized to {} op(s):\n{}\n\n",
+                f.seed, f.world, f.message, f.minimized_ops, f.repro
+            ));
+        }
+        eprintln!("\n{} failing seed(s):\n{report}", outcome.failures.len());
+        if let Err(e) = std::fs::write("sim_swarm_minimized.txt", &report) {
+            eprintln!("could not write sim_swarm_minimized.txt: {e}");
+        } else {
+            eprintln!("minimized repro(s) written to sim_swarm_minimized.txt");
+        }
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "[\n  {{\"id\": \"sim_swarm/batch\", \"seeds\": {}, \"base_seed\": {}, \"events\": {}, \
+         \"ops\": {}, \"deliveries\": {}, \"ticks\": {}, \"faults_armed\": {}, \"crashes\": {}, \
+         \"elapsed_secs\": {:.4}, \"events_per_sec\": {:.1}}}\n]\n",
+        runs,
+        base_seed,
+        s.events,
+        s.ops,
+        s.deliveries,
+        s.ticks,
+        s.faults_armed,
+        s.crashes,
+        outcome.elapsed_secs,
+        outcome.events_per_sec(),
+    );
+    match std::fs::write("BENCH_sim.json", json) {
+        Ok(()) => println!("baseline written to BENCH_sim.json"),
+        Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

@@ -300,6 +300,24 @@ impl Engine {
     /// Starts the request plane over a node: one executor (and one
     /// worker) per disk slot.
     pub fn start(node: Node, config: EngineConfig) -> Self {
+        let engine = Self::start_manual(node, config);
+        let mut workers = engine.inner.workers.lock();
+        for exec in &engine.inner.executors {
+            let exec = Arc::clone(exec);
+            let node = engine.inner.node.clone();
+            workers.push(conc::thread::spawn(move || worker_loop(exec, node, config)));
+        }
+        drop(workers);
+        engine
+    }
+
+    /// Starts the request plane with *no* worker threads: admission and
+    /// routing work exactly as in [`Engine::start`], but queued jobs only
+    /// execute when the caller drives [`Engine::step_disk`] or
+    /// [`Engine::drain`]. This hooks the executors to simulated time —
+    /// a deterministic event loop decides when each disk's queue makes
+    /// progress, so batching and fan-out joins become replayable.
+    pub fn start_manual(node: Node, config: EngineConfig) -> Self {
         let executors: Vec<Arc<Executor>> =
             (0..node.disk_count()).map(|d| Executor::new(d as u32, node.disk_obs(d))).collect();
         let inner = Arc::new(EngineInner {
@@ -308,14 +326,43 @@ impl Engine {
             executors,
             workers: Mutex::new(Vec::new()),
         });
-        let mut workers = inner.workers.lock();
-        for exec in &inner.executors {
-            let exec = Arc::clone(exec);
-            let node = node.clone();
-            workers.push(conc::thread::spawn(move || worker_loop(exec, node, config)));
-        }
-        drop(workers);
         Engine { inner }
+    }
+
+    /// Manual mode: executes one dispatch round (a leading put run or a
+    /// single job) on `disk`'s queue, on the caller's thread. Returns
+    /// false when the queue was empty or the executor is paused.
+    pub fn step_disk(&self, disk: usize) -> bool {
+        let Some(exec) = self.inner.executors.get(disk) else {
+            return false;
+        };
+        let mut state = exec.state.lock();
+        if state.paused || state.queue.is_empty() {
+            return false;
+        }
+        let (mut run, single) = pop_round(&mut state, &self.inner.config);
+        exec.set_depth(state.queue.len());
+        drop(state);
+        dispatch_round(exec, &self.inner.node, &mut run, single);
+        true
+    }
+
+    /// Manual mode: steps every disk round-robin until all queues are
+    /// empty. Returns the number of dispatch rounds executed.
+    pub fn drain(&self) -> u64 {
+        let mut rounds = 0u64;
+        loop {
+            let mut progressed = false;
+            for disk in 0..self.inner.executors.len() {
+                while self.step_disk(disk) {
+                    rounds += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return rounds;
+            }
+        }
     }
 
     /// A client handle for this engine.
@@ -680,6 +727,36 @@ impl EngineInner {
     }
 }
 
+/// Pops one dispatch round off a non-empty queue: the leading run of
+/// consecutive puts (up to the batch window), or a single job. Only the
+/// *leading* run, so a get queued after a put is never answered from
+/// before it. Shared by the worker loop and manual stepping, so both
+/// modes batch identically.
+fn pop_round(state: &mut ExecState, config: &EngineConfig) -> (Vec<Job>, Option<Job>) {
+    let mut run = Vec::new();
+    while run.len() < config.batch_window
+        && matches!(
+            state.queue.front(),
+            Some(Job::Direct { req: Request::Put { .. }, .. })
+        )
+    {
+        run.push(state.queue.pop_front().expect("front checked"));
+    }
+    let single = if run.is_empty() { state.queue.pop_front() } else { None };
+    (run, single)
+}
+
+/// Executes one popped round.
+fn dispatch_round(exec: &Executor, node: &Node, run: &mut Vec<Job>, single: Option<Job>) {
+    if run.len() >= 2 {
+        execute_put_run(exec, node, std::mem::take(run));
+    } else if let Some(job) = run.pop() {
+        execute(exec, node, job);
+    } else if let Some(job) = single {
+        execute(exec, node, job);
+    }
+}
+
 fn worker_loop(exec: Arc<Executor>, node: Node, config: EngineConfig) {
     loop {
         let mut state = exec.state.lock();
@@ -692,29 +769,10 @@ fn worker_loop(exec: Arc<Executor>, node: Node, config: EngineConfig) {
             }
             continue;
         }
-        // Batched dispatch: take the leading run of consecutive puts (up
-        // to the batch window). Only the *leading* run, so a get queued
-        // after a put is never answered from before it.
-        let mut run = Vec::new();
-        while run.len() < config.batch_window
-            && matches!(
-                state.queue.front(),
-                Some(Job::Direct { req: Request::Put { .. }, .. })
-            )
-        {
-            run.push(state.queue.pop_front().expect("front checked"));
-        }
-        let single = if run.is_empty() { state.queue.pop_front() } else { None };
+        let (mut run, single) = pop_round(&mut state, &config);
         exec.set_depth(state.queue.len());
         drop(state);
-
-        if run.len() >= 2 {
-            execute_put_run(&exec, &node, run);
-        } else if let Some(job) = run.pop() {
-            execute(&exec, &node, job);
-        } else if let Some(job) = single {
-            execute(&exec, &node, job);
-        }
+        dispatch_round(&exec, &node, &mut run, single);
     }
 }
 

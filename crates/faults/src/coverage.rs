@@ -61,6 +61,80 @@ pub fn reset() {
     registry().lock().expect("coverage registry poisoned").clear();
 }
 
+/// Simulator schedule coverage: which fault kinds, operation kinds, and
+/// delivery perturbations the executed schedules actually exercised.
+///
+/// The deterministic simulator hits `sim.*` probes as it dispatches
+/// events — `sim.fault.*` when a disk fault arms, `sim.op.*` when a world
+/// applies/delivers an operation, and `sim.perturb.*` for schedule
+/// perturbations (ticks, crash-restarts, message drops and delays). A
+/// swarm run with zero coverage in one of these groups is sweeping a
+/// schedule space it never actually reaches (the paper's §8.3 coverage
+/// miss, recast for schedules).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleCoverage {
+    /// `sim.fault.*` probes: disk fault kinds armed.
+    pub fault_kinds: Vec<(&'static str, u64)>,
+    /// `sim.op.*` probes: operation kinds applied or delivered.
+    pub op_kinds: Vec<(&'static str, u64)>,
+    /// `sim.perturb.*` probes: delivery/timing perturbations exercised.
+    pub perturbations: Vec<(&'static str, u64)>,
+}
+
+impl ScheduleCoverage {
+    /// True when every group has at least one probe with a nonzero count.
+    pub fn all_groups_covered(&self) -> bool {
+        let nonzero = |v: &[(&'static str, u64)]| v.iter().any(|(_, n)| *n > 0);
+        nonzero(&self.fault_kinds) && nonzero(&self.op_kinds) && nonzero(&self.perturbations)
+    }
+
+    /// Total hits across all `sim.*` probes.
+    pub fn total_hits(&self) -> u64 {
+        [&self.fault_kinds, &self.op_kinds, &self.perturbations]
+            .into_iter()
+            .flatten()
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Renders a one-line-per-probe report, grouped, for logs and test
+    /// failure messages.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, group) in [
+            ("fault kinds", &self.fault_kinds),
+            ("op kinds", &self.op_kinds),
+            ("perturbations", &self.perturbations),
+        ] {
+            out.push_str(title);
+            out.push_str(":\n");
+            if group.is_empty() {
+                out.push_str("  (none)\n");
+            }
+            for (name, n) in group {
+                out.push_str(&format!("  {name}: {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Reports simulator schedule coverage from the current probe counts,
+/// grouped by the `sim.*` prefix families.
+pub fn schedule_coverage() -> ScheduleCoverage {
+    let mut cov = ScheduleCoverage::default();
+    for (name, n) in snapshot() {
+        if let Some(_rest) = name.strip_prefix("sim.fault.") {
+            cov.fault_kinds.push((name, n));
+        } else if let Some(_rest) = name.strip_prefix("sim.op.") {
+            cov.op_kinds.push((name, n));
+        } else if let Some(_rest) = name.strip_prefix("sim.perturb.") {
+            cov.perturbations.push((name, n));
+        }
+    }
+    cov
+}
+
 /// RAII guard that enables recording on construction and disables it (and
 /// clears counts) when dropped. Useful in tests.
 #[derive(Debug)]
@@ -120,6 +194,34 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn schedule_coverage_groups_sim_probes() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let _rec = Recording::start();
+        hit("sim.fault.transient");
+        hit("sim.op.put");
+        hit("sim.op.get");
+        hit("sim.perturb.drop");
+        hit("unrelated.probe");
+        let cov = schedule_coverage();
+        assert_eq!(cov.fault_kinds, vec![("sim.fault.transient", 1)]);
+        assert_eq!(cov.op_kinds, vec![("sim.op.get", 1), ("sim.op.put", 1)]);
+        assert_eq!(cov.perturbations, vec![("sim.perturb.drop", 1)]);
+        assert!(cov.all_groups_covered());
+        assert_eq!(cov.total_hits(), 4);
+        assert!(cov.render().contains("sim.op.put: 1"));
+    }
+
+    #[test]
+    fn schedule_coverage_reports_missing_groups() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let _rec = Recording::start();
+        hit("sim.op.put");
+        let cov = schedule_coverage();
+        assert!(!cov.all_groups_covered());
+        assert!(cov.render().contains("(none)"));
     }
 
     #[test]

@@ -195,25 +195,25 @@ fn is_no_space(e: &StoreError) -> bool {
 
 /// Runs a sequence of crash-free operations, checking conformance against
 /// the reference model after every step (Fig. 3's loop).
+///
+/// A thin frontend over the deterministic simulator: the empty (clean)
+/// schedule reproduces the historical straight-line loop event for
+/// event, so seeds keep finding the same bugs through the new entry
+/// point. Perturbed schedules go through
+/// [`crate::simulate::run_conformance_sim`].
 pub fn run_conformance(ops: &[KvOp], cfg: &ConformanceConfig) -> Result<RunReport, Divergence> {
-    let mut ctx = RunCtx::new(cfg);
-    let mut model = KvModel::new();
-    let page_size = cfg.geometry.page_size;
-    for (i, op) in ops.iter().enumerate() {
-        let step = apply_op(&mut ctx, &mut model, i, op, page_size, cfg)
-            .and_then(|()| check_invariants(&ctx, &model, i, op));
-        if let Err(d) = step {
-            return Err(d.with_timeline(&ctx.store));
-        }
-    }
-    Ok(RunReport {
-        ops: ops.len(),
-        skipped_no_space: ctx.skipped_no_space,
-        has_failed: ctx.has_failed,
-    })
+    let outcome = crate::simulate::run_conformance_sim(
+        ops,
+        cfg,
+        &shardstore_sim::SimSchedule::clean(),
+        &crate::simulate::SimOptions::default(),
+    )?;
+    Ok(outcome.report)
 }
 
-fn apply_op(
+/// One conformance step: applies `op` to both implementation and model
+/// and compares the outcomes (§4.1, with the §4.4 relaxation).
+pub(crate) fn apply_op(
     ctx: &mut RunCtx,
     model: &mut KvModel,
     i: usize,
@@ -540,7 +540,7 @@ pub(crate) fn compare_scan(
 
 /// The §4.1 invariant: implementation and model hold the same key-value
 /// mapping (relaxed to the no-corruption check after injected failures).
-fn check_invariants(
+pub(crate) fn check_invariants(
     ctx: &RunCtx,
     model: &KvModel,
     i: usize,

@@ -32,14 +32,34 @@ fn diverge(op_index: usize, op: &KvOp, detail: impl Into<String>) -> Divergence 
 /// Runs a sequence that may include dirty reboots, checking the §5
 /// persistence and forward-progress properties at every crash and clean
 /// shutdown.
+///
+/// A thin frontend over the deterministic simulator (clean schedule =
+/// the historical loop); perturbed schedules go through
+/// [`crate::simulate::run_crash_sim`].
 pub fn run_crash_consistency(
     ops: &[KvOp],
     cfg: &ConformanceConfig,
 ) -> Result<RunReport, Divergence> {
-    let mut ctx = RunCtx::new(cfg);
-    let mut model = CrashAwareKvModel::new(cfg.faults.clone());
+    let outcome = crate::simulate::run_crash_sim(
+        ops,
+        cfg,
+        &shardstore_sim::SimSchedule::clean(),
+        &crate::simulate::SimOptions::default(),
+    )?;
+    Ok(outcome.report)
+}
+
+/// One crash-consistency step (the historical loop body), shared by the
+/// frontend above and the simulator's crash world.
+pub(crate) fn crash_step(
+    ctx: &mut RunCtx,
+    model: &mut CrashAwareKvModel,
+    i: usize,
+    op: &KvOp,
+    cfg: &ConformanceConfig,
+) -> Result<(), Divergence> {
     let page_size = cfg.geometry.page_size;
-    for (i, op) in ops.iter().enumerate() {
+    {
         match op {
             KvOp::Get(kr) => {
                 let key = kr.resolve(&ctx.puts_so_far);
@@ -276,7 +296,7 @@ pub fn run_crash_consistency(
                 model.crash();
             }
             KvOp::DirtyReboot(rt) => {
-                dirty_reboot(&mut ctx, &mut model, i, op, rt)?;
+                dirty_reboot(ctx, model, i, op, rt)?;
             }
             KvOp::FailDiskOnce(raw) => {
                 let disk = ctx.store.scheduler().disk().clone();
@@ -285,14 +305,10 @@ pub fn run_crash_consistency(
             }
         }
     }
-    Ok(RunReport {
-        ops: ops.len(),
-        skipped_no_space: ctx.skipped_no_space,
-        has_failed: ctx.has_failed,
-    })
+    Ok(())
 }
 
-fn dirty_reboot(
+pub(crate) fn dirty_reboot(
     ctx: &mut RunCtx,
     model: &mut CrashAwareKvModel,
     i: usize,

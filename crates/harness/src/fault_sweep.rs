@@ -296,8 +296,108 @@ fn is_no_space(e: &StoreError) -> bool {
     )
 }
 
+/// The fault-sweep world: a store under one enumerated fault schedule,
+/// interpreted event by event through the deterministic simulator. The
+/// sweep has no network, so there is nothing to deliver — `apply`
+/// executes the operation directly, and the enumerated fault arms via
+/// the simulator's `ArmFault` event "immediately before" the scheduled
+/// operation, exactly where the historical loop armed it.
+struct SweepWorld<'a> {
+    ops: &'a [KvOp],
+    cfg: &'a SweepConfig,
+    ctx: SweepCtx,
+    obs: shardstore_obs::Obs,
+    schedule: FaultSchedule,
+}
+
+impl SweepWorld<'_> {
+    fn violation(&self, i: usize, detail: String) -> SweepViolation {
+        SweepViolation {
+            schedule: self.schedule,
+            sequence: 0,
+            op_index: i,
+            detail,
+            timeline: shardstore_obs::oracle::render_timeline_tail(
+                &self.obs.trace().snapshot(),
+                60,
+            ),
+        }
+    }
+}
+
+impl shardstore_sim::World for SweepWorld<'_> {
+    type Error = SweepViolation;
+
+    fn apply(
+        &mut self,
+        _ctx: &mut shardstore_sim::SimCtx<'_>,
+        i: usize,
+    ) -> Result<(), SweepViolation> {
+        let op = &self.ops[i];
+        shardstore_faults::coverage::hit(crate::simulate::kv_probe(op));
+        let page_size = self.cfg.geometry.page_size;
+        apply_swept_op(&mut self.ctx, i, op, page_size).map_err(|d| self.violation(i, d))?;
+        self.ctx.poll_acks(i).map_err(|d| self.violation(i, d))?;
+        check_step(&self.ctx, i).map_err(|d| self.violation(i, d))
+    }
+
+    fn arm_fault(&mut self, f: &shardstore_sim::FaultPoint) -> Result<(), SweepViolation> {
+        crate::simulate::arm_store_fault(&self.ctx.store, f, self.cfg.geometry.extent_count);
+        self.ctx.fault_armed = true;
+        Ok(())
+    }
+
+    fn settle(&mut self) -> Result<(), SweepViolation> {
+        // Settle: drive all remaining IO (absorbing leftover transient
+        // counts), then check acked durability one final time.
+        let n = self.ops.len();
+        for _ in 0..4 {
+            if self.ctx.store.pump().is_ok() {
+                break;
+            }
+        }
+        self.ctx.poll_acks(n).map_err(|d| self.violation(n, d))?;
+        check_acked_durability(&mut self.ctx, n).map_err(|d| self.violation(n, d))?;
+        // Trace-based oracles: re-derive the causal properties from the
+        // run's event log alone. A wrapped (truncated) trace cannot be
+        // certified and is skipped — never treated as a pass or a failure.
+        if let Ok(records) = shardstore_obs::oracle::certify(self.obs.trace()) {
+            let budget = shardstore_dependency::DEFAULT_RETRY_BUDGET;
+            let mut checks: Vec<(&str, Result<(), shardstore_obs::oracle::OracleViolation>)> = vec![
+                ("acked-durability", shardstore_obs::oracle::check_acked_durability(&records)),
+                ("retry-budget", shardstore_obs::oracle::check_retry_budget(&records, budget)),
+                ("cache-coherence", shardstore_obs::oracle::check_cache_coherence(&records)),
+                (
+                    "compaction-discipline",
+                    shardstore_obs::oracle::check_compaction_discipline(&records),
+                ),
+            ];
+            // Under background writeback the quarantine event (emitted by
+            // the writeback thread) and a concurrent cache hit on the main
+            // thread have no defined trace order, so the isolation oracle
+            // only holds in deterministic mode.
+            if !self.cfg.background_writeback {
+                checks.push((
+                    "quarantine-isolation",
+                    shardstore_obs::oracle::check_quarantine_isolation(&records),
+                ));
+            }
+            for (name, res) in checks {
+                if let Err(e) = res {
+                    return Err(self.violation(n, format!("trace oracle {name} failed: {e}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Runs one operation sequence under one fault schedule, checking all
 /// three sweep properties. Returns per-run observations on success.
+///
+/// A thin frontend over the deterministic simulator: the enumerated
+/// [`FaultSchedule`] becomes a one-point [`shardstore_sim::SimSchedule`]
+/// and [`SweepWorld`] carries the checker state.
 pub fn run_schedule(
     ops: &[KvOp],
     schedule: FaultSchedule,
@@ -310,7 +410,7 @@ pub fn run_schedule(
             shardstore_dependency::WritebackConfig::default(),
         ));
     }
-    let mut ctx = SweepCtx {
+    let ctx = SweepCtx {
         store,
         model: KvModel::new(),
         history: BTreeMap::new(),
@@ -322,77 +422,30 @@ pub fn run_schedule(
         degraded_reads: 0,
     };
     let obs = ctx.store.obs();
-    let violation = {
-        let obs = obs.clone();
-        move |i: usize, detail: String| SweepViolation {
-            schedule,
-            sequence: 0,
-            op_index: i,
-            detail,
-            timeline: shardstore_obs::oracle::render_timeline_tail(&obs.trace().snapshot(), 60),
-        }
-    };
-    let page_size = cfg.geometry.page_size;
     let retries_before = ctx.store.scheduler().stats().retries;
-    for (i, op) in ops.iter().enumerate() {
-        if i == schedule.op_index {
-            let disk = ctx.store.scheduler().disk().clone();
-            match schedule.kind {
-                FaultKind::Transient(n) => disk.inject_fail_times(schedule.extent, n),
-                FaultKind::Permanent => disk.inject_fail_always(schedule.extent),
-            }
-            ctx.fault_armed = true;
-        }
-        apply_swept_op(&mut ctx, i, op, page_size).map_err(|d| violation(i, d))?;
-        ctx.poll_acks(i).map_err(|d| violation(i, d))?;
-        check_step(&ctx, i).map_err(|d| violation(i, d))?;
-    }
-    // Settle: drive all remaining IO (absorbing leftover transient
-    // counts), then check acked durability one final time.
-    let n = ops.len();
-    for _ in 0..4 {
-        if ctx.store.pump().is_ok() {
-            break;
-        }
-    }
-    ctx.poll_acks(n).map_err(|d| violation(n, d))?;
-    check_acked_durability(&mut ctx, n).map_err(|d| violation(n, d))?;
-    // Trace-based oracles: re-derive the causal properties from the run's
-    // event log alone. A wrapped (truncated) trace cannot be certified and
-    // is skipped — never treated as a pass or a failure.
-    if let Ok(records) = shardstore_obs::oracle::certify(obs.trace()) {
-        let budget = shardstore_dependency::DEFAULT_RETRY_BUDGET;
-        let mut checks: Vec<(&str, Result<(), shardstore_obs::oracle::OracleViolation>)> = vec![
-            ("acked-durability", shardstore_obs::oracle::check_acked_durability(&records)),
-            ("retry-budget", shardstore_obs::oracle::check_retry_budget(&records, budget)),
-            ("cache-coherence", shardstore_obs::oracle::check_cache_coherence(&records)),
-            (
-                "compaction-discipline",
-                shardstore_obs::oracle::check_compaction_discipline(&records),
-            ),
-        ];
-        // Under background writeback the quarantine event (emitted by the
-        // writeback thread) and a concurrent cache hit on the main thread
-        // have no defined trace order, so the isolation oracle only holds
-        // in deterministic mode.
-        if !cfg.background_writeback {
-            checks.push((
-                "quarantine-isolation",
-                shardstore_obs::oracle::check_quarantine_isolation(&records),
-            ));
-        }
-        for (name, res) in checks {
-            if let Err(e) = res {
-                return Err(violation(n, format!("trace oracle {name} failed: {e}")));
-            }
-        }
-    }
+    let kind = match schedule.kind {
+        FaultKind::Transient(n) => shardstore_sim::SimFaultKind::Transient(n),
+        FaultKind::Permanent => shardstore_sim::SimFaultKind::Permanent,
+    };
+    // The raw extent is offset by one so the world's wrap into live
+    // geometry (`1 + raw % (extent_count - 1)`) lands exactly on the
+    // enumerated extent (schedules never target the superblock extent 0).
+    let sim_schedule = shardstore_sim::SimSchedule {
+        faults: vec![shardstore_sim::FaultPoint {
+            at_op: schedule.op_index,
+            extent: schedule.extent.0.saturating_sub(1),
+            kind,
+        }],
+        ..shardstore_sim::SimSchedule::clean()
+    };
+    let mut world = SweepWorld { ops, cfg, ctx, obs, schedule };
+    shardstore_sim::Simulator::run(&mut world, ops.len(), &sim_schedule)?;
     // A permanent schedule on an extent the run never touched simply never
     // quarantines: an uninteresting schedule, not a violation.
-    let retried = ctx.store.scheduler().stats().retries > retries_before;
-    let quarantined = !ctx.store.quarantined_extents().is_empty();
-    let acks = ctx.tracked.iter().filter(|t| t.acked).count() as u64;
-    Ok((retried, quarantined, ctx.degraded_reads, acks))
+    let retried = world.ctx.store.scheduler().stats().retries > retries_before;
+    let quarantined = !world.ctx.store.quarantined_extents().is_empty();
+    let acks = world.ctx.tracked.iter().filter(|t| t.acked).count() as u64;
+    Ok((retried, quarantined, world.ctx.degraded_reads, acks))
 }
 
 fn apply_swept_op(

@@ -28,6 +28,8 @@ pub mod node_conformance;
 pub mod node_rpc;
 pub mod minimize;
 pub mod ops;
+pub mod simulate;
+pub mod swarm;
 
 use shardstore_core::StoreError;
 

@@ -13,6 +13,8 @@
 //! are deterministic given the operation sequence, so "still fails" is
 //! well-defined.
 
+use shardstore_sim::SimSchedule;
+
 use crate::ops::{KvOp, ValueSpec};
 
 /// Size metrics of an operation sequence, matching the units of the §4.3
@@ -91,6 +93,145 @@ pub fn minimize(ops: &[KvOp], fails: impl Fn(&[KvOp]) -> bool) -> Vec<KvOp> {
                     current = candidate;
                     progress = true;
                 }
+            }
+        }
+    }
+    current
+}
+
+/// A simulator repro: the failing `(ops, schedule)` pair that fully
+/// describes one deterministic execution. This is the unit the
+/// simulator-aware auto-minimizer shrinks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRepro<Op> {
+    /// The operation sequence.
+    pub ops: Vec<Op>,
+    /// The fault/delivery schedule perturbing it.
+    pub schedule: SimSchedule,
+}
+
+/// Normalizes a failure message into a *failure class*: runs of digits
+/// collapse to `#`, so the same detector firing at a shifted op index or
+/// key (which shrinking causes constantly) still counts as the same
+/// failure, while a different detector does not.
+pub fn failure_class(message: &str) -> String {
+    let mut out = String::with_capacity(message.len());
+    let mut in_digits = false;
+    for c in message.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Minimizes a failing simulator repro. `fails` runs the repro and
+/// returns the failure message when it still fails (`None` = passes).
+///
+/// Shrinking is **removal-only** — delta-debugging chunk removal over the
+/// op sequence (with the schedule remapped through
+/// [`SimSchedule::remap_removed_ops`] so its points stay attached to the
+/// operations they perturb), removal of individual schedule points, and
+/// tick silencing. No operation is ever rewritten, so the result's op
+/// sequence is a strict subsequence of the original's, and a candidate
+/// is accepted only if it fails in the *same class* as the original —
+/// the minimizer never trades one bug for another, and never returns a
+/// passing repro.
+pub fn minimize_repro<Op: Clone>(
+    repro: &SimRepro<Op>,
+    fails: impl Fn(&SimRepro<Op>) -> Option<String>,
+) -> SimRepro<Op> {
+    let original = fails(repro).expect("minimize_repro called with a passing repro");
+    let target = failure_class(&original);
+    let still =
+        |cand: &SimRepro<Op>| fails(cand).map(|m| failure_class(&m) == target).unwrap_or(false);
+
+    let mut current = repro.clone();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        // Op chunk removal (delta debugging), schedule kept attached.
+        let mut chunk = (current.ops.len() / 2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < current.ops.len() {
+                let end = (start + chunk).min(current.ops.len());
+                let mut cand = current.clone();
+                cand.ops.drain(start..end);
+                cand.schedule.remap_removed_ops(start, end);
+                if !cand.ops.is_empty() && still(&cand) {
+                    current = cand;
+                    progress = true;
+                    start = 0;
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Schedule-point removal: each fault, crash, drop, and delay is
+        // individually optional.
+        let mut idx = 0;
+        while idx < current.schedule.faults.len() {
+            let mut cand = current.clone();
+            cand.schedule.faults.remove(idx);
+            if still(&cand) {
+                current = cand;
+                progress = true;
+            } else {
+                idx += 1;
+            }
+        }
+        let mut idx = 0;
+        while idx < current.schedule.crashes.len() {
+            let mut cand = current.clone();
+            cand.schedule.crashes.remove(idx);
+            if still(&cand) {
+                current = cand;
+                progress = true;
+            } else {
+                idx += 1;
+            }
+        }
+        let mut idx = 0;
+        while idx < current.schedule.drops.len() {
+            let mut cand = current.clone();
+            cand.schedule.drops.remove(idx);
+            if still(&cand) {
+                current = cand;
+                progress = true;
+            } else {
+                idx += 1;
+            }
+        }
+        let mut idx = 0;
+        while idx < current.schedule.delays.len() {
+            let mut cand = current.clone();
+            cand.schedule.delays.remove(idx);
+            if still(&cand) {
+                current = cand;
+                progress = true;
+            } else {
+                idx += 1;
+            }
+        }
+        // Tick silencing: a repro that fails without timer ticks is
+        // simpler.
+        if current.schedule.tick_every != 0 {
+            let mut cand = current.clone();
+            cand.schedule.tick_every = 0;
+            if still(&cand) {
+                current = cand;
+                progress = true;
             }
         }
     }

@@ -50,21 +50,83 @@ pub fn run_node_conformance(
 }
 
 /// Like [`run_node_conformance`] but against a caller-provided node.
+///
+/// A thin frontend over the deterministic simulator (clean schedule =
+/// the historical loop).
 pub fn run_node_conformance_on(
     ops: &[NodeOp],
     cfg: &ConformanceConfig,
     node: &Node,
 ) -> Result<(), Divergence> {
+    crate::simulate::run_node_sim_on(
+        ops,
+        cfg,
+        node,
+        &shardstore_sim::SimSchedule::clean(),
+        &crate::simulate::SimOptions::default(),
+    )
+    .map(|_| ())
+}
+
+/// Mutable checker state threaded through [`node_step`].
+pub(crate) struct NodeRunState {
+    pub model: KvModel,
+    pub puts_so_far: Vec<u128>,
+    pub removed: Vec<bool>,
+    pub skipped: usize,
+}
+
+impl NodeRunState {
+    pub fn new(node: &Node) -> Self {
+        Self {
+            model: KvModel::new(),
+            puts_so_far: Vec::new(),
+            removed: vec![false; node.disk_count()],
+            skipped: 0,
+        }
+    }
+}
+
+/// One control-plane conformance step (the historical loop body), shared
+/// by the frontend above and the simulator's node world.
+pub(crate) fn node_step(
+    st: &mut NodeRunState,
+    node: &Node,
+    cfg: &ConformanceConfig,
+    i: usize,
+    op: &NodeOp,
+) -> Result<(), Divergence> {
+    if node_step_op(st, node, cfg, i, op)? {
+        // The historical loop `continue`d past the catalog check for
+        // skipped batches; preserved verbatim.
+        return Ok(());
+    }
+    // Catalog/index consistency is an always-on invariant.
+    if let Err(detail) = node.check_catalog_consistent() {
+        return Err(diverge(i, op, detail));
+    }
+    Ok(())
+}
+
+/// The op dispatch itself; returns true when the historical loop would
+/// have `continue`d (skipping the catalog check).
+fn node_step_op(
+    st: &mut NodeRunState,
+    node: &Node,
+    cfg: &ConformanceConfig,
+    i: usize,
+    op: &NodeOp,
+) -> Result<bool, Divergence> {
     let _ = (Geometry::small(), StoreConfig::small());
-    let mut model = KvModel::new();
-    let mut puts_so_far: Vec<u128> = Vec::new();
-    let mut removed: Vec<bool> = vec![false; node.disk_count()];
+    let model = &mut st.model;
+    let puts_so_far = &mut st.puts_so_far;
+    let removed = &mut st.removed;
     let page_size = cfg.geometry.page_size;
-    let mut skipped = 0usize;
-    for (i, op) in ops.iter().enumerate() {
+    let skipped = &mut st.skipped;
+    {
         match op {
             NodeOp::Get(kr) => {
-                let key = kr.resolve(&puts_so_far);
+                let key = kr.resolve(puts_so_far);
                 let disk = node.route(key);
                 match node.get(key) {
                     Err(StoreError::OutOfService) if removed[disk] => {}
@@ -95,7 +157,7 @@ pub fn run_node_conformance_on(
                 }
             }
             NodeOp::Put(kr, spec) => {
-                let key = kr.resolve(&puts_so_far);
+                let key = kr.resolve(puts_so_far);
                 let disk = node.route(key);
                 let value = Arc::new(spec.materialize(key, page_size));
                 match node.put(key, &value) {
@@ -107,19 +169,19 @@ pub fn run_node_conformance_on(
                         puts_so_far.push(key);
                     }
                     Err(StoreError::OutOfService) if removed[disk] => {}
-                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) if is_no_space(&e) => *skipped += 1,
                     Err(e) => return Err(diverge(i, op, format!("put failed: {e}"))),
                 }
             }
             NodeOp::Delete(kr) => {
-                let key = kr.resolve(&puts_so_far);
+                let key = kr.resolve(puts_so_far);
                 let disk = node.route(key);
                 match node.delete(key) {
                     Ok(_) => {
                         model.delete(key);
                     }
                     Err(StoreError::OutOfService) if removed[disk] => {}
-                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) if is_no_space(&e) => *skipped += 1,
                     Err(e) => return Err(diverge(i, op, format!("delete failed: {e}"))),
                 }
             }
@@ -143,7 +205,7 @@ pub fn run_node_conformance_on(
                 match node.remove_disk(disk) {
                     Ok(()) => removed[disk] = true,
                     Err(StoreError::OutOfService) if removed[disk] => {}
-                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) if is_no_space(&e) => *skipped += 1,
                     Err(e) => return Err(diverge(i, op, format!("remove_disk failed: {e}"))),
                 }
             }
@@ -174,7 +236,7 @@ pub fn run_node_conformance_on(
                             }
                         }
                     }
-                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) if is_no_space(&e) => *skipped += 1,
                     Err(e) => return Err(diverge(i, op, format!("return_disk failed: {e}"))),
                 }
             }
@@ -182,14 +244,14 @@ pub fn run_node_conformance_on(
                 let resolved: Vec<(u128, Vec<u8>)> = batch
                     .iter()
                     .map(|(kr, spec)| {
-                        let key = kr.resolve(&puts_so_far);
+                        let key = kr.resolve(puts_so_far);
                         (key, spec.materialize(key, page_size))
                     })
                     .collect();
                 // Skip batches touching removed disks (the control plane
                 // would not target them).
                 if resolved.iter().any(|(k, _)| removed[node.route(*k)]) {
-                    continue;
+                    return Ok(true);
                 }
                 match node.bulk_create(&resolved) {
                     Ok(_) => {
@@ -198,15 +260,15 @@ pub fn run_node_conformance_on(
                             puts_so_far.push(key);
                         }
                     }
-                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) if is_no_space(&e) => *skipped += 1,
                     Err(e) => return Err(diverge(i, op, format!("bulk create failed: {e}"))),
                 }
             }
             NodeOp::BulkRemove(batch) => {
                 let resolved: Vec<u128> =
-                    batch.iter().map(|kr| kr.resolve(&puts_so_far)).collect();
+                    batch.iter().map(|kr| kr.resolve(puts_so_far)).collect();
                 if resolved.iter().any(|k| removed[node.route(*k)]) {
-                    continue;
+                    return Ok(true);
                 }
                 match node.bulk_remove(&resolved) {
                     Ok(_) => {
@@ -214,24 +276,24 @@ pub fn run_node_conformance_on(
                             model.delete(key);
                         }
                     }
-                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) if is_no_space(&e) => *skipped += 1,
                     Err(e) => return Err(diverge(i, op, format!("bulk remove failed: {e}"))),
                 }
             }
             NodeOp::Migrate(kr, d) => {
-                let key = kr.resolve(&puts_so_far);
+                let key = kr.resolve(puts_so_far);
                 let to_disk = *d as usize % node.disk_count();
                 let from_disk = node.route(key);
                 if removed[from_disk] || removed[to_disk] {
                     match node.migrate(key, to_disk) {
                         Err(StoreError::OutOfService) => {}
-                        Err(e) if is_no_space(&e) => skipped += 1,
+                        Err(e) if is_no_space(&e) => *skipped += 1,
                         Err(e) => {
                             return Err(diverge(i, op, format!("migrate failed: {e}")))
                         }
                         Ok(_) => {}
                     }
-                    continue;
+                    return Ok(true);
                 }
                 match node.migrate(key, to_disk) {
                     Ok(_) => {
@@ -258,16 +320,12 @@ pub fn run_node_conformance_on(
                             return Err(diverge(i, op, "placement not updated"));
                         }
                     }
-                    Err(e) if is_no_space(&e) => skipped += 1,
+                    Err(e) if is_no_space(&e) => *skipped += 1,
                     Err(e) => return Err(diverge(i, op, format!("migrate failed: {e}"))),
                 }
             }
         }
-        // Catalog/index consistency is an always-on invariant.
-        if let Err(detail) = node.check_catalog_consistent() {
-            return Err(diverge(i, op, detail));
-        }
     }
     let _ = skipped;
-    Ok(())
+    Ok(false)
 }

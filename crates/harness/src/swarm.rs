@@ -1,0 +1,186 @@
+//! Swarm simulation: batches of compressed-time seeds (ISSUE 8).
+//!
+//! One swarm run is a batch of seeds; each seed deterministically derives
+//! an operation sequence (via the §4.2 biased strategies) *and* a
+//! perturbed fault/delivery schedule, and drives one simulated execution
+//! through [`crate::simulate`]. Seeds alternate between the
+//! crash-consistency world (a store under dirty restarts, armed disk
+//! faults, and timer ticks) and the request-plane world (the node
+//! alphabet through a manual-mode engine with message drops, delays, and
+//! reorders). Logical time is compressed — a run's wall-clock cost is
+//! only the work its events do — so throughput is reported in simulated
+//! events per second.
+//!
+//! A clean, bug-free build must survive every seed: any failure here is
+//! either a real bug or a checker bug, and the reproducing
+//! `(seed, world)` pair plus the auto-minimized repro is the artifact to
+//! keep.
+
+use shardstore_sim::{PerturbProfile, SimSchedule, SwarmStats};
+
+use crate::conformance::ConformanceConfig;
+use crate::detect::sample_sequences;
+use crate::gen::{kv_ops, node_ops, GenConfig};
+use crate::minimize::{minimize_repro, SimRepro};
+use crate::ops::{KvOp, NodeOp};
+use crate::simulate::{run_crash_sim, run_rpc_sim, SimOptions};
+
+/// Swarm batch configuration.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// First seed of the batch; seed `k` of the batch is `base_seed + k`.
+    pub base_seed: u64,
+    /// Number of seeds to run.
+    pub runs: usize,
+    /// Perturbation intensity for every derived schedule.
+    pub profile: PerturbProfile,
+    /// Disks per node in request-plane runs.
+    pub num_disks: usize,
+    /// Auto-minimize failing repros before reporting them.
+    pub minimize_failures: bool,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        Self {
+            base_seed: 0x5EED,
+            runs: 16,
+            profile: PerturbProfile::default(),
+            num_disks: 3,
+            minimize_failures: true,
+        }
+    }
+}
+
+/// One failing seed, with its (optionally minimized) repro rendered.
+#[derive(Debug, Clone)]
+pub struct SwarmFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// Which world failed (`"crash"` or `"rpc"`).
+    pub world: &'static str,
+    /// The failure message from the first (unminimized) run.
+    pub message: String,
+    /// Rendering of the minimized `(ops, schedule)` repro (the original
+    /// repro when minimization is disabled).
+    pub repro: String,
+    /// Operations in the minimized repro.
+    pub minimized_ops: usize,
+}
+
+/// The outcome of one swarm batch.
+#[derive(Debug, Clone)]
+pub struct SwarmOutcome {
+    /// Aggregated event statistics across the batch.
+    pub stats: SwarmStats,
+    /// Wall-clock seconds the batch took.
+    pub elapsed_secs: f64,
+    /// Every failing seed (empty on a healthy build).
+    pub failures: Vec<SwarmFailure>,
+}
+
+impl SwarmOutcome {
+    /// Simulated events per wall-clock second across the batch.
+    pub fn events_per_sec(&self) -> f64 {
+        self.stats.events_per_sec(self.elapsed_secs)
+    }
+}
+
+/// Runs one crash-world seed; returns the failure message if it fails.
+fn run_crash_seed(
+    ops: &[KvOp],
+    schedule: &SimSchedule,
+    stats: &mut SwarmStats,
+) -> Option<String> {
+    let cfg = ConformanceConfig::default();
+    match run_crash_sim(ops, &cfg, schedule, &SimOptions::default()) {
+        Ok(outcome) => {
+            stats.absorb(&outcome.sim);
+            None
+        }
+        Err(d) => Some(d.to_string()),
+    }
+}
+
+/// Runs one request-plane seed; returns the failure message if it fails.
+fn run_rpc_seed(
+    ops: &[NodeOp],
+    schedule: &SimSchedule,
+    num_disks: usize,
+    stats: &mut SwarmStats,
+) -> Option<String> {
+    let cfg = ConformanceConfig::default();
+    match run_rpc_sim(ops, &cfg, num_disks, schedule, &SimOptions::default()) {
+        Ok(outcome) => {
+            stats.absorb(&outcome.sim);
+            None
+        }
+        Err(d) => Some(d.to_string()),
+    }
+}
+
+/// Runs a swarm batch: `runs` seeds, alternating worlds, perturbed
+/// schedules, auto-minimization on failure.
+pub fn run_swarm(config: &SwarmConfig) -> SwarmOutcome {
+    let started = std::time::Instant::now();
+    let mut stats = SwarmStats::default();
+    let mut failures = Vec::new();
+    for k in 0..config.runs {
+        let seed = config.base_seed.wrapping_add(k as u64);
+        if k % 2 == 0 {
+            let ops: Vec<KvOp> = sample_sequences(kv_ops(GenConfig::crash()), seed, 1)
+                .next()
+                .expect("one sequence");
+            let schedule = SimSchedule::perturbed(seed, ops.len(), &config.profile);
+            if let Some(message) = run_crash_seed(&ops, &schedule, &mut stats) {
+                let repro = SimRepro { ops, schedule };
+                let minimized = if config.minimize_failures {
+                    minimize_repro(&repro, |cand| {
+                        let mut scratch = SwarmStats::default();
+                        run_crash_seed(&cand.ops, &cand.schedule, &mut scratch)
+                    })
+                } else {
+                    repro
+                };
+                failures.push(SwarmFailure {
+                    seed,
+                    world: "crash",
+                    message,
+                    repro: format!(
+                        "ops: {:#?}\nschedule: {:#?}",
+                        minimized.ops, minimized.schedule
+                    ),
+                    minimized_ops: minimized.ops.len(),
+                });
+            }
+        } else {
+            let ops: Vec<NodeOp> = sample_sequences(node_ops(GenConfig::conformance()), seed, 1)
+                .next()
+                .expect("one sequence");
+            let schedule = SimSchedule::perturbed(seed, ops.len(), &config.profile);
+            let disks = config.num_disks;
+            if let Some(message) = run_rpc_seed(&ops, &schedule, disks, &mut stats) {
+                let repro = SimRepro { ops, schedule };
+                let minimized = if config.minimize_failures {
+                    minimize_repro(&repro, |cand| {
+                        let mut scratch = SwarmStats::default();
+                        run_rpc_seed(&cand.ops, &cand.schedule, disks, &mut scratch)
+                    })
+                } else {
+                    repro
+                };
+                failures.push(SwarmFailure {
+                    seed,
+                    world: "rpc",
+                    message,
+                    repro: format!(
+                        "ops: {:#?}\nschedule: {:#?}",
+                        minimized.ops, minimized.schedule
+                    ),
+                    minimized_ops: minimized.ops.len(),
+                });
+            }
+        }
+    }
+    SwarmOutcome { stats, elapsed_secs: started.elapsed().as_secs_f64(), failures }
+}

@@ -1,0 +1,71 @@
+//! Swarm smoke tests (ISSUE 8): a batch of compressed-time seeds through
+//! the deterministic simulator must find nothing on a bug-free build
+//! (zero false positives), and the schedules it executes must actually
+//! exercise every coverage group — fault kinds, operation kinds, and
+//! delivery perturbations. Losing a group means the swarm is sweeping a
+//! schedule space it never reaches (the §8.3 coverage-miss failure mode,
+//! recast for schedules).
+
+use shardstore_faults::coverage;
+use shardstore_harness::conformance::ConformanceConfig;
+use shardstore_harness::detect::sample_sequences;
+use shardstore_harness::gen::{kv_ops, node_ops, GenConfig};
+use shardstore_harness::ops::{KvOp, NodeOp};
+use shardstore_harness::simulate::{
+    run_conformance_sim, run_crash_sim, run_node_sim, run_rpc_sim, SimOptions,
+};
+use shardstore_harness::swarm::{run_swarm, SwarmConfig};
+use shardstore_sim::SimSchedule;
+
+#[test]
+fn swarm_finds_nothing_on_a_clean_build_and_covers_every_group() {
+    let _rec = coverage::Recording::start();
+    let config = SwarmConfig { runs: 8, ..SwarmConfig::default() };
+    let outcome = run_swarm(&config);
+    let rendered: Vec<String> = outcome
+        .failures
+        .iter()
+        .map(|f| format!("seed {:#x} ({}): {}\n{}", f.seed, f.world, f.message, f.repro))
+        .collect();
+    assert!(
+        outcome.failures.is_empty(),
+        "swarm found {} false positives on a bug-free build:\n{}",
+        outcome.failures.len(),
+        rendered.join("\n---\n")
+    );
+    assert!(outcome.stats.events > 0, "swarm dispatched no events");
+    assert!(outcome.stats.ops > 0, "swarm applied no operations");
+    let cov = coverage::schedule_coverage();
+    assert!(
+        cov.all_groups_covered(),
+        "swarm schedules left a coverage group empty:\n{}",
+        cov.render()
+    );
+}
+
+#[test]
+fn clean_schedules_have_zero_false_positives_across_seeds() {
+    // The acceptance bar: ≥ 4 seeds, clean schedules, every world —
+    // nothing may fire on a bug-free build.
+    let cfg = ConformanceConfig::default();
+    let opts = SimOptions::default();
+    let clean = SimSchedule::clean();
+    for seed in [0x0BAD_5EED_0001u64, 0x0BAD_5EED_0002, 0x0BAD_5EED_0003, 0x0BAD_5EED_0004] {
+        let kv: Vec<KvOp> = sample_sequences(kv_ops(GenConfig::conformance()), seed, 1)
+            .next()
+            .expect("one sequence");
+        run_conformance_sim(&kv, &cfg, &clean, &opts)
+            .unwrap_or_else(|d| panic!("conformance false positive at seed {seed:#x}: {d}"));
+        let kv: Vec<KvOp> =
+            sample_sequences(kv_ops(GenConfig::crash()), seed, 1).next().expect("one sequence");
+        run_crash_sim(&kv, &cfg, &clean, &opts)
+            .unwrap_or_else(|d| panic!("crash false positive at seed {seed:#x}: {d}"));
+        let node: Vec<NodeOp> = sample_sequences(node_ops(GenConfig::conformance()), seed, 1)
+            .next()
+            .expect("one sequence");
+        run_node_sim(&node, &cfg, 3, &clean, &opts)
+            .unwrap_or_else(|d| panic!("node false positive at seed {seed:#x}: {d}"));
+        run_rpc_sim(&node, &cfg, 3, &clean, &opts)
+            .unwrap_or_else(|d| panic!("rpc false positive at seed {seed:#x}: {d}"));
+    }
+}

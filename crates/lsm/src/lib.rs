@@ -564,7 +564,30 @@ impl LsmIndex {
         let none = index.scheduler().none();
         let mut tables = Vec::with_capacity(record.tables.len());
         for t in &record.tables {
-            let entries = Arc::new(index.read_table(&t.locators)?);
+            // A table chunk that reads back `NotFound` or degraded names
+            // data this node can never serve again: either the chunk
+            // write was lost to an extent quarantine before persisting
+            // (`prune_doomed_pending` deliberately lets the metadata
+            // record proceed with the dangling reference, and every
+            // entry promise sealed over the lost write stays
+            // unacknowledged forever), or the extent died under the
+            // data afterwards. Either way §4.4 scopes the damage to
+            // that extent: drop the table and keep the node alive,
+            // rather than turning one dead extent into node death.
+            // Other errors (transient IO, detected corruption) still
+            // fail recovery loudly — a retry can succeed, and silently
+            // dropping a *readable* table would discard acknowledged
+            // data.
+            let entries = match index.read_table(&t.locators) {
+                Ok(e) => Arc::new(e),
+                Err(LsmError::Chunk(e))
+                    if e.is_degraded() || matches!(e, ChunkError::NotFound(_)) =>
+                {
+                    coverage::hit("lsm.recover.dropped_unreadable_table");
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let meta = index.table_meta_of(&entries);
             index.decoded_insert(t.id, Arc::clone(&entries));
             tables.push(Table {

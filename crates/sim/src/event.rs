@@ -1,0 +1,114 @@
+//! The unified event queue.
+//!
+//! Events are ordered by `(time, seq)`: logical time first, insertion
+//! order as the tiebreak. The tiebreak is what makes the loop
+//! deterministic — two events scheduled for the same instant always pop
+//! in the order they were scheduled, independent of heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at logical time `time`.
+    pub fn push(&mut self, time: u64, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, event }));
+    }
+
+    /// Pops the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse(s)| (s.time, s.event))
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..8u32 {
+            q.push(5, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10, 1u32);
+        q.push(5, 0);
+        assert_eq!(q.pop(), Some((5, 0)));
+        q.push(7, 2);
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert!(q.is_empty());
+    }
+}

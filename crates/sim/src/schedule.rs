@@ -1,0 +1,230 @@
+//! The fault/delivery schedule vocabulary.
+//!
+//! A [`SimSchedule`] is everything about an execution that is *not* the
+//! operation sequence: which disk faults arm and when, where the node
+//! crash-restarts, which messages are dropped or delayed, and how often
+//! the timer ticks. A failing seed is fully described by the pair
+//! `(ops, schedule)` — which is exactly the pair the auto-minimizer
+//! shrinks — and a `clean()` schedule reproduces the old straight-line
+//! harness loops event for event.
+
+use crate::rng::SimRng;
+
+/// The kind of disk fault a schedule point arms (the fault-sweep
+/// vocabulary, shared by every world).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimFaultKind {
+    /// The next `n` IOs to the extent fail transiently.
+    Transient(u32),
+    /// Every IO to the extent fails until cleared (quarantine expected).
+    Permanent,
+}
+
+/// A disk fault armed immediately before an operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// The fault arms immediately before this operation index.
+    pub at_op: usize,
+    /// Raw target extent (worlds wrap it into the live geometry).
+    pub extent: u32,
+    /// What kind of fault fires.
+    pub kind: SimFaultKind,
+}
+
+/// A whole-node crash-restart injected after an operation completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The crash fires after this operation index completes (and before
+    /// the next one starts).
+    pub at_op: usize,
+    /// Survival mask over the disk's volatile pages at crash time (bit
+    /// `i % 64` decides whether the i-th cached page survives).
+    pub keep_mask: u64,
+}
+
+/// Perturbation intensity knobs for [`SimSchedule::perturbed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerturbProfile {
+    /// Insert a timer tick after every `tick_every` operations (0 = no
+    /// ticks).
+    pub tick_every: usize,
+    /// Number of disk-fault points to draw.
+    pub faults: usize,
+    /// Number of crash-restart points to draw.
+    pub crashes: usize,
+    /// Per-message drop probability in per-mille (delivery worlds only).
+    pub drop_per_mille: u32,
+    /// Per-message delay probability in per-mille (delivery worlds only).
+    pub delay_per_mille: u32,
+    /// Maximum delivery delay in logical ticks; delayed messages draw
+    /// uniformly from `1..=max_delay`, which reorders them past later
+    /// sends (one op is [`crate::sim::OP_SPACING`] ticks).
+    pub max_delay: u64,
+}
+
+impl Default for PerturbProfile {
+    fn default() -> Self {
+        Self {
+            tick_every: 5,
+            faults: 1,
+            crashes: 1,
+            drop_per_mille: 50,
+            delay_per_mille: 100,
+            max_delay: 64,
+        }
+    }
+}
+
+/// A complete fault/delivery schedule for one simulated execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimSchedule {
+    /// Disk faults to arm, by operation index.
+    pub faults: Vec<FaultPoint>,
+    /// Whole-node crash-restarts, by operation index.
+    pub crashes: Vec<CrashPoint>,
+    /// Timer ticks after every `tick_every` operations (0 = none).
+    pub tick_every: usize,
+    /// Message indices (equal to op indices in delivery worlds) whose
+    /// delivery is dropped entirely.
+    pub drops: Vec<usize>,
+    /// `(message index, delay in ticks)` pairs: the message is delivered
+    /// late, possibly after later sends (reordering).
+    pub delays: Vec<(usize, u64)>,
+}
+
+impl SimSchedule {
+    /// The empty schedule: no faults, no crashes, no ticks, perfect
+    /// delivery. Frontends use this to reproduce the pre-simulator
+    /// harness loops exactly.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// True when the schedule perturbs nothing.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+            && self.crashes.is_empty()
+            && self.tick_every == 0
+            && self.drops.is_empty()
+            && self.delays.is_empty()
+    }
+
+    /// Draws a perturbed schedule for an `n_ops`-operation sequence.
+    /// Deterministic: equal `(seed, n_ops, profile)` yield equal
+    /// schedules. Each perturbation class draws from a forked stream so
+    /// tuning one knob does not shift the others.
+    pub fn perturbed(seed: u64, n_ops: usize, profile: &PerturbProfile) -> Self {
+        let mut root = SimRng::new(seed);
+        let mut faults = Vec::new();
+        let mut fault_rng = root.fork(1);
+        for _ in 0..profile.faults {
+            let at_op = fault_rng.gen_range(n_ops.max(1) as u64) as usize;
+            let extent = fault_rng.gen_range(64) as u32;
+            let kind = match fault_rng.gen_range(3) {
+                0 => SimFaultKind::Transient(1),
+                1 => SimFaultKind::Transient(4),
+                _ => SimFaultKind::Permanent,
+            };
+            faults.push(FaultPoint { at_op, extent, kind });
+        }
+        let mut crashes = Vec::new();
+        let mut crash_rng = root.fork(2);
+        for _ in 0..profile.crashes {
+            let at_op = crash_rng.gen_range(n_ops.max(1) as u64) as usize;
+            let keep_mask = crash_rng.next_u64();
+            crashes.push(CrashPoint { at_op, keep_mask });
+        }
+        let mut drops = Vec::new();
+        let mut delays = Vec::new();
+        let mut net_rng = root.fork(3);
+        for m in 0..n_ops {
+            if net_rng.gen_bool_per_mille(profile.drop_per_mille) {
+                drops.push(m);
+            } else if net_rng.gen_bool_per_mille(profile.delay_per_mille) {
+                delays.push((m, 1 + net_rng.gen_range(profile.max_delay.max(1))));
+            }
+        }
+        Self { faults, crashes, tick_every: profile.tick_every, drops, delays }
+    }
+
+    /// Remaps every op-indexed schedule point after the operations in
+    /// `start..end` were removed from the sequence: points inside the
+    /// removed range clamp to `start`, later points shift down. This is
+    /// what lets the auto-minimizer shrink the op sequence without
+    /// detaching the schedule from the operations it perturbs.
+    pub fn remap_removed_ops(&mut self, start: usize, end: usize) {
+        debug_assert!(start <= end);
+        let removed = end - start;
+        let remap = |at: usize| {
+            if at < start {
+                at
+            } else if at < end {
+                start
+            } else {
+                at - removed
+            }
+        };
+        for f in &mut self.faults {
+            f.at_op = remap(f.at_op);
+        }
+        for c in &mut self.crashes {
+            c.at_op = remap(c.at_op);
+        }
+        // Dropped/delayed *messages* inside the removed range no longer
+        // exist (the message is the op); they are deleted, not clamped.
+        self.drops.retain(|m| !(start..end).contains(m));
+        for m in &mut self.drops {
+            *m = remap(*m);
+        }
+        self.delays.retain(|(m, _)| !(start..end).contains(m));
+        for (m, _) in &mut self.delays {
+            *m = remap(*m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_schedule_is_clean() {
+        assert!(SimSchedule::clean().is_clean());
+        let p = SimSchedule::perturbed(1, 20, &PerturbProfile::default());
+        assert!(!p.is_clean());
+    }
+
+    #[test]
+    fn perturbed_is_deterministic_per_seed() {
+        let profile = PerturbProfile::default();
+        let a = SimSchedule::perturbed(77, 40, &profile);
+        let b = SimSchedule::perturbed(77, 40, &profile);
+        assert_eq!(a, b);
+        let c = SimSchedule::perturbed(78, 40, &profile);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn remap_shifts_clamps_and_deletes() {
+        let mut s = SimSchedule {
+            faults: vec![
+                FaultPoint { at_op: 2, extent: 1, kind: SimFaultKind::Permanent },
+                FaultPoint { at_op: 5, extent: 1, kind: SimFaultKind::Permanent },
+                FaultPoint { at_op: 9, extent: 1, kind: SimFaultKind::Permanent },
+            ],
+            crashes: vec![CrashPoint { at_op: 6, keep_mask: 0 }],
+            tick_every: 0,
+            drops: vec![2, 5, 9],
+            delays: vec![(4, 10), (8, 10)],
+        };
+        // Remove ops 4..7 (three ops).
+        s.remap_removed_ops(4, 7);
+        assert_eq!(
+            s.faults.iter().map(|f| f.at_op).collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
+        assert_eq!(s.crashes[0].at_op, 4);
+        assert_eq!(s.drops, vec![2, 6]);
+        assert_eq!(s.delays, vec![(5, 10)]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Aggregate statistics for swarm runs (batches of compressed-time
+//! seeds).
+//!
+//! The substrate stays wall-clock-free: the harness measures elapsed
+//! real time around its batch and asks [`SwarmStats::events_per_sec`]
+//! for the throughput figure. Everything here is plain accumulation.
+
+use crate::sim::SimReport;
+
+/// Accumulated statistics across many simulated executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SwarmStats {
+    /// Executions completed.
+    pub runs: u64,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Total operations applied.
+    pub ops: u64,
+    /// Total fault points armed.
+    pub faults_armed: u64,
+    /// Total crash-restarts dispatched.
+    pub crashes: u64,
+    /// Total message deliveries dispatched.
+    pub deliveries: u64,
+    /// Total ticks dispatched.
+    pub ticks: u64,
+}
+
+impl SwarmStats {
+    /// Folds one execution's report into the batch totals.
+    pub fn absorb(&mut self, r: &SimReport) {
+        self.runs += 1;
+        self.events += r.events;
+        self.ops += r.ops;
+        self.faults_armed += r.faults_armed;
+        self.crashes += r.crashes;
+        self.deliveries += r.deliveries;
+        self.ticks += r.ticks;
+    }
+
+    /// Simulated events per wall-clock second over `elapsed_secs`.
+    pub fn events_per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / elapsed_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut s = SwarmStats::default();
+        let r = SimReport { events: 10, ops: 5, ticks: 1, ..Default::default() };
+        s.absorb(&r);
+        s.absorb(&r);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.events, 20);
+        assert_eq!(s.ops, 10);
+        assert_eq!(s.ticks, 2);
+    }
+
+    #[test]
+    fn throughput_handles_zero_elapsed() {
+        let mut s = SwarmStats::default();
+        s.events = 1000;
+        assert_eq!(s.events_per_sec(0.0), 0.0);
+        assert!((s.events_per_sec(2.0) - 500.0).abs() < f64::EPSILON);
+    }
+}

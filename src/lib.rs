@@ -107,5 +107,9 @@ pub use shardstore_conc as conc;
 /// The property-based validation harnesses.
 pub use shardstore_harness as harness;
 
+/// The deterministic whole-system simulator substrate (logical time,
+/// event queue, fault/delivery schedules).
+pub use shardstore_sim as sim;
+
 /// Deterministic metrics, structured event tracing, and trace oracles.
 pub use shardstore_obs as obs;

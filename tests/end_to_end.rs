@@ -3,6 +3,12 @@
 
 use shardstore::chunk::Stream;
 use shardstore::faults::{coverage, FaultConfig};
+use shardstore::harness::detect::sample_sequences;
+use shardstore::harness::gen::{node_ops, GenConfig};
+use shardstore::harness::simulate::{run_node_sim, run_rpc_sim, SimOptions};
+use shardstore::harness::swarm::{run_swarm, SwarmConfig};
+use shardstore::harness::ConformanceConfig;
+use shardstore::sim::{PerturbProfile, SimSchedule};
 use shardstore::vdisk::{CrashPlan, Geometry};
 use shardstore::{Node, Store, StoreConfig};
 
@@ -124,6 +130,36 @@ fn coverage_probes_fire_across_the_stack() {
     ] {
         assert!(coverage::count(probe) > 0, "probe {probe} never fired");
     }
+}
+
+#[test]
+fn simulator_drives_the_node_and_rpc_planes() {
+    // The whole stack — multi-disk node, RPC codec, engine — under the
+    // deterministic simulator with seed-derived perturbation schedules
+    // (message drops, delivery delays, timer ticks, faults).
+    let cfg = ConformanceConfig::default();
+    let base = 0xE2E_51Au64;
+    for (i, ops) in sample_sequences(node_ops(GenConfig::conformance()), base, 3).enumerate() {
+        let seed = base + i as u64;
+        let schedule = SimSchedule::perturbed(seed, ops.len(), &PerturbProfile::default());
+        run_node_sim(&ops, &cfg, 3, &schedule, &SimOptions::default())
+            .unwrap_or_else(|d| panic!("node world, seed {seed:#x}: {d}"));
+        run_rpc_sim(&ops, &cfg, 3, &schedule, &SimOptions::default())
+            .unwrap_or_else(|d| panic!("rpc world, seed {seed:#x}: {d}"));
+    }
+}
+
+#[test]
+fn simulator_swarm_smoke() {
+    // A small swarm batch end to end: every seed must pass, and the
+    // simulator must have actually dispatched work.
+    let outcome = run_swarm(&SwarmConfig { base_seed: 0xE2E_5EED, runs: 4, ..SwarmConfig::default() });
+    assert!(
+        outcome.failures.is_empty(),
+        "swarm smoke found failures: {:?}",
+        outcome.failures.iter().map(|f| &f.message).collect::<Vec<_>>()
+    );
+    assert!(outcome.stats.ops > 0 && outcome.stats.events > outcome.stats.ops);
 }
 
 #[test]

@@ -6,6 +6,12 @@ use std::collections::BTreeMap;
 
 use shardstore::chunk::Stream;
 use shardstore::faults::FaultConfig;
+use shardstore::harness::detect::sample_sequences;
+use shardstore::harness::gen::{kv_ops, GenConfig};
+use shardstore::harness::ops::{KeyRef, KvOp, ValueSpec};
+use shardstore::harness::simulate::{run_crash_sim, SimOptions};
+use shardstore::harness::ConformanceConfig;
+use shardstore::sim::{CrashPoint, PerturbProfile, SimSchedule};
 use shardstore::vdisk::{CrashPlan, Geometry};
 use shardstore::{Store, StoreConfig};
 
@@ -102,6 +108,51 @@ fn sstables_spanning_many_chunks() {
         assert_eq!(store.get(key).unwrap().unwrap(), value_for(key, 0, 40), "key {key}");
     }
     assert_eq!(store.list().unwrap().len(), 24);
+}
+
+#[test]
+fn simulator_churn_across_seeds() {
+    // The same kind of sustained churn, driven through the deterministic
+    // simulator: generated crash-alphabet sequences under seed-derived
+    // perturbation schedules (timer ticks, faults, drops, delays,
+    // whole-node crash-restart), checked against the reference model and
+    // trace oracles on every step.
+    let cfg = ConformanceConfig::default();
+    let base = 0x57E5_5001u64;
+    for (i, ops) in sample_sequences(kv_ops(GenConfig::crash()), base, 6).enumerate() {
+        let seed = base + i as u64;
+        let schedule = SimSchedule::perturbed(seed, ops.len(), &PerturbProfile::default());
+        run_crash_sim(&ops, &cfg, &schedule, &SimOptions::default())
+            .unwrap_or_else(|d| panic!("seed {seed:#x}: {d}"));
+    }
+}
+
+#[test]
+fn simulator_sustains_repeated_crash_restarts() {
+    // Mirror of `repeated_dirty_reboots_under_load` on the simulator
+    // substrate: a long write-heavy sequence with a crash-restart event
+    // injected every few operations, all from one schedule.
+    let mut ops = Vec::new();
+    for round in 0..12u8 {
+        for k in 0..4u8 {
+            ops.push(KvOp::Put(KeyRef::Literal(k + (round % 3) * 10), ValueSpec::Small(k + 40)));
+        }
+        ops.push(KvOp::IndexFlush);
+        ops.push(KvOp::Pump(2));
+        ops.push(KvOp::Get(KeyRef::Recent(1)));
+    }
+    let crashes = (0..12u64)
+        .map(|round| CrashPoint { at_op: (round as usize) * 7 + 6, keep_mask: round * 0x9E37 })
+        .collect();
+    let schedule = SimSchedule { crashes, tick_every: 5, ..SimSchedule::clean() };
+    let outcome = run_crash_sim(
+        &ops,
+        &ConformanceConfig::default(),
+        &schedule,
+        &SimOptions::default(),
+    )
+    .unwrap_or_else(|d| panic!("repeated crash-restarts diverged: {d}"));
+    assert_eq!(outcome.sim.crashes, 12, "every scheduled crash-restart should fire");
 }
 
 #[test]
