@@ -247,7 +247,7 @@ fn bench_coalescing_ablation(c: &mut Criterion) {
                     }
                     store.flush_index().unwrap();
                     store.pump().unwrap();
-                    store.scheduler().stats().ios_issued
+                    store.scheduler().counter("sched.ios_issued")
                 },
                 BatchSize::SmallInput,
             )

@@ -7,14 +7,18 @@
 //! ```
 //!
 //! `SHARDSTORE_SEED` overrides the base seed (the CI seed-matrix knob).
-//! On success the throughput baseline is written to `BENCH_sim.json`; on
-//! failure the minimized `(ops, schedule)` repro is written to
+//! On success the throughput baseline is written to `BENCH_sim.json` and
+//! the per-seed observability report (coverage deltas plus
+//! logical-latency quantiles per op kind) to `BENCH_sim.metrics.json`;
+//! on failure the minimized `(ops, schedule)` repro is written to
 //! `sim_swarm_minimized.txt` (the CI artifact) and the process exits
 //! non-zero.
 
 use shardstore_bench::{fmt_duration, row, rule};
 use shardstore_faults::coverage;
-use shardstore_harness::swarm::{run_swarm, SwarmConfig};
+use shardstore_harness::swarm::{run_swarm, SeedReport, SwarmConfig};
+use shardstore_obs::json::Json;
+use shardstore_obs::metrics::MetricsSnapshot;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -63,8 +67,13 @@ fn main() {
     if !outcome.failures.is_empty() {
         let mut report = String::new();
         for f in &outcome.failures {
+            let truncation = if f.dropped_events > 0 {
+                format!(" [{} trace events dropped — timelines incomplete]", f.dropped_events)
+            } else {
+                String::new()
+            };
             report.push_str(&format!(
-                "seed {:#x} ({} world): {}\nminimized to {} op(s):\n{}\n\n",
+                "seed {:#x} ({} world){truncation}: {}\nminimized to {} op(s):\n{}\n\n",
                 f.seed, f.world, f.message, f.minimized_ops, f.repro
             ));
         }
@@ -96,6 +105,72 @@ fn main() {
         Ok(()) => println!("baseline written to BENCH_sim.json"),
         Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
     }
+
+    let metrics_json = metrics_report(base_seed, &outcome.seed_reports).render();
+    match std::fs::write("BENCH_sim.metrics.json", metrics_json + "\n") {
+        Ok(()) => println!("per-seed metrics written to BENCH_sim.metrics.json"),
+        Err(e) => eprintln!("could not write BENCH_sim.metrics.json: {e}"),
+    }
+}
+
+/// Logical-latency quantiles per op kind from a metrics snapshot: every
+/// `latency.<kind>` histogram becomes `{count, p50, p99, p999}`.
+fn latency_json(metrics: &MetricsSnapshot) -> Json {
+    Json::object(
+        metrics
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let kind = name.strip_prefix("latency.")?;
+                Some((
+                    kind.to_string(),
+                    Json::object(vec![
+                        ("count".to_string(), Json::U64(h.count)),
+                        ("p50".to_string(), Json::U64(h.p50())),
+                        ("p99".to_string(), Json::U64(h.p99())),
+                        ("p999".to_string(), Json::U64(h.p999())),
+                    ]),
+                ))
+            })
+            .collect(),
+    )
+}
+
+/// The per-seed observability report: one entry per passing seed
+/// (events, coverage deltas, latency quantiles) plus the batch-merged
+/// aggregate latency view.
+fn metrics_report(base_seed: u64, reports: &[SeedReport]) -> Json {
+    let mut aggregate = MetricsSnapshot::default();
+    let seeds: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            aggregate.merge(&r.metrics);
+            let coverage: Vec<Json> = r
+                .coverage
+                .iter()
+                .map(|(probe, hits)| {
+                    Json::object(vec![
+                        ("probe".to_string(), Json::Str(probe.clone())),
+                        ("hits".to_string(), Json::U64(*hits)),
+                    ])
+                })
+                .collect();
+            Json::object(vec![
+                ("seed".to_string(), Json::U64(r.seed)),
+                ("world".to_string(), Json::Str(r.world.to_string())),
+                ("events".to_string(), Json::U64(r.events)),
+                ("ops".to_string(), Json::U64(r.ops)),
+                ("latency".to_string(), latency_json(&r.metrics)),
+                ("coverage".to_string(), Json::Array(coverage)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("version".to_string(), Json::U64(1)),
+        ("base_seed".to_string(), Json::U64(base_seed)),
+        ("seeds".to_string(), Json::Array(seeds)),
+        ("aggregate_latency".to_string(), latency_json(&aggregate)),
+    ])
 }
 
 fn parse_seed(s: &str) -> Option<u64> {

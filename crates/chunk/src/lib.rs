@@ -120,15 +120,15 @@ mod tests {
         let cs = setup();
         let none = cs.extent_manager().scheduler().none();
         let sched = cs.extent_manager().scheduler().clone();
-        let before = sched.stats();
+        let submitted_before = sched.counter("sched.writes_submitted");
+        let coalesced_before = sched.counter("sched.writes_coalesced");
         let payloads: Vec<&[u8]> = vec![b"one", b"two", b"three", b"four"];
         let outs = cs.put_batch(Stream::Data, &payloads, &none).unwrap();
         cs.extent_manager().pump().unwrap();
-        let after = sched.stats();
         // 4 frames + 1 shared superblock update submitted...
-        assert_eq!(after.writes_submitted - before.writes_submitted, 5);
+        assert_eq!(sched.counter("sched.writes_submitted") - submitted_before, 5);
         // ...and the 4 contiguous frames merged into fewer disk IOs.
-        assert!(after.writes_coalesced > before.writes_coalesced);
+        assert!(sched.counter("sched.writes_coalesced") > coalesced_before);
         drop(outs);
     }
 

@@ -103,8 +103,12 @@ struct ExecState {
 }
 
 enum Job {
-    /// A single-disk request answered directly.
-    Direct { req: Request, reply: Arc<Reply> },
+    /// A single-disk request answered directly. `req_id` is the causal
+    /// request id minted at admission from the target disk's [`Obs`]
+    /// (absent when the disk has no observability root): the executor
+    /// runs the request inside a matching trace frame so every event it
+    /// causes is stamped with the id.
+    Direct { req: Request, req_id: Option<u64>, reply: Arc<Reply> },
     /// One disk's slice of a fanned-out `List`.
     ListPiece { disk: usize, fan: Arc<ListFan> },
     /// One disk's slice of a fanned-out `BulkCreate`.
@@ -542,6 +546,18 @@ impl RpcClient {
         }
     }
 
+    /// Typed health introspection: the JSON report of
+    /// [`rpc::introspect`]. Answered inline from observability state, so
+    /// it succeeds even while data operations are rejected as
+    /// [`ErrorCode::Overloaded`].
+    pub fn introspect(&self) -> Result<String, RpcError> {
+        match self.call(Request::Introspect) {
+            Response::Introspect { json } => Ok(json),
+            Response::Error(e) => Err(e),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Typed disk return.
     pub fn return_disk(&self, disk: u32) -> Result<(), RpcError> {
         match self.call(Request::ReturnDisk { disk }) {
@@ -560,6 +576,13 @@ impl EngineInner {
     fn submit(&self, request: Request) -> Arc<Reply> {
         let reply = Reply::new();
         match request {
+            // Introspection is answered inline on the caller's thread,
+            // from observability state alone — it never touches an
+            // executor queue, so a node whose data plane is rejecting
+            // everything as Overloaded still reports its health.
+            Request::Introspect => {
+                reply.set(rpc::introspect(&self.node));
+            }
             Request::Put { shard, .. } | Request::Get { shard } | Request::Delete { shard } => {
                 let disk = self.node.route(shard);
                 self.enqueue_direct(disk, request, &reply);
@@ -606,7 +629,16 @@ impl EngineInner {
             reply.set(overloaded(disk as u32));
             return;
         }
-        state.queue.push_back(Job::Direct { req, reply: Arc::clone(reply) });
+        // Mint the causal request id on admission, from the target
+        // disk's Obs so request ids and op ids share a counter space.
+        // Recorded before the job is visible to the worker, so the
+        // admission event precedes every event the request causes.
+        let req_id = exec.obs.as_ref().map(|o| o.mint_req());
+        if let (Some(o), Some(r)) = (&exec.obs, req_id) {
+            o.trace()
+                .event_with_req(TraceEvent::ReqAdmitted { req: r, disk: exec.disk }, Some(r));
+        }
+        state.queue.push_back(Job::Direct { req, req_id, reply: Arc::clone(reply) });
         exec.set_depth(state.queue.len());
         drop(state);
         exec.work_cv.notify_one();
@@ -785,16 +817,23 @@ fn execute_put_run(exec: &Executor, node: &Node, run: Vec<Job>) {
     let mut replies = Vec::with_capacity(run.len());
     for job in &run {
         match job {
-            Job::Direct { req: Request::Put { shard, data }, reply } => {
+            Job::Direct { req: Request::Put { shard, data }, req_id, reply } => {
                 items.push((*shard, data.clone()));
-                replies.push(Arc::clone(reply));
+                replies.push((Arc::clone(reply), *req_id));
             }
             _ => unreachable!("put run contains only puts"),
         }
     }
     match node.put_batch(&items) {
         Ok(_deps) => {
-            for reply in replies {
+            // The batch executed as one fused store op, so no single
+            // request frame fits; each element's completion is still
+            // recorded against its own request id.
+            for (reply, req_id) in replies {
+                if let (Some(o), Some(r)) = (&exec.obs, req_id) {
+                    o.trace()
+                        .event_with_req(TraceEvent::ReqDone { req: r, ok: true }, Some(r));
+                }
                 reply.set(Response::Ok);
             }
         }
@@ -810,8 +849,21 @@ fn execute_put_run(exec: &Executor, node: &Node, run: Vec<Job>) {
 
 fn execute(exec: &Executor, node: &Node, job: Job) {
     match job {
-        Job::Direct { req, reply } => {
-            reply.set(rpc::dispatch(node, req));
+        Job::Direct { req, req_id, reply } => {
+            // Execute inside a request frame: every trace event this
+            // request causes — in core, dependency, lsm, chunk, vdisk —
+            // is stamped with its id, reconstructable via Obs::timeline.
+            let frame = match (&exec.obs, req_id) {
+                (Some(o), Some(r)) => Some(o.trace().req_frame(r)),
+                _ => None,
+            };
+            let response = rpc::dispatch(node, req);
+            if let (Some(o), Some(r)) = (&exec.obs, req_id) {
+                let ok = !matches!(response, Response::Error(_));
+                o.trace().event(TraceEvent::ReqDone { req: r, ok });
+            }
+            drop(frame);
+            reply.set(response);
         }
         Job::ListPiece { disk, fan } => {
             // Reading the catalog slice *through the executor* means the

@@ -32,6 +32,7 @@ use std::fmt;
 
 use shardstore_chunk::ChunkError;
 use shardstore_lsm::LsmError;
+use shardstore_obs::json::Json;
 use shardstore_superblock::ExtentError;
 use shardstore_vdisk::codec::{CodecError, Reader, Writer};
 
@@ -153,6 +154,12 @@ pub enum Request {
         /// [`Response::ScanPage`]); `None` starts at `start`.
         continuation: Option<u128>,
     },
+    /// Health introspection (control plane): returns a versioned JSON
+    /// report of per-disk metrics, queue depths, quarantined extents,
+    /// compaction debt, and trace-drop counters. Served by the engine
+    /// *without touching the executor queues*, so it answers even while
+    /// every data operation is rejected as `Overloaded`.
+    Introspect,
 }
 
 /// An RPC response.
@@ -179,6 +186,13 @@ pub enum Response {
     },
     /// The operation failed; the payload says how, typed.
     Error(RpcError),
+    /// The health report answering [`Request::Introspect`]: a JSON
+    /// object (see [`introspect`]) with a top-level `version` field so
+    /// consumers can evolve with the schema.
+    Introspect {
+        /// The rendered JSON health report.
+        json: String,
+    },
 }
 
 impl Response {
@@ -434,6 +448,9 @@ impl Request {
                 w.u8(9).bytes(&start.to_le_bytes()).bytes(&end.to_le_bytes()).u32(*limit);
                 write_opt_u128(&mut w, continuation);
             }
+            Request::Introspect => {
+                w.u8(10);
+            }
         }
         w.into_bytes()
     }
@@ -491,6 +508,7 @@ impl Request {
                 limit: r.u32()?,
                 continuation: read_opt_u128(&mut r)?,
             },
+            10 => Request::Introspect,
             _ => return Err(CodecError::BadValue.into()),
         };
         if r.remaining() != 0 {
@@ -532,6 +550,9 @@ impl Response {
                     write_value(&mut w, value);
                 }
                 write_opt_u128(&mut w, next);
+            }
+            Response::Introspect { json } => {
+                w.u8(6).var_bytes(json.as_bytes());
             }
         }
         w.into_bytes()
@@ -578,6 +599,11 @@ impl Response {
                 }
                 let next = read_opt_u128(&mut r)?;
                 Response::ScanPage { entries, next }
+            }
+            6 => {
+                let json = String::from_utf8(r.var_bytes()?.to_vec())
+                    .map_err(|_| CodecError::BadValue)?;
+                Response::Introspect { json }
             }
             _ => return Err(CodecError::BadValue.into()),
         };
@@ -684,7 +710,51 @@ pub fn dispatch(node: &Node, request: Request) -> Response {
                 Err(e) => Response::error(e),
             }
         }
+        Request::Introspect => introspect(node),
     }
+}
+
+/// Schema version of the [`introspect`] health report.
+pub const INTROSPECT_VERSION: u64 = 1;
+
+/// Builds the [`Response::Introspect`] health report for a node. Reads
+/// only observability state — metric registries, trace counters, catalog
+/// and index summaries — never the engine's executor queues, so an
+/// overloaded node still answers. The per-disk queue depth comes from the
+/// engine-maintained `rpc.queue_depth` gauge (zero when no engine runs).
+pub fn introspect(node: &Node) -> Response {
+    let mut disks = Vec::with_capacity(node.disk_count());
+    for d in 0..node.disk_count() {
+        let store = node.store(d);
+        let mut fields: Vec<(String, Json)> = vec![
+            ("disk".into(), Json::U64(d as u64)),
+            ("in_service".into(), Json::Bool(store.is_some())),
+        ];
+        match node.disk_obs(d) {
+            Some(obs) => {
+                let depth = obs.registry().gauge("rpc.queue_depth").get();
+                fields.push(("queue_depth".into(), Json::I64(depth)));
+                let quarantined: Vec<u64> = store
+                    .as_ref()
+                    .map(|s| s.quarantined_extents().iter().map(|e| u64::from(e.0)).collect())
+                    .unwrap_or_default();
+                fields.push(("quarantined_extents".into(), Json::u64_array(&quarantined)));
+                let debt = store.as_ref().map(|s| s.index().table_count() as u64).unwrap_or(0);
+                fields.push(("compaction_debt".into(), Json::U64(debt)));
+                fields.push(("dropped_events".into(), Json::U64(obs.trace().dropped())));
+                fields.push(("metrics".into(), Json::from(&obs.snapshot())));
+            }
+            // B4's buggy removal dropped the disk handle: report the slot
+            // as observability-less rather than omitting it.
+            None => fields.push(("observable".into(), Json::Bool(false))),
+        }
+        disks.push(Json::object(fields));
+    }
+    let report = Json::object(vec![
+        ("version".into(), Json::U64(INTROSPECT_VERSION)),
+        ("disks".into(), Json::Array(disks)),
+    ]);
+    Response::Introspect { json: report.render() }
 }
 
 pub(crate) fn no_such_disk(disk: u32) -> Response {

@@ -175,6 +175,44 @@ fn admission_queue_overflow_is_typed_and_observable() {
 }
 
 #[test]
+fn introspect_answers_while_engine_saturated() {
+    let engine = engine(1, 2, 2);
+    let client = engine.client();
+    engine.pause();
+    // Fill the bounded admission queue so every further data op is
+    // rejected with `Overloaded`.
+    let a = client.call_nowait(Request::Put { shard: 0, data: b"a".to_vec() });
+    let b = client.call_nowait(Request::Put { shard: 1, data: b"b".to_vec() });
+    let rejected = client.call_nowait(Request::Get { shard: 0 });
+    match rejected.poll().expect("rejection is synchronous") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Overloaded),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // Introspection still answers — it is served inline at admission and
+    // never touches the executor queues.
+    let json = client.introspect().expect("introspect answers while saturated");
+    let report = shardstore_obs::json::parse(&json).expect("introspect JSON parses");
+    assert_eq!(report.render(), json, "health JSON is canonical");
+    let obj = report.as_object().unwrap();
+    assert_eq!(obj.get("version").and_then(shardstore_obs::json::Json::as_u64), Some(1));
+    let disks = obj.get("disks").and_then(shardstore_obs::json::Json::as_array).unwrap();
+    assert_eq!(disks.len(), 1);
+    let disk0 = disks[0].as_object().unwrap();
+    // The report sees the saturated queue through the gauge.
+    assert_eq!(
+        disk0.get("queue_depth").and_then(shardstore_obs::json::Json::as_i64),
+        Some(2),
+        "introspect reports the saturated admission queue"
+    );
+    assert_eq!(disk0.get("in_service"), Some(&shardstore_obs::json::Json::Bool(true)));
+    // The admitted requests were not disturbed.
+    engine.resume();
+    assert_eq!(a.wait(), Response::Ok);
+    assert_eq!(b.wait(), Response::Ok);
+    engine.shutdown();
+}
+
+#[test]
 fn co_routed_puts_batch_through_put_batch() {
     let engine = engine(1, 8, 4);
     let client = engine.client();

@@ -117,6 +117,47 @@ fn engine_server_handles_wire_requests() {
 }
 
 #[test]
+fn introspect_reports_node_health_as_json() {
+    let n = node();
+    dispatch(&n, Request::Put { shard: 1, data: b"x".to_vec() });
+    let json = match dispatch(&n, Request::Introspect) {
+        Response::Introspect { json } => json,
+        other => panic!("unexpected: {other:?}"),
+    };
+    let report = shardstore_obs::json::parse(&json).expect("introspect JSON parses");
+    // The report renders back byte-identically: the health JSON is
+    // canonical under this crate's own parser/writer pair.
+    assert_eq!(report.render(), json);
+    let obj = report.as_object().unwrap();
+    assert_eq!(obj.get("version").and_then(shardstore_obs::json::Json::as_u64), Some(1));
+    let disks = obj.get("disks").and_then(shardstore_obs::json::Json::as_array).unwrap();
+    assert_eq!(disks.len(), 2);
+    for disk in disks {
+        let d = disk.as_object().unwrap();
+        assert!(d.get("in_service").is_some());
+        assert!(d.get("quarantined_extents").is_some());
+        // The embedded metrics snapshot round-trips through its own codec.
+        let metrics = d.get("metrics").expect("per-disk metrics").render();
+        shardstore_obs::metrics::MetricsSnapshot::from_json(&metrics)
+            .expect("metrics snapshot round-trips");
+    }
+}
+
+#[test]
+fn introspect_travels_the_wire() {
+    let engine = serve(node());
+    let client = engine.client();
+    let frame = Request::Introspect.encode();
+    let json = match Response::decode(&client.call_wire(&frame)).unwrap() {
+        Response::Introspect { json } => json,
+        other => panic!("unexpected: {other:?}"),
+    };
+    let report = shardstore_obs::json::parse(&json).expect("introspect JSON parses");
+    assert_eq!(report.render(), json);
+    engine.shutdown();
+}
+
+#[test]
 fn frames_carry_magic_and_version() {
     let frame = Request::List.encode();
     assert_eq!(&frame[..2], &WIRE_MAGIC);
@@ -201,6 +242,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u128>().prop_map(|shard| Request::Get { shard }),
         any::<u128>().prop_map(|shard| Request::Delete { shard }),
         Just(Request::List),
+        Just(Request::Introspect),
         any::<u32>().prop_map(|disk| Request::RemoveDisk { disk }),
         any::<u32>().prop_map(|disk| Request::ReturnDisk { disk }),
         (any::<u128>(), any::<u32>())
@@ -229,6 +271,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         proptest::collection::vec(any::<u128>(), 0..20).prop_map(Response::Shards),
         (arb_error_code(), "[a-zA-Z0-9 :_-]{0,60}")
             .prop_map(|(code, detail)| Response::Error(RpcError { code, detail })),
+        "[a-zA-Z0-9 {}\\[\\]:,_.-]{0,80}".prop_map(|json| Response::Introspect { json }),
         (
             proptest::collection::vec(
                 (any::<u128>(), proptest::collection::vec(any::<u8>(), 0..40)),

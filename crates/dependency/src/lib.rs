@@ -94,45 +94,6 @@ struct Node {
     persistent_memo: bool,
 }
 
-/// Scheduler statistics, for benches and the coalescing ablation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SchedulerStats {
-    /// Write nodes submitted.
-    pub writes_submitted: u64,
-    /// Disk IOs actually issued (after coalescing).
-    pub ios_issued: u64,
-    /// Writes that were merged into a preceding IO.
-    pub writes_coalesced: u64,
-    /// Flush barriers executed (one per fenced extent).
-    pub flushes: u64,
-    /// Writes lost to crashes before being issued.
-    pub writes_lost_pending: u64,
-    /// Writes lost to crashes after being issued but before flushing.
-    pub writes_lost_issued: u64,
-    /// Implicit write-after-write ordering edges added for overlapping
-    /// pending writes.
-    pub waw_dependencies: u64,
-    /// Writes re-queued after a transient IO failure.
-    pub writes_retried: u64,
-    /// In-call retry attempts of transient (`Injected`) write failures
-    /// inside `issue_ready` / `issue_barrier`.
-    pub retries: u64,
-    /// Transient failures that survived the whole in-call retry budget
-    /// and were requeued with an error surfaced to the pumper.
-    pub retry_exhausted: u64,
-    /// Writes permanently failed by `fail_extent_writes` (extent
-    /// quarantine): they are `Lost` and will never persist.
-    pub writes_failed: u64,
-    /// Group-commit batches issued (one per `issue_ready` call that
-    /// issued at least one write).
-    pub batches_issued: u64,
-    /// Extents fenced by flushes (only dirty extents are ever fenced).
-    pub extents_fenced: u64,
-    /// Current depth of the ready queue (writes issueable right now);
-    /// a snapshot taken when the stats are read, not a counter.
-    pub queue_depth: u64,
-}
-
 #[derive(Debug)]
 struct Inner {
     nodes: Vec<Node>,
@@ -157,8 +118,8 @@ struct Inner {
     /// scheduler emits its trace events through this.
     obs: Obs,
     /// Registry-backed counter handles. The registry is the single source
-    /// of truth for scheduler statistics; [`IoScheduler::stats`] is a thin
-    /// compat view assembled from these.
+    /// of truth for scheduler statistics; read them back through
+    /// [`IoScheduler::counter`] / [`IoScheduler::queue_depth`].
     counters: SchedCounters,
 }
 
@@ -1210,34 +1171,20 @@ impl IoScheduler {
         self.core.inner.lock().issued_total
     }
 
-    /// Cumulative statistics. `queue_depth` is a point-in-time snapshot of
-    /// how many writes are issueable right now.
-    ///
-    /// Compat view: the registry behind [`IoScheduler::obs`] is the source
-    /// of truth (`sched.*` counters); this assembles the legacy struct
-    /// from those counters and refreshes the `sched.queue_depth` gauge.
-    pub fn stats(&self) -> SchedulerStats {
+    /// Reads one `sched.*` counter from the observability registry (the
+    /// source of truth for scheduler statistics).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.core.obs.registry().counter(name).get()
+    }
+
+    /// Point-in-time count of writes issueable right now. Also refreshes
+    /// the `sched.queue_depth` gauge so metrics snapshots stay current.
+    pub fn queue_depth(&self) -> u64 {
         let inner = self.core.inner.lock();
-        let queue_depth =
+        let depth =
             inner.ready.iter().filter(|&&id| Self::is_ready_write(&inner, id)).count() as u64;
-        let c = &inner.counters;
-        c.queue_depth.set(queue_depth as i64);
-        SchedulerStats {
-            writes_submitted: c.writes_submitted.get(),
-            ios_issued: c.ios_issued.get(),
-            writes_coalesced: c.writes_coalesced.get(),
-            flushes: c.flushes.get(),
-            writes_lost_pending: c.writes_lost_pending.get(),
-            writes_lost_issued: c.writes_lost_issued.get(),
-            waw_dependencies: c.waw_dependencies.get(),
-            writes_retried: c.writes_retried.get(),
-            retries: c.retries.get(),
-            retry_exhausted: c.retry_exhausted.get(),
-            writes_failed: c.writes_failed.get(),
-            batches_issued: c.batches_issued.get(),
-            extents_fenced: c.extents_fenced.get(),
-            queue_depth,
-        }
+        inner.counters.queue_depth.set(depth as i64);
+        depth
     }
 
     /// Debug rendering of every pending write and the state of its
@@ -1611,10 +1558,9 @@ mod tests {
         s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &none);
         s.submit_write(ExtentId(1), 4, b"cc".to_vec(), &none);
         s.pump().unwrap();
-        let stats = s.stats();
-        assert_eq!(stats.writes_submitted, 3);
-        assert_eq!(stats.ios_issued, 1, "three contiguous writes should be one IO");
-        assert_eq!(stats.writes_coalesced, 2);
+        assert_eq!(s.counter("sched.writes_submitted"), 3);
+        assert_eq!(s.counter("sched.ios_issued"), 1, "three contiguous writes should be one IO");
+        assert_eq!(s.counter("sched.writes_coalesced"), 2);
         assert_eq!(disk.read(ExtentId(1), 0, 6).unwrap(), b"aabbcc");
     }
 
@@ -1626,9 +1572,8 @@ mod tests {
         s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
         s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &none);
         s.pump().unwrap();
-        let stats = s.stats();
-        assert_eq!(stats.ios_issued, 2);
-        assert_eq!(stats.writes_coalesced, 0);
+        assert_eq!(s.counter("sched.ios_issued"), 2);
+        assert_eq!(s.counter("sched.writes_coalesced"), 0);
     }
 
     #[test]
@@ -1638,7 +1583,7 @@ mod tests {
         s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
         s.submit_write(ExtentId(1), 10, b"bb".to_vec(), &none);
         s.pump().unwrap();
-        assert_eq!(s.stats().ios_issued, 2);
+        assert_eq!(s.counter("sched.ios_issued"), 2);
     }
 
     #[test]
@@ -1686,10 +1631,9 @@ mod tests {
         s.flush_issued().unwrap();
         assert!(dep.is_persistent());
         assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"x");
-        let stats = s.stats();
-        assert_eq!(stats.retries, 1);
-        assert_eq!(stats.retry_exhausted, 0);
-        assert_eq!(stats.writes_retried, 0, "nothing was requeued");
+        assert_eq!(s.counter("sched.retries"), 1);
+        assert_eq!(s.counter("sched.retry_exhausted"), 0);
+        assert_eq!(s.counter("sched.writes_retried"), 0, "nothing was requeued");
     }
 
     #[test]
@@ -1706,8 +1650,8 @@ mod tests {
         s.pump().unwrap();
         assert!(dep.is_persistent());
         assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"x");
-        assert_eq!(s.stats().writes_retried, 1);
-        assert_eq!(s.stats().retries, 0);
+        assert_eq!(s.counter("sched.writes_retried"), 1);
+        assert_eq!(s.counter("sched.retries"), 0);
     }
 
     #[test]
@@ -1722,9 +1666,8 @@ mod tests {
         disk.inject_fail_times(ExtentId(1), DEFAULT_RETRY_BUDGET + 1);
         assert!(matches!(s.issue_ready(usize::MAX), Err(IoError::Injected { .. })));
         assert!(!dep.is_persistent());
-        let stats = s.stats();
-        assert_eq!(stats.retries, u64::from(DEFAULT_RETRY_BUDGET));
-        assert_eq!(stats.retry_exhausted, 1);
+        assert_eq!(s.counter("sched.retries"), u64::from(DEFAULT_RETRY_BUDGET));
+        assert_eq!(s.counter("sched.retry_exhausted"), 1);
         s.pump().unwrap();
         assert!(dep.is_persistent());
         assert_eq!(disk.read(ExtentId(1), 0, 1).unwrap(), b"x");
@@ -1743,10 +1686,9 @@ mod tests {
         // The coalesced two-write IO was retried as one IO: the retry
         // preserves group-commit batching.
         assert!(a.is_persistent() && b.is_persistent());
-        let stats = s.stats();
-        assert_eq!(stats.ios_issued, 1);
-        assert_eq!(stats.writes_coalesced, 1);
-        assert_eq!(stats.retries, 1);
+        assert_eq!(s.counter("sched.ios_issued"), 1);
+        assert_eq!(s.counter("sched.writes_coalesced"), 1);
+        assert_eq!(s.counter("sched.retries"), 1);
         // The gated write still respects its dependency edge.
         assert!(!blocked.is_persistent());
         gate.seal();
@@ -1762,9 +1704,8 @@ mod tests {
         let _dep = s.submit_write(ExtentId(1), 0, b"x".to_vec(), &none);
         disk.inject_fail_always(ExtentId(1));
         assert!(matches!(s.issue_ready(usize::MAX), Err(IoError::Failed { .. })));
-        let stats = s.stats();
-        assert_eq!(stats.retries, 0, "permanent faults are not retried");
-        assert_eq!(stats.retry_exhausted, 0);
+        assert_eq!(s.counter("sched.retries"), 0, "permanent faults are not retried");
+        assert_eq!(s.counter("sched.retry_exhausted"), 0);
     }
 
     #[test]
@@ -1777,7 +1718,7 @@ mod tests {
         let pending = s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &gate.dependency());
         let other = s.submit_write(ExtentId(2), 0, b"cc".to_vec(), &gate.dependency());
         assert_eq!(s.fail_extent_writes(ExtentId(1)), 2);
-        assert_eq!(s.stats().writes_failed, 2);
+        assert_eq!(s.counter("sched.writes_failed"), 2);
         // The other extent's write is untouched and still completes.
         gate.seal();
         s.pump().unwrap();
@@ -1879,7 +1820,7 @@ mod tests {
         let dep = s.submit_write(ExtentId(1), 0, b"aa".to_vec(), &none);
         s.pump().unwrap();
         assert!(dep.is_persistent());
-        assert_eq!(s.stats().extents_fenced, 1);
+        assert_eq!(s.counter("sched.extents_fenced"), 1);
     }
 
     #[test]
@@ -1890,9 +1831,8 @@ mod tests {
         s.submit_write(ExtentId(2), 0, b"b".to_vec(), &none);
         s.submit_write(ExtentId(2), 1, b"c".to_vec(), &none);
         s.pump().unwrap();
-        let stats = s.stats();
-        assert_eq!(stats.extents_fenced, 2);
-        assert_eq!(stats.batches_issued, 1, "all three ready writes form one batch");
+        assert_eq!(s.counter("sched.extents_fenced"), 2);
+        assert_eq!(s.counter("sched.batches_issued"), 1, "all three ready writes form one batch");
         assert_eq!(disk.stats().flushes, 2, "the untouched extents see no flush");
     }
 
@@ -1907,9 +1847,8 @@ mod tests {
         s.submit_write(ExtentId(1), 2, b"bb".to_vec(), &none);
         s.submit_write(ExtentId(2), 2, b"yy".to_vec(), &none);
         s.pump().unwrap();
-        let stats = s.stats();
-        assert_eq!(stats.ios_issued, 2, "one IO per extent");
-        assert_eq!(stats.writes_coalesced, 2);
+        assert_eq!(s.counter("sched.ios_issued"), 2, "one IO per extent");
+        assert_eq!(s.counter("sched.writes_coalesced"), 2);
         assert_eq!(disk.read(ExtentId(1), 0, 4).unwrap(), b"aabb");
         assert_eq!(disk.read(ExtentId(2), 0, 4).unwrap(), b"xxyy");
     }
@@ -1921,11 +1860,11 @@ mod tests {
         let none = s.none();
         s.submit_write(ExtentId(1), 0, b"a".to_vec(), &none);
         s.submit_write(ExtentId(2), 0, b"b".to_vec(), &gate.dependency());
-        assert_eq!(s.stats().queue_depth, 1, "only the unblocked write is ready");
+        assert_eq!(s.queue_depth(), 1, "only the unblocked write is ready");
         gate.seal();
-        assert_eq!(s.stats().queue_depth, 2, "sealing cascades readiness without a pump");
+        assert_eq!(s.queue_depth(), 2, "sealing cascades readiness without a pump");
         s.pump().unwrap();
-        assert_eq!(s.stats().queue_depth, 0);
+        assert_eq!(s.queue_depth(), 0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn overlapping_writes_apply_in_submission_order() {
     assert!(first.is_persistent());
     assert!(second.is_persistent());
     assert_eq!(disk.read(ExtentId(1), 0, 3).unwrap(), b"new");
-    assert!(s.stats().waw_dependencies >= 1);
+    assert!(s.counter("sched.waw_dependencies") >= 1);
 }
 
 #[test]
@@ -54,7 +54,7 @@ fn disjoint_writes_are_not_ordered() {
     // The disjoint write proceeds without waiting for the gated one.
     assert!(free.is_persistent());
     assert_eq!(disk.read(ExtentId(1), 10, 2).unwrap(), b"BB");
-    assert_eq!(s.stats().waw_dependencies, 0);
+    assert_eq!(s.counter("sched.waw_dependencies"), 0);
 }
 
 #[test]

@@ -35,14 +35,26 @@ pub struct Divergence {
     /// Per-op trace timeline from the failing run (tail of the trace
     /// log); empty when the runner had no store to read it from.
     pub timeline: String,
+    /// Events the failing run's trace ring dropped (zero when the whole
+    /// history fit): a non-zero count means the timelines are incomplete.
+    pub dropped_events: u64,
 }
 
 impl Divergence {
-    /// Attaches the tail of the store's trace log, rendered per-op, so a
-    /// minimized counterexample carries the events that led up to it.
+    /// Attaches the tail of the store's trace log, rendered per-op, plus
+    /// the causal timeline of the most recent request, so a minimized
+    /// counterexample carries the events that led up to it.
     pub(crate) fn with_timeline(mut self, store: &Store) -> Self {
-        let records = store.obs().trace().snapshot();
+        let obs = store.obs();
+        let trace = obs.trace();
+        let records = trace.snapshot();
+        self.dropped_events = trace.dropped();
         self.timeline = shardstore_obs::oracle::render_timeline_tail(&records, 60);
+        let causal = shardstore_obs::oracle::render_last_req_timeline(&records, self.dropped_events);
+        if !causal.is_empty() {
+            self.timeline.push_str("--- causal timeline (last request) ---\n");
+            self.timeline.push_str(&causal);
+        }
         self
     }
 }
@@ -50,6 +62,9 @@ impl Divergence {
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "divergence at op {} ({}): {}", self.op_index, self.op, self.detail)?;
+        if self.dropped_events > 0 {
+            write!(f, "\n({} trace events dropped by the ring)", self.dropped_events)?;
+        }
         if !self.timeline.is_empty() {
             write!(f, "\n--- trace timeline (tail) ---\n{}", self.timeline)?;
         }
@@ -180,7 +195,13 @@ impl RunCtx {
 }
 
 fn diverge(op_index: usize, op: &KvOp, detail: impl Into<String>) -> Divergence {
-    Divergence { op_index, op: format!("{op:?}"), detail: detail.into(), timeline: String::new() }
+    Divergence {
+        op_index,
+        op: format!("{op:?}"),
+        detail: detail.into(),
+        timeline: String::new(),
+        dropped_events: 0,
+    }
 }
 
 fn is_no_space(e: &StoreError) -> bool {

@@ -26,7 +26,13 @@ use crate::conformance::{ConformanceConfig, Divergence, RunCtx, RunReport};
 use crate::ops::{KvOp, RebootType};
 
 fn diverge(op_index: usize, op: &KvOp, detail: impl Into<String>) -> Divergence {
-    Divergence { op_index, op: format!("{op:?}"), detail: detail.into(), timeline: String::new() }
+    Divergence {
+        op_index,
+        op: format!("{op:?}"),
+        detail: detail.into(),
+        timeline: String::new(),
+        dropped_events: 0,
+    }
 }
 
 /// Runs a sequence that may include dirty reboots, checking the §5

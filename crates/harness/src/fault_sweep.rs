@@ -312,16 +312,18 @@ struct SweepWorld<'a> {
 
 impl SweepWorld<'_> {
     fn violation(&self, i: usize, detail: String) -> SweepViolation {
-        SweepViolation {
-            schedule: self.schedule,
-            sequence: 0,
-            op_index: i,
-            detail,
-            timeline: shardstore_obs::oracle::render_timeline_tail(
-                &self.obs.trace().snapshot(),
-                60,
-            ),
+        let trace = self.obs.trace();
+        let records = trace.snapshot();
+        let mut timeline = shardstore_obs::oracle::render_timeline_tail(&records, 60);
+        // The causal timeline of the most recent request: one request's
+        // admission→IO→ack (or failure) path, reconstructed by ReqId.
+        let causal =
+            shardstore_obs::oracle::render_last_req_timeline(&records, trace.dropped());
+        if !causal.is_empty() {
+            timeline.push_str("--- causal timeline (last request) ---\n");
+            timeline.push_str(&causal);
         }
+        SweepViolation { schedule: self.schedule, sequence: 0, op_index: i, detail, timeline }
     }
 }
 
@@ -364,6 +366,7 @@ impl shardstore_sim::World for SweepWorld<'_> {
         if let Ok(records) = shardstore_obs::oracle::certify(self.obs.trace()) {
             let budget = shardstore_dependency::DEFAULT_RETRY_BUDGET;
             let mut checks: Vec<(&str, Result<(), shardstore_obs::oracle::OracleViolation>)> = vec![
+                ("span-wellformed", shardstore_obs::oracle::check_span_wellformed(&records)),
                 ("acked-durability", shardstore_obs::oracle::check_acked_durability(&records)),
                 ("retry-budget", shardstore_obs::oracle::check_retry_budget(&records, budget)),
                 ("cache-coherence", shardstore_obs::oracle::check_cache_coherence(&records)),
@@ -422,7 +425,7 @@ pub fn run_schedule(
         degraded_reads: 0,
     };
     let obs = ctx.store.obs();
-    let retries_before = ctx.store.scheduler().stats().retries;
+    let retries_before = ctx.store.scheduler().counter("sched.retries");
     let kind = match schedule.kind {
         FaultKind::Transient(n) => shardstore_sim::SimFaultKind::Transient(n),
         FaultKind::Permanent => shardstore_sim::SimFaultKind::Permanent,
@@ -442,7 +445,7 @@ pub fn run_schedule(
     shardstore_sim::Simulator::run(&mut world, ops.len(), &sim_schedule)?;
     // A permanent schedule on an extent the run never touched simply never
     // quarantines: an uninteresting schedule, not a violation.
-    let retried = world.ctx.store.scheduler().stats().retries > retries_before;
+    let retried = world.ctx.store.scheduler().counter("sched.retries") > retries_before;
     let quarantined = !world.ctx.store.quarantined_extents().is_empty();
     let acks = world.ctx.tracked.iter().filter(|t| t.acked).count() as u64;
     Ok((retried, quarantined, world.ctx.degraded_reads, acks))

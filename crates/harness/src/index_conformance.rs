@@ -39,7 +39,13 @@ pub fn index_ops(bias: bool, max_len: usize) -> impl Strategy<Value = Vec<IndexO
 }
 
 fn diverge(op_index: usize, op: &IndexOp, detail: impl Into<String>) -> Divergence {
-    Divergence { op_index, op: format!("{op:?}"), detail: detail.into(), timeline: String::new() }
+    Divergence {
+        op_index,
+        op: format!("{op:?}"),
+        detail: detail.into(),
+        timeline: String::new(),
+        dropped_events: 0,
+    }
 }
 
 /// Synthesizes a locator list for a `Put(key, v)` op: locators are index

@@ -16,7 +16,13 @@ use crate::conformance::{ConformanceConfig, Divergence};
 use crate::ops::NodeOp;
 
 fn diverge(op_index: usize, op: &NodeOp, detail: impl Into<String>) -> Divergence {
-    Divergence { op_index, op: format!("{op:?}"), detail: detail.into(), timeline: String::new() }
+    Divergence {
+        op_index,
+        op: format!("{op:?}"),
+        detail: detail.into(),
+        timeline: String::new(),
+        dropped_events: 0,
+    }
 }
 
 fn is_no_space(e: &StoreError) -> bool {

@@ -62,6 +62,9 @@ pub struct SimOutcome {
     pub sim: SimReport,
     /// Run fingerprint, when [`SimOptions::fingerprint`] was set.
     pub fingerprint: Option<String>,
+    /// End-of-run metrics snapshot (merged across disks for node
+    /// worlds): counters, gauges, and the logical-latency histograms.
+    pub metrics: shardstore_obs::metrics::MetricsSnapshot,
 }
 
 /// The delivery plan a world consults when *sending* a message: drops
@@ -178,6 +181,18 @@ fn store_fingerprint(store: &Store) -> String {
     out
 }
 
+/// Merges every in-service disk's metrics snapshot into one node-wide
+/// view (same-bounds histograms add bucket-wise).
+fn node_metrics(node: &Node) -> shardstore_obs::metrics::MetricsSnapshot {
+    let mut out = shardstore_obs::metrics::MetricsSnapshot::default();
+    for d in 0..node.disk_count() {
+        if let Some(obs) = node.disk_obs(d) {
+            out.merge(&obs.snapshot());
+        }
+    }
+    out
+}
+
 /// Per-disk [`store_fingerprint`] over a whole node.
 fn node_fingerprint(node: &Node) -> String {
     let mut out = String::new();
@@ -265,6 +280,7 @@ pub fn run_conformance_sim(
         },
         sim,
         fingerprint,
+        metrics: world.ctx.store.obs().snapshot(),
     })
 }
 
@@ -336,6 +352,7 @@ pub fn run_crash_sim(
         },
         sim,
         fingerprint,
+        metrics: world.ctx.store.obs().snapshot(),
     })
 }
 
@@ -436,6 +453,7 @@ pub fn run_node_sim_on(
         },
         sim,
         fingerprint,
+        metrics: node_metrics(node),
     })
 }
 
@@ -459,7 +477,13 @@ struct RpcWorld<'a> {
 }
 
 fn rpc_diverge(op_index: usize, op: &NodeOp, detail: impl Into<String>) -> Divergence {
-    Divergence { op_index, op: format!("{op:?}"), detail: detail.into(), timeline: String::new() }
+    Divergence {
+        op_index,
+        op: format!("{op:?}"),
+        detail: detail.into(),
+        timeline: String::new(),
+        dropped_events: 0,
+    }
 }
 
 impl RpcWorld<'_> {
@@ -485,6 +509,32 @@ impl RpcWorld<'_> {
     fn rpc_at(&self, i: usize, op: &NodeOp, request: Request) -> Result<Response, Divergence> {
         self.rpc(request).map_err(|detail| rpc_diverge(i, op, detail))
     }
+
+    /// Attaches the per-disk causal timelines of the most recent request
+    /// on each disk, so a minimized request-plane repro shows the failing
+    /// request's admission→IO→ack (or failure) path.
+    fn with_node_timeline(&self, mut d: Divergence) -> Divergence {
+        let mut out = String::new();
+        for disk in 0..self.node().disk_count() {
+            if let Some(obs) = self.node().disk_obs(disk) {
+                let trace = obs.trace();
+                let records = trace.snapshot();
+                let dropped = trace.dropped();
+                d.dropped_events = d.dropped_events.max(dropped);
+                let causal =
+                    shardstore_obs::oracle::render_last_req_timeline(&records, dropped);
+                if !causal.is_empty() {
+                    out.push_str(&format!(
+                        "=== disk {disk}: causal timeline (last request) ===\n{causal}"
+                    ));
+                }
+            }
+        }
+        if !out.is_empty() {
+            d.timeline = out;
+        }
+        d
+    }
 }
 
 impl World for RpcWorld<'_> {
@@ -498,11 +548,11 @@ impl World for RpcWorld<'_> {
     fn deliver(&mut self, _ctx: &mut SimCtx<'_>, m: usize) -> Result<(), Divergence> {
         let op = &self.ops[m];
         coverage::hit(node_probe(op));
-        self.deliver_op(m, op)?;
+        self.deliver_op(m, op).map_err(|d| self.with_node_timeline(d))?;
         // Catalog/index consistency is an always-on invariant, exactly as
         // in the direct control-plane world.
         if let Err(detail) = self.node().check_catalog_consistent() {
-            return Err(rpc_diverge(m, op, detail));
+            return Err(self.with_node_timeline(rpc_diverge(m, op, detail)));
         }
         Ok(())
     }
@@ -518,11 +568,14 @@ impl World for RpcWorld<'_> {
         self.engine.shutdown();
         self.node()
             .check_catalog_consistent()
-            .map_err(|detail| Divergence {
-                op_index: self.ops.len(),
-                op: "settle".to_string(),
-                detail,
-                timeline: String::new(),
+            .map_err(|detail| {
+                self.with_node_timeline(Divergence {
+                    op_index: self.ops.len(),
+                    op: "settle".to_string(),
+                    detail,
+                    timeline: String::new(),
+                    dropped_events: 0,
+                })
             })
     }
 }
@@ -799,5 +852,6 @@ pub fn run_rpc_sim(
         },
         sim,
         fingerprint,
+        metrics: node_metrics(&node),
     })
 }

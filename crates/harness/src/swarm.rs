@@ -16,14 +16,18 @@
 //! `(seed, world)` pair plus the auto-minimized repro is the artifact to
 //! keep.
 
+use std::collections::BTreeMap;
+
+use shardstore_faults::coverage;
+use shardstore_obs::metrics::MetricsSnapshot;
 use shardstore_sim::{PerturbProfile, SimSchedule, SwarmStats};
 
-use crate::conformance::ConformanceConfig;
+use crate::conformance::{ConformanceConfig, Divergence};
 use crate::detect::sample_sequences;
 use crate::gen::{kv_ops, node_ops, GenConfig};
 use crate::minimize::{minimize_repro, SimRepro};
 use crate::ops::{KvOp, NodeOp};
-use crate::simulate::{run_crash_sim, run_rpc_sim, SimOptions};
+use crate::simulate::{run_crash_sim, run_rpc_sim, SimOptions, SimOutcome};
 
 /// Swarm batch configuration.
 #[derive(Debug, Clone)]
@@ -66,6 +70,29 @@ pub struct SwarmFailure {
     pub repro: String,
     /// Operations in the minimized repro.
     pub minimized_ops: usize,
+    /// Trace events the failing run's ring dropped: non-zero means the
+    /// attached timelines are incomplete.
+    pub dropped_events: u64,
+}
+
+/// Per-seed observability report from one passing run: event volume,
+/// the seed's end-of-run metrics (including logical-latency histograms),
+/// and the coverage probes this seed hit (deltas against the global
+/// coverage registry; empty when coverage is disabled).
+#[derive(Debug, Clone)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// Which world ran (`"crash"` or `"rpc"`).
+    pub world: &'static str,
+    /// Simulated events this seed processed.
+    pub events: u64,
+    /// Operations this seed applied.
+    pub ops: u64,
+    /// End-of-run metrics snapshot (merged across disks in rpc runs).
+    pub metrics: MetricsSnapshot,
+    /// Coverage probes hit by this seed, with per-seed hit counts.
+    pub coverage: Vec<(String, u64)>,
 }
 
 /// The outcome of one swarm batch.
@@ -77,6 +104,9 @@ pub struct SwarmOutcome {
     pub elapsed_secs: f64,
     /// Every failing seed (empty on a healthy build).
     pub failures: Vec<SwarmFailure>,
+    /// One report per passing seed (failing seeds report via
+    /// [`SwarmOutcome::failures`] instead).
+    pub seed_reports: Vec<SeedReport>,
 }
 
 impl SwarmOutcome {
@@ -86,37 +116,41 @@ impl SwarmOutcome {
     }
 }
 
-/// Runs one crash-world seed; returns the failure message if it fails.
+/// Runs one crash-world seed; returns the divergence if it fails.
 fn run_crash_seed(
     ops: &[KvOp],
     schedule: &SimSchedule,
     stats: &mut SwarmStats,
-) -> Option<String> {
+) -> Result<SimOutcome, Divergence> {
     let cfg = ConformanceConfig::default();
-    match run_crash_sim(ops, &cfg, schedule, &SimOptions::default()) {
-        Ok(outcome) => {
-            stats.absorb(&outcome.sim);
-            None
-        }
-        Err(d) => Some(d.to_string()),
-    }
+    let outcome = run_crash_sim(ops, &cfg, schedule, &SimOptions::default())?;
+    stats.absorb(&outcome.sim);
+    Ok(outcome)
 }
 
-/// Runs one request-plane seed; returns the failure message if it fails.
+/// Runs one request-plane seed; returns the divergence if it fails.
 fn run_rpc_seed(
     ops: &[NodeOp],
     schedule: &SimSchedule,
     num_disks: usize,
     stats: &mut SwarmStats,
-) -> Option<String> {
+) -> Result<SimOutcome, Divergence> {
     let cfg = ConformanceConfig::default();
-    match run_rpc_sim(ops, &cfg, num_disks, schedule, &SimOptions::default()) {
-        Ok(outcome) => {
-            stats.absorb(&outcome.sim);
-            None
-        }
-        Err(d) => Some(d.to_string()),
-    }
+    let outcome = run_rpc_sim(ops, &cfg, num_disks, schedule, &SimOptions::default())?;
+    stats.absorb(&outcome.sim);
+    Ok(outcome)
+}
+
+/// Coverage probes hit since `before`, with per-seed hit counts (empty
+/// when the global coverage registry is disabled).
+fn coverage_delta(before: &BTreeMap<&'static str, u64>) -> Vec<(String, u64)> {
+    coverage::snapshot()
+        .into_iter()
+        .filter_map(|(name, hits)| {
+            let delta = hits.saturating_sub(before.get(name).copied().unwrap_or(0));
+            (delta > 0).then(|| (name.to_string(), delta))
+        })
+        .collect()
 }
 
 /// Runs a swarm batch: `runs` seeds, alternating worlds, perturbed
@@ -125,33 +159,50 @@ pub fn run_swarm(config: &SwarmConfig) -> SwarmOutcome {
     let started = std::time::Instant::now();
     let mut stats = SwarmStats::default();
     let mut failures = Vec::new();
+    let mut seed_reports = Vec::new();
     for k in 0..config.runs {
         let seed = config.base_seed.wrapping_add(k as u64);
+        let cov_before: BTreeMap<&'static str, u64> = coverage::snapshot().into_iter().collect();
         if k % 2 == 0 {
             let ops: Vec<KvOp> = sample_sequences(kv_ops(GenConfig::crash()), seed, 1)
                 .next()
                 .expect("one sequence");
             let schedule = SimSchedule::perturbed(seed, ops.len(), &config.profile);
-            if let Some(message) = run_crash_seed(&ops, &schedule, &mut stats) {
-                let repro = SimRepro { ops, schedule };
-                let minimized = if config.minimize_failures {
-                    minimize_repro(&repro, |cand| {
-                        let mut scratch = SwarmStats::default();
-                        run_crash_seed(&cand.ops, &cand.schedule, &mut scratch)
-                    })
-                } else {
-                    repro
-                };
-                failures.push(SwarmFailure {
+            match run_crash_seed(&ops, &schedule, &mut stats) {
+                Ok(outcome) => seed_reports.push(SeedReport {
                     seed,
                     world: "crash",
-                    message,
-                    repro: format!(
-                        "ops: {:#?}\nschedule: {:#?}",
-                        minimized.ops, minimized.schedule
-                    ),
-                    minimized_ops: minimized.ops.len(),
-                });
+                    events: outcome.sim.events,
+                    ops: ops.len() as u64,
+                    metrics: outcome.metrics,
+                    coverage: coverage_delta(&cov_before),
+                }),
+                Err(d) => {
+                    let dropped_events = d.dropped_events;
+                    let message = d.to_string();
+                    let repro = SimRepro { ops, schedule };
+                    let minimized = if config.minimize_failures {
+                        minimize_repro(&repro, |cand| {
+                            let mut scratch = SwarmStats::default();
+                            run_crash_seed(&cand.ops, &cand.schedule, &mut scratch)
+                                .err()
+                                .map(|d| d.to_string())
+                        })
+                    } else {
+                        repro
+                    };
+                    failures.push(SwarmFailure {
+                        seed,
+                        world: "crash",
+                        message,
+                        repro: format!(
+                            "ops: {:#?}\nschedule: {:#?}",
+                            minimized.ops, minimized.schedule
+                        ),
+                        minimized_ops: minimized.ops.len(),
+                        dropped_events,
+                    });
+                }
             }
         } else {
             let ops: Vec<NodeOp> = sample_sequences(node_ops(GenConfig::conformance()), seed, 1)
@@ -159,28 +210,43 @@ pub fn run_swarm(config: &SwarmConfig) -> SwarmOutcome {
                 .expect("one sequence");
             let schedule = SimSchedule::perturbed(seed, ops.len(), &config.profile);
             let disks = config.num_disks;
-            if let Some(message) = run_rpc_seed(&ops, &schedule, disks, &mut stats) {
-                let repro = SimRepro { ops, schedule };
-                let minimized = if config.minimize_failures {
-                    minimize_repro(&repro, |cand| {
-                        let mut scratch = SwarmStats::default();
-                        run_rpc_seed(&cand.ops, &cand.schedule, disks, &mut scratch)
-                    })
-                } else {
-                    repro
-                };
-                failures.push(SwarmFailure {
+            match run_rpc_seed(&ops, &schedule, disks, &mut stats) {
+                Ok(outcome) => seed_reports.push(SeedReport {
                     seed,
                     world: "rpc",
-                    message,
-                    repro: format!(
-                        "ops: {:#?}\nschedule: {:#?}",
-                        minimized.ops, minimized.schedule
-                    ),
-                    minimized_ops: minimized.ops.len(),
-                });
+                    events: outcome.sim.events,
+                    ops: ops.len() as u64,
+                    metrics: outcome.metrics,
+                    coverage: coverage_delta(&cov_before),
+                }),
+                Err(d) => {
+                    let dropped_events = d.dropped_events;
+                    let message = d.to_string();
+                    let repro = SimRepro { ops, schedule };
+                    let minimized = if config.minimize_failures {
+                        minimize_repro(&repro, |cand| {
+                            let mut scratch = SwarmStats::default();
+                            run_rpc_seed(&cand.ops, &cand.schedule, disks, &mut scratch)
+                                .err()
+                                .map(|d| d.to_string())
+                        })
+                    } else {
+                        repro
+                    };
+                    failures.push(SwarmFailure {
+                        seed,
+                        world: "rpc",
+                        message,
+                        repro: format!(
+                            "ops: {:#?}\nschedule: {:#?}",
+                            minimized.ops, minimized.schedule
+                        ),
+                        minimized_ops: minimized.ops.len(),
+                        dropped_events,
+                    });
+                }
             }
         }
     }
-    SwarmOutcome { stats, elapsed_secs: started.elapsed().as_secs_f64(), failures }
+    SwarmOutcome { stats, elapsed_secs: started.elapsed().as_secs_f64(), failures, seed_reports }
 }

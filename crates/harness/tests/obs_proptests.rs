@@ -1,0 +1,141 @@
+//! Property suites for the observability plane itself: histogram bucket
+//! arithmetic (the quantile estimates behind the introspection report)
+//! and trace-ring wraparound (sequence numbers must stay continuous so
+//! truncated traces are detectable, never silently rewritten).
+
+use proptest::prelude::*;
+use shardstore_obs::metrics::Registry;
+use shardstore_obs::{TraceEvent, TraceLog};
+
+/// Strictly ascending histogram bounds (1–8 finite buckets).
+fn arb_bounds() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..1_000, 1..8).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// The exact quantile of a sorted sample at rank `ceil(q * n)` (1-based,
+/// clamped), mirroring the histogram's rank rule.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// The index of the bucket a value falls into (bounds are inclusive
+/// upper bounds; one past the end is the overflow bucket).
+fn bucket_of(bounds: &[u64], value: u64) -> usize {
+    bounds.partition_point(|&b| b < value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bucketing is monotone and gap-free: every value lands in exactly
+    /// one bucket, the per-bucket counts sum to the total, and cumulative
+    /// counts are non-decreasing across the bucket sequence.
+    #[test]
+    fn histogram_buckets_are_monotone_and_gap_free(
+        bounds in arb_bounds(),
+        values in proptest::collection::vec(0u64..2_000, 1..64),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("t", &bounds);
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let s = &snap.histograms["t"];
+        prop_assert_eq!(s.counts.len(), bounds.len() + 1, "one overflow bucket past the bounds");
+        prop_assert_eq!(s.counts.iter().sum::<u64>(), values.len() as u64, "no value lost or double-counted");
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        // Each value is in the one bucket its bound dictates.
+        let mut expect = vec![0u64; bounds.len() + 1];
+        for &v in &values {
+            expect[bucket_of(&bounds, v)] += 1;
+        }
+        prop_assert_eq!(&s.counts, &expect, "bucketing disagrees with the partition rule");
+        // Boundary values land *inside* their bound (inclusive upper).
+        for (i, &b) in bounds.iter().enumerate() {
+            prop_assert_eq!(bucket_of(&bounds, b), i, "bound {} is not inclusive", b);
+            prop_assert_eq!(bucket_of(&bounds, b + 1), i + 1, "gap after bound {}", b);
+        }
+    }
+
+    /// A histogram quantile is within one bucket of the exact sample
+    /// quantile: the exact value's bucket either contains the reported
+    /// bound or is adjacent to it (bucketing can only round up to the
+    /// bucket bound, never skip a bucket).
+    #[test]
+    fn histogram_quantiles_are_within_one_bucket_of_exact(
+        bounds in arb_bounds(),
+        values in proptest::collection::vec(0u64..2_000, 1..64),
+        q in 0.01f64..1.0,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("t", &bounds);
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let s = &snap.histograms["t"];
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let got = s.quantile(q);
+        if got == u64::MAX {
+            // Overflow bucket: the exact value must be above every bound.
+            prop_assert!(exact > *bounds.last().unwrap());
+        } else {
+            let exact_bucket = bucket_of(&bounds, exact);
+            let got_bucket = bucket_of(&bounds, got);
+            prop_assert!(
+                got_bucket.abs_diff(exact_bucket) <= 1,
+                "quantile {} reported {} (bucket {}), exact {} (bucket {})",
+                q, got, got_bucket, exact, exact_bucket
+            );
+        }
+    }
+
+    /// The trace ring drops oldest-first under wraparound, but sequence
+    /// numbers stay continuous: the survivors are exactly the last
+    /// `capacity` seqs, `dropped()` accounts for every evicted record,
+    /// and no seq is ever reused or reordered.
+    #[test]
+    fn trace_ring_wraparound_keeps_seq_continuity(
+        capacity in 1usize..32,
+        events in 1usize..200,
+    ) {
+        let log = TraceLog::new(capacity);
+        for i in 0..events {
+            log.event(TraceEvent::CacheHit { extent: i as u32, offset: 0 });
+        }
+        let records = log.snapshot();
+        let kept = events.min(capacity);
+        prop_assert_eq!(records.len(), kept);
+        prop_assert_eq!(log.dropped(), (events - kept) as u64, "drop accounting disagrees");
+        // Survivors are the newest `kept` events, in order, seq-contiguous.
+        let first = (events - kept) as u64;
+        for (i, r) in records.iter().enumerate() {
+            prop_assert_eq!(r.seq, first + i as u64, "seq gap or reorder after wraparound");
+        }
+    }
+}
+
+/// Req frames survive wraparound: a stamped record keeps its request id
+/// even when earlier records of the same request were evicted.
+#[test]
+fn wrapped_trace_keeps_request_stamps() {
+    let log = TraceLog::new(4);
+    let _frame = log.req_frame(77);
+    for i in 0..10u32 {
+        log.event(TraceEvent::CacheHit { extent: i, offset: 0 });
+    }
+    let records = log.snapshot();
+    assert_eq!(records.len(), 4);
+    assert!(records.iter().all(|r| r.req == Some(77)), "stamp lost under wraparound");
+    assert_eq!(log.dropped(), 6);
+}

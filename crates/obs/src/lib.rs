@@ -39,21 +39,33 @@ pub mod oracle;
 pub mod trace;
 pub mod walltime;
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
-pub use trace::{OpKind, TraceEvent, TraceLog, TraceRecord};
+pub use trace::{OpKind, ReqFrame, TraceEvent, TraceLog, TraceRecord};
 
 /// Default trace-ring capacity: large enough that harness runs (a few
 /// hundred ops, a handful of events each) never wrap, small enough that a
 /// soak run wraps instead of growing without bound.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 
+/// Inclusive upper bounds for the logical-latency histograms
+/// (`latency.<kind>`). The unit is **trace-sequence deltas** between a
+/// span's `OpStart` and `OpEnd` — a logical clock, so the histograms are
+/// byte-deterministic under the checker and the simulator. Wall-time
+/// latency stays bench-only behind [`walltime`].
+pub const LOGICAL_LATENCY_BOUNDS: &[u64] =
+    &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384];
+
 struct ObsInner {
     registry: Registry,
     trace: TraceLog,
     next_op: AtomicU64,
+    /// Open op spans: op id → (kind, `OpStart` seq). `end_op` turns the
+    /// entry into a logical-latency observation at span close.
+    open_spans: Mutex<BTreeMap<u64, (OpKind, u64)>>,
 }
 
 /// The shared observability handle: one metrics registry plus one trace
@@ -83,6 +95,7 @@ impl Obs {
                 registry: Registry::new(),
                 trace: TraceLog::new(trace_capacity),
                 next_op: AtomicU64::new(0),
+                open_spans: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -97,17 +110,49 @@ impl Obs {
         &self.inner.trace
     }
 
-    /// Opens an operation span: allocates the next op id and records
-    /// [`TraceEvent::OpStart`]. Close it with [`Obs::end_op`].
+    /// Opens an operation span: allocates the next op id, pushes a
+    /// request frame (so a direct `Store` caller's op acts as its own
+    /// request, and every event it causes is stamped with its id), and
+    /// records [`TraceEvent::OpStart`]. Close it with [`Obs::end_op`].
     pub fn begin_op(&self, kind: OpKind, key: u128) -> u64 {
         let op = self.inner.next_op.fetch_add(1, Ordering::Relaxed);
-        self.inner.trace.event(TraceEvent::OpStart { op, kind, key });
+        self.inner.trace.push_req(op);
+        if let Some(seq) = self.inner.trace.event(TraceEvent::OpStart { op, kind, key }) {
+            self.inner.open_spans.lock().expect("spans lock").insert(op, (kind, seq));
+        }
         op
     }
 
-    /// Closes an operation span.
+    /// Closes an operation span, records the logical latency (the
+    /// trace-sequence delta since `OpStart`) into the per-kind
+    /// `latency.<kind>` histogram, and pops the op's request frame.
     pub fn end_op(&self, op: u64, ok: bool) {
-        self.inner.trace.event(TraceEvent::OpEnd { op, ok });
+        let end = self.inner.trace.event(TraceEvent::OpEnd { op, ok });
+        self.inner.trace.pop_req();
+        let Some(end_seq) = end else { return };
+        let span = self.inner.open_spans.lock().expect("spans lock").remove(&op);
+        if let Some((kind, start_seq)) = span {
+            self.inner
+                .registry
+                .histogram(&format!("latency.{kind}"), LOGICAL_LATENCY_BOUNDS)
+                .record(end_seq.saturating_sub(start_seq));
+        }
+    }
+
+    /// Mints a request id at the engine boundary, from the same counter
+    /// space as op ids so request and op ids never collide. The engine
+    /// stamps subsequent events by executing the request inside
+    /// [`TraceLog::req_frame`].
+    pub fn mint_req(&self) -> u64 {
+        self.inner.next_op.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Renders the causal timeline of one request: every event stamped
+    /// with `req`, plus scheduler-node events (persist, loss, ack)
+    /// attributed to ops the request executed. Notes trace truncation
+    /// instead of presenting a partial timeline as complete.
+    pub fn timeline(&self, req: u64) -> String {
+        oracle::render_req_timeline(&self.inner.trace.snapshot(), req, self.inner.trace.dropped())
     }
 
     /// Snapshots every metric, folding in the trace log's own counters
@@ -142,10 +187,61 @@ mod tests {
     fn snapshot_carries_trace_counters() {
         let obs = Obs::new(2);
         for i in 0..5 {
-            obs.begin_op(OpKind::Get, i);
+            let op = obs.begin_op(OpKind::Get, i);
+            obs.end_op(op, true);
         }
         let snap = obs.snapshot();
-        assert_eq!(snap.counters["trace.recorded_events"], 5);
-        assert_eq!(snap.counters["trace.dropped_events"], 3);
+        assert_eq!(snap.counters["trace.recorded_events"], 10);
+        assert_eq!(snap.counters["trace.dropped_events"], 8);
+    }
+
+    #[test]
+    fn span_close_records_logical_latency() {
+        let obs = Obs::default();
+        let op = obs.begin_op(OpKind::Put, 1);
+        obs.trace().event(TraceEvent::FlushExtent { extent: 0 });
+        obs.end_op(op, true); // OpStart seq 0 → OpEnd seq 2: latency 2
+        let get = obs.begin_op(OpKind::Get, 2);
+        obs.end_op(get, true); // latency 1
+        let snap = obs.snapshot();
+        let put = &snap.histograms["latency.put"];
+        assert_eq!((put.count, put.sum), (1, 2));
+        let get = &snap.histograms["latency.get"];
+        assert_eq!((get.count, get.sum), (1, 1));
+    }
+
+    #[test]
+    fn latency_skipped_when_trace_disabled() {
+        let obs = Obs::default();
+        obs.trace().set_enabled(false);
+        let op = obs.begin_op(OpKind::Put, 1);
+        obs.end_op(op, true);
+        assert!(obs.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn minted_reqs_share_the_op_id_space() {
+        let obs = Obs::default();
+        let req = obs.mint_req();
+        let op = obs.begin_op(OpKind::Put, 1);
+        obs.end_op(op, true);
+        assert_ne!(req, op);
+    }
+
+    #[test]
+    fn timeline_filters_to_one_request() {
+        let obs = Obs::default();
+        let a = obs.begin_op(OpKind::Put, 1);
+        obs.trace().event(TraceEvent::OpWrites { op: a, nodes: vec![10] });
+        obs.end_op(a, true);
+        let b = obs.begin_op(OpKind::Get, 2);
+        obs.end_op(b, false);
+        // Background persistence attributed through the node map.
+        obs.trace().event(TraceEvent::WritePersisted { node: 10 });
+        let t = obs.timeline(a);
+        assert!(t.contains(&format!("req {a}:")), "{t}");
+        assert!(t.contains("start put"), "{t}");
+        assert!(t.contains("node #10 persisted"), "{t}");
+        assert!(!t.contains("start get"), "{t}");
     }
 }

@@ -118,6 +118,42 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// The inclusive upper bound of the bucket holding the `q`-quantile
+    /// observation (`q` in `[0, 1]`). Returns 0 for an empty histogram
+    /// and `u64::MAX` when the quantile lands in the overflow bucket —
+    /// the estimate is exact to within one bucket by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
 #[derive(Default)]
 struct RegistryInner {
     counters: BTreeMap<String, Counter>,
@@ -276,6 +312,35 @@ impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// Folds `other` into `self`: counters and gauges add, and
+    /// same-name histograms with identical bounds add bucket-wise.
+    /// Histograms absent from `self` are copied in; a bounds mismatch
+    /// keeps `self`'s buckets (the aggregator's schema wins). Used by
+    /// swarm reporting to aggregate per-disk and per-seed snapshots.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+                Some(mine) if mine.bounds == h.bounds => {
+                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                }
+                Some(_) => {}
+            }
+        }
+    }
 }
 
 impl From<&MetricsSnapshot> for Json {
@@ -342,6 +407,47 @@ mod tests {
         assert_eq!(snap.counts, vec![2, 1, 1]);
         assert_eq!(snap.count, 4);
         assert_eq!(snap.sum, 1065);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[1, 2, 4, 8]);
+        for v in [1, 1, 2, 3, 5] {
+            h.record(v);
+        }
+        let snap = r.snapshot().histograms["lat"].clone();
+        assert_eq!(snap.p50(), 2, "the 3rd of 5 sorted observations lands in the ≤2 bucket");
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(1.0), 8);
+        assert_eq!(snap.p99(), 8);
+        h.record(100); // overflow
+        let snap = r.snapshot().histograms["lat"].clone();
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+        assert_eq!(HistogramSnapshot::default().p999(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let a = Registry::new();
+        a.counter("c").add(2);
+        a.gauge("g").set(1);
+        a.histogram("h", &[10, 20]).record(5);
+        let b = Registry::new();
+        b.counter("c").add(3);
+        b.counter("only_b").inc();
+        b.gauge("g").set(4);
+        b.histogram("h", &[10, 20]).record(15);
+        b.histogram("h2", &[1]).record(1);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("only_b"), 1);
+        assert_eq!(snap.gauges["g"], 5);
+        let h = &snap.histograms["h"];
+        assert_eq!((h.count, h.sum), (2, 20));
+        assert_eq!(h.counts, vec![1, 1, 0]);
+        assert_eq!(snap.histograms["h2"].count, 1);
     }
 
     #[test]

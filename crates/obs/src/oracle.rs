@@ -280,10 +280,89 @@ pub fn check_compaction_discipline(records: &[TraceRecord]) -> Result<(), Oracle
     Ok(())
 }
 
+/// Span well-formedness: every opened op span closes exactly once, no
+/// op-scoped event (`OpReturn` / `OpWrites`) appears outside its span,
+/// and spans belonging to the same request nest LIFO (a child span opened
+/// inside a request closes before its parent does — one request executes
+/// on one thread, so interleaved closes would mean attribution is lying).
+/// Run at quiescence: an in-flight span would report as never closed.
+pub fn check_span_wellformed(records: &[TraceRecord]) -> Result<(), OracleViolation> {
+    const ORACLE: &str = "span_wellformed";
+    let fail = |detail: String| Err(OracleViolation { oracle: ORACLE, detail });
+    // op id → closed? (present = started)
+    let mut spans: BTreeMap<u64, bool> = BTreeMap::new();
+    // request id → stack of open op spans attributed to it.
+    let mut nesting: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for r in records {
+        match &r.event {
+            TraceEvent::OpStart { op, .. } => {
+                if spans.insert(*op, false).is_some() {
+                    return fail(format!("op {op} started again at seq {}", r.seq));
+                }
+                if let Some(req) = r.req {
+                    nesting.entry(req).or_default().push(*op);
+                }
+            }
+            TraceEvent::OpEnd { op, .. } => match spans.get(op).copied() {
+                Some(false) => {
+                    spans.insert(*op, true);
+                    if let Some(req) = r.req {
+                        let stack = nesting.entry(req).or_default();
+                        match stack.pop() {
+                            Some(top) if top == *op => {}
+                            Some(top) => {
+                                return fail(format!(
+                                    "op {op} closed at seq {} while its child span \
+                                     op {top} (request {req}) was still open — \
+                                     spans must nest",
+                                    r.seq
+                                ));
+                            }
+                            // The start predates the request stamp (e.g.
+                            // recording was enabled mid-span): nothing to
+                            // check without inventing history.
+                            None => {}
+                        }
+                    }
+                }
+                Some(true) => {
+                    return fail(format!("op {op} closed again at seq {}", r.seq));
+                }
+                None => {
+                    return fail(format!("op {op} closed at seq {} without a start", r.seq));
+                }
+            },
+            TraceEvent::OpReturn { op, .. } | TraceEvent::OpWrites { op, .. } => {
+                match spans.get(op) {
+                    Some(false) => {}
+                    Some(true) => {
+                        return fail(format!(
+                            "op {op} event at seq {} after its span closed",
+                            r.seq
+                        ));
+                    }
+                    None => {
+                        return fail(format!(
+                            "op {op} event at seq {} before its span opened",
+                            r.seq
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((op, _)) = spans.iter().find(|(_, closed)| !**closed) {
+        return fail(format!("op {op} span never closed"));
+    }
+    Ok(())
+}
+
 /// Runs every oracle applicable to a deterministic run. `retry_budget`
 /// is the scheduler's configured in-call retry budget.
 pub fn check_all(log: &TraceLog, retry_budget: u32) -> Result<(), OracleViolation> {
     let records = certify(log)?;
+    check_span_wellformed(&records)?;
     check_acked_durability(&records)?;
     check_retry_budget(&records, retry_budget)?;
     check_quarantine_isolation(&records)?;
@@ -357,13 +436,100 @@ pub fn render_timeline_tail(records: &[TraceRecord], tail: usize) -> String {
     render_timeline(&records[start..])
 }
 
+/// Renders the causal timeline of a single request, in logical-clock
+/// order: every record stamped with `req`, plus scheduler-node events
+/// (`WriteIssued`/`WritePersisted`/`WriteLost`/`Acked`) attributed — via
+/// the op→node maps — to ops the request executed. `dropped` is the
+/// trace ring's drop count; when non-zero the timeline says so up front
+/// instead of presenting partial history as complete.
+pub fn render_req_timeline(records: &[TraceRecord], req: u64, dropped: u64) -> String {
+    // Ops owned by the request: the request id itself (a direct Store
+    // caller's op is its own request) plus every op whose records carry
+    // the request stamp.
+    let mut owned: BTreeSet<u64> = BTreeSet::new();
+    owned.insert(req);
+    let direct_op = |ev: &TraceEvent| -> Option<u64> {
+        match ev {
+            TraceEvent::OpStart { op, .. }
+            | TraceEvent::OpEnd { op, .. }
+            | TraceEvent::OpReturn { op, .. }
+            | TraceEvent::OpWrites { op, .. } => Some(*op),
+            _ => None,
+        }
+    };
+    let mut node_op: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        if r.req == Some(req) {
+            if let Some(op) = direct_op(&r.event) {
+                owned.insert(op);
+            }
+        }
+        match &r.event {
+            TraceEvent::OpWrites { op, nodes } => {
+                for n in nodes {
+                    node_op.insert(*n, *op);
+                }
+            }
+            TraceEvent::OpReturn { op, dep } => {
+                node_op.insert(*dep, *op);
+            }
+            _ => {}
+        }
+    }
+    let node_owned = |ev: &TraceEvent| -> bool {
+        let node = match ev {
+            TraceEvent::Acked { dep } => dep,
+            TraceEvent::WriteIssued { node, .. }
+            | TraceEvent::WritePersisted { node }
+            | TraceEvent::WriteLost { node } => node,
+            _ => return false,
+        };
+        node_op.get(node).is_some_and(|op| owned.contains(op))
+    };
+    let mut out = format!("req {req}:\n");
+    if dropped > 0 {
+        out.push_str(&format!(
+            "  (trace truncated: {dropped} events dropped — this timeline may be incomplete)\n"
+        ));
+    }
+    let mut any = false;
+    for r in records {
+        let mine = r.req == Some(req)
+            || direct_op(&r.event).is_some_and(|op| owned.contains(&op))
+            || node_owned(&r.event);
+        if mine {
+            any = true;
+            out.push_str(&format!("  #{:06}  {}\n", r.seq, r.event));
+        }
+    }
+    if !any {
+        out.push_str("  (no events recorded for this request)\n");
+    }
+    out
+}
+
+/// Renders the causal timeline of the most recently active request in
+/// `records` (the request stamped on the last req-attributed event).
+/// Empty when no request was ever stamped — callers can append it to a
+/// failure report unconditionally.
+pub fn render_last_req_timeline(records: &[TraceRecord], dropped: u64) -> String {
+    match records.iter().rev().find_map(|r| r.req) {
+        Some(req) => render_req_timeline(records, req, dropped),
+        None => String::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::trace::OpKind;
 
     fn rec(seq: u64, event: TraceEvent) -> TraceRecord {
-        TraceRecord { seq, event }
+        TraceRecord { seq, req: None, event }
+    }
+
+    fn rec_req(seq: u64, req: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, req: Some(req), event }
     }
 
     #[test]
@@ -439,6 +605,89 @@ mod tests {
             rec(3, TraceEvent::CacheHit { extent: 3, offset: 8 }),
         ];
         check_cache_coherence(&repopulated).unwrap();
+    }
+
+    #[test]
+    fn span_wellformed_accepts_nested_spans() {
+        let records = vec![
+            rec_req(0, 0, TraceEvent::OpStart { op: 0, kind: OpKind::PutBatch, key: 0 }),
+            rec_req(1, 0, TraceEvent::OpStart { op: 1, kind: OpKind::Put, key: 1 }),
+            rec_req(2, 0, TraceEvent::OpWrites { op: 1, nodes: vec![4] }),
+            rec_req(3, 0, TraceEvent::OpEnd { op: 1, ok: true }),
+            rec_req(4, 0, TraceEvent::OpReturn { op: 0, dep: 5 }),
+            rec_req(5, 0, TraceEvent::OpEnd { op: 0, ok: true }),
+        ];
+        check_span_wellformed(&records).unwrap();
+    }
+
+    #[test]
+    fn span_wellformed_rejects_unclosed_span() {
+        let records = vec![rec(0, TraceEvent::OpStart { op: 3, kind: OpKind::Get, key: 0 })];
+        let err = check_span_wellformed(&records).unwrap_err();
+        assert_eq!(err.oracle, "span_wellformed");
+        assert!(err.detail.contains("never closed"), "{}", err.detail);
+    }
+
+    #[test]
+    fn span_wellformed_rejects_double_close() {
+        let records = vec![
+            rec(0, TraceEvent::OpStart { op: 0, kind: OpKind::Get, key: 0 }),
+            rec(1, TraceEvent::OpEnd { op: 0, ok: true }),
+            rec(2, TraceEvent::OpEnd { op: 0, ok: true }),
+        ];
+        let err = check_span_wellformed(&records).unwrap_err();
+        assert!(err.detail.contains("closed again"), "{}", err.detail);
+    }
+
+    #[test]
+    fn span_wellformed_rejects_event_after_close() {
+        let records = vec![
+            rec(0, TraceEvent::OpStart { op: 0, kind: OpKind::Put, key: 0 }),
+            rec(1, TraceEvent::OpEnd { op: 0, ok: true }),
+            rec(2, TraceEvent::OpWrites { op: 0, nodes: vec![1] }),
+        ];
+        let err = check_span_wellformed(&records).unwrap_err();
+        assert!(err.detail.contains("after its span closed"), "{}", err.detail);
+    }
+
+    #[test]
+    fn span_wellformed_rejects_interleaved_children() {
+        let records = vec![
+            rec_req(0, 7, TraceEvent::OpStart { op: 8, kind: OpKind::PutBatch, key: 0 }),
+            rec_req(1, 7, TraceEvent::OpStart { op: 9, kind: OpKind::Put, key: 1 }),
+            rec_req(2, 7, TraceEvent::OpEnd { op: 8, ok: true }),
+            rec_req(3, 7, TraceEvent::OpEnd { op: 9, ok: true }),
+        ];
+        let err = check_span_wellformed(&records).unwrap_err();
+        assert!(err.detail.contains("must nest"), "{}", err.detail);
+    }
+
+    #[test]
+    fn req_timeline_includes_owned_ops_and_nodes() {
+        let records = vec![
+            rec_req(0, 0, TraceEvent::ReqAdmitted { req: 0, disk: 1 }),
+            rec_req(1, 0, TraceEvent::OpStart { op: 2, kind: OpKind::Put, key: 9 }),
+            rec_req(2, 0, TraceEvent::OpWrites { op: 2, nodes: vec![5] }),
+            rec_req(3, 0, TraceEvent::OpEnd { op: 2, ok: true }),
+            rec(4, TraceEvent::OpStart { op: 3, kind: OpKind::Get, key: 1 }),
+            rec(5, TraceEvent::OpEnd { op: 3, ok: true }),
+            rec(6, TraceEvent::WritePersisted { node: 5 }),
+            rec_req(7, 0, TraceEvent::ReqDone { req: 0, ok: true }),
+        ];
+        let text = render_req_timeline(&records, 0, 0);
+        assert!(text.contains("req 0:"), "{text}");
+        assert!(text.contains("admitted disk 1"), "{text}");
+        assert!(text.contains("node #5 persisted"), "{text}");
+        assert!(text.contains("req 0 done"), "{text}");
+        assert!(!text.contains("start get"), "{text}");
+        assert!(!text.contains("truncated"), "{text}");
+    }
+
+    #[test]
+    fn req_timeline_notes_truncation_and_emptiness() {
+        let text = render_req_timeline(&[], 4, 12);
+        assert!(text.contains("12 events dropped"), "{text}");
+        assert!(text.contains("no events recorded"), "{text}");
     }
 
     #[test]

@@ -14,9 +14,24 @@
 //! certify causal properties over a truncated trace instead of silently
 //! passing on missing history.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread stack of open request frames: `(trace-log identity,
+    /// request id)`. A frame is pushed when a request (or a store op
+    /// acting as its own request) enters this thread and popped when it
+    /// leaves; [`TraceLog::event`] stamps each record with the
+    /// *outermost* frame belonging to the same log, so every event a
+    /// request causes — across core, dependency, lsm, chunk, and vdisk —
+    /// carries the request id without any signature changes in those
+    /// layers. Keying frames by log identity keeps cross-disk operations
+    /// (e.g. a migrate touching two stores) from stamping one disk's
+    /// request id onto another disk's events.
+    static REQ_FRAMES: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The kind of store-level operation an op span covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,6 +254,21 @@ pub enum TraceEvent {
         /// Entries this slice contributed.
         entries: u32,
     },
+    /// A request was admitted at the engine boundary: it passed the
+    /// bounded-queue check and was enqueued for its disk executor.
+    ReqAdmitted {
+        /// The minted request id.
+        req: u64,
+        /// Target disk slot.
+        disk: u32,
+    },
+    /// The engine finished executing a request (the reply was set).
+    ReqDone {
+        /// The request id.
+        req: u64,
+        /// Whether the request produced a non-error response.
+        ok: bool,
+    },
 }
 
 impl std::fmt::Display for TraceEvent {
@@ -301,6 +331,10 @@ impl std::fmt::Display for TraceEvent {
                 TraceEvent::ScanPage { disk, entries } => {
                     write!(f, "scan page disk {disk} entries {entries}")
                 }
+                TraceEvent::ReqAdmitted { req, disk } => {
+                    write!(f, "req {req} admitted disk {disk}")
+                }
+                TraceEvent::ReqDone { req, ok } => write!(f, "req {req} done ok={ok}"),
         }
     }
 }
@@ -310,6 +344,10 @@ impl std::fmt::Display for TraceEvent {
 pub struct TraceRecord {
     /// Logical sequence number: a per-log counter, never wall clock.
     pub seq: u64,
+    /// The request this event was caused by, when one was on the
+    /// recording thread's frame stack (see [`TraceLog::push_req`]).
+    /// `None` for background activity (writeback pump, maintenance).
+    pub req: Option<u64>,
     /// The event.
     pub event: TraceEvent,
 }
@@ -349,12 +387,29 @@ impl TraceLog {
         self.enabled.store(on && self.capacity > 0, Ordering::Relaxed);
     }
 
-    /// Records an event, returning its logical timestamp (or `None` when
-    /// recording is disabled).
+    /// Records an event stamped with the current thread's outermost
+    /// request frame for this log, returning its logical timestamp (or
+    /// `None` when recording is disabled).
     pub fn event(&self, event: TraceEvent) -> Option<u64> {
         if !self.enabled.load(Ordering::Relaxed) {
             return None;
         }
+        let req = self.current_req();
+        self.record(event, req)
+    }
+
+    /// Records an event with an explicit request stamp, bypassing the
+    /// thread's frame stack — for events emitted on behalf of a request
+    /// from a thread that is not executing it (e.g. admission on the
+    /// client thread before the executor picks the job up).
+    pub fn event_with_req(&self, event: TraceEvent, req: Option<u64>) -> Option<u64> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.record(event, req)
+    }
+
+    fn record(&self, event: TraceEvent, req: Option<u64>) -> Option<u64> {
         let mut inner = self.inner.lock().expect("trace lock");
         let seq = inner.next_seq;
         inner.next_seq += 1;
@@ -362,8 +417,47 @@ impl TraceLog {
             inner.ring.pop_front();
             inner.dropped += 1;
         }
-        inner.ring.push_back(TraceRecord { seq, event });
+        inner.ring.push_back(TraceRecord { seq, req, event });
         Some(seq)
+    }
+
+    fn frame_key(&self) -> usize {
+        self as *const TraceLog as usize
+    }
+
+    /// Pushes a request frame for this log onto the current thread's
+    /// stack: until the matching [`TraceLog::pop_req`], every event this
+    /// thread records into this log is stamped with `req`. Frames for
+    /// *other* logs are unaffected, so a cross-disk operation never
+    /// stamps its request id onto another disk's trace.
+    pub fn push_req(&self, req: u64) {
+        REQ_FRAMES.with(|f| f.borrow_mut().push((self.frame_key(), req)));
+    }
+
+    /// Pops the most recent request frame for this log from the current
+    /// thread's stack (a no-op if none is open).
+    pub fn pop_req(&self) {
+        REQ_FRAMES.with(|f| {
+            let mut frames = f.borrow_mut();
+            if let Some(pos) = frames.iter().rposition(|(k, _)| *k == self.frame_key()) {
+                frames.remove(pos);
+            }
+        });
+    }
+
+    /// The request currently attributed to this thread for this log: the
+    /// *outermost* matching frame, so nested op spans inside a request
+    /// stay attributed to the request that caused them.
+    pub fn current_req(&self) -> Option<u64> {
+        REQ_FRAMES
+            .with(|f| f.borrow().iter().find(|(k, _)| *k == self.frame_key()).map(|&(_, r)| r))
+    }
+
+    /// RAII variant of [`TraceLog::push_req`]: the frame pops when the
+    /// guard drops, so early returns cannot leak a frame.
+    pub fn req_frame(&self, req: u64) -> ReqFrame<'_> {
+        self.push_req(req);
+        ReqFrame { log: self }
     }
 
     /// Number of events currently retained.
@@ -400,16 +494,33 @@ impl TraceLog {
         inner.dropped = 0;
     }
 
-    /// Renders the retained events one per line (`#seq  event`). Two
-    /// identical schedules render byte-identically — the determinism
-    /// suite compares exactly this.
+    /// Renders the retained events one per line (`#seq  event`, with a
+    /// `[req N]` suffix on request-attributed events). Two identical
+    /// schedules render byte-identically — the determinism suite
+    /// compares exactly this.
     pub fn render(&self) -> String {
         let inner = self.inner.lock().expect("trace lock");
         let mut out = String::new();
         for r in &inner.ring {
-            out.push_str(&format!("#{:06}  {}\n", r.seq, r.event));
+            out.push_str(&format!("#{:06}  {}", r.seq, r.event));
+            if let Some(req) = r.req {
+                out.push_str(&format!("  [req {req}]"));
+            }
+            out.push('\n');
         }
         out
+    }
+}
+
+/// Guard returned by [`TraceLog::req_frame`]; pops the frame on drop.
+#[derive(Debug)]
+pub struct ReqFrame<'a> {
+    log: &'a TraceLog,
+}
+
+impl Drop for ReqFrame<'_> {
+    fn drop(&mut self) {
+        self.log.pop_req();
     }
 }
 
@@ -459,6 +570,43 @@ mod tests {
         assert_eq!(log.event(TraceEvent::RecoveryStart), None);
         log.set_enabled(true); // cannot re-enable a zero-capacity ring
         assert_eq!(log.event(TraceEvent::RecoveryStart), None);
+    }
+
+    #[test]
+    fn req_frames_stamp_events() {
+        let log = TraceLog::new(16);
+        log.event(TraceEvent::RecoveryStart);
+        {
+            let _f = log.req_frame(7);
+            log.event(TraceEvent::FlushExtent { extent: 1 });
+            // Nested frames keep the outermost request attribution.
+            let _inner = log.req_frame(9);
+            log.event(TraceEvent::FlushExtent { extent: 2 });
+        }
+        log.event(TraceEvent::RecoveryEnd { ok: true });
+        let snap = log.snapshot();
+        assert_eq!(snap[0].req, None);
+        assert_eq!(snap[1].req, Some(7));
+        assert_eq!(snap[2].req, Some(7), "outermost frame wins");
+        assert_eq!(snap[3].req, None, "frames popped on drop");
+    }
+
+    #[test]
+    fn req_frames_are_per_log() {
+        let a = TraceLog::new(16);
+        let b = TraceLog::new(16);
+        let _fa = a.req_frame(3);
+        a.event(TraceEvent::FlushExtent { extent: 0 });
+        b.event(TraceEvent::FlushExtent { extent: 0 });
+        assert_eq!(a.snapshot()[0].req, Some(3));
+        assert_eq!(b.snapshot()[0].req, None, "a's frame must not leak into b");
+    }
+
+    #[test]
+    fn explicit_req_stamp_bypasses_frames() {
+        let log = TraceLog::new(16);
+        log.event_with_req(TraceEvent::ReqAdmitted { req: 5, disk: 0 }, Some(5));
+        assert_eq!(log.snapshot()[0].req, Some(5));
     }
 
     #[test]

@@ -1128,13 +1128,13 @@ mod tests {
         let em = setup();
         let (ext, _) = em.allocate(Owner::Data).unwrap();
         em.pump().unwrap();
-        let sb_before = em.scheduler().stats().writes_submitted;
+        let sb_before = em.scheduler().counter("sched.writes_submitted");
         let none = em.scheduler().none();
         let outs = em
             .append_batch(ext, &[b"aa".as_slice(), b"bbb".as_slice(), b"c".as_slice()], &none)
             .unwrap();
         // 3 data writes + exactly 1 superblock update.
-        assert_eq!(em.scheduler().stats().writes_submitted - sb_before, 4);
+        assert_eq!(em.scheduler().counter("sched.writes_submitted") - sb_before, 4);
         assert_eq!(outs.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, 2, 5]);
         assert_eq!(em.write_pointer(ext), 6);
         em.pump().unwrap();
@@ -1306,10 +1306,10 @@ mod tests {
         em.pump().unwrap();
         // One allocation update + at most a couple of superblock writes,
         // not one per append.
-        let stats = em.scheduler().stats();
+        let submitted = em.scheduler().counter("sched.writes_submitted");
         assert!(
-            stats.writes_submitted <= 5 /* data */ + 3,
-            "superblock updates did not coalesce: {stats:?}"
+            submitted <= 5 /* data */ + 3,
+            "superblock updates did not coalesce: {submitted} writes submitted"
         );
         assert_eq!(em.write_pointer(ext), 5);
     }
@@ -1447,8 +1447,8 @@ mod tests {
         em.scheduler().disk().inject_fail_once(ext);
         let outcomes = em.append_batch(ext, &refs, &none).unwrap();
         em.pump().unwrap();
-        assert!(em.scheduler().stats().retries >= 1);
-        assert_eq!(em.scheduler().stats().retry_exhausted, 0);
+        assert!(em.scheduler().counter("sched.retries") >= 1);
+        assert_eq!(em.scheduler().counter("sched.retry_exhausted"), 0);
         for o in &outcomes {
             assert!(o.dep.is_persistent(), "batch ack must cover the retried IO");
         }

@@ -80,10 +80,11 @@ fn main() {
         dep3.is_persistent()
     );
     assert!(dep1.is_persistent() && dep2.is_persistent() && dep3.is_persistent());
-    let stats = sched.stats();
     println!(
         "  write coalescing: {} writes submitted, {} disk IOs issued ({} coalesced)",
-        stats.writes_submitted, stats.ios_issued, stats.writes_coalesced
+        sched.counter("sched.writes_submitted"),
+        sched.counter("sched.ios_issued"),
+        sched.counter("sched.writes_coalesced")
     );
 
     // A fourth put that never gets flushed, then a crash: the persistence

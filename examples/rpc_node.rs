@@ -1,6 +1,7 @@
 //! A multi-disk storage node behind the parallel request plane (§2.1):
 //! per-disk executors routed by shard id, typed errors, control-plane
-//! disk removal and return, migration, and cross-disk bulk operations.
+//! disk removal and return, migration, cross-disk bulk operations, and
+//! the wire-level health-introspection plane.
 //!
 //! ```sh
 //! cargo run --example rpc_node
@@ -70,6 +71,22 @@ fn main() {
     for shard in &unavailable {
         let err = client.get(*shard).unwrap_err();
         assert_eq!(err.code, ErrorCode::OutOfService);
+    }
+
+    // The introspection plane answers health probes inline — it never
+    // enters the executor queues, so it works even when the data plane
+    // is saturated. The report is versioned JSON, one entry per disk;
+    // disk 1 shows out of service while it's removed.
+    let report = shardstore::obs::json::parse(&client.introspect().unwrap()).unwrap();
+    let top = report.as_object().unwrap();
+    assert_eq!(top.get("version").and_then(|v| v.as_u64()), Some(1));
+    let disks = top.get("disks").and_then(|d| d.as_array()).unwrap();
+    for entry in disks {
+        let disk = entry.as_object().unwrap();
+        let id = disk.get("disk").and_then(|v| v.as_u64()).unwrap();
+        let in_service = disk.get("in_service") == Some(&shardstore::obs::json::Json::Bool(true));
+        println!("introspect: disk {id} in_service={in_service}");
+        assert_eq!(in_service, id != 1);
     }
 
     // ...and returning the disk recovers every one of them (the property

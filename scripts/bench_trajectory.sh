@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Bench-baseline trajectory tooling.
+#
+#   scripts/bench_trajectory.sh             # aggregate every BENCH_*.json
+#                                           # into BENCH_trajectory.json
+#   scripts/bench_trajectory.sh check [sidecar ...]
+#                                           # fail on a >2x counter
+#                                           # regression vs the committed
+#                                           # .metrics.json sidecar(s)
+#
+# Aggregation embeds each committed baseline verbatim, keyed by file
+# name and stamped with the commit, so a sequence of trajectory files
+# across commits is a benchmark history that needs no external tooling
+# to assemble.
+#
+# The check mode is the CI regression gate: the kv_ops bench smoke
+# regenerates its sidecar in the working tree; comparing the fresh
+# counters against `git show HEAD:<sidecar>` flags any counter that
+# grew beyond 2x its committed value (counters are deterministic for
+# the fixed sidecar workload, so real drift means the change did more
+# IO/misses/retries than the baseline — either a regression or a
+# deliberate change that must refresh the sidecar in the same commit).
+# Wall-clock histograms are never gated.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+check() {
+    local failed=0
+    for sidecar in "$@"; do
+        if ! git show "HEAD:${sidecar}" > /dev/null 2>&1; then
+            echo "bench_trajectory: no committed baseline for ${sidecar} — skipping" >&2
+            continue
+        fi
+        if [ ! -f "${sidecar}" ]; then
+            echo "bench_trajectory: ${sidecar} missing from working tree (run the bench smoke first)" >&2
+            failed=1
+            continue
+        fi
+        local committed
+        committed=$(mktemp)
+        git show "HEAD:${sidecar}" > "${committed}"
+        if ! python3 - "${sidecar}" "${committed}" <<'PY'
+import json, sys
+
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)["counters"]
+with open(sys.argv[1]) as f:
+    fresh = json.load(f)["counters"]
+
+ok = True
+for name, base in sorted(baseline.items()):
+    now = fresh.get(name, 0)
+    if base > 0 and now > 2 * base:
+        print(f"REGRESSION {sys.argv[1]}: {name} {base} -> {now} (>{2*base} = 2x baseline)")
+        ok = False
+sys.exit(0 if ok else 1)
+PY
+        then
+            failed=1
+        else
+            echo "bench_trajectory: ${sidecar} counters within 2x of committed baseline"
+        fi
+        rm -f "${committed}"
+    done
+    return "${failed}"
+}
+
+aggregate() {
+    local out="BENCH_trajectory.json"
+    local commit
+    commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+    python3 - "${out}" "${commit}" <<'PY'
+import glob, json, sys
+
+out, commit = sys.argv[1], sys.argv[2]
+baselines = {}
+for path in sorted(glob.glob("BENCH_*.json")):
+    if path == out:
+        continue
+    with open(path) as f:
+        baselines[path] = json.load(f)
+with open(out, "w") as f:
+    json.dump({"version": 1, "commit": commit, "baselines": baselines}, f, indent=1)
+    f.write("\n")
+print(f"{len(baselines)} baselines aggregated into {out} at {commit[:12]}")
+PY
+}
+
+case "${1:-aggregate}" in
+    check)
+        shift
+        check "${@:-BENCH_kv_ops.metrics.json}"
+        ;;
+    aggregate)
+        aggregate
+        ;;
+    *)
+        echo "usage: $0 [aggregate | check [sidecar ...]]" >&2
+        exit 2
+        ;;
+esac
