@@ -1,0 +1,389 @@
+//! The real-hardware rig: the same stack-level workloads (kv ops, range
+//! scans, compaction, node RPC) measured against the in-memory checking
+//! backend *and* the file backend, where `flush_extent` fencing is
+//! discharged as `fdatasync` on a real volume file.
+//!
+//! The criterion groups give the usual relative comparison; the custom
+//! reporter in `main` additionally runs each workload once per backend
+//! collecting raw per-op latencies and writes `BENCH_disk.json` with
+//! p50/p99/p999 plus full-tilt saturation throughput — the numbers the
+//! paper quotes for a storage node are tails, not means. A
+//! `BENCH_disk.metrics.json` sidecar snapshots the deterministic counters
+//! of a fixed file-backend workload for the trajectory gate.
+
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
+use shardstore_core::config::BackendKind;
+use shardstore_core::rpc::{dispatch, Request, Response};
+use shardstore_core::{Node, NodeConfig, Store, StoreConfig};
+use shardstore_faults::FaultConfig;
+use shardstore_obs::json::Json;
+use shardstore_obs::walltime::time_us;
+use shardstore_vdisk::Geometry;
+
+/// The two backends under measurement. Volume files are store-managed
+/// (created per store under a scratch dir, unlinked on drop); sparse
+/// allocation keeps per-iteration setup cheap while fsync costs stay
+/// real.
+fn backends() -> Vec<(&'static str, StoreConfig)> {
+    let mut dir = std::env::temp_dir();
+    dir.push("shardstore-bench-volumes");
+    let file = StoreConfig::default()
+        .to_builder()
+        .backend(BackendKind::File { dir, preallocate: false })
+        .build()
+        .unwrap();
+    vec![("memory", StoreConfig::default()), ("file", file)]
+}
+
+fn fresh_store(config: &StoreConfig) -> Store {
+    Store::format(Geometry::default(), config.clone(), FaultConfig::none())
+}
+
+fn fresh_node(config: &StoreConfig) -> Node {
+    let node = NodeConfig::builder()
+        .disks(1)
+        .geometry(Geometry::default())
+        .store(config.clone())
+        .build()
+        .unwrap();
+    Node::from_config(&node)
+}
+
+/// Puts-then-pump (the fenced write path) and cold gets, per backend.
+fn bench_kv_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_kv_ops");
+    group.throughput(Throughput::Elements(32));
+    group.sample_size(10);
+    let payload = vec![0xABu8; 1024];
+
+    for (backend, config) in backends() {
+        group.bench_function(format!("put_32x1k_{backend}"), |b| {
+            b.iter_batched(
+                || fresh_store(&config),
+                |store| {
+                    for shard in 0..32u128 {
+                        store.put(shard, &payload).unwrap();
+                    }
+                    store.pump().unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        let store = fresh_store(&config);
+        for shard in 0..32u128 {
+            store.put(shard, &payload).unwrap();
+        }
+        store.flush_index().unwrap();
+        store.pump().unwrap();
+        let mut shard = 0u128;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("get_cold_{backend}"), |b| {
+            b.iter(|| {
+                store.drop_caches();
+                shard = (shard + 1) % 32;
+                std::hint::black_box(store.get(shard).unwrap());
+            })
+        });
+        group.throughput(Throughput::Elements(32));
+    }
+    group.finish();
+}
+
+/// Full-catalog range scans over table-resident keys, per backend.
+fn bench_scan(c: &mut Criterion) {
+    const KEYS: u128 = 128;
+    let mut group = c.benchmark_group("disk_scan");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    group.sample_size(10);
+
+    for (backend, config) in backends() {
+        let store = fresh_store(&config);
+        let payload = vec![0x5Au8; 256];
+        for k in 0..KEYS {
+            store.put(k, &payload).unwrap();
+            if k % 32 == 31 {
+                store.flush_index().unwrap();
+            }
+        }
+        store.pump().unwrap();
+        group.bench_function(format!("scan_full_{backend}"), |b| {
+            b.iter(|| {
+                let got = store.scan(0, KEYS).unwrap();
+                assert_eq!(got.len(), KEYS as usize);
+                std::hint::black_box(got);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Build-tables-then-compact, per backend: the background write
+/// amplification path where file-backend fencing costs the most.
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_compaction");
+    group.sample_size(10);
+    for (backend, config) in backends() {
+        group.bench_function(format!("compact_8_tables_{backend}"), |b| {
+            b.iter_batched(
+                || {
+                    let store = fresh_store(&config);
+                    let payload = vec![0x77u8; 256];
+                    for t in 0..8u128 {
+                        for i in 0..8u128 {
+                            store.put(t * 8 + i, &payload).unwrap();
+                        }
+                        store.flush_index().unwrap();
+                    }
+                    store.pump().unwrap();
+                    store
+                },
+                |store| {
+                    store.compact_index().unwrap();
+                    store.pump().unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Put+get round-trips through the request plane, per backend.
+fn bench_node_rpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_node_rpc");
+    group.throughput(Throughput::Elements(2));
+    group.sample_size(10);
+    let payload = vec![0xEEu8; 512];
+    for (backend, config) in backends() {
+        let node = fresh_node(&config);
+        let mut shard = 0u128;
+        group.bench_function(format!("rpc_put_get_{backend}"), |b| {
+            b.iter(|| {
+                shard = (shard + 1) % 64;
+                let put = dispatch(&node, Request::Put { shard, data: payload.clone() });
+                assert_eq!(put, Response::Ok);
+                std::hint::black_box(dispatch(&node, Request::Get { shard }));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sorted-sample percentile (nearest-rank on the sorted vector).
+fn percentile(sorted: &[u64], per_mille: usize) -> u64 {
+    let idx = (sorted.len().saturating_sub(1)) * per_mille / 1000;
+    sorted[idx]
+}
+
+/// One workload row for the report: collects per-op latency samples (for
+/// the tails) and then measures full-tilt throughput over the same ops.
+struct WorkloadReport {
+    workload: &'static str,
+    backend: &'static str,
+    ops: usize,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    saturation_ops_per_sec: u64,
+}
+
+impl WorkloadReport {
+    fn from_samples(
+        workload: &'static str,
+        backend: &'static str,
+        mut samples_us: Vec<u64>,
+        saturation_ops: usize,
+        saturation_total_us: u64,
+    ) -> Self {
+        samples_us.sort_unstable();
+        let saturation_ops_per_sec =
+            (saturation_ops as u64).saturating_mul(1_000_000) / saturation_total_us.max(1);
+        Self {
+            workload,
+            backend,
+            ops: samples_us.len(),
+            p50_us: percentile(&samples_us, 500),
+            p99_us: percentile(&samples_us, 990),
+            p999_us: percentile(&samples_us, 999),
+            saturation_ops_per_sec,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("id".into(), Json::Str(format!("disk/{}/{}", self.workload, self.backend))),
+            ("ops".into(), Json::U64(self.ops as u64)),
+            ("p50_us".into(), Json::U64(self.p50_us)),
+            ("p99_us".into(), Json::U64(self.p99_us)),
+            ("p999_us".into(), Json::U64(self.p999_us)),
+            ("saturation_ops_per_sec".into(), Json::U64(self.saturation_ops_per_sec)),
+        ])
+    }
+}
+
+/// Runs the four workloads against one backend, returning a report row
+/// per workload.
+fn measure_backend(backend: &'static str, config: &StoreConfig) -> Vec<WorkloadReport> {
+    let mut rows = Vec::new();
+    let payload = vec![0xABu8; 1024];
+
+    // kv_ops: fenced single-shard puts (each op is put + pump, so the
+    // file backend's fdatasync is inside every sample), then the same
+    // count at full tilt for saturation.
+    let store = fresh_store(config);
+    const KV_OPS: usize = 512;
+    let mut samples = Vec::with_capacity(KV_OPS);
+    for i in 0..KV_OPS {
+        let ((), us) = time_us(|| {
+            store.put((i % 64) as u128, &payload).unwrap();
+            store.pump().unwrap();
+        });
+        samples.push(us);
+    }
+    let ((), total_us) = time_us(|| {
+        for i in 0..KV_OPS {
+            store.put((i % 64) as u128, &payload).unwrap();
+        }
+        store.pump().unwrap();
+    });
+    rows.push(WorkloadReport::from_samples("kv_ops", backend, samples, KV_OPS, total_us));
+
+    // scan: narrow 16-key range scans over a table-resident catalog.
+    let store = fresh_store(config);
+    const SCAN_KEYS: u128 = 128;
+    const SCANS: usize = 256;
+    for k in 0..SCAN_KEYS {
+        store.put(k, &payload).unwrap();
+        if k % 32 == 31 {
+            store.flush_index().unwrap();
+        }
+    }
+    store.pump().unwrap();
+    let mut samples = Vec::with_capacity(SCANS);
+    for i in 0..SCANS {
+        let start = ((i as u128) * 7) % (SCAN_KEYS - 16);
+        let (got, us) = time_us(|| store.scan(start, start + 16).unwrap());
+        std::hint::black_box(got);
+        samples.push(us);
+    }
+    let ((), total_us) = time_us(|| {
+        for i in 0..SCANS {
+            let start = ((i as u128) * 7) % (SCAN_KEYS - 16);
+            std::hint::black_box(store.scan(start, start + 16).unwrap());
+        }
+    });
+    rows.push(WorkloadReport::from_samples("scan", backend, samples, SCANS, total_us));
+
+    // compaction: each op is flush-a-table + bounded compaction round.
+    let store = fresh_store(config);
+    const COMPACTIONS: usize = 24;
+    let mut samples = Vec::with_capacity(COMPACTIONS);
+    for t in 0..COMPACTIONS {
+        for i in 0..8u128 {
+            store.put((t as u128 * 8 + i) % 96, &payload).unwrap();
+        }
+        let ((), us) = time_us(|| {
+            store.flush_index().unwrap();
+            store.compact_index().unwrap();
+            store.pump().unwrap();
+        });
+        samples.push(us);
+    }
+    let total_us: u64 = samples.iter().sum();
+    rows.push(WorkloadReport::from_samples(
+        "compaction",
+        backend,
+        samples,
+        COMPACTIONS,
+        total_us,
+    ));
+
+    // node_rpc: put+get round-trips through the request plane.
+    let node = fresh_node(config);
+    const RPCS: usize = 384;
+    let mut samples = Vec::with_capacity(RPCS);
+    for i in 0..RPCS {
+        let shard = (i % 64) as u128;
+        let ((), us) = time_us(|| {
+            assert_eq!(
+                dispatch(&node, Request::Put { shard, data: payload.clone() }),
+                Response::Ok
+            );
+            std::hint::black_box(dispatch(&node, Request::Get { shard }));
+        });
+        samples.push(us);
+    }
+    let ((), total_us) = time_us(|| {
+        for i in 0..RPCS {
+            let shard = (i % 64) as u128;
+            dispatch(&node, Request::Put { shard, data: payload.clone() });
+            std::hint::black_box(dispatch(&node, Request::Get { shard }));
+        }
+    });
+    rows.push(WorkloadReport::from_samples("node_rpc", backend, samples, RPCS, total_us));
+
+    rows
+}
+
+/// Writes `BENCH_disk.json`: per-workload, per-backend latency tails and
+/// saturation throughput.
+fn emit_disk_report() {
+    let mut rows = Vec::new();
+    for (backend, config) in backends() {
+        rows.extend(measure_backend(backend, &config));
+    }
+    for r in &rows {
+        println!(
+            "{:<24} p50 {:>6} µs | p99 {:>6} µs | p999 {:>6} µs | saturation {:>8} ops/s",
+            format!("disk/{}/{}", r.workload, r.backend),
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.saturation_ops_per_sec,
+        );
+    }
+    let report = Json::Array(rows.iter().map(WorkloadReport::to_json).collect());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_disk.json");
+    std::fs::write(path, format!("{}\n", report.render())).expect("write disk report");
+    println!("wrote {path}");
+}
+
+/// Runs a fixed workload against the *file* backend and snapshots its
+/// metrics as the committed sidecar: the counters (fsync-driven
+/// `disk.flushes`, scheduler IO counts, LSM activity) are deterministic
+/// for this workload, so the trajectory gate can hold them to 2x.
+fn emit_metrics_sidecar() {
+    use shardstore_obs::walltime::{Stopwatch, LATENCY_BOUNDS_US};
+
+    let (_, config) = backends().remove(1);
+    let store = fresh_store(&config);
+    let obs = store.obs();
+    let put_us = obs.registry().histogram("bench.disk.put_latency_us", LATENCY_BOUNDS_US);
+    let get_us = obs.registry().histogram("bench.disk.get_latency_us", LATENCY_BOUNDS_US);
+    let payload = vec![0xABu8; 1024];
+    for shard in 0..32u128 {
+        let sw = Stopwatch::start(put_us.clone());
+        store.put(shard, &payload).unwrap();
+        sw.stop();
+    }
+    store.flush_index().unwrap();
+    store.pump().unwrap();
+    for shard in 0..32u128 {
+        let sw = Stopwatch::start(get_us.clone());
+        std::hint::black_box(store.get(shard).unwrap());
+        sw.stop();
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_disk.metrics.json");
+    std::fs::write(path, obs.snapshot().to_json()).expect("write metrics sidecar");
+    eprintln!("metrics sidecar written to {path}");
+}
+
+criterion_group!(benches, bench_kv_ops, bench_scan, bench_compaction, bench_node_rpc);
+
+fn main() {
+    benches();
+    criterion::finalize();
+    emit_disk_report();
+    emit_metrics_sidecar();
+}

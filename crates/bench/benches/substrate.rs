@@ -98,9 +98,9 @@ fn bench_codecs(c: &mut Criterion) {
         })
         .collect();
     group.bench_function("sstable_encode_256", |b| {
-        b.iter(|| std::hint::black_box(encode_sstable(&entries)))
+        b.iter(|| std::hint::black_box(encode_sstable(&entries, 16)))
     });
-    let bytes = encode_sstable(&entries);
+    let bytes = encode_sstable(&entries, 16);
     group.bench_function("sstable_decode_256", |b| {
         b.iter(|| assert_eq!(decode_sstable(&bytes).unwrap().len(), 256))
     });

@@ -9,11 +9,83 @@
 //! a typed [`ConfigError`] instead of letting them wedge a running node.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use shardstore_faults::FaultConfig;
 use shardstore_vdisk::Geometry;
 
 use crate::store::StoreConfig;
+
+/// Which storage backend a freshly formatted store's disk uses.
+///
+/// `Memory` is the checking substrate: deterministic, clock-free, and the
+/// only backend legal under the model checker (where [`CrashPlan`]
+/// enumeration must not depend on the host filesystem). `File` maps
+/// extents onto a preallocated volume file so the same stack runs against
+/// real storage with `flush_extent` fencing discharged as `fdatasync`.
+///
+/// [`CrashPlan`]: shardstore_vdisk::CrashPlan
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// In-memory backend (the default).
+    #[default]
+    Memory,
+    /// File backend: each formatted disk gets its own volume file under
+    /// `dir` (created if absent, removed when the disk is dropped).
+    File {
+        /// Directory that holds the store-managed volume files.
+        dir: PathBuf,
+        /// Physically write zeros through the data region at format time
+        /// so later page writes never ENOSPC mid-flush.
+        preallocate: bool,
+    },
+}
+
+impl BackendKind {
+    /// The stable tag this kind formats disks as (`"memory"` / `"file"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BackendKind::Memory => "memory",
+            BackendKind::File { .. } => "file",
+        }
+    }
+
+    /// A file backend rooted in the standard scratch location
+    /// (`$TMPDIR/shardstore-volumes`), without preallocation.
+    pub fn file_in_temp() -> Self {
+        let mut dir = std::env::temp_dir();
+        dir.push("shardstore-volumes");
+        BackendKind::File { dir, preallocate: false }
+    }
+
+    /// Reads the `SHARDSTORE_BACKEND` environment variable so whole test
+    /// suites can be pointed at real storage without per-test plumbing:
+    /// `memory` (or unset) keeps the default, `file` uses
+    /// [`BackendKind::file_in_temp`], and `file:<dir>` roots the volumes
+    /// at `<dir>`. Unknown values fall back to `Memory` so a typo cannot
+    /// silently flip a determinism-sensitive suite onto the filesystem.
+    ///
+    /// Inside a model-checked execution the env var is ignored entirely:
+    /// suite-wide redirection must not leak real IO into checked
+    /// schedules (an *explicitly* configured file backend there is still
+    /// rejected by the builder with
+    /// [`ConfigError::FileBackendUnderChecker`]).
+    pub fn from_env() -> Self {
+        if shardstore_conc::is_controlled() {
+            return BackendKind::Memory;
+        }
+        match std::env::var("SHARDSTORE_BACKEND") {
+            Ok(v) if v == "file" => Self::file_in_temp(),
+            Ok(v) => match v.strip_prefix("file:") {
+                Some(dir) if !dir.is_empty() => {
+                    BackendKind::File { dir: PathBuf::from(dir), preallocate: false }
+                }
+                _ => BackendKind::Memory,
+            },
+            Err(_) => BackendKind::Memory,
+        }
+    }
+}
 
 /// A rejected configuration. Matchable, so tests can assert *which*
 /// validation fired.
@@ -32,6 +104,12 @@ pub enum ConfigError {
         /// Configured per-executor queue depth.
         queue_depth: usize,
     },
+    /// A file backend was configured inside a model-checked execution.
+    /// Checked schedules must stay independent of the host filesystem, so
+    /// only the in-memory backend is legal there.
+    FileBackendUnderChecker,
+    /// A file backend was configured with an empty volume directory.
+    EmptyBackendDir,
 }
 
 impl fmt::Display for ConfigError {
@@ -42,6 +120,12 @@ impl fmt::Display for ConfigError {
                 f,
                 "config: batch_window ({batch_window}) exceeds queue_depth ({queue_depth})"
             ),
+            ConfigError::FileBackendUnderChecker => {
+                write!(f, "config: the file backend is not allowed under the model checker")
+            }
+            ConfigError::EmptyBackendDir => {
+                write!(f, "config: file backend volume directory must be non-empty")
+            }
         }
     }
 }
@@ -125,6 +209,12 @@ impl StoreConfigBuilder {
         self
     }
 
+    /// Storage backend for freshly formatted disks.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<StoreConfig, ConfigError> {
         if self.config.max_chunk_size == 0 {
@@ -141,6 +231,17 @@ impl StoreConfigBuilder {
         }
         if self.config.block_size == 0 {
             return Err(ConfigError::Zero { field: "block_size" });
+        }
+        if let BackendKind::File { dir, .. } = &self.config.backend {
+            if dir.as_os_str().is_empty() {
+                return Err(ConfigError::EmptyBackendDir);
+            }
+            // Crash-state enumeration and schedule exploration must not
+            // depend on the host filesystem: a config built inside a
+            // checked execution may only use the in-memory backend.
+            if shardstore_conc::is_controlled() {
+                return Err(ConfigError::FileBackendUnderChecker);
+            }
         }
         Ok(self.config)
     }

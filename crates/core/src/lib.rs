@@ -21,7 +21,7 @@ mod node;
 pub mod rpc;
 mod store;
 
-pub use config::{ConfigError, EngineConfig, NodeConfig};
+pub use config::{BackendKind, ConfigError, EngineConfig, NodeConfig};
 pub use engine::{serve, Engine, PendingReply, RpcClient};
 pub use node::Node;
 pub use shardstore_cache::ValueBuf;

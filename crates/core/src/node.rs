@@ -93,7 +93,7 @@ impl Node {
         assert!(num_disks > 0, "a node needs at least one disk");
         let disks = (0..num_disks)
             .map(|_| {
-                let store = Store::format(geometry, config, faults.clone());
+                let store = Store::format(geometry, config.clone(), faults.clone());
                 let sched = store.scheduler();
                 Mutex::new(DiskSlot { store: Some(store), sched: Some(sched) })
             })
@@ -115,7 +115,7 @@ impl Node {
     /// Creates a node from a validated [`NodeConfig`] (see
     /// [`NodeConfig::builder`]).
     pub fn from_config(config: &NodeConfig) -> Self {
-        Self::new(config.disks, config.geometry, config.store, config.faults.clone())
+        Self::new(config.disks, config.geometry, config.store.clone(), config.faults.clone())
     }
 
     /// Number of disk slots (including removed ones).
@@ -162,6 +162,21 @@ impl Node {
     /// B4's buggy path where removal dropped the disk handle.
     pub fn disk_obs(&self, disk: usize) -> Option<Obs> {
         self.inner.disks[disk].lock().sched.as_ref().map(|s| s.obs())
+    }
+
+    /// Backend kind and cumulative disk-level IO statistics of a slot.
+    /// Rooted at the slot's IO scheduler like [`Node::disk_obs`], so the
+    /// counters stay readable while the disk is out of service; `None`
+    /// only on B4's buggy path where removal dropped the disk handle.
+    pub fn disk_stats(
+        &self,
+        disk: usize,
+    ) -> Option<(&'static str, shardstore_vdisk::DiskStats)> {
+        self.inner.disks[disk]
+            .lock()
+            .sched
+            .as_ref()
+            .map(|s| (s.disk().backend_kind(), s.disk().stats()))
     }
 
     /// Stores a shard (request plane). Writes wait out an in-flight
@@ -450,12 +465,15 @@ impl Node {
         }
         let store = match slot.sched.clone() {
             Some(sched) => {
-                Store::recover(sched, self.inner.config, self.inner.faults.clone())?
+                Store::recover(sched, self.inner.config.clone(), self.inner.faults.clone())?
             }
             None => {
                 // B4's buggy path: nothing to recover; format fresh.
-                let store =
-                    Store::format(self.inner.geometry, self.inner.config, self.inner.faults.clone());
+                let store = Store::format(
+                    self.inner.geometry,
+                    self.inner.config.clone(),
+                    self.inner.faults.clone(),
+                );
                 slot.sched = Some(store.scheduler());
                 store
             }

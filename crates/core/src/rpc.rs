@@ -375,6 +375,7 @@ impl From<&StoreError> for ErrorCode {
             StoreError::Lsm(e) => e.into(),
             StoreError::Extent(e) => e.into(),
             StoreError::OutOfService => ErrorCode::OutOfService,
+            StoreError::Backend(_) => ErrorCode::Io,
         }
     }
 }
@@ -715,7 +716,14 @@ pub fn dispatch(node: &Node, request: Request) -> Response {
 }
 
 /// Schema version of the [`introspect`] health report.
-pub const INTROSPECT_VERSION: u64 = 1;
+///
+/// Version history (fields are only ever added, so version-1 readers keep
+/// working against version-2 reports):
+/// - **1**: `disk`, `in_service`, `queue_depth`, `quarantined_extents`,
+///   `compaction_debt`, `dropped_events`, `metrics` per disk.
+/// - **2**: adds `backend` (storage backend kind), `fsyncs`,
+///   `bytes_synced`, and `recovery_scan_ms` per disk.
+pub const INTROSPECT_VERSION: u64 = 2;
 
 /// Builds the [`Response::Introspect`] health report for a node. Reads
 /// only observability state — metric registries, trace counters, catalog
@@ -734,6 +742,14 @@ pub fn introspect(node: &Node) -> Response {
             Some(obs) => {
                 let depth = obs.registry().gauge("rpc.queue_depth").get();
                 fields.push(("queue_depth".into(), Json::I64(depth)));
+                if let Some((backend, stats)) = node.disk_stats(d) {
+                    // Version-2 additions, additive so version-1 readers
+                    // keep parsing the report.
+                    fields.push(("backend".into(), Json::Str(backend.into())));
+                    fields.push(("fsyncs".into(), Json::U64(stats.fsyncs)));
+                    fields.push(("bytes_synced".into(), Json::U64(stats.bytes_synced)));
+                    fields.push(("recovery_scan_ms".into(), Json::U64(stats.recovery_scan_ms)));
+                }
                 let quarantined: Vec<u64> = store
                     .as_ref()
                     .map(|s| s.quarantined_extents().iter().map(|e| u64::from(e.0)).collect())

@@ -39,6 +39,9 @@ pub enum StoreError {
     Extent(ExtentError),
     /// The store is out of service (disk removed by the control plane).
     OutOfService,
+    /// The storage backend failed outside the modelled fault space: the
+    /// volume file could not be created, opened, or validated.
+    Backend(shardstore_vdisk::IoError),
 }
 
 impl fmt::Display for StoreError {
@@ -48,6 +51,7 @@ impl fmt::Display for StoreError {
             StoreError::Lsm(e) => write!(f, "index: {e}"),
             StoreError::Extent(e) => write!(f, "extent: {e}"),
             StoreError::OutOfService => write!(f, "store out of service"),
+            StoreError::Backend(e) => write!(f, "backend: {e}"),
         }
     }
 }
@@ -64,6 +68,7 @@ impl StoreError {
             StoreError::Lsm(e) => e.is_degraded(),
             StoreError::Extent(e) => matches!(e, ExtentError::Quarantined { .. }),
             StoreError::OutOfService => false,
+            StoreError::Backend(_) => false,
         }
     }
 }
@@ -89,8 +94,12 @@ impl From<ExtentError> for StoreError {
 }
 
 /// Store configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StoreConfig {
+    /// Storage backend used by [`Store::format`] for the fresh disk.
+    /// Defaults to [`BackendKind::from_env`], so exporting
+    /// `SHARDSTORE_BACKEND=file` points whole suites at real storage.
+    pub backend: crate::config::BackendKind,
     /// Maximum chunk payload size; larger shards are split across chunks.
     pub max_chunk_size: usize,
     /// Memtable entry count that triggers an automatic index flush.
@@ -121,6 +130,7 @@ pub struct StoreConfig {
 impl Default for StoreConfig {
     fn default() -> Self {
         Self {
+            backend: crate::config::BackendKind::from_env(),
             max_chunk_size: 4096,
             flush_threshold: 64,
             cache_capacity: 1 << 20,
@@ -140,6 +150,7 @@ impl StoreConfig {
     /// decoded-table) so that eviction and miss paths are reachable.
     pub fn small() -> Self {
         Self {
+            backend: crate::config::BackendKind::from_env(),
             max_chunk_size: 96,
             flush_threshold: 6,
             cache_capacity: 512,
@@ -186,10 +197,30 @@ impl fmt::Debug for Store {
 }
 
 impl Store {
-    /// Formats a fresh store on a new in-memory disk.
+    /// Formats a fresh store on a newly created disk, with the backend
+    /// chosen by `config.backend`. Panics if the file backend cannot set
+    /// up its volume file — use [`Store::try_format`] where a typed error
+    /// is needed.
     pub fn format(geometry: Geometry, config: StoreConfig, faults: FaultConfig) -> Self {
-        let disk = Disk::new(geometry);
+        Self::try_format(geometry, config, faults).expect("store format failed")
+    }
+
+    /// Formats a fresh store, surfacing backend setup failures as
+    /// [`StoreError::Backend`] instead of panicking.
+    pub fn try_format(
+        geometry: Geometry,
+        config: StoreConfig,
+        faults: FaultConfig,
+    ) -> Result<Self, StoreError> {
+        let disk = Self::create_disk(geometry, &config)?;
         let sched = IoScheduler::new(disk);
+        Ok(Self::format_on(sched, config, faults))
+    }
+
+    /// Formats onto a caller-provided scheduler — the entry point for
+    /// booting on a disk the caller constructed itself, e.g. one opened
+    /// over a named volume file that must outlive the store.
+    pub fn format_on(sched: IoScheduler, config: StoreConfig, faults: FaultConfig) -> Self {
         let em = ExtentManager::format(sched, faults.clone());
         let cs = ChunkStore::new(em, faults.clone(), config.uuid_seed);
         let cache = CachedChunkStore::new(cs, faults.clone(), config.cache_capacity);
@@ -203,8 +234,44 @@ impl Store {
         }
     }
 
+    /// Creates the disk `config.backend` asks for. File volumes are
+    /// store-managed scratch files (unique name, unlinked on drop) under
+    /// the configured directory.
+    fn create_disk(
+        geometry: Geometry,
+        config: &StoreConfig,
+    ) -> Result<Arc<Disk>, StoreError> {
+        match &config.backend {
+            crate::config::BackendKind::Memory => Ok(Disk::new(geometry)),
+            crate::config::BackendKind::File { dir, preallocate } => {
+                if shardstore_conc::is_controlled() {
+                    // A checked execution must stay off the filesystem even
+                    // when the suite-wide env var asks for real storage:
+                    // schedule exploration and crash enumeration only have
+                    // their exhaustiveness guarantees over the in-memory
+                    // backend.
+                    coverage::hit("store.backend.checker_fallback");
+                    return Ok(Disk::new(geometry));
+                }
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    StoreError::Backend(shardstore_vdisk::IoError::Backend {
+                        detail: format!("create volume dir {}: {e}", dir.display()),
+                    })
+                })?;
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static VOLUME_SEQ: AtomicU64 = AtomicU64::new(0);
+                let seq = VOLUME_SEQ.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!("vol-{}-{seq}.ssvol", std::process::id()));
+                Disk::create_file(path, geometry, *preallocate, true).map_err(StoreError::Backend)
+            }
+        }
+    }
+
     /// Recovers a store from an existing disk after a reboot (clean or
-    /// dirty): superblock → chunk registry scan → LSM metadata.
+    /// dirty): superblock → chunk registry scan → LSM metadata. On a
+    /// file-backed disk the wall-clock cost of scanning real bytes is
+    /// recorded into the disk's stats (`recovery_scan_ms`); the in-memory
+    /// path stays clock-free so checked executions remain deterministic.
     pub fn recover(
         sched: IoScheduler,
         config: StoreConfig,
@@ -212,7 +279,15 @@ impl Store {
     ) -> Result<Self, StoreError> {
         let obs = sched.obs();
         obs.trace().event(TraceEvent::RecoveryStart);
-        let res = Self::recover_inner(sched, config, faults);
+        let timed = sched.disk().backend_kind() == "file";
+        let res = if timed {
+            let (res, ms) =
+                shardstore_obs::walltime::time_ms(|| Self::recover_inner(sched.clone(), config, faults));
+            sched.disk().note_recovery_scan_ms(ms);
+            res
+        } else {
+            Self::recover_inner(sched, config, faults)
+        };
         obs.trace().event(TraceEvent::RecoveryEnd { ok: res.is_ok() });
         res
     }
@@ -268,7 +343,7 @@ impl Store {
 
     /// The store configuration.
     pub fn config(&self) -> StoreConfig {
-        self.config
+        self.config.clone()
     }
 
     /// The fault configuration.
@@ -865,6 +940,6 @@ impl Store {
     ) -> Result<Store, StoreError> {
         let sched = self.scheduler();
         sched.crash(plan);
-        Store::recover(sched, self.config, self.faults.clone())
+        Store::recover(sched, self.config.clone(), self.faults.clone())
     }
 }

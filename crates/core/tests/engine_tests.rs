@@ -4,7 +4,7 @@
 
 use shardstore_core::rpc::{ErrorCode, Request, Response};
 use shardstore_core::{
-    serve, ConfigError, Engine, EngineConfig, Node, NodeConfig, StoreConfig,
+    serve, BackendKind, ConfigError, Engine, EngineConfig, Node, NodeConfig, StoreConfig,
 };
 use shardstore_obs::TraceEvent;
 use shardstore_vdisk::Geometry;
@@ -194,7 +194,7 @@ fn introspect_answers_while_engine_saturated() {
     let report = shardstore_obs::json::parse(&json).expect("introspect JSON parses");
     assert_eq!(report.render(), json, "health JSON is canonical");
     let obj = report.as_object().unwrap();
-    assert_eq!(obj.get("version").and_then(shardstore_obs::json::Json::as_u64), Some(1));
+    assert_eq!(obj.get("version").and_then(shardstore_obs::json::Json::as_u64), Some(2));
     let disks = obj.get("disks").and_then(shardstore_obs::json::Json::as_array).unwrap();
     assert_eq!(disks.len(), 1);
     let disk0 = disks[0].as_object().unwrap();
@@ -373,4 +373,23 @@ fn store_config_builder_validates() {
     assert_eq!(config.max_chunk_size, 4096);
     assert_eq!(config.flush_threshold, 8);
     assert!(!config.lsm_filters);
+}
+
+#[test]
+fn store_config_backend_round_trips_and_validates() {
+    assert_eq!(StoreConfig::default().backend.tag(), "memory");
+    assert!(matches!(
+        StoreConfig::builder()
+            .backend(BackendKind::File { dir: "".into(), preallocate: false })
+            .build(),
+        Err(ConfigError::EmptyBackendDir)
+    ));
+    let backend = BackendKind::File { dir: "/tmp/shardstore-volumes".into(), preallocate: true };
+    let config = StoreConfig::small().to_builder().backend(backend.clone()).build().unwrap();
+    assert_eq!(config.backend, backend);
+    assert_eq!(config.backend.tag(), "file");
+    // to_builder round-trips the backend along with every other knob.
+    let rebuilt = config.clone().to_builder().build().unwrap();
+    assert_eq!(rebuilt.backend, backend);
+    assert_eq!(rebuilt.flush_threshold, config.flush_threshold);
 }

@@ -129,17 +129,54 @@ fn introspect_reports_node_health_as_json() {
     // canonical under this crate's own parser/writer pair.
     assert_eq!(report.render(), json);
     let obj = report.as_object().unwrap();
-    assert_eq!(obj.get("version").and_then(shardstore_obs::json::Json::as_u64), Some(1));
+    assert_eq!(
+        obj.get("version").and_then(shardstore_obs::json::Json::as_u64),
+        Some(shardstore_core::rpc::INTROSPECT_VERSION)
+    );
     let disks = obj.get("disks").and_then(shardstore_obs::json::Json::as_array).unwrap();
     assert_eq!(disks.len(), 2);
     for disk in disks {
         let d = disk.as_object().unwrap();
         assert!(d.get("in_service").is_some());
         assert!(d.get("quarantined_extents").is_some());
+        // Version-2 additions: backend kind plus the file-backend sync
+        // counters (zero on the in-memory backend, but always present).
+        let backend = d.get("backend").and_then(shardstore_obs::json::Json::as_str).unwrap();
+        assert!(backend == "memory" || backend == "file", "backend tag: {backend}");
+        assert!(d.get("fsyncs").and_then(shardstore_obs::json::Json::as_u64).is_some());
+        assert!(d.get("bytes_synced").and_then(shardstore_obs::json::Json::as_u64).is_some());
+        assert!(d.get("recovery_scan_ms").and_then(shardstore_obs::json::Json::as_u64).is_some());
         // The embedded metrics snapshot round-trips through its own codec.
         let metrics = d.get("metrics").expect("per-disk metrics").render();
         shardstore_obs::metrics::MetricsSnapshot::from_json(&metrics)
             .expect("metrics snapshot round-trips");
+    }
+}
+
+/// A version-1 reader — one that only knows the v1 field set and ignores
+/// anything extra — must keep working against a version-2 report: the
+/// bump is purely additive.
+#[test]
+fn introspect_v2_report_satisfies_v1_readers() {
+    let n = node();
+    dispatch(&n, Request::Put { shard: 7, data: b"y".to_vec() });
+    let json = match dispatch(&n, Request::Introspect) {
+        Response::Introspect { json } => json,
+        other => panic!("unexpected: {other:?}"),
+    };
+    let report = shardstore_obs::json::parse(&json).expect("introspect JSON parses");
+    let obj = report.as_object().unwrap();
+    // A v1 reader checks the version is at least what it knows, then
+    // reads exactly the v1 fields.
+    let version = obj.get("version").and_then(shardstore_obs::json::Json::as_u64).unwrap();
+    assert!(version >= 1);
+    for disk in obj.get("disks").and_then(shardstore_obs::json::Json::as_array).unwrap() {
+        let d = disk.as_object().unwrap();
+        for field in
+            ["disk", "in_service", "queue_depth", "quarantined_extents", "compaction_debt"]
+        {
+            assert!(d.get(field).is_some(), "v1 field `{field}` missing from v2 report");
+        }
     }
 }
 

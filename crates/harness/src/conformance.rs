@@ -146,7 +146,7 @@ pub(crate) struct RunCtx {
 
 impl RunCtx {
     pub fn new(cfg: &ConformanceConfig) -> Self {
-        let store = Store::format(cfg.geometry, cfg.store, cfg.faults.clone());
+        let store = Store::format(cfg.geometry, cfg.store.clone(), cfg.faults.clone());
         if cfg.background_writeback {
             // Reboots reuse the same scheduler, so the mode survives
             // every recovery in the sequence.

@@ -407,7 +407,7 @@ pub fn run_schedule(
     cfg: &SweepConfig,
     faults: &FaultConfig,
 ) -> Result<(bool, bool, u64, u64), SweepViolation> {
-    let store = Store::format(cfg.geometry, cfg.store, faults.clone());
+    let store = Store::format(cfg.geometry, cfg.store.clone(), faults.clone());
     if cfg.background_writeback {
         store.scheduler().set_writeback_mode(shardstore_dependency::WritebackMode::Background(
             shardstore_dependency::WritebackConfig::default(),

@@ -40,7 +40,7 @@ pub fn run_node_conformance(
     cfg: &ConformanceConfig,
     num_disks: usize,
 ) -> Result<(), Divergence> {
-    let node = Node::new(num_disks, cfg.geometry, cfg.store, cfg.faults.clone());
+    let node = Node::new(num_disks, cfg.geometry, cfg.store.clone(), cfg.faults.clone());
     if cfg.background_writeback {
         for disk in 0..num_disks {
             if let Some(store) = node.store(disk) {

@@ -412,7 +412,7 @@ pub fn run_node_sim(
     schedule: &SimSchedule,
     opts: &SimOptions,
 ) -> Result<SimOutcome, Divergence> {
-    let node = Node::new(num_disks, cfg.geometry, cfg.store, cfg.faults.clone());
+    let node = Node::new(num_disks, cfg.geometry, cfg.store.clone(), cfg.faults.clone());
     if cfg.background_writeback {
         for disk in 0..num_disks {
             if let Some(store) = node.store(disk) {
@@ -837,7 +837,7 @@ pub fn run_rpc_sim(
     schedule: &SimSchedule,
     opts: &SimOptions,
 ) -> Result<SimOutcome, Divergence> {
-    let node = Node::new(num_disks, cfg.geometry, cfg.store, cfg.faults.clone());
+    let node = Node::new(num_disks, cfg.geometry, cfg.store.clone(), cfg.faults.clone());
     let engine = Engine::start_manual(node.clone(), EngineConfig::default());
     let client = engine.client();
     let st = NodeRunState::new(&node);

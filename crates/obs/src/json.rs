@@ -62,6 +62,14 @@ impl Json {
         }
     }
 
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Signed integer accessor.
     pub fn as_i64(&self) -> Option<i64> {
         match self {

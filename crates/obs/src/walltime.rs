@@ -47,6 +47,27 @@ impl Drop for Stopwatch {
     }
 }
 
+/// Runs `f`, returning its result and the elapsed wall-clock
+/// milliseconds. Used by the file-backend recovery path (and benches) to
+/// time work against real storage; nothing on a checked in-memory path
+/// may call this.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    let ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    (out, ms)
+}
+
+/// Runs `f`, returning its result and the elapsed wall-clock
+/// microseconds. The bench rig uses this to collect raw per-op latency
+/// samples for percentile reporting.
+pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    (out, us)
+}
+
 /// Latency bucket bounds (microseconds) suited to the in-memory disk:
 /// sub-microsecond ops up through multi-millisecond stalls.
 pub const LATENCY_BOUNDS_US: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 5_000, 25_000];

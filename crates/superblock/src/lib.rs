@@ -586,7 +586,10 @@ impl ExtentManager {
             // writes would wedge the superblock chain and this loop would
             // starve to the panic below.
             match self.core.sched.pump() {
-                Ok(()) | Err(IoError::Injected { .. } | IoError::OutOfRange { .. }) => {}
+                Ok(())
+                | Err(IoError::Injected { .. }
+                    | IoError::OutOfRange { .. }
+                    | IoError::Backend { .. }) => {}
                 Err(IoError::Failed { extent }) => {
                     self.quarantine(extent);
                 }

@@ -1,10 +1,15 @@
-//! In-memory user-space disk for deterministic storage-system testing.
+//! User-space disk for deterministic storage-system testing — and, behind
+//! the same seam, for running on real storage.
 //!
 //! The paper's conformance checks run the entire ShardStore stack above an
 //! in-memory user-space disk (§4.1): "to ensure determinism and testing
 //! performance, the implementation under test uses an in-memory user-space
 //! disk, but all components above the disk layer use their actual
-//! implementation code." This crate is that disk.
+//! implementation code." This crate is that disk — and since the
+//! [`StorageBackend`] redesign, also the production half of the argument:
+//! the identical stack can boot on a [`backend::FileBackend`] mapping
+//! extents onto a preallocated volume file, with `flush_extent` fencing
+//! discharged as `fdatasync`.
 //!
 //! The device model is a *conventional* disk (not zoned): pages can be
 //! written at any offset, and the append-only extent discipline of
@@ -24,20 +29,27 @@
 //!   §4.4); [`Disk::inject_fail_always`] models a permanently failed
 //!   region.
 //!
-//! All internal maps are ordered (`BTreeMap`) so that iteration order —
-//! and therefore every behaviour of the disk — is deterministic. The paper
-//! calls out randomized `HashMap` iteration order as exactly the kind of
-//! non-determinism that silently breaks test-case minimization (§4.3).
+//! All of the above is backend-independent: the volatile cache and fault
+//! machinery live in the shared [`backend::PagedBackend`] core, so crash
+//! plans and fault sweeps mean the same thing over heap buffers and over a
+//! real volume file. All internal maps are ordered (`BTreeMap`) so that
+//! iteration order — and therefore every behaviour of the disk — is
+//! deterministic. The paper calls out randomized `HashMap` iteration order
+//! as exactly the kind of non-determinism that silently breaks test-case
+//! minimization (§4.3).
 
+pub mod backend;
 pub mod codec;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::sync::OnceLock;
 
-use shardstore_conc::sync::Mutex;
 use shardstore_obs::{Obs, TraceEvent};
+
+pub use backend::{CrashOutcome, FileBackend, MemBackend, StorageBackend};
 
 /// Default page size in bytes, matching a common disk sector-cluster size.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -121,6 +133,12 @@ pub enum IoError {
         /// The failed extent.
         extent: ExtentId,
     },
+    /// A real storage-backend error: the volume file could not be created,
+    /// opened, read, written, or fenced, or its header failed validation.
+    Backend {
+        /// Human-readable failure description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -131,6 +149,7 @@ impl fmt::Display for IoError {
             }
             IoError::Injected { extent } => write!(f, "injected IO failure on {extent}"),
             IoError::Failed { extent } => write!(f, "{extent} has permanently failed"),
+            IoError::Backend { detail } => write!(f, "storage backend error: {detail}"),
         }
     }
 }
@@ -167,31 +186,27 @@ pub struct DiskStats {
     pub crashes: u64,
     /// Number of injected IO failures that fired.
     pub injected_failures: u64,
+    /// Number of real fsync/fdatasync calls issued (file backend only;
+    /// always 0 on the in-memory backend).
+    pub fsyncs: u64,
+    /// Bytes made durable by those fsyncs (file backend only).
+    pub bytes_synced: u64,
+    /// Wall-clock milliseconds spent scanning this disk during store
+    /// recovery (file backend only; the checked in-memory paths never
+    /// touch a clock).
+    pub recovery_scan_ms: u64,
 }
 
-#[derive(Debug)]
-struct DiskState {
-    /// Durable bytes, one full-size buffer per extent.
-    durable: Vec<Vec<u8>>,
-    /// Volatile page images not yet flushed, keyed `(extent, page)`.
-    volatile: BTreeMap<(u32, u32), Vec<u8>>,
-    /// Extents whose next IOs fail transiently, with the remaining
-    /// failure count (one-shot injection is count 1).
-    fail_once: BTreeMap<u32, u32>,
-    /// Extents that permanently fail all IO.
-    fail_always: BTreeSet<u32>,
-    stats: DiskStats,
-}
-
-/// The in-memory user-space disk.
+/// The user-space disk facade.
 ///
 /// Cheap to share: wrap in [`Arc`] via [`Disk::new`]. All operations are
 /// internally synchronized with a checker-aware mutex, so the disk can be
-/// used directly inside stateless-model-checking harnesses.
+/// used directly inside stateless-model-checking harnesses. The actual
+/// storage lives behind a [`StorageBackend`]; the facade adds the
+/// observability emission so backends stay pure storage.
 #[derive(Debug)]
 pub struct Disk {
-    geometry: Geometry,
-    state: Mutex<DiskState>,
+    backend: Box<dyn StorageBackend>,
     /// Observability handle, attached once by the IO scheduler that owns
     /// this disk. Unset (e.g. in crate-local unit tests) the disk simply
     /// records nothing.
@@ -199,26 +214,48 @@ pub struct Disk {
 }
 
 impl Disk {
-    /// Creates a zero-filled disk with the given geometry.
+    /// Creates a zero-filled in-memory disk with the given geometry.
     pub fn new(geometry: Geometry) -> Arc<Self> {
-        let durable =
-            (0..geometry.extent_count).map(|_| vec![0u8; geometry.extent_size()]).collect();
-        Arc::new(Self {
+        Self::with_backend(Box::new(MemBackend::new(geometry)))
+    }
+
+    /// Wraps an already-constructed backend.
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> Arc<Self> {
+        Arc::new(Self { backend, obs: OnceLock::new() })
+    }
+
+    /// Creates a disk over a fresh volume file (see [`FileBackend::create`]).
+    pub fn create_file(
+        path: impl Into<PathBuf>,
+        geometry: Geometry,
+        preallocate: bool,
+        unlink_on_drop: bool,
+    ) -> Result<Arc<Self>, IoError> {
+        Ok(Self::with_backend(Box::new(FileBackend::create(
+            path,
             geometry,
-            state: Mutex::new(DiskState {
-                durable,
-                volatile: BTreeMap::new(),
-                fail_once: BTreeMap::new(),
-                fail_always: BTreeSet::new(),
-                stats: DiskStats::default(),
-            }),
-            obs: OnceLock::new(),
-        })
+            preallocate,
+            unlink_on_drop,
+        )?)))
+    }
+
+    /// Opens a disk over an existing volume file, validating its header
+    /// (see [`FileBackend::open`]).
+    pub fn open_file(
+        path: impl Into<PathBuf>,
+        unlink_on_drop: bool,
+    ) -> Result<Arc<Self>, IoError> {
+        Ok(Self::with_backend(Box::new(FileBackend::open(path, unlink_on_drop)?)))
+    }
+
+    /// The backend tag: `"memory"` or `"file"`.
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.kind()
     }
 
     /// The disk's geometry.
     pub fn geometry(&self) -> Geometry {
-        self.geometry
+        self.backend.geometry()
     }
 
     /// Attaches the shared observability handle. Called once by the IO
@@ -233,34 +270,13 @@ impl Disk {
         self.obs.get()
     }
 
-    fn check_range(&self, extent: ExtentId, offset: usize, len: usize) -> Result<(), IoError> {
-        let size = self.geometry.extent_size();
-        if extent.0 >= self.geometry.extent_count
-            || offset > size
-            || len > size
-            || offset + len > size
-        {
-            return Err(IoError::OutOfRange { extent, offset, len });
+    fn note_result<T>(&self, result: Result<T, IoError>) -> Result<T, IoError> {
+        match &result {
+            Err(IoError::Injected { extent }) => self.note_io_failure(*extent, true),
+            Err(IoError::Failed { extent }) => self.note_io_failure(*extent, false),
+            _ => {}
         }
-        Ok(())
-    }
-
-    fn check_failures(&self, st: &mut DiskState, extent: ExtentId) -> Result<(), IoError> {
-        if st.fail_always.contains(&extent.0) {
-            st.stats.injected_failures += 1;
-            self.note_io_failure(extent, false);
-            return Err(IoError::Failed { extent });
-        }
-        if let Some(remaining) = st.fail_once.get_mut(&extent.0) {
-            *remaining -= 1;
-            if *remaining == 0 {
-                st.fail_once.remove(&extent.0);
-            }
-            st.stats.injected_failures += 1;
-            self.note_io_failure(extent, true);
-            return Err(IoError::Injected { extent });
-        }
-        Ok(())
+        result
     }
 
     fn note_io_failure(&self, extent: ExtentId, transient: bool) {
@@ -276,73 +292,19 @@ impl Disk {
     /// lose it, or — because caching is page-granular — lose only some of
     /// its pages.
     pub fn write(&self, extent: ExtentId, offset: usize, data: &[u8]) -> Result<(), IoError> {
-        self.check_range(extent, offset, data.len())?;
-        let mut st = self.state.lock();
-        self.check_failures(&mut st, extent)?;
-        let ps = self.geometry.page_size;
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let abs = offset + pos;
-            let page = (abs / ps) as u32;
-            let page_start = page as usize * ps;
-            let in_page = abs - page_start;
-            let take = (ps - in_page).min(data.len() - pos);
-            // Read-modify-write the page image from the current view.
-            let key = (extent.0, page);
-            if !st.volatile.contains_key(&key) {
-                let image = st.durable[extent.0 as usize][page_start..page_start + ps].to_vec();
-                st.volatile.insert(key, image);
-            }
-            let image = st.volatile.get_mut(&key).expect("just inserted");
-            image[in_page..in_page + take].copy_from_slice(&data[pos..pos + take]);
-            pos += take;
-        }
-        st.stats.writes += 1;
-        st.stats.bytes_written += data.len() as u64;
-        Ok(())
+        self.note_result(self.backend.write(extent, offset, data))
     }
 
     /// Reads `len` bytes at `offset` within `extent`, seeing the volatile
     /// cache over the durable image (read-your-writes).
     pub fn read(&self, extent: ExtentId, offset: usize, len: usize) -> Result<Vec<u8>, IoError> {
-        self.check_range(extent, offset, len)?;
-        let mut st = self.state.lock();
-        self.check_failures(&mut st, extent)?;
-        let ps = self.geometry.page_size;
-        let mut out = vec![0u8; len];
-        let mut pos = 0usize;
-        while pos < len {
-            let abs = offset + pos;
-            let page = (abs / ps) as u32;
-            let page_start = page as usize * ps;
-            let in_page = abs - page_start;
-            let take = (ps - in_page).min(len - pos);
-            let slice = match st.volatile.get(&(extent.0, page)) {
-                Some(image) => &image[in_page..in_page + take],
-                None => &st.durable[extent.0 as usize][abs..abs + take],
-            };
-            out[pos..pos + take].copy_from_slice(slice);
-            pos += take;
-        }
-        st.stats.reads += 1;
-        st.stats.bytes_read += len as u64;
-        Ok(out)
+        self.note_result(self.backend.read(extent, offset, len))
     }
 
-    /// Flushes all volatile pages of `extent` to durable storage.
+    /// Flushes all volatile pages of `extent` to durable storage. On the
+    /// file backend this is a real `fdatasync` fence.
     pub fn flush_extent(&self, extent: ExtentId) -> Result<(), IoError> {
-        self.check_range(extent, 0, 0)?;
-        let mut st = self.state.lock();
-        self.check_failures(&mut st, extent)?;
-        let ps = self.geometry.page_size;
-        let keys: Vec<_> =
-            st.volatile.range((extent.0, 0)..(extent.0 + 1, 0)).map(|(k, _)| *k).collect();
-        for key in keys {
-            let image = st.volatile.remove(&key).expect("listed key present");
-            let start = key.1 as usize * ps;
-            st.durable[key.0 as usize][start..start + ps].copy_from_slice(&image);
-        }
-        st.stats.flushes += 1;
+        self.note_result(self.backend.flush_extent(extent))?;
         if let Some(obs) = self.obs.get() {
             obs.registry().counter("disk.flushes").inc();
             obs.trace().event(TraceEvent::FlushExtent { extent: extent.0 });
@@ -352,51 +314,20 @@ impl Disk {
 
     /// Flushes the entire volatile cache (a full write barrier).
     pub fn flush_all(&self) -> Result<(), IoError> {
-        let mut st = self.state.lock();
-        // A permanently failed extent fails the whole-disk barrier.
-        if let Some(e) = st.fail_always.iter().next().copied() {
-            st.stats.injected_failures += 1;
-            self.note_io_failure(ExtentId(e), false);
-            return Err(IoError::Failed { extent: ExtentId(e) });
-        }
-        let ps = self.geometry.page_size;
-        let volatile = std::mem::take(&mut st.volatile);
-        for ((ext, page), image) in volatile {
-            let start = page as usize * ps;
-            st.durable[ext as usize][start..start + ps].copy_from_slice(&image);
-        }
-        st.stats.flushes += 1;
-        Ok(())
+        self.note_result(self.backend.flush_all())
     }
 
     /// Simulates a fail-stop crash: volatile pages survive (become durable)
     /// or are lost according to `plan`; injected one-shot failures are
     /// cleared (the reboot replaces the IO path), permanent failures stay.
     pub fn crash(&self, plan: &CrashPlan) {
-        let mut st = self.state.lock();
-        let ps = self.geometry.page_size;
-        let volatile = std::mem::take(&mut st.volatile);
-        let mut kept = 0u32;
-        let mut lost = 0u32;
-        for ((ext, page), image) in volatile {
-            let survive = match plan {
-                CrashPlan::LoseAll => false,
-                CrashPlan::KeepAll => true,
-                CrashPlan::Keep(set) => set.contains(&(ExtentId(ext), page)),
-            };
-            if survive {
-                let start = page as usize * ps;
-                st.durable[ext as usize][start..start + ps].copy_from_slice(&image);
-                kept += 1;
-            } else {
-                lost += 1;
-            }
-        }
-        st.fail_once.clear();
-        st.stats.crashes += 1;
+        let outcome = self.backend.crash(plan);
         if let Some(obs) = self.obs.get() {
             obs.registry().counter("disk.crashes").inc();
-            obs.trace().event(TraceEvent::CrashPoint { pages_kept: kept, pages_lost: lost });
+            obs.trace().event(TraceEvent::CrashPoint {
+                pages_kept: outcome.pages_kept,
+                pages_lost: outcome.pages_lost,
+            });
         }
     }
 
@@ -404,8 +335,7 @@ impl Disk {
     /// deterministic order. The crash-state enumerator uses this to build
     /// [`CrashPlan::Keep`] subsets.
     pub fn volatile_pages(&self) -> Vec<(ExtentId, u32)> {
-        let st = self.state.lock();
-        st.volatile.keys().map(|(e, p)| (ExtentId(*e), *p)).collect()
+        self.backend.volatile_pages()
     }
 
     /// Makes the next IO (read, write, or flush) to `extent` fail once.
@@ -418,33 +348,34 @@ impl Disk {
     /// Used to model transient-fault bursts longer than one IO, e.g. to
     /// exhaust a bounded retry budget deterministically.
     pub fn inject_fail_times(&self, extent: ExtentId, times: u32) {
-        if times == 0 {
-            return;
-        }
-        let mut st = self.state.lock();
-        *st.fail_once.entry(extent.0).or_insert(0) += times;
+        self.backend.inject_fail_times(extent, times);
     }
 
     /// Makes all IO to `extent` fail until [`Disk::clear_failures`].
     pub fn inject_fail_always(&self, extent: ExtentId) {
-        self.state.lock().fail_always.insert(extent.0);
+        self.backend.inject_fail_always(extent);
     }
 
     /// Clears all injected failures.
     pub fn clear_failures(&self) {
-        let mut st = self.state.lock();
-        st.fail_once.clear();
-        st.fail_always.clear();
+        self.backend.clear_failures();
     }
 
     /// Cumulative IO statistics.
     pub fn stats(&self) -> DiskStats {
-        self.state.lock().stats
+        self.backend.stats()
+    }
+
+    /// Records wall-clock milliseconds spent scanning this disk during
+    /// store recovery. Only the file-backend recovery path calls this;
+    /// checked in-memory executions stay clock-free.
+    pub fn note_recovery_scan_ms(&self, ms: u64) {
+        self.backend.note_recovery_scan_ms(ms);
     }
 
     /// Returns a copy of the durable bytes of one extent (test helper).
     pub fn durable_snapshot(&self, extent: ExtentId) -> Vec<u8> {
-        self.state.lock().durable[extent.0 as usize].clone()
+        self.backend.durable_snapshot(extent)
     }
 }
 
@@ -583,6 +514,8 @@ mod tests {
         assert_eq!(s.bytes_written, 4);
         assert_eq!(s.bytes_read, 2);
         assert_eq!(s.crashes, 1);
+        assert_eq!(s.fsyncs, 0, "memory backend never fsyncs");
+        assert_eq!(s.bytes_synced, 0);
     }
 
     #[test]
@@ -601,5 +534,25 @@ mod tests {
         assert_eq!(g.page_of(0), 0);
         assert_eq!(g.page_of(127), 0);
         assert_eq!(g.page_of(128), 1);
+    }
+
+    #[test]
+    fn memory_reports_its_backend_kind() {
+        assert_eq!(disk().backend_kind(), "memory");
+    }
+
+    #[test]
+    fn file_disk_behaves_like_memory_disk_for_crash_plans() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("shardstore-vdisk-facade-{}.vol", std::process::id()));
+        let d = Disk::create_file(&path, Geometry::small(), false, true).unwrap();
+        assert_eq!(d.backend_kind(), "file");
+        d.write(ExtentId(0), 0, b"gone").unwrap();
+        d.write(ExtentId(1), 0, b"kept").unwrap();
+        d.flush_extent(ExtentId(1)).unwrap();
+        d.crash(&CrashPlan::LoseAll);
+        assert_eq!(d.read(ExtentId(0), 0, 4).unwrap(), vec![0u8; 4]);
+        assert_eq!(d.read(ExtentId(1), 0, 4).unwrap(), b"kept");
+        assert!(d.stats().fsyncs >= 1);
     }
 }

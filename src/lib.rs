@@ -70,8 +70,8 @@
 //!   and the coverage-probe mechanism (§4.2).
 
 pub use shardstore_core::{
-    serve, ConfigError, Engine, EngineConfig, Node, NodeConfig, RpcClient, Store, StoreConfig,
-    StoreError,
+    serve, BackendKind, ConfigError, Engine, EngineConfig, Node, NodeConfig, RpcClient, Store,
+    StoreConfig, StoreError,
 };
 
 /// The fault registry and coverage probes.
